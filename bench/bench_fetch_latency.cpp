@@ -1,0 +1,109 @@
+// Experiment T2 (paper §5, access latency): per-record fetch cost through
+// the native driver vs the JDBC-style bridge. Paper shape to reproduce:
+// ~1 ms to fetch a record from the Oracle server via JDBC, and the bridge
+// being a factor 2-4 slower than C-based access on every backend.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+using namespace kojak;
+
+namespace {
+
+db::Database& shared_db() {
+  static std::unique_ptr<db::Database> database = [] {
+    bench::World world(perf::workloads::synthetic_scale(8, 8), {1, 8});
+    return world.make_database();
+  }();
+  return *database;
+}
+
+/// Fetches every Region row one record at a time (the COSY access pattern
+/// for property contexts) and reports virtual us per record.
+double fetch_us_per_record(const db::ConnectionProfile& profile,
+                           db::DriverKind driver) {
+  db::Database& database = shared_db();
+  db::Connection conn(database, profile, driver);
+  db::PreparedStatement stmt =
+      database.prepare("SELECT id, Name, Kind, ParentRegion FROM Region WHERE id = ?");
+  const db::QueryResult ids = database.execute("SELECT id FROM Region");
+  const double before = conn.clock().now_us();
+  std::size_t fetched = 0;
+  for (const db::Row& row : ids.rows) {
+    const std::vector<db::Value> params = {row[0]};
+    const db::QueryResult record = conn.execute(stmt, params);
+    fetched += record.row_count();
+  }
+  return (conn.clock().now_us() - before) / static_cast<double>(fetched);
+}
+
+void BM_FetchRecord(benchmark::State& state, db::ConnectionProfile profile,
+                    db::DriverKind driver) {
+  db::Database& database = shared_db();
+  db::PreparedStatement stmt =
+      database.prepare("SELECT id, Name, Kind, ParentRegion FROM Region WHERE id = ?");
+  db::Connection conn(database, profile, driver);
+  std::int64_t id = 0;
+  const std::int64_t max_id =
+      database.execute("SELECT MAX(id) FROM Region").scalar().as_int();
+  for (auto _ : state) {
+    const std::vector<db::Value> params = {db::Value::integer(id)};
+    benchmark::DoNotOptimize(conn.execute(stmt, params));
+    id = (id + 1) % (max_id + 1);
+  }
+  state.counters["virtual_us_per_record"] =
+      fetch_us_per_record(profile, driver);
+}
+
+void print_summary_table() {
+  support::TablePrinter table;
+  table.add_column("backend")
+      .add_column("native us/rec", support::TablePrinter::Align::kRight)
+      .add_column("bridge us/rec", support::TablePrinter::Align::kRight)
+      .add_column("bridge/native", support::TablePrinter::Align::kRight);
+  for (const db::ConnectionProfile& profile :
+       db::ConnectionProfile::all_paper_profiles()) {
+    const double native = fetch_us_per_record(profile, db::DriverKind::kNative);
+    const double bridge = fetch_us_per_record(profile, db::DriverKind::kBridge);
+    table.add_row({profile.name, support::format_double(native, 4),
+                   support::format_double(bridge, 4),
+                   support::format_double(bridge / native, 3)});
+  }
+  std::cout << "\n=== T2: per-record fetch latency, native vs JDBC-style "
+               "bridge (paper: ~1 ms/record on Oracle via JDBC; bridge 2-4x "
+               "slower) ===\n"
+            << table.render() << '\n';
+}
+
+void register_benchmarks() {
+  for (const db::ConnectionProfile& profile :
+       db::ConnectionProfile::all_paper_profiles()) {
+    for (const db::DriverKind driver :
+         {db::DriverKind::kNative, db::DriverKind::kBridge}) {
+      benchmark::RegisterBenchmark(
+          support::cat("BM_FetchRecord/", profile.name, "/",
+                       to_string(driver)).c_str(),
+          [profile, driver](benchmark::State& state) {
+            BM_FetchRecord(state, profile, driver);
+          })
+          ->Unit(benchmark::kMicrosecond)
+          ->Iterations(500);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_summary_table();
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Experiment T5 (paper §3/§4): the sublinear-speedup cost curve. For each
+// workload and PE count, reports speedup vs the reference run and the
+// severity of the SublinearSpeedup property at the program region — lost
+// cycles stay near zero for the scalable control app and grow steeply for
+// the imbalanced/serial apps.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+using namespace kojak;
+
+namespace {
+
+const std::vector<int>& pe_counts() {
+  static const std::vector<int> kPes = {1, 2, 4, 8, 16, 32, 64, 128};
+  return kPes;
+}
+
+void print_curve(const char* workload_name, const perf::AppSpec& app) {
+  bench::World world(app, pe_counts());
+  cosy::Analyzer analyzer(world.model, *world.store, world.handles);
+
+  support::TablePrinter table;
+  table.add_column("PEs", support::TablePrinter::Align::kRight)
+      .add_column("sum duration ms", support::TablePrinter::Align::kRight)
+      .add_column("wall ms", support::TablePrinter::Align::kRight)
+      .add_column("speedup", support::TablePrinter::Align::kRight)
+      .add_column("total-cost severity", support::TablePrinter::Align::kRight)
+      .add_column("bottleneck");
+
+  const double reference_sum =
+      world.data.runs[0].find_region("main")->incl_ms;
+  for (std::size_t run = 0; run < pe_counts().size(); ++run) {
+    const int pes = pe_counts()[run];
+    const double sum_ms = world.data.runs[run].find_region("main")->incl_ms;
+    const double wall_ms = sum_ms / pes;
+    const double speedup = reference_sum / wall_ms;
+    const cosy::AnalysisReport report = analyzer.analyze(run);
+    double severity = 0.0;
+    for (const cosy::Finding& finding : report.findings) {
+      if (finding.property == "SublinearSpeedup" && finding.context == "main") {
+        severity = finding.result.severity;
+      }
+    }
+    const std::string bottleneck =
+        report.bottleneck() == nullptr
+            ? "-"
+            : support::cat(report.bottleneck()->property, " @ ",
+                           report.bottleneck()->context);
+    table.add_row({std::to_string(pes), support::format_double(sum_ms, 6),
+                   support::format_double(wall_ms, 6),
+                   support::format_double(speedup, 4),
+                   support::format_double(severity, 4), bottleneck});
+  }
+  std::cout << "\n--- " << workload_name << " ---\n" << table.render();
+}
+
+void BM_SimulateAndAnalyze(benchmark::State& state, perf::AppSpec app) {
+  const int pes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    bench::World world(app, {1, pes});
+    cosy::Analyzer analyzer(world.model, *world.store, world.handles);
+    benchmark::DoNotOptimize(analyzer.analyze(1));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "\n=== T5: speedup and lost-cycles curves (paper: total cost "
+               "= cycles lost vs the smallest-PE reference run) ===\n";
+  print_curve("scalable_stencil (control)", perf::workloads::scalable_stencil());
+  print_curve("imbalanced_ocean", perf::workloads::imbalanced_ocean());
+  print_curve("serial_bottleneck (Amdahl)", perf::workloads::serial_bottleneck());
+  std::cout << '\n';
+
+  for (const auto& [name, factory] : perf::workloads::all_named()) {
+    benchmark::RegisterBenchmark(
+        support::cat("BM_SimulateAndAnalyze/", name, "/pe64").c_str(),
+        [factory = factory](benchmark::State& state) {
+          BM_SimulateAndAnalyze(state, factory());
+        })
+        ->Arg(64)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

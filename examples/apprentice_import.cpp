@@ -1,0 +1,81 @@
+// The data-supply interface: Apprentice writes a report file; COSY parses
+// it and transfers the content into the relational database (paper §3).
+// This example writes a report to disk, reads it back, imports it through a
+// chosen backend profile, and shows the insertion cost accounting plus a
+// few SQL queries over the result.
+//
+// Usage: apprentice_import [report_path] [backend]
+//   backend: access | oracle | mssql | postgres   (default oracle)
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "cosy/db_import.hpp"
+#include "cosy/schema_gen.hpp"
+#include "cosy/specs.hpp"
+#include "cosy/store_builder.hpp"
+#include "perf/report_io.hpp"
+#include "perf/simulator.hpp"
+#include "perf/workloads.hpp"
+#include "support/str.hpp"
+
+using namespace kojak;
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "/tmp/ocean_sim.apprentice";
+  const std::string backend = argc > 2 ? argv[2] : "oracle";
+
+  db::ConnectionProfile profile = db::ConnectionProfile::oracle7();
+  if (backend == "access") profile = db::ConnectionProfile::access_local();
+  if (backend == "mssql") profile = db::ConnectionProfile::mssql_server();
+  if (backend == "postgres") profile = db::ConnectionProfile::postgres();
+
+  // 1. "Apprentice" writes its report after the test runs.
+  const perf::ExperimentData measured = perf::simulate_experiment(
+      perf::workloads::imbalanced_ocean(), {1, 4, 16, 64});
+  {
+    std::ofstream out(path);
+    perf::write_report(measured, out);
+  }
+  std::cout << "wrote " << path << '\n';
+
+  // 2. COSY reads the file — a fresh process would start here.
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const perf::ExperimentData imported = perf::parse_report(buffer.str());
+  std::cout << "parsed report: " << imported.structure.functions.size()
+            << " functions, " << imported.runs.size() << " test runs\n";
+
+  // 3. Transfer into the database through the selected backend profile.
+  const asl::Model model = cosy::load_cosy_model();
+  asl::ObjectStore store(model);
+  cosy::build_store(store, imported);
+  db::Database database;
+  cosy::create_schema(database, model);
+  db::Connection conn(database, profile);
+  const cosy::ImportStats stats = cosy::import_store(conn, store);
+  std::cout << "imported " << stats.rows << " rows into '" << profile.name
+            << "' in " << support::format_double(stats.virtual_ms, 5)
+            << " virtual ms ("
+            << support::format_double(stats.virtual_ms * 1000.0 / stats.rows, 4)
+            << " us/row)\n\n";
+
+  // 4. The database is now queryable with plain SQL.
+  const char* queries[] = {
+      "SELECT Name FROM Program",
+      "SELECT NoPe, Clockspeed FROM TestRun ORDER BY NoPe",
+      "SELECT COUNT(*) AS regions FROM Region",
+      "SELECT r.Name, t.Incl FROM Region r "
+      "JOIN Region_TotTimes j ON j.owner = r.id "
+      "JOIN TotalTiming t ON t.id = j.member "
+      "JOIN TestRun run ON run.id = t.Run "
+      "WHERE run.NoPe = 64 ORDER BY t.Incl DESC LIMIT 5",
+  };
+  for (const char* sql : queries) {
+    std::cout << "sql> " << sql << '\n'
+              << database.execute(sql).to_table() << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,193 @@
+// The COSY command-line tool: the closest thing to the user interface the
+// paper describes in §3 ("select a program version and a specific test
+// run... the performance properties are ranked according to their severity
+// and presented to the application programmer").
+//
+// Usage:
+//   cosy_tool --report <file>            analyze an Apprentice report file
+//   cosy_tool --workload <name>          simulate + analyze a named workload
+//   options:
+//     --pes 1,8,32        PE counts when simulating      (default 1,16)
+//     --run <index>       test run to analyze            (default last)
+//     --threshold <t>     problem threshold              (default 0.05)
+//     --strategy <s>      interpreter|sql|client|bulk    (default interpreter)
+//     --spec <file.asl>   additional property documents  (repeatable)
+//     --top <n>           rows to print                  (default 15)
+//     --format <f>        text|markdown|csv              (default text)
+//     --list-workloads
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "asl/sema.hpp"
+#include "cosy/analyzer.hpp"
+#include "cosy/db_import.hpp"
+#include "cosy/report_render.hpp"
+#include "cosy/schema_gen.hpp"
+#include "cosy/specs.hpp"
+#include "perf/report_io.hpp"
+#include "perf/simulator.hpp"
+#include "perf/workloads.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+using namespace kojak;
+
+namespace {
+
+struct Options {
+  std::string report_path;
+  std::string workload;
+  std::vector<int> pes = {1, 16};
+  std::optional<std::size_t> run;
+  double threshold = 0.05;
+  cosy::EvalStrategy strategy = cosy::EvalStrategy::kInterpreter;
+  std::vector<std::string> extra_specs;
+  std::size_t top = 15;
+  std::string format = "text";
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " (--report <file> | --workload <name>) [--pes 1,8,32]"
+               " [--run N] [--threshold T] [--strategy interpreter|sql|client|"
+               "bulk] [--spec file.asl]... [--top N] [--list-workloads]\n";
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw support::ImportError(support::cat("cannot open ", path));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--report") {
+      options.report_path = next();
+    } else if (arg == "--workload") {
+      options.workload = next();
+    } else if (arg == "--pes") {
+      options.pes.clear();
+      for (const std::string& pe : support::split(next(), ',')) {
+        options.pes.push_back(std::atoi(pe.c_str()));
+      }
+    } else if (arg == "--run") {
+      options.run = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--threshold") {
+      options.threshold = std::atof(next().c_str());
+    } else if (arg == "--strategy") {
+      const std::string value = next();
+      if (value == "interpreter") options.strategy = cosy::EvalStrategy::kInterpreter;
+      else if (value == "sql") options.strategy = cosy::EvalStrategy::kSqlPushdown;
+      else if (value == "client") options.strategy = cosy::EvalStrategy::kClientFetch;
+      else if (value == "bulk") options.strategy = cosy::EvalStrategy::kBulkFetch;
+      else return usage(argv[0]);
+    } else if (arg == "--spec") {
+      options.extra_specs.push_back(next());
+    } else if (arg == "--top") {
+      options.top = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--format") {
+      options.format = next();
+      if (options.format != "text" && options.format != "markdown" &&
+          options.format != "csv") {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--list-workloads") {
+      for (const auto& [name, factory] : perf::workloads::all_named()) {
+        std::cout << name << '\n';
+      }
+      return 0;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (options.report_path.empty() == options.workload.empty()) {
+    return usage(argv[0]);
+  }
+
+  try {
+    // 1. Performance data: from a report file or a simulated workload.
+    perf::ExperimentData data;
+    if (!options.report_path.empty()) {
+      data = perf::parse_report(read_file(options.report_path));
+    } else {
+      bool found = false;
+      for (const auto& [name, factory] : perf::workloads::all_named()) {
+        if (options.workload == name) {
+          data = perf::simulate_experiment(factory(), options.pes);
+          found = true;
+        }
+      }
+      if (!found) {
+        std::cerr << "unknown workload '" << options.workload
+                  << "' (try --list-workloads)\n";
+        return 2;
+      }
+    }
+
+    // 2. Specification: the shipped documents plus any user ones.
+    std::vector<asl::ast::SpecFile> specs;
+    specs.push_back(asl::parse_spec_or_throw(cosy::cosy_model_source()));
+    specs.push_back(asl::parse_spec_or_throw(cosy::cosy_properties_source()));
+    specs.push_back(asl::parse_spec_or_throw(cosy::extended_properties_source()));
+    for (const std::string& path : options.extra_specs) {
+      specs.push_back(asl::parse_spec_or_throw(read_file(path)));
+    }
+    const asl::Model model = asl::analyze(asl::merge_specs(std::move(specs)));
+
+    // 3. Populate store (+ database when a SQL strategy is selected).
+    asl::ObjectStore store(model);
+    const cosy::StoreHandles handles = cosy::build_store(store, data);
+    std::unique_ptr<db::Database> database;
+    std::unique_ptr<db::Connection> conn;
+    if (options.strategy != cosy::EvalStrategy::kInterpreter) {
+      database = std::make_unique<db::Database>();
+      cosy::create_schema(*database, model);
+      conn = std::make_unique<db::Connection>(
+          *database, db::ConnectionProfile::in_memory());
+      cosy::import_store(*conn, store);
+    }
+
+    // 4. Analyze and present.
+    cosy::Analyzer analyzer(model, store, handles, conn.get());
+    cosy::AnalyzerConfig config;
+    config.strategy = options.strategy;
+    config.problem_threshold = options.threshold;
+    const std::size_t run = options.run.value_or(handles.runs.size() - 1);
+    const cosy::AnalysisReport report = analyzer.analyze(run, config);
+    if (options.format == "markdown") {
+      std::cout << cosy::to_markdown(report, options.top);
+    } else if (options.format == "csv") {
+      std::cout << cosy::to_csv(report);
+    } else {
+      std::cout << report.to_table(options.top);
+    }
+    if (!report.not_applicable.empty()) {
+      std::cout << report.not_applicable.size()
+                << " context(s) not applicable (data gaps)\n";
+    }
+    if (report.sql_queries > 0) {
+      std::cout << report.sql_queries << " SQL statements issued ("
+                << to_string(options.strategy) << ")\n";
+    }
+    return report.tuned() ? 0 : 1;
+  } catch (const support::Error& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 2;
+  }
+}

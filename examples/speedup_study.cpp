@@ -1,0 +1,114 @@
+// Speedup study: the workflow the paper's §3 describes — multiple test runs
+// of one program version, analyzed against the smallest-PE reference run.
+// For each PE count this prints the speedup, the cost decomposition at the
+// program region (total / measured / unmeasured), and where the bottleneck
+// moved.
+//
+// Usage: speedup_study [workload] [max_pe]
+//   workload: scalable_stencil | imbalanced_ocean | serial_bottleneck |
+//             message_bound | io_heavy        (default imbalanced_ocean)
+//   max_pe:   largest PE count of the sweep    (default 64)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "cosy/analyzer.hpp"
+#include "cosy/report_render.hpp"
+#include "cosy/specs.hpp"
+#include "cosy/store_builder.hpp"
+#include "perf/simulator.hpp"
+#include "perf/workloads.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+using namespace kojak;
+
+namespace {
+
+double severity_of(const cosy::AnalysisReport& report, std::string_view property,
+                   std::string_view context) {
+  for (const cosy::Finding& finding : report.findings) {
+    if (finding.property == property && finding.context == context) {
+      return finding.result.severity;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload = argc > 1 ? argv[1] : "imbalanced_ocean";
+  const int max_pe = argc > 2 ? std::atoi(argv[2]) : 64;
+
+  perf::AppSpec app;
+  bool found = false;
+  for (const auto& [name, factory] : perf::workloads::all_named()) {
+    if (workload == name) {
+      app = factory();
+      found = true;
+    }
+  }
+  if (!found) {
+    std::cerr << "unknown workload '" << workload << "'; options:";
+    for (const auto& [name, factory] : perf::workloads::all_named()) {
+      std::cerr << ' ' << name;
+    }
+    std::cerr << '\n';
+    return 1;
+  }
+
+  std::vector<int> pes;
+  for (int p = 1; p <= max_pe; p *= 2) pes.push_back(p);
+
+  const asl::Model model = cosy::load_cosy_model();
+  asl::ObjectStore store(model);
+  const cosy::StoreHandles handles =
+      cosy::build_store(store, perf::simulate_experiment(app, pes));
+  cosy::Analyzer analyzer(model, store, handles);
+
+  support::TablePrinter table;
+  table.add_column("PEs", support::TablePrinter::Align::kRight)
+      .add_column("total cost", support::TablePrinter::Align::kRight)
+      .add_column("measured", support::TablePrinter::Align::kRight)
+      .add_column("unmeasured", support::TablePrinter::Align::kRight)
+      .add_column("#problems", support::TablePrinter::Align::kRight)
+      .add_column("bottleneck");
+
+  std::cout << "Speedup study of " << app.name << " (reference run: " << pes[0]
+            << " PE)\n\n";
+  for (std::size_t run = 0; run < pes.size(); ++run) {
+    const cosy::AnalysisReport report = analyzer.analyze(run);
+    const std::string bottleneck =
+        report.bottleneck() == nullptr
+            ? "- (tuned)"
+            : support::cat(report.bottleneck()->property, " @ ",
+                           report.bottleneck()->context,
+                           report.tuned() ? "  [ok]" : "");
+    table.add_row(
+        {std::to_string(pes[run]),
+         support::format_double(severity_of(report, "SublinearSpeedup",
+                                            handles.main_region), 4),
+         support::format_double(severity_of(report, "MeasuredCost",
+                                            handles.main_region), 4),
+         support::format_double(severity_of(report, "UnmeasuredCost",
+                                            handles.main_region), 4),
+         std::to_string(report.problems().size()), bottleneck});
+  }
+  std::cout << table.render();
+  std::cout << "\n(severities are fractions of the program duration in the "
+               "analyzed run, as in the paper's SEVERITY expressions)\n\n";
+
+  // Detail view of the largest run.
+  const cosy::AnalysisReport last = analyzer.analyze(pes.size() - 1);
+  std::cout << last.to_table(15) << '\n';
+
+  // Severity matrix across the whole sweep (which property grew where).
+  std::vector<cosy::AnalysisReport> reports;
+  for (std::size_t run = 0; run < pes.size(); ++run) {
+    reports.push_back(analyzer.analyze(run));
+  }
+  std::cout << "Severity per run (top properties):\n"
+            << cosy::severity_matrix(reports, 12) << '\n';
+  return 0;
+}

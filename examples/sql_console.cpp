@@ -1,0 +1,75 @@
+// Interactive SQL console over a populated performance database — the
+// debugging companion the COSY developers would have used while hand-
+// translating property conditions into queries (paper §5). Reads one
+// statement per line; with piped stdin it runs as a batch.
+//
+// Usage: sql_console [workload]   (default imbalanced_ocean)
+// Meta commands: .tables  .schema <table>  .quit
+
+#include <iostream>
+#include <string>
+
+#include "cosy/db_import.hpp"
+#include "cosy/schema_gen.hpp"
+#include "cosy/specs.hpp"
+#include "cosy/store_builder.hpp"
+#include "perf/simulator.hpp"
+#include "perf/workloads.hpp"
+#include "support/error.hpp"
+
+using namespace kojak;
+
+int main(int argc, char** argv) {
+  const std::string workload = argc > 1 ? argv[1] : "imbalanced_ocean";
+  perf::AppSpec app = perf::workloads::imbalanced_ocean();
+  for (const auto& [name, factory] : perf::workloads::all_named()) {
+    if (workload == name) app = factory();
+  }
+
+  const asl::Model model = cosy::load_cosy_model();
+  asl::ObjectStore store(model);
+  cosy::build_store(store, perf::simulate_experiment(app, {1, 8, 32}));
+  db::Database database;
+  cosy::create_schema(database, model);
+  db::Connection conn(database, db::ConnectionProfile::in_memory());
+  cosy::import_store(conn, store);
+
+  std::cout << "performance database for '" << app.name << "' ("
+            << database.total_rows() << " rows). Type .tables, .schema <t>, "
+            << "SQL statements, or .quit\n";
+
+  std::string line;
+  while (std::cout << "sql> " << std::flush, std::getline(std::cin, line)) {
+    if (line == ".quit" || line == ".exit") break;
+    if (line.empty()) continue;
+    if (line == ".tables") {
+      for (const std::string& name : database.table_names()) {
+        std::cout << "  " << name << " (" << database.table(name).live_row_count()
+                  << " rows)\n";
+      }
+      continue;
+    }
+    if (line.rfind(".schema ", 0) == 0) {
+      const std::string table = line.substr(8);
+      if (const db::Table* t = database.find_table(table)) {
+        std::cout << t->schema().to_ddl() << ";\n";
+      } else {
+        std::cout << "no such table: " << table << '\n';
+      }
+      continue;
+    }
+    try {
+      const db::QueryResult result = database.execute(line);
+      if (!result.columns.empty()) {
+        std::cout << result.to_table();
+        std::cout << "(" << result.row_count() << " rows)\n";
+      } else {
+        std::cout << "ok (" << result.affected_rows << " rows affected)\n";
+      }
+    } catch (const support::Error& error) {
+      std::cout << "error: " << error.what() << '\n';
+    }
+  }
+  std::cout << '\n';
+  return 0;
+}

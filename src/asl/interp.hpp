@@ -1,0 +1,82 @@
+#ifndef KOJAK_ASL_INTERP_HPP
+#define KOJAK_ASL_INTERP_HPP
+
+#include <string>
+#include <vector>
+
+#include "asl/model.hpp"
+#include "asl/object_store.hpp"
+
+namespace kojak::asl {
+
+/// Outcome of evaluating one property in one context (the paper §4:
+/// condition -> does the property hold; confidence in [0,1]; severity ranks
+/// it; a property whose evaluation hits a data gap — e.g. UNIQUE over an
+/// empty set because a region was not measured — is *not applicable*).
+struct PropertyResult {
+  enum class Status { kHolds, kDoesNotHold, kNotApplicable };
+
+  Status status = Status::kDoesNotHold;
+  double confidence = 0.0;
+  double severity = 0.0;
+  /// Id (or 1-based ordinal rendered as "#k") of the first condition that
+  /// held; empty when none did.
+  std::string matched_condition;
+  /// Explanation when kNotApplicable.
+  std::string note;
+
+  [[nodiscard]] bool holds() const noexcept { return status == Status::kHolds; }
+};
+
+/// Variable bindings for expression evaluation (parameters, LET bindings,
+/// comprehension/aggregate binders).
+class Env {
+ public:
+  void push(std::string name, RtValue value) {
+    vars_.emplace_back(std::move(name), std::move(value));
+  }
+  void pop() { vars_.pop_back(); }
+
+  [[nodiscard]] const RtValue* find(std::string_view name) const {
+    for (auto it = vars_.rbegin(); it != vars_.rend(); ++it) {
+      if (it->first == name) return &it->second;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::pair<std::string, RtValue>> vars_;
+};
+
+/// Tree-walking evaluator over the object store: the semantic reference
+/// implementation of ASL (the SQL-pushdown engine in kojak_cosy must agree
+/// with it; tests check this differentially).
+class Interpreter {
+ public:
+  Interpreter(const Model& model, const ObjectStore& store)
+      : model_(&model), store_(&store) {}
+
+  /// Evaluates an expression under the given environment.
+  [[nodiscard]] RtValue eval(const ast::Expr& expr, Env& env) const;
+
+  /// Calls a specification function with already-evaluated arguments.
+  [[nodiscard]] RtValue call(const FunctionInfo& fn,
+                             std::vector<RtValue> args) const;
+
+  /// Evaluates a property for a context (argument values in parameter
+  /// order). Evaluation errors yield kNotApplicable, not an exception:
+  /// a data gap in one region must not abort the whole analysis.
+  [[nodiscard]] PropertyResult evaluate_property(const PropertyInfo& prop,
+                                                 std::vector<RtValue> args) const;
+
+ private:
+  [[nodiscard]] RtValue eval_aggregate(const ast::Expr& expr, Env& env) const;
+  [[nodiscard]] static bool truthy(const RtValue& value);
+
+  const Model* model_;
+  const ObjectStore* store_;
+};
+
+}  // namespace kojak::asl
+
+#endif  // KOJAK_ASL_INTERP_HPP

@@ -1,0 +1,288 @@
+#include "asl/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace kojak::asl {
+
+using support::ParseError;
+using support::SourceLoc;
+
+std::string_view to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kIntLit: return "integer literal";
+    case TokenKind::kFloatLit: return "float literal";
+    case TokenKind::kStringLit: return "string literal";
+    case TokenKind::kClass: return "CLASS";
+    case TokenKind::kEnum: return "ENUM";
+    case TokenKind::kExtends: return "EXTENDS";
+    case TokenKind::kProperty: return "PROPERTY";
+    case TokenKind::kConst: return "CONST";
+    case TokenKind::kCondition: return "CONDITION";
+    case TokenKind::kConfidence: return "CONFIDENCE";
+    case TokenKind::kSeverity: return "SEVERITY";
+    case TokenKind::kLet: return "LET";
+    case TokenKind::kIn: return "IN";
+    case TokenKind::kWith: return "WITH";
+    case TokenKind::kWhere: return "WHERE";
+    case TokenKind::kSetof: return "SETOF";
+    case TokenKind::kAnd: return "AND";
+    case TokenKind::kOr: return "OR";
+    case TokenKind::kNot: return "NOT";
+    case TokenKind::kTrue: return "TRUE";
+    case TokenKind::kFalse: return "FALSE";
+    case TokenKind::kNull: return "NULL";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kEnd: return "end of file";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Keyword {
+  const char* text;
+  TokenKind kind;
+};
+
+constexpr Keyword kKeywords[] = {
+    {"class", TokenKind::kClass},     {"enum", TokenKind::kEnum},
+    {"extends", TokenKind::kExtends}, {"property", TokenKind::kProperty},
+    {"const", TokenKind::kConst},     {"condition", TokenKind::kCondition},
+    {"confidence", TokenKind::kConfidence},
+    {"severity", TokenKind::kSeverity},
+    {"let", TokenKind::kLet},         {"in", TokenKind::kIn},
+    {"with", TokenKind::kWith},       {"where", TokenKind::kWhere},
+    {"setof", TokenKind::kSetof},     {"and", TokenKind::kAnd},
+    {"or", TokenKind::kOr},           {"not", TokenKind::kNot},
+    {"true", TokenKind::kTrue},       {"false", TokenKind::kFalse},
+    {"null", TokenKind::kNull},
+};
+
+}  // namespace
+
+std::vector<Token> lex_asl(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t pos = 0;
+  std::size_t line = 1;
+  std::size_t column = 1;
+
+  const auto loc = [&]() -> SourceLoc { return {line, column, pos}; };
+  const auto peek = [&](std::size_t ahead = 0) -> char {
+    return pos + ahead < source.size() ? source[pos + ahead] : '\0';
+  };
+  const auto advance = [&]() -> char {
+    const char c = source[pos++];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    return c;
+  };
+  const auto push = [&](TokenKind kind, SourceLoc at, std::string text = {}) {
+    tokens.push_back({kind, std::move(text), 0, 0.0, at});
+  };
+
+  while (pos < source.size()) {
+    const char c = peek();
+    const SourceLoc at = loc();
+
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (pos < source.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      bool closed = false;
+      while (pos < source.size()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!closed) throw ParseError("unterminated block comment", at);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (pos < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+        text += advance();
+      }
+      TokenKind kind = TokenKind::kIdent;
+      for (const Keyword& kw : kKeywords) {
+        if (support::iequals(text, kw.text)) {
+          kind = kw.kind;
+          break;
+        }
+      }
+      push(kind, at, std::move(text));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string text;
+      bool is_float = false;
+      while (pos < source.size() &&
+             std::isdigit(static_cast<unsigned char>(peek()))) {
+        text += advance();
+      }
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_float = true;
+        text += advance();
+        while (pos < source.size() &&
+               std::isdigit(static_cast<unsigned char>(peek()))) {
+          text += advance();
+        }
+      }
+      if ((peek() == 'e' || peek() == 'E') &&
+          (std::isdigit(static_cast<unsigned char>(peek(1))) ||
+           ((peek(1) == '+' || peek(1) == '-') &&
+            std::isdigit(static_cast<unsigned char>(peek(2)))))) {
+        is_float = true;
+        text += advance();
+        if (peek() == '+' || peek() == '-') text += advance();
+        while (pos < source.size() &&
+               std::isdigit(static_cast<unsigned char>(peek()))) {
+          text += advance();
+        }
+      }
+      Token tok;
+      tok.loc = at;
+      tok.text = text;
+      if (is_float) {
+        tok.kind = TokenKind::kFloatLit;
+        tok.float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kIntLit;
+        tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      advance();
+      std::string text;
+      bool closed = false;
+      while (pos < source.size()) {
+        const char ch = advance();
+        if (ch == '"') {
+          closed = true;
+          break;
+        }
+        if (ch == '\\' && pos < source.size()) {
+          const char esc = advance();
+          switch (esc) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case '\\': text += '\\'; break;
+            case '"': text += '"'; break;
+            default: text += esc; break;
+          }
+        } else {
+          text += ch;
+        }
+      }
+      if (!closed) throw ParseError("unterminated string literal", at);
+      push(TokenKind::kStringLit, at, std::move(text));
+      continue;
+    }
+
+    const char n = peek(1);
+    switch (c) {
+      case '{': advance(); push(TokenKind::kLBrace, at); continue;
+      case '}': advance(); push(TokenKind::kRBrace, at); continue;
+      case '(': advance(); push(TokenKind::kLParen, at); continue;
+      case ')': advance(); push(TokenKind::kRParen, at); continue;
+      case ';': advance(); push(TokenKind::kSemicolon, at); continue;
+      case ':': advance(); push(TokenKind::kColon, at); continue;
+      case ',': advance(); push(TokenKind::kComma, at); continue;
+      case '.': advance(); push(TokenKind::kDot, at); continue;
+      case '+': advance(); push(TokenKind::kPlus, at); continue;
+      case '*': advance(); push(TokenKind::kStar, at); continue;
+      case '/': advance(); push(TokenKind::kSlash, at); continue;
+      case '-':
+        advance();
+        if (peek() == '>') {
+          advance();
+          push(TokenKind::kArrow, at);
+        } else {
+          push(TokenKind::kMinus, at);
+        }
+        continue;
+      case '=':
+        advance();
+        if (peek() == '=') {
+          advance();
+          push(TokenKind::kEq, at);
+        } else {
+          push(TokenKind::kAssign, at);
+        }
+        continue;
+      case '!':
+        if (n == '=') {
+          advance();
+          advance();
+          push(TokenKind::kNe, at);
+          continue;
+        }
+        throw ParseError("unexpected character '!'", at);
+      case '<':
+        advance();
+        if (peek() == '=') {
+          advance();
+          push(TokenKind::kLe, at);
+        } else {
+          push(TokenKind::kLt, at);
+        }
+        continue;
+      case '>':
+        advance();
+        if (peek() == '=') {
+          advance();
+          push(TokenKind::kGe, at);
+        } else {
+          push(TokenKind::kGt, at);
+        }
+        continue;
+      default:
+        throw ParseError(support::cat("unexpected character '", c, "'"), at);
+    }
+  }
+  tokens.push_back({TokenKind::kEnd, "", 0, 0.0, loc()});
+  return tokens;
+}
+
+}  // namespace kojak::asl

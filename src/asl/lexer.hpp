@@ -1,0 +1,19 @@
+#ifndef KOJAK_ASL_LEXER_HPP
+#define KOJAK_ASL_LEXER_HPP
+
+#include <string_view>
+#include <vector>
+
+#include "asl/token.hpp"
+
+namespace kojak::asl {
+
+/// Tokenizes ASL source. Supports `//` and `/* */` comments, double-quoted
+/// strings with backslash escapes, and the operator set of Figure 1 plus the
+/// expression syntax used by the paper's examples (`==`, `->`, ...).
+/// Throws support::ParseError on malformed input.
+[[nodiscard]] std::vector<Token> lex_asl(std::string_view source);
+
+}  // namespace kojak::asl
+
+#endif  // KOJAK_ASL_LEXER_HPP

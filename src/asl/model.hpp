@@ -1,0 +1,147 @@
+#ifndef KOJAK_ASL_MODEL_HPP
+#define KOJAK_ASL_MODEL_HPP
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asl/ast.hpp"
+#include "asl/types.hpp"
+
+namespace kojak::asl {
+
+struct AttrInfo {
+  std::string name;
+  Type type;
+};
+
+/// A class of the performance data model. `attrs` is flattened: inherited
+/// attributes first (ASL has Java-like single inheritance; the COSY model
+/// does not use it, but the language supports it).
+struct ClassInfo {
+  std::string name;
+  std::optional<std::uint32_t> base;
+  std::vector<AttrInfo> attrs;
+  std::size_t own_attr_begin = 0;
+
+  [[nodiscard]] std::optional<std::size_t> find_attr(std::string_view attr) const {
+    for (std::size_t i = 0; i < attrs.size(); ++i) {
+      if (attrs[i].name == attr) return i;
+    }
+    return std::nullopt;
+  }
+};
+
+struct EnumInfo {
+  std::string name;
+  std::vector<std::string> members;
+
+  [[nodiscard]] std::optional<std::int32_t> find_member(std::string_view m) const {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (members[i] == m) return static_cast<std::int32_t>(i);
+    }
+    return std::nullopt;
+  }
+};
+
+struct FunctionInfo {
+  std::string name;
+  Type return_type;
+  std::vector<std::pair<std::string, Type>> params;
+  const ast::Expr* body = nullptr;
+};
+
+struct ConstInfo {
+  std::string name;
+  Type type;
+  const ast::Expr* value = nullptr;
+};
+
+struct ConditionInfo {
+  std::string id;  // empty when unlabelled
+  const ast::Expr* pred = nullptr;
+};
+
+struct GuardedInfo {
+  std::string guard;  // condition id; empty when unguarded
+  const ast::Expr* expr = nullptr;
+};
+
+struct LetInfo {
+  std::string name;
+  Type type;
+  const ast::Expr* init = nullptr;
+};
+
+struct PropertyInfo {
+  std::string name;
+  std::vector<std::pair<std::string, Type>> params;
+  std::vector<LetInfo> lets;
+  std::vector<ConditionInfo> conditions;
+  std::vector<GuardedInfo> confidence;
+  std::vector<GuardedInfo> severity;
+};
+
+/// Semantic model of a specification: resolved classes, enums, functions,
+/// constants, and properties. Owns the AST it was built from; all AST
+/// pointers in the info structs point into it.
+class Model {
+ public:
+  Model() = default;
+
+  [[nodiscard]] const std::vector<ClassInfo>& classes() const noexcept {
+    return classes_;
+  }
+  [[nodiscard]] const std::vector<EnumInfo>& enums() const noexcept {
+    return enums_;
+  }
+  [[nodiscard]] const std::vector<FunctionInfo>& functions() const noexcept {
+    return functions_;
+  }
+  [[nodiscard]] const std::vector<ConstInfo>& constants() const noexcept {
+    return constants_;
+  }
+  [[nodiscard]] const std::vector<PropertyInfo>& properties() const noexcept {
+    return properties_;
+  }
+
+  [[nodiscard]] std::optional<std::uint32_t> find_class(std::string_view name) const;
+  [[nodiscard]] std::optional<std::uint32_t> find_enum(std::string_view name) const;
+  [[nodiscard]] const FunctionInfo* find_function(std::string_view name) const;
+  [[nodiscard]] const ConstInfo* find_constant(std::string_view name) const;
+  [[nodiscard]] const PropertyInfo* find_property(std::string_view name) const;
+  /// Global enum-member lookup (members are unqualified, as in `== Barrier`).
+  [[nodiscard]] std::optional<std::pair<std::uint32_t, std::int32_t>>
+  find_enum_member(std::string_view name) const;
+
+  [[nodiscard]] const ClassInfo& class_info(std::uint32_t id) const {
+    return classes_.at(id);
+  }
+  [[nodiscard]] const EnumInfo& enum_info(std::uint32_t id) const {
+    return enums_.at(id);
+  }
+
+  /// True when `derived` equals `base` or transitively extends it.
+  [[nodiscard]] bool is_subclass_of(std::uint32_t derived, std::uint32_t base) const;
+
+  /// Human-readable type name (for diagnostics and schema generation).
+  [[nodiscard]] std::string type_name(const Type& type) const;
+
+ private:
+  friend class SemaBuilder;
+
+  std::shared_ptr<const ast::SpecFile> spec_;
+  std::vector<ClassInfo> classes_;
+  std::vector<EnumInfo> enums_;
+  std::vector<FunctionInfo> functions_;
+  std::vector<ConstInfo> constants_;
+  std::vector<PropertyInfo> properties_;
+  std::map<std::string, std::uint32_t, std::less<>> class_by_name_;
+  std::map<std::string, std::uint32_t, std::less<>> enum_by_name_;
+};
+
+}  // namespace kojak::asl
+
+#endif  // KOJAK_ASL_MODEL_HPP

@@ -1,0 +1,157 @@
+#include "asl/object_store.hpp"
+
+#include <algorithm>
+
+#include "support/str.hpp"
+
+namespace kojak::asl {
+
+using support::EvalError;
+
+std::int64_t RtValue::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&v_)) return *i;
+  throw EvalError(support::cat("value is not int: ", to_display()));
+}
+
+double RtValue::as_float() const {
+  if (const auto* d = std::get_if<double>(&v_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&v_)) {
+    return static_cast<double>(*i);
+  }
+  throw EvalError(support::cat("value is not numeric: ", to_display()));
+}
+
+bool RtValue::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&v_)) return *b;
+  throw EvalError(support::cat("value is not bool: ", to_display()));
+}
+
+const std::string& RtValue::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&v_)) return *s;
+  throw EvalError(support::cat("value is not String: ", to_display()));
+}
+
+EnumVal RtValue::as_enum() const {
+  if (const auto* e = std::get_if<EnumVal>(&v_)) return *e;
+  throw EvalError(support::cat("value is not an enum member: ", to_display()));
+}
+
+ObjectId RtValue::as_object() const {
+  if (is_null()) return kNullObject;
+  if (const auto* o = std::get_if<ObjRef>(&v_)) return o->id;
+  throw EvalError(support::cat("value is not an object: ", to_display()));
+}
+
+const std::vector<ObjectId>& RtValue::as_set() const {
+  if (const auto* s = std::get_if<SetPtr>(&v_)) {
+    if (*s != nullptr) return **s;
+  }
+  throw EvalError(support::cat("value is not a set: ", to_display()));
+}
+
+bool RtValue::equals(const RtValue& a, const RtValue& b) {
+  // Numeric cross-type equality (int vs float) first.
+  if (a.is_numeric() && b.is_numeric()) return a.as_float() == b.as_float();
+  if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
+  if (a.is_bool() && b.is_bool()) return a.as_bool() == b.as_bool();
+  if (a.is_string() && b.is_string()) return a.as_string() == b.as_string();
+  if (a.is_enum() && b.is_enum()) return a.as_enum() == b.as_enum();
+  if (a.is_object() && b.is_object()) return a.as_object() == b.as_object();
+  throw EvalError(support::cat("cannot compare ", a.to_display(), " with ",
+                               b.to_display()));
+}
+
+std::string RtValue::to_display() const {
+  if (is_null()) return "null";
+  if (is_int()) return std::to_string(as_int());
+  if (is_float()) return support::format_double(as_float());
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_string()) return as_string();
+  if (is_enum()) {
+    const EnumVal e = as_enum();
+    return support::cat("enum#", e.enum_id, ".", e.ordinal);
+  }
+  if (is_object()) return support::cat("object#", as_object());
+  return support::cat("set(", as_set().size(), ")");
+}
+
+ObjectId ObjectStore::create(std::uint32_t class_id) {
+  if (class_id >= model_->classes().size()) {
+    throw EvalError(support::cat("unknown class id ", class_id));
+  }
+  const ObjectId id = static_cast<ObjectId>(objects_.size());
+  Object obj;
+  obj.class_id = class_id;
+  obj.attrs.resize(model_->class_info(class_id).attrs.size());
+  objects_.push_back(std::move(obj));
+  if (by_class_.size() < model_->classes().size()) {
+    by_class_.resize(model_->classes().size());
+  }
+  by_class_[class_id].push_back(id);
+  return id;
+}
+
+ObjectId ObjectStore::create(std::string_view class_name) {
+  const auto cls = model_->find_class(class_name);
+  if (!cls) throw EvalError(support::cat("unknown class '", class_name, "'"));
+  return create(*cls);
+}
+
+std::size_t ObjectStore::attr_index_checked(ObjectId id,
+                                            std::string_view attr) const {
+  const Object& obj = objects_.at(id);
+  const ClassInfo& cls = model_->class_info(obj.class_id);
+  const auto index = cls.find_attr(attr);
+  if (!index) {
+    throw EvalError(support::cat("class ", cls.name, " has no attribute '",
+                                 attr, "'"));
+  }
+  return *index;
+}
+
+void ObjectStore::set_attr(ObjectId id, std::string_view attr, RtValue value) {
+  set_attr(id, attr_index_checked(id, attr), std::move(value));
+}
+
+void ObjectStore::set_attr(ObjectId id, std::size_t attr_index, RtValue value) {
+  objects_.at(id).attrs.at(attr_index) = std::move(value);
+}
+
+const RtValue& ObjectStore::attr(ObjectId id, std::string_view attr) const {
+  return objects_.at(id).attrs.at(attr_index_checked(id, attr));
+}
+
+void ObjectStore::add_to_set(ObjectId id, std::string_view attr, ObjectId member) {
+  const std::size_t index = attr_index_checked(id, attr);
+  RtValue& slot = objects_.at(id).attrs.at(index);
+  auto vec = std::make_shared<std::vector<ObjectId>>();
+  if (!slot.is_null()) {
+    const auto& current = slot.as_set();
+    vec->reserve(current.size() + 1);
+    vec->assign(current.begin(), current.end());
+  }
+  vec->push_back(member);
+  slot = RtValue::of_set(std::move(vec));
+}
+
+std::vector<ObjectId> ObjectStore::all_of(std::uint32_t class_id,
+                                          bool include_subclasses) const {
+  std::vector<ObjectId> out;
+  for (std::uint32_t cls = 0; cls < by_class_.size(); ++cls) {
+    const bool matches = include_subclasses ? model_->is_subclass_of(cls, class_id)
+                                            : cls == class_id;
+    if (!matches) continue;
+    out.insert(out.end(), by_class_[cls].begin(), by_class_[cls].end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ObjectId> ObjectStore::all_of(std::string_view class_name,
+                                          bool include_subclasses) const {
+  const auto cls = model_->find_class(class_name);
+  if (!cls) throw EvalError(support::cat("unknown class '", class_name, "'"));
+  return all_of(*cls, include_subclasses);
+}
+
+}  // namespace kojak::asl

@@ -1,0 +1,150 @@
+#ifndef KOJAK_ASL_OBJECT_STORE_HPP
+#define KOJAK_ASL_OBJECT_STORE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "asl/model.hpp"
+#include "support/error.hpp"
+
+namespace kojak::asl {
+
+using ObjectId = std::uint32_t;
+inline constexpr ObjectId kNullObject = 0xFFFFFFFFu;
+
+struct EnumVal {
+  std::uint32_t enum_id = 0;
+  std::int32_t ordinal = 0;
+  friend bool operator==(const EnumVal&, const EnumVal&) = default;
+};
+
+struct ObjRef {
+  ObjectId id = kNullObject;
+  friend bool operator==(const ObjRef&, const ObjRef&) = default;
+};
+
+using SetPtr = std::shared_ptr<const std::vector<ObjectId>>;
+
+/// Runtime value of the ASL interpreter: scalar, enum, object reference, or
+/// set of objects. DateTime values are int64 epoch seconds (the attribute's
+/// declared type distinguishes them).
+class RtValue {
+ public:
+  RtValue() = default;  // null
+
+  [[nodiscard]] static RtValue null() { return RtValue(); }
+  [[nodiscard]] static RtValue of_int(std::int64_t v) { return RtValue(Payload(v)); }
+  [[nodiscard]] static RtValue of_float(double v) { return RtValue(Payload(v)); }
+  [[nodiscard]] static RtValue of_bool(bool v) { return RtValue(Payload(v)); }
+  [[nodiscard]] static RtValue of_string(std::string v) {
+    return RtValue(Payload(std::move(v)));
+  }
+  [[nodiscard]] static RtValue of_enum(std::uint32_t enum_id, std::int32_t ordinal) {
+    return RtValue(Payload(EnumVal{enum_id, ordinal}));
+  }
+  [[nodiscard]] static RtValue of_object(ObjectId id) {
+    return id == kNullObject ? RtValue() : RtValue(Payload(ObjRef{id}));
+  }
+  [[nodiscard]] static RtValue of_set(SetPtr set) {
+    return RtValue(Payload(std::move(set)));
+  }
+
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::monostate>(v_);
+  }
+  [[nodiscard]] bool is_int() const noexcept {
+    return std::holds_alternative<std::int64_t>(v_);
+  }
+  [[nodiscard]] bool is_float() const noexcept {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_numeric() const noexcept { return is_int() || is_float(); }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_enum() const noexcept {
+    return std::holds_alternative<EnumVal>(v_);
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return std::holds_alternative<ObjRef>(v_);
+  }
+  [[nodiscard]] bool is_set() const noexcept {
+    return std::holds_alternative<SetPtr>(v_);
+  }
+
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_float() const;  // accepts int
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] EnumVal as_enum() const;
+  /// kNullObject for a null value; the object id otherwise.
+  [[nodiscard]] ObjectId as_object() const;
+  [[nodiscard]] const std::vector<ObjectId>& as_set() const;
+
+  /// Identity/structural equality as defined by ASL `==`.
+  [[nodiscard]] static bool equals(const RtValue& a, const RtValue& b);
+
+  [[nodiscard]] std::string to_display() const;
+
+ private:
+  using Payload = std::variant<std::monostate, std::int64_t, double, bool,
+                               std::string, EnumVal, ObjRef, SetPtr>;
+  explicit RtValue(Payload v) : v_(std::move(v)) {}
+  Payload v_;
+};
+
+/// One object of the performance data: class id plus attribute slots laid
+/// out per the Model's flattened attribute list.
+struct Object {
+  std::uint32_t class_id = 0;
+  std::vector<RtValue> attrs;
+};
+
+/// The runtime instance population of a data model. Objects are created by
+/// the importer and then treated as immutable by evaluation.
+class ObjectStore {
+ public:
+  explicit ObjectStore(const Model& model) : model_(&model) {}
+
+  [[nodiscard]] const Model& model() const noexcept { return *model_; }
+
+  ObjectId create(std::uint32_t class_id);
+  ObjectId create(std::string_view class_name);
+
+  [[nodiscard]] const Object& object(ObjectId id) const { return objects_.at(id); }
+  [[nodiscard]] std::size_t size() const noexcept { return objects_.size(); }
+
+  void set_attr(ObjectId id, std::string_view attr, RtValue value);
+  void set_attr(ObjectId id, std::size_t attr_index, RtValue value);
+  [[nodiscard]] const RtValue& attr(ObjectId id, std::string_view attr) const;
+  [[nodiscard]] const RtValue& attr(ObjectId id, std::size_t attr_index) const {
+    return objects_.at(id).attrs.at(attr_index);
+  }
+
+  /// Appends `member` to the `setof` attribute, creating the set if absent.
+  void add_to_set(ObjectId id, std::string_view attr, ObjectId member);
+
+  /// All objects whose class is `class_id` (optionally including subclasses).
+  [[nodiscard]] std::vector<ObjectId> all_of(std::uint32_t class_id,
+                                             bool include_subclasses = true) const;
+  [[nodiscard]] std::vector<ObjectId> all_of(std::string_view class_name,
+                                             bool include_subclasses = true) const;
+
+ private:
+  [[nodiscard]] std::size_t attr_index_checked(ObjectId id,
+                                               std::string_view attr) const;
+
+  const Model* model_;
+  std::vector<Object> objects_;
+  std::vector<std::vector<ObjectId>> by_class_;
+};
+
+}  // namespace kojak::asl
+
+#endif  // KOJAK_ASL_OBJECT_STORE_HPP

@@ -1,0 +1,630 @@
+#include "asl/parser.hpp"
+
+#include <optional>
+
+#include "asl/lexer.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace kojak::asl {
+
+using ast::Expr;
+using ast::ExprPtr;
+using support::ParseError;
+
+namespace {
+
+/// Token kinds that can begin an expression; used to disambiguate a
+/// `(cond-id)` prefix from a parenthesized expression (Figure 1 leaves this
+/// to the reader: `(c1) x > 0` labels, `(x) > 0` compares).
+bool starts_expression(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+    case TokenKind::kIntLit:
+    case TokenKind::kFloatLit:
+    case TokenKind::kStringLit:
+    case TokenKind::kTrue:
+    case TokenKind::kFalse:
+    case TokenKind::kNull:
+    case TokenKind::kLParen:
+    case TokenKind::kLBrace:
+    case TokenKind::kNot:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class Parser {
+ public:
+  Parser(std::string_view source, support::DiagnosticEngine& diags)
+      : tokens_(lex_asl(source)), diags_(diags) {}
+
+  ast::SpecFile parse_spec_file() {
+    ast::SpecFile spec;
+    while (!peek().is(TokenKind::kEnd)) {
+      const std::size_t before = pos_;
+      try {
+        parse_declaration(spec);
+      } catch (const ParseError& error) {
+        diags_.error(error.loc(), error.what());
+        recover_to_next_declaration(before);
+      }
+    }
+    return spec;
+  }
+
+ private:
+  // --- token plumbing ----------------------------------------------------
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() {
+    const Token& tok = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return tok;
+  }
+  bool accept(TokenKind kind) {
+    if (peek().is(kind)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  const Token& expect(TokenKind kind, std::string_view context) {
+    if (!peek().is(kind)) {
+      throw ParseError(support::cat("expected ", to_string(kind), " ", context,
+                                    ", got ", describe(peek())),
+                       peek().loc);
+    }
+    return advance();
+  }
+  [[nodiscard]] static std::string describe(const Token& tok) {
+    if (tok.kind == TokenKind::kIdent) return support::cat("'", tok.text, "'");
+    if (tok.kind == TokenKind::kEnd) return "end of file";
+    return std::string(to_string(tok.kind));
+  }
+
+  void recover_to_next_declaration(std::size_t error_start) {
+    if (pos_ == error_start) advance();  // guarantee progress
+    int depth = 0;
+    while (!peek().is(TokenKind::kEnd)) {
+      const TokenKind kind = peek().kind;
+      if (depth == 0 &&
+          (kind == TokenKind::kClass || kind == TokenKind::kEnum ||
+           kind == TokenKind::kProperty || kind == TokenKind::kConst)) {
+        return;
+      }
+      if (kind == TokenKind::kLBrace) ++depth;
+      if (kind == TokenKind::kRBrace && depth > 0) --depth;
+      const bool closing_rbrace = kind == TokenKind::kRBrace && depth == 0;
+      advance();
+      if (closing_rbrace) {
+        accept(TokenKind::kSemicolon);
+        return;
+      }
+    }
+  }
+
+  // --- declarations --------------------------------------------------------
+  void parse_declaration(ast::SpecFile& spec) {
+    switch (peek().kind) {
+      case TokenKind::kClass:
+        spec.classes.push_back(parse_class());
+        return;
+      case TokenKind::kEnum:
+        spec.enums.push_back(parse_enum());
+        return;
+      case TokenKind::kProperty:
+        spec.properties.push_back(parse_property());
+        return;
+      case TokenKind::kConst:
+        spec.constants.push_back(parse_const());
+        return;
+      case TokenKind::kIdent:
+      case TokenKind::kSetof:
+        spec.functions.push_back(parse_function());
+        return;
+      default:
+        throw ParseError(support::cat("expected a declaration, got ",
+                                      describe(peek())),
+                         peek().loc);
+    }
+  }
+
+  ast::TypeName parse_type_name() {
+    ast::TypeName type;
+    type.loc = peek().loc;
+    if (accept(TokenKind::kSetof)) {
+      type.is_set = true;
+    }
+    type.name = expect(TokenKind::kIdent, "as type name").text;
+    return type;
+  }
+
+  ast::ClassDecl parse_class() {
+    ast::ClassDecl decl;
+    decl.loc = expect(TokenKind::kClass, "").loc;
+    decl.name = expect(TokenKind::kIdent, "as class name").text;
+    if (accept(TokenKind::kExtends)) {
+      decl.base = expect(TokenKind::kIdent, "as base class").text;
+    }
+    expect(TokenKind::kLBrace, "to open class body");
+    while (!peek().is(TokenKind::kRBrace) && !peek().is(TokenKind::kEnd)) {
+      ast::AttrDecl attr;
+      attr.loc = peek().loc;
+      attr.type = parse_type_name();
+      attr.name = expect(TokenKind::kIdent, "as attribute name").text;
+      expect(TokenKind::kSemicolon, "after attribute");
+      decl.attrs.push_back(std::move(attr));
+    }
+    expect(TokenKind::kRBrace, "to close class body");
+    accept(TokenKind::kSemicolon);
+    return decl;
+  }
+
+  ast::EnumDecl parse_enum() {
+    ast::EnumDecl decl;
+    decl.loc = expect(TokenKind::kEnum, "").loc;
+    decl.name = expect(TokenKind::kIdent, "as enum name").text;
+    expect(TokenKind::kLBrace, "to open enum body");
+    do {
+      decl.members.push_back(expect(TokenKind::kIdent, "as enum member").text);
+    } while (accept(TokenKind::kComma));
+    expect(TokenKind::kRBrace, "to close enum body");
+    accept(TokenKind::kSemicolon);
+    return decl;
+  }
+
+  ast::ConstDecl parse_const() {
+    ast::ConstDecl decl;
+    decl.loc = expect(TokenKind::kConst, "").loc;
+    decl.type = parse_type_name();
+    decl.name = expect(TokenKind::kIdent, "as constant name").text;
+    expect(TokenKind::kAssign, "in constant definition");
+    decl.value = parse_expr();
+    expect(TokenKind::kSemicolon, "after constant definition");
+    return decl;
+  }
+
+  std::vector<ast::ParamDecl> parse_params() {
+    std::vector<ast::ParamDecl> params;
+    expect(TokenKind::kLParen, "to open parameter list");
+    if (!peek().is(TokenKind::kRParen)) {
+      do {
+        ast::ParamDecl param;
+        param.loc = peek().loc;
+        param.type = parse_type_name();
+        param.name = expect(TokenKind::kIdent, "as parameter name").text;
+        params.push_back(std::move(param));
+      } while (accept(TokenKind::kComma));
+    }
+    expect(TokenKind::kRParen, "to close parameter list");
+    return params;
+  }
+
+  ast::FunctionDecl parse_function() {
+    ast::FunctionDecl decl;
+    decl.loc = peek().loc;
+    decl.return_type = parse_type_name();
+    decl.name = expect(TokenKind::kIdent, "as function name").text;
+    decl.params = parse_params();
+    expect(TokenKind::kAssign, "in function definition");
+    decl.body = parse_expr();
+    expect(TokenKind::kSemicolon, "after function definition");
+    return decl;
+  }
+
+  ast::PropertyDecl parse_property() {
+    ast::PropertyDecl decl;
+    decl.loc = expect(TokenKind::kProperty, "").loc;
+    decl.name = expect(TokenKind::kIdent, "as property name").text;
+    decl.params = parse_params();
+    expect(TokenKind::kLBrace, "to open property body");
+
+    if (accept(TokenKind::kLet)) {
+      // LET def* IN — definitions end at the IN keyword.
+      while (!peek().is(TokenKind::kIn) && !peek().is(TokenKind::kEnd)) {
+        ast::LetDef def;
+        def.loc = peek().loc;
+        def.type = parse_type_name();
+        def.name = expect(TokenKind::kIdent, "as LET binding name").text;
+        expect(TokenKind::kAssign, "in LET definition");
+        def.init = parse_expr();
+        // The paper's examples omit the ';' before IN; accept both.
+        if (!peek().is(TokenKind::kIn)) {
+          expect(TokenKind::kSemicolon, "after LET definition");
+        } else {
+          accept(TokenKind::kSemicolon);
+        }
+        decl.lets.push_back(std::move(def));
+      }
+      expect(TokenKind::kIn, "to end LET section");
+    }
+
+    expect(TokenKind::kCondition, "in property body");
+    expect(TokenKind::kColon, "after CONDITION");
+    do {
+      decl.conditions.push_back(parse_condition());
+    } while (accept(TokenKind::kOr));
+    expect(TokenKind::kSemicolon, "after CONDITION clause");
+
+    expect(TokenKind::kConfidence, "in property body");
+    expect(TokenKind::kColon, "after CONFIDENCE");
+    decl.confidence_is_max = parse_spec_value(decl.confidence);
+    expect(TokenKind::kSemicolon, "after CONFIDENCE clause");
+
+    expect(TokenKind::kSeverity, "in property body");
+    expect(TokenKind::kColon, "after SEVERITY");
+    decl.severity_is_max = parse_spec_value(decl.severity);
+    expect(TokenKind::kSemicolon, "after SEVERITY clause");
+
+    expect(TokenKind::kRBrace, "to close property body");
+    accept(TokenKind::kSemicolon);
+    return decl;
+  }
+
+  /// `['(' cond-id ')'] bool-expr` — the prefix is a condition id only when
+  /// the parenthesized single identifier is followed by an expression start.
+  ast::Condition parse_condition() {
+    ast::Condition cond;
+    cond.loc = peek().loc;
+    if (peek().is(TokenKind::kLParen) && peek(1).is(TokenKind::kIdent) &&
+        peek(2).is(TokenKind::kRParen) && starts_expression(peek(3).kind)) {
+      advance();
+      cond.id = advance().text;
+      advance();
+    }
+    // Conditions are OR-separated at clause level (Figure 1), so each
+    // condition expression binds tighter than OR.
+    cond.pred = parse_and();
+    return cond;
+  }
+
+  /// Parses a CONFIDENCE/SEVERITY payload. Returns true when the clause is
+  /// the spec-level `MAX(list)` form. A spec-level MAX is recognized when
+  /// MAX( ... ) contains a top-level comma or starts with a `(id) ->` guard;
+  /// otherwise `MAX(...)` is an ordinary aggregate expression.
+  bool parse_spec_value(std::vector<ast::GuardedExpr>& out) {
+    if (peek().is(TokenKind::kIdent) && support::iequals(peek().text, "MAX") &&
+        peek(1).is(TokenKind::kLParen) && is_spec_level_max()) {
+      advance();  // MAX
+      advance();  // (
+      do {
+        out.push_back(parse_guarded());
+      } while (accept(TokenKind::kComma));
+      expect(TokenKind::kRParen, "to close MAX list");
+      return true;
+    }
+    out.push_back(parse_guarded());
+    return false;
+  }
+
+  [[nodiscard]] bool is_spec_level_max() const {
+    // Guard pattern right after "MAX(": '(' IDENT ')' '->'.
+    if (peek(2).is(TokenKind::kLParen) && peek(3).is(TokenKind::kIdent) &&
+        peek(4).is(TokenKind::kRParen) && peek(5).is(TokenKind::kArrow)) {
+      return true;
+    }
+    // Otherwise scan for a comma at parenthesis depth 1.
+    int depth = 0;
+    for (std::size_t i = 1; peek(i).kind != TokenKind::kEnd; ++i) {
+      const TokenKind kind = peek(i).kind;
+      if (kind == TokenKind::kLParen || kind == TokenKind::kLBrace) ++depth;
+      if (kind == TokenKind::kRParen || kind == TokenKind::kRBrace) {
+        --depth;
+        if (depth == 0) return false;
+      }
+      if (kind == TokenKind::kComma && depth == 1) return true;
+      if (kind == TokenKind::kSemicolon) return false;
+    }
+    return false;
+  }
+
+  ast::GuardedExpr parse_guarded() {
+    ast::GuardedExpr arm;
+    arm.loc = peek().loc;
+    if (peek().is(TokenKind::kLParen) && peek(1).is(TokenKind::kIdent) &&
+        peek(2).is(TokenKind::kRParen) && peek(3).is(TokenKind::kArrow)) {
+      advance();
+      arm.guard = advance().text;
+      advance();
+      advance();
+    }
+    arm.expr = parse_expr();
+    return arm;
+  }
+
+  // --- expressions ---------------------------------------------------------
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr make_binary(ast::BinOp op, ExprPtr lhs, ExprPtr rhs,
+                      support::SourceLoc loc) {
+    ExprPtr e = ast::make_expr(Expr::Kind::kBinary, loc);
+    e->bin_op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (peek().is(TokenKind::kOr)) {
+      const auto loc = advance().loc;
+      lhs = make_binary(ast::BinOp::kOr, std::move(lhs), parse_and(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_not();
+    while (peek().is(TokenKind::kAnd)) {
+      const auto loc = advance().loc;
+      lhs = make_binary(ast::BinOp::kAnd, std::move(lhs), parse_not(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_not() {
+    if (peek().is(TokenKind::kNot)) {
+      const auto loc = advance().loc;
+      ExprPtr e = ast::make_expr(Expr::Kind::kUnary, loc);
+      e->un_op = ast::UnOp::kNot;
+      e->lhs = parse_not();
+      return e;
+    }
+    return parse_comparison();
+  }
+
+  ExprPtr parse_comparison() {
+    ExprPtr lhs = parse_additive();
+    struct OpMap {
+      TokenKind token;
+      ast::BinOp op;
+    };
+    static constexpr OpMap kOps[] = {
+        {TokenKind::kEq, ast::BinOp::kEq}, {TokenKind::kNe, ast::BinOp::kNe},
+        {TokenKind::kLt, ast::BinOp::kLt}, {TokenKind::kLe, ast::BinOp::kLe},
+        {TokenKind::kGt, ast::BinOp::kGt}, {TokenKind::kGe, ast::BinOp::kGe},
+    };
+    for (const auto& [token, op] : kOps) {
+      if (peek().is(token)) {
+        const auto loc = advance().loc;
+        return make_binary(op, std::move(lhs), parse_additive(), loc);
+      }
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    while (peek().is(TokenKind::kPlus) || peek().is(TokenKind::kMinus)) {
+      const ast::BinOp op =
+          peek().is(TokenKind::kPlus) ? ast::BinOp::kAdd : ast::BinOp::kSub;
+      const auto loc = advance().loc;
+      lhs = make_binary(op, std::move(lhs), parse_multiplicative(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr lhs = parse_unary();
+    while (peek().is(TokenKind::kStar) || peek().is(TokenKind::kSlash)) {
+      const ast::BinOp op =
+          peek().is(TokenKind::kStar) ? ast::BinOp::kMul : ast::BinOp::kDiv;
+      const auto loc = advance().loc;
+      lhs = make_binary(op, std::move(lhs), parse_unary(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (peek().is(TokenKind::kMinus)) {
+      const auto loc = advance().loc;
+      ExprPtr e = ast::make_expr(Expr::Kind::kUnary, loc);
+      e->un_op = ast::UnOp::kNeg;
+      e->lhs = parse_unary();
+      return e;
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr base = parse_primary();
+    while (accept(TokenKind::kDot)) {
+      const Token& attr = expect(TokenKind::kIdent, "as attribute name");
+      ExprPtr member = ast::make_expr(Expr::Kind::kMember, attr.loc);
+      member->name = attr.text;
+      member->base = std::move(base);
+      base = std::move(member);
+    }
+    return base;
+  }
+
+  [[nodiscard]] static std::optional<ast::AggKind> aggregate_kind(
+      std::string_view name) {
+    if (support::iequals(name, "MIN")) return ast::AggKind::kMin;
+    if (support::iequals(name, "MAX")) return ast::AggKind::kMax;
+    if (support::iequals(name, "SUM")) return ast::AggKind::kSum;
+    if (support::iequals(name, "AVG")) return ast::AggKind::kAvg;
+    return std::nullopt;
+  }
+
+  ExprPtr parse_primary() {
+    const Token& tok = peek();
+    switch (tok.kind) {
+      case TokenKind::kIntLit: {
+        ExprPtr e = ast::make_expr(Expr::Kind::kIntLit, tok.loc);
+        e->int_value = advance().int_value;
+        return e;
+      }
+      case TokenKind::kFloatLit: {
+        ExprPtr e = ast::make_expr(Expr::Kind::kFloatLit, tok.loc);
+        e->float_value = advance().float_value;
+        return e;
+      }
+      case TokenKind::kStringLit: {
+        ExprPtr e = ast::make_expr(Expr::Kind::kStringLit, tok.loc);
+        e->string_value = advance().text;
+        return e;
+      }
+      case TokenKind::kTrue:
+      case TokenKind::kFalse: {
+        ExprPtr e = ast::make_expr(Expr::Kind::kBoolLit, tok.loc);
+        e->bool_value = advance().is(TokenKind::kTrue);
+        return e;
+      }
+      case TokenKind::kNull:
+        advance();
+        return ast::make_expr(Expr::Kind::kNullLit, tok.loc);
+      case TokenKind::kLParen: {
+        advance();
+        ExprPtr inner = parse_expr();
+        expect(TokenKind::kRParen, "to close parenthesized expression");
+        return inner;
+      }
+      case TokenKind::kLBrace:
+        return parse_comprehension();
+      case TokenKind::kIdent: {
+        std::string name = advance().text;
+        if (!peek().is(TokenKind::kLParen)) {
+          ExprPtr e = ast::make_expr(Expr::Kind::kIdent, tok.loc);
+          e->name = std::move(name);
+          return e;
+        }
+        advance();  // (
+        if (support::iequals(name, "UNIQUE") || support::iequals(name, "EXISTS") ||
+            support::iequals(name, "SIZE")) {
+          Expr::Kind kind = Expr::Kind::kUnique;
+          if (support::iequals(name, "EXISTS")) kind = Expr::Kind::kExists;
+          if (support::iequals(name, "SIZE")) kind = Expr::Kind::kSize;
+          ExprPtr e = ast::make_expr(kind, tok.loc);
+          e->base = parse_expr();
+          expect(TokenKind::kRParen, support::cat("to close ", name, "(...)"));
+          return e;
+        }
+        if (const auto agg = aggregate_kind(name)) {
+          return parse_aggregate_body(*agg, tok.loc);
+        }
+        if (support::iequals(name, "COUNT")) {
+          // COUNT(set) counts elements; COUNT(x WHERE x IN s ...) is the
+          // binder aggregate.
+          return parse_count_body(tok.loc);
+        }
+        // User-defined specification function call.
+        ExprPtr e = ast::make_expr(Expr::Kind::kCall, tok.loc);
+        e->name = std::move(name);
+        if (!peek().is(TokenKind::kRParen)) {
+          do {
+            e->args.push_back(parse_expr());
+          } while (accept(TokenKind::kComma));
+        }
+        expect(TokenKind::kRParen, "to close call");
+        return e;
+      }
+      default:
+        throw ParseError(support::cat("expected an expression, got ",
+                                      describe(tok)),
+                         tok.loc);
+    }
+  }
+
+  /// `{ binder IN set [WITH pred] }`
+  ExprPtr parse_comprehension() {
+    const auto loc = expect(TokenKind::kLBrace, "").loc;
+    ExprPtr e = ast::make_expr(Expr::Kind::kComprehension, loc);
+    e->name = expect(TokenKind::kIdent, "as comprehension binder").text;
+    expect(TokenKind::kIn, "in set comprehension");
+    e->base = parse_expr();
+    if (accept(TokenKind::kWith)) {
+      e->filter = parse_expr();
+    }
+    expect(TokenKind::kRBrace, "to close set comprehension");
+    return e;
+  }
+
+  /// Body after `AGG(`: either `value WHERE binder IN set [AND pred]*` or a
+  /// bare scalar `value` (list-MAX degenerates to identity on one value).
+  ExprPtr parse_aggregate_body(ast::AggKind kind, support::SourceLoc loc) {
+    ExprPtr e = ast::make_expr(Expr::Kind::kAggregate, loc);
+    e->agg_kind = kind;
+    e->agg_value = parse_expr();
+    if (accept(TokenKind::kWhere)) {
+      e->name = expect(TokenKind::kIdent, "as aggregate binder").text;
+      expect(TokenKind::kIn, "in aggregate WHERE clause");
+      // The set expression ends at AND (filters) or ')'. Parse at comparison
+      // precedence so `s IN r.TotTimes AND pred` splits correctly.
+      e->base = parse_comparison();
+      if (accept(TokenKind::kAnd)) {
+        ExprPtr filter = parse_not();
+        while (accept(TokenKind::kAnd)) {
+          const auto and_loc = peek().loc;
+          filter = make_binary(ast::BinOp::kAnd, std::move(filter), parse_not(),
+                               and_loc);
+        }
+        e->filter = std::move(filter);
+      }
+    }
+    expect(TokenKind::kRParen, "to close aggregate");
+    return e;
+  }
+
+  ExprPtr parse_count_body(support::SourceLoc loc) {
+    ExprPtr value = parse_expr();
+    if (accept(TokenKind::kWhere)) {
+      ExprPtr e = ast::make_expr(Expr::Kind::kAggregate, loc);
+      e->agg_kind = ast::AggKind::kCount;
+      e->agg_value = std::move(value);
+      e->name = expect(TokenKind::kIdent, "as aggregate binder").text;
+      expect(TokenKind::kIn, "in aggregate WHERE clause");
+      e->base = parse_comparison();
+      if (accept(TokenKind::kAnd)) {
+        ExprPtr filter = parse_not();
+        while (accept(TokenKind::kAnd)) {
+          const auto and_loc = peek().loc;
+          filter = make_binary(ast::BinOp::kAnd, std::move(filter), parse_not(),
+                               and_loc);
+        }
+        e->filter = std::move(filter);
+      }
+      expect(TokenKind::kRParen, "to close COUNT");
+      return e;
+    }
+    ExprPtr e = ast::make_expr(Expr::Kind::kSize, loc);
+    e->base = std::move(value);
+    expect(TokenKind::kRParen, "to close COUNT");
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  support::DiagnosticEngine& diags_;
+};
+
+}  // namespace
+
+ParseResult parse_spec(std::string_view source) {
+  ParseResult result;
+  try {
+    Parser parser(source, result.diags);
+    result.spec = parser.parse_spec_file();
+  } catch (const ParseError& error) {
+    // Lexer errors arrive here (no recovery possible without tokens).
+    result.diags.error(error.loc(), error.what());
+  }
+  return result;
+}
+
+ast::SpecFile parse_spec_or_throw(std::string_view source) {
+  ParseResult result = parse_spec(source);
+  if (!result.ok()) {
+    const auto loc = result.diags.diagnostics().front().loc;
+    throw ParseError(support::cat("specification has syntax errors:\n",
+                                  result.diags.render(source)),
+                     loc);
+  }
+  return std::move(result.spec);
+}
+
+}  // namespace kojak::asl

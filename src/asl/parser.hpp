@@ -1,0 +1,30 @@
+#ifndef KOJAK_ASL_PARSER_HPP
+#define KOJAK_ASL_PARSER_HPP
+
+#include <string_view>
+
+#include "asl/ast.hpp"
+#include "support/diagnostics.hpp"
+
+namespace kojak::asl {
+
+struct ParseResult {
+  ast::SpecFile spec;
+  support::DiagnosticEngine diags;
+
+  [[nodiscard]] bool ok() const noexcept { return !diags.has_errors(); }
+};
+
+/// Parses an ASL specification (data-model and/or property sections).
+/// Recovers at declaration boundaries, so one malformed property does not
+/// hide errors in the rest of the document — the paper's workflow edits
+/// specs by hand, which makes multi-error reporting matter.
+[[nodiscard]] ParseResult parse_spec(std::string_view source);
+
+/// Convenience wrapper: throws support::ParseError with all rendered
+/// diagnostics when the source has any syntax error.
+[[nodiscard]] ast::SpecFile parse_spec_or_throw(std::string_view source);
+
+}  // namespace kojak::asl
+
+#endif  // KOJAK_ASL_PARSER_HPP

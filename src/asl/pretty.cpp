@@ -1,0 +1,216 @@
+#include "asl/pretty.hpp"
+
+#include <sstream>
+
+#include "support/str.hpp"
+
+namespace kojak::asl {
+
+using ast::Expr;
+
+namespace {
+
+void print_expr(const Expr& e, std::ostringstream& out);
+
+void print_binary(const Expr& e, std::ostringstream& out) {
+  out << '(';
+  print_expr(*e.lhs, out);
+  out << ' ' << ast::to_string(e.bin_op) << ' ';
+  print_expr(*e.rhs, out);
+  out << ')';
+}
+
+void print_expr(const Expr& e, std::ostringstream& out) {
+  using Kind = Expr::Kind;
+  switch (e.kind) {
+    case Kind::kIntLit:
+      out << e.int_value;
+      return;
+    case Kind::kFloatLit: {
+      std::string text = support::format_double(e.float_value);
+      if (text.find_first_of(".eE") == std::string::npos) text += ".0";
+      out << text;
+      return;
+    }
+    case Kind::kBoolLit:
+      out << (e.bool_value ? "true" : "false");
+      return;
+    case Kind::kStringLit: {
+      out << '"';
+      for (const char c : e.string_value) {
+        switch (c) {
+          case '"': out << "\\\""; break;
+          case '\\': out << "\\\\"; break;
+          case '\n': out << "\\n"; break;
+          case '\t': out << "\\t"; break;
+          default: out << c; break;
+        }
+      }
+      out << '"';
+      return;
+    }
+    case Kind::kNullLit:
+      out << "null";
+      return;
+    case Kind::kIdent:
+      out << e.name;
+      return;
+    case Kind::kMember:
+      print_expr(*e.base, out);
+      out << '.' << e.name;
+      return;
+    case Kind::kCall: {
+      out << e.name << '(';
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out << ", ";
+        print_expr(*e.args[i], out);
+      }
+      out << ')';
+      return;
+    }
+    case Kind::kUnary:
+      if (e.un_op == ast::UnOp::kNot) {
+        out << "NOT ";
+      } else {
+        out << '-';
+      }
+      out << '(';
+      print_expr(*e.lhs, out);
+      out << ')';
+      return;
+    case Kind::kBinary:
+      print_binary(e, out);
+      return;
+    case Kind::kComprehension:
+      out << '{' << e.name << " IN ";
+      print_expr(*e.base, out);
+      if (e.filter) {
+        out << " WITH ";
+        print_expr(*e.filter, out);
+      }
+      out << '}';
+      return;
+    case Kind::kAggregate:
+      out << ast::to_string(e.agg_kind) << '(';
+      print_expr(*e.agg_value, out);
+      if (e.base) {
+        out << " WHERE " << e.name << " IN ";
+        print_expr(*e.base, out);
+        if (e.filter) {
+          out << " AND ";
+          print_expr(*e.filter, out);
+        }
+      }
+      out << ')';
+      return;
+    case Kind::kUnique:
+      out << "UNIQUE(";
+      print_expr(*e.base, out);
+      out << ')';
+      return;
+    case Kind::kExists:
+      out << "EXISTS(";
+      print_expr(*e.base, out);
+      out << ')';
+      return;
+    case Kind::kSize:
+      out << "SIZE(";
+      print_expr(*e.base, out);
+      out << ')';
+      return;
+  }
+}
+
+void print_params(const std::vector<ast::ParamDecl>& params,
+                  std::ostringstream& out) {
+  out << '(';
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << params[i].type.to_string() << ' ' << params[i].name;
+  }
+  out << ')';
+}
+
+void print_guarded_list(const std::vector<ast::GuardedExpr>& arms, bool is_max,
+                        std::ostringstream& out) {
+  if (is_max) {
+    out << "MAX(";
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+      if (i > 0) out << ", ";
+      if (!arms[i].guard.empty()) out << '(' << arms[i].guard << ") -> ";
+      print_expr(*arms[i].expr, out);
+    }
+    out << ')';
+    return;
+  }
+  const ast::GuardedExpr& arm = arms.front();
+  if (!arm.guard.empty()) out << '(' << arm.guard << ") -> ";
+  print_expr(*arm.expr, out);
+}
+
+}  // namespace
+
+std::string to_source(const Expr& expr) {
+  std::ostringstream out;
+  print_expr(expr, out);
+  return out.str();
+}
+
+std::string to_source(const ast::SpecFile& spec) {
+  std::ostringstream out;
+  for (const auto& en : spec.enums) {
+    out << "enum " << en.name << " {\n  "
+        << support::join(en.members, ",\n  ") << "\n};\n\n";
+  }
+  for (const auto& cls : spec.classes) {
+    out << "class " << cls.name;
+    if (!cls.base.empty()) out << " extends " << cls.base;
+    out << " {\n";
+    for (const auto& attr : cls.attrs) {
+      out << "  " << attr.type.to_string() << ' ' << attr.name << ";\n";
+    }
+    out << "}\n\n";
+  }
+  for (const auto& cst : spec.constants) {
+    out << "const " << cst.type.to_string() << ' ' << cst.name << " = ";
+    print_expr(*cst.value, out);
+    out << ";\n\n";
+  }
+  for (const auto& fn : spec.functions) {
+    out << fn.return_type.to_string() << ' ' << fn.name;
+    print_params(fn.params, out);
+    out << " =\n  ";
+    print_expr(*fn.body, out);
+    out << ";\n\n";
+  }
+  for (const auto& prop : spec.properties) {
+    out << "Property " << prop.name;
+    print_params(prop.params, out);
+    out << " {\n";
+    if (!prop.lets.empty()) {
+      out << "  LET\n";
+      for (const auto& let : prop.lets) {
+        out << "    " << let.type.to_string() << ' ' << let.name << " = ";
+        print_expr(*let.init, out);
+        out << ";\n";
+      }
+      out << "  IN\n";
+    }
+    out << "  CONDITION: ";
+    for (std::size_t i = 0; i < prop.conditions.size(); ++i) {
+      if (i > 0) out << " OR ";
+      if (!prop.conditions[i].id.empty()) {
+        out << '(' << prop.conditions[i].id << ") ";
+      }
+      print_expr(*prop.conditions[i].pred, out);
+    }
+    out << ";\n  CONFIDENCE: ";
+    print_guarded_list(prop.confidence, prop.confidence_is_max, out);
+    out << ";\n  SEVERITY: ";
+    print_guarded_list(prop.severity, prop.severity_is_max, out);
+    out << ";\n};\n\n";
+  }
+  return out.str();
+}
+
+}  // namespace kojak::asl

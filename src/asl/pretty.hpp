@@ -1,0 +1,20 @@
+#ifndef KOJAK_ASL_PRETTY_HPP
+#define KOJAK_ASL_PRETTY_HPP
+
+#include <string>
+
+#include "asl/ast.hpp"
+
+namespace kojak::asl {
+
+/// Renders an expression back to ASL surface syntax (fully parenthesized
+/// where precedence requires it).
+[[nodiscard]] std::string to_source(const ast::Expr& expr);
+
+/// Renders a whole specification. parse(to_source(parse(x))) is structurally
+/// identical to parse(x); the round-trip tests rely on this.
+[[nodiscard]] std::string to_source(const ast::SpecFile& spec);
+
+}  // namespace kojak::asl
+
+#endif  // KOJAK_ASL_PRETTY_HPP

@@ -1,0 +1,26 @@
+#ifndef KOJAK_ASL_SEMA_HPP
+#define KOJAK_ASL_SEMA_HPP
+
+#include <string_view>
+#include <vector>
+
+#include "asl/model.hpp"
+#include "asl/parser.hpp"
+
+namespace kojak::asl {
+
+/// Runs semantic analysis over a parsed specification and produces the
+/// resolved Model. Throws support::SemaError (with all diagnostics rendered)
+/// when the spec is invalid.
+[[nodiscard]] Model analyze(ast::SpecFile spec);
+
+/// Concatenates several parsed documents (e.g. the data-model file and the
+/// property file) into one spec before analysis.
+[[nodiscard]] ast::SpecFile merge_specs(std::vector<ast::SpecFile> specs);
+
+/// Parse + merge + analyze in one step.
+[[nodiscard]] Model load_model(std::initializer_list<std::string_view> sources);
+
+}  // namespace kojak::asl
+
+#endif  // KOJAK_ASL_SEMA_HPP

@@ -1,0 +1,49 @@
+#ifndef KOJAK_ASL_TOKEN_HPP
+#define KOJAK_ASL_TOKEN_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source_location.hpp"
+
+namespace kojak::asl {
+
+/// Token kinds of the APART Specification Language. Structural keywords get
+/// dedicated kinds; builtin function names (UNIQUE, MIN, MAX, SUM, ...) stay
+/// ordinary identifiers so they never collide with attribute names.
+enum class TokenKind : std::uint8_t {
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  kStringLit,
+  // keywords (case-insensitive, as in the paper: "Property" vs "PROPERTY")
+  kClass, kEnum, kExtends, kProperty, kConst,
+  kCondition, kConfidence, kSeverity,
+  kLet, kIn, kWith, kWhere, kSetof,
+  kAnd, kOr, kNot, kTrue, kFalse, kNull,
+  // punctuation / operators
+  kLBrace, kRBrace, kLParen, kRParen,
+  kSemicolon, kColon, kComma, kDot,
+  kAssign,   // =
+  kArrow,    // ->
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kPlus, kMinus, kStar, kSlash,
+  kEnd,
+};
+
+[[nodiscard]] std::string_view to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  support::SourceLoc loc;
+
+  [[nodiscard]] bool is(TokenKind k) const noexcept { return kind == k; }
+};
+
+}  // namespace kojak::asl
+
+#endif  // KOJAK_ASL_TOKEN_HPP

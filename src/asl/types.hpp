@@ -1,0 +1,54 @@
+#ifndef KOJAK_ASL_TYPES_HPP
+#define KOJAK_ASL_TYPES_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace kojak::asl {
+
+enum class TypeKind : std::uint8_t {
+  kError,     // poisoned by a prior diagnostic; suppresses error cascades
+  kInt,
+  kFloat,
+  kBool,
+  kString,
+  kDateTime,
+  kClass,
+  kEnum,
+  kSet,       // setof <class>; `id` is the element class
+  kNullRef,   // type of the `null` literal, compatible with any class
+};
+
+/// Semantic type of an ASL expression or attribute. Sets always contain
+/// objects (`setof <class>`), which matches the paper's data models.
+struct Type {
+  TypeKind kind = TypeKind::kError;
+  std::uint32_t id = 0;  // class id (kClass/kSet element) or enum id (kEnum)
+
+  [[nodiscard]] static Type error() { return {TypeKind::kError, 0}; }
+  [[nodiscard]] static Type of(TypeKind kind) { return {kind, 0}; }
+  [[nodiscard]] static Type class_of(std::uint32_t id) {
+    return {TypeKind::kClass, id};
+  }
+  [[nodiscard]] static Type enum_of(std::uint32_t id) {
+    return {TypeKind::kEnum, id};
+  }
+  [[nodiscard]] static Type set_of(std::uint32_t class_id) {
+    return {TypeKind::kSet, class_id};
+  }
+
+  [[nodiscard]] bool is_error() const noexcept { return kind == TypeKind::kError; }
+  [[nodiscard]] bool is_numeric() const noexcept {
+    return kind == TypeKind::kInt || kind == TypeKind::kFloat;
+  }
+  [[nodiscard]] bool is_ordered() const noexcept {
+    return is_numeric() || kind == TypeKind::kString ||
+           kind == TypeKind::kDateTime;
+  }
+
+  friend bool operator==(const Type&, const Type&) = default;
+};
+
+}  // namespace kojak::asl
+
+#endif  // KOJAK_ASL_TYPES_HPP

@@ -1,0 +1,252 @@
+#include "cosy/analyzer.hpp"
+
+#include <algorithm>
+
+#include "cosy/db_import.hpp"
+#include "cosy/sql_eval.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace kojak::cosy {
+
+using asl::PropertyResult;
+using asl::RtValue;
+using support::EvalError;
+
+std::string_view to_string(EvalStrategy strategy) {
+  switch (strategy) {
+    case EvalStrategy::kInterpreter: return "interpreter";
+    case EvalStrategy::kSqlPushdown: return "sql-pushdown";
+    case EvalStrategy::kClientFetch: return "client-fetch";
+    case EvalStrategy::kBulkFetch: return "bulk-fetch";
+  }
+  return "?";
+}
+
+std::vector<const Finding*> AnalysisReport::problems() const {
+  std::vector<const Finding*> out;
+  for (const Finding& finding : findings) {
+    if (finding.result.severity > problem_threshold) out.push_back(&finding);
+  }
+  return out;
+}
+
+std::string AnalysisReport::to_table(std::size_t top_n) const {
+  support::TablePrinter table;
+  table.add_column("#", support::TablePrinter::Align::kRight)
+      .add_column("property")
+      .add_column("context")
+      .add_column("cond")
+      .add_column("conf", support::TablePrinter::Align::kRight)
+      .add_column("severity", support::TablePrinter::Align::kRight)
+      .add_column("problem");
+  for (std::size_t i = 0; i < findings.size() && i < top_n; ++i) {
+    const Finding& f = findings[i];
+    table.add_row({std::to_string(i + 1), f.property, f.context,
+                   f.result.matched_condition,
+                   support::format_double(f.result.confidence, 3),
+                   support::format_double(f.result.severity, 4),
+                   f.result.severity > problem_threshold ? "YES" : "no"});
+  }
+  std::string out = support::cat("Analysis of ", program, " on ", nope,
+                                 " PEs (threshold ",
+                                 support::format_double(problem_threshold, 3),
+                                 ")\n");
+  out += table.render();
+  if (const Finding* top = bottleneck()) {
+    out += support::cat("bottleneck: ", top->property, " @ ", top->context,
+                        tuned() ? "  [not a problem -> no further tuning needed]\n"
+                                : "  [performance problem]\n");
+  } else {
+    out += "bottleneck: none (no property holds)\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// One property context: the argument tuple plus its display label.
+struct Context {
+  const asl::PropertyInfo* property = nullptr;
+  std::vector<RtValue> args;
+  std::string label;
+};
+
+/// Binds a property's parameter list against the analyzer's world: the
+/// first Region/FunctionCall parameter iterates, TestRun parameters bind the
+/// selected run, the parameter named "Basis" (or any later Region parameter)
+/// binds the basis region.
+std::vector<Context> enumerate_contexts(const asl::Model& model,
+                                        const StoreHandles& handles,
+                                        const asl::PropertyInfo& prop,
+                                        asl::ObjectId run,
+                                        asl::ObjectId basis) {
+  std::vector<Context> contexts;
+  if (prop.params.empty()) return contexts;
+
+  const auto region_class = model.find_class("Region");
+  const auto call_class = model.find_class("FunctionCall");
+  const auto run_class = model.find_class("TestRun");
+
+  const asl::Type& first = prop.params[0].second;
+  struct Iter {
+    asl::ObjectId object;
+    const std::string* label;
+  };
+  std::vector<Iter> iters;
+  if (region_class && first == asl::Type::class_of(*region_class)) {
+    for (const auto& [name, id] : handles.regions) {
+      iters.push_back({id, &name});
+    }
+  } else if (call_class && first == asl::Type::class_of(*call_class)) {
+    for (std::size_t i = 0; i < handles.call_sites.size(); ++i) {
+      iters.push_back({handles.call_sites[i], &handles.call_site_labels[i]});
+    }
+  } else {
+    throw EvalError(support::cat(
+        "property ", prop.name,
+        " must take a Region or FunctionCall as its first parameter"));
+  }
+
+  for (const Iter& iter : iters) {
+    Context ctx;
+    ctx.property = &prop;
+    ctx.label = *iter.label;
+    ctx.args.push_back(RtValue::of_object(iter.object));
+    bool ok = true;
+    for (std::size_t p = 1; p < prop.params.size(); ++p) {
+      const asl::Type& type = prop.params[p].second;
+      if (run_class && type == asl::Type::class_of(*run_class)) {
+        ctx.args.push_back(RtValue::of_object(run));
+      } else if (region_class && type == asl::Type::class_of(*region_class)) {
+        ctx.args.push_back(RtValue::of_object(basis));
+      } else {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      throw EvalError(support::cat("property ", prop.name,
+                                   " has a parameter the analyzer cannot bind"));
+    }
+    contexts.push_back(std::move(ctx));
+  }
+  return contexts;
+}
+
+}  // namespace
+
+Analyzer::Analyzer(const asl::Model& model, const asl::ObjectStore& store,
+                   const StoreHandles& handles, db::Connection* conn)
+    : model_(&model), store_(&store), handles_(&handles), conn_(conn) {}
+
+std::size_t Analyzer::context_count() const {
+  std::size_t total = 0;
+  for (const asl::PropertyInfo& prop : model_->properties()) {
+    const auto region_class = model_->find_class("Region");
+    if (region_class &&
+        prop.params.front().second == asl::Type::class_of(*region_class)) {
+      total += handles_->regions.size();
+    } else {
+      total += handles_->call_sites.size();
+    }
+  }
+  return total;
+}
+
+AnalysisReport Analyzer::analyze(std::size_t run_index,
+                                 const AnalyzerConfig& config) {
+  if (run_index >= handles_->runs.size()) {
+    throw EvalError(support::cat("run index ", run_index, " out of range (",
+                                 handles_->runs.size(), " runs)"));
+  }
+  const asl::ObjectId run = handles_->runs[run_index];
+
+  const std::string basis_name =
+      config.basis_region.empty() ? handles_->main_region : config.basis_region;
+  const auto basis_it = handles_->regions.find(basis_name);
+  if (basis_it == handles_->regions.end()) {
+    throw EvalError(support::cat("unknown basis region '", basis_name, "'"));
+  }
+  const asl::ObjectId basis = basis_it->second;
+
+  AnalysisReport report;
+  report.problem_threshold = config.problem_threshold;
+  if (handles_->program != asl::kNullObject) {
+    report.program = store_->attr(handles_->program, "Name").as_string();
+  }
+  report.nope = static_cast<int>(store_->attr(run, "NoPe").as_int());
+
+  std::vector<Context> contexts;
+  for (const asl::PropertyInfo& prop : model_->properties()) {
+    auto per_property =
+        enumerate_contexts(*model_, *handles_, prop, run, basis);
+    for (auto& ctx : per_property) contexts.push_back(std::move(ctx));
+  }
+
+  std::vector<PropertyResult> results(contexts.size());
+
+  if (config.strategy != EvalStrategy::kInterpreter && conn_ == nullptr) {
+    throw EvalError("SQL strategies need a database connection");
+  }
+
+  switch (config.strategy) {
+    case EvalStrategy::kInterpreter: {
+      const asl::Interpreter interp(*model_, *store_);
+      const auto body = [&](std::size_t i) {
+        results[i] =
+            interp.evaluate_property(*contexts[i].property, contexts[i].args);
+      };
+      if (config.parallel) {
+        support::global_pool().parallel_for(contexts.size(), body);
+      } else {
+        for (std::size_t i = 0; i < contexts.size(); ++i) body(i);
+      }
+      break;
+    }
+    case EvalStrategy::kSqlPushdown:
+    case EvalStrategy::kClientFetch: {
+      SqlEvaluator sql(*model_, *conn_,
+                       config.strategy == EvalStrategy::kSqlPushdown
+                           ? SqlEvalMode::kPushdown
+                           : SqlEvalMode::kClientSide);
+      for (std::size_t i = 0; i < contexts.size(); ++i) {
+        results[i] =
+            sql.evaluate_property(*contexts[i].property, contexts[i].args);
+      }
+      report.sql_queries = sql.queries_issued();
+      break;
+    }
+    case EvalStrategy::kBulkFetch: {
+      // One bulk transfer of every table, then in-memory interpretation.
+      const std::uint64_t before = conn_->statements_executed();
+      const asl::ObjectStore fetched = rebuild_store(*conn_, *model_);
+      report.sql_queries = conn_->statements_executed() - before;
+      const asl::Interpreter interp(*model_, fetched);
+      for (std::size_t i = 0; i < contexts.size(); ++i) {
+        results[i] =
+            interp.evaluate_property(*contexts[i].property, contexts[i].args);
+      }
+      break;
+    }
+  }
+
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    Finding finding{contexts[i].property->name, contexts[i].label,
+                    std::move(results[i])};
+    if (finding.result.status == PropertyResult::Status::kHolds) {
+      report.findings.push_back(std::move(finding));
+    } else if (finding.result.status == PropertyResult::Status::kNotApplicable) {
+      report.not_applicable.push_back(std::move(finding));
+    }
+  }
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.result.severity > b.result.severity;
+                   });
+  return report;
+}
+
+}  // namespace kojak::cosy

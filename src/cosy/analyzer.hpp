@@ -1,0 +1,103 @@
+#ifndef KOJAK_COSY_ANALYZER_HPP
+#define KOJAK_COSY_ANALYZER_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asl/interp.hpp"
+#include "cosy/store_builder.hpp"
+#include "db/connection.hpp"
+
+namespace kojak::cosy {
+
+/// How property conditions/severities are evaluated (paper §5 discusses the
+/// work distribution between client and database):
+///  * kInterpreter  — in-memory object store, no database involved;
+///  * kSqlPushdown  — set operations compile to SQL, scalars client-side;
+///  * kClientFetch  — record-at-a-time component access with all filtering
+///                    and aggregation in the tool (the slow path §5 warns
+///                    about: "first accessing the data components and
+///                    evaluating the expressions in the analysis tool");
+///  * kBulkFetch    — one bulk transfer of every table, then in-memory
+///                    interpretation (a batch optimization of kClientFetch,
+///                    kept as an ablation point).
+enum class EvalStrategy { kInterpreter, kSqlPushdown, kClientFetch, kBulkFetch };
+
+[[nodiscard]] std::string_view to_string(EvalStrategy strategy);
+
+struct AnalyzerConfig {
+  EvalStrategy strategy = EvalStrategy::kInterpreter;
+  /// A property is a performance *problem* iff severity > threshold (§4).
+  double problem_threshold = 0.05;
+  /// Region whose duration normalizes severities; empty -> the main region.
+  std::string basis_region;
+  /// Evaluate contexts on the global thread pool (interpreter strategy only;
+  /// results are reduced in deterministic order).
+  bool parallel = false;
+};
+
+/// One evaluated (property, context) pair.
+struct Finding {
+  std::string property;
+  std::string context;  ///< region name or call-site label
+  asl::PropertyResult result;
+
+  [[nodiscard]] bool holds() const noexcept { return result.holds(); }
+};
+
+/// Ranked outcome of analyzing one test run (paper §3: "performance
+/// properties are ranked according to their severity and presented to the
+/// application programmer").
+struct AnalysisReport {
+  std::string program;
+  int nope = 0;
+  double problem_threshold = 0.05;
+  /// Properties that hold, sorted by decreasing severity (stable on ties).
+  std::vector<Finding> findings;
+  /// Contexts where evaluation was not applicable (data gaps), for audit.
+  std::vector<Finding> not_applicable;
+  std::uint64_t sql_queries = 0;  ///< statements issued (SQL strategies)
+
+  /// The unique bottleneck: the most severe property (§4), if any holds.
+  [[nodiscard]] const Finding* bottleneck() const {
+    return findings.empty() ? nullptr : &findings.front();
+  }
+  /// Findings whose severity exceeds the problem threshold.
+  [[nodiscard]] std::vector<const Finding*> problems() const;
+  /// True when the program needs no further tuning (§4: bottleneck is not a
+  /// problem).
+  [[nodiscard]] bool tuned() const {
+    return bottleneck() == nullptr ||
+           bottleneck()->result.severity <= problem_threshold;
+  }
+
+  [[nodiscard]] std::string to_table(std::size_t top_n = 20) const;
+};
+
+/// The COSY analysis engine: enumerates property contexts over one program
+/// version and evaluates every property of the model.
+class Analyzer {
+ public:
+  /// `store`/`handles` come from build_store; `conn` is required for the SQL
+  /// strategies and must hold the same data (see import_store).
+  Analyzer(const asl::Model& model, const asl::ObjectStore& store,
+           const StoreHandles& handles, db::Connection* conn = nullptr);
+
+  /// Analyzes the test run at `run_index` (into handles.runs).
+  [[nodiscard]] AnalysisReport analyze(std::size_t run_index,
+                                       const AnalyzerConfig& config = {});
+
+  /// Contexts enumerated per property for one run (bench bookkeeping).
+  [[nodiscard]] std::size_t context_count() const;
+
+ private:
+  const asl::Model* model_;
+  const asl::ObjectStore* store_;
+  const StoreHandles* handles_;
+  db::Connection* conn_;
+};
+
+}  // namespace kojak::cosy
+
+#endif  // KOJAK_COSY_ANALYZER_HPP

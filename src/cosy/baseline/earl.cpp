@@ -1,0 +1,73 @@
+#include "cosy/baseline/earl.hpp"
+
+#include <map>
+
+namespace kojak::cosy::baseline {
+
+using perf::Event;
+using perf::EventKind;
+
+std::vector<EarlPatternResult> EarlAnalyzer::analyze(
+    const std::vector<Event>& trace) const {
+  EarlPatternResult barrier{"barrier_imbalance", 0, 0.0};
+  EarlPatternResult late_recv{"late_receiver", 0, 0.0};
+  EarlPatternResult io{"io_blocking", 0, 0.0};
+
+  // Pending state per (pe, region): barrier entry time, send time, io begin.
+  std::map<std::pair<std::uint32_t, std::string>, double> barrier_enter;
+  std::map<std::pair<std::uint32_t, std::string>, double> send_at;
+  std::map<std::pair<std::uint32_t, std::string>, double> io_begin;
+
+  for (const Event& event : trace) {
+    const std::pair<std::uint32_t, std::string> key{event.pe, event.region};
+    switch (event.kind) {
+      case EventKind::kBarrierEnter:
+        barrier_enter[key] = event.t_ms;
+        break;
+      case EventKind::kBarrierExit: {
+        const auto it = barrier_enter.find(key);
+        if (it != barrier_enter.end()) {
+          const double wait = event.t_ms - it->second;
+          if (wait > 0.0) {
+            ++barrier.matches;
+            barrier.total_ms += wait;
+          }
+          barrier_enter.erase(it);
+        }
+        break;
+      }
+      case EventKind::kSend:
+        send_at[key] = event.t_ms;
+        break;
+      case EventKind::kRecv: {
+        const auto it = send_at.find(key);
+        if (it != send_at.end()) {
+          const double gap = event.t_ms - it->second;
+          if (gap > 0.0) {
+            ++late_recv.matches;
+            late_recv.total_ms += gap;
+          }
+          send_at.erase(it);
+        }
+        break;
+      }
+      case EventKind::kIoBegin:
+        io_begin[key] = event.t_ms;
+        break;
+      case EventKind::kIoEnd: {
+        const auto it = io_begin.find(key);
+        if (it != io_begin.end()) {
+          ++io.matches;
+          io.total_ms += event.t_ms - it->second;
+          io_begin.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return {barrier, late_recv, io};
+}
+
+}  // namespace kojak::cosy::baseline

@@ -1,0 +1,34 @@
+#ifndef KOJAK_COSY_BASELINE_EARL_HPP
+#define KOJAK_COSY_BASELINE_EARL_HPP
+
+#include <string>
+#include <vector>
+
+#include "perf/simulator.hpp"
+
+namespace kojak::cosy::baseline {
+
+/// EARL/EDL-style bottleneck detection (paper §2 related work): performance
+/// problems are *event patterns* matched procedurally over the full trace.
+/// The baselines bench uses this to demonstrate the cost model difference —
+/// trace matching scales with event count, ASL property evaluation with the
+/// size of the summary data.
+struct EarlPatternResult {
+  std::string pattern;
+  std::size_t matches = 0;
+  double total_ms = 0.0;  ///< accumulated waiting/blocking time
+};
+
+class EarlAnalyzer {
+ public:
+  /// Single pass over a time-ordered trace; recognizes:
+  ///  * barrier_imbalance — per barrier episode, wait = exit - enter per PE;
+  ///  * late_receiver     — RECV completing one latency after its SEND;
+  ///  * io_blocking       — IO_BEGIN..IO_END intervals.
+  [[nodiscard]] std::vector<EarlPatternResult> analyze(
+      const std::vector<perf::Event>& trace) const;
+};
+
+}  // namespace kojak::cosy::baseline
+
+#endif  // KOJAK_COSY_BASELINE_EARL_HPP

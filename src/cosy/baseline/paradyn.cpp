@@ -1,0 +1,165 @@
+#include "cosy/baseline/paradyn.hpp"
+
+#include <array>
+#include <functional>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace kojak::cosy::baseline {
+
+using perf::RegionTiming;
+using perf::TimingType;
+
+namespace {
+
+/// Inclusive metrics of one focus: typed overheads and exclusive compute
+/// rolled up over the region subtree (children plus called functions —
+/// Paradyn's resource hierarchy aggregates the whole focus).
+struct Rollup {
+  std::array<double, perf::kTimingTypeCount> typed{};
+  double excl_ms = 0.0;
+  double incl_ms = 0.0;
+
+  [[nodiscard]] double typed_total(bool (*predicate)(TimingType)) const {
+    double total = 0.0;
+    for (std::size_t t = 0; t < typed.size(); ++t) {
+      if (predicate(static_cast<TimingType>(t))) total += typed[t];
+    }
+    return total;
+  }
+
+  [[nodiscard]] double small_io() const {
+    return typed[static_cast<std::size_t>(TimingType::kIOOpen)] +
+           typed[static_cast<std::size_t>(TimingType::kIOClose)] +
+           typed[static_cast<std::size_t>(TimingType::kIOSeek)];
+  }
+};
+
+class RollupBuilder {
+ public:
+  RollupBuilder(const perf::ExperimentData& data, const perf::RunResult& run)
+      : run_(run) {
+    for (const perf::StaticFunction& fn : data.structure.functions) {
+      for (const perf::StaticRegion& region : fn.regions) {
+        if (!region.parent.empty()) {
+          children_[region.parent].push_back(region.name);
+        } else if (root_.empty() && fn.name != perf::kBarrierFunction) {
+          root_ = region.name;
+        }
+        function_root_[fn.name] = fn.regions.front().name;
+      }
+    }
+    // Call edges: a Call region's subtree includes the callee's body. The
+    // synthetic barrier function is excluded — its wait time is already the
+    // caller's Barrier overhead.
+    for (const perf::CallSite& site : data.structure.call_sites) {
+      if (site.callee == perf::kBarrierFunction) continue;
+      const auto body = function_root_.find(site.callee);
+      if (body != function_root_.end()) {
+        children_[site.calling_region].push_back(body->second);
+      }
+    }
+  }
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+  [[nodiscard]] const std::vector<std::string>& children_of(
+      const std::string& focus) const {
+    static const std::vector<std::string> kNone;
+    const auto it = children_.find(focus);
+    return it == children_.end() ? kNone : it->second;
+  }
+
+  const Rollup& rollup(const std::string& focus) {
+    const auto cached = cache_.find(focus);
+    if (cached != cache_.end()) return cached->second;
+    Rollup result;
+    if (const RegionTiming* timing = run_.find_region(focus)) {
+      result.excl_ms = timing->excl_ms;
+      result.incl_ms = timing->incl_ms;
+      for (const auto& [type, ms] : timing->typed_ms) {
+        result.typed[static_cast<std::size_t>(type)] += ms;
+      }
+    }
+    for (const std::string& child : children_of(focus)) {
+      const Rollup& sub = rollup(child);
+      result.excl_ms += sub.excl_ms;
+      for (std::size_t t = 0; t < sub.typed.size(); ++t) {
+        result.typed[t] += sub.typed[t];
+      }
+    }
+    return cache_.emplace(focus, result).first->second;
+  }
+
+ private:
+  const perf::RunResult& run_;
+  std::map<std::string, std::vector<std::string>> children_;
+  std::map<std::string, std::string> function_root_;
+  std::string root_;
+  std::map<std::string, Rollup> cache_;
+};
+
+}  // namespace
+
+std::vector<std::string> ParadynSearch::hypotheses() {
+  return {"CPUbound", "ExcessiveSyncWaitingTime", "ExcessiveIOBlockingTime",
+          "TooManySmallIOOps"};
+}
+
+std::vector<ParadynFinding> ParadynSearch::search(
+    const perf::ExperimentData& data, std::size_t run_index) const {
+  if (run_index >= data.runs.size()) {
+    throw support::EvalError("run index out of range");
+  }
+  const perf::RunResult& run = data.runs[run_index];
+  RollupBuilder rollups(data, run);
+  if (rollups.root().empty()) return {};
+  const double program_ms = rollups.rollup(rollups.root()).incl_ms;
+  if (program_ms <= 0.0) return {};
+
+  struct Hypothesis {
+    std::string name;
+    double threshold;
+    std::function<double(const Rollup&)> fraction;
+  };
+  const std::vector<Hypothesis> tests = {
+      {"CPUbound", config_.cpu_bound_fraction,
+       [](const Rollup& r) { return r.incl_ms > 0 ? r.excl_ms / r.incl_ms : 0.0; }},
+      {"ExcessiveSyncWaitingTime", config_.sync_fraction,
+       [](const Rollup& r) {
+         return r.incl_ms > 0
+                    ? r.typed_total(&perf::is_synchronization) / r.incl_ms
+                    : 0.0;
+       }},
+      {"ExcessiveIOBlockingTime", config_.io_fraction,
+       [](const Rollup& r) {
+         return r.incl_ms > 0 ? r.typed_total(&perf::is_io) / r.incl_ms : 0.0;
+       }},
+      {"TooManySmallIOOps", config_.small_io_fraction,
+       [](const Rollup& r) {
+         const double io = r.typed_total(&perf::is_io);
+         return io > 0 ? r.small_io() / io : 0.0;
+       }},
+  };
+
+  std::vector<ParadynFinding> findings;
+  for (const Hypothesis& hyp : tests) {
+    const std::function<void(const std::string&, int)> refine =
+        [&](const std::string& focus, int depth) {
+          const Rollup& rollup = rollups.rollup(focus);
+          if (rollup.incl_ms <= 0.0) return;
+          const double value = hyp.fraction(rollup);
+          if (value <= hyp.threshold) return;
+          findings.push_back({hyp.name, focus, value, hyp.threshold, depth});
+          // Paradyn's cost model gates refinement of insignificant foci.
+          if (rollup.incl_ms < config_.refine_gate * program_ms) return;
+          for (const std::string& child : rollups.children_of(focus)) {
+            refine(child, depth + 1);
+          }
+        };
+    refine(rollups.root(), 0);
+  }
+  return findings;
+}
+
+}  // namespace kojak::cosy::baseline

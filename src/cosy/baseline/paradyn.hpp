@@ -1,0 +1,54 @@
+#ifndef KOJAK_COSY_BASELINE_PARADYN_HPP
+#define KOJAK_COSY_BASELINE_PARADYN_HPP
+
+#include <string>
+#include <vector>
+
+#include "perf/apprentice.hpp"
+
+namespace kojak::cosy::baseline {
+
+/// Paradyn-style automatic search (paper §2 related work): a *fixed* set of
+/// bottleneck hypotheses — CPUbound, ExcessiveSyncWaitingTime,
+/// ExcessiveIOBlockingTime, TooManySmallIOOps — tested at the whole-program
+/// focus and refined down the region tree where confirmed (the "why/where"
+/// axes of the W3 search model). The contrast with ASL is the point of the
+/// baseline: adding a hypothesis here means changing tool code, not editing
+/// a specification document.
+struct ParadynConfig {
+  double cpu_bound_fraction = 0.75;   ///< excl/incl above this => CPUbound
+  double sync_fraction = 0.10;        ///< barrier+lock time / incl
+  double io_fraction = 0.10;          ///< io time / incl
+  double small_io_fraction = 0.02;    ///< open+close+seek / total io
+  /// A hypothesis is refined into children only above this share of the
+  /// whole-program duration (Paradyn's cost model gates instrumentation).
+  double refine_gate = 0.01;
+};
+
+struct ParadynFinding {
+  std::string hypothesis;
+  std::string focus;       ///< region name
+  double value = 0.0;      ///< measured fraction
+  double threshold = 0.0;
+  int depth = 0;           ///< refinement depth (0 = whole program)
+};
+
+class ParadynSearch {
+ public:
+  explicit ParadynSearch(ParadynConfig config = {}) : config_(config) {}
+
+  /// Runs the search over one test run; findings are ordered by the search's
+  /// refinement walk (hypothesis major, depth-first focus minor).
+  [[nodiscard]] std::vector<ParadynFinding> search(
+      const perf::ExperimentData& data, std::size_t run_index) const;
+
+  /// Names of the fixed hypothesis set.
+  [[nodiscard]] static std::vector<std::string> hypotheses();
+
+ private:
+  ParadynConfig config_;
+};
+
+}  // namespace kojak::cosy::baseline
+
+#endif  // KOJAK_COSY_BASELINE_PARADYN_HPP

@@ -1,0 +1,102 @@
+#include "cosy/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+namespace kojak::cosy {
+
+using support::cat;
+using support::format_double;
+
+std::vector<const PropertyDelta*> ComparisonReport::regressions(
+    double threshold) const {
+  std::vector<const PropertyDelta*> out;
+  for (const PropertyDelta& delta : deltas) {
+    if (delta.delta() > threshold) out.push_back(&delta);
+  }
+  return out;
+}
+
+std::string ComparisonReport::to_table(std::size_t top_n) const {
+  support::TablePrinter table;
+  table.add_column("property")
+      .add_column("context")
+      .add_column("before", support::TablePrinter::Align::kRight)
+      .add_column("after", support::TablePrinter::Align::kRight)
+      .add_column("delta", support::TablePrinter::Align::kRight)
+      .add_column("");
+  for (std::size_t i = 0; i < deltas.size() && i < top_n; ++i) {
+    const PropertyDelta& d = deltas[i];
+    const char* marker = d.vanished()  ? "fixed"
+                         : d.appeared() ? "NEW"
+                         : d.delta() < 0 ? "improved"
+                                         : "REGRESSED";
+    table.add_row({d.property, d.context,
+                   d.appeared() ? "-" : format_double(d.severity_before, 4),
+                   d.vanished() ? "-" : format_double(d.severity_after, 4),
+                   format_double(d.delta(), 4), marker});
+  }
+  std::string out = cat("Version comparison of ", program, " on ", nope,
+                        " PEs\n");
+  out += table.render();
+  out += cat("bottleneck: ", bottleneck_before, " (",
+             format_double(bottleneck_severity_before, 4), ") -> ",
+             bottleneck_after, " (",
+             format_double(bottleneck_severity_after, 4), ")",
+             improved() ? "  [improved]\n" : "  [NOT improved]\n");
+  return out;
+}
+
+ComparisonReport compare_runs(const AnalysisReport& before,
+                              const AnalysisReport& after) {
+  if (before.nope != after.nope) {
+    throw support::EvalError(
+        cat("cannot compare runs with different PE counts (", before.nope,
+            " vs ", after.nope, ")"));
+  }
+
+  ComparisonReport report;
+  report.program = before.program;
+  report.nope = before.nope;
+
+  std::map<std::pair<std::string, std::string>, PropertyDelta> merged;
+  for (const Finding& f : before.findings) {
+    PropertyDelta& delta = merged[{f.property, f.context}];
+    delta.property = f.property;
+    delta.context = f.context;
+    delta.severity_before = f.result.severity;
+  }
+  for (const Finding& f : after.findings) {
+    PropertyDelta& delta = merged[{f.property, f.context}];
+    delta.property = f.property;
+    delta.context = f.context;
+    delta.severity_after = f.result.severity;
+  }
+  report.deltas.reserve(merged.size());
+  for (auto& [key, delta] : merged) report.deltas.push_back(std::move(delta));
+  std::stable_sort(report.deltas.begin(), report.deltas.end(),
+                   [](const PropertyDelta& a, const PropertyDelta& b) {
+                     return std::fabs(a.delta()) > std::fabs(b.delta());
+                   });
+
+  const auto bottleneck_label = [](const AnalysisReport& r) -> std::string {
+    const Finding* top = r.bottleneck();
+    return top == nullptr ? "none" : cat(top->property, " @ ", top->context);
+  };
+  report.bottleneck_before = bottleneck_label(before);
+  report.bottleneck_after = bottleneck_label(after);
+  if (before.bottleneck() != nullptr) {
+    report.bottleneck_severity_before = before.bottleneck()->result.severity;
+  }
+  if (after.bottleneck() != nullptr) {
+    report.bottleneck_severity_after = after.bottleneck()->result.severity;
+  }
+  return report;
+}
+
+}  // namespace kojak::cosy

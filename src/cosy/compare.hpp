@@ -1,0 +1,57 @@
+#ifndef KOJAK_COSY_COMPARE_HPP
+#define KOJAK_COSY_COMPARE_HPP
+
+#include <string>
+#include <vector>
+
+#include "cosy/analyzer.hpp"
+
+namespace kojak::cosy {
+
+/// Version-to-version comparison: the tuning loop the paper's multi-version
+/// database exists for (§3: "multiple applications with different versions
+/// and multiple test runs per program version"). Given the analysis of the
+/// same-sized test run before and after a code change, reports which
+/// performance properties improved, regressed, appeared, or vanished.
+struct PropertyDelta {
+  std::string property;
+  std::string context;
+  double severity_before = 0.0;
+  double severity_after = 0.0;
+
+  [[nodiscard]] double delta() const noexcept {
+    return severity_after - severity_before;
+  }
+  [[nodiscard]] bool appeared() const noexcept { return severity_before == 0.0; }
+  [[nodiscard]] bool vanished() const noexcept { return severity_after == 0.0; }
+};
+
+struct ComparisonReport {
+  std::string program;
+  int nope = 0;
+  /// Sorted by |delta| descending: the biggest movements first.
+  std::vector<PropertyDelta> deltas;
+  /// Bottleneck movement.
+  std::string bottleneck_before;
+  std::string bottleneck_after;
+  double bottleneck_severity_before = 0.0;
+  double bottleneck_severity_after = 0.0;
+
+  [[nodiscard]] bool improved() const noexcept {
+    return bottleneck_severity_after < bottleneck_severity_before;
+  }
+  /// Regressions: properties whose severity grew by more than `threshold`.
+  [[nodiscard]] std::vector<const PropertyDelta*> regressions(
+      double threshold = 0.01) const;
+
+  [[nodiscard]] std::string to_table(std::size_t top_n = 15) const;
+};
+
+/// Compares two analysis reports of equally-sized runs (same NoPe); throws
+/// support::EvalError when the runs are not comparable.
+[[nodiscard]] ComparisonReport compare_runs(const AnalysisReport& before,
+                                            const AnalysisReport& after);
+
+}  // namespace kojak::cosy
+
+#endif  // KOJAK_COSY_COMPARE_HPP

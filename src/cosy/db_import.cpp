@@ -1,0 +1,187 @@
+#include "cosy/db_import.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "cosy/schema_gen.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace kojak::cosy {
+
+using asl::ObjectId;
+using asl::RtValue;
+using asl::Type;
+using asl::TypeKind;
+using support::EvalError;
+
+db::Value to_db_value(const RtValue& value, const Type& type) {
+  if (value.is_null()) return db::Value::null();
+  switch (type.kind) {
+    case TypeKind::kInt:
+      return db::Value::integer(value.as_int());
+    case TypeKind::kFloat:
+      return db::Value::real(value.as_float());
+    case TypeKind::kBool:
+      return db::Value::boolean(value.as_bool());
+    case TypeKind::kString:
+      return db::Value::text(value.as_string());
+    case TypeKind::kDateTime:
+      return db::Value::datetime(value.as_int());
+    case TypeKind::kClass:
+      return db::Value::integer(static_cast<std::int64_t>(value.as_object()));
+    case TypeKind::kEnum:
+      return db::Value::integer(value.as_enum().ordinal);
+    default:
+      throw EvalError("value type has no database mapping");
+  }
+}
+
+RtValue to_rt_value(const db::Value& value, const Type& type) {
+  if (value.is_null()) return RtValue::null();
+  switch (type.kind) {
+    case TypeKind::kInt:
+      return RtValue::of_int(value.as_int());
+    case TypeKind::kFloat:
+      return RtValue::of_float(value.as_double());
+    case TypeKind::kBool:
+      return RtValue::of_bool(value.as_bool());
+    case TypeKind::kString:
+      return RtValue::of_string(value.as_string());
+    case TypeKind::kDateTime:
+      return RtValue::of_int(value.as_datetime());
+    case TypeKind::kClass:
+      return RtValue::of_object(static_cast<ObjectId>(value.as_int()));
+    case TypeKind::kEnum:
+      return RtValue::of_enum(type.id, static_cast<std::int32_t>(value.as_int()));
+    default:
+      throw EvalError("column type has no runtime mapping");
+  }
+}
+
+ImportStats import_store(db::Connection& conn, const asl::ObjectStore& store) {
+  const asl::Model& model = store.model();
+  ImportStats stats;
+  const double start_ms = conn.clock().now_ms();
+  const std::uint64_t start_stmts = conn.statements_executed();
+
+  // One prepared INSERT per class table and per junction table.
+  std::map<std::uint32_t, db::PreparedStatement> class_insert;
+  std::map<std::string, db::PreparedStatement> junction_insert;
+  for (std::uint32_t c = 0; c < model.classes().size(); ++c) {
+    const asl::ClassInfo& cls = model.class_info(c);
+    std::string sql = support::cat("INSERT INTO ", cls.name, " VALUES (?");
+    for (const asl::AttrInfo& attr : cls.attrs) {
+      if (attr.type.kind != TypeKind::kSet) sql += ", ?";
+    }
+    sql += ")";
+    class_insert.emplace(c, conn.database().prepare(sql));
+    for (const asl::AttrInfo& attr : cls.attrs) {
+      if (attr.type.kind != TypeKind::kSet) continue;
+      const std::string junction = junction_table(cls.name, attr.name);
+      junction_insert.emplace(
+          junction, conn.database().prepare(support::cat(
+                        "INSERT INTO ", junction, " VALUES (?, ?)")));
+    }
+  }
+
+  for (ObjectId id = 0; id < store.size(); ++id) {
+    const asl::Object& obj = store.object(id);
+    const asl::ClassInfo& cls = model.class_info(obj.class_id);
+
+    std::vector<db::Value> params;
+    params.reserve(cls.attrs.size() + 1);
+    params.push_back(db::Value::integer(id));
+    for (std::size_t a = 0; a < cls.attrs.size(); ++a) {
+      if (cls.attrs[a].type.kind == TypeKind::kSet) continue;
+      params.push_back(to_db_value(obj.attrs[a], cls.attrs[a].type));
+    }
+    conn.execute(class_insert.at(obj.class_id), params);
+    ++stats.rows;
+
+    for (std::size_t a = 0; a < cls.attrs.size(); ++a) {
+      if (cls.attrs[a].type.kind != TypeKind::kSet) continue;
+      if (obj.attrs[a].is_null()) continue;
+      const std::string junction = junction_table(cls.name, cls.attrs[a].name);
+      db::PreparedStatement& insert = junction_insert.at(junction);
+      for (const ObjectId member : obj.attrs[a].as_set()) {
+        const std::vector<db::Value> link = {
+            db::Value::integer(id),
+            db::Value::integer(static_cast<std::int64_t>(member))};
+        conn.execute(insert, link);
+        ++stats.rows;
+      }
+    }
+  }
+
+  stats.statements =
+      static_cast<std::size_t>(conn.statements_executed() - start_stmts);
+  stats.virtual_ms = conn.clock().now_ms() - start_ms;
+  return stats;
+}
+
+asl::ObjectStore rebuild_store(db::Connection& conn, const asl::Model& model) {
+  asl::ObjectStore store(model);
+
+  // Pass 1: discover every object (class, db id) and create placeholders in
+  // id order so references can be remapped deterministically.
+  std::vector<std::pair<std::int64_t, std::uint32_t>> discovered;  // (db id, class)
+  for (std::uint32_t c = 0; c < model.classes().size(); ++c) {
+    const asl::ClassInfo& cls = model.class_info(c);
+    const db::QueryResult ids =
+        conn.execute(support::cat("SELECT id FROM ", cls.name, " ORDER BY id"));
+    for (const db::Row& row : ids.rows) {
+      discovered.emplace_back(row[0].as_int(), c);
+    }
+  }
+  std::sort(discovered.begin(), discovered.end());
+  std::map<std::int64_t, ObjectId> remap;
+  for (const auto& [db_id, class_id] : discovered) {
+    remap[db_id] = store.create(class_id);
+  }
+
+  // Pass 2: scalar/ref attributes.
+  for (std::uint32_t c = 0; c < model.classes().size(); ++c) {
+    const asl::ClassInfo& cls = model.class_info(c);
+    std::string sql = support::cat("SELECT id");
+    std::vector<std::size_t> attr_of_column;
+    for (std::size_t a = 0; a < cls.attrs.size(); ++a) {
+      if (cls.attrs[a].type.kind == TypeKind::kSet) continue;
+      sql += support::cat(", ", cls.attrs[a].name);
+      attr_of_column.push_back(a);
+    }
+    sql += support::cat(" FROM ", cls.name);
+    const db::QueryResult rows = conn.execute(sql);
+    for (const db::Row& row : rows.rows) {
+      const ObjectId target = remap.at(row[0].as_int());
+      for (std::size_t col = 0; col < attr_of_column.size(); ++col) {
+        const std::size_t a = attr_of_column[col];
+        const Type& type = cls.attrs[a].type;
+        RtValue value = to_rt_value(row[col + 1], type);
+        if (type.kind == TypeKind::kClass && !value.is_null()) {
+          value = RtValue::of_object(remap.at(
+              static_cast<std::int64_t>(value.as_object())));
+        }
+        store.set_attr(target, a, std::move(value));
+      }
+    }
+  }
+
+  // Pass 3: junction tables -> set attributes.
+  for (std::uint32_t c = 0; c < model.classes().size(); ++c) {
+    const asl::ClassInfo& cls = model.class_info(c);
+    for (const asl::AttrInfo& attr : cls.attrs) {
+      if (attr.type.kind != TypeKind::kSet) continue;
+      const db::QueryResult rows = conn.execute(
+          support::cat("SELECT owner, member FROM ",
+                       junction_table(cls.name, attr.name)));
+      for (const db::Row& row : rows.rows) {
+        store.add_to_set(remap.at(row[0].as_int()), attr.name,
+                         remap.at(row[1].as_int()));
+      }
+    }
+  }
+  return store;
+}
+
+}  // namespace kojak::cosy

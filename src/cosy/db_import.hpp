@@ -1,0 +1,37 @@
+#ifndef KOJAK_COSY_DB_IMPORT_HPP
+#define KOJAK_COSY_DB_IMPORT_HPP
+
+#include "asl/object_store.hpp"
+#include "db/connection.hpp"
+
+namespace kojak::cosy {
+
+struct ImportStats {
+  std::size_t rows = 0;
+  std::size_t statements = 0;
+  double virtual_ms = 0.0;  ///< modelled backend time consumed by the import
+};
+
+/// Transfers an object store into the relational database behind `conn`
+/// (schema must exist; see create_schema). Row-at-a-time prepared INSERTs,
+/// as the 1999 toolchain did — this is what experiment T1 measures across
+/// backend profiles.
+ImportStats import_store(db::Connection& conn, const asl::ObjectStore& store);
+
+/// Inverse of import_store: materializes every object of the model from the
+/// database into a fresh store. This is the "first accessing the data
+/// components and evaluating the expressions in the analysis tool" path of
+/// §5, and the round-trip check of the schema generator.
+[[nodiscard]] asl::ObjectStore rebuild_store(db::Connection& conn,
+                                             const asl::Model& model);
+
+/// RtValue -> database value conversion guided by the declared type.
+[[nodiscard]] db::Value to_db_value(const asl::RtValue& value,
+                                    const asl::Type& type);
+/// Database value -> RtValue conversion guided by the declared type.
+[[nodiscard]] asl::RtValue to_rt_value(const db::Value& value,
+                                       const asl::Type& type);
+
+}  // namespace kojak::cosy
+
+#endif  // KOJAK_COSY_DB_IMPORT_HPP

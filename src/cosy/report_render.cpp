@@ -1,0 +1,112 @@
+#include "cosy/report_render.hpp"
+
+#include <algorithm>
+
+#include <map>
+#include <sstream>
+
+#include "support/csv.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+namespace kojak::cosy {
+
+using support::cat;
+using support::format_double;
+
+std::string to_markdown(const AnalysisReport& report, std::size_t top_n) {
+  std::ostringstream out;
+  out << "# COSY analysis: " << report.program << " on " << report.nope
+      << " PEs\n\n";
+  out << "* problem threshold: " << format_double(report.problem_threshold, 4)
+      << "\n* properties holding: " << report.findings.size()
+      << "\n* performance problems: " << report.problems().size() << "\n";
+  if (const Finding* top = report.bottleneck()) {
+    out << "* **bottleneck**: `" << top->property << "` @ `" << top->context
+        << "` (severity " << format_double(top->result.severity, 4) << ")"
+        << (report.tuned() ? " — not a problem, no further tuning needed"
+                           : " — performance problem")
+        << "\n";
+  } else {
+    out << "* **bottleneck**: none (no property holds)\n";
+  }
+
+  out << "\n| # | property | context | condition | confidence | severity | "
+         "problem |\n|---:|---|---|---|---:|---:|---|\n";
+  for (std::size_t i = 0; i < report.findings.size() && i < top_n; ++i) {
+    const Finding& f = report.findings[i];
+    out << "| " << i + 1 << " | " << f.property << " | `" << f.context
+        << "` | " << f.result.matched_condition << " | "
+        << format_double(f.result.confidence, 3) << " | "
+        << format_double(f.result.severity, 4) << " | "
+        << (f.result.severity > report.problem_threshold ? "**yes**" : "no")
+        << " |\n";
+  }
+  if (report.findings.size() > top_n) {
+    out << "\n(" << report.findings.size() - top_n << " further findings "
+        << "omitted)\n";
+  }
+
+  if (!report.not_applicable.empty()) {
+    out << "\n## Not applicable (data gaps)\n\n";
+    for (const Finding& f : report.not_applicable) {
+      out << "* " << f.property << " @ `" << f.context << "`: "
+          << f.result.note << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string to_csv(const AnalysisReport& report) {
+  std::ostringstream out;
+  support::CsvWriter csv(out);
+  csv.write_row({"rank", "property", "context", "condition", "confidence",
+                 "severity", "problem"});
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    csv.write_row({std::to_string(i + 1), f.property, f.context,
+                   f.result.matched_condition,
+                   format_double(f.result.confidence),
+                   format_double(f.result.severity),
+                   f.result.severity > report.problem_threshold ? "yes" : "no"});
+  }
+  return out.str();
+}
+
+std::string severity_matrix(const std::vector<AnalysisReport>& reports,
+                            std::size_t top_n) {
+  // Collect severities per (property, context) across runs; rank rows by
+  // their maximum severity so the table reads like the paper's output.
+  std::map<std::string, std::vector<double>> rows;
+  for (std::size_t r = 0; r < reports.size(); ++r) {
+    for (const Finding& f : reports[r].findings) {
+      auto& series = rows[cat(f.property, " @ ", f.context)];
+      series.resize(reports.size(), 0.0);
+      series[r] = f.result.severity;
+    }
+  }
+  std::vector<std::pair<double, std::string>> ranked;
+  for (const auto& [label, series] : rows) {
+    double peak = 0;
+    for (const double s : series) peak = std::max(peak, s);
+    ranked.emplace_back(peak, label);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  support::TablePrinter table;
+  table.add_column("property @ context");
+  for (const AnalysisReport& report : reports) {
+    table.add_column(cat(report.nope, " PE"),
+                     support::TablePrinter::Align::kRight);
+  }
+  for (std::size_t i = 0; i < ranked.size() && i < top_n; ++i) {
+    std::vector<std::string> cells = {ranked[i].second};
+    for (const double s : rows.at(ranked[i].second)) {
+      cells.push_back(s == 0.0 ? "-" : format_double(s, 4));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table.render();
+}
+
+}  // namespace kojak::cosy

@@ -1,0 +1,34 @@
+#ifndef KOJAK_COSY_REPORT_RENDER_HPP
+#define KOJAK_COSY_REPORT_RENDER_HPP
+
+#include <string>
+
+#include "cosy/analyzer.hpp"
+
+namespace kojak::cosy {
+
+/// Renderers for the analysis result the tool presents to the application
+/// programmer (paper §3). The plain-text table lives on AnalysisReport;
+/// these produce the formats a report lands in downstream: Markdown for
+/// humans, CSV for further processing.
+///
+/// Rendering a multi-run comparison follows the paper's workflow: the same
+/// property/context pair tracked across test runs.
+
+/// Markdown document: summary header, ranked findings table, problem list,
+/// and the not-applicable audit section.
+[[nodiscard]] std::string to_markdown(const AnalysisReport& report,
+                                      std::size_t top_n = 25);
+
+/// CSV with one row per finding: property, context, condition, confidence,
+/// severity, problem flag.
+[[nodiscard]] std::string to_csv(const AnalysisReport& report);
+
+/// Side-by-side severity comparison of several runs of the same program
+/// version (rows = property@context, columns = runs, values = severity).
+[[nodiscard]] std::string severity_matrix(
+    const std::vector<AnalysisReport>& reports, std::size_t top_n = 15);
+
+}  // namespace kojak::cosy
+
+#endif  // KOJAK_COSY_REPORT_RENDER_HPP

@@ -1,0 +1,71 @@
+#include "cosy/schema_gen.hpp"
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace kojak::cosy {
+
+using asl::Type;
+using asl::TypeKind;
+
+db::ValueType column_type(const Type& type) {
+  switch (type.kind) {
+    case TypeKind::kInt: return db::ValueType::kInt;
+    case TypeKind::kFloat: return db::ValueType::kDouble;
+    case TypeKind::kBool: return db::ValueType::kBool;
+    case TypeKind::kString: return db::ValueType::kString;
+    case TypeKind::kDateTime: return db::ValueType::kDateTime;
+    case TypeKind::kClass: return db::ValueType::kInt;  // object id
+    case TypeKind::kEnum: return db::ValueType::kInt;   // ordinal
+    default:
+      throw support::EvalError("attribute type has no column mapping");
+  }
+}
+
+std::string junction_table(std::string_view class_name,
+                           std::string_view attr_name) {
+  return support::cat(class_name, "_", attr_name);
+}
+
+std::vector<std::string> generate_ddl(const asl::Model& model) {
+  std::vector<std::string> ddl;
+  for (const asl::ClassInfo& cls : model.classes()) {
+    std::string create = support::cat("CREATE TABLE ", cls.name,
+                                      " (id INTEGER PRIMARY KEY");
+    std::vector<std::string> ref_columns;
+    for (const asl::AttrInfo& attr : cls.attrs) {
+      if (attr.type.kind == TypeKind::kSet) continue;  // -> junction table
+      create += support::cat(", ", attr.name, " ",
+                             to_string(column_type(attr.type)));
+      if (attr.type.kind == TypeKind::kClass) ref_columns.push_back(attr.name);
+    }
+    create += ")";
+    ddl.push_back(std::move(create));
+    ddl.push_back(support::cat("CREATE INDEX idx_", cls.name, "_id ON ",
+                               cls.name, " (id)"));
+    for (const std::string& ref : ref_columns) {
+      ddl.push_back(support::cat("CREATE INDEX idx_", cls.name, "_", ref,
+                                 " ON ", cls.name, " (", ref, ")"));
+    }
+    for (const asl::AttrInfo& attr : cls.attrs) {
+      if (attr.type.kind != TypeKind::kSet) continue;
+      const std::string junction = junction_table(cls.name, attr.name);
+      ddl.push_back(support::cat("CREATE TABLE ", junction,
+                                 " (owner INTEGER NOT NULL, member INTEGER NOT "
+                                 "NULL)"));
+      ddl.push_back(support::cat("CREATE INDEX idx_", junction, "_owner ON ",
+                                 junction, " (owner)"));
+      ddl.push_back(support::cat("CREATE INDEX idx_", junction, "_member ON ",
+                                 junction, " (member)"));
+    }
+  }
+  return ddl;
+}
+
+void create_schema(db::Database& db, const asl::Model& model) {
+  for (const std::string& stmt : generate_ddl(model)) {
+    db.execute(stmt);
+  }
+}
+
+}  // namespace kojak::cosy

@@ -1,0 +1,35 @@
+#ifndef KOJAK_COSY_SCHEMA_GEN_HPP
+#define KOJAK_COSY_SCHEMA_GEN_HPP
+
+#include <string>
+#include <vector>
+
+#include "asl/model.hpp"
+#include "db/database.hpp"
+
+namespace kojak::cosy {
+
+/// Automatic generation of the relational database design from the ASL data
+/// model — the paper ships this step as manual work and names its automation
+/// as future work (§6); this module implements it.
+///
+/// Mapping: one table per class (`id INTEGER PRIMARY KEY` + one column per
+/// scalar/ref/enum attribute; refs and enums store INTEGER ids/ordinals) and
+/// one junction table `<Class>_<Attr>(owner, member)` per `setof` attribute.
+/// Hash indexes are generated on every id, ref column, and junction owner,
+/// so the ASL->SQL queries of the pushdown evaluator stay index-backed.
+[[nodiscard]] std::vector<std::string> generate_ddl(const asl::Model& model);
+
+/// Executes the generated DDL against a database.
+void create_schema(db::Database& db, const asl::Model& model);
+
+/// Column type used for an attribute (exposed for tests).
+[[nodiscard]] db::ValueType column_type(const asl::Type& type);
+
+/// Junction table name for a `setof` attribute.
+[[nodiscard]] std::string junction_table(std::string_view class_name,
+                                         std::string_view attr_name);
+
+}  // namespace kojak::cosy
+
+#endif  // KOJAK_COSY_SCHEMA_GEN_HPP

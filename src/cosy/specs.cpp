@@ -1,0 +1,54 @@
+#include "cosy/specs.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "asl/sema.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+#ifndef KOJAK_SPEC_DIR
+#error "KOJAK_SPEC_DIR must be defined by the build system"
+#endif
+
+namespace kojak::cosy {
+
+namespace {
+
+std::string read_spec_file(const char* name) {
+  const std::string path = support::cat(KOJAK_SPEC_DIR, "/", name);
+  std::ifstream in(path);
+  if (!in) {
+    throw support::ImportError(support::cat("cannot open spec file ", path));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+const std::string& cosy_model_source() {
+  static const std::string source = read_spec_file("cosy_model.asl");
+  return source;
+}
+
+const std::string& cosy_properties_source() {
+  static const std::string source = read_spec_file("cosy_properties.asl");
+  return source;
+}
+
+const std::string& extended_properties_source() {
+  static const std::string source = read_spec_file("extended_properties.asl");
+  return source;
+}
+
+asl::Model load_cosy_model(bool extended) {
+  if (extended) {
+    return asl::load_model({cosy_model_source(), cosy_properties_source(),
+                            extended_properties_source()});
+  }
+  return asl::load_model({cosy_model_source(), cosy_properties_source()});
+}
+
+}  // namespace kojak::cosy

@@ -1,0 +1,22 @@
+#ifndef KOJAK_COSY_SPECS_HPP
+#define KOJAK_COSY_SPECS_HPP
+
+#include <string>
+
+#include "asl/model.hpp"
+
+namespace kojak::cosy {
+
+/// Raw text of the shipped specification documents (loaded from the spec/
+/// directory configured at build time; cached per process).
+[[nodiscard]] const std::string& cosy_model_source();
+[[nodiscard]] const std::string& cosy_properties_source();
+[[nodiscard]] const std::string& extended_properties_source();
+
+/// Parses and analyzes the COSY specification. `extended` adds the
+/// extended property suite on top of the paper's five properties.
+[[nodiscard]] asl::Model load_cosy_model(bool extended = true);
+
+}  // namespace kojak::cosy
+
+#endif  // KOJAK_COSY_SPECS_HPP

@@ -1,0 +1,738 @@
+#include "cosy/sql_eval.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "cosy/db_import.hpp"
+#include "cosy/schema_gen.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace kojak::cosy {
+
+using asl::ast::Expr;
+using asl::EnumVal;
+using asl::ObjectId;
+using asl::PropertyResult;
+using asl::RtValue;
+using asl::Type;
+using asl::TypeKind;
+using support::EvalError;
+
+namespace {
+
+/// A runtime value paired with its static ASL type; the SQL strategy needs
+/// the type to know which table an object id lives in.
+struct TV {
+  RtValue v;
+  Type t;
+};
+
+bool references(const Expr& e, const std::string& name) {
+  if (e.kind == Expr::Kind::kIdent && e.name == name) return true;
+  // A nested binder of the same name shadows the outer one.
+  if ((e.kind == Expr::Kind::kComprehension ||
+       e.kind == Expr::Kind::kAggregate) &&
+      e.name == name) {
+    if (e.base && references(*e.base, name)) return true;
+    return false;
+  }
+  if (e.base && references(*e.base, name)) return true;
+  if (e.lhs && references(*e.lhs, name)) return true;
+  if (e.rhs && references(*e.rhs, name)) return true;
+  if (e.agg_value && references(*e.agg_value, name)) return true;
+  if (e.filter && references(*e.filter, name)) return true;
+  for (const auto& arg : e.args) {
+    if (references(*arg, name)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+/// Expression evaluator with one environment; issues SQL through the owning
+/// SqlEvaluator's connection.
+class SqlExprEval {
+ public:
+  SqlExprEval(SqlEvaluator& owner) : owner_(owner) {}
+
+  void push(std::string name, TV value) {
+    env_.emplace_back(std::move(name), std::move(value));
+  }
+  void pop() { env_.pop_back(); }
+
+  [[nodiscard]] const TV* find(std::string_view name) const {
+    for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
+      if (it->first == name) return &it->second;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] const asl::Model& model() const { return *owner_.model_; }
+  [[nodiscard]] bool client_side() const {
+    return owner_.mode_ == SqlEvalMode::kClientSide;
+  }
+
+  db::QueryResult run(const std::string& sql) {
+    ++owner_.queries_;
+    return owner_.conn_->execute(sql);
+  }
+
+  // --- client-side set materialization (the §5 slow path) -------------------
+
+  /// Fetches the member ids of a set expression with plain component
+  /// accesses: one junction query per setof attribute, then per-member
+  /// attribute fetches for every filter evaluation.
+  std::pair<std::vector<ObjectId>, std::uint32_t> client_set_ids(const Expr& e) {
+    if (e.kind == Expr::Kind::kMember) {
+      const TV base = eval(*e.base);
+      if (base.t.kind != TypeKind::kClass || base.v.is_null()) {
+        throw EvalError("client fetch: set base must be a non-null object");
+      }
+      const asl::ClassInfo& cls = model().class_info(base.t.id);
+      const auto attr = cls.find_attr(e.name);
+      if (!attr || cls.attrs[*attr].type.kind != TypeKind::kSet) {
+        throw EvalError(support::cat("client fetch: '", e.name,
+                                     "' is not a setof attribute of ",
+                                     cls.name));
+      }
+      const db::QueryResult members =
+          run(support::cat("SELECT member FROM ",
+                           junction_table(cls.name, e.name),
+                           " WHERE owner = ", base.v.as_object()));
+      std::vector<ObjectId> ids;
+      ids.reserve(members.row_count());
+      for (const db::Row& row : members.rows) {
+        ids.push_back(static_cast<ObjectId>(row[0].as_int()));
+      }
+      return {std::move(ids), cls.attrs[*attr].type.id};
+    }
+    if (e.kind == Expr::Kind::kComprehension) {
+      auto [ids, elem_class] = client_set_ids(*e.base);
+      if (e.filter) {
+        std::vector<ObjectId> kept;
+        for (const ObjectId member : ids) {
+          push(e.name, {RtValue::of_object(member), Type::class_of(elem_class)});
+          const bool keep = eval(*e.filter).v.as_bool();
+          pop();
+          if (keep) kept.push_back(member);
+        }
+        ids = std::move(kept);
+      }
+      return {std::move(ids), elem_class};
+    }
+    throw EvalError(
+        "client fetch: set expression must be a setof attribute chain or a "
+        "comprehension over one");
+  }
+
+  TV eval_client_aggregate(const Expr& e) {
+    auto [ids, elem_class] = client_set_ids(*e.base);
+    double sum = 0.0;
+    double best = 0.0;
+    std::int64_t best_int = 0;
+    bool best_is_int = false;
+    std::size_t count = 0;
+    bool first = true;
+    for (const ObjectId member : ids) {
+      push(e.name, {RtValue::of_object(member), Type::class_of(elem_class)});
+      bool keep = true;
+      if (e.filter) keep = eval(*e.filter).v.as_bool();
+      if (keep) {
+        if (e.agg_kind == asl::ast::AggKind::kCount) {
+          ++count;
+        } else {
+          const TV v = eval(*e.agg_value);
+          const double x = v.v.as_float();
+          sum += x;
+          ++count;
+          const bool better =
+              first || (e.agg_kind == asl::ast::AggKind::kMin ? x < best
+                                                              : x > best);
+          if ((e.agg_kind == asl::ast::AggKind::kMin ||
+               e.agg_kind == asl::ast::AggKind::kMax) &&
+              better) {
+            best = x;
+            best_is_int = v.v.is_int();
+            best_int = best_is_int ? v.v.as_int() : 0;
+          }
+          first = false;
+        }
+      }
+      pop();
+    }
+    switch (e.agg_kind) {
+      case asl::ast::AggKind::kCount:
+        return {RtValue::of_int(static_cast<std::int64_t>(count)),
+                Type::of(TypeKind::kInt)};
+      case asl::ast::AggKind::kSum:
+        return {RtValue::of_float(sum), Type::of(TypeKind::kFloat)};
+      case asl::ast::AggKind::kAvg:
+        if (count == 0) throw EvalError("AVG over an empty set");
+        return {RtValue::of_float(sum / static_cast<double>(count)),
+                Type::of(TypeKind::kFloat)};
+      case asl::ast::AggKind::kMin:
+      case asl::ast::AggKind::kMax:
+        if (count == 0) {
+          throw EvalError(support::cat(asl::ast::to_string(e.agg_kind),
+                                       " over an empty set"));
+        }
+        if (best_is_int) {
+          return {RtValue::of_int(best_int), Type::of(TypeKind::kInt)};
+        }
+        return {RtValue::of_float(best), Type::of(TypeKind::kFloat)};
+    }
+    throw EvalError("unknown aggregate kind");
+  }
+
+  // --- set compilation -------------------------------------------------------
+
+  struct SetQuery {
+    std::string binder_name;
+    std::string binder_alias = "b";
+    std::uint32_t elem_class = 0;
+    std::vector<std::string> from_joins;  // FROM fragment + JOIN fragments
+    std::vector<std::string> conjuncts;
+    int alias_counter = 0;
+
+    [[nodiscard]] std::string from_where() const {
+      std::string out = " FROM ";
+      for (std::size_t i = 0; i < from_joins.size(); ++i) {
+        if (i > 0) out += ' ';
+        out += from_joins[i];
+      }
+      if (!conjuncts.empty()) {
+        out += " WHERE ";
+        for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+          if (i > 0) out += " AND ";
+          out += conjuncts[i];
+        }
+      }
+      return out;
+    }
+  };
+
+  SetQuery compile_set(const Expr& e) {
+    if (e.kind == Expr::Kind::kMember) {
+      const TV base = eval(*e.base);
+      if (base.t.kind != TypeKind::kClass) {
+        throw EvalError("SQL strategy: set base must be an object");
+      }
+      const asl::ClassInfo& cls = model().class_info(base.t.id);
+      const auto attr = cls.find_attr(e.name);
+      if (!attr || cls.attrs[*attr].type.kind != TypeKind::kSet) {
+        throw EvalError(support::cat("SQL strategy: '", e.name,
+                                     "' is not a setof attribute of ",
+                                     cls.name));
+      }
+      const ObjectId owner_id = base.v.as_object();
+      if (owner_id == asl::kNullObject) {
+        throw EvalError("SQL strategy: set access on null object");
+      }
+      SetQuery sq;
+      sq.elem_class = cls.attrs[*attr].type.id;
+      const std::string elem_table = model().class_info(sq.elem_class).name;
+      sq.from_joins.push_back(junction_table(cls.name, e.name) + " j");
+      sq.from_joins.push_back(
+          support::cat("JOIN ", elem_table, " b ON b.id = j.member"));
+      sq.conjuncts.push_back(support::cat("j.owner = ", owner_id));
+      return sq;
+    }
+    if (e.kind == Expr::Kind::kComprehension) {
+      SetQuery sq = compile_set(*e.base);
+      sq.binder_name = e.name;
+      if (e.filter) {
+        sq.conjuncts.push_back(sql_expr(*e.filter, sq));
+      }
+      return sq;
+    }
+    throw EvalError(
+        "SQL strategy: set expression must be a setof attribute chain or a "
+        "comprehension over one");
+  }
+
+  /// Compiles a scalar expression over the binder of `sq` into SQL text;
+  /// sub-expressions not touching the binder evaluate client-side into
+  /// literals (this is how uncorrelated nested aggregates become scalar
+  /// constants in the query).
+  std::string sql_expr(const Expr& e, SetQuery& sq) {
+    using Kind = Expr::Kind;
+    if (!sq.binder_name.empty() && !references(e, sq.binder_name)) {
+      return literal_of(eval(e));
+    }
+    switch (e.kind) {
+      case Kind::kIdent:
+        if (e.name == sq.binder_name) return sq.binder_alias + ".id";
+        break;  // unreachable: non-binder idents hit the literal path
+      case Kind::kMember:
+        return compile_path(e, sq);
+      case Kind::kUnary:
+        if (e.un_op == asl::ast::UnOp::kNot) {
+          return support::cat("(NOT ", sql_expr(*e.lhs, sq), ")");
+        }
+        return support::cat("(-", sql_expr(*e.lhs, sq), ")");
+      case Kind::kBinary: {
+        using asl::ast::BinOp;
+        // `x == null` / `x != null` compile to IS [NOT] NULL.
+        if (e.bin_op == BinOp::kEq || e.bin_op == BinOp::kNe) {
+          const Expr* lhs = e.lhs.get();
+          const Expr* rhs = e.rhs.get();
+          const auto is_null_side = [&](const Expr& side) {
+            return side.kind == Kind::kNullLit ||
+                   (!references(side, sq.binder_name) && eval(side).v.is_null());
+          };
+          if (is_null_side(*rhs) || is_null_side(*lhs)) {
+            const Expr& tested = is_null_side(*rhs) ? *lhs : *rhs;
+            return support::cat("(", sql_expr(tested, sq),
+                                e.bin_op == BinOp::kEq ? " IS NULL)"
+                                                       : " IS NOT NULL)");
+          }
+        }
+        const char* op = nullptr;
+        switch (e.bin_op) {
+          case BinOp::kAdd: op = "+"; break;
+          case BinOp::kSub: op = "-"; break;
+          case BinOp::kMul: op = "*"; break;
+          case BinOp::kDiv: op = "/"; break;
+          case BinOp::kEq: op = "="; break;
+          case BinOp::kNe: op = "<>"; break;
+          case BinOp::kLt: op = "<"; break;
+          case BinOp::kLe: op = "<="; break;
+          case BinOp::kGt: op = ">"; break;
+          case BinOp::kGe: op = ">="; break;
+          case BinOp::kAnd: op = "AND"; break;
+          case BinOp::kOr: op = "OR"; break;
+        }
+        return support::cat("(", sql_expr(*e.lhs, sq), " ", op, " ",
+                            sql_expr(*e.rhs, sq), ")");
+      }
+      default:
+        break;
+    }
+    throw EvalError(support::cat(
+        "SQL strategy: expression correlated with binder '", sq.binder_name,
+        "' is not compilable (aggregates/calls over the binder are not "
+        "supported)"));
+  }
+
+  /// Member chain rooted at the binder: each intermediate ref-attribute hop
+  /// becomes a JOIN; the final attribute becomes a column reference.
+  std::string compile_path(const Expr& e, SetQuery& sq) {
+    // Unroll the chain: base-most first.
+    std::vector<const Expr*> chain;
+    const Expr* cur = &e;
+    while (cur->kind == Expr::Kind::kMember) {
+      chain.push_back(cur);
+      cur = cur->base.get();
+    }
+    if (cur->kind != Expr::Kind::kIdent || cur->name != sq.binder_name) {
+      throw EvalError("SQL strategy: member path must be rooted at the binder");
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    std::string alias = sq.binder_alias;
+    std::uint32_t cls_id = sq.elem_class;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      const asl::ClassInfo& cls = model().class_info(cls_id);
+      const auto attr = cls.find_attr(chain[i]->name);
+      if (!attr) {
+        throw EvalError(support::cat("class ", cls.name, " has no attribute '",
+                                     chain[i]->name, "'"));
+      }
+      const Type& attr_type = cls.attrs[*attr].type;
+      if (i + 1 == chain.size()) {
+        return support::cat(alias, ".", chain[i]->name);
+      }
+      if (attr_type.kind != TypeKind::kClass) {
+        throw EvalError(support::cat("SQL strategy: '.", chain[i]->name,
+                                     "' must be an object reference"));
+      }
+      const std::string next_alias = support::cat("t", sq.alias_counter++);
+      sq.from_joins.push_back(
+          support::cat("JOIN ", model().class_info(attr_type.id).name, " ",
+                       next_alias, " ON ", next_alias, ".id = ", alias, ".",
+                       chain[i]->name));
+      alias = next_alias;
+      cls_id = attr_type.id;
+    }
+    throw EvalError("empty member path");  // unreachable
+  }
+
+  [[nodiscard]] std::string literal_of(const TV& tv) const {
+    if (tv.v.is_null()) return "NULL";
+    switch (tv.t.kind) {
+      case TypeKind::kInt:
+        return std::to_string(tv.v.as_int());
+      case TypeKind::kFloat:
+        return db::Value::real(tv.v.as_float()).to_sql_literal();
+      case TypeKind::kBool:
+        return tv.v.as_bool() ? "TRUE" : "FALSE";
+      case TypeKind::kString:
+        return support::sql_quote(tv.v.as_string());
+      case TypeKind::kDateTime:
+        return support::cat("DATETIME ",
+                            support::sql_quote(db::format_datetime(tv.v.as_int())));
+      case TypeKind::kClass:
+        return std::to_string(tv.v.as_object());
+      case TypeKind::kEnum:
+        return std::to_string(tv.v.as_enum().ordinal);
+      default:
+        throw EvalError("value has no SQL literal form");
+    }
+  }
+
+  // --- typed evaluation ------------------------------------------------------
+
+  TV eval(const Expr& e) {
+    using Kind = Expr::Kind;
+    switch (e.kind) {
+      case Kind::kIntLit:
+        return {RtValue::of_int(e.int_value), Type::of(TypeKind::kInt)};
+      case Kind::kFloatLit:
+        return {RtValue::of_float(e.float_value), Type::of(TypeKind::kFloat)};
+      case Kind::kBoolLit:
+        return {RtValue::of_bool(e.bool_value), Type::of(TypeKind::kBool)};
+      case Kind::kStringLit:
+        return {RtValue::of_string(e.string_value), Type::of(TypeKind::kString)};
+      case Kind::kNullLit:
+        return {RtValue::null(), Type::of(TypeKind::kNullRef)};
+
+      case Kind::kIdent: {
+        if (const TV* var = find(e.name)) return *var;
+        if (const asl::ConstInfo* cst = model().find_constant(e.name)) {
+          return {eval(*cst->value).v, cst->type};
+        }
+        if (const auto member = model().find_enum_member(e.name)) {
+          return {RtValue::of_enum(member->first, member->second),
+                  Type::enum_of(member->first)};
+        }
+        throw EvalError(support::cat("unknown name '", e.name, "'"));
+      }
+
+      case Kind::kMember: {
+        const TV base = eval(*e.base);
+        if (base.t.kind != TypeKind::kClass) {
+          throw EvalError(support::cat("attribute access '.", e.name,
+                                       "' on non-object"));
+        }
+        if (base.v.is_null()) {
+          throw EvalError(support::cat("attribute access '.", e.name,
+                                       "' on null object"));
+        }
+        const asl::ClassInfo& cls = model().class_info(base.t.id);
+        const auto attr = cls.find_attr(e.name);
+        if (!attr) {
+          throw EvalError(support::cat("class ", cls.name,
+                                       " has no attribute '", e.name, "'"));
+        }
+        const Type& attr_type = cls.attrs[*attr].type;
+        if (attr_type.kind == TypeKind::kSet) {
+          throw EvalError(
+              "SQL strategy: set-valued attribute outside a set context");
+        }
+        const db::QueryResult result =
+            run(support::cat("SELECT ", e.name, " FROM ", cls.name,
+                             " WHERE id = ", base.v.as_object()));
+        if (result.row_count() != 1) {
+          throw EvalError(support::cat("object ", base.v.as_object(),
+                                       " not found in table ", cls.name));
+        }
+        return {to_rt_value(result.rows[0][0], attr_type), attr_type};
+      }
+
+      case Kind::kCall: {
+        const asl::FunctionInfo* fn = model().find_function(e.name);
+        if (fn == nullptr) {
+          throw EvalError(support::cat("unknown function '", e.name, "'"));
+        }
+        std::vector<TV> args;
+        args.reserve(e.args.size());
+        for (const auto& arg : e.args) args.push_back(eval(*arg));
+        // Functions see only their parameters (no lexical capture).
+        std::vector<std::pair<std::string, TV>> saved;
+        saved.swap(env_);
+        for (std::size_t i = 0; i < args.size(); ++i) {
+          push(fn->params[i].first, std::move(args[i]));
+        }
+        TV result = eval(*fn->body);
+        env_ = std::move(saved);
+        result.t = fn->return_type;
+        return result;
+      }
+
+      case Kind::kUnary: {
+        const TV operand = eval(*e.lhs);
+        if (e.un_op == asl::ast::UnOp::kNot) {
+          return {RtValue::of_bool(!operand.v.as_bool()),
+                  Type::of(TypeKind::kBool)};
+        }
+        if (operand.v.is_int()) {
+          return {RtValue::of_int(-operand.v.as_int()), operand.t};
+        }
+        return {RtValue::of_float(-operand.v.as_float()), operand.t};
+      }
+
+      case Kind::kBinary:
+        return eval_binary(e);
+
+      case Kind::kComprehension: {
+        if (client_side()) {
+          auto [raw, elem_class] = client_set_ids(e);
+          auto ids = std::make_shared<std::vector<ObjectId>>(std::move(raw));
+          return {RtValue::of_set(std::move(ids)), Type::set_of(elem_class)};
+        }
+        SetQuery sq = compile_set(e);
+        const db::QueryResult result =
+            run(support::cat("SELECT b.id", sq.from_where()));
+        auto ids = std::make_shared<std::vector<ObjectId>>();
+        ids->reserve(result.row_count());
+        for (const db::Row& row : result.rows) {
+          ids->push_back(static_cast<ObjectId>(row[0].as_int()));
+        }
+        return {RtValue::of_set(std::move(ids)), Type::set_of(sq.elem_class)};
+      }
+
+      case Kind::kAggregate: {
+        if (!e.base) return eval(*e.agg_value);  // identity form
+        if (client_side()) return eval_client_aggregate(e);
+        SetQuery sq = compile_set(*e.base);
+        sq.binder_name = e.name;
+        if (e.filter) sq.conjuncts.push_back(sql_expr(*e.filter, sq));
+        std::string select;
+        switch (e.agg_kind) {
+          case asl::ast::AggKind::kCount:
+            select = "COUNT(*)";
+            break;
+          case asl::ast::AggKind::kMin:
+            select = support::cat("MIN(", sql_expr(*e.agg_value, sq), ")");
+            break;
+          case asl::ast::AggKind::kMax:
+            select = support::cat("MAX(", sql_expr(*e.agg_value, sq), ")");
+            break;
+          case asl::ast::AggKind::kSum:
+            select = support::cat("SUM(", sql_expr(*e.agg_value, sq), ")");
+            break;
+          case asl::ast::AggKind::kAvg:
+            select = support::cat("AVG(", sql_expr(*e.agg_value, sq), ")");
+            break;
+        }
+        const db::QueryResult result =
+            run(support::cat("SELECT ", select, sq.from_where()));
+        const db::Value scalar = result.scalar();
+        if (e.agg_kind == asl::ast::AggKind::kCount) {
+          return {RtValue::of_int(scalar.as_int()), Type::of(TypeKind::kInt)};
+        }
+        if (scalar.is_null()) {
+          if (e.agg_kind == asl::ast::AggKind::kSum) {
+            return {RtValue::of_float(0.0), Type::of(TypeKind::kFloat)};
+          }
+          throw EvalError(support::cat(asl::ast::to_string(e.agg_kind),
+                                       " over an empty set"));
+        }
+        if (scalar.type() == db::ValueType::kInt) {
+          return {RtValue::of_int(scalar.as_int()), Type::of(TypeKind::kInt)};
+        }
+        return {RtValue::of_float(scalar.as_double()),
+                Type::of(TypeKind::kFloat)};
+      }
+
+      case Kind::kUnique: {
+        if (client_side()) {
+          auto [ids, elem_class] = client_set_ids(*e.base);
+          if (ids.size() != 1) {
+            throw EvalError(support::cat("UNIQUE over a set of size ",
+                                         ids.size()));
+          }
+          return {RtValue::of_object(ids.front()), Type::class_of(elem_class)};
+        }
+        SetQuery sq = compile_set(*e.base);
+        const db::QueryResult result =
+            run(support::cat("SELECT b.id", sq.from_where()));
+        if (result.row_count() != 1) {
+          throw EvalError(support::cat("UNIQUE over a set of size ",
+                                       result.row_count()));
+        }
+        return {RtValue::of_object(static_cast<ObjectId>(result.rows[0][0].as_int())),
+                Type::class_of(sq.elem_class)};
+      }
+
+      case Kind::kExists:
+      case Kind::kSize: {
+        std::int64_t n = 0;
+        if (client_side()) {
+          n = static_cast<std::int64_t>(client_set_ids(*e.base).first.size());
+        } else {
+          SetQuery sq = compile_set(*e.base);
+          n = run(support::cat("SELECT COUNT(*)", sq.from_where()))
+                  .scalar()
+                  .as_int();
+        }
+        if (e.kind == Kind::kExists) {
+          return {RtValue::of_bool(n > 0), Type::of(TypeKind::kBool)};
+        }
+        return {RtValue::of_int(n), Type::of(TypeKind::kInt)};
+      }
+    }
+    throw EvalError("unhandled expression kind");
+  }
+
+  TV eval_binary(const Expr& e) {
+    using asl::ast::BinOp;
+    switch (e.bin_op) {
+      case BinOp::kAnd: {
+        const TV lhs = eval(*e.lhs);
+        if (!lhs.v.as_bool()) {
+          return {RtValue::of_bool(false), Type::of(TypeKind::kBool)};
+        }
+        return {RtValue::of_bool(eval(*e.rhs).v.as_bool()),
+                Type::of(TypeKind::kBool)};
+      }
+      case BinOp::kOr: {
+        const TV lhs = eval(*e.lhs);
+        if (lhs.v.as_bool()) {
+          return {RtValue::of_bool(true), Type::of(TypeKind::kBool)};
+        }
+        return {RtValue::of_bool(eval(*e.rhs).v.as_bool()),
+                Type::of(TypeKind::kBool)};
+      }
+      case BinOp::kAdd:
+      case BinOp::kSub:
+      case BinOp::kMul: {
+        const TV lhs = eval(*e.lhs);
+        const TV rhs = eval(*e.rhs);
+        const bool as_int = lhs.v.is_int() && rhs.v.is_int();
+        const double x = lhs.v.as_float();
+        const double y = rhs.v.as_float();
+        double r = 0;
+        switch (e.bin_op) {
+          case BinOp::kAdd: r = x + y; break;
+          case BinOp::kSub: r = x - y; break;
+          default: r = x * y; break;
+        }
+        if (as_int) {
+          return {RtValue::of_int(static_cast<std::int64_t>(r)),
+                  Type::of(TypeKind::kInt)};
+        }
+        return {RtValue::of_float(r), Type::of(TypeKind::kFloat)};
+      }
+      case BinOp::kDiv: {
+        const double x = eval(*e.lhs).v.as_float();
+        const double y = eval(*e.rhs).v.as_float();
+        if (y == 0.0) throw EvalError("division by zero");
+        return {RtValue::of_float(x / y), Type::of(TypeKind::kFloat)};
+      }
+      case BinOp::kEq:
+      case BinOp::kNe: {
+        const bool eq = RtValue::equals(eval(*e.lhs).v, eval(*e.rhs).v);
+        return {RtValue::of_bool(e.bin_op == BinOp::kEq ? eq : !eq),
+                Type::of(TypeKind::kBool)};
+      }
+      default: {
+        const double x = eval(*e.lhs).v.as_float();
+        const double y = eval(*e.rhs).v.as_float();
+        bool r = false;
+        switch (e.bin_op) {
+          case BinOp::kLt: r = x < y; break;
+          case BinOp::kLe: r = x <= y; break;
+          case BinOp::kGt: r = x > y; break;
+          default: r = x >= y; break;
+        }
+        return {RtValue::of_bool(r), Type::of(TypeKind::kBool)};
+      }
+    }
+  }
+
+ private:
+  SqlEvaluator& owner_;
+  std::vector<std::pair<std::string, TV>> env_;
+};
+
+SqlEvaluator::SqlEvaluator(const asl::Model& model, db::Connection& conn,
+                           SqlEvalMode mode)
+    : model_(&model), conn_(&conn), mode_(mode) {
+  for (const asl::ClassInfo& cls : model.classes()) {
+    if (cls.base) {
+      throw EvalError(
+          "the SQL strategy requires an inheritance-free data model "
+          "(concrete class tables)");
+    }
+  }
+}
+
+PropertyResult SqlEvaluator::evaluate_property(const asl::PropertyInfo& prop,
+                                               std::vector<RtValue> args) {
+  PropertyResult result;
+  if (args.size() != prop.params.size()) {
+    throw EvalError(support::cat("property ", prop.name, " expects ",
+                                 prop.params.size(), " arguments, got ",
+                                 args.size()));
+  }
+  SqlExprEval eval(*this);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    eval.push(prop.params[i].first, {std::move(args[i]), prop.params[i].second});
+  }
+
+  try {
+    for (const asl::LetInfo& let : prop.lets) {
+      TV value = eval.eval(*let.init);
+      value.t = let.type;
+      eval.push(let.name, std::move(value));
+    }
+
+    std::vector<std::pair<std::string, bool>> truth;
+    bool holds = false;
+    for (std::size_t i = 0; i < prop.conditions.size(); ++i) {
+      const asl::ConditionInfo& cond = prop.conditions[i];
+      const bool value = eval.eval(*cond.pred).v.as_bool();
+      truth.emplace_back(cond.id, value);
+      if (value && !holds) {
+        holds = true;
+        result.matched_condition =
+            cond.id.empty() ? support::cat("#", i + 1) : cond.id;
+      }
+    }
+    if (!holds) {
+      result.status = PropertyResult::Status::kDoesNotHold;
+      return result;
+    }
+    result.status = PropertyResult::Status::kHolds;
+
+    const auto held = [&](const std::string& guard) {
+      for (const auto& [id, value] : truth) {
+        if (id == guard) return value;
+      }
+      return false;
+    };
+    const auto eval_arms = [&](const std::vector<asl::GuardedInfo>& arms) {
+      double best = -std::numeric_limits<double>::infinity();
+      bool any = false;
+      for (const asl::GuardedInfo& arm : arms) {
+        if (!arm.guard.empty() && !held(arm.guard)) continue;
+        best = std::max(best, eval.eval(*arm.expr).v.as_float());
+        any = true;
+      }
+      return any ? best : 0.0;
+    };
+
+    result.confidence = std::clamp(eval_arms(prop.confidence), 0.0, 1.0);
+    result.severity = eval_arms(prop.severity);
+  } catch (const EvalError& error) {
+    result = PropertyResult{};
+    result.status = PropertyResult::Status::kNotApplicable;
+    result.note = error.what();
+  }
+  return result;
+}
+
+std::string SqlEvaluator::explain_set(const Expr& set_expr,
+                                      const asl::PropertyInfo& prop,
+                                      const std::vector<RtValue>& args) {
+  SqlExprEval eval(*this);
+  for (std::size_t i = 0; i < args.size() && i < prop.params.size(); ++i) {
+    eval.push(prop.params[i].first, {args[i], prop.params[i].second});
+  }
+  SqlExprEval::SetQuery sq = eval.compile_set(set_expr);
+  return support::cat("SELECT b.id", sq.from_where());
+}
+
+}  // namespace kojak::cosy

@@ -1,0 +1,175 @@
+#include "cosy/store_builder.hpp"
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace kojak::cosy {
+
+using asl::ObjectId;
+using asl::ObjectStore;
+using asl::RtValue;
+using perf::ExperimentData;
+
+StoreHandles build_store(ObjectStore& store, const ExperimentData& data) {
+  const asl::Model& model = store.model();
+  StoreHandles handles;
+
+  const auto enum_id = model.find_enum("TimingType");
+  if (!enum_id) {
+    throw support::ImportError("data model lacks the TimingType enum");
+  }
+
+  handles.program = store.create("Program");
+  store.set_attr(handles.program, "Name",
+                 RtValue::of_string(data.structure.program_name));
+
+  const ObjectId code = store.create("SourceCode");
+  store.set_attr(code, "Text", RtValue::of_string(data.structure.source_code));
+
+  handles.version = store.create("ProgVersion");
+  store.set_attr(handles.version, "Compilation",
+                 RtValue::of_int(data.structure.compilation_time));
+  store.set_attr(handles.version, "Code", RtValue::of_object(code));
+  store.add_to_set(handles.program, "Versions", handles.version);
+
+  // Test runs.
+  for (const perf::RunResult& run : data.runs) {
+    const ObjectId run_obj = store.create("TestRun");
+    store.set_attr(run_obj, "Start", RtValue::of_int(run.start_time));
+    store.set_attr(run_obj, "NoPe", RtValue::of_int(run.nope));
+    store.set_attr(run_obj, "Clockspeed", RtValue::of_int(run.clockspeed_mhz));
+    store.add_to_set(handles.version, "Runs", run_obj);
+    handles.runs.push_back(run_obj);
+  }
+
+  // Static structure: functions and regions.
+  if (!data.structure.functions.empty() &&
+      !data.structure.functions.front().regions.empty()) {
+    handles.main_region = data.structure.functions.front().regions.front().name;
+  }
+  for (const perf::StaticFunction& fn : data.structure.functions) {
+    const ObjectId fn_obj = store.create("Function");
+    store.set_attr(fn_obj, "Name", RtValue::of_string(fn.name));
+    store.add_to_set(handles.version, "Functions", fn_obj);
+    handles.functions[fn.name] = fn_obj;
+    for (const perf::StaticRegion& region : fn.regions) {
+      const ObjectId region_obj = store.create("Region");
+      store.set_attr(region_obj, "Name", RtValue::of_string(region.name));
+      store.set_attr(region_obj, "Kind",
+                     RtValue::of_string(std::string(to_string(region.kind))));
+      store.add_to_set(fn_obj, "Regions", region_obj);
+      if (handles.regions.contains(region.name)) {
+        throw support::ImportError(
+            support::cat("duplicate region name '", region.name, "'"));
+      }
+      handles.regions[region.name] = region_obj;
+    }
+  }
+  // Parent links (second pass: parents may be declared in any order).
+  for (const perf::StaticFunction& fn : data.structure.functions) {
+    for (const perf::StaticRegion& region : fn.regions) {
+      if (region.parent.empty()) continue;
+      const auto parent = handles.regions.find(region.parent);
+      if (parent == handles.regions.end()) {
+        throw support::ImportError(support::cat("region '", region.name,
+                                                "' has unknown parent '",
+                                                region.parent, "'"));
+      }
+      store.set_attr(handles.regions.at(region.name), "ParentRegion",
+                     RtValue::of_object(parent->second));
+    }
+  }
+
+  // Call sites: owned by the *callee*'s Calls set (paper §4.1), pointing
+  // back to the calling function and region.
+  for (const perf::CallSite& site : data.structure.call_sites) {
+    const auto callee = handles.functions.find(site.callee);
+    const auto caller = handles.functions.find(site.caller);
+    const auto region = handles.regions.find(site.calling_region);
+    if (callee == handles.functions.end() || caller == handles.functions.end() ||
+        region == handles.regions.end()) {
+      throw support::ImportError(support::cat("call site ", site.caller, " -> ",
+                                              site.callee, " @ ",
+                                              site.calling_region,
+                                              " references unknown entities"));
+    }
+    const ObjectId call_obj = store.create("FunctionCall");
+    store.set_attr(call_obj, "Caller", RtValue::of_object(caller->second));
+    store.set_attr(call_obj, "CallingReg", RtValue::of_object(region->second));
+    store.add_to_set(callee->second, "Calls", call_obj);
+    handles.call_sites.push_back(call_obj);
+    handles.call_site_labels.push_back(support::cat(
+        site.caller, " -> ", site.callee, " @ ", site.calling_region));
+  }
+
+  // Dynamic data per run.
+  for (std::size_t run_index = 0; run_index < data.runs.size(); ++run_index) {
+    const perf::RunResult& run = data.runs[run_index];
+    const ObjectId run_obj = handles.runs[run_index];
+
+    for (const perf::RegionTiming& timing : run.regions) {
+      const auto region = handles.regions.find(timing.region);
+      if (region == handles.regions.end()) {
+        throw support::ImportError(support::cat("timing for unknown region '",
+                                                timing.region, "'"));
+      }
+      const ObjectId total = store.create("TotalTiming");
+      store.set_attr(total, "Run", RtValue::of_object(run_obj));
+      store.set_attr(total, "Excl", RtValue::of_float(timing.excl_ms));
+      store.set_attr(total, "Incl", RtValue::of_float(timing.incl_ms));
+      store.set_attr(total, "Ovhd", RtValue::of_float(timing.ovhd_ms));
+      store.add_to_set(region->second, "TotTimes", total);
+
+      for (const auto& [type, ms] : timing.typed_ms) {
+        const ObjectId typed = store.create("TypedTiming");
+        store.set_attr(typed, "Run", RtValue::of_object(run_obj));
+        store.set_attr(typed, "Type",
+                       RtValue::of_enum(*enum_id,
+                                        static_cast<std::int32_t>(type)));
+        store.set_attr(typed, "Time", RtValue::of_float(ms));
+        store.add_to_set(region->second, "TypTimes", typed);
+      }
+    }
+
+    for (const perf::CallSiteTiming& call : run.calls) {
+      if (call.site_index >= handles.call_sites.size()) {
+        throw support::ImportError(support::cat("call timing for unknown site ",
+                                                call.site_index));
+      }
+      const ObjectId ct = store.create("CallTiming");
+      store.set_attr(ct, "Run", RtValue::of_object(run_obj));
+      store.set_attr(ct, "MinCalls", RtValue::of_float(call.calls.min));
+      store.set_attr(ct, "MaxCalls", RtValue::of_float(call.calls.max));
+      store.set_attr(ct, "MeanCalls", RtValue::of_float(call.calls.mean));
+      store.set_attr(ct, "StdevCalls", RtValue::of_float(call.calls.stddev));
+      store.set_attr(ct, "MinCallsPe", RtValue::of_int(call.calls.min_pe));
+      store.set_attr(ct, "MaxCallsPe", RtValue::of_int(call.calls.max_pe));
+      store.set_attr(ct, "MinTime", RtValue::of_float(call.time_ms.min));
+      store.set_attr(ct, "MaxTime", RtValue::of_float(call.time_ms.max));
+      store.set_attr(ct, "MeanTime", RtValue::of_float(call.time_ms.mean));
+      store.set_attr(ct, "StdevTime", RtValue::of_float(call.time_ms.stddev));
+      store.set_attr(ct, "MinTimePe", RtValue::of_int(call.time_ms.min_pe));
+      store.set_attr(ct, "MaxTimePe", RtValue::of_int(call.time_ms.max_pe));
+      store.add_to_set(handles.call_sites[call.site_index], "Sums", ct);
+    }
+  }
+
+  return handles;
+}
+
+StoreStats store_stats(const asl::ObjectStore& store) {
+  StoreStats stats;
+  stats.objects = store.size();
+  const asl::Model& model = store.model();
+  const auto count = [&](const char* cls) -> std::size_t {
+    const auto id = model.find_class(cls);
+    return id ? store.all_of(*id).size() : 0;
+  };
+  stats.regions = count("Region");
+  stats.total_timings = count("TotalTiming");
+  stats.typed_timings = count("TypedTiming");
+  stats.call_timings = count("CallTiming");
+  return stats;
+}
+
+}  // namespace kojak::cosy

@@ -1,0 +1,46 @@
+#ifndef KOJAK_COSY_STORE_BUILDER_HPP
+#define KOJAK_COSY_STORE_BUILDER_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asl/object_store.hpp"
+#include "perf/apprentice.hpp"
+
+namespace kojak::cosy {
+
+/// Object handles produced while populating a store from experiment data;
+/// the analyzer uses them to enumerate property contexts and label output.
+struct StoreHandles {
+  asl::ObjectId program = asl::kNullObject;
+  asl::ObjectId version = asl::kNullObject;
+  std::vector<asl::ObjectId> runs;                 // index = run index
+  std::map<std::string, asl::ObjectId> functions;  // by name
+  std::map<std::string, asl::ObjectId> regions;    // by region name
+  std::vector<asl::ObjectId> call_sites;           // index = structure order
+  /// Human-readable call-site labels ("caller -> callee @ region").
+  std::vector<std::string> call_site_labels;
+  /// Body region of the program's entry function (severity basis default).
+  std::string main_region;
+};
+
+/// Populates `store` with one Program / ProgVersion and all test runs of an
+/// experiment, following the paper's data model. Multiple experiments (or
+/// versions of the same program) may be imported into one store.
+StoreHandles build_store(asl::ObjectStore& store,
+                         const perf::ExperimentData& data);
+
+/// Region object count and other payload statistics (bench bookkeeping).
+struct StoreStats {
+  std::size_t objects = 0;
+  std::size_t regions = 0;
+  std::size_t total_timings = 0;
+  std::size_t typed_timings = 0;
+  std::size_t call_timings = 0;
+};
+[[nodiscard]] StoreStats store_stats(const asl::ObjectStore& store);
+
+}  // namespace kojak::cosy
+
+#endif  // KOJAK_COSY_STORE_BUILDER_HPP

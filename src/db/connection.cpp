@@ -1,0 +1,209 @@
+#include "db/connection.hpp"
+
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace kojak::db {
+
+// --- profile calibration (documented in EXPERIMENTS.md, experiment T1/T2) --
+//
+// Anchor: the paper reports MS Access insertion "a factor of 20 faster" than
+// the Oracle 7 server, Oracle "a factor of 2 slower" than MS SQL Server and
+// Postgres, and ~1 ms to fetch a record from Oracle via JDBC. We set the
+// Access in-process insert to 50 us/row and derive the rest; the slight
+// MSSQL/Postgres asymmetry keeps the two distinguishable without changing
+// the paper's ordering.
+
+ConnectionProfile ConnectionProfile::access_local() {
+  return {.name = "MS Access (local)",
+          .distributed = false,
+          .connect_us = 2'000,
+          .stmt_roundtrip_us = 0,
+          .insert_row_us = 50,
+          .fetch_row_us = 40,
+          .value_wire_us = 0.4};
+}
+
+ConnectionProfile ConnectionProfile::oracle7() {
+  return {.name = "Oracle 7 (distributed)",
+          .distributed = true,
+          .connect_us = 120'000,
+          .stmt_roundtrip_us = 350,
+          .insert_row_us = 650,
+          .fetch_row_us = 150,
+          .value_wire_us = 2.5};
+}
+
+ConnectionProfile ConnectionProfile::mssql_server() {
+  return {.name = "MS SQL Server (distributed)",
+          .distributed = true,
+          .connect_us = 60'000,
+          .stmt_roundtrip_us = 350,
+          .insert_row_us = 145,
+          .fetch_row_us = 130,
+          .value_wire_us = 2.0};
+}
+
+ConnectionProfile ConnectionProfile::postgres() {
+  return {.name = "Postgres (distributed)",
+          .distributed = true,
+          .connect_us = 45'000,
+          .stmt_roundtrip_us = 360,
+          .insert_row_us = 160,
+          .fetch_row_us = 140,
+          .value_wire_us = 2.1};
+}
+
+ConnectionProfile ConnectionProfile::in_memory() {
+  return {.name = "in-memory (no model)",
+          .distributed = false,
+          .connect_us = 0,
+          .stmt_roundtrip_us = 0,
+          .insert_row_us = 0,
+          .fetch_row_us = 0,
+          .value_wire_us = 0};
+}
+
+std::vector<ConnectionProfile> ConnectionProfile::all_paper_profiles() {
+  return {access_local(), oracle7(), mssql_server(), postgres()};
+}
+
+std::string_view to_string(DriverKind kind) {
+  return kind == DriverKind::kNative ? "native" : "bridge (JDBC-style)";
+}
+
+Connection::Connection(Database& db, ConnectionProfile profile, DriverKind driver)
+    : db_(db), profile_(std::move(profile)), driver_(driver) {
+  clock_.advance_us(profile_.connect_us);
+}
+
+namespace {
+
+/// Multiplier for the modelled per-row/value cost under the bridge driver:
+/// the 2-4x JDBC penalty of §5 comes from crossing the driver boundary with
+/// text marshalling; 3.6 keeps every backend inside the paper's band.
+constexpr double kBridgeCostFactor = 3.6;
+/// Fixed per-row dispatch overhead of the bridge (us, virtual).
+constexpr double kBridgeRowDispatchUs = 8.0;
+/// JDBC-era drivers add protocol exchanges per statement (metadata fetch,
+/// cursor bookkeeping): modelled as 50% extra round-trip cost.
+constexpr double kBridgeRttFactor = 1.5;
+
+}  // namespace
+
+void Connection::charge_statement(const QueryResult& result,
+                                  std::size_t inserted_values) {
+  if (profile_.distributed) {
+    clock_.advance_us(profile_.stmt_roundtrip_us *
+                      (driver_ == DriverKind::kBridge ? kBridgeRttFactor : 1.0));
+  }
+
+  const double driver_factor =
+      driver_ == DriverKind::kBridge ? kBridgeCostFactor : 1.0;
+
+  if (result.affected_rows > 0) {
+    clock_.advance_us(profile_.insert_row_us *
+                      static_cast<double>(result.affected_rows));
+    clock_.advance_us(profile_.value_wire_us * driver_factor *
+                      static_cast<double>(inserted_values));
+  }
+  if (!result.rows.empty()) {
+    // The bridge penalty is per fetched row and value: each crosses the
+    // driver boundary through text marshalling (JDBC's row-at-a-time path).
+    const auto n_rows = static_cast<double>(result.rows.size());
+    const auto n_values = n_rows * static_cast<double>(result.column_count());
+    clock_.advance_us(profile_.fetch_row_us * driver_factor * n_rows);
+    clock_.advance_us(profile_.value_wire_us * driver_factor * n_values);
+    if (driver_ == DriverKind::kBridge) {
+      clock_.advance_us(kBridgeRowDispatchUs * n_rows);
+    }
+  }
+  rows_ += result.rows.size() + result.affected_rows;
+  ++statements_;
+}
+
+QueryResult Connection::finish(QueryResult result, std::size_t inserted_values) {
+  charge_statement(result, inserted_values);
+  if (driver_ == DriverKind::kBridge && !result.rows.empty()) {
+    result = bridge_marshal_roundtrip(result);
+  }
+  return result;
+}
+
+QueryResult Connection::execute(std::string_view sql_text,
+                                std::span<const Value> params) {
+  QueryResult result = db_.execute(sql_text, params);
+  const std::size_t inserted_values =
+      result.affected_rows * 8;  // rough per-row value count for DML charge
+  return finish(std::move(result), inserted_values);
+}
+
+QueryResult Connection::execute(PreparedStatement& stmt,
+                                std::span<const Value> params) {
+  QueryResult result = db_.execute(stmt, params);
+  return finish(std::move(result), params.size());
+}
+
+QueryResult bridge_marshal_roundtrip(const QueryResult& result) {
+  // Wire format: one type tag byte + display text per value, '\x1f' separated.
+  std::string wire;
+  wire.reserve(result.rows.size() * result.column_count() * 12);
+  for (const Row& row : result.rows) {
+    for (const Value& v : row) {
+      switch (v.type()) {
+        case ValueType::kNull: wire += 'N'; break;
+        case ValueType::kBool: wire += 'B'; break;
+        case ValueType::kInt: wire += 'I'; break;
+        case ValueType::kDouble: wire += 'D'; break;
+        case ValueType::kString: wire += 'S'; break;
+        case ValueType::kDateTime: wire += 'T'; break;
+      }
+      if (v.type() == ValueType::kDateTime) {
+        wire += std::to_string(v.as_datetime());
+      } else if (v.type() != ValueType::kNull) {
+        wire += v.to_display();
+      }
+      wire += '\x1f';
+    }
+  }
+
+  QueryResult out;
+  out.columns = result.columns;
+  out.affected_rows = result.affected_rows;
+  out.rows.reserve(result.rows.size());
+  const std::size_t cols = result.column_count();
+  std::size_t pos = 0;
+  for (std::size_t r = 0; r < result.rows.size(); ++r) {
+    Row row;
+    row.reserve(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const char tag = wire[pos++];
+      const std::size_t end = wire.find('\x1f', pos);
+      const std::string_view text(wire.data() + pos, end - pos);
+      pos = end + 1;
+      switch (tag) {
+        case 'N': row.push_back(Value::null()); break;
+        case 'B': row.push_back(Value::boolean(text == "true")); break;
+        case 'I':
+          row.push_back(Value::integer(std::strtoll(text.data(), nullptr, 10)));
+          break;
+        case 'D': {
+          row.push_back(Value::real(std::strtod(std::string(text).c_str(), nullptr)));
+          break;
+        }
+        case 'S': row.push_back(Value::text(std::string(text))); break;
+        case 'T':
+          row.push_back(Value::datetime(std::strtoll(text.data(), nullptr, 10)));
+          break;
+        default:
+          throw support::EvalError("bridge wire corruption");
+      }
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace kojak::db

@@ -1,0 +1,65 @@
+#ifndef KOJAK_DB_DATABASE_HPP
+#define KOJAK_DB_DATABASE_HPP
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/result.hpp"
+#include "db/sql/ast.hpp"
+#include "db/table.hpp"
+
+namespace kojak::db {
+
+/// A statement parsed once and executable many times with different `?`
+/// parameters (the import path prepares one INSERT per table).
+class PreparedStatement {
+ public:
+  explicit PreparedStatement(sql::Statement stmt) : stmt_(std::move(stmt)) {}
+  [[nodiscard]] const sql::Statement& ast() const noexcept { return stmt_; }
+  [[nodiscard]] sql::Statement& ast() noexcept { return stmt_; }
+
+ private:
+  sql::Statement stmt_;
+};
+
+/// The embedded relational engine: a catalog of tables plus a SQL executor.
+/// Not thread-safe for concurrent mutation; concurrent read-only SELECTs of
+/// *distinct* prepared statements are safe after a warm-up bind.
+class Database {
+ public:
+  Table& create_table(TableSchema schema);
+  /// Returns false when the table does not exist.
+  bool drop_table(std::string_view name);
+  [[nodiscard]] Table* find_table(std::string_view name);
+  [[nodiscard]] const Table* find_table(std::string_view name) const;
+  /// Checked lookup; throws support::EvalError when missing.
+  [[nodiscard]] Table& table(std::string_view name);
+  [[nodiscard]] const Table& table(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> table_names() const;
+
+  /// Parses and executes a script of `;`-separated statements, returning the
+  /// result of the last one.
+  QueryResult execute(std::string_view sql_text, std::span<const Value> params = {});
+
+  QueryResult execute(sql::Statement& stmt, std::span<const Value> params = {});
+
+  [[nodiscard]] PreparedStatement prepare(std::string_view sql_text) const;
+  QueryResult execute(PreparedStatement& stmt, std::span<const Value> params = {});
+
+  /// Total live rows across all tables (bench bookkeeping).
+  [[nodiscard]] std::size_t total_rows() const;
+
+ private:
+  struct CaseInsensitiveLess {
+    bool operator()(const std::string& a, const std::string& b) const;
+  };
+  std::map<std::string, std::unique_ptr<Table>, CaseInsensitiveLess> tables_;
+};
+
+}  // namespace kojak::db
+
+#endif  // KOJAK_DB_DATABASE_HPP

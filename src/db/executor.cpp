@@ -1,0 +1,1218 @@
+// Volcano-lite executor for the SQL subset: scans with index selection,
+// (hash/indexed) equi-joins, filters, grouped aggregation, HAVING, DISTINCT,
+// ORDER BY, LIMIT/OFFSET, and the DML statements. Lives behind
+// Database::execute; there is no separate physical-plan IR — the statement
+// AST plus binder annotations *is* the plan, which is adequate for the data
+// volumes COSY manages (10^4..10^6 rows).
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "db/database.hpp"
+#include "db/sql/parser.hpp"
+#include "support/error.hpp"
+#include "support/stats.hpp"
+#include "support/str.hpp"
+
+namespace kojak::db {
+
+using sql::BinOp;
+using sql::Expr;
+using sql::UnOp;
+using support::EvalError;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Name resolution
+
+struct ScanSource {
+  const Table* table = nullptr;
+  std::string qualifier;
+  std::size_t base_slot = 0;
+};
+
+class Binder {
+ public:
+  Binder(Database& db, std::span<const Value> params) : db_(db), params_(params) {}
+
+  std::vector<ScanSource> bind_sources(const sql::SelectStmt& stmt) {
+    std::vector<ScanSource> sources;
+    std::size_t slot = 0;
+    const auto add = [&](const sql::TableRef& ref) {
+      const Table* table = db_.find_table(ref.table);
+      if (table == nullptr) {
+        throw EvalError(support::cat("unknown table '", ref.table, "'"));
+      }
+      for (const ScanSource& s : sources) {
+        if (support::iequals(s.qualifier, ref.qualifier())) {
+          throw EvalError(support::cat("duplicate table alias '",
+                                       ref.qualifier(), "'"));
+        }
+      }
+      sources.push_back({table, ref.qualifier(), slot});
+      slot += table->schema().column_count();
+    };
+    if (stmt.from) add(*stmt.from);
+    for (const sql::Join& join : stmt.joins) add(join.table);
+    return sources;
+  }
+
+  /// Resolves column refs to slots; validates functions and aggregate
+  /// placement. `allow_aggregates` is false inside WHERE and ON.
+  void bind_expr(Expr& e, const std::vector<ScanSource>& sources,
+                 bool allow_aggregates, bool inside_aggregate = false) {
+    switch (e.kind) {
+      case Expr::Kind::kLiteral:
+      case Expr::Kind::kAliasRef:
+        return;
+      case Expr::Kind::kParam:
+        if (e.param_index >= params_.size()) {
+          throw EvalError(support::cat("statement needs parameter #",
+                                       e.param_index + 1, " but only ",
+                                       params_.size(), " given"));
+        }
+        return;
+      case Expr::Kind::kColumnRef: {
+        resolve_column(e, sources);
+        return;
+      }
+      case Expr::Kind::kUnary:
+        bind_expr(*e.lhs, sources, allow_aggregates, inside_aggregate);
+        return;
+      case Expr::Kind::kBinary:
+        bind_expr(*e.lhs, sources, allow_aggregates, inside_aggregate);
+        bind_expr(*e.rhs, sources, allow_aggregates, inside_aggregate);
+        return;
+      case Expr::Kind::kIsNull:
+        bind_expr(*e.lhs, sources, allow_aggregates, inside_aggregate);
+        return;
+      case Expr::Kind::kLike:
+        bind_expr(*e.lhs, sources, allow_aggregates, inside_aggregate);
+        bind_expr(*e.rhs, sources, allow_aggregates, inside_aggregate);
+        return;
+      case Expr::Kind::kInList:
+        bind_expr(*e.lhs, sources, allow_aggregates, inside_aggregate);
+        for (auto& arg : e.args) {
+          bind_expr(*arg, sources, allow_aggregates, inside_aggregate);
+        }
+        return;
+      case Expr::Kind::kSubquery:
+        return;  // bound independently when materialized
+      case Expr::Kind::kFuncCall: {
+        if (is_aggregate_name(e.func)) {
+          if (!allow_aggregates) {
+            throw EvalError(support::cat("aggregate ", e.func,
+                                         " not allowed in this clause"));
+          }
+          if (inside_aggregate) {
+            throw EvalError("nested aggregates are not allowed");
+          }
+          if (!e.star_arg && e.args.size() != 1) {
+            throw EvalError(support::cat(e.func, " expects exactly one argument"));
+          }
+          if (e.star_arg && e.func != "COUNT") {
+            throw EvalError(support::cat(e.func, "(*) is not valid"));
+          }
+          for (auto& arg : e.args) {
+            bind_expr(*arg, sources, allow_aggregates, /*inside_aggregate=*/true);
+          }
+          return;
+        }
+        validate_scalar_function(e);
+        for (auto& arg : e.args) {
+          bind_expr(*arg, sources, allow_aggregates, inside_aggregate);
+        }
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] static bool is_aggregate_name(std::string_view name) {
+    return name == "COUNT" || name == "SUM" || name == "AVG" || name == "MIN" ||
+           name == "MAX" || name == "STDDEV" || name == "VARIANCE";
+  }
+
+  static void validate_scalar_function(const Expr& e) {
+    struct Fn {
+      const char* name;
+      std::size_t min_args;
+      std::size_t max_args;
+    };
+    static constexpr Fn kFns[] = {
+        {"ABS", 1, 1},    {"SQRT", 1, 1},   {"FLOOR", 1, 1}, {"CEIL", 1, 1},
+        {"ROUND", 1, 2},  {"LENGTH", 1, 1}, {"UPPER", 1, 1}, {"LOWER", 1, 1},
+        {"COALESCE", 1, 64}, {"IIF", 3, 3}, {"NULLIF", 2, 2},
+    };
+    for (const Fn& fn : kFns) {
+      if (e.func == fn.name) {
+        if (e.args.size() < fn.min_args || e.args.size() > fn.max_args) {
+          throw EvalError(support::cat(e.func, " expects between ", fn.min_args,
+                                       " and ", fn.max_args, " arguments"));
+        }
+        return;
+      }
+    }
+    throw EvalError(support::cat("unknown function ", e.func));
+  }
+
+ private:
+  void resolve_column(Expr& e, const std::vector<ScanSource>& sources) {
+    std::size_t found_slot = static_cast<std::size_t>(-1);
+    for (const ScanSource& s : sources) {
+      if (!e.table.empty() && !support::iequals(e.table, s.qualifier)) continue;
+      const auto col = s.table->schema().find_column(e.column);
+      if (!col) continue;
+      if (found_slot != static_cast<std::size_t>(-1)) {
+        throw EvalError(support::cat("ambiguous column '", e.column, "'"));
+      }
+      found_slot = s.base_slot + *col;
+    }
+    if (found_slot == static_cast<std::size_t>(-1)) {
+      throw EvalError(support::cat("unknown column '",
+                                   e.table.empty()
+                                       ? e.column
+                                       : e.table + "." + e.column,
+                                   "'"));
+    }
+    e.resolved_slot = found_slot;
+  }
+
+  Database& db_;
+  std::span<const Value> params_;
+};
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+
+struct EvalCtx {
+  const Row* row = nullptr;
+  std::span<const Value> params;
+  const std::unordered_map<const Expr*, Value>* aggregates = nullptr;
+  const std::unordered_map<const Expr*, Value>* subqueries = nullptr;
+  const Row* output_row = nullptr;  // for kAliasRef in ORDER BY
+};
+
+bool like_match(std::string_view text, std::string_view pattern) {
+  // Iterative matcher for SQL LIKE with '%' (any run) and '_' (single char).
+  std::size_t t = 0, p = 0;
+  std::size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Value eval_expr(const Expr& e, const EvalCtx& ctx);
+
+Value eval_scalar_function(const Expr& e, const EvalCtx& ctx) {
+  const auto arg = [&](std::size_t i) { return eval_expr(*e.args[i], ctx); };
+  if (e.func == "COALESCE") {
+    for (const auto& a : e.args) {
+      Value v = eval_expr(*a, ctx);
+      if (!v.is_null()) return v;
+    }
+    return Value::null();
+  }
+  if (e.func == "IIF") {
+    const Value cond = arg(0);
+    return (!cond.is_null() && cond.as_bool()) ? arg(1) : arg(2);
+  }
+  if (e.func == "NULLIF") {
+    const Value a = arg(0);
+    const Value b = arg(1);
+    const auto cmp = Value::compare_sql(a, b);
+    return (cmp && *cmp == 0) ? Value::null() : a;
+  }
+
+  const Value v = arg(0);
+  if (v.is_null()) return Value::null();
+  if (e.func == "ABS") {
+    return v.type() == ValueType::kInt ? Value::integer(std::llabs(v.as_int()))
+                                       : Value::real(std::fabs(v.as_double()));
+  }
+  if (e.func == "SQRT") {
+    const double x = v.as_double();
+    if (x < 0) throw EvalError("SQRT of negative value");
+    return Value::real(std::sqrt(x));
+  }
+  if (e.func == "FLOOR") return Value::real(std::floor(v.as_double()));
+  if (e.func == "CEIL") return Value::real(std::ceil(v.as_double()));
+  if (e.func == "ROUND") {
+    const double digits = e.args.size() > 1 ? eval_expr(*e.args[1], ctx).as_double() : 0;
+    const double scale = std::pow(10.0, digits);
+    return Value::real(std::round(v.as_double() * scale) / scale);
+  }
+  if (e.func == "LENGTH") {
+    return Value::integer(static_cast<std::int64_t>(v.as_string().size()));
+  }
+  if (e.func == "UPPER") return Value::text(support::to_upper(v.as_string()));
+  if (e.func == "LOWER") return Value::text(support::to_lower(v.as_string()));
+  throw EvalError(support::cat("unknown function ", e.func));
+}
+
+Value eval_expr(const Expr& e, const EvalCtx& ctx) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return e.literal;
+    case Expr::Kind::kParam:
+      return ctx.params[e.param_index];
+    case Expr::Kind::kColumnRef:
+      if (ctx.row == nullptr || e.resolved_slot >= ctx.row->size()) {
+        throw EvalError(support::cat("column '", e.column,
+                                     "' not available in this context"));
+      }
+      return (*ctx.row)[e.resolved_slot];
+    case Expr::Kind::kAliasRef:
+      if (ctx.output_row == nullptr || e.alias_index >= ctx.output_row->size()) {
+        throw EvalError("alias reference outside ORDER BY");
+      }
+      return (*ctx.output_row)[e.alias_index];
+    case Expr::Kind::kSubquery: {
+      if (ctx.subqueries == nullptr) throw EvalError("unexpected subquery");
+      const auto it = ctx.subqueries->find(&e);
+      if (it == ctx.subqueries->end()) throw EvalError("subquery not materialized");
+      return it->second;
+    }
+    case Expr::Kind::kUnary: {
+      const Value v = eval_expr(*e.lhs, ctx);
+      if (v.is_null()) return Value::null();
+      if (e.un_op == UnOp::kNot) return Value::boolean(!v.as_bool());
+      if (v.type() == ValueType::kInt) return Value::integer(-v.as_int());
+      return Value::real(-v.as_double());
+    }
+    case Expr::Kind::kIsNull: {
+      const bool null = eval_expr(*e.lhs, ctx).is_null();
+      return Value::boolean(e.negated ? !null : null);
+    }
+    case Expr::Kind::kLike: {
+      const Value text = eval_expr(*e.lhs, ctx);
+      const Value pattern = eval_expr(*e.rhs, ctx);
+      if (text.is_null() || pattern.is_null()) return Value::null();
+      const bool m = like_match(text.as_string(), pattern.as_string());
+      return Value::boolean(e.negated ? !m : m);
+    }
+    case Expr::Kind::kInList: {
+      const Value needle = eval_expr(*e.lhs, ctx);
+      if (needle.is_null()) return Value::null();
+      bool saw_null = false;
+      for (const auto& arg : e.args) {
+        const Value v = eval_expr(*arg, ctx);
+        if (v.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        const auto cmp = Value::compare_sql(needle, v);
+        if (cmp && *cmp == 0) return Value::boolean(!e.negated);
+      }
+      if (saw_null) return Value::null();
+      return Value::boolean(e.negated);
+    }
+    case Expr::Kind::kFuncCall: {
+      if (Binder::is_aggregate_name(e.func)) {
+        if (ctx.aggregates == nullptr) {
+          throw EvalError(support::cat("aggregate ", e.func,
+                                       " outside aggregation context"));
+        }
+        const auto it = ctx.aggregates->find(&e);
+        if (it == ctx.aggregates->end()) {
+          throw EvalError("aggregate not computed for this expression");
+        }
+        return it->second;
+      }
+      return eval_scalar_function(e, ctx);
+    }
+    case Expr::Kind::kBinary: {
+      switch (e.bin_op) {
+        case BinOp::kAnd: {
+          // Three-valued logic: FALSE dominates NULL.
+          const Value a = eval_expr(*e.lhs, ctx);
+          if (!a.is_null() && !a.as_bool()) return Value::boolean(false);
+          const Value b = eval_expr(*e.rhs, ctx);
+          if (!b.is_null() && !b.as_bool()) return Value::boolean(false);
+          if (a.is_null() || b.is_null()) return Value::null();
+          return Value::boolean(true);
+        }
+        case BinOp::kOr: {
+          const Value a = eval_expr(*e.lhs, ctx);
+          if (!a.is_null() && a.as_bool()) return Value::boolean(true);
+          const Value b = eval_expr(*e.rhs, ctx);
+          if (!b.is_null() && b.as_bool()) return Value::boolean(true);
+          if (a.is_null() || b.is_null()) return Value::null();
+          return Value::boolean(false);
+        }
+        case BinOp::kAdd:
+        case BinOp::kSub:
+        case BinOp::kMul:
+        case BinOp::kDiv:
+        case BinOp::kMod: {
+          const char op = "+-*/%"[static_cast<int>(e.bin_op) -
+                                  static_cast<int>(BinOp::kAdd)];
+          return numeric_binop(op, eval_expr(*e.lhs, ctx), eval_expr(*e.rhs, ctx));
+        }
+        default: {
+          const auto cmp =
+              Value::compare_sql(eval_expr(*e.lhs, ctx), eval_expr(*e.rhs, ctx));
+          if (!cmp) return Value::null();
+          switch (e.bin_op) {
+            case BinOp::kEq: return Value::boolean(*cmp == 0);
+            case BinOp::kNe: return Value::boolean(*cmp != 0);
+            case BinOp::kLt: return Value::boolean(*cmp < 0);
+            case BinOp::kLe: return Value::boolean(*cmp <= 0);
+            case BinOp::kGt: return Value::boolean(*cmp > 0);
+            case BinOp::kGe: return Value::boolean(*cmp >= 0);
+            default: throw EvalError("bad comparison operator");
+          }
+        }
+      }
+    }
+  }
+  throw EvalError("unhandled expression kind");
+}
+
+/// WHERE/ON/HAVING truthiness: NULL counts as false.
+bool eval_predicate(const Expr& e, const EvalCtx& ctx) {
+  const Value v = eval_expr(e, ctx);
+  return !v.is_null() && v.as_bool();
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation machinery
+
+struct AggState {
+  std::size_t count = 0;           // COUNT
+  support::RunningStats stats;     // SUM/AVG/STDDEV/VARIANCE
+  Value min_value;                 // MIN/MAX under SQL comparison
+  Value max_value;
+  bool has_minmax = false;
+  std::set<Value, bool (*)(const Value&, const Value&)> distinct{
+      +[](const Value& a, const Value& b) {
+        return Value::compare_total(a, b) < 0;
+      }};
+};
+
+void agg_accumulate(const Expr& agg, AggState& state, const EvalCtx& ctx) {
+  if (agg.star_arg) {
+    ++state.count;
+    return;
+  }
+  const Value v = eval_expr(*agg.args[0], ctx);
+  if (v.is_null()) return;
+  if (agg.distinct_arg) {
+    if (!state.distinct.insert(v).second) return;
+  }
+  ++state.count;
+  if (agg.func == "MIN" || agg.func == "MAX") {
+    if (!state.has_minmax) {
+      state.min_value = state.max_value = v;
+      state.has_minmax = true;
+    } else {
+      const auto cmin = Value::compare_sql(v, state.min_value);
+      if (cmin && *cmin < 0) state.min_value = v;
+      const auto cmax = Value::compare_sql(v, state.max_value);
+      if (cmax && *cmax > 0) state.max_value = v;
+    }
+    return;
+  }
+  if (agg.func != "COUNT") state.stats.push(v.as_double());
+}
+
+Value agg_finalize(const Expr& agg, const AggState& state) {
+  if (agg.func == "COUNT") {
+    return Value::integer(static_cast<std::int64_t>(state.count));
+  }
+  if (state.count == 0) return Value::null();
+  if (agg.func == "SUM") return Value::real(state.stats.sum());
+  if (agg.func == "AVG") return Value::real(state.stats.mean());
+  if (agg.func == "MIN") return state.min_value;
+  if (agg.func == "MAX") return state.max_value;
+  if (agg.func == "STDDEV") return Value::real(state.stats.stddev_sample());
+  if (agg.func == "VARIANCE") return Value::real(state.stats.variance_sample());
+  throw EvalError(support::cat("unknown aggregate ", agg.func));
+}
+
+void collect_aggregates(const Expr& e, std::vector<const Expr*>& out) {
+  if (e.kind == Expr::Kind::kFuncCall && Binder::is_aggregate_name(e.func)) {
+    out.push_back(&e);
+    return;  // arguments evaluate per input row, not per group
+  }
+  if (e.lhs) collect_aggregates(*e.lhs, out);
+  if (e.rhs) collect_aggregates(*e.rhs, out);
+  for (const auto& arg : e.args) collect_aggregates(*arg, out);
+}
+
+// ---------------------------------------------------------------------------
+// SELECT execution
+
+class SelectExec {
+ public:
+  SelectExec(Database& db, sql::SelectStmt& stmt, std::span<const Value> params)
+      : db_(db), stmt_(stmt), params_(params) {}
+
+  QueryResult run() {
+    Binder binder(db_, params_);
+    sources_ = binder.bind_sources(stmt_);
+    expand_stars();
+    bind_all(binder);
+    materialize_subqueries();
+
+    std::vector<Row> rows = scan_and_join();
+    if (stmt_.where) {
+      std::vector<Row> kept;
+      kept.reserve(rows.size());
+      for (Row& row : rows) {
+        EvalCtx ctx{&row, params_, nullptr, &subquery_values_, nullptr};
+        if (eval_predicate(*stmt_.where, ctx)) kept.push_back(std::move(row));
+      }
+      rows = std::move(kept);
+    }
+
+    QueryResult result;
+    result.columns = output_names();
+
+    std::vector<std::pair<Row, Row>> out;  // (output row, order keys)
+    if (needs_aggregation()) {
+      out = run_aggregation(rows);
+    } else {
+      out.reserve(rows.size());
+      for (const Row& row : rows) {
+        EvalCtx ctx{&row, params_, nullptr, &subquery_values_, nullptr};
+        Row output;
+        output.reserve(stmt_.items.size());
+        for (const auto& item : stmt_.items) {
+          output.push_back(eval_expr(*item.expr, ctx));
+        }
+        Row keys = eval_order_keys(ctx, output);
+        out.emplace_back(std::move(output), std::move(keys));
+      }
+    }
+
+    if (stmt_.distinct) {
+      std::set<Row, bool (*)(const Row&, const Row&)> seen(+[](const Row& a,
+                                                               const Row& b) {
+        for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+          const int c = Value::compare_total(a[i], b[i]);
+          if (c != 0) return c < 0;
+        }
+        return a.size() < b.size();
+      });
+      std::vector<std::pair<Row, Row>> deduped;
+      for (auto& pair : out) {
+        if (seen.insert(pair.first).second) deduped.push_back(std::move(pair));
+      }
+      out = std::move(deduped);
+    }
+
+    if (!stmt_.order_by.empty()) {
+      std::stable_sort(out.begin(), out.end(), [&](const auto& a, const auto& b) {
+        for (std::size_t i = 0; i < stmt_.order_by.size(); ++i) {
+          int c = Value::compare_total(a.second[i], b.second[i]);
+          if (stmt_.order_by[i].descending) c = -c;
+          if (c != 0) return c < 0;
+        }
+        return false;
+      });
+    }
+
+    const std::size_t offset = stmt_.offset.value_or(0);
+    const std::size_t limit = stmt_.limit.value_or(out.size());
+    for (std::size_t i = offset; i < out.size() && i - offset < limit; ++i) {
+      result.rows.push_back(std::move(out[i].first));
+    }
+    return result;
+  }
+
+ private:
+  void expand_stars() {
+    std::vector<sql::SelectItem> expanded;
+    for (auto& item : stmt_.items) {
+      if (!item.star) {
+        expanded.push_back(std::move(item));
+        continue;
+      }
+      bool matched = false;
+      for (const ScanSource& s : sources_) {
+        if (!item.star_table.empty() &&
+            !support::iequals(item.star_table, s.qualifier)) {
+          continue;
+        }
+        matched = true;
+        for (std::size_t c = 0; c < s.table->schema().column_count(); ++c) {
+          sql::SelectItem col;
+          col.expr = std::make_unique<Expr>();
+          col.expr->kind = Expr::Kind::kColumnRef;
+          col.expr->table = s.qualifier;
+          col.expr->column = s.table->schema().column(c).name;
+          expanded.push_back(std::move(col));
+        }
+      }
+      if (!matched) {
+        throw EvalError(item.star_table.empty()
+                            ? std::string("SELECT * without FROM")
+                            : support::cat("unknown table '", item.star_table,
+                                           "' in ", item.star_table, ".*"));
+      }
+    }
+    if (expanded.empty()) throw EvalError("empty select list");
+    stmt_.items = std::move(expanded);
+  }
+
+  void bind_all(Binder& binder) {
+    for (auto& item : stmt_.items) {
+      binder.bind_expr(*item.expr, sources_, /*allow_aggregates=*/true);
+    }
+    if (stmt_.where) {
+      binder.bind_expr(*stmt_.where, sources_, /*allow_aggregates=*/false);
+    }
+    for (auto& join : stmt_.joins) {
+      if (join.on) binder.bind_expr(*join.on, sources_, /*allow_aggregates=*/false);
+    }
+    for (auto& g : stmt_.group_by) {
+      binder.bind_expr(*g, sources_, /*allow_aggregates=*/false);
+    }
+    if (stmt_.having) {
+      binder.bind_expr(*stmt_.having, sources_, /*allow_aggregates=*/true);
+    }
+    for (auto& key : stmt_.order_by) {
+      // ORDER BY <ordinal> and ORDER BY <alias> resolve to select items.
+      if (key.expr->kind == Expr::Kind::kLiteral &&
+          key.expr->literal.type() == ValueType::kInt) {
+        const std::int64_t ordinal = key.expr->literal.as_int();
+        if (ordinal < 1 ||
+            ordinal > static_cast<std::int64_t>(stmt_.items.size())) {
+          throw EvalError(support::cat("ORDER BY position ", ordinal,
+                                       " out of range"));
+        }
+        key.expr->kind = Expr::Kind::kAliasRef;
+        key.expr->alias_index = static_cast<std::size_t>(ordinal - 1);
+        continue;
+      }
+      if (key.expr->kind == Expr::Kind::kColumnRef && key.expr->table.empty()) {
+        bool is_alias = false;
+        for (std::size_t i = 0; i < stmt_.items.size(); ++i) {
+          if (!stmt_.items[i].alias.empty() &&
+              support::iequals(stmt_.items[i].alias, key.expr->column)) {
+            key.expr->kind = Expr::Kind::kAliasRef;
+            key.expr->alias_index = i;
+            is_alias = true;
+            break;
+          }
+        }
+        if (is_alias) continue;
+      }
+      binder.bind_expr(*key.expr, sources_, /*allow_aggregates=*/true);
+    }
+  }
+
+  void materialize_one(const Expr& e) {
+    if (e.kind == Expr::Kind::kSubquery) {
+      sql::Statement sub{std::move(*e.subquery->clone())};
+      QueryResult sub_result = db_.execute(sub, params_);
+      if (sub_result.column_count() != 1) {
+        throw EvalError("scalar subquery must produce one column");
+      }
+      if (sub_result.row_count() > 1) {
+        throw EvalError("scalar subquery produced more than one row");
+      }
+      subquery_values_[&e] = sub_result.scalar();
+      return;
+    }
+    if (e.lhs) materialize_one(*e.lhs);
+    if (e.rhs) materialize_one(*e.rhs);
+    for (const auto& arg : e.args) materialize_one(*arg);
+  }
+
+  void materialize_subqueries() {
+    for (const auto& item : stmt_.items) materialize_one(*item.expr);
+    if (stmt_.where) materialize_one(*stmt_.where);
+    for (const auto& join : stmt_.joins) {
+      if (join.on) materialize_one(*join.on);
+    }
+    for (const auto& g : stmt_.group_by) materialize_one(*g);
+    if (stmt_.having) materialize_one(*stmt_.having);
+    for (const auto& key : stmt_.order_by) materialize_one(*key.expr);
+  }
+
+  /// Access path chosen for the base scan from indexable WHERE conjuncts.
+  struct BaseScanPlan {
+    enum class Kind { kFullScan, kEquality, kRange };
+    Kind kind = Kind::kFullScan;
+    const Index* index = nullptr;
+    Value key;                 // kEquality
+    std::optional<Value> lo;   // kRange (inclusive; strictness re-filtered)
+    std::optional<Value> hi;
+  };
+
+  /// Collects `column op constant` conjuncts over the given source and
+  /// picks an index access path: equality probes win; otherwise range
+  /// bounds on an ordered-indexed column. The full WHERE clause is applied
+  /// afterwards regardless, so inclusive range bounds are always safe.
+  [[nodiscard]] BaseScanPlan plan_base_scan(const Expr* predicate,
+                                            const ScanSource& source) {
+    BaseScanPlan plan;
+    std::map<std::size_t, BaseScanPlan> ranges;  // column -> partial bounds
+
+    const auto constant_of = [&](const Expr& e) -> std::optional<Value> {
+      if (e.kind != Expr::Kind::kLiteral && e.kind != Expr::Kind::kParam &&
+          e.kind != Expr::Kind::kSubquery) {
+        return std::nullopt;
+      }
+      EvalCtx ctx{nullptr, params_, nullptr, &subquery_values_, nullptr};
+      return eval_expr(e, ctx);
+    };
+    const auto column_of = [&](const Expr& e) -> std::optional<std::size_t> {
+      if (e.kind != Expr::Kind::kColumnRef) return std::nullopt;
+      if (e.resolved_slot < source.base_slot ||
+          e.resolved_slot >=
+              source.base_slot + source.table->schema().column_count()) {
+        return std::nullopt;
+      }
+      return e.resolved_slot - source.base_slot;
+    };
+
+    const auto visit = [&](auto&& self, const Expr* e) -> void {
+      if (e == nullptr || plan.kind == BaseScanPlan::Kind::kEquality) return;
+      if (e->kind == Expr::Kind::kBinary && e->bin_op == BinOp::kAnd) {
+        self(self, e->lhs.get());
+        self(self, e->rhs.get());
+        return;
+      }
+      if (e->kind != Expr::Kind::kBinary) return;
+      // Normalize to column-op-constant.
+      auto column = column_of(*e->lhs);
+      auto constant = column ? constant_of(*e->rhs) : std::nullopt;
+      BinOp op = e->bin_op;
+      if (!column || !constant) {
+        column = column_of(*e->rhs);
+        constant = column ? constant_of(*e->lhs) : std::nullopt;
+        switch (op) {  // mirror the comparison
+          case BinOp::kLt: op = BinOp::kGt; break;
+          case BinOp::kLe: op = BinOp::kGe; break;
+          case BinOp::kGt: op = BinOp::kLt; break;
+          case BinOp::kGe: op = BinOp::kLe; break;
+          default: break;
+        }
+      }
+      if (!column || !constant || constant->is_null()) return;
+      const Index* index = source.table->find_index_on(*column);
+      if (index == nullptr) return;
+
+      if (op == BinOp::kEq) {
+        plan.kind = BaseScanPlan::Kind::kEquality;
+        plan.index = index;
+        plan.key = *constant;
+        return;
+      }
+      if (index->kind() != Index::Kind::kOrdered) return;
+      BaseScanPlan& range = ranges[*column];
+      range.kind = BaseScanPlan::Kind::kRange;
+      range.index = index;
+      if (op == BinOp::kGt || op == BinOp::kGe) {
+        if (!range.lo || Value::compare_total(*constant, *range.lo) > 0) {
+          range.lo = *constant;
+        }
+      } else if (op == BinOp::kLt || op == BinOp::kLe) {
+        if (!range.hi || Value::compare_total(*constant, *range.hi) < 0) {
+          range.hi = *constant;
+        }
+      }
+    };
+    visit(visit, predicate);
+
+    if (plan.kind == BaseScanPlan::Kind::kEquality) return plan;
+    for (auto& [column, range] : ranges) {
+      if (range.lo || range.hi) return range;
+    }
+    return plan;
+  }
+
+  /// Finds an equi-join conjunct between earlier slots and the new table;
+  /// returns (outer slot, inner column within new table).
+  [[nodiscard]] static std::optional<std::pair<std::size_t, std::size_t>>
+  equi_join_key(const Expr* on, const ScanSource& inner) {
+    if (on == nullptr) return std::nullopt;
+    if (on->kind == Expr::Kind::kBinary && on->bin_op == BinOp::kAnd) {
+      if (auto lhs = equi_join_key(on->lhs.get(), inner)) return lhs;
+      return equi_join_key(on->rhs.get(), inner);
+    }
+    if (on->kind != Expr::Kind::kBinary || on->bin_op != BinOp::kEq) {
+      return std::nullopt;
+    }
+    const Expr& a = *on->lhs;
+    const Expr& b = *on->rhs;
+    if (a.kind != Expr::Kind::kColumnRef || b.kind != Expr::Kind::kColumnRef) {
+      return std::nullopt;
+    }
+    const std::size_t inner_begin = inner.base_slot;
+    const std::size_t inner_end =
+        inner.base_slot + inner.table->schema().column_count();
+    const bool a_inner = a.resolved_slot >= inner_begin && a.resolved_slot < inner_end;
+    const bool b_inner = b.resolved_slot >= inner_begin && b.resolved_slot < inner_end;
+    if (a_inner == b_inner) return std::nullopt;
+    if (b_inner) return std::make_pair(a.resolved_slot, b.resolved_slot - inner_begin);
+    return std::make_pair(b.resolved_slot, a.resolved_slot - inner_begin);
+  }
+
+  std::vector<Row> scan_and_join() {
+    std::vector<Row> rows;
+    if (!stmt_.from) {
+      rows.emplace_back();  // one empty row: SELECT 1+1
+      return rows;
+    }
+
+    // Base scan, optionally via index (equality probe or ordered range).
+    const ScanSource& base = sources_[0];
+    const BaseScanPlan plan = plan_base_scan(stmt_.where.get(), base);
+    std::vector<std::size_t> base_row_ids;
+    switch (plan.kind) {
+      case BaseScanPlan::Kind::kEquality:
+        base_row_ids = plan.index->equal_range(plan.key);
+        break;
+      case BaseScanPlan::Kind::kRange:
+        base_row_ids = plan.index->range_open(
+            plan.lo ? &*plan.lo : nullptr, plan.hi ? &*plan.hi : nullptr);
+        break;
+      case BaseScanPlan::Kind::kFullScan:
+        base_row_ids = base.table->live_rows();
+        break;
+    }
+    rows.reserve(base_row_ids.size());
+    for (const std::size_t id : base_row_ids) {
+      if (!base.table->is_live(id)) continue;
+      rows.push_back(base.table->row(id));
+    }
+
+    for (std::size_t j = 0; j < stmt_.joins.size(); ++j) {
+      const sql::Join& join = stmt_.joins[j];
+      const ScanSource& inner = sources_[j + 1];
+      std::vector<Row> joined;
+
+      const auto key = equi_join_key(join.on.get(), inner);
+      const Index* inner_index =
+          key ? inner.table->find_index_on(key->second) : nullptr;
+      if (key && inner_index != nullptr) {
+        // Indexed nested-loop join: probe the inner index per outer row —
+        // O(|outer|) probes; the pushdown evaluator's per-context queries
+        // rely on this staying cheap when the inner table is large.
+        for (const Row& outer : rows) {
+          for (const std::size_t id : inner_index->equal_range(outer[key->first])) {
+            if (!inner.table->is_live(id)) continue;
+            Row combined = outer;
+            const Row& inner_row = inner.table->row(id);
+            combined.insert(combined.end(), inner_row.begin(), inner_row.end());
+            EvalCtx ctx{&combined, params_, nullptr, &subquery_values_, nullptr};
+            if (!join.on || eval_predicate(*join.on, ctx)) {
+              joined.push_back(std::move(combined));
+            }
+          }
+        }
+      } else if (key) {
+        // Hash join: build on the inner table, probe with outer rows.
+        std::unordered_multimap<Value, std::size_t, ValueHash, ValueEqTotal> built;
+        const auto inner_ids = inner.table->live_rows();
+        built.reserve(inner_ids.size());
+        for (const std::size_t id : inner_ids) {
+          built.emplace(inner.table->row(id)[key->second], id);
+        }
+        for (const Row& outer : rows) {
+          const auto [begin, end] = built.equal_range(outer[key->first]);
+          for (auto it = begin; it != end; ++it) {
+            Row combined = outer;
+            const Row& inner_row = inner.table->row(it->second);
+            combined.insert(combined.end(), inner_row.begin(), inner_row.end());
+            EvalCtx ctx{&combined, params_, nullptr, &subquery_values_, nullptr};
+            if (!join.on || eval_predicate(*join.on, ctx)) {
+              joined.push_back(std::move(combined));
+            }
+          }
+        }
+      } else {
+        for (const Row& outer : rows) {
+          for (const std::size_t id : inner.table->live_rows()) {
+            Row combined = outer;
+            const Row& inner_row = inner.table->row(id);
+            combined.insert(combined.end(), inner_row.begin(), inner_row.end());
+            EvalCtx ctx{&combined, params_, nullptr, &subquery_values_, nullptr};
+            if (!join.on || eval_predicate(*join.on, ctx)) {
+              joined.push_back(std::move(combined));
+            }
+          }
+        }
+      }
+      rows = std::move(joined);
+    }
+    return rows;
+  }
+
+  [[nodiscard]] bool needs_aggregation() const {
+    if (!stmt_.group_by.empty()) return true;
+    std::vector<const Expr*> aggs;
+    for (const auto& item : stmt_.items) collect_aggregates(*item.expr, aggs);
+    if (stmt_.having) collect_aggregates(*stmt_.having, aggs);
+    for (const auto& key : stmt_.order_by) collect_aggregates(*key.expr, aggs);
+    return !aggs.empty();
+  }
+
+  std::vector<std::pair<Row, Row>> run_aggregation(const std::vector<Row>& rows) {
+    std::vector<const Expr*> agg_exprs;
+    for (const auto& item : stmt_.items) collect_aggregates(*item.expr, agg_exprs);
+    if (stmt_.having) collect_aggregates(*stmt_.having, agg_exprs);
+    for (const auto& key : stmt_.order_by) collect_aggregates(*key.expr, agg_exprs);
+
+    struct Group {
+      Row representative;
+      bool has_rows = false;
+      std::vector<AggState> states;
+    };
+    struct RowLess {
+      bool operator()(const Row& a, const Row& b) const {
+        for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+          const int c = Value::compare_total(a[i], b[i]);
+          if (c != 0) return c < 0;
+        }
+        return a.size() < b.size();
+      }
+    };
+    std::map<Row, Group, RowLess> groups;
+
+    for (const Row& row : rows) {
+      EvalCtx ctx{&row, params_, nullptr, &subquery_values_, nullptr};
+      Row key;
+      key.reserve(stmt_.group_by.size());
+      for (const auto& g : stmt_.group_by) key.push_back(eval_expr(*g, ctx));
+      Group& group = groups[key];
+      if (!group.has_rows) {
+        group.representative = row;
+        group.has_rows = true;
+        group.states.resize(agg_exprs.size());
+      }
+      for (std::size_t i = 0; i < agg_exprs.size(); ++i) {
+        agg_accumulate(*agg_exprs[i], group.states[i], ctx);
+      }
+    }
+    // Global aggregation over an empty input still yields one group.
+    if (groups.empty() && stmt_.group_by.empty()) {
+      Group& group = groups[Row{}];
+      group.states.resize(agg_exprs.size());
+      group.has_rows = false;
+    }
+
+    std::vector<std::pair<Row, Row>> out;
+    for (auto& [key, group] : groups) {
+      std::unordered_map<const Expr*, Value> agg_values;
+      for (std::size_t i = 0; i < agg_exprs.size(); ++i) {
+        agg_values[agg_exprs[i]] = agg_finalize(*agg_exprs[i], group.states[i]);
+      }
+      const Row* rep = group.has_rows ? &group.representative : nullptr;
+      Row empty_row;
+      EvalCtx ctx{rep ? rep : &empty_row, params_, &agg_values,
+                  &subquery_values_, nullptr};
+      if (stmt_.having && !eval_predicate(*stmt_.having, ctx)) continue;
+      Row output;
+      output.reserve(stmt_.items.size());
+      for (const auto& item : stmt_.items) {
+        output.push_back(eval_expr(*item.expr, ctx));
+      }
+      Row keys = eval_order_keys(ctx, output);
+      out.emplace_back(std::move(output), std::move(keys));
+    }
+    return out;
+  }
+
+  Row eval_order_keys(EvalCtx ctx, const Row& output) {
+    Row keys;
+    keys.reserve(stmt_.order_by.size());
+    ctx.output_row = &output;
+    for (const auto& key : stmt_.order_by) {
+      keys.push_back(eval_expr(*key.expr, ctx));
+    }
+    return keys;
+  }
+
+  [[nodiscard]] std::vector<std::string> output_names() const {
+    std::vector<std::string> names;
+    names.reserve(stmt_.items.size());
+    for (const auto& item : stmt_.items) {
+      if (!item.alias.empty()) {
+        names.push_back(item.alias);
+      } else if (item.expr->kind == Expr::Kind::kColumnRef) {
+        names.push_back(item.expr->column);
+      } else {
+        names.push_back(item.expr->to_string());
+      }
+    }
+    return names;
+  }
+
+  Database& db_;
+  sql::SelectStmt& stmt_;
+  std::span<const Value> params_;
+  std::vector<ScanSource> sources_;
+  std::unordered_map<const Expr*, Value> subquery_values_;
+};
+
+// ---------------------------------------------------------------------------
+// DML / DDL execution
+
+QueryResult exec_create_table(Database& db, const sql::CreateTableStmt& stmt) {
+  if (stmt.if_not_exists && db.find_table(stmt.schema.name()) != nullptr) {
+    return {};
+  }
+  db.create_table(stmt.schema);
+  return {};
+}
+
+QueryResult exec_create_index(Database& db, const sql::CreateIndexStmt& stmt) {
+  Table& table = db.table(stmt.table);
+  const auto col = table.schema().find_column(stmt.column);
+  if (!col) {
+    throw EvalError(support::cat("unknown column '", stmt.column, "' in table ",
+                                 stmt.table));
+  }
+  table.create_index(stmt.index_name, *col,
+                     stmt.ordered ? Index::Kind::kOrdered : Index::Kind::kHash);
+  return {};
+}
+
+QueryResult exec_insert(Database& db, const sql::InsertStmt& stmt,
+                        std::span<const Value> params) {
+  Table& table = db.table(stmt.table);
+  const TableSchema& schema = table.schema();
+
+  std::vector<std::size_t> positions;
+  if (stmt.columns.empty()) {
+    positions.resize(schema.column_count());
+    for (std::size_t i = 0; i < positions.size(); ++i) positions[i] = i;
+  } else {
+    for (const std::string& name : stmt.columns) {
+      const auto col = schema.find_column(name);
+      if (!col) {
+        throw EvalError(support::cat("unknown column '", name, "' in table ",
+                                     stmt.table));
+      }
+      positions.push_back(*col);
+    }
+  }
+
+  QueryResult result;
+  EvalCtx ctx{nullptr, params, nullptr, nullptr, nullptr};
+  for (const auto& exprs : stmt.rows) {
+    if (exprs.size() != positions.size()) {
+      throw EvalError(support::cat("INSERT expects ", positions.size(),
+                                   " values, got ", exprs.size()));
+    }
+    Row row(schema.column_count(), Value::null());
+    for (std::size_t i = 0; i < exprs.size(); ++i) {
+      row[positions[i]] = eval_expr(*exprs[i], ctx);
+    }
+    table.insert(std::move(row));
+    ++result.affected_rows;
+  }
+  return result;
+}
+
+QueryResult exec_update(Database& db, sql::UpdateStmt& stmt,
+                        std::span<const Value> params) {
+  Table& table = db.table(stmt.table);
+  Binder binder(db, params);
+  std::vector<ScanSource> sources{{&table, table.schema().name(), 0}};
+  std::vector<std::pair<std::size_t, Expr*>> sets;
+  for (auto& [name, expr] : stmt.assignments) {
+    const auto col = table.schema().find_column(name);
+    if (!col) {
+      throw EvalError(support::cat("unknown column '", name, "' in table ",
+                                   stmt.table));
+    }
+    binder.bind_expr(*expr, sources, /*allow_aggregates=*/false);
+    sets.emplace_back(*col, expr.get());
+  }
+  if (stmt.where) {
+    binder.bind_expr(*stmt.where, sources, /*allow_aggregates=*/false);
+  }
+
+  QueryResult result;
+  for (const std::size_t id : table.live_rows()) {
+    const Row& row = table.row(id);
+    EvalCtx ctx{&row, params, nullptr, nullptr, nullptr};
+    if (stmt.where && !eval_predicate(*stmt.where, ctx)) continue;
+    Row updated = row;
+    for (const auto& [col, expr] : sets) {
+      updated[col] = eval_expr(*expr, ctx);
+    }
+    table.update(id, std::move(updated));
+    ++result.affected_rows;
+  }
+  return result;
+}
+
+QueryResult exec_delete(Database& db, sql::DeleteStmt& stmt,
+                        std::span<const Value> params) {
+  Table& table = db.table(stmt.table);
+  Binder binder(db, params);
+  std::vector<ScanSource> sources{{&table, table.schema().name(), 0}};
+  if (stmt.where) {
+    binder.bind_expr(*stmt.where, sources, /*allow_aggregates=*/false);
+  }
+  QueryResult result;
+  for (const std::size_t id : table.live_rows()) {
+    const Row& row = table.row(id);
+    EvalCtx ctx{&row, params, nullptr, nullptr, nullptr};
+    if (stmt.where && !eval_predicate(*stmt.where, ctx)) continue;
+    table.erase(id);
+    ++result.affected_rows;
+  }
+  return result;
+}
+
+QueryResult exec_drop(Database& db, const sql::DropTableStmt& stmt) {
+  if (!db.drop_table(stmt.table) && !stmt.if_exists) {
+    throw EvalError(support::cat("unknown table '", stmt.table, "'"));
+  }
+  return {};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// QueryResult helpers
+
+std::size_t QueryResult::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (support::iequals(columns[i], name)) return i;
+  }
+  throw support::EvalError(support::cat("no column named '", name, "'"));
+}
+
+std::string QueryResult::to_table() const {
+  std::string out;
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) out += " | ";
+    out += columns[c];
+  }
+  out += '\n';
+  for (const Row& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += " | ";
+      out += row[c].to_display();
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Database facade
+
+bool Database::CaseInsensitiveLess::operator()(const std::string& a,
+                                               const std::string& b) const {
+  return support::to_lower(a) < support::to_lower(b);
+}
+
+Table& Database::create_table(TableSchema schema) {
+  const std::string name = schema.name();
+  if (tables_.contains(name)) {
+    throw EvalError(support::cat("table '", name, "' already exists"));
+  }
+  auto [it, inserted] =
+      tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
+  return *it->second;
+}
+
+bool Database::drop_table(std::string_view name) {
+  return tables_.erase(std::string(name)) > 0;
+}
+
+Table* Database::find_table(std::string_view name) {
+  const auto it = tables_.find(std::string(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::find_table(std::string_view name) const {
+  const auto it = tables_.find(std::string(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table& Database::table(std::string_view name) {
+  Table* t = find_table(name);
+  if (t == nullptr) throw EvalError(support::cat("unknown table '", name, "'"));
+  return *t;
+}
+
+const Table& Database::table(std::string_view name) const {
+  const Table* t = find_table(name);
+  if (t == nullptr) throw EvalError(support::cat("unknown table '", name, "'"));
+  return *t;
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+QueryResult Database::execute(std::string_view sql_text,
+                              std::span<const Value> params) {
+  std::vector<sql::Statement> stmts = sql::parse_sql(sql_text);
+  if (stmts.empty()) return {};
+  QueryResult result;
+  for (sql::Statement& stmt : stmts) {
+    result = execute(stmt, params);
+  }
+  return result;
+}
+
+QueryResult Database::execute(sql::Statement& stmt, std::span<const Value> params) {
+  return std::visit(
+      [&](auto& s) -> QueryResult {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, sql::SelectStmt>) {
+          return SelectExec(*this, s, params).run();
+        } else if constexpr (std::is_same_v<T, sql::CreateTableStmt>) {
+          return exec_create_table(*this, s);
+        } else if constexpr (std::is_same_v<T, sql::CreateIndexStmt>) {
+          return exec_create_index(*this, s);
+        } else if constexpr (std::is_same_v<T, sql::InsertStmt>) {
+          return exec_insert(*this, s, params);
+        } else if constexpr (std::is_same_v<T, sql::UpdateStmt>) {
+          return exec_update(*this, s, params);
+        } else if constexpr (std::is_same_v<T, sql::DeleteStmt>) {
+          return exec_delete(*this, s, params);
+        } else {
+          return exec_drop(*this, s);
+        }
+      },
+      stmt);
+}
+
+PreparedStatement Database::prepare(std::string_view sql_text) const {
+  return PreparedStatement(sql::parse_single(sql_text));
+}
+
+QueryResult Database::execute(PreparedStatement& stmt,
+                              std::span<const Value> params) {
+  return execute(stmt.ast(), params);
+}
+
+std::size_t Database::total_rows() const {
+  std::size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table->live_row_count();
+  return total;
+}
+
+}  // namespace kojak::db

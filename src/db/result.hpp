@@ -1,0 +1,45 @@
+#ifndef KOJAK_DB_RESULT_HPP
+#define KOJAK_DB_RESULT_HPP
+
+#include <string>
+#include <vector>
+
+#include "db/value.hpp"
+#include "support/error.hpp"
+
+namespace kojak::db {
+
+/// Materialized result of a statement. DML statements report affected_rows
+/// and leave columns/rows empty.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  std::size_t affected_rows = 0;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept { return columns.size(); }
+
+  [[nodiscard]] const Value& at(std::size_t row, std::size_t col) const {
+    return rows.at(row).at(col);
+  }
+
+  /// The single value of a 1x1 result; throws otherwise. An empty result
+  /// yields NULL (SQL scalar-subquery convention).
+  [[nodiscard]] Value scalar() const {
+    if (rows.empty()) return Value::null();
+    if (rows.size() != 1 || columns.size() != 1) {
+      throw support::EvalError("result is not scalar");
+    }
+    return rows[0][0];
+  }
+
+  /// Column position by (case-insensitive) name; throws when absent.
+  [[nodiscard]] std::size_t column_index(std::string_view name) const;
+
+  /// Renders as an aligned table (testing/debug aid).
+  [[nodiscard]] std::string to_table() const;
+};
+
+}  // namespace kojak::db
+
+#endif  // KOJAK_DB_RESULT_HPP

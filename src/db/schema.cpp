@@ -1,0 +1,49 @@
+#include "db/schema.hpp"
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace kojak::db {
+
+TableSchema::TableSchema(std::string name, std::vector<ColumnDef> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    for (std::size_t j = i + 1; j < columns_.size(); ++j) {
+      if (support::iequals(columns_[i].name, columns_[j].name)) {
+        throw support::EvalError(support::cat("duplicate column '",
+                                              columns_[j].name, "' in table ",
+                                              name_));
+      }
+    }
+  }
+}
+
+std::optional<std::size_t> TableSchema::find_column(std::string_view name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (support::iequals(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> TableSchema::primary_key() const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].primary_key) return i;
+  }
+  return std::nullopt;
+}
+
+std::string TableSchema::to_ddl() const {
+  std::string out = "CREATE TABLE " + name_ + " (";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += to_string(columns_[i].type);
+    if (columns_[i].primary_key) out += " PRIMARY KEY";
+    if (!columns_[i].nullable && !columns_[i].primary_key) out += " NOT NULL";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace kojak::db

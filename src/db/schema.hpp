@@ -1,0 +1,50 @@
+#ifndef KOJAK_DB_SCHEMA_HPP
+#define KOJAK_DB_SCHEMA_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/value.hpp"
+
+namespace kojak::db {
+
+/// One column of a table schema.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+  bool nullable = true;
+  bool primary_key = false;
+};
+
+/// Schema of one table. Column names are case-insensitive for lookup but
+/// preserve their declared spelling for display.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnDef> columns);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<ColumnDef>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] std::size_t column_count() const noexcept { return columns_.size(); }
+  [[nodiscard]] const ColumnDef& column(std::size_t i) const { return columns_.at(i); }
+
+  /// Case-insensitive column lookup; nullopt when absent.
+  [[nodiscard]] std::optional<std::size_t> find_column(std::string_view name) const;
+
+  /// Index of the primary-key column, if declared.
+  [[nodiscard]] std::optional<std::size_t> primary_key() const;
+
+  /// `CREATE TABLE` DDL that re-creates this schema.
+  [[nodiscard]] std::string to_ddl() const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace kojak::db
+
+#endif  // KOJAK_DB_SCHEMA_HPP

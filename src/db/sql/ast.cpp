@@ -1,0 +1,140 @@
+#include "db/sql/ast.hpp"
+
+#include "support/str.hpp"
+
+namespace kojak::db::sql {
+
+std::string_view to_string(BinOp op) {
+  switch (op) {
+    case BinOp::kEq: return "=";
+    case BinOp::kNe: return "<>";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kAnd: return "AND";
+    case BinOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<SelectStmt> clone_select(const SelectStmt& s);
+
+ExprPtr clone_expr(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->loc = e.loc;
+  out->literal = e.literal;
+  out->table = e.table;
+  out->column = e.column;
+  out->resolved_slot = e.resolved_slot;
+  out->param_index = e.param_index;
+  out->un_op = e.un_op;
+  out->bin_op = e.bin_op;
+  if (e.lhs) out->lhs = clone_expr(*e.lhs);
+  if (e.rhs) out->rhs = clone_expr(*e.rhs);
+  out->func = e.func;
+  for (const auto& a : e.args) out->args.push_back(clone_expr(*a));
+  out->star_arg = e.star_arg;
+  out->distinct_arg = e.distinct_arg;
+  out->negated = e.negated;
+  if (e.subquery) out->subquery = clone_select(*e.subquery);
+  out->alias_index = e.alias_index;
+  return out;
+}
+
+std::unique_ptr<SelectStmt> clone_select(const SelectStmt& s) {
+  auto out = std::make_unique<SelectStmt>();
+  out->distinct = s.distinct;
+  for (const auto& item : s.items) {
+    SelectItem copy;
+    if (item.expr) copy.expr = clone_expr(*item.expr);
+    copy.alias = item.alias;
+    copy.star = item.star;
+    copy.star_table = item.star_table;
+    out->items.push_back(std::move(copy));
+  }
+  out->from = s.from;
+  for (const auto& join : s.joins) {
+    Join copy;
+    copy.table = join.table;
+    if (join.on) copy.on = clone_expr(*join.on);
+    out->joins.push_back(std::move(copy));
+  }
+  if (s.where) out->where = clone_expr(*s.where);
+  for (const auto& g : s.group_by) out->group_by.push_back(clone_expr(*g));
+  if (s.having) out->having = clone_expr(*s.having);
+  for (const auto& k : s.order_by) {
+    out->order_by.push_back({clone_expr(*k.expr), k.descending});
+  }
+  out->limit = s.limit;
+  out->offset = s.offset;
+  return out;
+}
+
+}  // namespace
+
+ExprPtr Expr::clone() const { return clone_expr(*this); }
+
+std::unique_ptr<SelectStmt> SelectStmt::clone() const { return clone_select(*this); }
+
+std::string Expr::to_string() const {
+  using support::cat;
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.to_display();
+    case Kind::kColumnRef:
+      return table.empty() ? column : cat(table, ".", column);
+    case Kind::kParam:
+      return "?";
+    case Kind::kUnary:
+      return cat(un_op == UnOp::kNeg ? "-" : "NOT ", lhs ? lhs->to_string() : "");
+    case Kind::kBinary:
+      return cat("(", lhs ? lhs->to_string() : "", " ", sql::to_string(bin_op),
+                 " ", rhs ? rhs->to_string() : "", ")");
+    case Kind::kFuncCall: {
+      std::string out = func;
+      out += '(';
+      if (star_arg) {
+        out += '*';
+      } else {
+        if (distinct_arg) out += "DISTINCT ";
+        for (std::size_t i = 0; i < args.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += args[i]->to_string();
+        }
+      }
+      out += ')';
+      return out;
+    }
+    case Kind::kIsNull:
+      return cat(lhs ? lhs->to_string() : "", negated ? " IS NOT NULL" : " IS NULL");
+    case Kind::kInList: {
+      std::string out = lhs ? lhs->to_string() : "";
+      out += negated ? " NOT IN (" : " IN (";
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->to_string();
+      }
+      out += ')';
+      return out;
+    }
+    case Kind::kLike:
+      return cat(lhs ? lhs->to_string() : "", negated ? " NOT LIKE " : " LIKE ",
+                 rhs ? rhs->to_string() : "");
+    case Kind::kSubquery:
+      return "(SELECT ...)";
+    case Kind::kAliasRef:
+      return cat("@", alias_index);
+  }
+  return "?";
+}
+
+}  // namespace kojak::db::sql

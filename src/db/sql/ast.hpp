@@ -1,0 +1,163 @@
+#ifndef KOJAK_DB_SQL_AST_HPP
+#define KOJAK_DB_SQL_AST_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "db/schema.hpp"
+#include "db/value.hpp"
+#include "support/source_location.hpp"
+
+namespace kojak::db::sql {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+struct SelectStmt;
+
+enum class BinOp : std::uint8_t {
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAnd, kOr,
+};
+enum class UnOp : std::uint8_t { kNeg, kNot };
+
+[[nodiscard]] std::string_view to_string(BinOp op);
+
+/// SQL expression node. A single struct with a kind discriminator keeps the
+/// binder/executor simple; unused fields stay empty.
+struct Expr {
+  enum class Kind : std::uint8_t {
+    kLiteral,    // literal
+    kColumnRef,  // [table.]column  (resolved_slot filled by the binder)
+    kParam,      // ? placeholder, 0-based param_index
+    kUnary,      // un_op lhs
+    kBinary,     // lhs bin_op rhs
+    kFuncCall,   // func(args...) — scalar or aggregate; star_arg for COUNT(*)
+    kIsNull,     // lhs IS [NOT] NULL
+    kInList,     // lhs IN (args...)
+    kLike,       // lhs LIKE rhs (negated supports NOT LIKE)
+    kSubquery,   // scalar subquery (uncorrelated)
+    kAliasRef,   // ORDER BY / HAVING reference to a select item (alias_index)
+  };
+
+  Kind kind = Kind::kLiteral;
+  support::SourceLoc loc;
+
+  Value literal;
+
+  std::string table;   // optional qualifier of a column ref
+  std::string column;
+  /// Filled by the binder: slot in the flattened scan row; SIZE_MAX until bound.
+  std::size_t resolved_slot = static_cast<std::size_t>(-1);
+
+  std::size_t param_index = 0;
+
+  UnOp un_op = UnOp::kNeg;
+  BinOp bin_op = BinOp::kAnd;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  std::string func;
+  std::vector<ExprPtr> args;
+  bool star_arg = false;
+  bool distinct_arg = false;  // COUNT(DISTINCT x)
+
+  bool negated = false;  // IS NOT NULL / NOT IN / NOT LIKE
+
+  std::unique_ptr<SelectStmt> subquery;
+
+  std::size_t alias_index = 0;
+
+  /// Structural deep copy (used when ORDER BY aliases expand to items).
+  [[nodiscard]] ExprPtr clone() const;
+  /// Debug / display rendering, also used to derive result column names.
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct SelectItem {
+  ExprPtr expr;          // null when star
+  std::string alias;     // empty when none
+  bool star = false;     // SELECT * or t.*
+  std::string star_table;
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty -> table name is the qualifier
+  support::SourceLoc loc;
+
+  [[nodiscard]] const std::string& qualifier() const noexcept {
+    return alias.empty() ? table : alias;
+  }
+};
+
+struct Join {
+  TableRef table;
+  ExprPtr on;  // may be null for CROSS JOIN
+};
+
+struct OrderKey {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::optional<TableRef> from;
+  std::vector<Join> joins;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderKey> order_by;
+  std::optional<std::size_t> limit;
+  std::optional<std::size_t> offset;
+
+  /// Structural deep copy (subquery materialization executes a copy so the
+  /// original statement stays reusable).
+  [[nodiscard]] std::unique_ptr<SelectStmt> clone() const;
+};
+
+struct CreateTableStmt {
+  TableSchema schema;
+  bool if_not_exists = false;
+};
+
+struct CreateIndexStmt {
+  std::string index_name;
+  std::string table;
+  std::string column;
+  bool ordered = false;  // CREATE [ORDERED] INDEX (hash is the default)
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // empty -> full row order
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;
+};
+
+struct DropTableStmt {
+  std::string table;
+  bool if_exists = false;
+};
+
+using Statement = std::variant<SelectStmt, CreateTableStmt, CreateIndexStmt,
+                               InsertStmt, UpdateStmt, DeleteStmt, DropTableStmt>;
+
+}  // namespace kojak::db::sql
+
+#endif  // KOJAK_DB_SQL_AST_HPP

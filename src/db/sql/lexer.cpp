@@ -1,0 +1,159 @@
+#include "db/sql/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace kojak::db::sql {
+
+using support::ParseError;
+using support::SourceLoc;
+
+bool Token::is_keyword(std::string_view kw) const {
+  return kind == TokenKind::kIdent && support::iequals(text, kw);
+}
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+  [[nodiscard]] SourceLoc loc() const noexcept { return {line_, column_, pos_}; }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex_sql(std::string_view source) {
+  std::vector<Token> tokens;
+  Cursor cur(source);
+
+  const auto is_ident_start = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  const auto is_ident_char = [&](char c) {
+    return is_ident_start(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+
+  while (!cur.at_end()) {
+    const char c = cur.peek();
+    const SourceLoc loc = cur.loc();
+
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.advance();
+      continue;
+    }
+    if (c == '-' && cur.peek(1) == '-') {
+      while (!cur.at_end() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::string text;
+      while (!cur.at_end() && is_ident_char(cur.peek())) text += cur.advance();
+      tokens.push_back({TokenKind::kIdent, std::move(text), 0, 0.0, loc});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string text;
+      bool is_float = false;
+      while (!cur.at_end() && std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+        text += cur.advance();
+      }
+      if (cur.peek() == '.' && std::isdigit(static_cast<unsigned char>(cur.peek(1)))) {
+        is_float = true;
+        text += cur.advance();
+        while (!cur.at_end() && std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+          text += cur.advance();
+        }
+      }
+      if (cur.peek() == 'e' || cur.peek() == 'E') {
+        const char sign = cur.peek(1);
+        const char digit = (sign == '+' || sign == '-') ? cur.peek(2) : sign;
+        if (std::isdigit(static_cast<unsigned char>(digit))) {
+          is_float = true;
+          text += cur.advance();  // e
+          if (cur.peek() == '+' || cur.peek() == '-') text += cur.advance();
+          while (!cur.at_end() &&
+                 std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+            text += cur.advance();
+          }
+        }
+      }
+      Token tok;
+      tok.loc = loc;
+      tok.text = text;
+      if (is_float) {
+        tok.kind = TokenKind::kFloatLit;
+        tok.float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kIntLit;
+        tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      cur.advance();
+      std::string text;
+      bool closed = false;
+      while (!cur.at_end()) {
+        const char ch = cur.advance();
+        if (ch == '\'') {
+          if (cur.peek() == '\'') {
+            text += '\'';
+            cur.advance();
+          } else {
+            closed = true;
+            break;
+          }
+        } else {
+          text += ch;
+        }
+      }
+      if (!closed) throw ParseError("unterminated string literal", loc);
+      tokens.push_back({TokenKind::kStringLit, std::move(text), 0, 0.0, loc});
+      continue;
+    }
+
+    // Two-character operators first.
+    const char n = cur.peek(1);
+    std::string sym;
+    if ((c == '<' && (n == '=' || n == '>')) || (c == '>' && n == '=') ||
+        (c == '!' && n == '=')) {
+      sym += cur.advance();
+      sym += cur.advance();
+    } else if (std::string_view("()*,.=<>+-/%?;").find(c) != std::string_view::npos) {
+      sym += cur.advance();
+    } else {
+      throw ParseError(support::cat("unexpected character '", c, "'"), loc);
+    }
+    tokens.push_back({TokenKind::kSymbol, std::move(sym), 0, 0.0, loc});
+  }
+
+  tokens.push_back({TokenKind::kEnd, "", 0, 0.0, cur.loc()});
+  return tokens;
+}
+
+}  // namespace kojak::db::sql

@@ -1,0 +1,20 @@
+#ifndef KOJAK_DB_SQL_LEXER_HPP
+#define KOJAK_DB_SQL_LEXER_HPP
+
+#include <string_view>
+#include <vector>
+
+#include "db/sql/token.hpp"
+
+namespace kojak::db::sql {
+
+/// Tokenizes a SQL script. Supports: identifiers (letters, digits, '_',
+/// starting with a letter or '_'), integer and float literals, single-quoted
+/// strings with doubled-quote escapes, `--` line comments, and the operator
+/// set of the engine's SQL subset. Throws support::ParseError on malformed
+/// input (unterminated string, stray character).
+[[nodiscard]] std::vector<Token> lex_sql(std::string_view source);
+
+}  // namespace kojak::db::sql
+
+#endif  // KOJAK_DB_SQL_LEXER_HPP

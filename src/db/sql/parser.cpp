@@ -1,0 +1,583 @@
+#include "db/sql/parser.hpp"
+
+#include "db/sql/lexer.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace kojak::db::sql {
+
+using support::ParseError;
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(lex_sql(source)) {}
+
+  std::vector<Statement> parse_script() {
+    std::vector<Statement> out;
+    while (!at_end()) {
+      if (accept_symbol(";")) continue;
+      out.push_back(parse_statement());
+      if (!at_end()) expect_symbol(";");
+    }
+    return out;
+  }
+
+ private:
+  // --- token plumbing -------------------------------------------------
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  [[nodiscard]] bool at_end() const { return peek().kind == TokenKind::kEnd; }
+
+  bool accept_symbol(std::string_view s) {
+    if (peek().is_symbol(s)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  void expect_symbol(std::string_view s) {
+    if (!accept_symbol(s)) {
+      throw ParseError(support::cat("expected '", s, "', got '", peek().text, "'"),
+                       peek().loc);
+    }
+  }
+  bool accept_keyword(std::string_view kw) {
+    if (peek().is_keyword(kw)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  void expect_keyword(std::string_view kw) {
+    if (!accept_keyword(kw)) {
+      throw ParseError(support::cat("expected ", kw, ", got '", peek().text, "'"),
+                       peek().loc);
+    }
+  }
+  std::string expect_ident(std::string_view what) {
+    if (peek().kind != TokenKind::kIdent) {
+      throw ParseError(support::cat("expected ", what, ", got '", peek().text, "'"),
+                       peek().loc);
+    }
+    return advance().text;
+  }
+
+  // --- statements ------------------------------------------------------
+  Statement parse_statement() {
+    if (peek().is_keyword("SELECT")) return parse_select();
+    if (peek().is_keyword("CREATE")) return parse_create();
+    if (peek().is_keyword("INSERT")) return parse_insert();
+    if (peek().is_keyword("UPDATE")) return parse_update();
+    if (peek().is_keyword("DELETE")) return parse_delete();
+    if (peek().is_keyword("DROP")) return parse_drop();
+    throw ParseError(support::cat("expected a statement, got '", peek().text, "'"),
+                     peek().loc);
+  }
+
+  SelectStmt parse_select() {
+    expect_keyword("SELECT");
+    SelectStmt stmt;
+    if (accept_keyword("DISTINCT")) stmt.distinct = true;
+
+    do {
+      SelectItem item;
+      if (accept_symbol("*")) {
+        item.star = true;
+      } else if (peek().kind == TokenKind::kIdent && peek(1).is_symbol(".") &&
+                 peek(2).is_symbol("*")) {
+        item.star = true;
+        item.star_table = advance().text;
+        advance();  // .
+        advance();  // *
+      } else {
+        item.expr = parse_expr();
+        if (accept_keyword("AS")) {
+          item.alias = expect_ident("alias");
+        } else if (peek().kind == TokenKind::kIdent && !is_clause_keyword(peek())) {
+          item.alias = advance().text;
+        }
+      }
+      stmt.items.push_back(std::move(item));
+    } while (accept_symbol(","));
+
+    if (accept_keyword("FROM")) {
+      stmt.from = parse_table_ref();
+      while (true) {
+        if (accept_keyword("JOIN") ||
+            (peek().is_keyword("INNER") && peek(1).is_keyword("JOIN") &&
+             (advance(), accept_keyword("JOIN")))) {
+          Join join;
+          join.table = parse_table_ref();
+          expect_keyword("ON");
+          join.on = parse_expr();
+          stmt.joins.push_back(std::move(join));
+        } else if (peek().is_keyword("CROSS") && peek(1).is_keyword("JOIN")) {
+          advance();
+          advance();
+          Join join;
+          join.table = parse_table_ref();
+          stmt.joins.push_back(std::move(join));
+        } else {
+          break;
+        }
+      }
+    }
+    if (accept_keyword("WHERE")) stmt.where = parse_expr();
+    if (peek().is_keyword("GROUP")) {
+      advance();
+      expect_keyword("BY");
+      do {
+        stmt.group_by.push_back(parse_expr());
+      } while (accept_symbol(","));
+    }
+    if (accept_keyword("HAVING")) stmt.having = parse_expr();
+    if (peek().is_keyword("ORDER")) {
+      advance();
+      expect_keyword("BY");
+      do {
+        OrderKey key;
+        key.expr = parse_expr();
+        if (accept_keyword("DESC")) {
+          key.descending = true;
+        } else {
+          accept_keyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(key));
+      } while (accept_symbol(","));
+    }
+    if (accept_keyword("LIMIT")) {
+      stmt.limit = parse_count("LIMIT");
+      if (accept_keyword("OFFSET")) stmt.offset = parse_count("OFFSET");
+    }
+    return stmt;
+  }
+
+  std::size_t parse_count(std::string_view what) {
+    if (peek().kind != TokenKind::kIntLit || peek().int_value < 0) {
+      throw ParseError(support::cat(what, " expects a non-negative integer"),
+                       peek().loc);
+    }
+    return static_cast<std::size_t>(advance().int_value);
+  }
+
+  [[nodiscard]] static bool is_clause_keyword(const Token& tok) {
+    for (const char* kw :
+         {"FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "JOIN",
+          "INNER", "CROSS", "ON", "AS", "ASC", "DESC", "AND", "OR", "NOT",
+          "UNION", "SET", "VALUES"}) {
+      if (tok.is_keyword(kw)) return true;
+    }
+    return false;
+  }
+
+  TableRef parse_table_ref() {
+    TableRef ref;
+    ref.loc = peek().loc;
+    ref.table = expect_ident("table name");
+    if (accept_keyword("AS")) {
+      ref.alias = expect_ident("table alias");
+    } else if (peek().kind == TokenKind::kIdent && !is_clause_keyword(peek())) {
+      ref.alias = advance().text;
+    }
+    return ref;
+  }
+
+  Statement parse_create() {
+    expect_keyword("CREATE");
+    if (accept_keyword("TABLE")) {
+      CreateTableStmt stmt;
+      if (accept_keyword("IF")) {
+        expect_keyword("NOT");
+        expect_keyword("EXISTS");
+        stmt.if_not_exists = true;
+      }
+      std::string name = expect_ident("table name");
+      expect_symbol("(");
+      std::vector<ColumnDef> columns;
+      do {
+        ColumnDef col;
+        col.name = expect_ident("column name");
+        const Token& type_tok = peek();
+        const std::string type_name = expect_ident("type name");
+        const auto type = parse_type_name(type_name);
+        if (!type) {
+          throw ParseError(support::cat("unknown type '", type_name, "'"),
+                           type_tok.loc);
+        }
+        col.type = *type;
+        while (true) {
+          if (accept_keyword("PRIMARY")) {
+            expect_keyword("KEY");
+            col.primary_key = true;
+            col.nullable = false;
+          } else if (accept_keyword("NOT")) {
+            expect_keyword("NULL");
+            col.nullable = false;
+          } else {
+            break;
+          }
+        }
+        columns.push_back(std::move(col));
+      } while (accept_symbol(","));
+      expect_symbol(")");
+      stmt.schema = TableSchema(std::move(name), std::move(columns));
+      return stmt;
+    }
+    bool ordered = false;
+    if (accept_keyword("ORDERED")) ordered = true;
+    expect_keyword("INDEX");
+    CreateIndexStmt stmt;
+    stmt.ordered = ordered;
+    stmt.index_name = expect_ident("index name");
+    expect_keyword("ON");
+    stmt.table = expect_ident("table name");
+    expect_symbol("(");
+    stmt.column = expect_ident("column name");
+    expect_symbol(")");
+    return stmt;
+  }
+
+  Statement parse_insert() {
+    expect_keyword("INSERT");
+    expect_keyword("INTO");
+    InsertStmt stmt;
+    stmt.table = expect_ident("table name");
+    if (accept_symbol("(")) {
+      do {
+        stmt.columns.push_back(expect_ident("column name"));
+      } while (accept_symbol(","));
+      expect_symbol(")");
+    }
+    expect_keyword("VALUES");
+    do {
+      expect_symbol("(");
+      std::vector<ExprPtr> row;
+      do {
+        row.push_back(parse_expr());
+      } while (accept_symbol(","));
+      expect_symbol(")");
+      stmt.rows.push_back(std::move(row));
+    } while (accept_symbol(","));
+    return stmt;
+  }
+
+  Statement parse_update() {
+    expect_keyword("UPDATE");
+    UpdateStmt stmt;
+    stmt.table = expect_ident("table name");
+    expect_keyword("SET");
+    do {
+      std::string col = expect_ident("column name");
+      expect_symbol("=");
+      stmt.assignments.emplace_back(std::move(col), parse_expr());
+    } while (accept_symbol(","));
+    if (accept_keyword("WHERE")) stmt.where = parse_expr();
+    return stmt;
+  }
+
+  Statement parse_delete() {
+    expect_keyword("DELETE");
+    expect_keyword("FROM");
+    DeleteStmt stmt;
+    stmt.table = expect_ident("table name");
+    if (accept_keyword("WHERE")) stmt.where = parse_expr();
+    return stmt;
+  }
+
+  Statement parse_drop() {
+    expect_keyword("DROP");
+    expect_keyword("TABLE");
+    DropTableStmt stmt;
+    if (accept_keyword("IF")) {
+      expect_keyword("EXISTS");
+      stmt.if_exists = true;
+    }
+    stmt.table = expect_ident("table name");
+    return stmt;
+  }
+
+  // --- expressions (precedence climbing) -------------------------------
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs,
+                      support::SourceLoc loc) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->bin_op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    e->loc = loc;
+    return e;
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (peek().is_keyword("OR")) {
+      const auto loc = advance().loc;
+      lhs = make_binary(BinOp::kOr, std::move(lhs), parse_and(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_not();
+    while (peek().is_keyword("AND")) {
+      const auto loc = advance().loc;
+      lhs = make_binary(BinOp::kAnd, std::move(lhs), parse_not(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_not() {
+    if (peek().is_keyword("NOT")) {
+      const auto loc = advance().loc;
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->un_op = UnOp::kNot;
+      e->lhs = parse_not();
+      e->loc = loc;
+      return e;
+    }
+    return parse_comparison();
+  }
+
+  ExprPtr parse_comparison() {
+    ExprPtr lhs = parse_additive();
+    // IS [NOT] NULL / [NOT] IN / [NOT] LIKE postfix forms.
+    if (peek().is_keyword("IS")) {
+      const auto loc = advance().loc;
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kIsNull;
+      e->negated = accept_keyword("NOT");
+      expect_keyword("NULL");
+      e->lhs = std::move(lhs);
+      e->loc = loc;
+      return e;
+    }
+    bool negated = false;
+    if (peek().is_keyword("NOT") &&
+        (peek(1).is_keyword("IN") || peek(1).is_keyword("LIKE"))) {
+      advance();
+      negated = true;
+    }
+    if (peek().is_keyword("IN")) {
+      const auto loc = advance().loc;
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kInList;
+      e->negated = negated;
+      e->lhs = std::move(lhs);
+      e->loc = loc;
+      expect_symbol("(");
+      do {
+        e->args.push_back(parse_expr());
+      } while (accept_symbol(","));
+      expect_symbol(")");
+      return e;
+    }
+    if (peek().is_keyword("LIKE")) {
+      const auto loc = advance().loc;
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kLike;
+      e->negated = negated;
+      e->lhs = std::move(lhs);
+      e->rhs = parse_additive();
+      e->loc = loc;
+      return e;
+    }
+    if (negated) {
+      throw ParseError("expected IN or LIKE after NOT", peek().loc);
+    }
+
+    struct OpMap {
+      const char* sym;
+      BinOp op;
+    };
+    static constexpr OpMap kOps[] = {
+        {"=", BinOp::kEq},  {"<>", BinOp::kNe}, {"!=", BinOp::kNe},
+        {"<=", BinOp::kLe}, {">=", BinOp::kGe}, {"<", BinOp::kLt},
+        {">", BinOp::kGt},
+    };
+    for (const auto& [sym, op] : kOps) {
+      if (peek().is_symbol(sym)) {
+        const auto loc = advance().loc;
+        return make_binary(op, std::move(lhs), parse_additive(), loc);
+      }
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    while (peek().is_symbol("+") || peek().is_symbol("-")) {
+      const BinOp op = peek().is_symbol("+") ? BinOp::kAdd : BinOp::kSub;
+      const auto loc = advance().loc;
+      lhs = make_binary(op, std::move(lhs), parse_multiplicative(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr lhs = parse_unary();
+    while (peek().is_symbol("*") || peek().is_symbol("/") || peek().is_symbol("%")) {
+      BinOp op = BinOp::kMul;
+      if (peek().is_symbol("/")) op = BinOp::kDiv;
+      if (peek().is_symbol("%")) op = BinOp::kMod;
+      const auto loc = advance().loc;
+      lhs = make_binary(op, std::move(lhs), parse_unary(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (peek().is_symbol("-")) {
+      const auto loc = advance().loc;
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->un_op = UnOp::kNeg;
+      e->lhs = parse_unary();
+      e->loc = loc;
+      return e;
+    }
+    if (peek().is_symbol("+")) {
+      advance();
+      return parse_unary();
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token& tok = peek();
+    auto e = std::make_unique<Expr>();
+    e->loc = tok.loc;
+
+    switch (tok.kind) {
+      case TokenKind::kIntLit:
+        e->kind = Expr::Kind::kLiteral;
+        e->literal = Value::integer(advance().int_value);
+        return e;
+      case TokenKind::kFloatLit:
+        e->kind = Expr::Kind::kLiteral;
+        e->literal = Value::real(advance().float_value);
+        return e;
+      case TokenKind::kStringLit:
+        e->kind = Expr::Kind::kLiteral;
+        e->literal = Value::text(advance().text);
+        return e;
+      case TokenKind::kSymbol:
+        if (tok.is_symbol("?")) {
+          advance();
+          e->kind = Expr::Kind::kParam;
+          e->param_index = next_param_++;
+          return e;
+        }
+        if (tok.is_symbol("(")) {
+          advance();
+          if (peek().is_keyword("SELECT")) {
+            e->kind = Expr::Kind::kSubquery;
+            e->subquery = std::make_unique<SelectStmt>(parse_select());
+            expect_symbol(")");
+            return e;
+          }
+          ExprPtr inner = parse_expr();
+          expect_symbol(")");
+          return inner;
+        }
+        break;
+      case TokenKind::kIdent: {
+        if (tok.is_keyword("NULL")) {
+          advance();
+          e->kind = Expr::Kind::kLiteral;
+          e->literal = Value::null();
+          return e;
+        }
+        if (tok.is_keyword("TRUE") || tok.is_keyword("FALSE")) {
+          e->kind = Expr::Kind::kLiteral;
+          e->literal = Value::boolean(advance().is_keyword("TRUE"));
+          return e;
+        }
+        if (tok.is_keyword("DATETIME") && peek(1).kind == TokenKind::kStringLit) {
+          advance();
+          const Token& lit = advance();
+          const auto parsed = parse_datetime(lit.text);
+          if (!parsed) {
+            throw ParseError(support::cat("malformed DATETIME literal '",
+                                          lit.text, "'"),
+                             lit.loc);
+          }
+          e->kind = Expr::Kind::kLiteral;
+          e->literal = Value::datetime(*parsed);
+          return e;
+        }
+        // Reserved words cannot start a primary expression; catching them
+        // here turns "SELECT a, FROM t" into a syntax error instead of a
+        // column named FROM.
+        for (const char* reserved :
+             {"FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+              "OFFSET", "JOIN", "INNER", "CROSS", "ON", "SELECT", "INSERT",
+              "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "DROP",
+              "TABLE", "INDEX", "AS", "ASC", "DESC", "UNION", "PRIMARY"}) {
+          if (tok.is_keyword(reserved)) {
+            throw ParseError(support::cat("unexpected keyword '", tok.text, "'"),
+                             tok.loc);
+          }
+        }
+        std::string name = advance().text;
+        if (accept_symbol("(")) {
+          e->kind = Expr::Kind::kFuncCall;
+          e->func = support::to_upper(name);
+          if (accept_symbol("*")) {
+            e->star_arg = true;
+            expect_symbol(")");
+            return e;
+          }
+          if (accept_keyword("DISTINCT")) e->distinct_arg = true;
+          if (!accept_symbol(")")) {
+            do {
+              e->args.push_back(parse_expr());
+            } while (accept_symbol(","));
+            expect_symbol(")");
+          }
+          return e;
+        }
+        e->kind = Expr::Kind::kColumnRef;
+        if (accept_symbol(".")) {
+          e->table = std::move(name);
+          e->column = expect_ident("column name");
+        } else {
+          e->column = std::move(name);
+        }
+        return e;
+      }
+      default:
+        break;
+    }
+    throw ParseError(support::cat("unexpected token '", tok.text, "'"), tok.loc);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::size_t next_param_ = 0;
+};
+
+}  // namespace
+
+std::vector<Statement> parse_sql(std::string_view source) {
+  return Parser(source).parse_script();
+}
+
+Statement parse_single(std::string_view source) {
+  std::vector<Statement> stmts = parse_sql(source);
+  if (stmts.size() != 1) {
+    throw ParseError(support::cat("expected exactly one statement, got ",
+                                  stmts.size()),
+                     {});
+  }
+  return std::move(stmts.front());
+}
+
+}  // namespace kojak::db::sql

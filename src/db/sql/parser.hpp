@@ -1,0 +1,21 @@
+#ifndef KOJAK_DB_SQL_PARSER_HPP
+#define KOJAK_DB_SQL_PARSER_HPP
+
+#include <string_view>
+#include <vector>
+
+#include "db/sql/ast.hpp"
+
+namespace kojak::db::sql {
+
+/// Parses a script of `;`-separated statements. Throws support::ParseError
+/// on the first syntax error (SQL here is machine-generated or short, so
+/// multi-error recovery is reserved for the ASL front end).
+[[nodiscard]] std::vector<Statement> parse_sql(std::string_view source);
+
+/// Parses exactly one statement (trailing `;` optional).
+[[nodiscard]] Statement parse_single(std::string_view source);
+
+}  // namespace kojak::db::sql
+
+#endif  // KOJAK_DB_SQL_PARSER_HPP

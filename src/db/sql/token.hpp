@@ -1,0 +1,36 @@
+#ifndef KOJAK_DB_SQL_TOKEN_HPP
+#define KOJAK_DB_SQL_TOKEN_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "support/source_location.hpp"
+
+namespace kojak::db::sql {
+
+enum class TokenKind : std::uint8_t {
+  kIdent,    // bare identifier or keyword (SQL keywords are case-insensitive)
+  kIntLit,
+  kFloatLit,
+  kStringLit,
+  kSymbol,   // punctuation / operator, text holds the exact spelling
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;            // identifier spelling, operator, or string body
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  support::SourceLoc loc;
+
+  [[nodiscard]] bool is_symbol(std::string_view s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword test (keywords are ordinary identifiers).
+  [[nodiscard]] bool is_keyword(std::string_view kw) const;
+};
+
+}  // namespace kojak::db::sql
+
+#endif  // KOJAK_DB_SQL_TOKEN_HPP

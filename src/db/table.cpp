@@ -1,0 +1,171 @@
+#include "db/table.hpp"
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace kojak::db {
+
+using support::EvalError;
+
+void Index::insert(const Value& key, std::size_t row_id) {
+  if (kind_ == Kind::kHash) {
+    hash_.emplace(key, row_id);
+  } else {
+    ordered_.emplace(key, row_id);
+  }
+}
+
+void Index::erase(const Value& key, std::size_t row_id) {
+  if (kind_ == Kind::kHash) {
+    auto [begin, end] = hash_.equal_range(key);
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == row_id) {
+        hash_.erase(it);
+        return;
+      }
+    }
+  } else {
+    auto [begin, end] = ordered_.equal_range(key);
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == row_id) {
+        ordered_.erase(it);
+        return;
+      }
+    }
+  }
+}
+
+std::vector<std::size_t> Index::equal_range(const Value& key) const {
+  std::vector<std::size_t> out;
+  if (kind_ == Kind::kHash) {
+    auto [begin, end] = hash_.equal_range(key);
+    for (auto it = begin; it != end; ++it) out.push_back(it->second);
+  } else {
+    auto [begin, end] = ordered_.equal_range(key);
+    for (auto it = begin; it != end; ++it) out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Index::range(const Value& lo, const Value& hi) const {
+  return range_open(&lo, &hi);
+}
+
+std::vector<std::size_t> Index::range_open(const Value* lo,
+                                           const Value* hi) const {
+  std::vector<std::size_t> out;
+  if (kind_ != Kind::kOrdered) {
+    throw EvalError(support::cat("index ", name_, " does not support range scans"));
+  }
+  auto it = lo != nullptr ? ordered_.lower_bound(*lo) : ordered_.begin();
+  for (; it != ordered_.end(); ++it) {
+    if (it->first.is_null()) continue;
+    if (hi != nullptr && Value::compare_total(it->first, *hi) > 0) break;
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+Row Table::validate(Row row) const {
+  if (row.size() != schema_.column_count()) {
+    throw EvalError(support::cat("table ", schema_.name(), " expects ",
+                                 schema_.column_count(), " values, got ",
+                                 row.size()));
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const ColumnDef& col = schema_.column(i);
+    row[i] = row[i].coerce_to(col.type);
+    if (row[i].is_null() && (!col.nullable || col.primary_key)) {
+      throw EvalError(support::cat("NULL not allowed in ", schema_.name(), ".",
+                                   col.name));
+    }
+  }
+  return row;
+}
+
+std::size_t Table::insert(Row row) {
+  row = validate(std::move(row));
+  if (const auto pk = schema_.primary_key()) {
+    if (const Index* index = find_index_on(*pk)) {
+      if (!index->equal_range(row[*pk]).empty()) {
+        throw EvalError(support::cat("duplicate primary key ",
+                                     row[*pk].to_display(), " in table ",
+                                     schema_.name()));
+      }
+    } else {
+      for (std::size_t id = 0; id < rows_.size(); ++id) {
+        if (live_[id] && rows_[id][*pk].equals_total(row[*pk])) {
+          throw EvalError(support::cat("duplicate primary key ",
+                                       row[*pk].to_display(), " in table ",
+                                       schema_.name()));
+        }
+      }
+    }
+  }
+  const std::size_t row_id = rows_.size();
+  rows_.push_back(std::move(row));
+  live_.push_back(true);
+  ++live_count_;
+  for (const auto& index : indexes_) {
+    index->insert(rows_.back()[index->column()], row_id);
+  }
+  return row_id;
+}
+
+void Table::erase(std::size_t row_id) {
+  if (!is_live(row_id)) {
+    throw EvalError(support::cat("row ", row_id, " is not live in table ",
+                                 schema_.name()));
+  }
+  for (const auto& index : indexes_) {
+    index->erase(rows_[row_id][index->column()], row_id);
+  }
+  live_[row_id] = false;
+  --live_count_;
+}
+
+void Table::update(std::size_t row_id, Row row) {
+  if (!is_live(row_id)) {
+    throw EvalError(support::cat("row ", row_id, " is not live in table ",
+                                 schema_.name()));
+  }
+  row = validate(std::move(row));
+  for (const auto& index : indexes_) {
+    index->erase(rows_[row_id][index->column()], row_id);
+  }
+  rows_[row_id] = std::move(row);
+  for (const auto& index : indexes_) {
+    index->insert(rows_[row_id][index->column()], row_id);
+  }
+}
+
+std::vector<std::size_t> Table::live_rows() const {
+  std::vector<std::size_t> out;
+  out.reserve(live_count_);
+  for (std::size_t id = 0; id < rows_.size(); ++id) {
+    if (live_[id]) out.push_back(id);
+  }
+  return out;
+}
+
+Index& Table::create_index(std::string name, std::size_t column, Index::Kind kind) {
+  if (column >= schema_.column_count()) {
+    throw EvalError(support::cat("index column ", column, " out of range for ",
+                                 schema_.name()));
+  }
+  auto index = std::make_unique<Index>(std::move(name), column, kind);
+  for (std::size_t id = 0; id < rows_.size(); ++id) {
+    if (live_[id]) index->insert(rows_[id][column], id);
+  }
+  indexes_.push_back(std::move(index));
+  return *indexes_.back();
+}
+
+const Index* Table::find_index_on(std::size_t column) const {
+  for (const auto& index : indexes_) {
+    if (index->column() == column) return index.get();
+  }
+  return nullptr;
+}
+
+}  // namespace kojak::db

@@ -1,0 +1,103 @@
+#ifndef KOJAK_DB_TABLE_HPP
+#define KOJAK_DB_TABLE_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/schema.hpp"
+#include "db/value.hpp"
+
+namespace kojak::db {
+
+/// Secondary index over one column. Hash indexes serve equality probes,
+/// ordered indexes additionally serve range scans. Indexes store row ids
+/// into the table heap and are maintained on insert/update/delete.
+class Index {
+ public:
+  enum class Kind { kHash, kOrdered };
+
+  Index(std::string name, std::size_t column, Kind kind)
+      : name_(std::move(name)), column_(column), kind_(kind) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+  void insert(const Value& key, std::size_t row_id);
+  void erase(const Value& key, std::size_t row_id);
+
+  /// Row ids whose key equals `key` (total-order equality).
+  [[nodiscard]] std::vector<std::size_t> equal_range(const Value& key) const;
+
+  /// Row ids with lo <= key <= hi under the total order; only for kOrdered.
+  [[nodiscard]] std::vector<std::size_t> range(const Value& lo, const Value& hi) const;
+
+  /// Row ids within the optionally-open interval [lo, hi] (nullptr = no
+  /// bound on that side); only for kOrdered. NULL keys are never returned
+  /// (SQL comparisons with NULL are unknown).
+  [[nodiscard]] std::vector<std::size_t> range_open(const Value* lo,
+                                                    const Value* hi) const;
+
+ private:
+  struct TotalLess {
+    bool operator()(const Value& a, const Value& b) const noexcept {
+      return Value::compare_total(a, b) < 0;
+    }
+  };
+
+  std::string name_;
+  std::size_t column_;
+  Kind kind_;
+  std::unordered_multimap<Value, std::size_t, ValueHash, ValueEqTotal> hash_;
+  std::multimap<Value, std::size_t, TotalLess> ordered_;
+};
+
+/// Heap-organized table. Deleted rows become tombstones; `live` tracks
+/// validity so indexes can keep stable row ids without compaction.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  [[nodiscard]] const TableSchema& schema() const noexcept { return schema_; }
+  [[nodiscard]] std::size_t live_row_count() const noexcept { return live_count_; }
+  [[nodiscard]] std::size_t heap_size() const noexcept { return rows_.size(); }
+
+  /// Validates arity, coerces values to column types, enforces NOT NULL and
+  /// primary-key uniqueness, appends the row, updates indexes. Returns the
+  /// new row id.
+  std::size_t insert(Row row);
+
+  [[nodiscard]] bool is_live(std::size_t row_id) const {
+    return row_id < rows_.size() && live_[row_id];
+  }
+  [[nodiscard]] const Row& row(std::size_t row_id) const { return rows_.at(row_id); }
+
+  void erase(std::size_t row_id);
+  /// Replaces the row in place (same validation as insert).
+  void update(std::size_t row_id, Row row);
+
+  /// All live row ids in heap order.
+  [[nodiscard]] std::vector<std::size_t> live_rows() const;
+
+  Index& create_index(std::string name, std::size_t column, Index::Kind kind);
+  [[nodiscard]] const Index* find_index_on(std::size_t column) const;
+  [[nodiscard]] const std::vector<std::unique_ptr<Index>>& indexes() const noexcept {
+    return indexes_;
+  }
+
+ private:
+  Row validate(Row row) const;
+
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> live_;
+  std::size_t live_count_ = 0;
+  std::vector<std::unique_ptr<Index>> indexes_;
+};
+
+}  // namespace kojak::db
+
+#endif  // KOJAK_DB_TABLE_HPP

@@ -1,0 +1,368 @@
+#include "db/value.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace kojak::db {
+
+using support::EvalError;
+
+std::string_view to_string(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOLEAN";
+    case ValueType::kInt:
+      return "INTEGER";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "TEXT";
+    case ValueType::kDateTime:
+      return "DATETIME";
+  }
+  return "?";
+}
+
+std::optional<ValueType> parse_type_name(std::string_view name) {
+  const std::string upper = support::to_upper(name);
+  if (upper == "INTEGER" || upper == "INT" || upper == "BIGINT") return ValueType::kInt;
+  if (upper == "REAL" || upper == "DOUBLE" || upper == "FLOAT") return ValueType::kDouble;
+  if (upper == "TEXT" || upper == "VARCHAR" || upper == "STRING") return ValueType::kString;
+  if (upper == "BOOLEAN" || upper == "BOOL") return ValueType::kBool;
+  if (upper == "DATETIME" || upper == "TIMESTAMP") return ValueType::kDateTime;
+  return std::nullopt;
+}
+
+ValueType Value::type() const noexcept {
+  if (std::holds_alternative<std::monostate>(payload_)) return ValueType::kNull;
+  if (std::holds_alternative<bool>(payload_)) return ValueType::kBool;
+  if (std::holds_alternative<std::int64_t>(payload_)) {
+    return is_datetime_ ? ValueType::kDateTime : ValueType::kInt;
+  }
+  if (std::holds_alternative<double>(payload_)) return ValueType::kDouble;
+  return ValueType::kString;
+}
+
+bool Value::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&payload_)) return *b;
+  throw EvalError(support::cat("value is not BOOLEAN: ", to_display()));
+}
+
+std::int64_t Value::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&payload_)) {
+    if (!is_datetime_) return *i;
+  }
+  throw EvalError(support::cat("value is not INTEGER: ", to_display()));
+}
+
+double Value::as_double() const {
+  if (const auto* d = std::get_if<double>(&payload_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&payload_)) {
+    return static_cast<double>(*i);
+  }
+  throw EvalError(support::cat("value is not numeric: ", to_display()));
+}
+
+const std::string& Value::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&payload_)) return *s;
+  throw EvalError(support::cat("value is not TEXT: ", to_display()));
+}
+
+std::int64_t Value::as_datetime() const {
+  if (is_datetime_) {
+    if (const auto* i = std::get_if<std::int64_t>(&payload_)) return *i;
+  }
+  throw EvalError(support::cat("value is not DATETIME: ", to_display()));
+}
+
+std::optional<int> Value::compare_sql(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return std::nullopt;
+  if (a.is_numeric() && b.is_numeric()) {
+    const double x = a.as_double();
+    const double y = b.as_double();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  const ValueType ta = a.type();
+  const ValueType tb = b.type();
+  if (ta != tb) {
+    throw EvalError(support::cat("cannot compare ", to_string(ta), " with ",
+                                 to_string(tb)));
+  }
+  switch (ta) {
+    case ValueType::kBool: {
+      const int x = a.as_bool() ? 1 : 0;
+      const int y = b.as_bool() ? 1 : 0;
+      return x - y;
+    }
+    case ValueType::kDateTime: {
+      const std::int64_t x = a.as_datetime();
+      const std::int64_t y = b.as_datetime();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueType::kString: {
+      const int c = a.as_string().compare(b.as_string());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return 0;  // unreachable
+  }
+}
+
+namespace {
+
+int type_class(ValueType t) noexcept {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 2;
+    case ValueType::kDateTime:
+      return 3;
+    case ValueType::kString:
+      return 4;
+  }
+  return 5;
+}
+
+}  // namespace
+
+int Value::compare_total(const Value& a, const Value& b) noexcept {
+  const int ca = type_class(a.type());
+  const int cb = type_class(b.type());
+  if (ca != cb) return ca < cb ? -1 : 1;
+  switch (ca) {
+    case 0:
+      return 0;
+    case 1: {
+      const int x = std::get<bool>(a.payload_) ? 1 : 0;
+      const int y = std::get<bool>(b.payload_) ? 1 : 0;
+      return x - y;
+    }
+    case 2: {
+      const double x = a.as_double();
+      const double y = b.as_double();
+      if (x < y) return -1;
+      if (x > y) return 1;
+      return 0;
+    }
+    case 3: {
+      const auto x = std::get<std::int64_t>(a.payload_);
+      const auto y = std::get<std::int64_t>(b.payload_);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    default: {
+      const int c = std::get<std::string>(a.payload_).compare(
+          std::get<std::string>(b.payload_));
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+}
+
+std::size_t Value::hash() const noexcept {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x517CC1B727220A95ULL;
+    case ValueType::kBool:
+      return std::get<bool>(payload_) ? 2 : 1;
+    case ValueType::kInt:
+    case ValueType::kDateTime: {
+      // Hash ints through double so 2 and 2.0 land in the same bucket
+      // (compare_total treats them as equal group keys).
+      const double d = static_cast<double>(std::get<std::int64_t>(payload_));
+      return std::hash<double>{}(d);
+    }
+    case ValueType::kDouble:
+      return std::hash<double>{}(std::get<double>(payload_));
+    case ValueType::kString:
+      return std::hash<std::string>{}(std::get<std::string>(payload_));
+  }
+  return 0;
+}
+
+std::string Value::to_display() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return std::get<bool>(payload_) ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(std::get<std::int64_t>(payload_));
+    case ValueType::kDouble:
+      return support::format_double(std::get<double>(payload_));
+    case ValueType::kString:
+      return std::get<std::string>(payload_);
+    case ValueType::kDateTime:
+      return format_datetime(std::get<std::int64_t>(payload_));
+  }
+  return "?";
+}
+
+std::string Value::to_sql_literal() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return std::get<bool>(payload_) ? "TRUE" : "FALSE";
+    case ValueType::kInt:
+      return std::to_string(std::get<std::int64_t>(payload_));
+    case ValueType::kDouble: {
+      std::string s = support::format_double(std::get<double>(payload_));
+      // Ensure the literal re-parses as a double, not an int.
+      if (s.find_first_of(".eEnN") == std::string::npos) s += ".0";
+      return s;
+    }
+    case ValueType::kString:
+      return support::sql_quote(std::get<std::string>(payload_));
+    case ValueType::kDateTime:
+      return support::cat("DATETIME ",
+                          support::sql_quote(format_datetime(as_datetime())));
+  }
+  return "NULL";
+}
+
+Value Value::coerce_to(ValueType target) const {
+  const ValueType from = type();
+  if (from == ValueType::kNull || from == target) return *this;
+  if (from == ValueType::kInt && target == ValueType::kDouble) {
+    return Value::real(static_cast<double>(as_int()));
+  }
+  if (from == ValueType::kInt && target == ValueType::kDateTime) {
+    return Value::datetime(as_int());
+  }
+  if (from == ValueType::kDateTime && target == ValueType::kInt) {
+    return Value::integer(as_datetime());
+  }
+  throw EvalError(support::cat("cannot store ", to_string(from), " value ",
+                               to_display(), " into ", to_string(target),
+                               " column"));
+}
+
+Value numeric_binop(char op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::null();
+  if (!a.is_numeric() || !b.is_numeric()) {
+    if (op == '+' && a.type() == ValueType::kString &&
+        b.type() == ValueType::kString) {
+      return Value::text(a.as_string() + b.as_string());
+    }
+    throw EvalError(support::cat("arithmetic '", op, "' on non-numeric operands ",
+                                 a.to_display(), ", ", b.to_display()));
+  }
+  const bool both_int = a.type() == ValueType::kInt && b.type() == ValueType::kInt;
+  if (both_int && op != '/') {
+    const std::int64_t x = a.as_int();
+    const std::int64_t y = b.as_int();
+    switch (op) {
+      case '+':
+        return Value::integer(x + y);
+      case '-':
+        return Value::integer(x - y);
+      case '*':
+        return Value::integer(x * y);
+      case '%':
+        if (y == 0) throw EvalError("modulo by zero");
+        return Value::integer(x % y);
+      default:
+        break;
+    }
+  }
+  const double x = a.as_double();
+  const double y = b.as_double();
+  switch (op) {
+    case '+':
+      return Value::real(x + y);
+    case '-':
+      return Value::real(x - y);
+    case '*':
+      return Value::real(x * y);
+    case '/':
+      if (y == 0.0) throw EvalError("division by zero");
+      return Value::real(x / y);
+    case '%':
+      if (y == 0.0) throw EvalError("modulo by zero");
+      return Value::real(std::fmod(x, y));
+    default:
+      throw EvalError(support::cat("unknown arithmetic operator '", op, "'"));
+  }
+}
+
+// Civil-time conversions (algorithms by Howard Hinnant, public domain).
+namespace {
+
+std::int64_t days_from_civil(int y, unsigned m, unsigned d) noexcept {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<std::int64_t>(era) * 146097 +
+         static_cast<std::int64_t>(doe) - 719468;
+}
+
+void civil_from_days(std::int64_t z, int& y, unsigned& m, unsigned& d) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = doy - (153 * mp + 2) / 5 + 1;
+  m = mp + (mp < 10 ? 3 : -9);
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+}  // namespace
+
+std::string format_datetime(std::int64_t epoch_seconds) {
+  std::int64_t days = epoch_seconds / 86400;
+  std::int64_t sec = epoch_seconds % 86400;
+  if (sec < 0) {
+    sec += 86400;
+    --days;
+  }
+  int y = 0;
+  unsigned m = 0;
+  unsigned d = 0;
+  civil_from_days(days, y, m, d);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d-%02u-%02u %02lld:%02lld:%02lld", y, m, d,
+                static_cast<long long>(sec / 3600),
+                static_cast<long long>((sec / 60) % 60),
+                static_cast<long long>(sec % 60));
+  return buf;
+}
+
+std::optional<std::int64_t> parse_datetime(std::string_view text) {
+  int y = 0, hh = 0, mm = 0, ss = 0;
+  unsigned mo = 0, dd = 0;
+  const std::string s(text);
+  int consumed = 0;
+  if (std::sscanf(s.c_str(), "%d-%u-%u %d:%d:%d%n", &y, &mo, &dd, &hh, &mm, &ss,
+                  &consumed) == 6 &&
+      consumed == static_cast<int>(s.size())) {
+    // fall through to validation
+  } else if (std::sscanf(s.c_str(), "%d-%u-%u%n", &y, &mo, &dd, &consumed) == 3 &&
+             consumed == static_cast<int>(s.size())) {
+    hh = mm = ss = 0;
+  } else {
+    return std::nullopt;
+  }
+  if (mo < 1 || mo > 12 || dd < 1 || dd > 31 || hh < 0 || hh > 23 || mm < 0 ||
+      mm > 59 || ss < 0 || ss > 60) {
+    return std::nullopt;
+  }
+  return days_from_civil(y, mo, dd) * 86400 + hh * 3600 + mm * 60 + ss;
+}
+
+}  // namespace kojak::db

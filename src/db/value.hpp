@@ -1,0 +1,119 @@
+#ifndef KOJAK_DB_VALUE_HPP
+#define KOJAK_DB_VALUE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace kojak::db {
+
+/// Column/value types of the relational engine. kDateTime is an int64 count
+/// of seconds since the Unix epoch with its own type tag so schema
+/// generation from ASL `DateTime` attributes stays faithful.
+enum class ValueType : std::uint8_t {
+  kNull,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kDateTime,
+};
+
+[[nodiscard]] std::string_view to_string(ValueType type);
+/// Parses a SQL type name (INTEGER, BIGINT, REAL, DOUBLE, FLOAT, TEXT,
+/// VARCHAR, BOOLEAN, DATETIME, TIMESTAMP); returns nullopt when unknown.
+[[nodiscard]] std::optional<ValueType> parse_type_name(std::string_view name);
+
+/// A single SQL value. Small immutable sum type with checked accessors.
+class Value {
+ public:
+  Value() = default;  // NULL
+
+  [[nodiscard]] static Value null() { return Value(); }
+  [[nodiscard]] static Value boolean(bool v) { return Value(Payload(v)); }
+  [[nodiscard]] static Value integer(std::int64_t v) { return Value(Payload(v)); }
+  [[nodiscard]] static Value real(double v) { return Value(Payload(v)); }
+  [[nodiscard]] static Value text(std::string v) { return Value(Payload(std::move(v))); }
+  [[nodiscard]] static Value datetime(std::int64_t epoch_seconds) {
+    Value v{Payload(epoch_seconds)};
+    v.is_datetime_ = true;
+    return v;
+  }
+
+  [[nodiscard]] ValueType type() const noexcept;
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::monostate>(payload_);
+  }
+  [[nodiscard]] bool is_numeric() const noexcept {
+    const ValueType t = type();
+    return t == ValueType::kInt || t == ValueType::kDouble;
+  }
+
+  /// Checked accessors; throw support::EvalError on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;  // accepts kInt and kDouble
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] std::int64_t as_datetime() const;
+
+  /// SQL comparison: NULL compares as unknown (nullopt); numeric types
+  /// compare by value across int/double; cross-type otherwise is an error.
+  [[nodiscard]] static std::optional<int> compare_sql(const Value& a, const Value& b);
+
+  /// Total order for ORDER BY and group keys: NULL sorts first, then by
+  /// type class, then by value. Never throws.
+  [[nodiscard]] static int compare_total(const Value& a, const Value& b) noexcept;
+
+  /// Equality under the total order (used for group/index keys).
+  [[nodiscard]] bool equals_total(const Value& other) const noexcept {
+    return compare_total(*this, other) == 0;
+  }
+
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+  /// Human-readable rendering (NULL, true/false, numbers, raw text,
+  /// `YYYY-MM-DD hh:mm:ss` for datetimes).
+  [[nodiscard]] std::string to_display() const;
+  /// SQL literal rendering that re-parses to an equal value.
+  [[nodiscard]] std::string to_sql_literal() const;
+
+  /// Coerces this value for storage into a column of `target` type.
+  /// Allowed: exact match, int->double, int<->datetime, NULL anywhere.
+  /// Throws support::EvalError otherwise.
+  [[nodiscard]] Value coerce_to(ValueType target) const;
+
+ private:
+  using Payload = std::variant<std::monostate, bool, std::int64_t, double, std::string>;
+  explicit Value(Payload payload) : payload_(std::move(payload)) {}
+
+  Payload payload_;
+  bool is_datetime_ = false;
+};
+
+using Row = std::vector<Value>;
+
+struct ValueHash {
+  std::size_t operator()(const Value& v) const noexcept { return v.hash(); }
+};
+struct ValueEqTotal {
+  bool operator()(const Value& a, const Value& b) const noexcept {
+    return a.equals_total(b);
+  }
+};
+
+/// Numeric arithmetic with int/double promotion. `op` is one of + - * / %.
+/// Division by zero and type errors throw support::EvalError. NULL operands
+/// yield NULL.
+[[nodiscard]] Value numeric_binop(char op, const Value& a, const Value& b);
+
+/// Formats seconds-since-epoch as `YYYY-MM-DD hh:mm:ss` (UTC).
+[[nodiscard]] std::string format_datetime(std::int64_t epoch_seconds);
+/// Parses `YYYY-MM-DD hh:mm:ss` or `YYYY-MM-DD`; nullopt when malformed.
+[[nodiscard]] std::optional<std::int64_t> parse_datetime(std::string_view text);
+
+}  // namespace kojak::db
+
+#endif  // KOJAK_DB_VALUE_HPP

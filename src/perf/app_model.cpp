@@ -1,0 +1,108 @@
+#include "perf/app_model.hpp"
+
+#include <set>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace kojak::perf {
+
+using support::EvalError;
+
+std::string_view to_string(RegionKind kind) {
+  switch (kind) {
+    case RegionKind::kFunction: return "Function";
+    case RegionKind::kLoop: return "Loop";
+    case RegionKind::kIfBlock: return "IfBlock";
+    case RegionKind::kCall: return "Call";
+    case RegionKind::kBasicBlock: return "BasicBlock";
+  }
+  return "?";
+}
+
+std::optional<RegionKind> parse_region_kind(std::string_view name) {
+  for (const RegionKind kind :
+       {RegionKind::kFunction, RegionKind::kLoop, RegionKind::kIfBlock,
+        RegionKind::kCall, RegionKind::kBasicBlock}) {
+    if (to_string(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+void validate_region(const AppSpec& app, const FunctionSpec& fn,
+                     const RegionSpec& region, std::set<std::string>& names,
+                     std::set<std::string>& call_stack) {
+  if (region.name.empty()) {
+    throw EvalError(support::cat("unnamed region in function ", fn.name));
+  }
+  if (!names.insert(region.name).second) {
+    throw EvalError(support::cat("duplicate region name '", region.name,
+                                 "' in function ", fn.name));
+  }
+  if (region.work_ms < 0 || region.serial_ms < 0 || region.imbalance < 0 ||
+      region.imbalance > 1 || region.noise < 0 || region.noise > 0.5) {
+    throw EvalError(support::cat("region '", region.name,
+                                 "': parameters out of range"));
+  }
+  if (region.kind == RegionKind::kCall) {
+    if (region.callee.empty()) {
+      throw EvalError(support::cat("call region '", region.name,
+                                   "' has no callee"));
+    }
+    const FunctionSpec* callee = app.find_function(region.callee);
+    if (callee == nullptr) {
+      throw EvalError(support::cat("call region '", region.name,
+                                   "' references unknown function '",
+                                   region.callee, "'"));
+    }
+    if (call_stack.contains(region.callee)) {
+      throw EvalError(support::cat("recursive call of '", region.callee,
+                                   "' is not supported"));
+    }
+    call_stack.insert(region.callee);
+    std::set<std::string> callee_names;
+    validate_region(app, *callee, callee->body, callee_names, call_stack);
+    call_stack.erase(region.callee);
+  } else if (!region.callee.empty()) {
+    throw EvalError(support::cat("region '", region.name,
+                                 "' has a callee but is not a Call region"));
+  }
+  for (const RegionSpec& child : region.children) {
+    validate_region(app, fn, child, names, call_stack);
+  }
+}
+
+}  // namespace
+
+void validate(const AppSpec& app) {
+  if (app.functions.empty()) {
+    throw EvalError(support::cat("application '", app.name, "' has no functions"));
+  }
+  std::set<std::string> fn_names;
+  for (const FunctionSpec& fn : app.functions) {
+    if (!fn_names.insert(fn.name).second) {
+      throw EvalError(support::cat("duplicate function '", fn.name, "'"));
+    }
+    if (fn.body.kind != RegionKind::kFunction) {
+      throw EvalError(support::cat("function '", fn.name,
+                                   "' body must be a Function region"));
+    }
+    if (fn.body.name != fn.name) {
+      throw EvalError(support::cat("function '", fn.name,
+                                   "' body region must carry the function name"));
+    }
+  }
+  if (app.find_function(app.main_function) == nullptr) {
+    throw EvalError(support::cat("main function '", app.main_function,
+                                 "' not defined"));
+  }
+  for (const FunctionSpec& fn : app.functions) {
+    std::set<std::string> region_names;
+    std::set<std::string> call_stack{fn.name};
+    validate_region(app, fn, fn.body, region_names, call_stack);
+  }
+}
+
+}  // namespace kojak::perf

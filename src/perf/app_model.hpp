@@ -1,0 +1,111 @@
+#ifndef KOJAK_PERF_APP_MODEL_HPP
+#define KOJAK_PERF_APP_MODEL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perf/timing_types.hpp"
+
+namespace kojak::perf {
+
+/// Region kinds of the COSY data model (paper §3: "subprograms, loops,
+/// if-blocks, subroutine calls, and arbitrary basic blocks").
+enum class RegionKind : std::uint8_t {
+  kFunction,
+  kLoop,
+  kIfBlock,
+  kCall,
+  kBasicBlock,
+};
+
+[[nodiscard]] std::string_view to_string(RegionKind kind);
+[[nodiscard]] std::optional<RegionKind> parse_region_kind(std::string_view name);
+
+/// Cost model of one program region in a synthetic SPMD application.
+/// All times are milliseconds of one test-run execution.
+struct RegionSpec {
+  std::string name;             ///< unique within the owning function
+  RegionKind kind = RegionKind::kBasicBlock;
+
+  // -- computation ---------------------------------------------------------
+  /// Total parallel work; each PE executes work_ms / P (before imbalance).
+  double work_ms = 0.0;
+  /// Replicated serial work every PE executes in full (Amdahl share).
+  double serial_ms = 0.0;
+  /// Relative spread of per-PE work: PE p gets a factor in
+  /// [1 - imbalance, 1 + imbalance] (linear ramp over PEs).
+  double imbalance = 0.0;
+  /// Gaussian noise fraction on per-PE compute time (stddev = noise * mean).
+  double noise = 0.0;
+
+  // -- communication -------------------------------------------------------
+  /// Point-to-point messages per PE (send + matching receive).
+  double msgs_per_pe = 0.0;
+  double bytes_per_msg = 0.0;
+  /// Collectives per PE (charged as Broadcast/Reduce overhead, log2(P) cost).
+  double reductions_per_pe = 0.0;
+  double broadcasts_per_pe = 0.0;
+
+  // -- synchronization -----------------------------------------------------
+  /// Barriers at the end of the region; the wait time of PE p is
+  /// (latest arrival - p's arrival) and is recorded both as Barrier typed
+  /// overhead and as a call site of the runtime function "barrier".
+  int barrier_count = 0;
+
+  // -- I/O -------------------------------------------------------------------
+  double io_read_mb = 0.0;
+  double io_write_mb = 0.0;
+  /// Serialized I/O funnels through PE 0 while others idle-wait.
+  bool io_serialized = false;
+
+  // -- structure -------------------------------------------------------------
+  /// For kCall regions: name of the callee FunctionSpec (executed inline).
+  std::string callee;
+  /// Mean invocations per PE of the callee (counts get rounding noise).
+  double calls_per_pe = 1.0;
+
+  std::vector<RegionSpec> children;
+};
+
+struct FunctionSpec {
+  std::string name;
+  RegionSpec body;  // body.kind must be kFunction, body.name == name
+};
+
+/// Machine parameters of the simulated CRAY T3E-like target.
+struct MachineSpec {
+  int clockspeed_mhz = 450;
+  double msg_latency_us = 12.0;
+  double bandwidth_mb_per_s = 300.0;
+  double barrier_base_us = 6.0;
+  double collective_hop_us = 9.0;       ///< per log2(P) stage
+  double instr_overhead_us_per_region = 4.0;
+  double io_read_mb_per_s = 60.0;
+  double io_write_mb_per_s = 45.0;
+};
+
+/// A complete synthetic application: the unit the simulator executes and
+/// Apprentice summarizes. Plays the role of the paper's measured Fortran
+/// codes on the CRAY T3E.
+struct AppSpec {
+  std::string name;
+  std::string main_function = "main";
+  std::vector<FunctionSpec> functions;
+  MachineSpec machine;
+
+  [[nodiscard]] const FunctionSpec* find_function(std::string_view fn) const {
+    for (const FunctionSpec& f : functions) {
+      if (f.name == fn) return &f;
+    }
+    return nullptr;
+  }
+};
+
+/// Validates structural invariants (unique names, resolvable callees, no
+/// recursion, sane parameters). Throws support::EvalError on violation.
+void validate(const AppSpec& app);
+
+}  // namespace kojak::perf
+
+#endif  // KOJAK_PERF_APP_MODEL_HPP

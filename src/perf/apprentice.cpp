@@ -1,0 +1,114 @@
+#include "perf/apprentice.hpp"
+
+#include "support/stats.hpp"
+#include "support/str.hpp"
+
+namespace kojak::perf {
+
+PeStats PeStats::from(const std::vector<double>& per_pe) {
+  support::RunningStats stats;
+  for (std::size_t p = 0; p < per_pe.size(); ++p) {
+    stats.push(per_pe[p], p);
+  }
+  PeStats out;
+  out.min = stats.min();
+  out.max = stats.max();
+  out.mean = stats.mean();
+  out.stddev = stats.stddev_sample();
+  out.min_pe = static_cast<std::uint32_t>(stats.min_tag());
+  out.max_pe = static_cast<std::uint32_t>(stats.max_tag());
+  return out;
+}
+
+namespace {
+
+void collect_regions(const RegionSpec& region, const std::string& parent,
+                     std::vector<StaticRegion>& out) {
+  out.push_back({region.name, region.kind, parent});
+  for (const RegionSpec& child : region.children) {
+    collect_regions(child, region.name, out);
+  }
+}
+
+void collect_call_sites(const AppSpec& app, const FunctionSpec& fn,
+                        const RegionSpec& region,
+                        std::vector<CallSite>& out) {
+  if (region.kind == RegionKind::kCall) {
+    out.push_back({region.callee, fn.name, region.name});
+  }
+  if (region.barrier_count > 0) {
+    out.push_back({std::string(kBarrierFunction), fn.name, region.name});
+  }
+  for (const RegionSpec& child : region.children) {
+    collect_call_sites(app, fn, child, out);
+  }
+}
+
+void emit_source(const RegionSpec& region, int depth, std::string& out) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  switch (region.kind) {
+    case RegionKind::kLoop:
+      out += support::cat(indent, "DO I = 1, N   ! region ", region.name, "\n");
+      break;
+    case RegionKind::kIfBlock:
+      out += support::cat(indent, "IF (MYPE .EQ. 0) THEN   ! region ",
+                          region.name, "\n");
+      break;
+    case RegionKind::kCall:
+      out += support::cat(indent, "CALL ", region.callee, "()   ! region ",
+                          region.name, "\n");
+      break;
+    default:
+      out += support::cat(indent, "! region ", region.name, "\n");
+      break;
+  }
+  if (region.work_ms > 0) {
+    out += support::cat(indent, "  A(I) = B(I) * C(I) + D(I)\n");
+  }
+  for (const RegionSpec& child : region.children) {
+    emit_source(child, depth + 1, out);
+  }
+  if (region.barrier_count > 0) {
+    out += support::cat(indent, "  CALL BARRIER()\n");
+  }
+  if (region.kind == RegionKind::kLoop) out += indent + "END DO\n";
+  if (region.kind == RegionKind::kIfBlock) out += indent + "END IF\n";
+}
+
+}  // namespace
+
+ProgramStructure structure_of(const AppSpec& app) {
+  validate(app);
+  ProgramStructure out;
+  out.program_name = app.name;
+
+  bool any_barrier = false;
+  const auto scan_barriers = [&](auto&& self, const RegionSpec& region) -> void {
+    if (region.barrier_count > 0) any_barrier = true;
+    for (const RegionSpec& child : region.children) self(self, child);
+  };
+
+  for (const FunctionSpec& fn : app.functions) {
+    StaticFunction sf;
+    sf.name = fn.name;
+    collect_regions(fn.body, "", sf.regions);
+    out.functions.push_back(std::move(sf));
+    collect_call_sites(app, fn, fn.body, out.call_sites);
+    scan_barriers(scan_barriers, fn.body);
+
+    out.source_code += support::cat("      SUBROUTINE ", fn.name, "\n");
+    emit_source(fn.body, 3, out.source_code);
+    out.source_code += "      END\n\n";
+  }
+
+  if (any_barrier) {
+    StaticFunction barrier;
+    barrier.name = std::string(kBarrierFunction);
+    barrier.regions.push_back(
+        {std::string(kBarrierFunction), RegionKind::kFunction, ""});
+    out.functions.push_back(std::move(barrier));
+  }
+  return out;
+}
+
+}  // namespace kojak::perf

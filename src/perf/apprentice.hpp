@@ -1,0 +1,115 @@
+#ifndef KOJAK_PERF_APPRENTICE_HPP
+#define KOJAK_PERF_APPRENTICE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perf/app_model.hpp"
+#include "perf/timing_types.hpp"
+
+namespace kojak::perf {
+
+/// Statistics of one quantity across the PEs of a run, exactly the shape the
+/// CallTiming class stores (paper §4.1): min/max/mean/stddev plus "the
+/// processor that was first or last in the respective category".
+struct PeStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation
+  std::uint32_t min_pe = 0;
+  std::uint32_t max_pe = 0;
+
+  [[nodiscard]] static PeStats from(const std::vector<double>& per_pe);
+};
+
+/// Summary timings of one region in one test run; all times are summed over
+/// PEs (paper §4.2: "all timings in the database are summed up values of all
+/// processes") and given in milliseconds.
+struct RegionTiming {
+  std::string region;
+  double excl_ms = 0.0;
+  double incl_ms = 0.0;
+  double ovhd_ms = 0.0;  ///< sum of all typed overheads
+  /// One entry per overhead type with nonzero time ("for each region there
+  /// is at most one object per timing type and per test run").
+  std::vector<std::pair<TimingType, double>> typed_ms;
+};
+
+/// Per-run statistics of one call site (indexes ProgramStructure::call_sites).
+struct CallSiteTiming {
+  std::size_t site_index = 0;
+  PeStats calls;
+  PeStats time_ms;
+};
+
+/// Everything Apprentice reports for one test run.
+struct RunResult {
+  int nope = 1;
+  int clockspeed_mhz = 450;
+  std::int64_t start_time = 0;  // epoch seconds
+  std::vector<RegionTiming> regions;
+  std::vector<CallSiteTiming> calls;
+
+  [[nodiscard]] const RegionTiming* find_region(std::string_view name) const {
+    for (const RegionTiming& r : regions) {
+      if (r.region == name) return &r;
+    }
+    return nullptr;
+  }
+};
+
+// --- static program information --------------------------------------------
+
+struct StaticRegion {
+  std::string name;
+  RegionKind kind = RegionKind::kBasicBlock;
+  std::string parent;  ///< empty for a function's body region
+};
+
+struct StaticFunction {
+  std::string name;
+  std::vector<StaticRegion> regions;  ///< DFS order, body first
+};
+
+struct CallSite {
+  std::string callee;          ///< function being called
+  std::string caller;          ///< function containing the call
+  std::string calling_region;  ///< region around the call
+};
+
+/// Static program information of one program version (paper §3: region
+/// structure and source code live in the database next to the dynamic data).
+struct ProgramStructure {
+  std::string program_name;
+  std::int64_t compilation_time = 0;  // epoch seconds
+  std::string source_code;
+  std::vector<StaticFunction> functions;
+  std::vector<CallSite> call_sites;
+
+  [[nodiscard]] const StaticFunction* find_function(std::string_view name) const {
+    for (const StaticFunction& fn : functions) {
+      if (fn.name == name) return &fn;
+    }
+    return nullptr;
+  }
+};
+
+/// One program version with its test runs: the unit COSY imports.
+struct ExperimentData {
+  ProgramStructure structure;
+  std::vector<RunResult> runs;
+};
+
+/// Derives the static structure (functions, region tree, call sites,
+/// generated pseudo-source) from an application spec. The implicit runtime
+/// function "barrier" is materialized when any region synchronizes.
+[[nodiscard]] ProgramStructure structure_of(const AppSpec& app);
+
+/// Name of the synthetic runtime barrier function.
+inline constexpr std::string_view kBarrierFunction = "barrier";
+
+}  // namespace kojak::perf
+
+#endif  // KOJAK_PERF_APPRENTICE_HPP

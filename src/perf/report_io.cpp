@@ -1,0 +1,348 @@
+#include "perf/report_io.hpp"
+
+#include <algorithm>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace kojak::perf {
+
+using support::ImportError;
+
+namespace {
+
+constexpr std::string_view kMagic = "APPRENTICE REPORT v1";
+
+std::string esc(std::string_view text) {
+  // Region and function names never contain spaces in this substrate, but
+  // program names may; escape spaces to keep the format whitespace-split.
+  std::string out;
+  for (const char c : text) {
+    if (c == ' ') {
+      out += "\\_";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unesc(std::string_view text) {
+  std::string out;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      out += text[i + 1] == '_' ? ' ' : text[i + 1];
+      ++i;
+    } else {
+      out += text[i];
+    }
+  }
+  return out;
+}
+
+void write_pe_stats(std::ostream& out, std::string_view label,
+                    const PeStats& stats) {
+  out << "    " << label << " min=" << support::format_double(stats.min)
+      << " max=" << support::format_double(stats.max)
+      << " mean=" << support::format_double(stats.mean)
+      << " stdev=" << support::format_double(stats.stddev)
+      << " minpe=" << stats.min_pe << " maxpe=" << stats.max_pe << '\n';
+}
+
+}  // namespace
+
+void write_report(const ExperimentData& data, std::ostream& out) {
+  out << kMagic << '\n';
+  out << "PROGRAM " << esc(data.structure.program_name) << '\n';
+  out << "COMPILED " << data.structure.compilation_time << '\n';
+  out << "SOURCE_LINES "
+      << std::count(data.structure.source_code.begin(),
+                    data.structure.source_code.end(), '\n')
+      << '\n';
+  std::istringstream source(data.structure.source_code);
+  std::string line;
+  while (std::getline(source, line)) out << "| " << line << '\n';
+
+  for (const StaticFunction& fn : data.structure.functions) {
+    out << "FUNCTION " << esc(fn.name) << '\n';
+    for (const StaticRegion& region : fn.regions) {
+      out << "  REGION " << esc(region.name) << " kind=" << to_string(region.kind)
+          << " parent=" << (region.parent.empty() ? "-" : esc(region.parent))
+          << '\n';
+    }
+  }
+  for (const CallSite& site : data.structure.call_sites) {
+    out << "CALLSITE callee=" << esc(site.callee) << " caller=" << esc(site.caller)
+        << " region=" << esc(site.calling_region) << '\n';
+  }
+
+  for (const RunResult& run : data.runs) {
+    out << "RUN nope=" << run.nope << " clockspeed=" << run.clockspeed_mhz
+        << " start=" << run.start_time << '\n';
+    for (const RegionTiming& region : run.regions) {
+      out << "  RTIME " << esc(region.region)
+          << " excl=" << support::format_double(region.excl_ms)
+          << " incl=" << support::format_double(region.incl_ms)
+          << " ovhd=" << support::format_double(region.ovhd_ms) << '\n';
+      for (const auto& [type, ms] : region.typed_ms) {
+        out << "    TYPED " << to_string(type) << ' '
+            << support::format_double(ms) << '\n';
+      }
+    }
+    for (const CallSiteTiming& call : run.calls) {
+      out << "  CTIME site=" << call.site_index << '\n';
+      write_pe_stats(out, "CALLS", call.calls);
+      write_pe_stats(out, "TIME", call.time_ms);
+    }
+    out << "END RUN\n";
+  }
+}
+
+std::string write_report(const ExperimentData& data) {
+  std::ostringstream out;
+  write_report(data, out);
+  return out.str();
+}
+
+namespace {
+
+class ReportParser {
+ public:
+  explicit ReportParser(std::string_view text) {
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      std::size_t end = text.find('\n', start);
+      if (end == std::string_view::npos) end = text.size();
+      lines_.emplace_back(text.substr(start, end - start));
+      if (end == text.size()) break;
+      start = end + 1;
+    }
+  }
+
+  ExperimentData parse() {
+    if (next_raw() != kMagic) {
+      throw error("missing 'APPRENTICE REPORT v1' header");
+    }
+    ExperimentData data;
+    parse_header(data.structure);
+    parse_structure(data.structure);
+    while (!at_end()) {
+      skip_blank();
+      if (at_end()) break;
+      data.runs.push_back(parse_run(data.structure));
+    }
+    return data;
+  }
+
+ private:
+  [[nodiscard]] ImportError error(std::string_view message) const {
+    return ImportError(support::cat("report line ", line_no_, ": ", message));
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= lines_.size(); }
+
+  std::string_view next_raw() {
+    if (at_end()) throw error("unexpected end of report");
+    line_no_ = pos_ + 1;
+    return lines_[pos_++];
+  }
+
+  void skip_blank() {
+    while (!at_end()) {
+      const std::string_view line = support::trim(lines_[pos_]);
+      if (!line.empty() && line[0] != '#') return;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] std::string_view peek_line() {
+    skip_blank();
+    if (at_end()) return {};
+    return support::trim(lines_[pos_]);
+  }
+
+  std::vector<std::string> next_fields() {
+    skip_blank();
+    return support::split_ws(next_raw());
+  }
+
+  /// Extracts `key=value` from a field; throws when the key does not match.
+  static std::string kv(const std::string& field, std::string_view key,
+                        const ReportParser& self) {
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos ||
+        std::string_view(field).substr(0, eq) != key) {
+      throw self.error(support::cat("expected '", key, "=...', got '", field, "'"));
+    }
+    return field.substr(eq + 1);
+  }
+
+  static double to_double(const std::string& text, const ReportParser& self) {
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0') {
+      throw self.error(support::cat("malformed number '", text, "'"));
+    }
+    return v;
+  }
+  static std::int64_t to_int(const std::string& text, const ReportParser& self) {
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') {
+      throw self.error(support::cat("malformed integer '", text, "'"));
+    }
+    return v;
+  }
+
+  void parse_header(ProgramStructure& structure) {
+    auto fields = next_fields();
+    if (fields.size() != 2 || fields[0] != "PROGRAM") {
+      throw error("expected 'PROGRAM <name>'");
+    }
+    structure.program_name = unesc(fields[1]);
+    fields = next_fields();
+    if (fields.size() != 2 || fields[0] != "COMPILED") {
+      throw error("expected 'COMPILED <epoch>'");
+    }
+    structure.compilation_time = to_int(fields[1], *this);
+    fields = next_fields();
+    if (fields.size() != 2 || fields[0] != "SOURCE_LINES") {
+      throw error("expected 'SOURCE_LINES <n>'");
+    }
+    const std::int64_t n = to_int(fields[1], *this);
+    for (std::int64_t i = 0; i < n; ++i) {
+      std::string_view raw = next_raw();
+      if (!support::starts_with(raw, "| ")) {
+        throw error("expected source line starting with '| '");
+      }
+      structure.source_code += raw.substr(2);
+      structure.source_code += '\n';
+    }
+  }
+
+  void parse_structure(ProgramStructure& structure) {
+    while (true) {
+      const std::string_view line = peek_line();
+      if (support::starts_with(line, "FUNCTION ")) {
+        auto fields = next_fields();
+        StaticFunction fn;
+        fn.name = unesc(fields.at(1));
+        while (support::starts_with(peek_line(), "REGION ")) {
+          auto rf = next_fields();
+          if (rf.size() != 4) throw error("REGION expects name, kind, parent");
+          StaticRegion region;
+          region.name = unesc(rf[1]);
+          const std::string kind_text = kv(rf[2], "kind", *this);
+          const auto kind = parse_region_kind(kind_text);
+          if (!kind) {
+            throw error(support::cat("unknown region kind '", kind_text, "'"));
+          }
+          region.kind = *kind;
+          const std::string parent = kv(rf[3], "parent", *this);
+          region.parent = parent == "-" ? "" : unesc(parent);
+          fn.regions.push_back(std::move(region));
+        }
+        structure.functions.push_back(std::move(fn));
+      } else if (support::starts_with(line, "CALLSITE ")) {
+        auto fields = next_fields();
+        if (fields.size() != 4) throw error("CALLSITE expects 3 key=value fields");
+        CallSite site;
+        site.callee = unesc(kv(fields[1], "callee", *this));
+        site.caller = unesc(kv(fields[2], "caller", *this));
+        site.calling_region = unesc(kv(fields[3], "region", *this));
+        structure.call_sites.push_back(std::move(site));
+      } else {
+        return;
+      }
+    }
+  }
+
+  PeStats parse_pe_stats(std::string_view label) {
+    auto fields = next_fields();
+    if (fields.size() != 7 || fields[0] != label) {
+      throw error(support::cat("expected '", label, " min=... max=... mean=... "
+                               "stdev=... minpe=... maxpe=...'"));
+    }
+    PeStats stats;
+    stats.min = to_double(kv(fields[1], "min", *this), *this);
+    stats.max = to_double(kv(fields[2], "max", *this), *this);
+    stats.mean = to_double(kv(fields[3], "mean", *this), *this);
+    stats.stddev = to_double(kv(fields[4], "stdev", *this), *this);
+    stats.min_pe =
+        static_cast<std::uint32_t>(to_int(kv(fields[5], "minpe", *this), *this));
+    stats.max_pe =
+        static_cast<std::uint32_t>(to_int(kv(fields[6], "maxpe", *this), *this));
+    return stats;
+  }
+
+  RunResult parse_run(const ProgramStructure& structure) {
+    auto fields = next_fields();
+    if (fields.size() != 4 || fields[0] != "RUN") {
+      throw error("expected 'RUN nope=... clockspeed=... start=...'");
+    }
+    RunResult run;
+    run.nope = static_cast<int>(to_int(kv(fields[1], "nope", *this), *this));
+    run.clockspeed_mhz =
+        static_cast<int>(to_int(kv(fields[2], "clockspeed", *this), *this));
+    run.start_time = to_int(kv(fields[3], "start", *this), *this);
+    if (run.nope < 1) throw error("RUN nope must be >= 1");
+
+    while (true) {
+      const std::string_view line = peek_line();
+      if (support::starts_with(line, "RTIME ")) {
+        auto rf = next_fields();
+        if (rf.size() != 5) throw error("RTIME expects region and 3 timings");
+        RegionTiming timing;
+        timing.region = unesc(rf[1]);
+        timing.excl_ms = to_double(kv(rf[2], "excl", *this), *this);
+        timing.incl_ms = to_double(kv(rf[3], "incl", *this), *this);
+        timing.ovhd_ms = to_double(kv(rf[4], "ovhd", *this), *this);
+        while (support::starts_with(peek_line(), "TYPED ")) {
+          auto tf = next_fields();
+          if (tf.size() != 3) throw error("TYPED expects type and time");
+          const auto type = parse_timing_type(tf[1]);
+          if (!type) {
+            throw error(support::cat("unknown timing type '", tf[1], "'"));
+          }
+          timing.typed_ms.emplace_back(*type, to_double(tf[2], *this));
+        }
+        run.regions.push_back(std::move(timing));
+      } else if (support::starts_with(line, "CTIME ")) {
+        auto cf = next_fields();
+        if (cf.size() != 2) throw error("CTIME expects site=<index>");
+        CallSiteTiming call;
+        call.site_index =
+            static_cast<std::size_t>(to_int(kv(cf[1], "site", *this), *this));
+        if (call.site_index >= structure.call_sites.size()) {
+          throw error(support::cat("call site index ", call.site_index,
+                                   " out of range"));
+        }
+        call.calls = parse_pe_stats("CALLS");
+        call.time_ms = parse_pe_stats("TIME");
+        run.calls.push_back(call);
+      } else if (line == "END" || support::starts_with(line, "END ")) {
+        (void)next_fields();
+        return run;
+      } else {
+        throw error(support::cat("unexpected line inside RUN: '", line, "'"));
+      }
+    }
+  }
+
+  std::vector<std::string_view> lines_;
+  std::size_t pos_ = 0;
+  std::size_t line_no_ = 0;
+};
+
+}  // namespace
+
+ExperimentData parse_report(std::string_view text) {
+  return ReportParser(text).parse();
+}
+
+}  // namespace kojak::perf

@@ -1,0 +1,26 @@
+#ifndef KOJAK_PERF_REPORT_IO_HPP
+#define KOJAK_PERF_REPORT_IO_HPP
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "perf/apprentice.hpp"
+
+namespace kojak::perf {
+
+/// Serializes an experiment (static structure + test runs) in the textual
+/// Apprentice-report format. This models the file Apprentice writes and
+/// COSY transfers into the database (paper §3: "The resulting information is
+/// written to a file and transferred into the database").
+[[nodiscard]] std::string write_report(const ExperimentData& data);
+void write_report(const ExperimentData& data, std::ostream& out);
+
+/// Parses a report produced by write_report (or by hand). Throws
+/// support::ImportError with a line number on malformed input. Tolerates
+/// blank lines and `#` comments.
+[[nodiscard]] ExperimentData parse_report(std::string_view text);
+
+}  // namespace kojak::perf
+
+#endif  // KOJAK_PERF_REPORT_IO_HPP

@@ -1,0 +1,64 @@
+#ifndef KOJAK_PERF_SIMULATOR_HPP
+#define KOJAK_PERF_SIMULATOR_HPP
+
+#include <cstdint>
+
+#include "perf/apprentice.hpp"
+#include "support/thread_pool.hpp"
+
+namespace kojak::perf {
+
+/// Deterministic parallel-execution simulator: plays the role of the CRAY
+/// T3E + Apprentice measurement pipeline the paper's COSY consumed. A
+/// (app, nope, seed) triple always produces bit-identical summaries; the
+/// per-PE noise streams are hash-derived, so results do not depend on
+/// whether PE timelines run pooled or sequentially.
+struct SimulationOptions {
+  std::uint64_t seed = 1;
+  std::int64_t start_time = 941806800;  // 1999-11-05 13:00:00 UTC
+  /// PE timelines execute on the pool when set and nope >= 8.
+  support::ThreadPool* pool = nullptr;
+};
+
+/// Simulates one test run with `nope` processing elements.
+[[nodiscard]] RunResult simulate(const AppSpec& app, int nope,
+                                 const SimulationOptions& options = {});
+
+/// Simulates a PE sweep and packages structure + runs for import.
+[[nodiscard]] ExperimentData simulate_experiment(
+    const AppSpec& app, const std::vector<int>& pe_counts,
+    const SimulationOptions& options = {});
+
+// --- event traces (EARL-baseline substrate) ---------------------------------
+
+enum class EventKind : std::uint8_t {
+  kEnter,
+  kExit,
+  kSend,
+  kRecv,
+  kBarrierEnter,
+  kBarrierExit,
+  kIoBegin,
+  kIoEnd,
+};
+
+[[nodiscard]] std::string_view to_string(EventKind kind);
+
+/// One event of a per-PE trace, as the EDL/EARL related-work line of the
+/// paper would consume. Times are milliseconds from run start.
+struct Event {
+  double t_ms = 0.0;
+  std::uint32_t pe = 0;
+  EventKind kind = EventKind::kEnter;
+  std::string region;
+};
+
+/// Emits a time-ordered event trace consistent with the summary data of the
+/// same (app, nope, seed). Trace length scales with the region count and
+/// `nope`; the baselines bench uses it to show cost scaling with events.
+[[nodiscard]] std::vector<Event> generate_trace(const AppSpec& app, int nope,
+                                                std::uint64_t seed = 1);
+
+}  // namespace kojak::perf
+
+#endif  // KOJAK_PERF_SIMULATOR_HPP

@@ -1,0 +1,73 @@
+#include "perf/timing_types.hpp"
+
+namespace kojak::perf {
+
+namespace {
+
+constexpr std::array<std::string_view, kTimingTypeCount> kNames = {
+    "Barrier",       "SendMsg",      "RecvMsg",     "BroadcastMsg",
+    "ReduceMsg",     "GatherMsg",    "ScatterMsg",  "MsgWait",
+    "IORead",        "IOWrite",      "IOOpen",      "IOClose",
+    "IOSeek",        "ShmemGet",     "ShmemPut",    "LockAcquire",
+    "LockRelease",   "CriticalSection", "Instrumentation", "BufferCopy",
+    "MsgPack",       "MsgUnpack",    "CacheMiss",   "PageFault",
+    "IdleWait",
+};
+
+}  // namespace
+
+std::string_view to_string(TimingType type) {
+  return kNames[static_cast<std::size_t>(type)];
+}
+
+std::optional<TimingType> parse_timing_type(std::string_view name) {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (kNames[i] == name) return static_cast<TimingType>(i);
+  }
+  return std::nullopt;
+}
+
+bool is_message_passing(TimingType type) {
+  switch (type) {
+    case TimingType::kSendMsg:
+    case TimingType::kRecvMsg:
+    case TimingType::kBroadcastMsg:
+    case TimingType::kReduceMsg:
+    case TimingType::kGatherMsg:
+    case TimingType::kScatterMsg:
+    case TimingType::kMsgWait:
+    case TimingType::kMsgPack:
+    case TimingType::kMsgUnpack:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_io(TimingType type) {
+  switch (type) {
+    case TimingType::kIORead:
+    case TimingType::kIOWrite:
+    case TimingType::kIOOpen:
+    case TimingType::kIOClose:
+    case TimingType::kIOSeek:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_synchronization(TimingType type) {
+  switch (type) {
+    case TimingType::kBarrier:
+    case TimingType::kLockAcquire:
+    case TimingType::kLockRelease:
+    case TimingType::kCriticalSection:
+    case TimingType::kIdleWait:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace kojak::perf

@@ -1,0 +1,63 @@
+#ifndef KOJAK_PERF_TIMING_TYPES_HPP
+#define KOJAK_PERF_TIMING_TYPES_HPP
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace kojak::perf {
+
+/// The 25 typed-overhead categories of the Apprentice substrate ("Apprentice
+/// knows 25 such types", paper §4.1). The ASL data model declares the
+/// matching `enum TimingType`; a test pins the two lists together.
+enum class TimingType : std::uint8_t {
+  kBarrier,
+  kSendMsg,
+  kRecvMsg,
+  kBroadcastMsg,
+  kReduceMsg,
+  kGatherMsg,
+  kScatterMsg,
+  kMsgWait,
+  kIORead,
+  kIOWrite,
+  kIOOpen,
+  kIOClose,
+  kIOSeek,
+  kShmemGet,
+  kShmemPut,
+  kLockAcquire,
+  kLockRelease,
+  kCriticalSection,
+  kInstrumentation,
+  kBufferCopy,
+  kMsgPack,
+  kMsgUnpack,
+  kCacheMiss,
+  kPageFault,
+  kIdleWait,
+};
+
+inline constexpr std::size_t kTimingTypeCount = 25;
+
+/// Spelling used in the ASL spec, report files, and the database.
+[[nodiscard]] std::string_view to_string(TimingType type);
+[[nodiscard]] std::optional<TimingType> parse_timing_type(std::string_view name);
+
+[[nodiscard]] constexpr std::array<TimingType, kTimingTypeCount> all_timing_types() {
+  std::array<TimingType, kTimingTypeCount> out{};
+  for (std::size_t i = 0; i < kTimingTypeCount; ++i) {
+    out[i] = static_cast<TimingType>(i);
+  }
+  return out;
+}
+
+/// Category predicates used by the extended property suite.
+[[nodiscard]] bool is_message_passing(TimingType type);
+[[nodiscard]] bool is_io(TimingType type);
+[[nodiscard]] bool is_synchronization(TimingType type);
+
+}  // namespace kojak::perf
+
+#endif  // KOJAK_PERF_TIMING_TYPES_HPP

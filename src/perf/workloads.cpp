@@ -1,0 +1,267 @@
+#include "perf/workloads.hpp"
+
+#include "support/str.hpp"
+
+namespace kojak::perf::workloads {
+
+namespace {
+
+RegionSpec function_body(std::string name) {
+  RegionSpec body;
+  body.name = std::move(name);
+  body.kind = RegionKind::kFunction;
+  return body;
+}
+
+}  // namespace
+
+AppSpec scalable_stencil() {
+  AppSpec app;
+  app.name = "stencil2d";
+
+  FunctionSpec main_fn;
+  main_fn.name = "main";
+  main_fn.body = function_body("main");
+
+  RegionSpec init;
+  init.name = "main.init";
+  init.kind = RegionKind::kBasicBlock;
+  init.work_ms = 40.0;
+
+  RegionSpec loop;
+  loop.name = "main.sweep_loop";
+  loop.kind = RegionKind::kLoop;
+
+  RegionSpec compute;
+  compute.name = "main.sweep_loop.update";
+  compute.kind = RegionKind::kBasicBlock;
+  compute.work_ms = 1600.0;
+  compute.imbalance = 0.01;
+
+  RegionSpec halo;
+  halo.name = "main.sweep_loop.halo";
+  halo.kind = RegionKind::kBasicBlock;
+  halo.msgs_per_pe = 4.0;
+  halo.bytes_per_msg = 64.0 * 1024.0;
+
+  loop.children.push_back(std::move(compute));
+  loop.children.push_back(std::move(halo));
+
+  main_fn.body.children.push_back(std::move(init));
+  main_fn.body.children.push_back(std::move(loop));
+  app.functions.push_back(std::move(main_fn));
+  return app;
+}
+
+AppSpec imbalanced_ocean() {
+  AppSpec app;
+  app.name = "ocean_sim";
+
+  // Physics kernel invoked from the time loop.
+  FunctionSpec physics;
+  physics.name = "physics_step";
+  physics.body = function_body("physics_step");
+  RegionSpec adv;
+  adv.name = "physics_step.advect";
+  adv.kind = RegionKind::kLoop;
+  adv.work_ms = 900.0;
+  adv.imbalance = 0.35;  // coastline cells cluster on low-rank PEs
+  adv.noise = 0.02;
+  RegionSpec diff;
+  diff.name = "physics_step.diffuse";
+  diff.kind = RegionKind::kLoop;
+  diff.work_ms = 500.0;
+  diff.imbalance = 0.1;
+  physics.body.children.push_back(std::move(adv));
+  physics.body.children.push_back(std::move(diff));
+
+  FunctionSpec main_fn;
+  main_fn.name = "main";
+  main_fn.body = function_body("main");
+
+  RegionSpec init;
+  init.name = "main.init";
+  init.kind = RegionKind::kBasicBlock;
+  init.serial_ms = 20.0;  // replicated grid setup
+  init.work_ms = 60.0;
+  init.io_read_mb = 1.5;
+  init.io_serialized = true;
+
+  RegionSpec loop;
+  loop.name = "main.time_loop";
+  loop.kind = RegionKind::kLoop;
+
+  // The barrier sits right after the imbalanced physics phase, so its wait
+  // time reflects the phase's arrival spread — the LoadImbalance refinement
+  // of SyncCost the paper walks through (§4.2).
+  RegionSpec step;
+  step.name = "main.time_loop.step";
+  step.kind = RegionKind::kCall;
+  step.callee = "physics_step";
+  step.calls_per_pe = 48.0;
+  step.barrier_count = 48;
+
+  RegionSpec halo;
+  halo.name = "main.time_loop.halo";
+  halo.kind = RegionKind::kBasicBlock;
+  halo.msgs_per_pe = 96.0;
+  halo.bytes_per_msg = 16.0 * 1024.0;
+
+  RegionSpec reduce;
+  reduce.name = "main.time_loop.energy_check";
+  reduce.kind = RegionKind::kIfBlock;
+  reduce.work_ms = 30.0;
+  reduce.reductions_per_pe = 48.0;
+
+  loop.children.push_back(std::move(step));
+  loop.children.push_back(std::move(halo));
+  loop.children.push_back(std::move(reduce));
+
+  RegionSpec checkpoint;
+  checkpoint.name = "main.checkpoint";
+  checkpoint.kind = RegionKind::kIfBlock;
+  checkpoint.io_write_mb = 3.0;
+  checkpoint.io_serialized = true;
+  checkpoint.barrier_count = 1;
+
+  main_fn.body.children.push_back(std::move(init));
+  main_fn.body.children.push_back(std::move(loop));
+  main_fn.body.children.push_back(std::move(checkpoint));
+
+  app.functions.push_back(std::move(main_fn));
+  app.functions.push_back(std::move(physics));
+  return app;
+}
+
+AppSpec serial_bottleneck() {
+  AppSpec app;
+  app.name = "amdahl_demo";
+
+  FunctionSpec main_fn;
+  main_fn.name = "main";
+  main_fn.body = function_body("main");
+
+  RegionSpec serial;
+  serial.name = "main.setup";
+  serial.kind = RegionKind::kBasicBlock;
+  serial.serial_ms = 400.0;  // replicated on every PE
+
+  RegionSpec parallel;
+  parallel.name = "main.solve";
+  parallel.kind = RegionKind::kLoop;
+  parallel.work_ms = 2000.0;
+  parallel.imbalance = 0.02;
+  parallel.barrier_count = 4;
+
+  main_fn.body.children.push_back(std::move(serial));
+  main_fn.body.children.push_back(std::move(parallel));
+  app.functions.push_back(std::move(main_fn));
+  return app;
+}
+
+AppSpec message_bound() {
+  AppSpec app;
+  app.name = "latency_bound";
+
+  FunctionSpec main_fn;
+  main_fn.name = "main";
+  main_fn.body = function_body("main");
+
+  RegionSpec compute;
+  compute.name = "main.relax";
+  compute.kind = RegionKind::kLoop;
+  compute.work_ms = 300.0;
+
+  RegionSpec exchange;
+  exchange.name = "main.exchange";
+  exchange.kind = RegionKind::kBasicBlock;
+  exchange.msgs_per_pe = 4000.0;  // tiny messages, latency dominated
+  exchange.bytes_per_msg = 64.0;
+
+  main_fn.body.children.push_back(std::move(compute));
+  main_fn.body.children.push_back(std::move(exchange));
+  app.functions.push_back(std::move(main_fn));
+  return app;
+}
+
+AppSpec io_heavy() {
+  AppSpec app;
+  app.name = "checkpoint_bound";
+
+  FunctionSpec main_fn;
+  main_fn.name = "main";
+  main_fn.body = function_body("main");
+
+  RegionSpec compute;
+  compute.name = "main.simulate";
+  compute.kind = RegionKind::kLoop;
+  compute.work_ms = 600.0;
+
+  RegionSpec dump;
+  dump.name = "main.dump";
+  dump.kind = RegionKind::kIfBlock;
+  dump.io_write_mb = 96.0;
+  dump.io_serialized = true;
+  dump.barrier_count = 1;
+
+  main_fn.body.children.push_back(std::move(compute));
+  main_fn.body.children.push_back(std::move(dump));
+  app.functions.push_back(std::move(main_fn));
+  return app;
+}
+
+AppSpec synthetic_scale(std::size_t functions, std::size_t regions_per_function) {
+  AppSpec app;
+  app.name = support::cat("synthetic_", functions, "x", regions_per_function);
+
+  FunctionSpec main_fn;
+  main_fn.name = "main";
+  main_fn.body = function_body("main");
+
+  for (std::size_t f = 0; f < functions; ++f) {
+    const std::string fn_name = support::cat("kernel_", f);
+    FunctionSpec fn;
+    fn.name = fn_name;
+    fn.body = function_body(fn_name);
+
+    RegionSpec loop;
+    loop.name = support::cat(fn_name, ".loop");
+    loop.kind = RegionKind::kLoop;
+    for (std::size_t r = 0; r < regions_per_function; ++r) {
+      RegionSpec leaf;
+      leaf.name = support::cat(fn_name, ".loop.block_", r);
+      leaf.kind = RegionKind::kBasicBlock;
+      leaf.work_ms = 2.0 + static_cast<double>((f * 7 + r * 3) % 11);
+      leaf.imbalance = 0.05 * static_cast<double>(r % 4);
+      if (r % 5 == 0) {
+        leaf.msgs_per_pe = 2.0;
+        leaf.bytes_per_msg = 4096.0;
+      }
+      if (r % 7 == 0) leaf.barrier_count = 1;
+      loop.children.push_back(std::move(leaf));
+    }
+    fn.body.children.push_back(std::move(loop));
+    app.functions.push_back(std::move(fn));
+
+    RegionSpec call;
+    call.name = support::cat("main.call_", f);
+    call.kind = RegionKind::kCall;
+    call.callee = fn_name;
+    call.calls_per_pe = 1.0 + static_cast<double>(f % 3);
+    main_fn.body.children.push_back(std::move(call));
+  }
+  app.functions.insert(app.functions.begin(), std::move(main_fn));
+  return app;
+}
+
+std::vector<NamedWorkload> all_named() {
+  return {
+      {"scalable_stencil", &scalable_stencil},
+      {"imbalanced_ocean", &imbalanced_ocean},
+      {"serial_bottleneck", &serial_bottleneck},
+      {"message_bound", &message_bound},
+      {"io_heavy", &io_heavy},
+  };
+}
+
+}  // namespace kojak::perf::workloads

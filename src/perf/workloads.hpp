@@ -1,0 +1,42 @@
+#ifndef KOJAK_PERF_WORKLOADS_HPP
+#define KOJAK_PERF_WORKLOADS_HPP
+
+#include "perf/app_model.hpp"
+
+namespace kojak::perf::workloads {
+
+/// Near-perfectly scaling stencil kernel: the control workload — total cost
+/// stays close to zero across PE counts (experiment T5's flat curve).
+[[nodiscard]] AppSpec scalable_stencil();
+
+/// The flagship workload of the benches and examples: an ocean-circulation
+/// style SPMD code with a serial init, an imbalanced compute loop with halo
+/// exchange and a barrier per iteration, a reduction, and serialized
+/// checkpoint I/O. Reproduces the bottleneck mix COSY's property suite
+/// targets (SublinearSpeedup / SyncCost / LoadImbalance / IOCost...).
+[[nodiscard]] AppSpec imbalanced_ocean();
+
+/// Amdahl-style workload: a dominant replicated-serial region.
+[[nodiscard]] AppSpec serial_bottleneck();
+
+/// Many tiny point-to-point messages: latency-bound halo exchange.
+[[nodiscard]] AppSpec message_bound();
+
+/// Serialized checkpoint I/O through PE 0 dominating everything else.
+[[nodiscard]] AppSpec io_heavy();
+
+/// Synthetic program with `functions` functions x `regions_per_function`
+/// leaf regions (plus loop parents): sized input for import/scale benches.
+[[nodiscard]] AppSpec synthetic_scale(std::size_t functions,
+                                      std::size_t regions_per_function);
+
+/// All named workloads with their identifiers (bench/example enumeration).
+struct NamedWorkload {
+  const char* name;
+  AppSpec (*factory)();
+};
+[[nodiscard]] std::vector<NamedWorkload> all_named();
+
+}  // namespace kojak::perf::workloads
+
+#endif  // KOJAK_PERF_WORKLOADS_HPP

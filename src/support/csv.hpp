@@ -1,0 +1,31 @@
+#ifndef KOJAK_SUPPORT_CSV_HPP
+#define KOJAK_SUPPORT_CSV_HPP
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kojak::support {
+
+/// Minimal RFC-4180-style CSV writer for bench outputs; quotes fields
+/// containing separators, quotes, or newlines.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] static std::string escape(std::string_view cell);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Parses one CSV line into fields, honouring quoted fields with doubled
+/// quotes. Embedded newlines are not supported (bench files never use them).
+[[nodiscard]] std::vector<std::string> parse_csv_line(std::string_view line);
+
+}  // namespace kojak::support
+
+#endif  // KOJAK_SUPPORT_CSV_HPP

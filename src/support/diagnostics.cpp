@@ -1,0 +1,84 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace kojak::support {
+
+std::string_view to_string(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kNote:
+      return "note";
+    case DiagSeverity::kWarning:
+      return "warning";
+    case DiagSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string out;
+  out += loc.to_string();
+  out += ": ";
+  out += kojak::support::to_string(severity);
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void DiagnosticEngine::error(SourceLoc loc, std::string message) {
+  diags_.push_back({DiagSeverity::kError, loc, std::move(message)});
+  ++error_count_;
+}
+
+void DiagnosticEngine::warning(SourceLoc loc, std::string message) {
+  diags_.push_back({DiagSeverity::kWarning, loc, std::move(message)});
+}
+
+void DiagnosticEngine::note(SourceLoc loc, std::string message) {
+  diags_.push_back({DiagSeverity::kNote, loc, std::move(message)});
+}
+
+namespace {
+
+std::string_view line_at(std::string_view source, std::size_t line) {
+  std::size_t current = 1;
+  std::size_t start = 0;
+  while (current < line) {
+    const std::size_t nl = source.find('\n', start);
+    if (nl == std::string_view::npos) return {};
+    start = nl + 1;
+    ++current;
+  }
+  std::size_t end = source.find('\n', start);
+  if (end == std::string_view::npos) end = source.size();
+  return source.substr(start, end - start);
+}
+
+}  // namespace
+
+std::string DiagnosticEngine::render(std::string_view source) const {
+  std::ostringstream out;
+  for (const Diagnostic& diag : diags_) {
+    out << diag.to_string() << '\n';
+    if (!source.empty()) {
+      const std::string_view line = line_at(source, diag.loc.line);
+      if (!line.empty()) {
+        out << "    " << line << '\n';
+        out << "    ";
+        for (std::size_t i = 1; i < diag.loc.column; ++i) {
+          out << (i - 1 < line.size() && line[i - 1] == '\t' ? '\t' : ' ');
+        }
+        out << "^\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace kojak::support

@@ -1,0 +1,52 @@
+#ifndef KOJAK_SUPPORT_DIAGNOSTICS_HPP
+#define KOJAK_SUPPORT_DIAGNOSTICS_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace kojak::support {
+
+enum class DiagSeverity { kNote, kWarning, kError };
+
+[[nodiscard]] std::string_view to_string(DiagSeverity severity);
+
+/// One diagnostic message anchored to a source position.
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::kError;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Collects diagnostics during a front-end pass so that a parser can recover
+/// and report several problems at once instead of stopping at the first.
+class DiagnosticEngine {
+ public:
+  void error(SourceLoc loc, std::string message);
+  void warning(SourceLoc loc, std::string message);
+  void note(SourceLoc loc, std::string message);
+
+  [[nodiscard]] bool has_errors() const noexcept { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const noexcept { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diags_;
+  }
+
+  /// Renders all diagnostics; when `source` is non-empty each message is
+  /// followed by the offending line and a caret marker.
+  [[nodiscard]] std::string render(std::string_view source = {}) const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace kojak::support
+
+#endif  // KOJAK_SUPPORT_DIAGNOSTICS_HPP

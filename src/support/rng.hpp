@@ -1,0 +1,82 @@
+#ifndef KOJAK_SUPPORT_RNG_HPP
+#define KOJAK_SUPPORT_RNG_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace kojak::support {
+
+/// Deterministic random source. Every stochastic component in the project
+/// (simulator noise, randomized tests, workload generators) draws from an Rng
+/// seeded explicitly, so a (seed, parameters) pair reproduces a run exactly.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Normal truncated below at `floor` (re-sampling would skew the mean for
+  /// heavy truncation, so we clamp; simulator noise keeps stddev << mean).
+  [[nodiscard]] double normal_at_least(double mean, double stddev, double floor) {
+    const double v = normal(mean, stddev);
+    return v < floor ? floor : v;
+  }
+
+  [[nodiscard]] double lognormal(double log_mean, double log_stddev) {
+    return std::lognormal_distribution<double>(log_mean, log_stddev)(engine_);
+  }
+
+  [[nodiscard]] double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// True with probability p.
+  [[nodiscard]] bool chance(double p) { return uniform() < p; }
+
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) {
+    assert(!items.empty());
+    return items[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>(items));
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  /// Derives an independent child generator; used to give each simulated PE
+  /// its own stream so results do not depend on evaluation order.
+  [[nodiscard]] Rng fork() { return Rng(engine_() ^ 0xD1B54A32D192ED03ULL); }
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace kojak::support
+
+#endif  // KOJAK_SUPPORT_RNG_HPP

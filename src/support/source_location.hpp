@@ -1,0 +1,36 @@
+#ifndef KOJAK_SUPPORT_SOURCE_LOCATION_HPP
+#define KOJAK_SUPPORT_SOURCE_LOCATION_HPP
+
+#include <cstddef>
+#include <compare>
+#include <string>
+
+namespace kojak::support {
+
+/// A position inside a specification or query source text.
+/// Lines and columns are 1-based; `offset` is the 0-based byte offset.
+struct SourceLoc {
+  std::size_t line = 1;
+  std::size_t column = 1;
+  std::size_t offset = 0;
+
+  friend auto operator<=>(const SourceLoc&, const SourceLoc&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+/// A half-open byte range [begin, end) with the location of its start.
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  friend bool operator==(const SourceRange&, const SourceRange&) = default;
+
+  [[nodiscard]] std::string to_string() const { return begin.to_string(); }
+};
+
+}  // namespace kojak::support
+
+#endif  // KOJAK_SUPPORT_SOURCE_LOCATION_HPP

@@ -1,0 +1,63 @@
+#include "support/stats.hpp"
+
+#include <cmath>
+
+namespace kojak::support {
+
+void RunningStats::push(double value, std::uint64_t tag) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  if (value < min_) {
+    min_ = value;
+    min_tag_ = tag;
+  }
+  if (value > max_) {
+    max_ = value;
+    max_tag_ = tag;
+  }
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  if (other.min_ < min_) {
+    min_ = other.min_;
+    min_tag_ = other.min_tag_;
+  }
+  if (other.max_ > max_) {
+    max_ = other.max_;
+    max_tag_ = other.max_tag_;
+  }
+}
+
+double RunningStats::variance_population() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::variance_sample() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev_population() const noexcept {
+  return std::sqrt(variance_population());
+}
+
+double RunningStats::stddev_sample() const noexcept {
+  return std::sqrt(variance_sample());
+}
+
+}  // namespace kojak::support

@@ -1,0 +1,52 @@
+#ifndef KOJAK_SUPPORT_STATS_HPP
+#define KOJAK_SUPPORT_STATS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace kojak::support {
+
+/// Numerically stable running statistics (Welford's algorithm) over a stream
+/// of samples. Tracks count, mean, variance, min/max, and which sample index
+/// attained the extrema — the Apprentice summarizer needs "the processor that
+/// was first or last in the respective category" (paper §4.1).
+class RunningStats {
+ public:
+  void push(double value) { push(value, count_); }
+
+  /// Adds `value` tagged with an explicit sample id (e.g. a PE number).
+  void push(double value, std::uint64_t tag);
+
+  /// Merges another accumulator into this one (parallel reduction; Chan et al.).
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+  [[nodiscard]] double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+
+  /// Population variance (divides by n). Returns 0 for fewer than 2 samples.
+  [[nodiscard]] double variance_population() const noexcept;
+  /// Sample variance (divides by n-1). Returns 0 for fewer than 2 samples.
+  [[nodiscard]] double variance_sample() const noexcept;
+  [[nodiscard]] double stddev_population() const noexcept;
+  [[nodiscard]] double stddev_sample() const noexcept;
+
+  [[nodiscard]] double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] std::uint64_t min_tag() const noexcept { return min_tag_; }
+  [[nodiscard]] std::uint64_t max_tag() const noexcept { return max_tag_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  std::uint64_t min_tag_ = 0;
+  std::uint64_t max_tag_ = 0;
+};
+
+}  // namespace kojak::support
+
+#endif  // KOJAK_SUPPORT_STATS_HPP

@@ -1,0 +1,116 @@
+#include "support/str.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace kojak::support {
+
+std::string_view trim(std::string_view text) {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!text.empty() && is_space(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && is_space(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_ws(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::string to_upper(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string sql_quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '\'';
+  for (char c : text) {
+    if (c == '\'') out += '\'';
+    out += c;
+  }
+  out += '\'';
+  return out;
+}
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  if (precision >= 17) {
+    // Shortest representation that round-trips: try ascending precision.
+    for (int p = 15; p <= 17; ++p) {
+      std::snprintf(buf, sizeof buf, "%.*g", p, value);
+      if (std::strtod(buf, nullptr) == value) return buf;
+    }
+    return buf;
+  }
+  std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+  return buf;
+}
+
+}  // namespace kojak::support

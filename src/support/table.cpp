@@ -1,0 +1,59 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+
+namespace kojak::support {
+
+TablePrinter& TablePrinter::add_column(std::string header, Align align) {
+  columns_.push_back({std::move(header), align});
+  return *this;
+}
+
+TablePrinter& TablePrinter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].header.size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < columns_.size() && c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto pad = [&](const std::string& cell, std::size_t c) {
+    std::string out;
+    const std::size_t w = widths[c];
+    const std::size_t fill = w > cell.size() ? w - cell.size() : 0;
+    if (columns_[c].align == Align::kRight) out.append(fill, ' ');
+    out += cell;
+    if (columns_[c].align == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  std::string out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out += "  ";
+    out += pad(columns_[c].header, c);
+  }
+  out += '\n';
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out += "  ";
+    out.append(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += pad(c < row.size() ? row[c] : std::string{}, c);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace kojak::support

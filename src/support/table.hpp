@@ -1,0 +1,35 @@
+#ifndef KOJAK_SUPPORT_TABLE_HPP
+#define KOJAK_SUPPORT_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace kojak::support {
+
+/// Renders aligned ASCII tables; used by examples and benches to print the
+/// ranked-property tables COSY presents to the application programmer.
+class TablePrinter {
+ public:
+  enum class Align { kLeft, kRight };
+
+  TablePrinter& add_column(std::string header, Align align = Align::kLeft);
+  TablePrinter& add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders header, separator, and rows. Missing cells render empty;
+  /// surplus cells are dropped.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Column {
+    std::string header;
+    Align align;
+  };
+  std::vector<Column> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kojak::support
+
+#endif  // KOJAK_SUPPORT_TABLE_HPP

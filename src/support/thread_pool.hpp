@@ -1,0 +1,62 @@
+#ifndef KOJAK_SUPPORT_THREAD_POOL_HPP
+#define KOJAK_SUPPORT_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace kojak::support {
+
+/// Fixed-size worker pool. The simulator runs PE timelines on it and the
+/// analyzer evaluates property contexts on it. Results are always reduced in
+/// a deterministic order by the caller, so pooled execution never changes
+/// output (only wall time).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the future reports its result or exception.
+  template <typename F>
+  [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F&& task) {
+    using R = std::invoke_result_t<F>;
+    auto packaged = std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> future = packaged->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      tasks_.emplace([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Runs body(i) for i in [0, n), blocking until all complete. Indices are
+  /// chunked contiguously; exceptions from any chunk are rethrown (first one).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::jthread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool sized to the hardware; created on first use.
+[[nodiscard]] ThreadPool& global_pool();
+
+}  // namespace kojak::support
+
+#endif  // KOJAK_SUPPORT_THREAD_POOL_HPP

@@ -1,0 +1,380 @@
+#include <gtest/gtest.h>
+
+#include "asl/interp.hpp"
+#include "asl/sema.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace asl = kojak::asl;
+using asl::ObjectId;
+using asl::PropertyResult;
+using asl::RtValue;
+using kojak::support::EvalError;
+
+namespace {
+
+constexpr const char* kModel = R"(
+enum Color { Red, Green, Blue };
+class Leaf { int N; float X; String S; Color C; }
+class Node { String Name; Node Next; setof Leaf Leaves; }
+)";
+
+/// Fixture with three leaves under one node:
+///   leaf0: N=1, X=1.5, S="a", C=Red
+///   leaf1: N=2, X=2.5, S="b", C=Green
+///   leaf2: N=2, X=-4.0, S="c", C=Green
+class InterpTest : public ::testing::Test {
+ protected:
+  explicit InterpTest(std::string_view extra_spec = "")
+      : model_(asl::load_model({kModel, extra_spec})), store_(model_) {
+    node_ = store_.create("Node");
+    store_.set_attr(node_, "Name", RtValue::of_string("root"));
+    const auto enum_id = *model_.find_enum("Color");
+    const int ns[] = {1, 2, 2};
+    const double xs[] = {1.5, 2.5, -4.0};
+    const char* ss[] = {"a", "b", "c"};
+    const std::int32_t cs[] = {0, 1, 1};
+    for (int i = 0; i < 3; ++i) {
+      const ObjectId leaf = store_.create("Leaf");
+      store_.set_attr(leaf, "N", RtValue::of_int(ns[i]));
+      store_.set_attr(leaf, "X", RtValue::of_float(xs[i]));
+      store_.set_attr(leaf, "S", RtValue::of_string(ss[i]));
+      store_.set_attr(leaf, "C", RtValue::of_enum(enum_id, cs[i]));
+      store_.add_to_set(node_, "Leaves", leaf);
+      leaves_.push_back(leaf);
+    }
+  }
+
+  /// Parses `expr_source` as the body of a throwaway function over (Node n)
+  /// and evaluates it with n = node_.
+  RtValue eval_node_expr(std::string_view type, std::string_view expr_source) {
+    const asl::Model model = asl::load_model(
+        {kModel, kojak::support::cat(type, " TestFn(Node n) = ", expr_source, ";")});
+    // The store was built against model_, whose class ids match (same spec
+    // prefix), so evaluation against the new model is safe.
+    asl::ObjectStore store(model);
+    rebuild_into(store);
+    const asl::Interpreter interp(model, store);
+    return interp.call(*model.find_function("TestFn"),
+                       {RtValue::of_object(node_)});
+  }
+
+  void rebuild_into(asl::ObjectStore& store) {
+    // Replay the fixture into a store bound to another (extended) model.
+    const ObjectId node = store.create("Node");
+    store.set_attr(node, "Name", store_.attr(node_, "Name"));
+    for (const ObjectId leaf : leaves_) {
+      const ObjectId copy = store.create("Leaf");
+      for (const char* attr : {"N", "X", "S", "C"}) {
+        store.set_attr(copy, attr, store_.attr(leaf, attr));
+      }
+      store.add_to_set(node, "Leaves", copy);
+    }
+  }
+
+  asl::Model model_;
+  asl::ObjectStore store_;
+  ObjectId node_ = asl::kNullObject;
+  std::vector<ObjectId> leaves_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ObjectStore semantics
+
+TEST_F(InterpTest, StoreBasics) {
+  EXPECT_EQ(store_.size(), 4u);
+  EXPECT_EQ(store_.all_of("Leaf").size(), 3u);
+  EXPECT_EQ(store_.all_of("Node").size(), 1u);
+  EXPECT_EQ(store_.attr(node_, "Name").as_string(), "root");
+  EXPECT_TRUE(store_.attr(node_, "Next").is_null());
+  EXPECT_EQ(store_.attr(node_, "Leaves").as_set().size(), 3u);
+}
+
+TEST_F(InterpTest, StoreErrors) {
+  EXPECT_THROW(store_.create("Nope"), EvalError);
+  EXPECT_THROW((void)store_.attr(node_, "Nope"), EvalError);
+  EXPECT_THROW(store_.set_attr(node_, "Nope", RtValue::null()), EvalError);
+}
+
+TEST(RtValue, EqualsSemantics) {
+  EXPECT_TRUE(RtValue::equals(RtValue::of_int(2), RtValue::of_float(2.0)));
+  EXPECT_TRUE(RtValue::equals(RtValue::null(), RtValue::null()));
+  EXPECT_FALSE(RtValue::equals(RtValue::null(), RtValue::of_object(1)));
+  EXPECT_TRUE(RtValue::equals(RtValue::of_object(3), RtValue::of_object(3)));
+  EXPECT_FALSE(RtValue::equals(RtValue::of_enum(0, 1), RtValue::of_enum(0, 2)));
+  EXPECT_THROW((void)RtValue::equals(RtValue::of_string("1"), RtValue::of_int(1)),
+               EvalError);
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+
+TEST_F(InterpTest, Arithmetic) {
+  EXPECT_EQ(eval_node_expr("int", "1 + 2 * 3").as_int(), 7);
+  EXPECT_DOUBLE_EQ(eval_node_expr("float", "7 / 2").as_float(), 3.5);
+  EXPECT_EQ(eval_node_expr("int", "-(3 - 5)").as_int(), 2);
+  EXPECT_DOUBLE_EQ(eval_node_expr("float", "2.5 * 2").as_float(), 5.0);
+}
+
+TEST_F(InterpTest, DivisionByZeroThrows) {
+  EXPECT_THROW(eval_node_expr("float", "1 / (1 - 1)"), EvalError);
+}
+
+TEST_F(InterpTest, MemberChains) {
+  EXPECT_EQ(eval_node_expr("String", "n.Name").as_string(), "root");
+}
+
+TEST_F(InterpTest, NullMemberAccessThrows) {
+  EXPECT_THROW(eval_node_expr("String", "n.Next.Name"), EvalError);
+}
+
+TEST_F(InterpTest, ComprehensionFilters) {
+  EXPECT_EQ(eval_node_expr("int", "SIZE({l IN n.Leaves WITH l.N == 2})").as_int(),
+            2);
+  EXPECT_EQ(eval_node_expr("int", "SIZE({l IN n.Leaves WITH l.X > 100})").as_int(),
+            0);
+  EXPECT_EQ(eval_node_expr("int", "SIZE(n.Leaves)").as_int(), 3);
+}
+
+TEST_F(InterpTest, ComprehensionOverEnum) {
+  EXPECT_EQ(
+      eval_node_expr("int", "SIZE({l IN n.Leaves WITH l.C == Green})").as_int(),
+      2);
+}
+
+TEST_F(InterpTest, Aggregates) {
+  EXPECT_DOUBLE_EQ(eval_node_expr("float", "SUM(l.X WHERE l IN n.Leaves)").as_float(),
+                   0.0);  // 1.5 + 2.5 - 4.0
+  EXPECT_EQ(eval_node_expr("int", "MIN(l.N WHERE l IN n.Leaves)").as_int(), 1);
+  EXPECT_EQ(eval_node_expr("int", "MAX(l.N WHERE l IN n.Leaves)").as_int(), 2);
+  EXPECT_DOUBLE_EQ(
+      eval_node_expr("float", "AVG(l.X WHERE l IN n.Leaves)").as_float(),
+      0.0);
+  EXPECT_EQ(eval_node_expr("int",
+                           "COUNT(l WHERE l IN n.Leaves AND l.X > 0)")
+                .as_int(),
+            2);
+}
+
+TEST_F(InterpTest, AggregateWithCompoundFilter) {
+  EXPECT_DOUBLE_EQ(
+      eval_node_expr("float",
+                     "SUM(l.X WHERE l IN n.Leaves AND l.N == 2 AND l.C == Green)")
+          .as_float(),
+      -1.5);
+}
+
+TEST_F(InterpTest, AggregatesOverEmptySets) {
+  EXPECT_DOUBLE_EQ(
+      eval_node_expr("float", "SUM(l.X WHERE l IN n.Leaves AND l.N > 99)")
+          .as_float(),
+      0.0);
+  EXPECT_EQ(
+      eval_node_expr("int", "COUNT(l WHERE l IN n.Leaves AND l.N > 99)").as_int(),
+      0);
+  EXPECT_THROW(eval_node_expr("int", "MIN(l.N WHERE l IN n.Leaves AND l.N > 99)"),
+               EvalError);
+  EXPECT_THROW(eval_node_expr("float", "AVG(l.X WHERE l IN n.Leaves AND l.N > 99)"),
+               EvalError);
+}
+
+TEST_F(InterpTest, IdentityAggregate) {
+  // MAX over a single scalar (degenerate list form) is the identity.
+  EXPECT_DOUBLE_EQ(eval_node_expr("float", "MAX(2.5)").as_float(), 2.5);
+}
+
+TEST_F(InterpTest, UniqueSemantics) {
+  EXPECT_EQ(eval_node_expr(
+                "int", "UNIQUE({l IN n.Leaves WITH l.N == 1}).N")
+                .as_int(),
+            1);
+  EXPECT_THROW(eval_node_expr("int", "UNIQUE(n.Leaves).N"), EvalError);
+  EXPECT_THROW(
+      eval_node_expr("int", "UNIQUE({l IN n.Leaves WITH l.N > 99}).N"),
+      EvalError);
+}
+
+TEST_F(InterpTest, ExistsSemantics) {
+  EXPECT_TRUE(
+      eval_node_expr("bool", "EXISTS({l IN n.Leaves WITH l.X < 0})").as_bool());
+  EXPECT_FALSE(
+      eval_node_expr("bool", "EXISTS({l IN n.Leaves WITH l.X > 99})").as_bool());
+}
+
+TEST_F(InterpTest, BooleanShortCircuit) {
+  // Short-circuit: the RHS would throw (division by zero).
+  EXPECT_FALSE(eval_node_expr("bool", "false AND 1 / 0 > 0").as_bool());
+  EXPECT_TRUE(eval_node_expr("bool", "true OR 1 / 0 > 0").as_bool());
+}
+
+TEST_F(InterpTest, Comparisons) {
+  EXPECT_TRUE(eval_node_expr("bool", "2 == 2.0").as_bool());
+  EXPECT_TRUE(eval_node_expr("bool", "n.Name == \"root\"").as_bool());
+  EXPECT_TRUE(eval_node_expr("bool", "n.Next == null").as_bool());
+  EXPECT_TRUE(eval_node_expr("bool", "\"abc\" < \"abd\"").as_bool());
+  EXPECT_FALSE(eval_node_expr("bool", "3 != 3").as_bool());
+}
+
+TEST_F(InterpTest, UserFunctionComposition) {
+  const asl::Model model = asl::load_model(
+      {kModel,
+       "float Total(Node n) = SUM(l.X WHERE l IN n.Leaves);\n"
+       "float Scaled(Node n, float f) = Total(n) * f + 1.0;\n"});
+  asl::ObjectStore store(model);
+  rebuild_into(store);
+  const asl::Interpreter interp(model, store);
+  const RtValue result = interp.call(*model.find_function("Scaled"),
+                                     {RtValue::of_object(0), RtValue::of_float(2.0)});
+  EXPECT_DOUBLE_EQ(result.as_float(), 1.0);
+}
+
+TEST_F(InterpTest, Constants) {
+  const asl::Model model = asl::load_model(
+      {kModel, "const float Threshold = 0.25;\n"
+               "bool F(Node n) = SIZE(n.Leaves) > Threshold * 4;\n"});
+  asl::ObjectStore store(model);
+  rebuild_into(store);
+  const asl::Interpreter interp(model, store);
+  EXPECT_TRUE(interp.call(*model.find_function("F"), {RtValue::of_object(0)})
+                  .as_bool());
+}
+
+// ---------------------------------------------------------------------------
+// Property evaluation
+
+class InterpPropertyTest : public InterpTest {
+ public:
+  PropertyResult run_property(const std::string& source) {
+    const asl::Model model = asl::load_model({kModel, source});
+    asl::ObjectStore store(model);
+    rebuild_into(store);
+    const asl::Interpreter interp(model, store);
+    return interp.evaluate_property(*model.find_property("P"),
+                                    {RtValue::of_object(0)});
+  }
+};
+
+TEST_F(InterpPropertyTest, HoldsWithSeverity) {
+  const PropertyResult result = run_property(
+      "Property P(Node n) {\n"
+      "  LET float Total = SUM(l.X WHERE l IN n.Leaves AND l.X > 0)\n"
+      "  IN CONDITION: Total > 1; CONFIDENCE: 0.8; SEVERITY: Total / 2;\n"
+      "};");
+  EXPECT_EQ(result.status, PropertyResult::Status::kHolds);
+  EXPECT_DOUBLE_EQ(result.confidence, 0.8);
+  EXPECT_DOUBLE_EQ(result.severity, 2.0);  // (1.5 + 2.5) / 2
+  EXPECT_EQ(result.matched_condition, "#1");
+}
+
+TEST_F(InterpPropertyTest, DoesNotHold) {
+  const PropertyResult result = run_property(
+      "Property P(Node n) { CONDITION: SIZE(n.Leaves) > 99; CONFIDENCE: 1; "
+      "SEVERITY: 42; };");
+  EXPECT_EQ(result.status, PropertyResult::Status::kDoesNotHold);
+  EXPECT_DOUBLE_EQ(result.severity, 0.0);
+  EXPECT_DOUBLE_EQ(result.confidence, 0.0);
+}
+
+TEST_F(InterpPropertyTest, OrConditionsPickFirstMatch) {
+  const PropertyResult result = run_property(
+      "Property P(Node n) {\n"
+      "  CONDITION: (none) SIZE(n.Leaves) > 99 OR (some) SIZE(n.Leaves) > 0;\n"
+      "  CONFIDENCE: 1; SEVERITY: 1;\n"
+      "};");
+  EXPECT_TRUE(result.holds());
+  EXPECT_EQ(result.matched_condition, "some");
+}
+
+TEST_F(InterpPropertyTest, GuardedArmsSelectByCondition) {
+  const PropertyResult result = run_property(
+      "Property P(Node n) {\n"
+      "  CONDITION: (neg) EXISTS({l IN n.Leaves WITH l.X < 0})\n"
+      "          OR (huge) EXISTS({l IN n.Leaves WITH l.X > 99});\n"
+      "  CONFIDENCE: MAX((neg) -> 0.7, (huge) -> 0.9);\n"
+      "  SEVERITY: MAX((neg) -> 4.0, (huge) -> 8.0);\n"
+      "};");
+  EXPECT_TRUE(result.holds());
+  // Only the 'neg' guard held, so only its arms are eligible.
+  EXPECT_DOUBLE_EQ(result.confidence, 0.7);
+  EXPECT_DOUBLE_EQ(result.severity, 4.0);
+}
+
+TEST_F(InterpPropertyTest, UnguardedArmAlwaysEligible) {
+  const PropertyResult result = run_property(
+      "Property P(Node n) {\n"
+      "  CONDITION: (a) true OR (b) false;\n"
+      "  CONFIDENCE: MAX((b) -> 0.9, 0.3);\n"
+      "  SEVERITY: MAX((b) -> 100, 7);\n"
+      "};");
+  EXPECT_DOUBLE_EQ(result.confidence, 0.3);
+  EXPECT_DOUBLE_EQ(result.severity, 7.0);
+}
+
+TEST_F(InterpPropertyTest, ConfidenceClampedToUnitInterval) {
+  const PropertyResult result = run_property(
+      "Property P(Node n) { CONDITION: true; CONFIDENCE: 3.5; SEVERITY: 1; };");
+  EXPECT_DOUBLE_EQ(result.confidence, 1.0);
+}
+
+TEST_F(InterpPropertyTest, EvaluationErrorsBecomeNotApplicable) {
+  const PropertyResult result = run_property(
+      "Property P(Node n) {\n"
+      "  LET Leaf only = UNIQUE(n.Leaves)\n"  // set has 3 members
+      "  IN CONDITION: only.X > 0; CONFIDENCE: 1; SEVERITY: 1;\n"
+      "};");
+  EXPECT_EQ(result.status, PropertyResult::Status::kNotApplicable);
+  EXPECT_NE(result.note.find("UNIQUE"), std::string::npos);
+}
+
+TEST_F(InterpPropertyTest, LetsEvaluateInOrder) {
+  const PropertyResult result = run_property(
+      "Property P(Node n) {\n"
+      "  LET float A = SUM(l.X WHERE l IN n.Leaves AND l.X > 0);\n"
+      "      float B = A * 2\n"
+      "  IN CONDITION: B == 8.0; CONFIDENCE: 1; SEVERITY: B;\n"
+      "};");
+  EXPECT_TRUE(result.holds());
+  EXPECT_DOUBLE_EQ(result.severity, 8.0);
+}
+
+TEST_F(InterpPropertyTest, ArgumentArityChecked) {
+  const asl::Model model = asl::load_model(
+      {kModel,
+       "Property P(Node n) { CONDITION: true; CONFIDENCE: 1; SEVERITY: 1; };"});
+  asl::ObjectStore store(model);
+  rebuild_into(store);
+  const asl::Interpreter interp(model, store);
+  EXPECT_THROW(
+      (void)interp.evaluate_property(*model.find_property("P"), {}),
+      EvalError);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime inheritance (the language feature the COSY model does not use)
+
+TEST(InterpInheritance, SubclassObjectsFlowThroughBaseTypedSets) {
+  const asl::Model model = asl::load_model(
+      {kModel,
+       "class Special extends Leaf { float Extra; }\n"
+       "float SumX(Node n) = SUM(l.X WHERE l IN n.Leaves);\n"});
+  asl::ObjectStore store(model);
+  const ObjectId node = store.create("Node");
+  const ObjectId plain = store.create("Leaf");
+  store.set_attr(plain, "X", RtValue::of_float(1.0));
+  const ObjectId special = store.create("Special");
+  store.set_attr(special, "X", RtValue::of_float(2.0));       // inherited slot
+  store.set_attr(special, "Extra", RtValue::of_float(9.0));   // own slot
+  store.add_to_set(node, "Leaves", plain);
+  store.add_to_set(node, "Leaves", special);
+
+  // all_of with subclasses includes Special; without, it does not.
+  EXPECT_EQ(store.all_of("Leaf", true).size(), 2u);
+  EXPECT_EQ(store.all_of("Leaf", false).size(), 1u);
+
+  const asl::Interpreter interp(model, store);
+  const RtValue sum = interp.call(*model.find_function("SumX"),
+                                  {RtValue::of_object(node)});
+  EXPECT_DOUBLE_EQ(sum.as_float(), 3.0);
+}

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "asl/lexer.hpp"
+#include "support/error.hpp"
+
+namespace asl = kojak::asl;
+using asl::TokenKind;
+using kojak::support::ParseError;
+
+TEST(AslLexer, KeywordsAreCaseInsensitive) {
+  for (const char* text : {"PROPERTY", "Property", "property"}) {
+    const auto tokens = asl::lex_asl(text);
+    EXPECT_EQ(tokens[0].kind, TokenKind::kProperty) << text;
+  }
+  EXPECT_EQ(asl::lex_asl("CONDITION")[0].kind, TokenKind::kCondition);
+  EXPECT_EQ(asl::lex_asl("setof")[0].kind, TokenKind::kSetof);
+  EXPECT_EQ(asl::lex_asl("IN")[0].kind, TokenKind::kIn);
+  EXPECT_EQ(asl::lex_asl("with")[0].kind, TokenKind::kWith);
+}
+
+TEST(AslLexer, BuiltinFunctionNamesStayIdentifiers) {
+  // UNIQUE/MIN/MAX/SUM must not be keywords — they can appear as attribute
+  // names in a data model.
+  for (const char* name : {"UNIQUE", "MIN", "MAX", "SUM", "AVG", "COUNT"}) {
+    EXPECT_EQ(asl::lex_asl(name)[0].kind, TokenKind::kIdent) << name;
+  }
+}
+
+TEST(AslLexer, OperatorsOfThePaper) {
+  const auto tokens = asl::lex_asl("== != <= >= < > = -> - + * /");
+  const TokenKind expected[] = {
+      TokenKind::kEq, TokenKind::kNe, TokenKind::kLe, TokenKind::kGe,
+      TokenKind::kLt, TokenKind::kGt, TokenKind::kAssign, TokenKind::kArrow,
+      TokenKind::kMinus, TokenKind::kPlus, TokenKind::kStar, TokenKind::kSlash,
+  };
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << i;
+  }
+}
+
+TEST(AslLexer, ArrowVsMinus) {
+  const auto tokens = asl::lex_asl("a -> b - > c");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kArrow);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kMinus);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kGt);
+}
+
+TEST(AslLexer, NumbersAndFloats) {
+  const auto tokens = asl::lex_asl("42 0.25 1e3 2.5E-2");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLit);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloatLit);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 0.25);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 0.025);
+}
+
+TEST(AslLexer, Strings) {
+  const auto tokens = asl::lex_asl(R"("hello \"there\"\n")");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStringLit);
+  EXPECT_EQ(tokens[0].text, "hello \"there\"\n");
+}
+
+TEST(AslLexer, Comments) {
+  const auto tokens = asl::lex_asl(
+      "a // line comment\n/* block\ncomment */ b");
+  ASSERT_EQ(tokens.size(), 3u);  // a, b, EOF
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(AslLexer, TracksLocations) {
+  const auto tokens = asl::lex_asl("a\n  bb\n");
+  EXPECT_EQ(tokens[0].loc.line, 1u);
+  EXPECT_EQ(tokens[0].loc.column, 1u);
+  EXPECT_EQ(tokens[1].loc.line, 2u);
+  EXPECT_EQ(tokens[1].loc.column, 3u);
+}
+
+TEST(AslLexer, Punctuation) {
+  const auto tokens = asl::lex_asl("{ } ( ) ; : , .");
+  const TokenKind expected[] = {
+      TokenKind::kLBrace, TokenKind::kRBrace, TokenKind::kLParen,
+      TokenKind::kRParen, TokenKind::kSemicolon, TokenKind::kColon,
+      TokenKind::kComma, TokenKind::kDot,
+  };
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << i;
+  }
+}
+
+TEST(AslLexer, Errors) {
+  EXPECT_THROW((void)asl::lex_asl("\"unterminated"), ParseError);
+  EXPECT_THROW((void)asl::lex_asl("/* unterminated"), ParseError);
+  EXPECT_THROW((void)asl::lex_asl("a $ b"), ParseError);
+  EXPECT_THROW((void)asl::lex_asl("!x"), ParseError);  // '!' only in '!='
+}
+
+TEST(AslLexer, EndToken) {
+  const auto tokens = asl::lex_asl("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}

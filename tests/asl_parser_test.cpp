@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include "asl/parser.hpp"
+#include "asl/pretty.hpp"
+#include "support/error.hpp"
+
+namespace asl = kojak::asl;
+using asl::ast::Expr;
+using kojak::support::ParseError;
+
+namespace {
+
+asl::ast::SpecFile parse_ok(std::string_view source) {
+  asl::ParseResult result = asl::parse_spec(source);
+  EXPECT_TRUE(result.ok()) << result.diags.render(source);
+  return std::move(result.spec);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Data model syntax (§4.1)
+
+TEST(AslParser, ClassDeclaration) {
+  const auto spec = parse_ok(
+      "class Program {\n"
+      "  String Name;\n"
+      "  setof ProgVersion Versions;\n"
+      "}\n");
+  ASSERT_EQ(spec.classes.size(), 1u);
+  const auto& cls = spec.classes[0];
+  EXPECT_EQ(cls.name, "Program");
+  ASSERT_EQ(cls.attrs.size(), 2u);
+  EXPECT_EQ(cls.attrs[0].type.name, "String");
+  EXPECT_FALSE(cls.attrs[0].type.is_set);
+  EXPECT_TRUE(cls.attrs[1].type.is_set);
+  EXPECT_EQ(cls.attrs[1].type.name, "ProgVersion");
+}
+
+TEST(AslParser, ClassWithInheritance) {
+  const auto spec = parse_ok("class Derived extends Base { int X; }");
+  EXPECT_EQ(spec.classes[0].base, "Base");
+}
+
+TEST(AslParser, EnumDeclaration) {
+  const auto spec = parse_ok("enum TimingType { Barrier, IO, Send };");
+  ASSERT_EQ(spec.enums.size(), 1u);
+  EXPECT_EQ(spec.enums[0].members,
+            (std::vector<std::string>{"Barrier", "IO", "Send"}));
+}
+
+TEST(AslParser, ConstDeclaration) {
+  const auto spec = parse_ok("const float ImbalanceThreshold = 0.25;");
+  ASSERT_EQ(spec.constants.size(), 1u);
+  EXPECT_EQ(spec.constants[0].name, "ImbalanceThreshold");
+  EXPECT_EQ(spec.constants[0].value->kind, Expr::Kind::kFloatLit);
+}
+
+TEST(AslParser, FunctionDeclaration) {
+  const auto spec = parse_ok(
+      "TotalTiming Summary(Region r, TestRun t) = "
+      "UNIQUE({s IN r.TotTimes WITH s.Run == t});");
+  ASSERT_EQ(spec.functions.size(), 1u);
+  const auto& fn = spec.functions[0];
+  EXPECT_EQ(fn.name, "Summary");
+  ASSERT_EQ(fn.params.size(), 2u);
+  EXPECT_EQ(fn.params[0].type.name, "Region");
+  EXPECT_EQ(fn.body->kind, Expr::Kind::kUnique);
+  EXPECT_EQ(fn.body->base->kind, Expr::Kind::kComprehension);
+}
+
+// ---------------------------------------------------------------------------
+// Property syntax (Figure 1)
+
+TEST(AslParser, PaperSublinearSpeedupVerbatim) {
+  // Exactly as printed in the paper (§4.2) — including the 'TotTimes' type
+  // typo, which is a *semantic* problem, not a syntactic one.
+  const auto spec = parse_ok(
+      "Property SublinearSpeedup(Region r, TestRun t, Region Basis) {\n"
+      " LET TotTimes MinPeSum = UNIQUE({sum IN r.TotTimes WITH sum.Run.NoPe ==\n"
+      "   MIN(s.Run.NoPe WHERE s IN r.TotTimes)});\n"
+      "   float TotalCost = Duration(r,t) - Duration(r,MinPeSum.Run)\n"
+      " IN\n"
+      " CONDITION: TotalCost>0; CONFIDENCE: 1;\n"
+      " SEVERITY: TotalCost/Duration(Basis,t);\n"
+      "}\n");
+  ASSERT_EQ(spec.properties.size(), 1u);
+  const auto& prop = spec.properties[0];
+  EXPECT_EQ(prop.name, "SublinearSpeedup");
+  EXPECT_EQ(prop.params.size(), 3u);
+  ASSERT_EQ(prop.lets.size(), 2u);
+  EXPECT_EQ(prop.lets[0].name, "MinPeSum");
+  EXPECT_EQ(prop.lets[0].type.name, "TotTimes");
+  ASSERT_EQ(prop.conditions.size(), 1u);
+  EXPECT_TRUE(prop.conditions[0].id.empty());
+  ASSERT_EQ(prop.confidence.size(), 1u);
+  EXPECT_FALSE(prop.confidence_is_max);
+}
+
+TEST(AslParser, PaperMeasuredCostVerbatim) {
+  const auto spec = parse_ok(
+      "Property MeasuredCost (Region r, TestRun t, Region Basis) {\n"
+      " LET float Cost = Summary(r,t).Ovhd;\n"
+      " IN CONDITION: Cost > 0; CONFIDENCE: 1;\n"
+      " SEVERITY: Cost / Duration(Basis,t);\n"
+      "}\n");
+  EXPECT_EQ(spec.properties[0].lets.size(), 1u);
+  // Member access on a call result.
+  EXPECT_EQ(spec.properties[0].lets[0].init->kind, Expr::Kind::kMember);
+  EXPECT_EQ(spec.properties[0].lets[0].init->base->kind, Expr::Kind::kCall);
+}
+
+TEST(AslParser, PaperSyncCostVerbatim) {
+  const auto spec = parse_ok(
+      "Property SyncCost(Region r, TestRun t, Region Basis) {\n"
+      " LET float Barrier = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run==t\n"
+      "   AND tt.Type == Barrier);\n"
+      " IN CONDITION: Barrier > 0; CONFIDENCE: 1;\n"
+      " SEVERITY: Barrier / Duration(Basis,t);\n"
+      "}\n");
+  const auto& agg = *spec.properties[0].lets[0].init;
+  EXPECT_EQ(agg.kind, Expr::Kind::kAggregate);
+  EXPECT_EQ(agg.agg_kind, asl::ast::AggKind::kSum);
+  EXPECT_EQ(agg.name, "tt");
+  ASSERT_NE(agg.filter, nullptr);
+  // Filter carries both conjuncts: tt.Run==t AND tt.Type == Barrier.
+  EXPECT_EQ(agg.filter->bin_op, asl::ast::BinOp::kAnd);
+}
+
+TEST(AslParser, PaperLoadImbalanceVerbatim) {
+  const auto spec = parse_ok(
+      "Property LoadImbalance(FunctionCall Call, TestRun t, Region Basis) {\n"
+      " LET CallTiming ct = UNIQUE ({c IN Call.Sums WITH c.Run == t});\n"
+      " float Dev = ct.StdevTime;\n"
+      " float Mean = ct.MeanTime;\n"
+      " IN CONDITION: Dev > ImbalanceThreshold * Mean; CONFIDENCE: 1;\n"
+      " SEVERITY: Mean / Duration(Basis,t);\n"
+      "}\n");
+  EXPECT_EQ(spec.properties[0].lets.size(), 3u);
+}
+
+TEST(AslParser, ConditionIdsAndGuardedMax) {
+  const auto spec = parse_ok(
+      "Property Multi(Region r, TestRun t) {\n"
+      " CONDITION: (c1) r.A > 0 OR (c2) r.B > 0 OR r.C > 0;\n"
+      " CONFIDENCE: MAX((c1) -> 0.9, (c2) -> 0.5, 0.1);\n"
+      " SEVERITY: MAX((c1) -> r.A, (c2) -> r.B);\n"
+      "};");
+  const auto& prop = spec.properties[0];
+  ASSERT_EQ(prop.conditions.size(), 3u);
+  EXPECT_EQ(prop.conditions[0].id, "c1");
+  EXPECT_EQ(prop.conditions[1].id, "c2");
+  EXPECT_TRUE(prop.conditions[2].id.empty());
+  EXPECT_TRUE(prop.confidence_is_max);
+  ASSERT_EQ(prop.confidence.size(), 3u);
+  EXPECT_EQ(prop.confidence[0].guard, "c1");
+  EXPECT_TRUE(prop.confidence[2].guard.empty());
+  EXPECT_TRUE(prop.severity_is_max);
+}
+
+TEST(AslParser, ParenthesizedConditionIsNotAnId) {
+  // "(TotalCost) > 0" — a parenthesized expression, not a condition id.
+  const auto spec = parse_ok(
+      "Property P(Region r) { CONDITION: (TotalCost) > 0; "
+      "CONFIDENCE: 1; SEVERITY: 1; };");
+  EXPECT_TRUE(spec.properties[0].conditions[0].id.empty());
+}
+
+TEST(AslParser, AggregateMaxInSeverityIsNotListMax) {
+  // MAX(...) with a WHERE binder is an aggregate expression, not the
+  // spec-level list MAX.
+  const auto spec = parse_ok(
+      "Property P(Region r, TestRun t) {\n"
+      " CONDITION: true;\n"
+      " CONFIDENCE: 1;\n"
+      " SEVERITY: MAX(s.Incl WHERE s IN r.TotTimes);\n"
+      "};");
+  EXPECT_FALSE(spec.properties[0].severity_is_max);
+  EXPECT_EQ(spec.properties[0].severity[0].expr->kind, Expr::Kind::kAggregate);
+}
+
+TEST(AslParser, PropertyWithoutLet) {
+  const auto spec = parse_ok(
+      "Property P(Region r) { CONDITION: r.X > 0; CONFIDENCE: 0.5; "
+      "SEVERITY: r.X; };");
+  EXPECT_TRUE(spec.properties[0].lets.empty());
+}
+
+TEST(AslParser, CountForms) {
+  const auto spec = parse_ok(
+      "int F(Region r, TestRun t) = COUNT(r.TotTimes);\n"
+      "int G(Region r, TestRun t) = COUNT(s WHERE s IN r.TotTimes AND "
+      "s.Run == t);\n");
+  EXPECT_EQ(spec.functions[0].body->kind, Expr::Kind::kSize);
+  EXPECT_EQ(spec.functions[1].body->kind, Expr::Kind::kAggregate);
+  EXPECT_EQ(spec.functions[1].body->agg_kind, asl::ast::AggKind::kCount);
+}
+
+TEST(AslParser, SizeExistsUnique) {
+  const auto spec = parse_ok(
+      "int F(Region r) = SIZE(r.TotTimes);\n"
+      "bool G(Region r) = EXISTS({s IN r.TotTimes WITH s.Incl > 0});\n");
+  EXPECT_EQ(spec.functions[0].body->kind, Expr::Kind::kSize);
+  EXPECT_EQ(spec.functions[1].body->kind, Expr::Kind::kExists);
+}
+
+TEST(AslParser, OperatorPrecedence) {
+  const auto spec = parse_ok("float F(Region r) = 1 + 2 * 3 - 4 / 2;");
+  // ((1 + (2*3)) - (4/2))
+  const Expr& e = *spec.functions[0].body;
+  EXPECT_EQ(e.bin_op, asl::ast::BinOp::kSub);
+  EXPECT_EQ(e.lhs->bin_op, asl::ast::BinOp::kAdd);
+  EXPECT_EQ(e.lhs->rhs->bin_op, asl::ast::BinOp::kMul);
+  EXPECT_EQ(e.rhs->bin_op, asl::ast::BinOp::kDiv);
+}
+
+TEST(AslParser, NotAndOrPrecedence) {
+  const auto spec = parse_ok("bool F(Region r) = NOT r.A > 0 AND r.B > 0 OR r.C > 0;");
+  const Expr& e = *spec.functions[0].body;
+  EXPECT_EQ(e.bin_op, asl::ast::BinOp::kOr);
+  EXPECT_EQ(e.lhs->bin_op, asl::ast::BinOp::kAnd);
+  EXPECT_EQ(e.lhs->lhs->kind, Expr::Kind::kUnary);
+}
+
+// ---------------------------------------------------------------------------
+// Error recovery
+
+TEST(AslParser, RecoversAtDeclarationBoundary) {
+  const auto result = asl::parse_spec(
+      "class Good1 { int X; }\n"
+      "class Bad { int ; }\n"       // error here
+      "class Good2 { int Y; }\n"
+      "Property AlsoBad(Region r) { CONDITION r.X; }\n"  // missing ':'
+      "class Good3 { int Z; }\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.diags.error_count(), 2u);
+  // All three good classes survive.
+  EXPECT_EQ(result.spec.classes.size(), 3u);
+  EXPECT_EQ(result.spec.classes[2].name, "Good3");
+}
+
+TEST(AslParser, ThrowVariantAggregatesErrors) {
+  try {
+    (void)asl::parse_spec_or_throw("class A { broken }");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("syntax errors"), std::string::npos);
+  }
+}
+
+struct BadAsl {
+  const char* label;
+  const char* text;
+};
+
+class AslParserError : public ::testing::TestWithParam<BadAsl> {};
+
+TEST_P(AslParserError, Reported) {
+  EXPECT_FALSE(asl::parse_spec(GetParam().text).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, AslParserError,
+    ::testing::Values(
+        BadAsl{"missing_condition", "Property P(Region r) { CONFIDENCE: 1; "
+                                    "SEVERITY: 1; };"},
+        BadAsl{"clauses_out_of_order", "Property P(Region r) { SEVERITY: 1; "
+                                       "CONDITION: true; CONFIDENCE: 1; };"},
+        BadAsl{"unclosed_class", "class A { int X;"},
+        BadAsl{"enum_trailing_comma", "enum E { A, };"},
+        BadAsl{"setof_missing_elem", "class A { setof ; }"},
+        BadAsl{"let_without_in", "Property P(Region r) { LET float X = 1; "
+                                 "CONDITION: true; CONFIDENCE: 1; SEVERITY: 1; };"},
+        BadAsl{"empty_comprehension", "float F(Region r) = UNIQUE({});"},
+        BadAsl{"aggregate_missing_in", "float F(Region r) = MIN(s.X WHERE s);"},
+        BadAsl{"stray_top_level", "42;"}),
+    [](const auto& info) { return info.param.label; });
+
+// ---------------------------------------------------------------------------
+// Pretty-printer round trip
+
+namespace {
+
+const char* kRoundTripSources[] = {
+    "class Program { String Name; setof ProgVersion Versions; }",
+    "enum TimingType { Barrier, IO };",
+    "const float T = 0.25;",
+    "float Duration(Region r, TestRun t) = Summary(r, t).Incl;",
+    "Property SyncCost(Region r, TestRun t, Region Basis) {\n"
+    " LET float B = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t);\n"
+    " IN CONDITION: B > 0; CONFIDENCE: 1; SEVERITY: B / Duration(Basis, t);\n"
+    "};",
+    "Property Multi(Region r) {\n"
+    " CONDITION: (a) r.X > 0 OR (b) NOT r.Y == 0;\n"
+    " CONFIDENCE: MAX((a) -> 0.9, (b) -> 0.4);\n"
+    " SEVERITY: MAX((a) -> r.X, (b) -> -r.Y + 1.5);\n"
+    "};",
+    "bool F(Region r) = EXISTS({s IN r.TotTimes WITH s.Run.NoPe >= 2});",
+};
+
+}  // namespace
+
+class AslRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(AslRoundTrip, PrintParsePrintIsFixedPoint) {
+  const char* source = kRoundTripSources[GetParam()];
+  const auto first = parse_ok(source);
+  const std::string printed = asl::to_source(first);
+  const auto second = parse_ok(printed);
+  const std::string printed_again = asl::to_source(second);
+  EXPECT_EQ(printed, printed_again) << "original source:\n" << source;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, AslRoundTrip,
+                         ::testing::Range(0, static_cast<int>(
+                                                 std::size(kRoundTripSources))));

@@ -1,0 +1,117 @@
+// Pretty-printer output and the shipped specification documents: the specs
+// on disk must parse, analyze, survive a print->parse round trip, and agree
+// with the substrate's enumerations.
+
+#include <gtest/gtest.h>
+
+#include "asl/parser.hpp"
+#include "asl/pretty.hpp"
+#include "asl/sema.hpp"
+#include "cosy/specs.hpp"
+#include "support/str.hpp"
+
+namespace asl = kojak::asl;
+namespace cosy = kojak::cosy;
+
+namespace {
+
+std::string print_expr(std::string_view expr_source) {
+  const auto spec = asl::parse_spec_or_throw(
+      kojak::support::cat("float F(Region r, TestRun t) = ", expr_source, ";"));
+  return asl::to_source(*spec.functions[0].body);
+}
+
+}  // namespace
+
+TEST(Pretty, ExpressionForms) {
+  EXPECT_EQ(print_expr("1 + 2 * 3"), "(1 + (2 * 3))");
+  EXPECT_EQ(print_expr("Summary(r, t).Incl"), "Summary(r, t).Incl");
+  EXPECT_EQ(print_expr("UNIQUE({s IN r.TotTimes WITH s.Run == t})"),
+            "UNIQUE({s IN r.TotTimes WITH (s.Run == t)})");
+  EXPECT_EQ(print_expr("SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t)"),
+            "SUM(tt.Time WHERE tt IN r.TypTimes AND (tt.Run == t))");
+  EXPECT_EQ(print_expr("-x"), "-(x)");
+  EXPECT_EQ(print_expr("NOT a AND b"), "(NOT (a) AND b)");
+  EXPECT_EQ(print_expr("SIZE(r.TotTimes)"), "SIZE(r.TotTimes)");
+  EXPECT_EQ(print_expr("2.0"), "2.0");  // float marker survives
+  EXPECT_EQ(print_expr("null"), "null");
+}
+
+TEST(Pretty, StringEscapes) {
+  const auto spec = asl::parse_spec_or_throw(
+      "String F(Region r) = \"a\\\"b\\n\";");
+  EXPECT_EQ(asl::to_source(*spec.functions[0].body), "\"a\\\"b\\n\"");
+}
+
+TEST(Pretty, PropertyRendering) {
+  const auto spec = asl::parse_spec_or_throw(
+      "Property P(Region r, TestRun t) {\n"
+      " LET float X = 1 IN\n"
+      " CONDITION: (a) X > 0 OR X < -1;\n"
+      " CONFIDENCE: MAX((a) -> 0.9, 0.5);\n"
+      " SEVERITY: X;\n"
+      "};");
+  const std::string printed = asl::to_source(spec);
+  EXPECT_NE(printed.find("Property P(Region r, TestRun t)"), std::string::npos);
+  EXPECT_NE(printed.find("LET"), std::string::npos);
+  EXPECT_NE(printed.find("CONDITION: (a) (X > 0) OR (X < -(1))"),
+            std::string::npos);
+  EXPECT_NE(printed.find("CONFIDENCE: MAX((a) -> 0.9, 0.5)"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Shipped documents
+
+TEST(ShippedSpecs, ParseAndAnalyze) {
+  EXPECT_NO_THROW((void)cosy::load_cosy_model(false));
+  EXPECT_NO_THROW((void)cosy::load_cosy_model(true));
+}
+
+TEST(ShippedSpecs, RoundTripThroughPrinter) {
+  for (const std::string* source :
+       {&cosy::cosy_model_source(), &cosy::cosy_properties_source(),
+        &cosy::extended_properties_source()}) {
+    const auto first = asl::parse_spec_or_throw(*source);
+    const std::string printed = asl::to_source(first);
+    const auto second = asl::parse_spec_or_throw(printed);
+    EXPECT_EQ(printed, asl::to_source(second));
+  }
+}
+
+TEST(ShippedSpecs, PrintedSpecStillAnalyzes) {
+  // Printing the merged spec and re-analyzing must yield the same model
+  // inventory (names and counts).
+  const auto merged = asl::merge_specs([] {
+    std::vector<asl::ast::SpecFile> specs;
+    specs.push_back(asl::parse_spec_or_throw(cosy::cosy_model_source()));
+    specs.push_back(asl::parse_spec_or_throw(cosy::cosy_properties_source()));
+    specs.push_back(
+        asl::parse_spec_or_throw(cosy::extended_properties_source()));
+    return specs;
+  }());
+  const std::string printed = asl::to_source(merged);
+  const asl::Model reparsed = asl::analyze(asl::parse_spec_or_throw(printed));
+  const asl::Model original = cosy::load_cosy_model();
+  ASSERT_EQ(reparsed.classes().size(), original.classes().size());
+  ASSERT_EQ(reparsed.properties().size(), original.properties().size());
+  for (std::size_t i = 0; i < original.properties().size(); ++i) {
+    EXPECT_EQ(reparsed.properties()[i].name, original.properties()[i].name);
+    EXPECT_EQ(reparsed.properties()[i].conditions.size(),
+              original.properties()[i].conditions.size());
+  }
+}
+
+TEST(ShippedSpecs, PaperPropertiesHaveExpectedShape) {
+  const asl::Model model = cosy::load_cosy_model(false);
+  const asl::PropertyInfo* sls = model.find_property("SublinearSpeedup");
+  ASSERT_NE(sls, nullptr);
+  ASSERT_EQ(sls->params.size(), 3u);
+  EXPECT_EQ(sls->params[0].first, "r");
+  EXPECT_EQ(sls->params[2].first, "Basis");
+  EXPECT_EQ(sls->lets.size(), 2u);
+  EXPECT_EQ(sls->conditions.size(), 1u);
+
+  const asl::PropertyInfo* li = model.find_property("LoadImbalance");
+  ASSERT_NE(li, nullptr);
+  EXPECT_EQ(model.type_name(li->params[0].second), "FunctionCall");
+}

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "cosy/compare.hpp"
+#include "cosy/specs.hpp"
+#include "cosy/store_builder.hpp"
+#include "perf/simulator.hpp"
+#include "perf/workloads.hpp"
+#include "support/error.hpp"
+
+namespace asl = kojak::asl;
+namespace cosy = kojak::cosy;
+namespace perf = kojak::perf;
+
+namespace {
+
+cosy::AnalysisReport analyze(const perf::AppSpec& app, int pes,
+                             const asl::Model& model) {
+  asl::ObjectStore store(model);
+  const cosy::StoreHandles handles =
+      cosy::build_store(store, perf::simulate_experiment(app, {1, pes}));
+  cosy::Analyzer analyzer(model, store, handles);
+  return analyzer.analyze(1);
+}
+
+perf::AppSpec tuned_ocean() {
+  perf::AppSpec app = perf::workloads::imbalanced_ocean();
+  for (auto& fn : app.functions) {
+    const std::function<void(perf::RegionSpec&)> tune =
+        [&](perf::RegionSpec& region) {
+          region.imbalance *= 0.15;
+          region.io_serialized = false;  // parallel I/O after the fix
+          for (auto& child : region.children) tune(child);
+        };
+    tune(fn.body);
+  }
+  return app;
+}
+
+}  // namespace
+
+TEST(Compare, TuningImprovesTheBottleneck) {
+  const asl::Model model = cosy::load_cosy_model();
+  const cosy::AnalysisReport before =
+      analyze(perf::workloads::imbalanced_ocean(), 32, model);
+  const cosy::AnalysisReport after = analyze(tuned_ocean(), 32, model);
+
+  const cosy::ComparisonReport report = cosy::compare_runs(before, after);
+  EXPECT_TRUE(report.improved());
+  EXPECT_LT(report.bottleneck_severity_after,
+            report.bottleneck_severity_before);
+  EXPECT_EQ(report.nope, 32);
+  ASSERT_FALSE(report.deltas.empty());
+  // Deltas are sorted by movement size.
+  for (std::size_t i = 1; i < report.deltas.size(); ++i) {
+    EXPECT_GE(std::fabs(report.deltas[i - 1].delta()),
+              std::fabs(report.deltas[i].delta()));
+  }
+  // The idle-wait cost at the checkpoint must be among the big movers
+  // (serialized I/O was removed entirely).
+  bool idle_fixed = false;
+  for (const cosy::PropertyDelta& delta : report.deltas) {
+    if (delta.property == "IdleWaitCost" && delta.context == "main.checkpoint") {
+      EXPECT_TRUE(delta.vanished());
+      idle_fixed = true;
+    }
+  }
+  EXPECT_TRUE(idle_fixed);
+}
+
+TEST(Compare, IdenticalRunsShowNoMovement) {
+  const asl::Model model = cosy::load_cosy_model();
+  const cosy::AnalysisReport report =
+      analyze(perf::workloads::serial_bottleneck(), 8, model);
+  const cosy::ComparisonReport cmp = cosy::compare_runs(report, report);
+  EXPECT_FALSE(cmp.improved());  // equal, not strictly better
+  for (const cosy::PropertyDelta& delta : cmp.deltas) {
+    EXPECT_DOUBLE_EQ(delta.delta(), 0.0);
+  }
+  EXPECT_TRUE(cmp.regressions().empty());
+}
+
+TEST(Compare, RegressionsDetected) {
+  const asl::Model model = cosy::load_cosy_model();
+  // Treat the tuned version as "before": going back is a regression.
+  const cosy::AnalysisReport before = analyze(tuned_ocean(), 32, model);
+  const cosy::AnalysisReport after =
+      analyze(perf::workloads::imbalanced_ocean(), 32, model);
+  const cosy::ComparisonReport report = cosy::compare_runs(before, after);
+  EXPECT_FALSE(report.improved());
+  EXPECT_FALSE(report.regressions(0.05).empty());
+}
+
+TEST(Compare, MismatchedRunsRejected) {
+  const asl::Model model = cosy::load_cosy_model();
+  const cosy::AnalysisReport a =
+      analyze(perf::workloads::scalable_stencil(), 8, model);
+  const cosy::AnalysisReport b =
+      analyze(perf::workloads::scalable_stencil(), 16, model);
+  EXPECT_THROW((void)cosy::compare_runs(a, b), kojak::support::EvalError);
+}
+
+TEST(Compare, TableRendering) {
+  const asl::Model model = cosy::load_cosy_model();
+  const cosy::AnalysisReport before =
+      analyze(perf::workloads::imbalanced_ocean(), 16, model);
+  const cosy::AnalysisReport after = analyze(tuned_ocean(), 16, model);
+  const std::string table = cosy::compare_runs(before, after).to_table(8);
+  EXPECT_NE(table.find("Version comparison of ocean_sim on 16 PEs"),
+            std::string::npos);
+  EXPECT_NE(table.find("bottleneck:"), std::string::npos);
+  EXPECT_NE(table.find("improved"), std::string::npos);
+}

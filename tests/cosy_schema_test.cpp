@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cosy/db_import.hpp"
+#include "cosy/schema_gen.hpp"
+#include "cosy/specs.hpp"
+#include "cosy/store_builder.hpp"
+#include "perf/simulator.hpp"
+#include "perf/workloads.hpp"
+#include "support/str.hpp"
+
+namespace asl = kojak::asl;
+namespace cosy = kojak::cosy;
+namespace db = kojak::db;
+namespace perf = kojak::perf;
+
+namespace {
+
+struct Fixture {
+  asl::Model model = cosy::load_cosy_model();
+  asl::ObjectStore store{model};
+  cosy::StoreHandles handles;
+  db::Database database;
+
+  explicit Fixture(std::vector<int> pes = {1, 4}) {
+    const perf::ExperimentData data =
+        perf::simulate_experiment(perf::workloads::imbalanced_ocean(), pes);
+    handles = cosy::build_store(store, data);
+    cosy::create_schema(database, model);
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Spec loading
+
+TEST(Specs, CosyModelLoads) {
+  const asl::Model model = cosy::load_cosy_model(/*extended=*/false);
+  // The paper's 10 classes (incl. SourceCode) and 5 properties.
+  EXPECT_EQ(model.classes().size(), 10u);
+  EXPECT_EQ(model.properties().size(), 5u);
+  EXPECT_TRUE(model.find_class("Program").has_value());
+  EXPECT_TRUE(model.find_class("CallTiming").has_value());
+  EXPECT_NE(model.find_property("SublinearSpeedup"), nullptr);
+  EXPECT_NE(model.find_property("LoadImbalance"), nullptr);
+  EXPECT_NE(model.find_function("Summary"), nullptr);
+  EXPECT_NE(model.find_function("Duration"), nullptr);
+  EXPECT_NE(model.find_constant("ImbalanceThreshold"), nullptr);
+}
+
+TEST(Specs, ExtendedSuiteLoads) {
+  const asl::Model model = cosy::load_cosy_model(/*extended=*/true);
+  EXPECT_EQ(model.properties().size(), 13u);
+  EXPECT_NE(model.find_property("IOCost"), nullptr);
+  EXPECT_NE(model.find_property("CommunicationBound"), nullptr);
+}
+
+TEST(Specs, TimingTypeEnumMatchesSubstrate) {
+  const asl::Model model = cosy::load_cosy_model();
+  const auto enum_id = model.find_enum("TimingType");
+  ASSERT_TRUE(enum_id.has_value());
+  const asl::EnumInfo& info = model.enum_info(*enum_id);
+  ASSERT_EQ(info.members.size(), perf::kTimingTypeCount);
+  for (std::size_t i = 0; i < perf::kTimingTypeCount; ++i) {
+    EXPECT_EQ(info.members[i],
+              perf::to_string(static_cast<perf::TimingType>(i)))
+        << "ordinal " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Store building
+
+TEST(StoreBuilder, PopulatesDataModel) {
+  Fixture fx;
+  EXPECT_NE(fx.handles.program, asl::kNullObject);
+  EXPECT_EQ(fx.handles.runs.size(), 2u);
+  EXPECT_EQ(fx.store.attr(fx.handles.program, "Name").as_string(), "ocean_sim");
+  EXPECT_EQ(fx.handles.main_region, "main");
+
+  // Runs carry NoPe.
+  EXPECT_EQ(fx.store.attr(fx.handles.runs[0], "NoPe").as_int(), 1);
+  EXPECT_EQ(fx.store.attr(fx.handles.runs[1], "NoPe").as_int(), 4);
+
+  // Region tree: main.time_loop's parent is main.
+  const asl::ObjectId loop = fx.handles.regions.at("main.time_loop");
+  const asl::RtValue parent = fx.store.attr(loop, "ParentRegion");
+  EXPECT_EQ(parent.as_object(), fx.handles.regions.at("main"));
+
+  // Every region has one TotalTiming per run it executed in.
+  const asl::RtValue tot = fx.store.attr(loop, "TotTimes");
+  EXPECT_EQ(tot.as_set().size(), 2u);
+}
+
+TEST(StoreBuilder, CallSitesOwnedByCallee) {
+  Fixture fx;
+  const asl::Model& model = fx.model;
+  // The barrier function's Calls set holds the barrier call sites.
+  bool found_barrier_fn = false;
+  for (const auto& [name, fn_obj] : fx.handles.functions) {
+    if (name != "barrier") continue;
+    found_barrier_fn = true;
+    const asl::RtValue calls = fx.store.attr(fn_obj, "Calls");
+    EXPECT_EQ(calls.as_set().size(), 2u);  // step + checkpoint sites
+  }
+  EXPECT_TRUE(found_barrier_fn);
+  (void)model;
+}
+
+TEST(StoreBuilder, StatsCount) {
+  Fixture fx;
+  const cosy::StoreStats stats = cosy::store_stats(fx.store);
+  EXPECT_GT(stats.objects, 50u);
+  EXPECT_EQ(stats.regions, 11u);  // 9 main/physics regions + barrier + region
+  EXPECT_GT(stats.typed_timings, 20u);
+  EXPECT_EQ(stats.call_timings, 6u);  // 3 sites x 2 runs
+}
+
+// ---------------------------------------------------------------------------
+// Schema generation
+
+TEST(SchemaGen, DdlCoversClassesAndJunctions) {
+  const asl::Model model = cosy::load_cosy_model();
+  const auto ddl = cosy::generate_ddl(model);
+  const auto contains = [&](std::string_view needle) {
+    return std::any_of(ddl.begin(), ddl.end(), [&](const std::string& stmt) {
+      return stmt.find(needle) != std::string::npos;
+    });
+  };
+  EXPECT_TRUE(contains("CREATE TABLE Region"));
+  EXPECT_TRUE(contains("CREATE TABLE Region_TotTimes"));
+  EXPECT_TRUE(contains("CREATE TABLE Region_TypTimes"));
+  EXPECT_TRUE(contains("CREATE TABLE FunctionCall_Sums"));
+  EXPECT_TRUE(contains("CREATE INDEX idx_Region_TotTimes_owner"));
+  EXPECT_TRUE(contains("CREATE INDEX idx_TotalTiming_Run"));
+  // Enum attribute maps to INTEGER ordinal.
+  EXPECT_TRUE(contains("Type INTEGER"));
+}
+
+TEST(SchemaGen, ColumnTypes) {
+  using asl::Type;
+  using asl::TypeKind;
+  EXPECT_EQ(cosy::column_type(Type::of(TypeKind::kInt)), db::ValueType::kInt);
+  EXPECT_EQ(cosy::column_type(Type::of(TypeKind::kFloat)), db::ValueType::kDouble);
+  EXPECT_EQ(cosy::column_type(Type::of(TypeKind::kString)), db::ValueType::kString);
+  EXPECT_EQ(cosy::column_type(Type::of(TypeKind::kDateTime)),
+            db::ValueType::kDateTime);
+  EXPECT_EQ(cosy::column_type(Type::class_of(3)), db::ValueType::kInt);
+  EXPECT_EQ(cosy::column_type(Type::enum_of(0)), db::ValueType::kInt);
+  EXPECT_THROW((void)cosy::column_type(Type::set_of(1)),
+               kojak::support::EvalError);
+}
+
+TEST(SchemaGen, ExecutesCleanly) {
+  Fixture fx;  // constructor ran create_schema
+  EXPECT_NE(fx.database.find_table("Program"), nullptr);
+  EXPECT_NE(fx.database.find_table("Program_Versions"), nullptr);
+  EXPECT_NE(fx.database.find_table("CallTiming"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Import + rebuild round trip
+
+TEST(DbImport, RowCountsMatchStore) {
+  Fixture fx;
+  db::Connection conn(fx.database, db::ConnectionProfile::in_memory());
+  const cosy::ImportStats stats = cosy::import_store(conn, fx.store);
+  EXPECT_GT(stats.rows, fx.store.size());  // objects + junction rows
+  EXPECT_EQ(stats.statements, stats.rows);  // row-at-a-time inserts
+
+  // Every object landed in its class table.
+  const auto count_of = [&](const char* table) {
+    return fx.database
+        .execute(kojak::support::cat("SELECT COUNT(*) FROM ", table))
+        .scalar()
+        .as_int();
+  };
+  EXPECT_EQ(count_of("Program"), 1);
+  EXPECT_EQ(count_of("TestRun"), 2);
+  EXPECT_EQ(static_cast<std::size_t>(count_of("Region")),
+            fx.handles.regions.size());
+  EXPECT_EQ(count_of("CallTiming"), 6);
+}
+
+TEST(DbImport, ValueConversionRoundTrip) {
+  using asl::RtValue;
+  using asl::Type;
+  using asl::TypeKind;
+  const struct {
+    RtValue rt;
+    Type type;
+  } cases[] = {
+      {RtValue::of_int(-7), Type::of(TypeKind::kInt)},
+      {RtValue::of_float(2.5), Type::of(TypeKind::kFloat)},
+      {RtValue::of_bool(true), Type::of(TypeKind::kBool)},
+      {RtValue::of_string("x y"), Type::of(TypeKind::kString)},
+      {RtValue::of_int(941806800), Type::of(TypeKind::kDateTime)},
+      {RtValue::of_object(12), Type::class_of(2)},
+      {RtValue::of_enum(0, 3), Type::enum_of(0)},
+      {RtValue::null(), Type::class_of(2)},
+  };
+  for (const auto& c : cases) {
+    const db::Value dbv = cosy::to_db_value(c.rt, c.type);
+    const RtValue back = cosy::to_rt_value(dbv, c.type);
+    EXPECT_TRUE(RtValue::equals(back, c.rt)) << c.rt.to_display();
+  }
+}
+
+TEST(DbImport, RebuildStoreRoundTrip) {
+  Fixture fx;
+  db::Connection conn(fx.database, db::ConnectionProfile::in_memory());
+  cosy::import_store(conn, fx.store);
+  const asl::ObjectStore rebuilt = cosy::rebuild_store(conn, fx.model);
+
+  ASSERT_EQ(rebuilt.size(), fx.store.size());
+  for (asl::ObjectId id = 0; id < fx.store.size(); ++id) {
+    const asl::Object& original = fx.store.object(id);
+    const asl::Object& copy = rebuilt.object(id);
+    ASSERT_EQ(original.class_id, copy.class_id) << "object " << id;
+    const asl::ClassInfo& cls = fx.model.class_info(original.class_id);
+    for (std::size_t a = 0; a < cls.attrs.size(); ++a) {
+      if (cls.attrs[a].type.kind == asl::TypeKind::kSet) {
+        // Sets compare as sorted id multisets.
+        std::vector<asl::ObjectId> lhs, rhs;
+        if (!original.attrs[a].is_null()) lhs = original.attrs[a].as_set();
+        if (!copy.attrs[a].is_null()) rhs = copy.attrs[a].as_set();
+        std::sort(lhs.begin(), lhs.end());
+        std::sort(rhs.begin(), rhs.end());
+        EXPECT_EQ(lhs, rhs) << cls.name << "." << cls.attrs[a].name;
+      } else {
+        EXPECT_TRUE(asl::RtValue::equals(original.attrs[a], copy.attrs[a]))
+            << cls.name << "." << cls.attrs[a].name << " of object " << id;
+      }
+    }
+  }
+}
+
+TEST(DbImport, VirtualTimeAccountsBackend) {
+  Fixture fx;
+  db::Database db2;
+  cosy::create_schema(db2, fx.model);
+  db::Connection fast(fx.database, db::ConnectionProfile::access_local());
+  db::Connection slow(db2, db::ConnectionProfile::oracle7());
+  const auto fast_stats = cosy::import_store(fast, fx.store);
+  const auto slow_stats = cosy::import_store(slow, fx.store);
+  EXPECT_EQ(fast_stats.rows, slow_stats.rows);
+  // §5: insertion ~20x faster on the local backend.
+  EXPECT_GT(slow_stats.virtual_ms / fast_stats.virtual_ms, 10.0);
+}

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "asl/interp.hpp"
+#include "asl/sema.hpp"
+#include "cosy/db_import.hpp"
+#include "cosy/schema_gen.hpp"
+#include "cosy/specs.hpp"
+#include "cosy/sql_eval.hpp"
+#include "cosy/store_builder.hpp"
+#include "perf/simulator.hpp"
+#include "perf/workloads.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+
+namespace asl = kojak::asl;
+namespace cosy = kojak::cosy;
+namespace db = kojak::db;
+namespace perf = kojak::perf;
+using asl::PropertyResult;
+using asl::RtValue;
+
+namespace {
+
+/// Shared world: COSY model, a populated store, and the imported database.
+struct World {
+  asl::Model model = cosy::load_cosy_model();
+  asl::ObjectStore store{model};
+  cosy::StoreHandles handles;
+  db::Database database;
+  db::Connection conn{database, db::ConnectionProfile::in_memory()};
+
+  explicit World(const perf::AppSpec& app, std::vector<int> pes,
+                 std::uint64_t seed = 1) {
+    perf::SimulationOptions options;
+    options.seed = seed;
+    const perf::ExperimentData data =
+        perf::simulate_experiment(app, pes, options);
+    handles = cosy::build_store(store, data);
+    cosy::create_schema(database, model);
+    cosy::import_store(conn, store);
+  }
+};
+
+void expect_same(const PropertyResult& a, const PropertyResult& b,
+                 const std::string& what) {
+  EXPECT_EQ(a.status, b.status) << what << " (interp note: " << a.note
+                                << ", sql note: " << b.note << ")";
+  if (a.status == PropertyResult::Status::kHolds &&
+      b.status == PropertyResult::Status::kHolds) {
+    EXPECT_EQ(a.matched_condition, b.matched_condition) << what;
+    EXPECT_NEAR(a.confidence, b.confidence, 1e-9) << what;
+    const double tolerance = 1e-9 * std::max(1.0, std::abs(a.severity));
+    EXPECT_NEAR(a.severity, b.severity, tolerance) << what;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Targeted checks of the compiled SQL
+
+TEST(SqlEval, ExplainComprehension) {
+  World world(perf::workloads::imbalanced_ocean(), {1, 4});
+  cosy::SqlEvaluator sql(world.model, world.conn);
+  // {s IN r.TotTimes WITH s.Run == t} from the Summary function.
+  const asl::FunctionInfo* summary = world.model.find_function("Summary");
+  ASSERT_NE(summary, nullptr);
+  const asl::ast::Expr& unique_expr = *summary->body;  // UNIQUE(comprehension)
+  const asl::PropertyInfo fake{
+      "ctx",
+      {{"r", asl::Type::class_of(*world.model.find_class("Region"))},
+       {"t", asl::Type::class_of(*world.model.find_class("TestRun"))}},
+      {},
+      {},
+      {},
+      {}};
+  const std::string text = sql.explain_set(
+      *unique_expr.base, fake,
+      {RtValue::of_object(world.handles.regions.at("main")),
+       RtValue::of_object(world.handles.runs[0])});
+  EXPECT_NE(text.find("FROM Region_TotTimes"), std::string::npos) << text;
+  EXPECT_NE(text.find("JOIN TotalTiming b ON b.id = j.member"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("j.owner = "), std::string::npos) << text;
+  EXPECT_NE(text.find("b.Run = "), std::string::npos) << text;
+}
+
+TEST(SqlEval, QueriesAreIssued) {
+  World world(perf::workloads::imbalanced_ocean(), {1, 4});
+  cosy::SqlEvaluator sql(world.model, world.conn);
+  const asl::PropertyInfo* prop = world.model.find_property("SyncCost");
+  ASSERT_NE(prop, nullptr);
+  const auto result = sql.evaluate_property(
+      *prop, {RtValue::of_object(world.handles.regions.at("main.time_loop.step")),
+              RtValue::of_object(world.handles.runs[1]),
+              RtValue::of_object(world.handles.regions.at("main"))});
+  EXPECT_EQ(result.status, PropertyResult::Status::kHolds);
+  EXPECT_GT(sql.queries_issued(), 0u);
+}
+
+TEST(SqlEval, RejectsInheritanceModels) {
+  const asl::Model model = asl::load_model(
+      {"class Base { int X; } class Derived extends Base { int Y; }"});
+  db::Database database;
+  db::Connection conn(database, db::ConnectionProfile::in_memory());
+  EXPECT_THROW(cosy::SqlEvaluator(model, conn), kojak::support::EvalError);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: interpreter vs SQL pushdown on every paper property and
+// context of real workloads.
+
+struct DiffCase {
+  const char* workload;
+  perf::AppSpec (*factory)();
+  std::uint64_t seed;
+};
+
+class SqlDifferential : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(SqlDifferential, AllPropertiesAllContextsAgree) {
+  World world(GetParam().factory(), {1, 4, 16}, GetParam().seed);
+  const asl::Interpreter interp(world.model, world.store);
+  cosy::SqlEvaluator sql(world.model, world.conn);
+
+  const auto region_class = *world.model.find_class("Region");
+  const auto call_class = *world.model.find_class("FunctionCall");
+  const RtValue basis =
+      RtValue::of_object(world.handles.regions.at(world.handles.main_region));
+
+  std::size_t checked = 0;
+  for (const asl::PropertyInfo& prop : world.model.properties()) {
+    const bool over_regions =
+        prop.params[0].second == asl::Type::class_of(region_class);
+    ASSERT_TRUE(over_regions ||
+                prop.params[0].second == asl::Type::class_of(call_class));
+    std::vector<std::pair<std::string, RtValue>> firsts;
+    if (over_regions) {
+      for (const auto& [name, id] : world.handles.regions) {
+        firsts.emplace_back(name, RtValue::of_object(id));
+      }
+    } else {
+      for (std::size_t i = 0; i < world.handles.call_sites.size(); ++i) {
+        firsts.emplace_back(world.handles.call_site_labels[i],
+                            RtValue::of_object(world.handles.call_sites[i]));
+      }
+    }
+    for (const auto& [label, first] : firsts) {
+      for (const asl::ObjectId run : world.handles.runs) {
+        const std::vector<RtValue> args = {first, RtValue::of_object(run),
+                                           basis};
+        const PropertyResult a = interp.evaluate_property(prop, args);
+        const PropertyResult b = sql.evaluate_property(prop, args);
+        expect_same(a, b, kojak::support::cat(prop.name, " @ ", label));
+        ++checked;
+      }
+    }
+  }
+  // 13 properties x (regions or call sites) x 3 runs — a real sweep (the
+  // smallest workload, message_bound, yields 99 contexts).
+  EXPECT_GT(checked, 90u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, SqlDifferential,
+    ::testing::Values(
+        DiffCase{"ocean", &perf::workloads::imbalanced_ocean, 1},
+        DiffCase{"stencil", &perf::workloads::scalable_stencil, 2},
+        DiffCase{"serial", &perf::workloads::serial_bottleneck, 3},
+        DiffCase{"messages", &perf::workloads::message_bound, 4},
+        DiffCase{"io", &perf::workloads::io_heavy, 5}),
+    [](const auto& info) { return info.param.workload; });
+
+// ---------------------------------------------------------------------------
+// Differential on randomized synthetic stores: the data need not come from
+// the simulator for the two evaluators to agree.
+
+class RandomStoreDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomStoreDifferential, Agrees) {
+  kojak::support::Rng rng(GetParam());
+
+  asl::Model model = cosy::load_cosy_model();
+  asl::ObjectStore store(model);
+  const auto enum_id = *model.find_enum("TimingType");
+
+  // Hand-rolled random population: one version, 2 runs, N regions.
+  const asl::ObjectId program = store.create("Program");
+  store.set_attr(program, "Name", RtValue::of_string("random"));
+  const asl::ObjectId version = store.create("ProgVersion");
+  store.add_to_set(program, "Versions", version);
+  std::vector<asl::ObjectId> runs;
+  for (int r = 0; r < 2; ++r) {
+    const asl::ObjectId run = store.create("TestRun");
+    store.set_attr(run, "NoPe", RtValue::of_int(r == 0 ? 1 : 8));
+    store.set_attr(run, "Clockspeed", RtValue::of_int(450));
+    store.set_attr(run, "Start", RtValue::of_int(941806800 + r));
+    store.add_to_set(version, "Runs", run);
+    runs.push_back(run);
+  }
+  const asl::ObjectId fn = store.create("Function");
+  store.set_attr(fn, "Name", RtValue::of_string("main"));
+  store.add_to_set(version, "Functions", fn);
+
+  const int region_count = static_cast<int>(rng.uniform_int(2, 8));
+  std::vector<asl::ObjectId> regions;
+  for (int i = 0; i < region_count; ++i) {
+    const asl::ObjectId region = store.create("Region");
+    store.set_attr(region, "Name",
+                   RtValue::of_string(kojak::support::cat("r", i)));
+    store.set_attr(region, "Kind", RtValue::of_string("Loop"));
+    store.add_to_set(fn, "Regions", region);
+    regions.push_back(region);
+    for (const asl::ObjectId run : runs) {
+      // Not every region gets timings in every run (exercises UNIQUE gaps).
+      if (i > 0 && rng.chance(0.2)) continue;
+      const asl::ObjectId total = store.create("TotalTiming");
+      store.set_attr(total, "Run", RtValue::of_object(run));
+      const double incl = rng.uniform(10, 1000);
+      store.set_attr(total, "Incl", RtValue::of_float(incl));
+      store.set_attr(total, "Excl", RtValue::of_float(incl * rng.uniform(0.2, 0.9)));
+      store.set_attr(total, "Ovhd", RtValue::of_float(incl * rng.uniform(0.0, 0.5)));
+      store.add_to_set(region, "TotTimes", total);
+      const int typed_count = static_cast<int>(rng.uniform_int(0, 5));
+      for (int t = 0; t < typed_count; ++t) {
+        const asl::ObjectId typed = store.create("TypedTiming");
+        store.set_attr(typed, "Run", RtValue::of_object(run));
+        store.set_attr(
+            typed, "Type",
+            RtValue::of_enum(enum_id,
+                             static_cast<std::int32_t>(rng.uniform_int(0, 24))));
+        store.set_attr(typed, "Time", RtValue::of_float(rng.uniform(0, 50)));
+        store.add_to_set(region, "TypTimes", typed);
+      }
+    }
+  }
+
+  db::Database database;
+  cosy::create_schema(database, model);
+  db::Connection conn(database, db::ConnectionProfile::in_memory());
+  cosy::import_store(conn, store);
+
+  const asl::Interpreter interp(model, store);
+  cosy::SqlEvaluator sql(model, conn);
+
+  for (const char* prop_name :
+       {"SublinearSpeedup", "MeasuredCost", "UnmeasuredCost", "SyncCost",
+        "IOCost", "MessagePassingCost", "CommunicationBound",
+        "InstrumentationOverhead", "IdleWaitCost"}) {
+    const asl::PropertyInfo* prop = model.find_property(prop_name);
+    ASSERT_NE(prop, nullptr) << prop_name;
+    for (const asl::ObjectId region : regions) {
+      for (const asl::ObjectId run : runs) {
+        const std::vector<RtValue> args = {RtValue::of_object(region),
+                                           RtValue::of_object(run),
+                                           RtValue::of_object(regions[0])};
+        expect_same(interp.evaluate_property(*prop, args),
+                    sql.evaluate_property(*prop, args),
+                    kojak::support::cat(prop_name, " region ", region, " run ",
+                                        run, " seed ", GetParam()));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStoreDifferential,
+                         ::testing::Range(1, 13));

@@ -1,0 +1,452 @@
+#include <gtest/gtest.h>
+
+#include "db/database.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+
+namespace kdb = kojak::db;
+using kdb::Database;
+using kdb::QueryResult;
+using kdb::Value;
+using kojak::support::EvalError;
+
+namespace {
+
+/// Fresh database with a small, representative population.
+Database make_db() {
+  Database db;
+  db.execute(
+      "CREATE TABLE emp (id INTEGER PRIMARY KEY, name TEXT, dept INTEGER, "
+      "salary DOUBLE, hired DATETIME);"
+      "CREATE TABLE dept (id INTEGER PRIMARY KEY, name TEXT);"
+      "INSERT INTO dept VALUES (1, 'dev'), (2, 'ops'), (3, 'empty');"
+      "INSERT INTO emp VALUES "
+      "(1, 'ada', 1, 100.0, DATETIME '1999-01-01'),"
+      "(2, 'bob', 1, 80.0, DATETIME '1999-02-01'),"
+      "(3, 'cyd', 2, 120.0, DATETIME '1999-03-01'),"
+      "(4, 'dee', 2, 120.0, DATETIME '1999-04-01'),"
+      "(5, 'eve', NULL, NULL, NULL);");
+  return db;
+}
+
+}  // namespace
+
+TEST(Exec, SelectAllColumnsAndNames) {
+  Database db = make_db();
+  const QueryResult result = db.execute("SELECT * FROM emp");
+  EXPECT_EQ(result.row_count(), 5u);
+  ASSERT_EQ(result.columns.size(), 5u);
+  EXPECT_EQ(result.columns[0], "id");
+  EXPECT_EQ(result.column_index("SALARY"), 3u);  // case-insensitive
+}
+
+TEST(Exec, SelectExpressionsWithoutFrom) {
+  Database db;
+  const QueryResult result = db.execute("SELECT 1 + 2 AS three, 'x', TRUE");
+  ASSERT_EQ(result.row_count(), 1u);
+  EXPECT_EQ(result.at(0, 0).as_int(), 3);
+  EXPECT_EQ(result.columns[0], "three");
+  EXPECT_EQ(result.at(0, 1).as_string(), "x");
+  EXPECT_TRUE(result.at(0, 2).as_bool());
+}
+
+TEST(Exec, WhereFilters) {
+  Database db = make_db();
+  EXPECT_EQ(db.execute("SELECT id FROM emp WHERE salary > 90").row_count(), 3u);
+  EXPECT_EQ(db.execute("SELECT id FROM emp WHERE dept = 1 AND salary >= 100")
+                .row_count(),
+            1u);
+  EXPECT_EQ(db.execute("SELECT id FROM emp WHERE name LIKE '%e%'").row_count(),
+            2u);  // dee, eve
+  EXPECT_EQ(
+      db.execute("SELECT id FROM emp WHERE hired >= DATETIME '1999-03-01'")
+          .row_count(),
+      2u);
+}
+
+TEST(Exec, NullSemantics) {
+  Database db = make_db();
+  // NULL comparisons are unknown -> filtered out.
+  EXPECT_EQ(db.execute("SELECT id FROM emp WHERE salary > 0").row_count(), 4u);
+  EXPECT_EQ(db.execute("SELECT id FROM emp WHERE salary IS NULL").row_count(), 1u);
+  EXPECT_EQ(db.execute("SELECT id FROM emp WHERE salary IS NOT NULL").row_count(),
+            4u);
+  // FALSE AND NULL is FALSE; TRUE OR NULL is TRUE (three-valued logic).
+  EXPECT_EQ(db.execute("SELECT id FROM emp WHERE salary > 1e9 AND dept = 1")
+                .row_count(),
+            0u);
+  EXPECT_EQ(db.execute("SELECT id FROM emp WHERE id = 5 AND (id = 5 OR salary > 0)")
+                .row_count(),
+            1u);
+  // IN with NULL needle yields unknown.
+  EXPECT_EQ(db.execute("SELECT id FROM emp WHERE salary IN (100.0)").row_count(),
+            1u);
+}
+
+TEST(Exec, ScalarFunctions) {
+  Database db;
+  const QueryResult result = db.execute(
+      "SELECT ABS(-3), SQRT(9.0), FLOOR(2.7), CEIL(2.1), ROUND(2.456, 2), "
+      "LENGTH('abc'), UPPER('aB'), LOWER('aB'), COALESCE(NULL, NULL, 7), "
+      "IIF(1 < 2, 'yes', 'no'), NULLIF(3, 3)");
+  EXPECT_EQ(result.at(0, 0).as_int(), 3);
+  EXPECT_DOUBLE_EQ(result.at(0, 1).as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(result.at(0, 2).as_double(), 2.0);
+  EXPECT_DOUBLE_EQ(result.at(0, 3).as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(result.at(0, 4).as_double(), 2.46);
+  EXPECT_EQ(result.at(0, 5).as_int(), 3);
+  EXPECT_EQ(result.at(0, 6).as_string(), "AB");
+  EXPECT_EQ(result.at(0, 7).as_string(), "ab");
+  EXPECT_EQ(result.at(0, 8).as_int(), 7);
+  EXPECT_EQ(result.at(0, 9).as_string(), "yes");
+  EXPECT_TRUE(result.at(0, 10).is_null());
+}
+
+TEST(Exec, LikePatterns) {
+  Database db;
+  const auto like = [&](const char* text, const char* pattern) {
+    return db
+        .execute(kojak::support::cat("SELECT ", kojak::support::sql_quote(text),
+                                     " LIKE ",
+                                     kojak::support::sql_quote(pattern)))
+        .at(0, 0)
+        .as_bool();
+  };
+  EXPECT_TRUE(like("hello", "h%o"));
+  EXPECT_TRUE(like("hello", "_ello"));
+  EXPECT_TRUE(like("hello", "%"));
+  EXPECT_FALSE(like("hello", "h_o"));
+  EXPECT_TRUE(like("", "%"));
+  EXPECT_FALSE(like("", "_"));
+  EXPECT_TRUE(like("a%b", "a%b"));
+}
+
+TEST(Exec, Joins) {
+  Database db = make_db();
+  const QueryResult result = db.execute(
+      "SELECT e.name, d.name FROM emp e JOIN dept d ON e.dept = d.id "
+      "ORDER BY e.id");
+  ASSERT_EQ(result.row_count(), 4u);  // eve has NULL dept
+  EXPECT_EQ(result.at(0, 1).as_string(), "dev");
+  EXPECT_EQ(result.at(2, 1).as_string(), "ops");
+}
+
+TEST(Exec, JoinHashEqualsNestedLoop) {
+  Database db = make_db();
+  // Same join expressed as equi-join (hash path) and via CROSS + WHERE
+  // (nested path) must agree.
+  const QueryResult hash = db.execute(
+      "SELECT e.id, d.id FROM emp e JOIN dept d ON e.dept = d.id ORDER BY 1, 2");
+  const QueryResult cross = db.execute(
+      "SELECT e.id, d.id FROM emp e CROSS JOIN dept d WHERE e.dept = d.id "
+      "ORDER BY 1, 2");
+  ASSERT_EQ(hash.row_count(), cross.row_count());
+  for (std::size_t r = 0; r < hash.row_count(); ++r) {
+    EXPECT_EQ(hash.at(r, 0).as_int(), cross.at(r, 0).as_int());
+    EXPECT_EQ(hash.at(r, 1).as_int(), cross.at(r, 1).as_int());
+  }
+}
+
+TEST(Exec, JoinWithExtraConjunct) {
+  Database db = make_db();
+  const QueryResult result = db.execute(
+      "SELECT e.id FROM emp e JOIN dept d ON e.dept = d.id AND d.name = 'ops' "
+      "ORDER BY 1");
+  ASSERT_EQ(result.row_count(), 2u);
+  EXPECT_EQ(result.at(0, 0).as_int(), 3);
+}
+
+TEST(Exec, ThreeWayJoin) {
+  Database db = make_db();
+  db.execute(
+      "CREATE TABLE badge (emp INTEGER, code TEXT);"
+      "INSERT INTO badge VALUES (1, 'A'), (3, 'B'), (3, 'C')");
+  const QueryResult result = db.execute(
+      "SELECT e.name, d.name, b.code FROM emp e JOIN dept d ON e.dept = d.id "
+      "JOIN badge b ON b.emp = e.id ORDER BY b.code");
+  ASSERT_EQ(result.row_count(), 3u);
+  EXPECT_EQ(result.at(2, 2).as_string(), "C");
+}
+
+TEST(Exec, GroupByAggregates) {
+  Database db = make_db();
+  const QueryResult result = db.execute(
+      "SELECT dept, COUNT(*), SUM(salary), AVG(salary), MIN(salary), "
+      "MAX(salary) FROM emp WHERE dept IS NOT NULL GROUP BY dept ORDER BY dept");
+  ASSERT_EQ(result.row_count(), 2u);
+  EXPECT_EQ(result.at(0, 1).as_int(), 2);
+  EXPECT_DOUBLE_EQ(result.at(0, 2).as_double(), 180.0);
+  EXPECT_DOUBLE_EQ(result.at(0, 3).as_double(), 90.0);
+  EXPECT_DOUBLE_EQ(result.at(1, 4).as_double(), 120.0);
+  EXPECT_DOUBLE_EQ(result.at(1, 5).as_double(), 120.0);
+}
+
+TEST(Exec, AggregatesSkipNulls) {
+  Database db = make_db();
+  const QueryResult result =
+      db.execute("SELECT COUNT(*), COUNT(salary), AVG(salary) FROM emp");
+  EXPECT_EQ(result.at(0, 0).as_int(), 5);
+  EXPECT_EQ(result.at(0, 1).as_int(), 4);
+  EXPECT_DOUBLE_EQ(result.at(0, 2).as_double(), 105.0);
+}
+
+TEST(Exec, GlobalAggregateOverEmptyInput) {
+  Database db = make_db();
+  const QueryResult result = db.execute(
+      "SELECT COUNT(*), SUM(salary), MIN(salary) FROM emp WHERE id > 100");
+  ASSERT_EQ(result.row_count(), 1u);
+  EXPECT_EQ(result.at(0, 0).as_int(), 0);
+  EXPECT_TRUE(result.at(0, 1).is_null());
+  EXPECT_TRUE(result.at(0, 2).is_null());
+}
+
+TEST(Exec, StddevMatchesSampleFormula) {
+  Database db = make_db();
+  const QueryResult result = db.execute(
+      "SELECT STDDEV(salary), VARIANCE(salary) FROM emp WHERE dept = 2");
+  // Two equal values: zero spread.
+  EXPECT_DOUBLE_EQ(result.at(0, 0).as_double(), 0.0);
+  const QueryResult spread =
+      db.execute("SELECT STDDEV(salary) FROM emp WHERE dept = 1");
+  // {100, 80}: sample stddev = sqrt(200) ~ 14.1421
+  EXPECT_NEAR(spread.at(0, 0).as_double(), 14.142135623730951, 1e-9);
+}
+
+TEST(Exec, CountDistinct) {
+  Database db = make_db();
+  const QueryResult result =
+      db.execute("SELECT COUNT(DISTINCT salary) FROM emp");
+  EXPECT_EQ(result.at(0, 0).as_int(), 3);  // 100, 80, 120 (NULL skipped)
+}
+
+TEST(Exec, Having) {
+  Database db = make_db();
+  const QueryResult result = db.execute(
+      "SELECT dept, COUNT(*) AS n FROM emp WHERE dept IS NOT NULL "
+      "GROUP BY dept HAVING SUM(salary) > 200 ORDER BY dept");
+  ASSERT_EQ(result.row_count(), 1u);
+  EXPECT_EQ(result.at(0, 0).as_int(), 2);
+}
+
+TEST(Exec, AggregateExpressionArithmetic) {
+  Database db = make_db();
+  const QueryResult result = db.execute(
+      "SELECT SUM(salary) / COUNT(salary) FROM emp WHERE dept IS NOT NULL");
+  EXPECT_DOUBLE_EQ(result.at(0, 0).as_double(), 105.0);
+}
+
+TEST(Exec, Distinct) {
+  Database db = make_db();
+  EXPECT_EQ(db.execute("SELECT DISTINCT salary FROM emp").row_count(), 4u);
+  EXPECT_EQ(db.execute("SELECT DISTINCT dept FROM emp").row_count(), 3u);
+}
+
+TEST(Exec, OrderByVariants) {
+  Database db = make_db();
+  // By alias.
+  QueryResult result =
+      db.execute("SELECT name AS n FROM emp ORDER BY n DESC LIMIT 1");
+  EXPECT_EQ(result.at(0, 0).as_string(), "eve");
+  // By ordinal.
+  result = db.execute("SELECT salary, name FROM emp ORDER BY 1 DESC, 2 LIMIT 2");
+  EXPECT_EQ(result.at(0, 1).as_string(), "cyd");
+  EXPECT_EQ(result.at(1, 1).as_string(), "dee");
+  // NULLs sort first under the total order.
+  result = db.execute("SELECT salary FROM emp ORDER BY salary");
+  EXPECT_TRUE(result.at(0, 0).is_null());
+  // By expression not in the select list.
+  result = db.execute("SELECT name FROM emp ORDER BY id DESC LIMIT 1");
+  EXPECT_EQ(result.at(0, 0).as_string(), "eve");
+}
+
+TEST(Exec, OrderByAggregate) {
+  Database db = make_db();
+  const QueryResult result = db.execute(
+      "SELECT dept FROM emp WHERE dept IS NOT NULL GROUP BY dept "
+      "ORDER BY SUM(salary) DESC");
+  EXPECT_EQ(result.at(0, 0).as_int(), 2);
+}
+
+TEST(Exec, LimitOffset) {
+  Database db = make_db();
+  const QueryResult result =
+      db.execute("SELECT id FROM emp ORDER BY id LIMIT 2 OFFSET 1");
+  ASSERT_EQ(result.row_count(), 2u);
+  EXPECT_EQ(result.at(0, 0).as_int(), 2);
+  EXPECT_EQ(result.at(1, 0).as_int(), 3);
+  EXPECT_EQ(db.execute("SELECT id FROM emp LIMIT 0").row_count(), 0u);
+  EXPECT_EQ(db.execute("SELECT id FROM emp LIMIT 99 OFFSET 10").row_count(), 0u);
+}
+
+TEST(Exec, UpdateAndDelete) {
+  Database db = make_db();
+  QueryResult result = db.execute("UPDATE emp SET salary = salary * 2 WHERE dept = 1");
+  EXPECT_EQ(result.affected_rows, 2u);
+  EXPECT_DOUBLE_EQ(
+      db.execute("SELECT salary FROM emp WHERE id = 1").at(0, 0).as_double(),
+      200.0);
+  result = db.execute("DELETE FROM emp WHERE dept = 2");
+  EXPECT_EQ(result.affected_rows, 2u);
+  EXPECT_EQ(db.execute("SELECT COUNT(*) FROM emp").at(0, 0).as_int(), 3);
+}
+
+TEST(Exec, PreparedStatementWithParams) {
+  Database db = make_db();
+  kdb::PreparedStatement stmt =
+      db.prepare("SELECT name FROM emp WHERE dept = ? AND salary >= ?");
+  const std::vector<Value> params = {Value::integer(2), Value::real(100.0)};
+  const QueryResult result = db.execute(stmt, params);
+  EXPECT_EQ(result.row_count(), 2u);
+  // Re-execution with different params.
+  const std::vector<Value> params2 = {Value::integer(1), Value::real(90.0)};
+  EXPECT_EQ(db.execute(stmt, params2).row_count(), 1u);
+}
+
+TEST(Exec, MissingParamThrows) {
+  Database db = make_db();
+  EXPECT_THROW(db.execute("SELECT * FROM emp WHERE id = ?"), EvalError);
+}
+
+TEST(Exec, ScalarSubquery) {
+  Database db = make_db();
+  const QueryResult result = db.execute(
+      "SELECT name FROM emp WHERE salary = (SELECT MAX(salary) FROM emp) "
+      "ORDER BY id");
+  ASSERT_EQ(result.row_count(), 2u);
+  EXPECT_EQ(result.at(0, 0).as_string(), "cyd");
+}
+
+TEST(Exec, SubqueryEmptyIsNull) {
+  Database db = make_db();
+  const QueryResult result =
+      db.execute("SELECT (SELECT id FROM emp WHERE id > 100)");
+  EXPECT_TRUE(result.at(0, 0).is_null());
+}
+
+TEST(Exec, SubqueryMultiRowThrows) {
+  Database db = make_db();
+  EXPECT_THROW(db.execute("SELECT (SELECT id FROM emp)"), EvalError);
+}
+
+TEST(Exec, PrimaryKeyUniqueness) {
+  Database db = make_db();
+  EXPECT_THROW(db.execute("INSERT INTO dept VALUES (1, 'dup')"), EvalError);
+  // NOT NULL enforcement on the key.
+  EXPECT_THROW(db.execute("INSERT INTO dept VALUES (NULL, 'x')"), EvalError);
+}
+
+TEST(Exec, InsertColumnSubset) {
+  Database db = make_db();
+  db.execute("INSERT INTO emp (id, name) VALUES (9, 'zed')");
+  const QueryResult result =
+      db.execute("SELECT dept, salary FROM emp WHERE id = 9");
+  EXPECT_TRUE(result.at(0, 0).is_null());
+  EXPECT_TRUE(result.at(0, 1).is_null());
+}
+
+TEST(Exec, DropTableSemantics) {
+  Database db = make_db();
+  db.execute("DROP TABLE dept");
+  EXPECT_THROW(db.execute("SELECT * FROM dept"), EvalError);
+  db.execute("DROP TABLE IF EXISTS dept");  // no-op
+  EXPECT_THROW(db.execute("DROP TABLE dept"), EvalError);
+}
+
+// ---------------------------------------------------------------------------
+// Index correctness: indexed access path must agree with full scans.
+
+class IndexEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexEquivalence, IndexedQueriesMatchScans) {
+  kojak::support::Rng rng(GetParam());
+  Database with_index, without_index;
+  for (Database* db : {&with_index, &without_index}) {
+    db->execute("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, v DOUBLE)");
+  }
+  with_index.execute("CREATE INDEX idx_k ON t (k)");
+
+  for (int i = 0; i < 500; ++i) {
+    const std::string insert = kojak::support::cat(
+        "INSERT INTO t VALUES (", i, ", ", rng.uniform_int(0, 20), ", ",
+        kojak::support::format_double(rng.uniform(0, 100)), ")");
+    with_index.execute(insert);
+    without_index.execute(insert);
+  }
+  // Mutate both: deletes and updates must keep indexes in sync.
+  for (const char* mutation :
+       {"DELETE FROM t WHERE k = 3", "UPDATE t SET k = 7 WHERE k = 5"}) {
+    with_index.execute(mutation);
+    without_index.execute(mutation);
+  }
+
+  for (int key = 0; key <= 21; ++key) {
+    const std::string q = kojak::support::cat(
+        "SELECT id, v FROM t WHERE k = ", key, " ORDER BY id");
+    const QueryResult a = with_index.execute(q);
+    const QueryResult b = without_index.execute(q);
+    ASSERT_EQ(a.row_count(), b.row_count()) << q;
+    for (std::size_t r = 0; r < a.row_count(); ++r) {
+      EXPECT_EQ(a.at(r, 0).as_int(), b.at(r, 0).as_int());
+      EXPECT_DOUBLE_EQ(a.at(r, 1).as_double(), b.at(r, 1).as_double());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexEquivalence, ::testing::Values(1, 2, 3, 7));
+
+// ---------------------------------------------------------------------------
+// Errors
+
+TEST(ExecErrors, UnknownEntities) {
+  Database db = make_db();
+  EXPECT_THROW(db.execute("SELECT * FROM nope"), EvalError);
+  EXPECT_THROW(db.execute("SELECT nope FROM emp"), EvalError);
+  EXPECT_THROW(db.execute("SELECT x.name FROM emp"), EvalError);
+  EXPECT_THROW(db.execute("INSERT INTO emp (nope) VALUES (1)"), EvalError);
+  EXPECT_THROW(db.execute("CREATE INDEX i ON emp (nope)"), EvalError);
+}
+
+TEST(ExecErrors, AmbiguousColumn) {
+  Database db = make_db();
+  EXPECT_THROW(
+      db.execute("SELECT name FROM emp e JOIN dept d ON e.dept = d.id"),
+      EvalError);
+}
+
+TEST(ExecErrors, AggregateInWhere) {
+  Database db = make_db();
+  EXPECT_THROW(db.execute("SELECT id FROM emp WHERE SUM(salary) > 0"),
+               EvalError);
+}
+
+TEST(ExecErrors, NestedAggregate) {
+  Database db = make_db();
+  EXPECT_THROW(db.execute("SELECT SUM(MAX(salary)) FROM emp"), EvalError);
+}
+
+TEST(ExecErrors, DuplicateAlias) {
+  Database db = make_db();
+  EXPECT_THROW(
+      db.execute("SELECT 1 FROM emp e JOIN dept e ON 1 = 1"), EvalError);
+}
+
+TEST(ExecErrors, ArityMismatch) {
+  Database db = make_db();
+  EXPECT_THROW(db.execute("INSERT INTO dept VALUES (10)"), EvalError);
+  EXPECT_THROW(db.execute("SELECT ABS(1, 2)"), EvalError);
+  EXPECT_THROW(db.execute("SELECT NOPEFN(1)"), EvalError);
+}
+
+TEST(ExecErrors, OrderByOrdinalOutOfRange) {
+  Database db = make_db();
+  EXPECT_THROW(db.execute("SELECT id FROM emp ORDER BY 2"), EvalError);
+}
+
+TEST(Exec, TotalRowsBookkeeping) {
+  Database db = make_db();
+  EXPECT_EQ(db.total_rows(), 8u);
+  db.execute("DELETE FROM emp WHERE id = 1");
+  EXPECT_EQ(db.total_rows(), 7u);
+  EXPECT_EQ(db.table_names().size(), 2u);
+}

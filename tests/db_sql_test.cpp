@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "db/sql/lexer.hpp"
+#include "db/sql/parser.hpp"
+#include "support/error.hpp"
+
+namespace sql = kojak::db::sql;
+using kojak::support::ParseError;
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+TEST(SqlLexer, BasicTokens) {
+  const auto tokens = sql::lex_sql("SELECT a, 42 FROM t WHERE x >= 1.5;");
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_TRUE(tokens[0].is_keyword("select"));
+  EXPECT_EQ(tokens[1].text, "a");
+  EXPECT_TRUE(tokens[2].is_symbol(","));
+  EXPECT_EQ(tokens[3].int_value, 42);
+  EXPECT_TRUE(tokens.back().kind == sql::TokenKind::kEnd);
+}
+
+TEST(SqlLexer, StringEscapes) {
+  const auto tokens = sql::lex_sql("'it''s'");
+  EXPECT_EQ(tokens[0].kind, sql::TokenKind::kStringLit);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(SqlLexer, Comments) {
+  const auto tokens = sql::lex_sql("SELECT 1 -- trailing comment\n+ 2");
+  // 'SELECT', '1', '+', '2', EOF
+  EXPECT_EQ(tokens.size(), 5u);
+}
+
+TEST(SqlLexer, FloatForms) {
+  EXPECT_DOUBLE_EQ(sql::lex_sql("1.25")[0].float_value, 1.25);
+  EXPECT_DOUBLE_EQ(sql::lex_sql("1e3")[0].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(sql::lex_sql("2.5E-1")[0].float_value, 0.25);
+  // '1.' without digits is int then dot.
+  const auto tokens = sql::lex_sql("1 .x");
+  EXPECT_EQ(tokens[0].kind, sql::TokenKind::kIntLit);
+}
+
+TEST(SqlLexer, TwoCharOperators) {
+  const auto tokens = sql::lex_sql("<> <= >= != =");
+  EXPECT_TRUE(tokens[0].is_symbol("<>"));
+  EXPECT_TRUE(tokens[1].is_symbol("<="));
+  EXPECT_TRUE(tokens[2].is_symbol(">="));
+  EXPECT_TRUE(tokens[3].is_symbol("!="));
+  EXPECT_TRUE(tokens[4].is_symbol("="));
+}
+
+TEST(SqlLexer, ErrorsCarryLocation) {
+  try {
+    (void)sql::lex_sql("SELECT 'unterminated");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.loc().line, 1u);
+  }
+  EXPECT_THROW((void)sql::lex_sql("SELECT @"), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Parser: statements
+
+TEST(SqlParser, SelectShape) {
+  const auto stmt = sql::parse_single(
+      "SELECT a, b AS bee, t.c FROM tab t JOIN u ON t.id = u.id "
+      "WHERE a > 1 GROUP BY a HAVING COUNT(*) > 2 ORDER BY bee DESC LIMIT 5 "
+      "OFFSET 2");
+  const auto& select = std::get<sql::SelectStmt>(stmt);
+  EXPECT_EQ(select.items.size(), 3u);
+  EXPECT_EQ(select.items[1].alias, "bee");
+  ASSERT_TRUE(select.from.has_value());
+  EXPECT_EQ(select.from->table, "tab");
+  EXPECT_EQ(select.from->alias, "t");
+  ASSERT_EQ(select.joins.size(), 1u);
+  EXPECT_NE(select.where, nullptr);
+  EXPECT_EQ(select.group_by.size(), 1u);
+  EXPECT_NE(select.having, nullptr);
+  ASSERT_EQ(select.order_by.size(), 1u);
+  EXPECT_TRUE(select.order_by[0].descending);
+  EXPECT_EQ(select.limit, 5u);
+  EXPECT_EQ(select.offset, 2u);
+}
+
+TEST(SqlParser, SelectStarForms) {
+  const auto stmt = sql::parse_single("SELECT *, t.* FROM t");
+  const auto& select = std::get<sql::SelectStmt>(stmt);
+  ASSERT_EQ(select.items.size(), 2u);
+  EXPECT_TRUE(select.items[0].star);
+  EXPECT_TRUE(select.items[1].star);
+  EXPECT_EQ(select.items[1].star_table, "t");
+}
+
+TEST(SqlParser, SelectWithoutFrom) {
+  const auto stmt = sql::parse_single("SELECT 1 + 2 * 3");
+  const auto& select = std::get<sql::SelectStmt>(stmt);
+  EXPECT_FALSE(select.from.has_value());
+  // Precedence: 1 + (2 * 3)
+  const sql::Expr& e = *select.items[0].expr;
+  EXPECT_EQ(e.bin_op, sql::BinOp::kAdd);
+  EXPECT_EQ(e.rhs->bin_op, sql::BinOp::kMul);
+}
+
+TEST(SqlParser, CreateTable) {
+  const auto stmt = sql::parse_single(
+      "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT NOT NULL, "
+      "score DOUBLE, at DATETIME)");
+  const auto& create = std::get<sql::CreateTableStmt>(stmt);
+  EXPECT_EQ(create.schema.name(), "t");
+  ASSERT_EQ(create.schema.column_count(), 4u);
+  EXPECT_TRUE(create.schema.column(0).primary_key);
+  EXPECT_FALSE(create.schema.column(0).nullable);
+  EXPECT_FALSE(create.schema.column(1).nullable);
+  EXPECT_TRUE(create.schema.column(2).nullable);
+  EXPECT_EQ(create.schema.column(3).type, kojak::db::ValueType::kDateTime);
+}
+
+TEST(SqlParser, CreateTableIfNotExists) {
+  const auto stmt =
+      sql::parse_single("CREATE TABLE IF NOT EXISTS t (x INTEGER)");
+  EXPECT_TRUE(std::get<sql::CreateTableStmt>(stmt).if_not_exists);
+}
+
+TEST(SqlParser, CreateIndex) {
+  const auto hash = sql::parse_single("CREATE INDEX i1 ON t (col)");
+  EXPECT_FALSE(std::get<sql::CreateIndexStmt>(hash).ordered);
+  const auto ordered = sql::parse_single("CREATE ORDERED INDEX i2 ON t (col)");
+  EXPECT_TRUE(std::get<sql::CreateIndexStmt>(ordered).ordered);
+}
+
+TEST(SqlParser, InsertForms) {
+  const auto stmt = sql::parse_single(
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  const auto& insert = std::get<sql::InsertStmt>(stmt);
+  EXPECT_EQ(insert.columns, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(insert.rows.size(), 2u);
+
+  const auto bare = sql::parse_single("INSERT INTO t VALUES (?, ?)");
+  EXPECT_TRUE(std::get<sql::InsertStmt>(bare).columns.empty());
+}
+
+TEST(SqlParser, UpdateDeleteDrop) {
+  const auto update =
+      sql::parse_single("UPDATE t SET a = a + 1, b = 2 WHERE id = 3");
+  EXPECT_EQ(std::get<sql::UpdateStmt>(update).assignments.size(), 2u);
+
+  const auto del = sql::parse_single("DELETE FROM t WHERE x IS NULL");
+  EXPECT_NE(std::get<sql::DeleteStmt>(del).where, nullptr);
+
+  const auto drop = sql::parse_single("DROP TABLE IF EXISTS t");
+  EXPECT_TRUE(std::get<sql::DropTableStmt>(drop).if_exists);
+}
+
+TEST(SqlParser, MultiStatementScript) {
+  const auto stmts = sql::parse_sql(
+      "CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (1); SELECT * FROM t;");
+  EXPECT_EQ(stmts.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Parser: expressions
+
+TEST(SqlParser, ExpressionKinds) {
+  const auto stmt = sql::parse_single(
+      "SELECT x IN (1, 2), y NOT LIKE 'a%', z IS NOT NULL, NOT (a AND b), "
+      "COUNT(DISTINCT c), COALESCE(a, b, 0), (SELECT 1)");
+  const auto& items = std::get<sql::SelectStmt>(stmt).items;
+  EXPECT_EQ(items[0].expr->kind, sql::Expr::Kind::kInList);
+  EXPECT_EQ(items[1].expr->kind, sql::Expr::Kind::kLike);
+  EXPECT_TRUE(items[1].expr->negated);
+  EXPECT_EQ(items[2].expr->kind, sql::Expr::Kind::kIsNull);
+  EXPECT_TRUE(items[2].expr->negated);
+  EXPECT_EQ(items[3].expr->kind, sql::Expr::Kind::kUnary);
+  EXPECT_TRUE(items[4].expr->distinct_arg);
+  EXPECT_EQ(items[5].expr->args.size(), 3u);
+  EXPECT_EQ(items[6].expr->kind, sql::Expr::Kind::kSubquery);
+}
+
+TEST(SqlParser, DateTimeLiteral) {
+  const auto stmt = sql::parse_single("SELECT DATETIME '1999-11-05 13:00:00'");
+  const auto& e = *std::get<sql::SelectStmt>(stmt).items[0].expr;
+  EXPECT_EQ(e.kind, sql::Expr::Kind::kLiteral);
+  EXPECT_EQ(e.literal.as_datetime(), 941806800);
+}
+
+TEST(SqlParser, ParamNumbering) {
+  const auto stmt = sql::parse_single("SELECT ? + ?, ?");
+  const auto& items = std::get<sql::SelectStmt>(stmt).items;
+  EXPECT_EQ(items[0].expr->lhs->param_index, 0u);
+  EXPECT_EQ(items[0].expr->rhs->param_index, 1u);
+  EXPECT_EQ(items[1].expr->param_index, 2u);
+}
+
+TEST(SqlParser, PrecedenceAndOr) {
+  // a OR b AND c parses as a OR (b AND c)
+  const auto stmt = sql::parse_single("SELECT a OR b AND c");
+  const auto& e = *std::get<sql::SelectStmt>(stmt).items[0].expr;
+  EXPECT_EQ(e.bin_op, sql::BinOp::kOr);
+  EXPECT_EQ(e.rhs->bin_op, sql::BinOp::kAnd);
+}
+
+TEST(SqlParser, CloneDeepCopies) {
+  const auto stmt = sql::parse_single("SELECT a + 1 FROM t WHERE b = 2");
+  const auto& select = std::get<sql::SelectStmt>(stmt);
+  const auto copy = select.clone();
+  EXPECT_EQ(copy->items.size(), select.items.size());
+  EXPECT_NE(copy->items[0].expr.get(), select.items[0].expr.get());
+  EXPECT_EQ(copy->items[0].expr->to_string(), select.items[0].expr->to_string());
+}
+
+TEST(SqlParser, ToStringStable) {
+  const auto stmt = sql::parse_single("SELECT (a + b) * 2 FROM t");
+  EXPECT_EQ(std::get<sql::SelectStmt>(stmt).items[0].expr->to_string(),
+            "((a + b) * 2)");
+}
+
+// ---------------------------------------------------------------------------
+// Parser: errors
+
+struct BadSql {
+  const char* label;
+  const char* text;
+};
+
+class SqlParserError : public ::testing::TestWithParam<BadSql> {};
+
+TEST_P(SqlParserError, Throws) {
+  EXPECT_THROW((void)sql::parse_sql(GetParam().text), ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, SqlParserError,
+    ::testing::Values(
+        BadSql{"missing_from_table", "SELECT * FROM"},
+        BadSql{"trailing_comma", "SELECT a, FROM t"},
+        BadSql{"unclosed_paren", "SELECT (1 + 2"},
+        BadSql{"bad_statement", "EXPLAIN SELECT 1"},
+        BadSql{"create_missing_type", "CREATE TABLE t (x)"},
+        BadSql{"create_unknown_type", "CREATE TABLE t (x BLOB)"},
+        BadSql{"insert_no_values", "INSERT INTO t"},
+        BadSql{"negative_limit", "SELECT 1 LIMIT -1"},
+        BadSql{"lone_not", "SELECT a NOT b"},
+        BadSql{"join_without_on", "SELECT * FROM a JOIN b WHERE 1 = 1"},
+        BadSql{"two_statements_no_semi", "SELECT 1 SELECT 2"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(SqlParser, ParseSingleRejectsMultiple) {
+  EXPECT_THROW((void)sql::parse_single("SELECT 1; SELECT 2"), ParseError);
+}

@@ -1,0 +1,225 @@
+// Randomized differential test of the SQL engine against a hand-rolled
+// reference computation: filters, grouped aggregates, joins, and ordering
+// over generated data must match naive C++ loops over the same rows.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <optional>
+
+#include "db/database.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+
+namespace kdb = kojak::db;
+using kdb::Database;
+using kdb::QueryResult;
+using kdb::Value;
+using kojak::support::Rng;
+
+namespace {
+
+struct RowData {
+  std::int64_t id;
+  std::int64_t k;            // group key 0..6
+  std::optional<double> v;   // nullable measure
+  std::string tag;           // "t0".."t3"
+};
+
+struct Dataset {
+  std::vector<RowData> rows;
+  Database db;
+};
+
+Dataset make_dataset(int seed, int n) {
+  Dataset data;
+  Rng rng(static_cast<std::uint64_t>(seed));
+  data.db.execute(
+      "CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, v DOUBLE, tag TEXT);"
+      "CREATE INDEX idx_t_k ON t (k)");
+  for (int i = 0; i < n; ++i) {
+    RowData row;
+    row.id = i;
+    row.k = rng.uniform_int(0, 6);
+    if (!rng.chance(0.1)) row.v = std::round(rng.uniform(-50, 50) * 4) / 4.0;
+    row.tag = kojak::support::cat("t", rng.uniform_int(0, 3));
+    const std::string insert = kojak::support::cat(
+        "INSERT INTO t VALUES (", row.id, ", ", row.k, ", ",
+        row.v ? kojak::support::format_double(*row.v) : "NULL", ", '", row.tag,
+        "')");
+    data.db.execute(insert);
+    data.rows.push_back(std::move(row));
+  }
+  return data;
+}
+
+}  // namespace
+
+class SqlStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(SqlStress, FilteredAggregatesMatchReference) {
+  Dataset data = make_dataset(GetParam(), 400);
+  for (int key = 0; key <= 7; ++key) {
+    const QueryResult result = data.db.execute(kojak::support::cat(
+        "SELECT COUNT(*), COUNT(v), SUM(v), MIN(v), MAX(v) FROM t WHERE k = ",
+        key));
+    std::int64_t count = 0, non_null = 0;
+    double sum = 0;
+    std::optional<double> min, max;
+    for (const RowData& row : data.rows) {
+      if (row.k != key) continue;
+      ++count;
+      if (!row.v) continue;
+      ++non_null;
+      sum += *row.v;
+      min = min ? std::min(*min, *row.v) : *row.v;
+      max = max ? std::max(*max, *row.v) : *row.v;
+    }
+    EXPECT_EQ(result.at(0, 0).as_int(), count) << "k=" << key;
+    EXPECT_EQ(result.at(0, 1).as_int(), non_null);
+    if (non_null == 0) {
+      EXPECT_TRUE(result.at(0, 2).is_null());
+      EXPECT_TRUE(result.at(0, 3).is_null());
+    } else {
+      EXPECT_NEAR(result.at(0, 2).as_double(), sum, 1e-9);
+      EXPECT_DOUBLE_EQ(result.at(0, 3).as_double(), *min);
+      EXPECT_DOUBLE_EQ(result.at(0, 4).as_double(), *max);
+    }
+  }
+}
+
+TEST_P(SqlStress, GroupByMatchesReference) {
+  Dataset data = make_dataset(GetParam(), 300);
+  const QueryResult result = data.db.execute(
+      "SELECT k, tag, COUNT(*), AVG(v) FROM t GROUP BY k, tag ORDER BY k, tag");
+
+  struct Acc {
+    std::int64_t count = 0;
+    double sum = 0;
+    std::int64_t non_null = 0;
+  };
+  std::map<std::pair<std::int64_t, std::string>, Acc> groups;
+  for (const RowData& row : data.rows) {
+    Acc& acc = groups[{row.k, row.tag}];
+    ++acc.count;
+    if (row.v) {
+      acc.sum += *row.v;
+      ++acc.non_null;
+    }
+  }
+  ASSERT_EQ(result.row_count(), groups.size());
+  std::size_t r = 0;
+  for (const auto& [key, acc] : groups) {
+    EXPECT_EQ(result.at(r, 0).as_int(), key.first);
+    EXPECT_EQ(result.at(r, 1).as_string(), key.second);
+    EXPECT_EQ(result.at(r, 2).as_int(), acc.count);
+    if (acc.non_null == 0) {
+      EXPECT_TRUE(result.at(r, 3).is_null());
+    } else {
+      EXPECT_NEAR(result.at(r, 3).as_double(),
+                  acc.sum / static_cast<double>(acc.non_null), 1e-9);
+    }
+    ++r;
+  }
+}
+
+TEST_P(SqlStress, HavingMatchesReference) {
+  Dataset data = make_dataset(GetParam(), 300);
+  const QueryResult result = data.db.execute(
+      "SELECT k, SUM(v) AS s FROM t GROUP BY k HAVING COUNT(v) >= 10 "
+      "ORDER BY k");
+  std::map<std::int64_t, std::pair<double, std::int64_t>> groups;
+  for (const RowData& row : data.rows) {
+    if (!row.v) continue;
+    groups[row.k].first += *row.v;
+    groups[row.k].second += 1;
+  }
+  std::vector<std::pair<std::int64_t, double>> expected;
+  for (const auto& [k, acc] : groups) {
+    if (acc.second >= 10) expected.emplace_back(k, acc.first);
+  }
+  ASSERT_EQ(result.row_count(), expected.size());
+  for (std::size_t r = 0; r < expected.size(); ++r) {
+    EXPECT_EQ(result.at(r, 0).as_int(), expected[r].first);
+    EXPECT_NEAR(result.at(r, 1).as_double(), expected[r].second, 1e-9);
+  }
+}
+
+TEST_P(SqlStress, SelfJoinMatchesReference) {
+  Dataset data = make_dataset(GetParam(), 120);
+  // Pairs (a, b) with equal k and a.id < b.id.
+  const QueryResult result = data.db.execute(
+      "SELECT a.id, b.id FROM t a JOIN t b ON a.k = b.k WHERE a.id < b.id "
+      "ORDER BY 1, 2");
+  std::size_t expected = 0;
+  for (const RowData& a : data.rows) {
+    for (const RowData& b : data.rows) {
+      if (a.k == b.k && a.id < b.id) ++expected;
+    }
+  }
+  EXPECT_EQ(result.row_count(), expected);
+  for (std::size_t r = 1; r < result.row_count(); ++r) {
+    const bool ordered =
+        result.at(r - 1, 0).as_int() < result.at(r, 0).as_int() ||
+        (result.at(r - 1, 0).as_int() == result.at(r, 0).as_int() &&
+         result.at(r - 1, 1).as_int() < result.at(r, 1).as_int());
+    EXPECT_TRUE(ordered) << "row " << r;
+  }
+}
+
+TEST_P(SqlStress, OrderLimitOffsetMatchesReference) {
+  Dataset data = make_dataset(GetParam(), 200);
+  const QueryResult result = data.db.execute(
+      "SELECT id FROM t WHERE v IS NOT NULL ORDER BY v DESC, id LIMIT 17 "
+      "OFFSET 5");
+  std::vector<const RowData*> sorted;
+  for (const RowData& row : data.rows) {
+    if (row.v) sorted.push_back(&row);
+  }
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const RowData* a, const RowData* b) {
+                     if (*a->v != *b->v) return *a->v > *b->v;
+                     return a->id < b->id;
+                   });
+  ASSERT_LE(result.row_count(), 17u);
+  for (std::size_t r = 0; r < result.row_count(); ++r) {
+    ASSERT_LT(r + 5, sorted.size());
+    EXPECT_EQ(result.at(r, 0).as_int(), sorted[r + 5]->id) << "row " << r;
+  }
+}
+
+TEST_P(SqlStress, StddevMatchesReference) {
+  Dataset data = make_dataset(GetParam(), 250);
+  const QueryResult result =
+      data.db.execute("SELECT STDDEV(v), VARIANCE(v) FROM t");
+  std::vector<double> xs;
+  for (const RowData& row : data.rows) {
+    if (row.v) xs.push_back(*row.v);
+  }
+  ASSERT_GT(xs.size(), 2u);
+  const double mean =
+      std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+  double ss = 0;
+  for (const double x : xs) ss += (x - mean) * (x - mean);
+  const double var = ss / static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(result.at(0, 1).as_double(), var, 1e-6);
+  EXPECT_NEAR(result.at(0, 0).as_double(), std::sqrt(var), 1e-6);
+}
+
+TEST_P(SqlStress, DeleteThenAggregateStaysConsistent) {
+  Dataset data = make_dataset(GetParam(), 200);
+  data.db.execute("DELETE FROM t WHERE k = 3 OR v IS NULL");
+  std::erase_if(data.rows,
+                [](const RowData& row) { return row.k == 3 || !row.v; });
+  const QueryResult result = data.db.execute("SELECT COUNT(*), SUM(v) FROM t");
+  double sum = 0;
+  for (const RowData& row : data.rows) sum += *row.v;
+  EXPECT_EQ(result.at(0, 0).as_int(),
+            static_cast<std::int64_t>(data.rows.size()));
+  EXPECT_NEAR(result.at(0, 1).as_double(), sum, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlStress, ::testing::Range(1, 9));

@@ -1,0 +1,264 @@
+// Direct storage-layer tests: Table heap, tombstones, index maintenance,
+// ordered-index range scans, and schema DDL round-trips — below the SQL
+// surface that db_exec_test covers.
+
+#include <gtest/gtest.h>
+
+#include "db/database.hpp"
+#include "db/table.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace kdb = kojak::db;
+using kdb::ColumnDef;
+using kdb::Index;
+using kdb::Table;
+using kdb::TableSchema;
+using kdb::Value;
+using kdb::ValueType;
+using kojak::support::EvalError;
+
+namespace {
+
+TableSchema people_schema() {
+  return TableSchema(
+      "people", {ColumnDef{"id", ValueType::kInt, false, true},
+                 ColumnDef{"name", ValueType::kString, true, false},
+                 ColumnDef{"age", ValueType::kInt, true, false}});
+}
+
+Table seeded_table() {
+  Table table(people_schema());
+  table.insert({Value::integer(1), Value::text("ada"), Value::integer(36)});
+  table.insert({Value::integer(2), Value::text("bob"), Value::integer(25)});
+  table.insert({Value::integer(3), Value::text("cyd"), Value::integer(36)});
+  return table;
+}
+
+}  // namespace
+
+TEST(Schema, Lookup) {
+  const TableSchema schema = people_schema();
+  EXPECT_EQ(schema.name(), "people");
+  EXPECT_EQ(schema.column_count(), 3u);
+  EXPECT_EQ(schema.find_column("NAME"), 1u);  // case-insensitive
+  EXPECT_FALSE(schema.find_column("nope").has_value());
+  EXPECT_EQ(schema.primary_key(), 0u);
+}
+
+TEST(Schema, RejectsDuplicateColumns) {
+  EXPECT_THROW(TableSchema("t", {ColumnDef{"a", ValueType::kInt, true, false},
+                                 ColumnDef{"A", ValueType::kInt, true, false}}),
+               EvalError);
+}
+
+TEST(Schema, DdlRoundTrip) {
+  // to_ddl must re-create an equivalent schema through the SQL front end.
+  kdb::Database db;
+  db.execute(people_schema().to_ddl());
+  const Table& table = db.table("people");
+  EXPECT_EQ(table.schema().column_count(), 3u);
+  EXPECT_TRUE(table.schema().column(0).primary_key);
+  EXPECT_FALSE(table.schema().column(0).nullable);
+  EXPECT_TRUE(table.schema().column(1).nullable);
+}
+
+TEST(Table, InsertValidates) {
+  Table table = seeded_table();
+  EXPECT_EQ(table.live_row_count(), 3u);
+  // Arity.
+  EXPECT_THROW(table.insert({Value::integer(9)}), EvalError);
+  // Primary key NULL.
+  EXPECT_THROW(
+      table.insert({Value::null(), Value::text("x"), Value::integer(1)}),
+      EvalError);
+  // Duplicate primary key.
+  EXPECT_THROW(
+      table.insert({Value::integer(1), Value::text("dup"), Value::integer(1)}),
+      EvalError);
+  // Type coercion int -> double is allowed, string -> int is not.
+  EXPECT_THROW(
+      table.insert({Value::integer(4), Value::integer(42), Value::integer(1)}),
+      EvalError);
+}
+
+TEST(Table, TombstonesKeepIdsStable) {
+  Table table = seeded_table();
+  table.erase(1);
+  EXPECT_EQ(table.live_row_count(), 2u);
+  EXPECT_EQ(table.heap_size(), 3u);
+  EXPECT_FALSE(table.is_live(1));
+  EXPECT_TRUE(table.is_live(2));
+  EXPECT_EQ(table.live_rows(), (std::vector<std::size_t>{0, 2}));
+  // Double-erase is an error.
+  EXPECT_THROW(table.erase(1), EvalError);
+  // The key of the erased row is reusable.
+  table.insert({Value::integer(2), Value::text("bob2"), Value::integer(26)});
+  EXPECT_EQ(table.live_row_count(), 3u);
+}
+
+TEST(Table, UpdateRevalidates) {
+  Table table = seeded_table();
+  table.update(0, {Value::integer(1), Value::text("ada!"), Value::null()});
+  EXPECT_EQ(table.row(0)[1].as_string(), "ada!");
+  EXPECT_TRUE(table.row(0)[2].is_null());
+  EXPECT_THROW(
+      table.update(0, {Value::null(), Value::text("x"), Value::null()}),
+      EvalError);
+}
+
+TEST(Index, HashEqualRange) {
+  Table table = seeded_table();
+  table.create_index("by_age", 2, Index::Kind::kHash);
+  const Index* index = table.find_index_on(2);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->equal_range(Value::integer(36)).size(), 2u);
+  EXPECT_EQ(index->equal_range(Value::integer(99)).size(), 0u);
+}
+
+TEST(Index, MaintainedAcrossMutations) {
+  Table table = seeded_table();
+  table.create_index("by_age", 2, Index::Kind::kHash);
+  const Index* index = table.find_index_on(2);
+  table.erase(0);  // ada, 36
+  EXPECT_EQ(index->equal_range(Value::integer(36)).size(), 1u);
+  table.update(1, {Value::integer(2), Value::text("bob"), Value::integer(36)});
+  EXPECT_EQ(index->equal_range(Value::integer(36)).size(), 2u);
+  EXPECT_EQ(index->equal_range(Value::integer(25)).size(), 0u);
+}
+
+TEST(Index, BuiltOverExistingRows) {
+  Table table = seeded_table();
+  // Index created after inserts must see them.
+  table.create_index("late", 1, Index::Kind::kHash);
+  EXPECT_EQ(table.find_index_on(1)->equal_range(Value::text("cyd")).size(), 1u);
+}
+
+TEST(Index, OrderedRangeScan) {
+  Table table(people_schema());
+  for (int i = 0; i < 20; ++i) {
+    table.insert({Value::integer(i), Value::text("p"), Value::integer(i * 10)});
+  }
+  table.create_index("ord", 2, Index::Kind::kOrdered);
+  const Index* index = table.find_index_on(2);
+  const auto hits = index->range(Value::integer(35), Value::integer(90));
+  // ages 40,50,60,70,80,90 -> rows 4..9
+  EXPECT_EQ(hits.size(), 6u);
+  // Hash indexes reject range scans.
+  table.create_index("h", 0, Index::Kind::kHash);
+  EXPECT_THROW((void)table.find_index_on(0)->range(Value::integer(0),
+                                                   Value::integer(5)),
+               EvalError);
+}
+
+TEST(Index, OrderedViaSqlSurface) {
+  kdb::Database db;
+  db.execute(
+      "CREATE TABLE t (k INTEGER, v TEXT);"
+      "CREATE ORDERED INDEX ord_k ON t (k);"
+      "INSERT INTO t VALUES (5, 'a'), (1, 'b'), (3, 'c'), (5, 'd')");
+  // Equality probes work through either index kind.
+  EXPECT_EQ(db.execute("SELECT v FROM t WHERE k = 5").row_count(), 2u);
+}
+
+TEST(Index, CreateIndexValidatesColumn) {
+  Table table = seeded_table();
+  EXPECT_THROW(table.create_index("bad", 9, Index::Kind::kHash), EvalError);
+}
+
+TEST(QueryResult, Helpers) {
+  kdb::QueryResult result;
+  result.columns = {"a", "b"};
+  result.rows.push_back({Value::integer(1), Value::text("x")});
+  EXPECT_EQ(result.column_index("B"), 1u);
+  EXPECT_THROW((void)result.column_index("c"), EvalError);
+  EXPECT_THROW((void)result.scalar(), EvalError);  // 1x2, not scalar
+
+  kdb::QueryResult scalar;
+  scalar.columns = {"n"};
+  scalar.rows.push_back({Value::integer(7)});
+  EXPECT_EQ(scalar.scalar().as_int(), 7);
+
+  kdb::QueryResult empty;
+  empty.columns = {"n"};
+  EXPECT_TRUE(empty.scalar().is_null());
+
+  const std::string table_text = result.to_table();
+  EXPECT_NE(table_text.find("a | b"), std::string::npos);
+  EXPECT_NE(table_text.find("1 | x"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Ordered-index range access path through the SQL surface
+
+namespace {
+
+/// Builds two identical databases, one with an ordered index; every range
+/// query must agree between the indexed and scan paths.
+struct RangePair {
+  kdb::Database indexed;
+  kdb::Database plain;
+
+  RangePair() {
+    for (kdb::Database* db : {&indexed, &plain}) {
+      db->execute("CREATE TABLE t (id INTEGER PRIMARY KEY, k DOUBLE)");
+    }
+    indexed.execute("CREATE ORDERED INDEX ord_k ON t (k)");
+    for (int i = 0; i < 200; ++i) {
+      const std::string insert = kojak::support::cat(
+          "INSERT INTO t VALUES (", i, ", ",
+          i % 13 == 0 ? "NULL" : std::to_string((i * 37) % 100), ")");
+      indexed.execute(insert);
+      plain.execute(insert);
+    }
+  }
+};
+
+}  // namespace
+
+TEST(RangeScan, MatchesFullScanOnEveryOperator) {
+  RangePair pair;
+  const char* queries[] = {
+      "SELECT id FROM t WHERE k > 30 ORDER BY id",
+      "SELECT id FROM t WHERE k >= 30 ORDER BY id",
+      "SELECT id FROM t WHERE k < 12 ORDER BY id",
+      "SELECT id FROM t WHERE k <= 12 ORDER BY id",
+      "SELECT id FROM t WHERE k > 20 AND k < 40 ORDER BY id",
+      "SELECT id FROM t WHERE k >= 20 AND k <= 20 ORDER BY id",
+      "SELECT id FROM t WHERE 50 < k ORDER BY id",       // mirrored operand
+      "SELECT id FROM t WHERE k > 25 AND id > 100 ORDER BY id",
+      "SELECT COUNT(*) FROM t WHERE k > 90",
+  };
+  for (const char* query : queries) {
+    const kdb::QueryResult a = pair.indexed.execute(query);
+    const kdb::QueryResult b = pair.plain.execute(query);
+    ASSERT_EQ(a.row_count(), b.row_count()) << query;
+    for (std::size_t r = 0; r < a.row_count(); ++r) {
+      EXPECT_EQ(a.at(r, 0).as_int(), b.at(r, 0).as_int()) << query;
+    }
+  }
+}
+
+TEST(RangeScan, NullKeysNeverMatchRanges) {
+  RangePair pair;
+  // NULL k rows must not appear however the range is phrased.
+  const auto result =
+      pair.indexed.execute("SELECT COUNT(*) FROM t WHERE k >= 0");
+  const auto nulls =
+      pair.indexed.execute("SELECT COUNT(*) FROM t WHERE k IS NULL");
+  EXPECT_EQ(result.scalar().as_int() + nulls.scalar().as_int(), 200);
+}
+
+TEST(RangeScan, RangeOpenDirect) {
+  Table table(people_schema());
+  for (int i = 0; i < 10; ++i) {
+    table.insert({Value::integer(i), Value::text("p"), Value::integer(i)});
+  }
+  table.create_index("ord", 2, Index::Kind::kOrdered);
+  const Index* index = table.find_index_on(2);
+  const Value lo = Value::integer(7);
+  EXPECT_EQ(index->range_open(&lo, nullptr).size(), 3u);  // 7, 8, 9
+  const Value hi = Value::integer(2);
+  EXPECT_EQ(index->range_open(nullptr, &hi).size(), 3u);  // 0, 1, 2
+  EXPECT_EQ(index->range_open(nullptr, nullptr).size(), 10u);
+}

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "db/value.hpp"
+#include "support/error.hpp"
+
+namespace kdb = kojak::db;
+using kdb::Value;
+using kdb::ValueType;
+using kojak::support::EvalError;
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_EQ(Value::null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::null().is_null());
+  EXPECT_EQ(Value::boolean(true).type(), ValueType::kBool);
+  EXPECT_TRUE(Value::boolean(true).as_bool());
+  EXPECT_EQ(Value::integer(-5).as_int(), -5);
+  EXPECT_DOUBLE_EQ(Value::real(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::text("hi").as_string(), "hi");
+  EXPECT_EQ(Value::datetime(1000).type(), ValueType::kDateTime);
+  EXPECT_EQ(Value::datetime(1000).as_datetime(), 1000);
+}
+
+TEST(Value, IntIsNotDateTime) {
+  EXPECT_EQ(Value::integer(5).type(), ValueType::kInt);
+  EXPECT_THROW((void)Value::integer(5).as_datetime(), EvalError);
+  EXPECT_THROW((void)Value::datetime(5).as_int(), EvalError);
+}
+
+TEST(Value, AsDoubleAcceptsInt) {
+  EXPECT_DOUBLE_EQ(Value::integer(4).as_double(), 4.0);
+  EXPECT_THROW((void)Value::text("x").as_double(), EvalError);
+}
+
+TEST(Value, CheckedAccessorsThrow) {
+  EXPECT_THROW((void)Value::integer(1).as_bool(), EvalError);
+  EXPECT_THROW((void)Value::real(1).as_string(), EvalError);
+  EXPECT_THROW((void)Value::null().as_int(), EvalError);
+}
+
+TEST(Value, CompareSqlNumericCrossType) {
+  const auto cmp = Value::compare_sql(Value::integer(2), Value::real(2.0));
+  ASSERT_TRUE(cmp.has_value());
+  EXPECT_EQ(*cmp, 0);
+  EXPECT_LT(*Value::compare_sql(Value::integer(1), Value::real(1.5)), 0);
+  EXPECT_GT(*Value::compare_sql(Value::real(3.5), Value::integer(3)), 0);
+}
+
+TEST(Value, CompareSqlNullIsUnknown) {
+  EXPECT_FALSE(Value::compare_sql(Value::null(), Value::integer(1)).has_value());
+  EXPECT_FALSE(Value::compare_sql(Value::text("x"), Value::null()).has_value());
+}
+
+TEST(Value, CompareSqlStringsAndBools) {
+  EXPECT_LT(*Value::compare_sql(Value::text("abc"), Value::text("abd")), 0);
+  EXPECT_EQ(*Value::compare_sql(Value::text("x"), Value::text("x")), 0);
+  EXPECT_LT(*Value::compare_sql(Value::boolean(false), Value::boolean(true)), 0);
+  EXPECT_LT(*Value::compare_sql(Value::datetime(10), Value::datetime(20)), 0);
+}
+
+TEST(Value, CompareSqlCrossTypeThrows) {
+  EXPECT_THROW((void)Value::compare_sql(Value::text("1"), Value::integer(1)),
+               EvalError);
+  EXPECT_THROW((void)Value::compare_sql(Value::boolean(true), Value::integer(1)),
+               EvalError);
+}
+
+TEST(Value, TotalOrderNullFirst) {
+  EXPECT_LT(Value::compare_total(Value::null(), Value::integer(-100)), 0);
+  EXPECT_EQ(Value::compare_total(Value::null(), Value::null()), 0);
+  EXPECT_GT(Value::compare_total(Value::text(""), Value::integer(5)), 0);
+}
+
+TEST(Value, TotalOrderNumericMixes) {
+  EXPECT_EQ(Value::compare_total(Value::integer(2), Value::real(2.0)), 0);
+  EXPECT_LT(Value::compare_total(Value::integer(1), Value::real(1.25)), 0);
+}
+
+TEST(Value, HashConsistentWithTotalEquality) {
+  EXPECT_EQ(Value::integer(2).hash(), Value::real(2.0).hash());
+  EXPECT_EQ(Value::text("abc").hash(), Value::text("abc").hash());
+  EXPECT_TRUE(Value::integer(2).equals_total(Value::real(2.0)));
+}
+
+TEST(Value, DisplayForms) {
+  EXPECT_EQ(Value::null().to_display(), "NULL");
+  EXPECT_EQ(Value::boolean(true).to_display(), "true");
+  EXPECT_EQ(Value::integer(-3).to_display(), "-3");
+  EXPECT_EQ(Value::text("t").to_display(), "t");
+  EXPECT_EQ(Value::datetime(0).to_display(), "1970-01-01 00:00:00");
+}
+
+TEST(Value, SqlLiteralRoundTripMarkers) {
+  EXPECT_EQ(Value::integer(7).to_sql_literal(), "7");
+  EXPECT_EQ(Value::real(2.0).to_sql_literal(), "2.0");  // forced float marker
+  EXPECT_EQ(Value::text("o'x").to_sql_literal(), "'o''x'");
+  EXPECT_EQ(Value::boolean(false).to_sql_literal(), "FALSE");
+  EXPECT_EQ(Value::null().to_sql_literal(), "NULL");
+  EXPECT_EQ(Value::datetime(0).to_sql_literal(),
+            "DATETIME '1970-01-01 00:00:00'");
+}
+
+TEST(Value, CoerceRules) {
+  EXPECT_EQ(Value::integer(3).coerce_to(ValueType::kDouble).type(),
+            ValueType::kDouble);
+  EXPECT_EQ(Value::integer(3).coerce_to(ValueType::kDateTime).type(),
+            ValueType::kDateTime);
+  EXPECT_EQ(Value::datetime(3).coerce_to(ValueType::kInt).type(),
+            ValueType::kInt);
+  EXPECT_TRUE(Value::null().coerce_to(ValueType::kString).is_null());
+  EXPECT_THROW((void)Value::real(1.5).coerce_to(ValueType::kInt), EvalError);
+  EXPECT_THROW((void)Value::text("x").coerce_to(ValueType::kInt), EvalError);
+}
+
+TEST(Value, NumericBinop) {
+  EXPECT_EQ(kdb::numeric_binop('+', Value::integer(2), Value::integer(3)).as_int(), 5);
+  EXPECT_EQ(kdb::numeric_binop('*', Value::integer(-2), Value::integer(3)).as_int(), -6);
+  EXPECT_DOUBLE_EQ(
+      kdb::numeric_binop('/', Value::integer(1), Value::integer(2)).as_double(),
+      0.5);  // division always real
+  EXPECT_DOUBLE_EQ(
+      kdb::numeric_binop('+', Value::real(0.5), Value::integer(1)).as_double(),
+      1.5);
+  EXPECT_EQ(kdb::numeric_binop('%', Value::integer(7), Value::integer(3)).as_int(), 1);
+}
+
+TEST(Value, NumericBinopNullPropagates) {
+  EXPECT_TRUE(kdb::numeric_binop('+', Value::null(), Value::integer(1)).is_null());
+}
+
+TEST(Value, NumericBinopErrors) {
+  EXPECT_THROW((void)kdb::numeric_binop('/', Value::integer(1), Value::integer(0)),
+               EvalError);
+  EXPECT_THROW((void)kdb::numeric_binop('%', Value::integer(1), Value::integer(0)),
+               EvalError);
+  EXPECT_THROW((void)kdb::numeric_binop('-', Value::text("a"), Value::integer(1)),
+               EvalError);
+}
+
+TEST(Value, StringConcatViaPlus) {
+  EXPECT_EQ(kdb::numeric_binop('+', Value::text("a"), Value::text("b")).as_string(),
+            "ab");
+}
+
+// ---------------------------------------------------------------------------
+// DateTime civil conversions
+
+TEST(DateTime, FormatKnownInstants) {
+  EXPECT_EQ(kdb::format_datetime(0), "1970-01-01 00:00:00");
+  EXPECT_EQ(kdb::format_datetime(86399), "1970-01-01 23:59:59");
+  EXPECT_EQ(kdb::format_datetime(86400), "1970-01-02 00:00:00");
+  EXPECT_EQ(kdb::format_datetime(941806800), "1999-11-05 13:00:00");
+}
+
+TEST(DateTime, ParseFormats) {
+  EXPECT_EQ(kdb::parse_datetime("1970-01-01 00:00:00"), 0);
+  EXPECT_EQ(kdb::parse_datetime("1999-11-05 13:00:00"), 941806800);
+  EXPECT_EQ(kdb::parse_datetime("1999-11-05"), 941760000);
+}
+
+TEST(DateTime, ParseRejectsMalformed) {
+  EXPECT_FALSE(kdb::parse_datetime("not a date").has_value());
+  EXPECT_FALSE(kdb::parse_datetime("1999-13-05").has_value());
+  EXPECT_FALSE(kdb::parse_datetime("1999-11-05 25:00:00").has_value());
+  EXPECT_FALSE(kdb::parse_datetime("1999-11-05T13:00:00").has_value());
+  EXPECT_FALSE(kdb::parse_datetime("").has_value());
+}
+
+TEST(DateTime, RoundTripSweep) {
+  // Sweep across leap years and month boundaries.
+  for (std::int64_t t = -1000000000; t <= 2000000000; t += 86400 * 37 + 12345) {
+    const std::string text = kdb::format_datetime(t);
+    const auto parsed = kdb::parse_datetime(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(*parsed, t) << text;
+  }
+}
+
+TEST(DateTime, LeapDay) {
+  const auto t = kdb::parse_datetime("2000-02-29 12:00:00");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(kdb::format_datetime(*t), "2000-02-29 12:00:00");
+}
+
+TEST(TypeNames, ParseTypeName) {
+  EXPECT_EQ(kdb::parse_type_name("INTEGER"), ValueType::kInt);
+  EXPECT_EQ(kdb::parse_type_name("bigint"), ValueType::kInt);
+  EXPECT_EQ(kdb::parse_type_name("DOUBLE"), ValueType::kDouble);
+  EXPECT_EQ(kdb::parse_type_name("VarChar"), ValueType::kString);
+  EXPECT_EQ(kdb::parse_type_name("BOOLEAN"), ValueType::kBool);
+  EXPECT_EQ(kdb::parse_type_name("TIMESTAMP"), ValueType::kDateTime);
+  EXPECT_FALSE(kdb::parse_type_name("BLOB").has_value());
+}

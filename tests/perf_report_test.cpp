@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "perf/report_io.hpp"
+#include "perf/simulator.hpp"
+#include "perf/workloads.hpp"
+#include "support/error.hpp"
+
+namespace perf = kojak::perf;
+using kojak::support::ImportError;
+
+namespace {
+
+perf::ExperimentData sample_experiment() {
+  return perf::simulate_experiment(perf::workloads::imbalanced_ocean(), {1, 4});
+}
+
+void expect_equal(const perf::ExperimentData& a, const perf::ExperimentData& b) {
+  EXPECT_EQ(a.structure.program_name, b.structure.program_name);
+  EXPECT_EQ(a.structure.compilation_time, b.structure.compilation_time);
+  EXPECT_EQ(a.structure.source_code, b.structure.source_code);
+  ASSERT_EQ(a.structure.functions.size(), b.structure.functions.size());
+  for (std::size_t f = 0; f < a.structure.functions.size(); ++f) {
+    EXPECT_EQ(a.structure.functions[f].name, b.structure.functions[f].name);
+    ASSERT_EQ(a.structure.functions[f].regions.size(),
+              b.structure.functions[f].regions.size());
+    for (std::size_t r = 0; r < a.structure.functions[f].regions.size(); ++r) {
+      const auto& ra = a.structure.functions[f].regions[r];
+      const auto& rb = b.structure.functions[f].regions[r];
+      EXPECT_EQ(ra.name, rb.name);
+      EXPECT_EQ(ra.kind, rb.kind);
+      EXPECT_EQ(ra.parent, rb.parent);
+    }
+  }
+  ASSERT_EQ(a.structure.call_sites.size(), b.structure.call_sites.size());
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    const perf::RunResult& ra = a.runs[i];
+    const perf::RunResult& rb = b.runs[i];
+    EXPECT_EQ(ra.nope, rb.nope);
+    EXPECT_EQ(ra.clockspeed_mhz, rb.clockspeed_mhz);
+    EXPECT_EQ(ra.start_time, rb.start_time);
+    ASSERT_EQ(ra.regions.size(), rb.regions.size());
+    for (std::size_t r = 0; r < ra.regions.size(); ++r) {
+      EXPECT_EQ(ra.regions[r].region, rb.regions[r].region);
+      EXPECT_DOUBLE_EQ(ra.regions[r].excl_ms, rb.regions[r].excl_ms);
+      EXPECT_DOUBLE_EQ(ra.regions[r].incl_ms, rb.regions[r].incl_ms);
+      EXPECT_DOUBLE_EQ(ra.regions[r].ovhd_ms, rb.regions[r].ovhd_ms);
+      ASSERT_EQ(ra.regions[r].typed_ms.size(), rb.regions[r].typed_ms.size());
+      for (std::size_t t = 0; t < ra.regions[r].typed_ms.size(); ++t) {
+        EXPECT_EQ(ra.regions[r].typed_ms[t].first,
+                  rb.regions[r].typed_ms[t].first);
+        EXPECT_DOUBLE_EQ(ra.regions[r].typed_ms[t].second,
+                         rb.regions[r].typed_ms[t].second);
+      }
+    }
+    ASSERT_EQ(ra.calls.size(), rb.calls.size());
+    for (std::size_t c = 0; c < ra.calls.size(); ++c) {
+      EXPECT_EQ(ra.calls[c].site_index, rb.calls[c].site_index);
+      EXPECT_DOUBLE_EQ(ra.calls[c].calls.mean, rb.calls[c].calls.mean);
+      EXPECT_DOUBLE_EQ(ra.calls[c].calls.stddev, rb.calls[c].calls.stddev);
+      EXPECT_DOUBLE_EQ(ra.calls[c].time_ms.min, rb.calls[c].time_ms.min);
+      EXPECT_DOUBLE_EQ(ra.calls[c].time_ms.max, rb.calls[c].time_ms.max);
+      EXPECT_EQ(ra.calls[c].time_ms.min_pe, rb.calls[c].time_ms.min_pe);
+      EXPECT_EQ(ra.calls[c].time_ms.max_pe, rb.calls[c].time_ms.max_pe);
+    }
+  }
+}
+
+}  // namespace
+
+TEST(PeStats, FromVector) {
+  const perf::PeStats stats = perf::PeStats::from({4.0, 1.0, 7.0, 4.0});
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 7.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 4.0);
+  EXPECT_EQ(stats.min_pe, 1u);
+  EXPECT_EQ(stats.max_pe, 2u);
+  EXPECT_NEAR(stats.stddev, 2.449489742783178, 1e-12);
+}
+
+TEST(ReportIo, RoundTripExact) {
+  const perf::ExperimentData original = sample_experiment();
+  const std::string text = perf::write_report(original);
+  const perf::ExperimentData parsed = perf::parse_report(text);
+  expect_equal(original, parsed);
+}
+
+TEST(ReportIo, RoundTripTwiceIsStable) {
+  const perf::ExperimentData original = sample_experiment();
+  const std::string once = perf::write_report(original);
+  const std::string twice = perf::write_report(perf::parse_report(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(ReportIo, ToleratesCommentsAndBlankLines) {
+  const perf::ExperimentData original = sample_experiment();
+  std::string text = perf::write_report(original);
+  // Inject comments/blank lines between records (not inside the source block).
+  const std::size_t pos = text.find("FUNCTION");
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos, "# a comment\n\n   \n");
+  const perf::ExperimentData parsed = perf::parse_report(text);
+  expect_equal(original, parsed);
+}
+
+TEST(ReportIo, ProgramNameWithSpaces) {
+  perf::ExperimentData data = sample_experiment();
+  data.structure.program_name = "ocean sim v2";
+  const perf::ExperimentData parsed =
+      perf::parse_report(perf::write_report(data));
+  EXPECT_EQ(parsed.structure.program_name, "ocean sim v2");
+}
+
+TEST(ReportIo, EmptyRunsSection) {
+  perf::ExperimentData data = sample_experiment();
+  data.runs.clear();
+  const perf::ExperimentData parsed =
+      perf::parse_report(perf::write_report(data));
+  EXPECT_TRUE(parsed.runs.empty());
+  EXPECT_EQ(parsed.structure.functions.size(), data.structure.functions.size());
+}
+
+// ---------------------------------------------------------------------------
+// Malformed inputs ("parsing awkward" is where the substrate must be solid)
+
+struct BadReport {
+  const char* label;
+  const char* mutation_from;
+  const char* mutation_to;
+};
+
+class ReportParserError : public ::testing::TestWithParam<BadReport> {};
+
+TEST_P(ReportParserError, RejectsWithLineInfo) {
+  std::string text = perf::write_report(sample_experiment());
+  const std::string from = GetParam().mutation_from;
+  const std::size_t pos = text.find(from);
+  ASSERT_NE(pos, std::string::npos) << "mutation anchor missing: " << from;
+  text.replace(pos, from.size(), GetParam().mutation_to);
+  try {
+    (void)perf::parse_report(text);
+    FAIL() << "expected ImportError for " << GetParam().label;
+  } catch (const ImportError& e) {
+    EXPECT_NE(std::string(e.what()).find("report line"), std::string::npos)
+        << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mutations, ReportParserError,
+    ::testing::Values(
+        BadReport{"bad_magic", "APPRENTICE REPORT v1", "APPRENTICE REPORT v9"},
+        BadReport{"missing_program", "PROGRAM ", "PROGRAMME "},
+        BadReport{"bad_compiled", "COMPILED ", "COMPILED x"},
+        BadReport{"bad_kind", "kind=Loop", "kind=Spiral"},
+        BadReport{"bad_typed", "TYPED Barrier", "TYPED Barrieri"},
+        BadReport{"bad_nope", "RUN nope=1 ", "RUN nope=one "},
+        BadReport{"bad_rtime_number", "excl=", "excl=abc"},
+        BadReport{"bad_site_key", "CTIME site=", "CTIME sight="}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(ReportParserError, TruncatedFile) {
+  std::string text = perf::write_report(sample_experiment());
+  text.resize(text.size() / 2);
+  EXPECT_THROW((void)perf::parse_report(text), ImportError);
+}
+
+TEST(ReportParserError, SiteIndexOutOfRange) {
+  std::string text = perf::write_report(sample_experiment());
+  const std::size_t pos = text.find("CTIME site=");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("CTIME site=0").size(), "CTIME site=99");
+  EXPECT_THROW((void)perf::parse_report(text), ImportError);
+}
+
+TEST(ReportParserError, EmptyInput) {
+  EXPECT_THROW((void)perf::parse_report(""), ImportError);
+}

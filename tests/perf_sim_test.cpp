@@ -1,0 +1,382 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "perf/simulator.hpp"
+#include "perf/workloads.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace perf = kojak::perf;
+using kojak::support::EvalError;
+
+namespace {
+
+double typed_of(const perf::RegionTiming& timing, perf::TimingType type) {
+  for (const auto& [t, ms] : timing.typed_ms) {
+    if (t == type) return ms;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Timing types
+
+TEST(TimingTypes, TwentyFiveDistinctNames) {
+  std::set<std::string_view> names;
+  for (const perf::TimingType type : perf::all_timing_types()) {
+    names.insert(perf::to_string(type));
+  }
+  EXPECT_EQ(names.size(), perf::kTimingTypeCount);
+  EXPECT_EQ(perf::kTimingTypeCount, 25u);
+}
+
+TEST(TimingTypes, ParseRoundTrip) {
+  for (const perf::TimingType type : perf::all_timing_types()) {
+    const auto parsed = perf::parse_timing_type(perf::to_string(type));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, type);
+  }
+  EXPECT_FALSE(perf::parse_timing_type("NotAType").has_value());
+}
+
+TEST(TimingTypes, CategoriesArePartitionedSensibly) {
+  EXPECT_TRUE(perf::is_message_passing(perf::TimingType::kSendMsg));
+  EXPECT_TRUE(perf::is_io(perf::TimingType::kIORead));
+  EXPECT_TRUE(perf::is_synchronization(perf::TimingType::kBarrier));
+  EXPECT_FALSE(perf::is_io(perf::TimingType::kBarrier));
+  EXPECT_FALSE(perf::is_message_passing(perf::TimingType::kInstrumentation));
+}
+
+// ---------------------------------------------------------------------------
+// App model validation
+
+TEST(AppModel, NamedWorkloadsValidate) {
+  for (const auto& [name, factory] : perf::workloads::all_named()) {
+    EXPECT_NO_THROW(perf::validate(factory())) << name;
+  }
+}
+
+TEST(AppModel, RejectsUnknownCallee) {
+  perf::AppSpec app = perf::workloads::scalable_stencil();
+  perf::RegionSpec call;
+  call.name = "main.badcall";
+  call.kind = perf::RegionKind::kCall;
+  call.callee = "ghost";
+  app.functions[0].body.children.push_back(std::move(call));
+  EXPECT_THROW(perf::validate(app), EvalError);
+}
+
+TEST(AppModel, RejectsRecursion) {
+  perf::AppSpec app;
+  app.name = "rec";
+  perf::FunctionSpec main_fn;
+  main_fn.name = "main";
+  main_fn.body.name = "main";
+  main_fn.body.kind = perf::RegionKind::kFunction;
+  perf::RegionSpec call;
+  call.name = "main.self";
+  call.kind = perf::RegionKind::kCall;
+  call.callee = "main";
+  main_fn.body.children.push_back(std::move(call));
+  app.functions.push_back(std::move(main_fn));
+  EXPECT_THROW(perf::validate(app), EvalError);
+}
+
+TEST(AppModel, RejectsDuplicateRegionNames) {
+  perf::AppSpec app = perf::workloads::scalable_stencil();
+  auto& children = app.functions[0].body.children;
+  children.push_back(children.front());  // duplicate "main.init"
+  EXPECT_THROW(perf::validate(app), EvalError);
+}
+
+TEST(AppModel, RegionKindRoundTrip) {
+  for (const perf::RegionKind kind :
+       {perf::RegionKind::kFunction, perf::RegionKind::kLoop,
+        perf::RegionKind::kIfBlock, perf::RegionKind::kCall,
+        perf::RegionKind::kBasicBlock}) {
+    EXPECT_EQ(perf::parse_region_kind(perf::to_string(kind)), kind);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structure extraction
+
+TEST(Structure, OceanShape) {
+  const perf::ProgramStructure s =
+      perf::structure_of(perf::workloads::imbalanced_ocean());
+  EXPECT_EQ(s.program_name, "ocean_sim");
+  // main + physics_step + synthetic barrier function.
+  ASSERT_EQ(s.functions.size(), 3u);
+  EXPECT_EQ(s.functions.back().name, perf::kBarrierFunction);
+  // Call sites: main->physics_step, plus 2 barrier sites (step, checkpoint).
+  EXPECT_EQ(s.call_sites.size(), 3u);
+  EXPECT_FALSE(s.source_code.empty());
+  EXPECT_NE(s.source_code.find("SUBROUTINE main"), std::string::npos);
+}
+
+TEST(Structure, ParentLinks) {
+  const perf::ProgramStructure s =
+      perf::structure_of(perf::workloads::imbalanced_ocean());
+  const perf::StaticFunction* main_fn = s.find_function("main");
+  ASSERT_NE(main_fn, nullptr);
+  EXPECT_EQ(main_fn->regions.front().parent, "");
+  bool found = false;
+  for (const auto& region : main_fn->regions) {
+    if (region.name == "main.time_loop.step") {
+      EXPECT_EQ(region.parent, "main.time_loop");
+      EXPECT_EQ(region.kind, perf::RegionKind::kCall);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Simulation
+
+TEST(Simulator, DeterministicForSeed) {
+  const perf::AppSpec app = perf::workloads::imbalanced_ocean();
+  perf::SimulationOptions options;
+  options.seed = 42;
+  const perf::RunResult a = perf::simulate(app, 8, options);
+  const perf::RunResult b = perf::simulate(app, 8, options);
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (std::size_t i = 0; i < a.regions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.regions[i].incl_ms, b.regions[i].incl_ms);
+    EXPECT_DOUBLE_EQ(a.regions[i].excl_ms, b.regions[i].excl_ms);
+  }
+  ASSERT_EQ(a.calls.size(), b.calls.size());
+  for (std::size_t i = 0; i < a.calls.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.calls[i].time_ms.mean, b.calls[i].time_ms.mean);
+  }
+}
+
+TEST(Simulator, DifferentSeedsDiffer) {
+  const perf::AppSpec app = perf::workloads::imbalanced_ocean();
+  perf::SimulationOptions a_options, b_options;
+  a_options.seed = 1;
+  b_options.seed = 2;
+  const perf::RunResult a = perf::simulate(app, 8, a_options);
+  const perf::RunResult b = perf::simulate(app, 8, b_options);
+  // The noisy regions must differ somewhere.
+  double max_delta = 0;
+  for (std::size_t i = 0; i < a.regions.size(); ++i) {
+    max_delta = std::max(max_delta,
+                         std::abs(a.regions[i].incl_ms - b.regions[i].incl_ms));
+  }
+  EXPECT_GT(max_delta, 1e-9);
+}
+
+TEST(Simulator, PooledExecutionIsBitIdentical) {
+  const perf::AppSpec app = perf::workloads::imbalanced_ocean();
+  perf::SimulationOptions serial_options;
+  serial_options.seed = 7;
+  perf::SimulationOptions pooled_options = serial_options;
+  kojak::support::ThreadPool pool(4);
+  pooled_options.pool = &pool;
+  const perf::RunResult a = perf::simulate(app, 32, serial_options);
+  const perf::RunResult b = perf::simulate(app, 32, pooled_options);
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (std::size_t i = 0; i < a.regions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.regions[i].incl_ms, b.regions[i].incl_ms) << i;
+    EXPECT_DOUBLE_EQ(a.regions[i].ovhd_ms, b.regions[i].ovhd_ms) << i;
+  }
+}
+
+TEST(Simulator, InclusiveContainsChildren) {
+  const perf::RunResult run =
+      perf::simulate(perf::workloads::imbalanced_ocean(), 8);
+  const perf::RegionTiming* parent = run.find_region("main.time_loop");
+  const perf::RegionTiming* child = run.find_region("main.time_loop.halo");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_GT(parent->incl_ms, child->incl_ms);
+  const perf::RegionTiming* root = run.find_region("main");
+  ASSERT_NE(root, nullptr);
+  EXPECT_GE(root->incl_ms, parent->incl_ms);
+}
+
+TEST(Simulator, OvhdEqualsTypedSumsRecursively) {
+  const perf::RunResult run =
+      perf::simulate(perf::workloads::imbalanced_ocean(), 4);
+  // For leaf regions, ovhd == sum of typed entries.
+  const perf::RegionTiming* halo = run.find_region("main.time_loop.halo");
+  ASSERT_NE(halo, nullptr);
+  double typed_sum = 0;
+  for (const auto& [type, ms] : halo->typed_ms) typed_sum += ms;
+  EXPECT_NEAR(halo->ovhd_ms, typed_sum, 1e-9);
+}
+
+TEST(Simulator, ExclusiveIsComputeOnly) {
+  const perf::RunResult run =
+      perf::simulate(perf::workloads::scalable_stencil(), 4);
+  const perf::RegionTiming* update = run.find_region("main.sweep_loop.update");
+  ASSERT_NE(update, nullptr);
+  // Summed across PEs the parallel share stays ~constant (imbalance-mean 1).
+  EXPECT_NEAR(update->excl_ms, 1600.0, 1600.0 * 0.05);
+}
+
+TEST(Simulator, SerialWorkReplicates) {
+  const perf::RunResult p1 =
+      perf::simulate(perf::workloads::serial_bottleneck(), 1);
+  const perf::RunResult p8 =
+      perf::simulate(perf::workloads::serial_bottleneck(), 8);
+  const double setup1 = p1.find_region("main.setup")->excl_ms;
+  const double setup8 = p8.find_region("main.setup")->excl_ms;
+  // Replicated serial region: summed time grows ~linearly with P.
+  EXPECT_NEAR(setup8 / setup1, 8.0, 0.5);
+}
+
+TEST(Simulator, BarrierWaitGrowsWithImbalance) {
+  perf::AppSpec balanced = perf::workloads::imbalanced_ocean();
+  // Zero out the physics imbalance -> barrier waits collapse.
+  for (auto& fn : balanced.functions) {
+    const std::function<void(perf::RegionSpec&)> flatten =
+        [&](perf::RegionSpec& region) {
+          region.imbalance = 0.0;
+          region.noise = 0.0;
+          for (auto& child : region.children) flatten(child);
+        };
+    flatten(fn.body);
+  }
+  const perf::RunResult skewed =
+      perf::simulate(perf::workloads::imbalanced_ocean(), 16);
+  const perf::RunResult flat = perf::simulate(balanced, 16);
+  const double skewed_barrier =
+      typed_of(*skewed.find_region("main.time_loop.step"),
+               perf::TimingType::kBarrier);
+  const double flat_barrier = typed_of(
+      *flat.find_region("main.time_loop.step"), perf::TimingType::kBarrier);
+  EXPECT_GT(skewed_barrier, 10.0 * std::max(flat_barrier, 1e-9));
+}
+
+TEST(Simulator, SerializedIoChargesIdleWait) {
+  const perf::RunResult run = perf::simulate(perf::workloads::io_heavy(), 8);
+  const perf::RegionTiming* dump = run.find_region("main.dump");
+  ASSERT_NE(dump, nullptr);
+  EXPECT_GT(typed_of(*dump, perf::TimingType::kIOWrite), 0.0);
+  EXPECT_GT(typed_of(*dump, perf::TimingType::kIdleWait), 0.0);
+  // 7 of 8 PEs wait for PE0's write.
+  EXPECT_NEAR(typed_of(*dump, perf::TimingType::kIdleWait) /
+                  typed_of(*dump, perf::TimingType::kIOWrite),
+              7.0, 0.2);
+}
+
+TEST(Simulator, SinglePeHasNoBarrierImbalance) {
+  const perf::RunResult run =
+      perf::simulate(perf::workloads::imbalanced_ocean(), 1);
+  for (const perf::CallSiteTiming& call : run.calls) {
+    EXPECT_DOUBLE_EQ(call.time_ms.stddev, 0.0);
+  }
+}
+
+TEST(Simulator, CallSiteStatsShapeForBarriers) {
+  const perf::AppSpec app = perf::workloads::imbalanced_ocean();
+  const perf::ProgramStructure s = perf::structure_of(app);
+  const perf::RunResult run = perf::simulate(app, 16);
+  ASSERT_EQ(run.calls.size(), s.call_sites.size());
+  for (std::size_t i = 0; i < run.calls.size(); ++i) {
+    if (s.call_sites[i].callee != perf::kBarrierFunction) continue;
+    const perf::CallSiteTiming& call = run.calls[i];
+    EXPECT_GT(call.calls.mean, 0.0);
+    EXPECT_GE(call.time_ms.max, call.time_ms.mean);
+    EXPECT_GE(call.time_ms.mean, call.time_ms.min);
+    EXPECT_LT(call.time_ms.min_pe, 16u);
+    EXPECT_LT(call.time_ms.max_pe, 16u);
+  }
+}
+
+TEST(Simulator, ImbalancedBarrierCallSiteHasHighStdev) {
+  const perf::AppSpec app = perf::workloads::imbalanced_ocean();
+  const perf::ProgramStructure s = perf::structure_of(app);
+  const perf::RunResult run = perf::simulate(app, 16);
+  bool checked = false;
+  for (std::size_t i = 0; i < run.calls.size(); ++i) {
+    if (s.call_sites[i].callee == perf::kBarrierFunction &&
+        s.call_sites[i].calling_region == "main.time_loop.step") {
+      // The paper's LoadImbalance trigger: Dev > 0.25 * Mean.
+      EXPECT_GT(run.calls[i].time_ms.stddev, 0.25 * run.calls[i].time_ms.mean);
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(Simulator, RejectsBadNope) {
+  EXPECT_THROW((void)perf::simulate(perf::workloads::scalable_stencil(), 0),
+               EvalError);
+}
+
+TEST(Simulator, ExperimentPackagesRuns) {
+  const perf::ExperimentData data =
+      perf::simulate_experiment(perf::workloads::scalable_stencil(), {1, 2, 4});
+  EXPECT_EQ(data.runs.size(), 3u);
+  EXPECT_EQ(data.runs[0].nope, 1);
+  EXPECT_EQ(data.runs[2].nope, 4);
+  // Start times are distinct and ordered.
+  EXPECT_LT(data.runs[0].start_time, data.runs[1].start_time);
+  EXPECT_GT(data.structure.compilation_time, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Scaling shape (T5 groundwork)
+
+TEST(Scaling, ScalableAppHasLowCostGrowth) {
+  const perf::AppSpec app = perf::workloads::scalable_stencil();
+  const double d1 = perf::simulate(app, 1).find_region("main")->incl_ms;
+  const double d16 = perf::simulate(app, 16).find_region("main")->incl_ms;
+  // Summed duration growth (lost cycles) stays small for the control app.
+  EXPECT_LT((d16 - d1) / d1, 0.25);
+}
+
+TEST(Scaling, ImbalancedAppCostGrows) {
+  const perf::AppSpec app = perf::workloads::imbalanced_ocean();
+  const double d1 = perf::simulate(app, 1).find_region("main")->incl_ms;
+  const double d32 = perf::simulate(app, 32).find_region("main")->incl_ms;
+  EXPECT_GT((d32 - d1) / d1, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Event traces
+
+TEST(Trace, OrderedAndBalanced) {
+  const auto trace = perf::generate_trace(perf::workloads::imbalanced_ocean(), 4);
+  ASSERT_FALSE(trace.empty());
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].t_ms, trace[i].t_ms);
+  }
+  // Enter/exit counts match per region.
+  std::map<std::string, int> balance;
+  for (const auto& event : trace) {
+    if (event.kind == perf::EventKind::kEnter) balance[event.region]++;
+    if (event.kind == perf::EventKind::kExit) balance[event.region]--;
+  }
+  for (const auto& [region, count] : balance) {
+    EXPECT_EQ(count, 0) << region;
+  }
+}
+
+TEST(Trace, LengthScalesWithPeCount) {
+  const perf::AppSpec app = perf::workloads::imbalanced_ocean();
+  const auto small = perf::generate_trace(app, 2);
+  const auto large = perf::generate_trace(app, 16);
+  EXPECT_GT(large.size(), 4 * small.size());
+}
+
+TEST(Trace, ContainsBarrierEpisodes) {
+  const auto trace = perf::generate_trace(perf::workloads::imbalanced_ocean(), 4);
+  std::size_t enters = 0;
+  std::size_t exits = 0;
+  for (const auto& event : trace) {
+    if (event.kind == perf::EventKind::kBarrierEnter) ++enters;
+    if (event.kind == perf::EventKind::kBarrierExit) ++exits;
+  }
+  EXPECT_GT(enters, 0u);
+  EXPECT_EQ(enters, exits);
+}
