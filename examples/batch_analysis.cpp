@@ -1,0 +1,96 @@
+// Batch analysis: the whole experiment — every test run × two property
+// suites — analyzed in one parallel pass.
+//
+//   1. Simulate a scaling study (1..32 PEs) of the imbalanced ocean code.
+//   2. Import it once into the relational database.
+//   3. Run the batch engine: worker threads draw sessions from a connection
+//      pool, share one compiled-plan cache, and produce per-run reports
+//      plus a cross-run summary (worst contexts, scaling regressions).
+//   4. Show that the parallel batch is deterministic: same bytes as the
+//      one-threaded batch.
+
+#include <iostream>
+
+#include "cosy/batch.hpp"
+#include "cosy/db_import.hpp"
+#include "cosy/schema_gen.hpp"
+#include "cosy/specs.hpp"
+#include "cosy/store_builder.hpp"
+#include "perf/simulator.hpp"
+#include "perf/workloads.hpp"
+
+int main() {
+  using namespace kojak;
+
+  // 1. A scaling study: five runs of the flagship workload.
+  const perf::AppSpec app = perf::workloads::imbalanced_ocean();
+  const perf::ExperimentData data =
+      perf::simulate_experiment(app, {1, 4, 8, 16, 32});
+  std::cout << "simulated " << data.runs.size() << " test runs of " << app.name
+            << "\n";
+
+  // 2. Specification, object store, relational database.
+  const asl::Model model = cosy::load_cosy_model(/*extended=*/true);
+  asl::ObjectStore store(model);
+  const cosy::StoreHandles handles = cosy::build_store(store, data);
+  db::Database database;
+  cosy::create_schema(database, model);
+  {
+    db::Connection import_conn(database, db::ConnectionProfile::in_memory());
+    cosy::import_store(import_conn, store);
+  }
+
+  // 3. The batch engine on a pooled Postgres-profile backend: 4 workers,
+  //    4 sessions, one shared plan cache, two suites per run.
+  db::ConnectionPool pool(database, db::ConnectionProfile::postgres(), 4);
+  cosy::BatchAnalyzer batch(model, store, handles, &pool);
+
+  const std::vector<cosy::PropertySuite> suites = {
+      {"paper",
+       {"SublinearSpeedup", "MeasuredCost", "UnmeasuredCost", "SyncCost",
+        "LoadImbalance"}},
+      {"extended",
+       {"IOCost", "MessagePassingCost", "CollectiveCost", "CommunicationBound",
+        "SmallMessageOverhead", "InstrumentationOverhead", "IdleWaitCost",
+        "ImbalancedPassCounts"}},
+  };
+  std::vector<std::size_t> runs(data.runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) runs[i] = i;
+
+  cosy::BatchConfig config;
+  config.threads = 4;
+  const cosy::BatchResult result = batch.analyze_runs(runs, suites, config);
+
+  std::cout << "\n" << result.summary.to_table() << "\n";
+  std::cout << "per-run bottlenecks (paper suite):\n";
+  for (const std::size_t run : runs) {
+    const cosy::AnalysisReport* report = result.report_for(run, "paper");
+    if (report == nullptr || report->bottleneck() == nullptr) continue;
+    std::cout << "  run " << run << " (" << report->pe_count
+              << " PEs): " << report->bottleneck()->property << " @ "
+              << report->bottleneck()->context << "  severity "
+              << report->bottleneck()->result.severity << "\n";
+  }
+
+  // 4. Determinism: a single-threaded batch produces identical reports.
+  db::ConnectionPool serial_pool(database, db::ConnectionProfile::postgres(),
+                                 1);
+  cosy::BatchAnalyzer serial_batch(model, store, handles, &serial_pool);
+  cosy::BatchConfig serial_config = config;
+  serial_config.threads = 1;
+  const cosy::BatchResult serial =
+      serial_batch.analyze_runs(runs, suites, serial_config);
+  bool identical = serial.items.size() == result.items.size();
+  for (std::size_t i = 0; identical && i < result.items.size(); ++i) {
+    identical = result.items[i].report.to_table(1000) ==
+                serial.items[i].report.to_table(1000);
+  }
+  std::cout << "\n4-thread batch identical to 1-thread batch: "
+            << (identical ? "yes" : "NO") << "\n";
+  std::cout << "backend speedup (serial-equivalent / makespan): "
+            << result.summary.backend_total_ms /
+                   result.summary.backend_makespan_ms
+            << "x over " << result.summary.pooled_connections
+            << " pooled sessions\n";
+  return identical ? 0 : 1;
+}

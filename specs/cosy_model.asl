@@ -1,0 +1,91 @@
+// COSY performance data model (paper §4.1, Figure 2).
+//
+// One Program has many ProgVersions; each version was exercised by several
+// TestRuns and consists of Functions containing a static Region tree.
+// Dynamic data is attached to the static structure as summary objects
+// (TotalTiming / TypedTiming per region, CallTiming per call site), one per
+// test run. The model is inheritance-free, which keeps every class a
+// concrete table for the SQL strategies.
+
+class Program {
+  String Name;
+  setof ProgVersion Versions;
+}
+
+class SourceCode {
+  String Text;
+}
+
+class ProgVersion {
+  DateTime Compilation;
+  SourceCode Code;
+  setof TestRun Runs;
+  setof Function Functions;
+}
+
+class TestRun {
+  DateTime Start;
+  int NoPe;
+  int Clockspeed;
+}
+
+class Function {
+  String Name;
+  setof Region Regions;
+  setof FunctionCall Calls;
+}
+
+class Region {
+  String Name;
+  String Kind;
+  Region ParentRegion;
+  setof TotalTiming TotTimes;
+  setof TypedTiming TypTimes;
+}
+
+// A static call site, owned by the *callee*'s Calls set (§4.1); it points
+// back to the calling function and the region the call appears in.
+class FunctionCall {
+  Function Caller;
+  Region CallingReg;
+  setof CallTiming Sums;
+}
+
+class TotalTiming {
+  TestRun Run;
+  float Excl;
+  float Incl;
+  float Ovhd;
+}
+
+class TypedTiming {
+  TestRun Run;
+  TimingType Type;
+  float Time;
+}
+
+class CallTiming {
+  TestRun Run;
+  float MinCalls;
+  float MaxCalls;
+  float MeanCalls;
+  float StdevCalls;
+  int MinCallsPe;
+  int MaxCallsPe;
+  float MinTime;
+  float MaxTime;
+  float MeanTime;
+  float StdevTime;
+  int MinTimePe;
+  int MaxTimePe;
+}
+
+// The 25 typed-overhead categories of the Apprentice substrate ("Apprentice
+// knows 25 such types", §4.1). Ordinals must match perf::TimingType; a test
+// pins the two lists together.
+enum TimingType {
+  Barrier, SendMsg, RecvMsg, BroadcastMsg, ReduceMsg, GatherMsg, ScatterMsg,
+  MsgWait, IORead, IOWrite, IOOpen, IOClose, IOSeek, ShmemGet, ShmemPut,
+  LockAcquire, LockRelease, CriticalSection, Instrumentation, BufferCopy,
+  MsgPack, MsgUnpack, CacheMiss, PageFault, IdleWait
+};

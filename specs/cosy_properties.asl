@@ -1,0 +1,69 @@
+// The paper's property suite (§4.2, Figure 1): the five performance
+// properties COSY ships with, plus the helper functions they build on.
+// Severities are normalized by the duration of a basis region — by default
+// the whole program — so they are comparable across properties ("ranked
+// according to their severity").
+
+const float ImbalanceThreshold = 0.25;
+
+// The per-run timing summary of a region. UNIQUE fails (-> the property is
+// not applicable) when the region was not measured in that run.
+TotalTiming Summary(Region r, TestRun t) =
+    UNIQUE({s IN r.TotTimes WITH s.Run == t});
+
+float Duration(Region r, TestRun t) = Summary(r, t).Incl;
+
+// Figure 1: the total cost of a test run — how much longer the region took
+// than in the run with the fewest PEs (the reference run).
+Property SublinearSpeedup(Region r, TestRun t, Region Basis) {
+  LET TotalTiming MinPeSum = UNIQUE({sum IN r.TotTimes WITH sum.Run.NoPe ==
+        MIN(s.Run.NoPe WHERE s IN r.TotTimes)});
+      float TotalCost = Duration(r, t) - Duration(r, MinPeSum.Run);
+  IN
+  CONDITION: TotalCost > 0;
+  CONFIDENCE: 1;
+  SEVERITY: TotalCost / Duration(Basis, t);
+};
+
+// The share of the cost Apprentice measured directly (overhead time).
+Property MeasuredCost(Region r, TestRun t, Region Basis) {
+  LET float Cost = Summary(r, t).Ovhd;
+  IN
+  CONDITION: Cost > 0;
+  CONFIDENCE: 1;
+  SEVERITY: Cost / Duration(Basis, t);
+};
+
+// The remainder of the total cost that no instrumentation accounts for.
+Property UnmeasuredCost(Region r, TestRun t, Region Basis) {
+  LET TotalTiming MinPeSum = UNIQUE({sum IN r.TotTimes WITH sum.Run.NoPe ==
+        MIN(s.Run.NoPe WHERE s IN r.TotTimes)});
+      float Unmeasured = Duration(r, t) - Duration(r, MinPeSum.Run)
+          - Summary(r, t).Ovhd;
+  IN
+  CONDITION: Unmeasured > 0;
+  CONFIDENCE: 1;
+  SEVERITY: Unmeasured / Duration(Basis, t);
+};
+
+// Synchronization cost: total barrier time of the region in this run.
+Property SyncCost(Region r, TestRun t, Region Basis) {
+  LET float Barrier = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t
+        AND tt.Type == Barrier);
+  IN
+  CONDITION: Barrier > 0;
+  CONFIDENCE: 1;
+  SEVERITY: Barrier / Duration(Basis, t);
+};
+
+// Figure 1: the runtime of a called function varies too much across the
+// PEs — the classic load imbalance signature.
+Property LoadImbalance(FunctionCall Call, TestRun t, Region Basis) {
+  LET CallTiming ct = UNIQUE({c IN Call.Sums WITH c.Run == t});
+      float Dev = ct.StdevTime;
+      float Mean = ct.MeanTime;
+  IN
+  CONDITION: Dev > ImbalanceThreshold * Mean;
+  CONFIDENCE: 1;
+  SEVERITY: Mean / Duration(Basis, t);
+};

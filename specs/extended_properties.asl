@@ -1,0 +1,97 @@
+// Extended property suite: the retargetability claim of §6 made concrete.
+// Eight further bottleneck classes over the same data model, defined purely
+// in ASL — the analyzer, database schema, and SQL compiler are untouched.
+// TypedTime sums one Apprentice overhead category for a (region, run).
+
+const float CommBoundThreshold = 0.2;
+const float PackThreshold = 0.04;
+const float InstrumentationThreshold = 0.01;
+
+float TypedTime(Region r, TestRun t, TimingType ty) =
+    SUM(x.Time WHERE x IN r.TypTimes AND x.Run == t AND x.Type == ty);
+
+// File I/O time of the region.
+Property IOCost(Region r, TestRun t, Region Basis) {
+  LET float IO = TypedTime(r, t, IORead) + TypedTime(r, t, IOWrite)
+      + TypedTime(r, t, IOOpen) + TypedTime(r, t, IOClose)
+      + TypedTime(r, t, IOSeek);
+  IN
+  CONDITION: IO > 0;
+  CONFIDENCE: 1;
+  SEVERITY: IO / Duration(Basis, t);
+};
+
+// Point-to-point message passing time (transfer, waiting, marshalling).
+Property MessagePassingCost(Region r, TestRun t, Region Basis) {
+  LET float Msg = TypedTime(r, t, SendMsg) + TypedTime(r, t, RecvMsg)
+      + TypedTime(r, t, MsgWait) + TypedTime(r, t, MsgPack)
+      + TypedTime(r, t, MsgUnpack);
+  IN
+  CONDITION: Msg > 0;
+  CONFIDENCE: 1;
+  SEVERITY: Msg / Duration(Basis, t);
+};
+
+// Collective operation time (broadcast/reduce/gather/scatter).
+Property CollectiveCost(Region r, TestRun t, Region Basis) {
+  LET float Coll = TypedTime(r, t, BroadcastMsg) + TypedTime(r, t, ReduceMsg)
+      + TypedTime(r, t, GatherMsg) + TypedTime(r, t, ScatterMsg);
+  IN
+  CONDITION: Coll > 0;
+  CONFIDENCE: 1;
+  SEVERITY: Coll / Duration(Basis, t);
+};
+
+// The region spends a substantial share of its own duration communicating —
+// either point-to-point or collectively.
+Property CommunicationBound(Region r, TestRun t, Region Basis) {
+  LET float P2P = TypedTime(r, t, SendMsg) + TypedTime(r, t, RecvMsg)
+          + TypedTime(r, t, MsgWait);
+      float Coll = TypedTime(r, t, BroadcastMsg) + TypedTime(r, t, ReduceMsg)
+          + TypedTime(r, t, GatherMsg) + TypedTime(r, t, ScatterMsg);
+  IN
+  CONDITION: (p2p) P2P > CommBoundThreshold * Duration(r, t)
+          OR (coll) Coll > CommBoundThreshold * Duration(r, t);
+  CONFIDENCE: MAX((p2p) -> 0.9, (coll) -> 0.85);
+  SEVERITY: MAX((p2p) -> P2P / Duration(Basis, t),
+                (coll) -> Coll / Duration(Basis, t));
+};
+
+// Marshalling dominates: many small messages get packed and unpacked.
+Property SmallMessageOverhead(Region r, TestRun t, Region Basis) {
+  LET float Pack = TypedTime(r, t, MsgPack) + TypedTime(r, t, MsgUnpack);
+      float P2P = TypedTime(r, t, SendMsg) + TypedTime(r, t, RecvMsg)
+          + TypedTime(r, t, MsgWait);
+  IN
+  CONDITION: Pack > PackThreshold * P2P;
+  CONFIDENCE: 0.75;
+  SEVERITY: Pack / Duration(Basis, t);
+};
+
+// The monitoring itself perturbs the region noticeably.
+Property InstrumentationOverhead(Region r, TestRun t, Region Basis) {
+  LET float Instr = TypedTime(r, t, Instrumentation);
+  IN
+  CONDITION: Instr > InstrumentationThreshold * Duration(r, t);
+  CONFIDENCE: 0.7;
+  SEVERITY: Instr / Duration(Basis, t);
+};
+
+// PEs sit idle waiting for work.
+Property IdleWaitCost(Region r, TestRun t, Region Basis) {
+  LET float Idle = TypedTime(r, t, IdleWait);
+  IN
+  CONDITION: Idle > 0;
+  CONFIDENCE: 1;
+  SEVERITY: Idle / Duration(Basis, t);
+};
+
+// The *number* of calls varies across PEs: work distribution is skewed even
+// where the per-call time is uniform.
+Property ImbalancedPassCounts(FunctionCall Call, TestRun t, Region Basis) {
+  LET CallTiming ct = UNIQUE({c IN Call.Sums WITH c.Run == t});
+  IN
+  CONDITION: ct.StdevCalls > ImbalanceThreshold * ct.MeanCalls;
+  CONFIDENCE: 0.8;
+  SEVERITY: ct.MeanTime / Duration(Basis, t);
+};

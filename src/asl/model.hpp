@@ -129,6 +129,13 @@ class Model {
   /// Human-readable type name (for diagnostics and schema generation).
   [[nodiscard]] std::string type_name(const Type& type) const;
 
+  /// Content hash of the analyzed specification (classes, enums, constants,
+  /// functions, properties — including expression bodies). Two models
+  /// loaded from the same documents hash equal; any edit to a spec changes
+  /// the value. Caches keyed on model content (e.g. the compiled-plan cache
+  /// of the SQL evaluator) use this as their fingerprint.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
  private:
   friend class SemaBuilder;
 

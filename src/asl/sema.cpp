@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "asl/pretty.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
 
@@ -63,6 +64,71 @@ bool Model::is_subclass_of(std::uint32_t derived, std::uint32_t base) const {
     if (!info.base) return false;
     derived = *info.base;
   }
+}
+
+std::uint64_t Model::fingerprint() const {
+  // FNV-1a over a canonical rendering of everything the evaluators consult.
+  std::uint64_t hash = 1469598103934665603ull;
+  const auto mix = [&hash](std::string_view text) {
+    for (const char c : text) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;
+    }
+    hash ^= 0xff;
+    hash *= 1099511628211ull;
+  };
+  // Every record opens with a tag so flat name sequences cannot collide
+  // across section boundaries (e.g. one enum {a, F, b} vs. two enums).
+  for (const ClassInfo& cls : classes_) {
+    mix("class");
+    mix(cls.name);
+    for (const AttrInfo& attr : cls.attrs) {
+      mix(attr.name);
+      mix(type_name(attr.type));
+    }
+  }
+  for (const EnumInfo& e : enums_) {
+    mix("enum");
+    mix(e.name);
+    for (const std::string& member : e.members) mix(member);
+  }
+  for (const ConstInfo& c : constants_) {
+    mix("const");
+    mix(c.name);
+    mix(to_source(*c.value));
+  }
+  for (const FunctionInfo& fn : functions_) {
+    mix("function");
+    mix(fn.name);
+    for (const auto& [name, type] : fn.params) {
+      mix(name);
+      mix(type_name(type));
+    }
+    mix(to_source(*fn.body));
+  }
+  for (const PropertyInfo& prop : properties_) {
+    mix("property");
+    mix(prop.name);
+    for (const auto& [name, type] : prop.params) {
+      mix(name);
+      mix(type_name(type));
+    }
+    for (const LetInfo& let : prop.lets) {
+      mix(let.name);
+      mix(to_source(*let.init));
+    }
+    for (const ConditionInfo& cond : prop.conditions) {
+      mix(cond.id);
+      mix(to_source(*cond.pred));
+    }
+    for (const auto* arms : {&prop.confidence, &prop.severity}) {
+      for (const GuardedInfo& arm : *arms) {
+        mix(arm.guard);
+        mix(to_source(*arm.expr));
+      }
+    }
+  }
+  return hash;
 }
 
 std::string Model::type_name(const Type& type) const {

@@ -50,7 +50,7 @@ std::string AnalysisReport::to_table(std::size_t top_n) const {
                    support::format_double(f.result.severity, 4),
                    f.result.severity > problem_threshold ? "YES" : "no"});
   }
-  std::string out = support::cat("Analysis of ", program, " on ", nope,
+  std::string out = support::cat("Analysis of ", program, " on ", pe_count,
                                  " PEs (threshold ",
                                  support::format_double(problem_threshold, 3),
                                  ")\n");
@@ -136,6 +136,28 @@ std::vector<Context> enumerate_contexts(const asl::Model& model,
   return contexts;
 }
 
+/// Properties selected by the config: all of the model's, or the named
+/// suite (validated — a typo in a suite must not silently analyze nothing).
+std::vector<const asl::PropertyInfo*> select_properties(
+    const asl::Model& model, const AnalyzerConfig& config) {
+  std::vector<const asl::PropertyInfo*> selected;
+  if (config.properties.empty()) {
+    for (const asl::PropertyInfo& prop : model.properties()) {
+      selected.push_back(&prop);
+    }
+    return selected;
+  }
+  for (const std::string& name : config.properties) {
+    const asl::PropertyInfo* prop = model.find_property(name);
+    if (prop == nullptr) {
+      throw EvalError(support::cat("unknown property '", name,
+                                   "' in the configured suite"));
+    }
+    selected.push_back(prop);
+  }
+  return selected;
+}
+
 }  // namespace
 
 Analyzer::Analyzer(const asl::Model& model, const asl::ObjectStore& store,
@@ -177,12 +199,12 @@ AnalysisReport Analyzer::analyze(std::size_t run_index,
   if (handles_->program != asl::kNullObject) {
     report.program = store_->attr(handles_->program, "Name").as_string();
   }
-  report.nope = static_cast<int>(store_->attr(run, "NoPe").as_int());
+  report.pe_count = static_cast<int>(store_->attr(run, "NoPe").as_int());
 
   std::vector<Context> contexts;
-  for (const asl::PropertyInfo& prop : model_->properties()) {
+  for (const asl::PropertyInfo* prop : select_properties(*model_, config)) {
     auto per_property =
-        enumerate_contexts(*model_, *handles_, prop, run, basis);
+        enumerate_contexts(*model_, *handles_, *prop, run, basis);
     for (auto& ctx : per_property) contexts.push_back(std::move(ctx));
   }
 
@@ -211,12 +233,15 @@ AnalysisReport Analyzer::analyze(std::size_t run_index,
       SqlEvaluator sql(*model_, *conn_,
                        config.strategy == EvalStrategy::kSqlPushdown
                            ? SqlEvalMode::kPushdown
-                           : SqlEvalMode::kClientSide);
+                           : SqlEvalMode::kClientSide,
+                       config.plan_cache);
       for (std::size_t i = 0; i < contexts.size(); ++i) {
         results[i] =
             sql.evaluate_property(*contexts[i].property, contexts[i].args);
       }
       report.sql_queries = sql.queries_issued();
+      report.plan_cache_hits = sql.plan_cache_hits();
+      report.plan_cache_misses = sql.plan_cache_misses();
       break;
     }
     case EvalStrategy::kBulkFetch: {

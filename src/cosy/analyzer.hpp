@@ -11,6 +11,8 @@
 
 namespace kojak::cosy {
 
+class PlanCache;
+
 /// How property conditions/severities are evaluated (paper §5 discusses the
 /// work distribution between client and database):
 ///  * kInterpreter  — in-memory object store, no database involved;
@@ -35,6 +37,12 @@ struct AnalyzerConfig {
   /// Evaluate contexts on the global thread pool (interpreter strategy only;
   /// results are reduced in deterministic order).
   bool parallel = false;
+  /// Evaluate only these properties (a "suite"); empty means every property
+  /// of the model. Unknown names throw.
+  std::vector<std::string> properties;
+  /// Shared compiled-plan cache for the SQL strategies (see PlanCache);
+  /// null runs every translation from scratch, as the 1999 toolchain did.
+  PlanCache* plan_cache = nullptr;
 };
 
 /// One evaluated (property, context) pair.
@@ -51,13 +59,20 @@ struct Finding {
 /// application programmer").
 struct AnalysisReport {
   std::string program;
-  int nope = 0;
+  /// Processing elements of the analyzed test run (the data model's NoPe).
+  int pe_count = 0;
   double problem_threshold = 0.05;
   /// Properties that hold, sorted by decreasing severity (stable on ties).
   std::vector<Finding> findings;
   /// Contexts where evaluation was not applicable (data gaps), for audit.
   std::vector<Finding> not_applicable;
   std::uint64_t sql_queries = 0;  ///< statements issued (SQL strategies)
+  /// Plan-cache traffic (SQL strategies with a PlanCache). Telemetry, not
+  /// part of the deterministic contract: with a cache shared by concurrent
+  /// analyses, racing workers may both compile a cold site, so the split
+  /// between hits and misses can vary with scheduling.
+  std::uint64_t plan_cache_hits = 0;    ///< SQL sites served by a cached plan
+  std::uint64_t plan_cache_misses = 0;  ///< SQL sites compiled from scratch
 
   /// The unique bottleneck: the most severe property (§4), if any holds.
   [[nodiscard]] const Finding* bottleneck() const {

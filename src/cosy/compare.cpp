@@ -41,7 +41,7 @@ std::string ComparisonReport::to_table(std::size_t top_n) const {
                    d.vanished() ? "-" : format_double(d.severity_after, 4),
                    format_double(d.delta(), 4), marker});
   }
-  std::string out = cat("Version comparison of ", program, " on ", nope,
+  std::string out = cat("Version comparison of ", program, " on ", pe_count,
                         " PEs\n");
   out += table.render();
   out += cat("bottleneck: ", bottleneck_before, " (",
@@ -54,15 +54,15 @@ std::string ComparisonReport::to_table(std::size_t top_n) const {
 
 ComparisonReport compare_runs(const AnalysisReport& before,
                               const AnalysisReport& after) {
-  if (before.nope != after.nope) {
+  if (before.pe_count != after.pe_count) {
     throw support::EvalError(
-        cat("cannot compare runs with different PE counts (", before.nope,
-            " vs ", after.nope, ")"));
+        cat("cannot compare runs with different PE counts (", before.pe_count,
+            " vs ", after.pe_count, ")"));
   }
 
   ComparisonReport report;
   report.program = before.program;
-  report.nope = before.nope;
+  report.pe_count = before.pe_count;
 
   std::map<std::pair<std::string, std::string>, PropertyDelta> merged;
   for (const Finding& f : before.findings) {

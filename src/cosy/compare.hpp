@@ -28,7 +28,7 @@ struct PropertyDelta {
 
 struct ComparisonReport {
   std::string program;
-  int nope = 0;
+  int pe_count = 0;
   /// Sorted by |delta| descending: the biggest movements first.
   std::vector<PropertyDelta> deltas;
   /// Bottleneck movement.

@@ -16,7 +16,7 @@ using support::format_double;
 
 std::string to_markdown(const AnalysisReport& report, std::size_t top_n) {
   std::ostringstream out;
-  out << "# COSY analysis: " << report.program << " on " << report.nope
+  out << "# COSY analysis: " << report.program << " on " << report.pe_count
       << " PEs\n\n";
   out << "* problem threshold: " << format_double(report.problem_threshold, 4)
       << "\n* properties holding: " << report.findings.size()
@@ -96,7 +96,7 @@ std::string severity_matrix(const std::vector<AnalysisReport>& reports,
   support::TablePrinter table;
   table.add_column("property @ context");
   for (const AnalysisReport& report : reports) {
-    table.add_column(cat(report.nope, " PE"),
+    table.add_column(cat(report.pe_count, " PE"),
                      support::TablePrinter::Align::kRight);
   }
   for (std::size_t i = 0; i < ranked.size() && i < top_n; ++i) {

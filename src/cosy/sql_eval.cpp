@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 
 #include "cosy/db_import.hpp"
 #include "cosy/schema_gen.hpp"
@@ -21,12 +22,26 @@ using support::EvalError;
 
 namespace {
 
+/// Delimiter for placeholder markers in SQL text under construction: the
+/// compiler emits "\x01<param-id>\x01" wherever a bound parameter belongs,
+/// and the finalize pass rewrites markers to `?` in statement-text order.
+/// Composition order of SQL fragments therefore never has to match
+/// placeholder order (an aggregate's SELECT list is built after its WHERE
+/// conjuncts but precedes them in the text).
+constexpr char kMarker = '\x01';
+
+bool references(const Expr& e, const std::string& name);
+
+}  // namespace
+
 /// A runtime value paired with its static ASL type; the SQL strategy needs
 /// the type to know which table an object id lives in.
 struct TV {
   RtValue v;
   Type t;
 };
+
+namespace {
 
 bool references(const Expr& e, const std::string& name) {
   if (e.kind == Expr::Kind::kIdent && e.name == name) return true;
@@ -50,11 +65,51 @@ bool references(const Expr& e, const std::string& name) {
 
 }  // namespace
 
+PlanCache::PlanCache(const asl::Model& model)
+    : model_(&model), fingerprint_(model.fingerprint()) {}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard lock(mutex_);
+  return plans_.size();
+}
+
+std::shared_ptr<const CompiledPlan> PlanCache::find(std::string_view property,
+                                                    const void* site,
+                                                    int kind) const {
+  std::lock_guard lock(mutex_);
+  const auto it = plans_.find(Key{std::string(property), site, kind});
+  return it == plans_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const CompiledPlan> PlanCache::insert(
+    std::string_view property, const void* site, int kind,
+    std::shared_ptr<const CompiledPlan> plan) {
+  std::lock_guard lock(mutex_);
+  const auto [it, inserted] =
+      plans_.emplace(Key{std::string(property), site, kind}, std::move(plan));
+  return it->second;
+}
+
+void PlanCache::record(bool hit) {
+  std::lock_guard lock(mutex_);
+  if (hit) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+}
+
 /// Expression evaluator with one environment; issues SQL through the owning
 /// SqlEvaluator's connection.
 class SqlExprEval {
  public:
-  SqlExprEval(SqlEvaluator& owner) : owner_(owner) {}
+  SqlExprEval(SqlEvaluator& owner, const asl::PropertyInfo* prop = nullptr)
+      : owner_(owner), prop_(prop) {}
 
   void push(std::string name, TV value) {
     env_.emplace_back(std::move(name), std::move(value));
@@ -78,6 +133,202 @@ class SqlExprEval {
     return owner_.conn_->execute(sql);
   }
 
+  // --- plan cache machinery --------------------------------------------------
+
+  /// Which SELECT a site compiles to; part of the cache key so one AST node
+  /// may own distinct plans per role (and per evaluation mode).
+  enum class SiteKind : int {
+    kSetIds = 1,       // SELECT b.id <set>            (comprehension, UNIQUE)
+    kSetCount = 2,     // SELECT COUNT(*) <set>        (EXISTS, SIZE)
+    kSetAgg = 3,       // SELECT AGG(expr) <set>       (aggregates)
+    kAttrFetch = 4,    // SELECT attr FROM cls WHERE id = ?
+    kJunctionIds = 5,  // SELECT member FROM junction WHERE owner = ?
+  };
+
+  /// Accumulates parameters while a plan is being recorded. `params` and
+  /// `values` align index-by-index in emission order (kAssertNull entries
+  /// carry a dummy value); finalize() reorders both to text order.
+  struct PlanBuild {
+    std::vector<CompiledPlan::Param> params;
+    std::vector<db::Value> values;
+
+    std::string marker(CompiledPlan::Param param, db::Value value) {
+      params.push_back(std::move(param));
+      values.push_back(std::move(value));
+      return support::cat(kMarker, params.size() - 1, kMarker);
+    }
+  };
+
+  /// What a site's compile callback produces.
+  struct Compiled {
+    std::string sql;
+    std::uint32_t elem_class = 0;
+  };
+
+  struct SiteResult {
+    db::QueryResult result;
+    std::uint32_t elem_class = 0;
+  };
+
+  /// Emits a context-dependent scalar into the SQL being built: a bound
+  /// parameter while a plan is recording, an inline literal otherwise.
+  std::string emit_scalar(const Expr* origin, const TV& tv) {
+    if (build_ == nullptr) return literal_of(tv);
+    if (tv.v.is_null()) {
+      build_->params.push_back({origin, CompiledPlan::Slot::kAssertNull, 0, {}});
+      build_->values.push_back(db::Value::null());
+      return "NULL";
+    }
+    return build_->marker({origin, CompiledPlan::Slot::kValue, 0, {}},
+                          to_db_value(tv.v, tv.t));
+  }
+
+  /// Emits an object id whose expression is re-evaluated at bind time.
+  std::string emit_object(const Expr* origin, ObjectId id,
+                          std::string null_error) {
+    if (build_ == nullptr) return std::to_string(id);
+    return build_->marker({origin, CompiledPlan::Slot::kObjectId, 0,
+                           std::move(null_error)},
+                          db::Value::integer(static_cast<std::int64_t>(id)));
+  }
+
+  /// Emits a value the caller computed before entering the site (and will
+  /// pass again, at the same index, on every later bind).
+  std::string emit_provided(std::size_t index, const db::Value& value) {
+    if (build_ == nullptr) return value.to_sql_literal();
+    return build_->marker({nullptr, CompiledPlan::Slot::kProvided, index, {}},
+                          value);
+  }
+
+  /// Records that the compiled text assumed `origin` evaluates to null
+  /// (IS NULL forms); no placeholder is emitted.
+  void note_assert_null(const Expr* origin) {
+    if (build_ == nullptr) return;
+    build_->params.push_back({origin, CompiledPlan::Slot::kAssertNull, 0, {}});
+    build_->values.push_back(db::Value::null());
+  }
+
+  /// Rewrites placeholder markers to `?` and orders params to match.
+  static CompiledPlan finalize(const Compiled& compiled, PlanBuild&& build,
+                               std::vector<db::Value>& ordered_values) {
+    CompiledPlan plan;
+    plan.elem_class = compiled.elem_class;
+    plan.sql.reserve(compiled.sql.size());
+    ordered_values.clear();
+    for (std::size_t i = 0; i < compiled.sql.size(); ++i) {
+      if (compiled.sql[i] != kMarker) {
+        plan.sql += compiled.sql[i];
+        continue;
+      }
+      std::size_t id = 0;
+      for (++i; i < compiled.sql.size() && compiled.sql[i] != kMarker; ++i) {
+        id = id * 10 + static_cast<std::size_t>(compiled.sql[i] - '0');
+      }
+      plan.sql += '?';
+      plan.params.push_back(build.params.at(id));
+      ordered_values.push_back(build.values.at(id));
+    }
+    for (const CompiledPlan::Param& param : build.params) {
+      if (param.slot == CompiledPlan::Slot::kAssertNull) {
+        plan.params.push_back(param);
+      }
+    }
+    return plan;
+  }
+
+  /// Evaluates a cached plan's parameters for the current context. Returns
+  /// false when a nullability assumption baked into the SQL no longer holds
+  /// (the context needs a differently-shaped statement).
+  bool bind_plan(const CompiledPlan& plan, std::span<const db::Value> provided,
+                 std::vector<db::Value>& values) {
+    values.clear();
+    values.reserve(plan.params.size());
+    for (const CompiledPlan::Param& param : plan.params) {
+      switch (param.slot) {
+        case CompiledPlan::Slot::kProvided:
+          values.push_back(provided[param.provided_index]);
+          break;
+        case CompiledPlan::Slot::kObjectId: {
+          const TV tv = eval(*param.expr);
+          if (tv.v.is_null()) throw EvalError(param.null_error);
+          values.push_back(
+              db::Value::integer(static_cast<std::int64_t>(tv.v.as_object())));
+          break;
+        }
+        case CompiledPlan::Slot::kValue: {
+          const TV tv = eval(*param.expr);
+          if (tv.v.is_null()) return false;
+          values.push_back(to_db_value(tv.v, tv.t));
+          break;
+        }
+        case CompiledPlan::Slot::kAssertNull:
+          if (!eval(*param.expr).v.is_null()) return false;
+          break;
+      }
+    }
+    return true;
+  }
+
+  db::QueryResult run_prepared(const std::shared_ptr<const CompiledPlan>& plan,
+                               std::span<const db::Value> values) {
+    db::PreparedStatement& stmt = owner_.statement_for(plan);
+    ++owner_.queries_;
+    return owner_.conn_->execute(stmt, values);
+  }
+
+  /// Runs one translation site: uses the shared plan when present, records
+  /// one on first contact, falls back to inline-literal compilation when
+  /// caching is off (or a nullability guard fails).
+  template <typename F>
+  SiteResult run_site(const Expr& site, SiteKind kind,
+                      std::span<const db::Value> provided, F&& compile) {
+    // Params of this site never leak into an enclosing recording (a nested
+    // uncorrelated aggregate executes *during* an outer compile; it becomes
+    // one bound scalar of the outer plan, not part of its text).
+    struct Restore {
+      SqlExprEval& self;
+      PlanBuild* saved;
+      ~Restore() { self.build_ = saved; }
+    } restore{*this, build_};
+    build_ = nullptr;
+
+    PlanCache* cache = owner_.cache_;
+    if (cache == nullptr || prop_ == nullptr) {
+      const Compiled compiled = compile();
+      return {run(compiled.sql), compiled.elem_class};
+    }
+    const int k = static_cast<int>(kind) * 2 +
+                  (client_side() ? 1 : 0);  // mode disambiguates shared nodes
+    if (auto plan = cache->find(prop_->name, &site, k)) {
+      std::vector<db::Value> values;
+      if (bind_plan(*plan, provided, values)) {
+        ++owner_.plan_hits_;
+        cache->record(true);
+        return {run_prepared(plan, values), plan->elem_class};
+      }
+      // Nullability guard failed: this context needs a different SQL shape.
+      // Compile it fresh for this evaluation; the cached plan stays.
+      ++owner_.plan_misses_;
+      cache->record(false);
+      const Compiled compiled = compile();
+      return {run(compiled.sql), compiled.elem_class};
+    }
+    PlanBuild build;
+    build_ = &build;
+    const Compiled compiled = compile();
+    build_ = nullptr;
+    std::vector<db::Value> values;
+    // A racing worker may have compiled the same site meanwhile; converge
+    // on the canonical plan (the values bind either — same template).
+    const std::shared_ptr<const CompiledPlan> plan =
+        cache->insert(prop_->name, &site, k,
+                      std::make_shared<CompiledPlan>(
+                          finalize(compiled, std::move(build), values)));
+    ++owner_.plan_misses_;
+    cache->record(false);
+    return {run_prepared(plan, values), plan->elem_class};
+  }
+
   // --- client-side set materialization (the §5 slow path) -------------------
 
   /// Fetches the member ids of a set expression with plain component
@@ -96,16 +347,23 @@ class SqlExprEval {
                                      "' is not a setof attribute of ",
                                      cls.name));
       }
-      const db::QueryResult members =
-          run(support::cat("SELECT member FROM ",
-                           junction_table(cls.name, e.name),
-                           " WHERE owner = ", base.v.as_object()));
+      const db::Value owner =
+          db::Value::integer(static_cast<std::int64_t>(base.v.as_object()));
+      const std::uint32_t elem_class = cls.attrs[*attr].type.id;
+      const SiteResult site = run_site(
+          e, SiteKind::kJunctionIds, std::span<const db::Value>(&owner, 1),
+          [&]() -> Compiled {
+            return {support::cat("SELECT member FROM ",
+                                 junction_table(cls.name, e.name),
+                                 " WHERE owner = ", emit_provided(0, owner)),
+                    elem_class};
+          });
       std::vector<ObjectId> ids;
-      ids.reserve(members.row_count());
-      for (const db::Row& row : members.rows) {
+      ids.reserve(site.result.row_count());
+      for (const db::Row& row : site.result.rows) {
         ids.push_back(static_cast<ObjectId>(row[0].as_int()));
       }
-      return {std::move(ids), cls.attrs[*attr].type.id};
+      return {std::move(ids), elem_class};
     }
     if (e.kind == Expr::Kind::kComprehension) {
       auto [ids, elem_class] = client_set_ids(*e.base);
@@ -235,7 +493,10 @@ class SqlExprEval {
       sq.from_joins.push_back(junction_table(cls.name, e.name) + " j");
       sq.from_joins.push_back(
           support::cat("JOIN ", elem_table, " b ON b.id = j.member"));
-      sq.conjuncts.push_back(support::cat("j.owner = ", owner_id));
+      sq.conjuncts.push_back(support::cat(
+          "j.owner = ",
+          emit_object(e.base.get(), owner_id,
+                      "SQL strategy: set access on null object")));
       return sq;
     }
     if (e.kind == Expr::Kind::kComprehension) {
@@ -253,37 +514,46 @@ class SqlExprEval {
 
   /// Compiles a scalar expression over the binder of `sq` into SQL text;
   /// sub-expressions not touching the binder evaluate client-side into
-  /// literals (this is how uncorrelated nested aggregates become scalar
-  /// constants in the query).
+  /// bound parameters or literals (this is how uncorrelated nested
+  /// aggregates become scalar constants in the query).
   std::string sql_expr(const Expr& e, SetQuery& sq) {
     using Kind = Expr::Kind;
     if (!sq.binder_name.empty() && !references(e, sq.binder_name)) {
-      return literal_of(eval(e));
+      return emit_scalar(&e, eval(e));
     }
     switch (e.kind) {
       case Kind::kIdent:
         if (e.name == sq.binder_name) return sq.binder_alias + ".id";
-        break;  // unreachable: non-binder idents hit the literal path
+        break;  // unreachable: non-binder idents hit the scalar path
       case Kind::kMember:
         return compile_path(e, sq);
-      case Kind::kUnary:
+      case Kind::kUnary: {
+        const std::string operand = sql_expr(*e.lhs, sq);
         if (e.un_op == asl::ast::UnOp::kNot) {
-          return support::cat("(NOT ", sql_expr(*e.lhs, sq), ")");
+          return support::cat("(NOT ", operand, ")");
         }
-        return support::cat("(-", sql_expr(*e.lhs, sq), ")");
+        return support::cat("(-", operand, ")");
+      }
       case Kind::kBinary: {
         using asl::ast::BinOp;
         // `x == null` / `x != null` compile to IS [NOT] NULL.
         if (e.bin_op == BinOp::kEq || e.bin_op == BinOp::kNe) {
           const Expr* lhs = e.lhs.get();
           const Expr* rhs = e.rhs.get();
-          const auto is_null_side = [&](const Expr& side) {
-            return side.kind == Kind::kNullLit ||
-                   (!references(side, sq.binder_name) && eval(side).v.is_null());
+          // 0 = not a null side; 1 = statically null; 2 = null this context.
+          const auto null_side = [&](const Expr& side) -> int {
+            if (side.kind == Kind::kNullLit) return 1;
+            if (references(side, sq.binder_name)) return 0;
+            return eval(side).v.is_null() ? 2 : 0;
           };
-          if (is_null_side(*rhs) || is_null_side(*lhs)) {
-            const Expr& tested = is_null_side(*rhs) ? *lhs : *rhs;
-            return support::cat("(", sql_expr(tested, sq),
+          const int rhs_null = null_side(*rhs);
+          const int lhs_null = rhs_null != 0 ? 0 : null_side(*lhs);
+          if (rhs_null != 0 || lhs_null != 0) {
+            const Expr& tested = rhs_null != 0 ? *lhs : *rhs;
+            const Expr& nulled = rhs_null != 0 ? *rhs : *lhs;
+            const std::string tested_sql = sql_expr(tested, sq);
+            if ((rhs_null | lhs_null) == 2) note_assert_null(&nulled);
+            return support::cat("(", tested_sql,
                                 e.bin_op == BinOp::kEq ? " IS NULL)"
                                                        : " IS NOT NULL)");
           }
@@ -303,8 +573,11 @@ class SqlExprEval {
           case BinOp::kAnd: op = "AND"; break;
           case BinOp::kOr: op = "OR"; break;
         }
-        return support::cat("(", sql_expr(*e.lhs, sq), " ", op, " ",
-                            sql_expr(*e.rhs, sq), ")");
+        // Sequence the sides explicitly: both emit parameters, and their
+        // recording order must be deterministic.
+        const std::string lhs_sql = sql_expr(*e.lhs, sq);
+        const std::string rhs_sql = sql_expr(*e.rhs, sq);
+        return support::cat("(", lhs_sql, " ", op, " ", rhs_sql, ")");
       }
       default:
         break;
@@ -430,14 +703,20 @@ class SqlExprEval {
           throw EvalError(
               "SQL strategy: set-valued attribute outside a set context");
         }
-        const db::QueryResult result =
-            run(support::cat("SELECT ", e.name, " FROM ", cls.name,
-                             " WHERE id = ", base.v.as_object()));
-        if (result.row_count() != 1) {
+        const db::Value id =
+            db::Value::integer(static_cast<std::int64_t>(base.v.as_object()));
+        const SiteResult site = run_site(
+            e, SiteKind::kAttrFetch, std::span<const db::Value>(&id, 1),
+            [&]() -> Compiled {
+              return {support::cat("SELECT ", e.name, " FROM ", cls.name,
+                                   " WHERE id = ", emit_provided(0, id)),
+                      0};
+            });
+        if (site.result.row_count() != 1) {
           throw EvalError(support::cat("object ", base.v.as_object(),
                                        " not found in table ", cls.name));
         }
-        return {to_rt_value(result.rows[0][0], attr_type), attr_type};
+        return {to_rt_value(site.result.rows[0][0], attr_type), attr_type};
       }
 
       case Kind::kCall: {
@@ -481,44 +760,50 @@ class SqlExprEval {
           auto ids = std::make_shared<std::vector<ObjectId>>(std::move(raw));
           return {RtValue::of_set(std::move(ids)), Type::set_of(elem_class)};
         }
-        SetQuery sq = compile_set(e);
-        const db::QueryResult result =
-            run(support::cat("SELECT b.id", sq.from_where()));
+        const SiteResult site =
+            run_site(e, SiteKind::kSetIds, {}, [&]() -> Compiled {
+              SetQuery sq = compile_set(e);
+              return {support::cat("SELECT b.id", sq.from_where()),
+                      sq.elem_class};
+            });
         auto ids = std::make_shared<std::vector<ObjectId>>();
-        ids->reserve(result.row_count());
-        for (const db::Row& row : result.rows) {
+        ids->reserve(site.result.row_count());
+        for (const db::Row& row : site.result.rows) {
           ids->push_back(static_cast<ObjectId>(row[0].as_int()));
         }
-        return {RtValue::of_set(std::move(ids)), Type::set_of(sq.elem_class)};
+        return {RtValue::of_set(std::move(ids)), Type::set_of(site.elem_class)};
       }
 
       case Kind::kAggregate: {
         if (!e.base) return eval(*e.agg_value);  // identity form
         if (client_side()) return eval_client_aggregate(e);
-        SetQuery sq = compile_set(*e.base);
-        sq.binder_name = e.name;
-        if (e.filter) sq.conjuncts.push_back(sql_expr(*e.filter, sq));
-        std::string select;
-        switch (e.agg_kind) {
-          case asl::ast::AggKind::kCount:
-            select = "COUNT(*)";
-            break;
-          case asl::ast::AggKind::kMin:
-            select = support::cat("MIN(", sql_expr(*e.agg_value, sq), ")");
-            break;
-          case asl::ast::AggKind::kMax:
-            select = support::cat("MAX(", sql_expr(*e.agg_value, sq), ")");
-            break;
-          case asl::ast::AggKind::kSum:
-            select = support::cat("SUM(", sql_expr(*e.agg_value, sq), ")");
-            break;
-          case asl::ast::AggKind::kAvg:
-            select = support::cat("AVG(", sql_expr(*e.agg_value, sq), ")");
-            break;
-        }
-        const db::QueryResult result =
-            run(support::cat("SELECT ", select, sq.from_where()));
-        const db::Value scalar = result.scalar();
+        const SiteResult site =
+            run_site(e, SiteKind::kSetAgg, {}, [&]() -> Compiled {
+              SetQuery sq = compile_set(*e.base);
+              sq.binder_name = e.name;
+              if (e.filter) sq.conjuncts.push_back(sql_expr(*e.filter, sq));
+              std::string select;
+              switch (e.agg_kind) {
+                case asl::ast::AggKind::kCount:
+                  select = "COUNT(*)";
+                  break;
+                case asl::ast::AggKind::kMin:
+                  select = support::cat("MIN(", sql_expr(*e.agg_value, sq), ")");
+                  break;
+                case asl::ast::AggKind::kMax:
+                  select = support::cat("MAX(", sql_expr(*e.agg_value, sq), ")");
+                  break;
+                case asl::ast::AggKind::kSum:
+                  select = support::cat("SUM(", sql_expr(*e.agg_value, sq), ")");
+                  break;
+                case asl::ast::AggKind::kAvg:
+                  select = support::cat("AVG(", sql_expr(*e.agg_value, sq), ")");
+                  break;
+              }
+              return {support::cat("SELECT ", select, sq.from_where()),
+                      sq.elem_class};
+            });
+        const db::Value scalar = site.result.scalar();
         if (e.agg_kind == asl::ast::AggKind::kCount) {
           return {RtValue::of_int(scalar.as_int()), Type::of(TypeKind::kInt)};
         }
@@ -545,15 +830,19 @@ class SqlExprEval {
           }
           return {RtValue::of_object(ids.front()), Type::class_of(elem_class)};
         }
-        SetQuery sq = compile_set(*e.base);
-        const db::QueryResult result =
-            run(support::cat("SELECT b.id", sq.from_where()));
-        if (result.row_count() != 1) {
+        const SiteResult site =
+            run_site(e, SiteKind::kSetIds, {}, [&]() -> Compiled {
+              SetQuery sq = compile_set(*e.base);
+              return {support::cat("SELECT b.id", sq.from_where()),
+                      sq.elem_class};
+            });
+        if (site.result.row_count() != 1) {
           throw EvalError(support::cat("UNIQUE over a set of size ",
-                                       result.row_count()));
+                                       site.result.row_count()));
         }
-        return {RtValue::of_object(static_cast<ObjectId>(result.rows[0][0].as_int())),
-                Type::class_of(sq.elem_class)};
+        return {RtValue::of_object(
+                    static_cast<ObjectId>(site.result.rows[0][0].as_int())),
+                Type::class_of(site.elem_class)};
       }
 
       case Kind::kExists:
@@ -562,10 +851,13 @@ class SqlExprEval {
         if (client_side()) {
           n = static_cast<std::int64_t>(client_set_ids(*e.base).first.size());
         } else {
-          SetQuery sq = compile_set(*e.base);
-          n = run(support::cat("SELECT COUNT(*)", sq.from_where()))
-                  .scalar()
-                  .as_int();
+          const SiteResult site =
+              run_site(e, SiteKind::kSetCount, {}, [&]() -> Compiled {
+                SetQuery sq = compile_set(*e.base);
+                return {support::cat("SELECT COUNT(*)", sq.from_where()),
+                        sq.elem_class};
+              });
+          n = site.result.scalar().as_int();
         }
         if (e.kind == Kind::kExists) {
           return {RtValue::of_bool(n > 0), Type::of(TypeKind::kBool)};
@@ -644,12 +936,14 @@ class SqlExprEval {
 
  private:
   SqlEvaluator& owner_;
+  const asl::PropertyInfo* prop_;
+  PlanBuild* build_ = nullptr;
   std::vector<std::pair<std::string, TV>> env_;
 };
 
 SqlEvaluator::SqlEvaluator(const asl::Model& model, db::Connection& conn,
-                           SqlEvalMode mode)
-    : model_(&model), conn_(&conn), mode_(mode) {
+                           SqlEvalMode mode, PlanCache* plan_cache)
+    : model_(&model), conn_(&conn), mode_(mode), cache_(plan_cache) {
   for (const asl::ClassInfo& cls : model.classes()) {
     if (cls.base) {
       throw EvalError(
@@ -657,6 +951,25 @@ SqlEvaluator::SqlEvaluator(const asl::Model& model, db::Connection& conn,
           "(concrete class tables)");
     }
   }
+  if (cache_ != nullptr && &cache_->model() != &model) {
+    throw EvalError(
+        "plan cache was compiled against a different model instance; plans "
+        "hold pointers into that model's AST, so a cache is only valid for "
+        "the exact Model object it was built from (reloading the same spec "
+        "produces an equal fingerprint but a different AST)");
+  }
+}
+
+db::PreparedStatement& SqlEvaluator::statement_for(
+    const std::shared_ptr<const CompiledPlan>& plan) {
+  auto it = statements_.find(plan.get());
+  if (it == statements_.end()) {
+    db::PreparedStatement stmt = conn_->database().prepare(plan->sql);
+    it = statements_
+             .emplace(plan.get(), StatementEntry{plan, std::move(stmt)})
+             .first;
+  }
+  return it->second.stmt;
 }
 
 PropertyResult SqlEvaluator::evaluate_property(const asl::PropertyInfo& prop,
@@ -667,7 +980,7 @@ PropertyResult SqlEvaluator::evaluate_property(const asl::PropertyInfo& prop,
                                  prop.params.size(), " arguments, got ",
                                  args.size()));
   }
-  SqlExprEval eval(*this);
+  SqlExprEval eval(*this, &prop);
   for (std::size_t i = 0; i < args.size(); ++i) {
     eval.push(prop.params[i].first, {std::move(args[i]), prop.params[i].second});
   }
@@ -727,7 +1040,7 @@ PropertyResult SqlEvaluator::evaluate_property(const asl::PropertyInfo& prop,
 std::string SqlEvaluator::explain_set(const Expr& set_expr,
                                       const asl::PropertyInfo& prop,
                                       const std::vector<RtValue>& args) {
-  SqlExprEval eval(*this);
+  SqlExprEval eval(*this);  // no property context: plans stay untouched
   for (std::size_t i = 0; i < args.size() && i < prop.params.size(); ++i) {
     eval.push(prop.params[i].first, {args[i], prop.params[i].second});
   }

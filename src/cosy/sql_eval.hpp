@@ -1,6 +1,10 @@
 #ifndef KOJAK_COSY_SQL_EVAL_HPP
 #define KOJAK_COSY_SQL_EVAL_HPP
 
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +22,92 @@ namespace kojak::cosy {
 ///                  record) and evaluates all filters and aggregates itself.
 enum class SqlEvalMode { kPushdown, kClientSide };
 
+/// One ASL set-expression site translated to a reusable SELECT: the SQL
+/// text with `?` placeholders in statement-text order, plus the binding
+/// recipe for each placeholder. Context-dependent scalars (property
+/// arguments, LET values, uncorrelated nested aggregates) become bound
+/// parameters instead of inline literals, so the translation — and the SQL
+/// parse — happen once per property instead of once per (run, context).
+struct CompiledPlan {
+  enum class Slot : std::uint8_t {
+    kValue,     ///< re-evaluate `expr`, bind its value to a `?`
+    kObjectId,  ///< like kValue but an object reference; null throws
+    kProvided,  ///< caller-supplied value (already computed), bound to a `?`
+    kAssertNull,  ///< no placeholder: compiled into an IS [NOT] NULL / NULL
+                  ///< form; `expr` must still be null at bind time
+  };
+  struct Param {
+    const asl::ast::Expr* expr = nullptr;  ///< null for kProvided
+    Slot slot = Slot::kValue;
+    std::size_t provided_index = 0;  ///< kProvided: index into caller values
+    std::string null_error;          ///< kObjectId: message when null
+  };
+  std::string sql;
+  std::vector<Param> params;  ///< placeholder params first, in text order
+  /// Element class of set-returning plans (drives result typing on hits).
+  std::uint32_t elem_class = 0;
+};
+
+/// Thread-safe cache of compiled plans, keyed on (property, site) within
+/// one model. Share one instance across the evaluators of a batch (they run
+/// concurrently on pooled connections); the per-property translation then
+/// happens once for the whole batch. Plans hold pointers into the model's
+/// AST, so the cache is pinned to the Model *instance* it was built from
+/// and must not outlive it: attaching an evaluator over any other Model
+/// object is rejected — even one reloaded from the same documents, whose
+/// content fingerprint would match but whose AST lives elsewhere.
+class PlanCache {
+ public:
+  explicit PlanCache(const asl::Model& model);
+
+  [[nodiscard]] const asl::Model& model() const noexcept { return *model_; }
+  /// Content hash of the model the plans were compiled against (telemetry
+  /// and cross-process comparisons; instance identity is what's enforced).
+  [[nodiscard]] std::uint64_t model_fingerprint() const noexcept {
+    return fingerprint_;
+  }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    [[nodiscard]] double hit_rate() const noexcept {
+      const double total = static_cast<double>(hits + misses);
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+  [[nodiscard]] Stats stats() const;
+  /// Number of distinct compiled plans.
+  [[nodiscard]] std::size_t size() const;
+
+  // Internal API used by SqlEvaluator.
+  [[nodiscard]] std::shared_ptr<const CompiledPlan> find(
+      std::string_view property, const void* site, int kind) const;
+  /// Inserts unless the site is already cached; returns the canonical plan
+  /// (the first one in wins, so racing workers converge on one instance).
+  [[nodiscard]] std::shared_ptr<const CompiledPlan> insert(
+      std::string_view property, const void* site, int kind,
+      std::shared_ptr<const CompiledPlan> plan);
+  void record(bool hit);
+
+ private:
+  struct Key {
+    std::string property;
+    const void* site = nullptr;
+    int kind = 0;
+    friend bool operator<(const Key& a, const Key& b) {
+      if (a.property != b.property) return a.property < b.property;
+      if (a.site != b.site) return a.site < b.site;
+      return a.kind < b.kind;
+    }
+  };
+
+  const asl::Model* model_;
+  std::uint64_t fingerprint_;
+  mutable std::mutex mutex_;
+  std::map<Key, std::shared_ptr<const CompiledPlan>> plans_;
+  Stats stats_;
+};
+
 /// Database-backed evaluator of ASL properties. In kPushdown mode this is
 /// the paper's §5 claim made executable — "translate the conditions of
 /// performance properties entirely into SQL queries instead of first
@@ -33,10 +123,15 @@ enum class SqlEvalMode { kPushdown, kClientSide };
 ///    kPushdown mode.
 /// The COSY model and property suites satisfy all three; anything outside
 /// falls back to the interpreter at the analyzer level.
+///
+/// An evaluator instance is not thread-safe (it owns a connection and its
+/// prepared statements); run one evaluator per worker. The optional
+/// PlanCache *is* shared across workers.
 class SqlEvaluator {
  public:
   SqlEvaluator(const asl::Model& model, db::Connection& conn,
-               SqlEvalMode mode = SqlEvalMode::kPushdown);
+               SqlEvalMode mode = SqlEvalMode::kPushdown,
+               PlanCache* plan_cache = nullptr);
 
   /// Evaluates a property for a context; arguments are RtValues whose
   /// object references are database ids. Mirrors
@@ -49,6 +144,13 @@ class SqlEvaluator {
   [[nodiscard]] std::uint64_t queries_issued() const noexcept {
     return queries_;
   }
+  /// Plan-cache traffic from this evaluator (0/0 without a cache).
+  [[nodiscard]] std::uint64_t plan_cache_hits() const noexcept {
+    return plan_hits_;
+  }
+  [[nodiscard]] std::uint64_t plan_cache_misses() const noexcept {
+    return plan_misses_;
+  }
 
   /// Compiles the given set expression to its SQL text without executing it
   /// (exposed for tests and the --explain flows of the examples).
@@ -58,10 +160,26 @@ class SqlEvaluator {
 
  private:
   friend class SqlExprEval;
+
+  /// Prepared statement for a cached plan, parsed once per evaluator (the
+  /// engine allows concurrent execution of *distinct* prepared statements,
+  /// so statements are per-evaluator while plans are shared).
+  db::PreparedStatement& statement_for(
+      const std::shared_ptr<const CompiledPlan>& plan);
+
+  struct StatementEntry {
+    std::shared_ptr<const CompiledPlan> plan;  // keeps the key alive
+    db::PreparedStatement stmt;
+  };
+
   const asl::Model* model_;
   db::Connection* conn_;
   SqlEvalMode mode_;
+  PlanCache* cache_;
   std::uint64_t queries_ = 0;
+  std::uint64_t plan_hits_ = 0;
+  std::uint64_t plan_misses_ = 0;
+  std::map<const CompiledPlan*, StatementEntry> statements_;
 };
 
 }  // namespace kojak::cosy

@@ -44,6 +44,11 @@ class ThreadPool {
   /// chunked contiguously; exceptions from any chunk are rethrown (first one).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  /// Runs heterogeneous tasks to completion (the batch analyzer's shape:
+  /// one task per run × suite, each task a full analysis). The first
+  /// exception is rethrown after every task finished.
+  void run_all(std::vector<std::function<void()>> tasks);
+
  private:
   void worker_loop();
 

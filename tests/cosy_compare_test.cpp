@@ -51,7 +51,7 @@ TEST(Compare, TuningImprovesTheBottleneck) {
   EXPECT_TRUE(report.improved());
   EXPECT_LT(report.bottleneck_severity_after,
             report.bottleneck_severity_before);
-  EXPECT_EQ(report.nope, 32);
+  EXPECT_EQ(report.pe_count, 32);
   ASSERT_FALSE(report.deltas.empty());
   // Deltas are sorted by movement size.
   for (std::size_t i = 1; i < report.deltas.size(); ++i) {
