@@ -3,17 +3,27 @@
 // into SQL queries instead of first accessing the data components and
 // evaluating the expressions in the analysis tool."
 //
-// Sweeps the program size and compares the SQL-pushdown strategy against
-// the client-fetch strategy on two axes:
-//   * modelled wire time on a distributed backend (what §5 observed), and
-//   * real engine time (both strategies do real relational work here).
+// Sweeps the program size and compares four evaluation backends —
+// sql-pushdown, sql-whole-condition (the paper's §6 future work: ONE
+// statement per (property, context)), client-fetch, and bulk-fetch — on two
+// axes:
+//   * modelled wire time on distributed backends (Oracle 7 and Postgres,
+//     what §5 observed), and
+//   * real engine time (all backends do real relational work here).
+//
+// Under KOJAK_BENCH_SMOKE=1 only the smallest scale runs, but every column
+// (including whole-condition) still prints, so CI exercises the whole
+// comparison.
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "cosy/eval_backend.hpp"
+#include "cosy/sql_eval.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
 
@@ -26,8 +36,17 @@ struct Scale {
   std::size_t regions_per_function;
 };
 
+bool smoke_mode() {
+  const char* env = std::getenv("KOJAK_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
 const std::vector<Scale>& scales() {
-  static const std::vector<Scale> kScales = {{4, 5}, {8, 10}, {16, 20}};
+  static const std::vector<Scale> kScales = [] {
+    std::vector<Scale> all = {{4, 5}, {8, 10}, {16, 20}};
+    if (smoke_mode()) all.resize(1);
+    return all;
+  }();
   return kScales;
 }
 
@@ -43,14 +62,15 @@ bench::World& world_at(std::size_t index) {
   return *cache[index];
 }
 
-struct StrategyOutcome {
+struct BackendOutcome {
   double virtual_ms = 0;
   double real_ms = 0;
   std::uint64_t queries = 0;
   std::size_t findings = 0;
 };
 
-StrategyOutcome run_strategy(bench::World& world, cosy::EvalStrategy strategy) {
+BackendOutcome run_backend(bench::World& world, const std::string& backend,
+                           const db::ConnectionProfile& profile) {
   db::Database database;
   cosy::create_schema(database, world.model);
   {
@@ -58,17 +78,19 @@ StrategyOutcome run_strategy(bench::World& world, cosy::EvalStrategy strategy) {
     cosy::import_store(import_conn, *world.store);
   }
   // Analysis happens over a distributed backend: wire costs count.
-  db::Connection conn(database, db::ConnectionProfile::postgres());
+  db::Connection conn(database, profile);
   cosy::Analyzer analyzer(world.model, *world.store, world.handles, &conn);
+  cosy::PlanCache cache(world.model);
   cosy::AnalyzerConfig config;
-  config.strategy = strategy;
+  config.backend = backend;
+  config.plan_cache = &cache;
 
   const double v0 = conn.clock().now_ms();
   const auto t0 = std::chrono::steady_clock::now();
   const cosy::AnalysisReport report = analyzer.analyze(1, config);
   const auto t1 = std::chrono::steady_clock::now();
 
-  StrategyOutcome outcome;
+  BackendOutcome outcome;
   outcome.virtual_ms = conn.clock().now_ms() - v0;
   outcome.real_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   outcome.queries = report.sql_queries;
@@ -77,42 +99,71 @@ StrategyOutcome run_strategy(bench::World& world, cosy::EvalStrategy strategy) {
 }
 
 void print_summary_table() {
+  const std::pair<const char*, db::ConnectionProfile> profiles[] = {
+      {"oracle7", db::ConnectionProfile::oracle7()},
+      {"postgres", db::ConnectionProfile::postgres()},
+  };
   support::TablePrinter table;
-  table.add_column("regions", support::TablePrinter::Align::kRight)
+  table.add_column("profile")
+      .add_column("regions", support::TablePrinter::Align::kRight)
       .add_column("contexts", support::TablePrinter::Align::kRight)
       .add_column("pushdown ms", support::TablePrinter::Align::kRight)
+      .add_column("whole ms", support::TablePrinter::Align::kRight)
+      .add_column("whole gain", support::TablePrinter::Align::kRight)
       .add_column("client ms", support::TablePrinter::Align::kRight)
-      .add_column("advantage", support::TablePrinter::Align::kRight)
       .add_column("bulk ms", support::TablePrinter::Align::kRight)
       .add_column("push q", support::TablePrinter::Align::kRight)
-      .add_column("client q", support::TablePrinter::Align::kRight);
-  for (std::size_t i = 0; i < scales().size(); ++i) {
-    bench::World& world = world_at(i);
-    const StrategyOutcome push =
-        run_strategy(world, cosy::EvalStrategy::kSqlPushdown);
-    const StrategyOutcome fetch =
-        run_strategy(world, cosy::EvalStrategy::kClientFetch);
-    const StrategyOutcome bulk =
-        run_strategy(world, cosy::EvalStrategy::kBulkFetch);
-    cosy::Analyzer analyzer(world.model, *world.store, world.handles);
-    table.add_row(
-        {std::to_string(world.handles.regions.size()),
-         std::to_string(analyzer.context_count()),
-         support::format_double(push.virtual_ms, 5),
-         support::format_double(fetch.virtual_ms, 5),
-         support::format_double(fetch.virtual_ms / push.virtual_ms, 3),
-         support::format_double(bulk.virtual_ms, 5),
-         std::to_string(push.queries), std::to_string(fetch.queries)});
+      .add_column("whole q", support::TablePrinter::Align::kRight);
+  for (const auto& [profile_name, profile] : profiles) {
+    for (std::size_t i = 0; i < scales().size(); ++i) {
+      bench::World& world = world_at(i);
+      const BackendOutcome push = run_backend(world, "sql-pushdown", profile);
+      const BackendOutcome whole =
+          run_backend(world, "sql-whole-condition", profile);
+      const BackendOutcome fetch = run_backend(world, "client-fetch", profile);
+      const BackendOutcome bulk = run_backend(world, "bulk-fetch", profile);
+      cosy::Analyzer analyzer(world.model, *world.store, world.handles);
+      table.add_row(
+          {profile_name, std::to_string(world.handles.regions.size()),
+           std::to_string(analyzer.context_count()),
+           support::format_double(push.virtual_ms, 5),
+           support::format_double(whole.virtual_ms, 5),
+           support::format_double(push.virtual_ms / whole.virtual_ms, 3),
+           support::format_double(fetch.virtual_ms, 5),
+           support::format_double(bulk.virtual_ms, 5),
+           std::to_string(push.queries), std::to_string(whole.queries)});
+    }
   }
-  std::cout << "\n=== T3: SQL pushdown vs client-side evaluation over a "
-               "distributed backend (paper: pushdown is a 'significant "
-               "advantage') ===\n"
+  std::cout << "\n=== T3: evaluation backends over distributed database "
+               "profiles (paper §5: pushdown is a 'significant advantage'; "
+               "§6: whole-condition compilation cuts each context to ONE "
+               "statement) ===\n"
             << table.render()
-            << "(virtual ms = modelled wire/server time on the Postgres "
-               "profile. 'client' fetches data components record by record "
-               "and evaluates in the tool — the paper's slow path; 'bulk' is "
-               "the modern batch variant. All strategies compute identical "
-               "findings.)\n\n";
+            << "('whole q' equals the context count: one statement per "
+               "(property, context). 'client' fetches data components record "
+               "by record and evaluates in the tool — the paper's slow path; "
+               "'bulk' is the modern batch variant. All backends compute "
+               "identical findings.)\n\n";
+}
+
+void register_backend_bench(const char* label, const std::string& backend,
+                            std::size_t scale_index, int iterations) {
+  benchmark::RegisterBenchmark(
+      support::cat(label, "/scale_", scales()[scale_index].functions, "x",
+                   scales()[scale_index].regions_per_function)
+          .c_str(),
+      [backend, scale_index](benchmark::State& state) {
+        bench::World& world = world_at(scale_index);
+        BackendOutcome outcome;
+        for (auto _ : state) {
+          outcome = run_backend(world, backend,
+                                db::ConnectionProfile::postgres());
+        }
+        state.counters["virtual_ms"] = outcome.virtual_ms;
+        state.counters["queries"] = static_cast<double>(outcome.queries);
+      })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(iterations);
 }
 
 }  // namespace
@@ -120,48 +171,10 @@ void print_summary_table() {
 int main(int argc, char** argv) {
   print_summary_table();
   for (std::size_t i = 0; i < scales().size(); ++i) {
-    benchmark::RegisterBenchmark(
-        support::cat("BM_Pushdown/scale_", scales()[i].functions, "x",
-                     scales()[i].regions_per_function).c_str(),
-        [i](benchmark::State& state) {
-          bench::World& world = world_at(i);
-          StrategyOutcome outcome;
-          for (auto _ : state) {
-            outcome = run_strategy(world, cosy::EvalStrategy::kSqlPushdown);
-          }
-          state.counters["virtual_ms"] = outcome.virtual_ms;
-          state.counters["queries"] = static_cast<double>(outcome.queries);
-        })
-        ->Unit(benchmark::kMillisecond)
-        ->Iterations(2);
-    benchmark::RegisterBenchmark(
-        support::cat("BM_ClientFetch/scale_", scales()[i].functions, "x",
-                     scales()[i].regions_per_function).c_str(),
-        [i](benchmark::State& state) {
-          bench::World& world = world_at(i);
-          StrategyOutcome outcome;
-          for (auto _ : state) {
-            outcome = run_strategy(world, cosy::EvalStrategy::kClientFetch);
-          }
-          state.counters["virtual_ms"] = outcome.virtual_ms;
-          state.counters["queries"] = static_cast<double>(outcome.queries);
-        })
-        ->Unit(benchmark::kMillisecond)
-        ->Iterations(1);
-    benchmark::RegisterBenchmark(
-        support::cat("BM_BulkFetch/scale_", scales()[i].functions, "x",
-                     scales()[i].regions_per_function).c_str(),
-        [i](benchmark::State& state) {
-          bench::World& world = world_at(i);
-          StrategyOutcome outcome;
-          for (auto _ : state) {
-            outcome = run_strategy(world, cosy::EvalStrategy::kBulkFetch);
-          }
-          state.counters["virtual_ms"] = outcome.virtual_ms;
-          state.counters["queries"] = static_cast<double>(outcome.queries);
-        })
-        ->Unit(benchmark::kMillisecond)
-        ->Iterations(2);
+    register_backend_bench("BM_Pushdown", "sql-pushdown", i, 2);
+    register_backend_bench("BM_WholeCondition", "sql-whole-condition", i, 2);
+    register_backend_bench("BM_ClientFetch", "client-fetch", i, 1);
+    register_backend_bench("BM_BulkFetch", "bulk-fetch", i, 2);
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

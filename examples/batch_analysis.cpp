@@ -57,8 +57,14 @@ int main() {
   std::vector<std::size_t> runs(data.runs.size());
   for (std::size_t i = 0; i < runs.size(); ++i) runs[i] = i;
 
+  //    The whole-condition backend (paper §6) evaluates each (property,
+  //    context) in ONE SQL statement; the caller-owned plan cache survives
+  //    this call, so a follow-up batch would compile nothing at all.
+  cosy::PlanCache plan_cache(model);
   cosy::BatchConfig config;
+  config.backend = "sql-whole-condition";
   config.threads = 4;
+  config.plan_cache = &plan_cache;
   const cosy::BatchResult result = batch.analyze_runs(runs, suites, config);
 
   std::cout << "\n" << result.summary.to_table() << "\n";

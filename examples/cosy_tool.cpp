@@ -10,11 +10,14 @@
 //     --pes 1,8,32        PE counts when simulating      (default 1,16)
 //     --run <index>       test run to analyze            (default last)
 //     --threshold <t>     problem threshold              (default 0.05)
-//     --strategy <s>      interpreter|sql|client|bulk    (default interpreter)
+//     --backend <name>    evaluation backend             (default interpreter)
+//                         any registry name (--list-backends); legacy
+//                         shorthands interpreter|sql|client|bulk still work
 //     --spec <file.asl>   additional property documents  (repeatable)
 //     --top <n>           rows to print                  (default 15)
 //     --format <f>        text|markdown|csv              (default text)
 //     --list-workloads
+//     --list-backends
 
 #include <fstream>
 #include <iostream>
@@ -23,6 +26,7 @@
 #include "asl/sema.hpp"
 #include "cosy/analyzer.hpp"
 #include "cosy/db_import.hpp"
+#include "cosy/eval_backend.hpp"
 #include "cosy/report_render.hpp"
 #include "cosy/schema_gen.hpp"
 #include "cosy/specs.hpp"
@@ -42,7 +46,7 @@ struct Options {
   std::vector<int> pes = {1, 16};
   std::optional<std::size_t> run;
   double threshold = 0.05;
-  cosy::EvalStrategy strategy = cosy::EvalStrategy::kInterpreter;
+  std::string backend = "interpreter";
   std::vector<std::string> extra_specs;
   std::size_t top = 15;
   std::string format = "text";
@@ -51,8 +55,13 @@ struct Options {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " (--report <file> | --workload <name>) [--pes 1,8,32]"
-               " [--run N] [--threshold T] [--strategy interpreter|sql|client|"
-               "bulk] [--spec file.asl]... [--top N] [--list-workloads]\n";
+               " [--run N] [--threshold T] [--backend <name>]"
+               " [--spec file.asl]... [--top N] [--list-workloads]"
+               " [--list-backends]\n       backends:";
+  for (const std::string& name : cosy::EvalBackend::names()) {
+    std::cerr << ' ' << name;
+  }
+  std::cerr << '\n';
   return 2;
 }
 
@@ -90,13 +99,23 @@ int main(int argc, char** argv) {
       options.run = static_cast<std::size_t>(std::atoll(next().c_str()));
     } else if (arg == "--threshold") {
       options.threshold = std::atof(next().c_str());
-    } else if (arg == "--strategy") {
+    } else if (arg == "--strategy" || arg == "--backend") {
       const std::string value = next();
-      if (value == "interpreter") options.strategy = cosy::EvalStrategy::kInterpreter;
-      else if (value == "sql") options.strategy = cosy::EvalStrategy::kSqlPushdown;
-      else if (value == "client") options.strategy = cosy::EvalStrategy::kClientFetch;
-      else if (value == "bulk") options.strategy = cosy::EvalStrategy::kBulkFetch;
-      else return usage(argv[0]);
+      // Legacy shorthands map onto registry names; anything else must be a
+      // registered backend.
+      if (value == "interpreter" || cosy::EvalBackend::exists(value)) {
+        options.backend = value;
+      } else if (value == "sql") {
+        options.backend = "sql-pushdown";
+      } else if (value == "whole") {
+        options.backend = "sql-whole-condition";
+      } else if (value == "client") {
+        options.backend = "client-fetch";
+      } else if (value == "bulk") {
+        options.backend = "bulk-fetch";
+      } else {
+        return usage(argv[0]);
+      }
     } else if (arg == "--spec") {
       options.extra_specs.push_back(next());
     } else if (arg == "--top") {
@@ -110,6 +129,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--list-workloads") {
       for (const auto& [name, factory] : perf::workloads::all_named()) {
         std::cout << name << '\n';
+      }
+      return 0;
+    } else if (arg == "--list-backends") {
+      for (const std::string& name : cosy::EvalBackend::names()) {
+        std::cout << name << "  —  " << cosy::EvalBackend::describe(name)
+                  << '\n';
       }
       return 0;
     } else {
@@ -150,12 +175,12 @@ int main(int argc, char** argv) {
     }
     const asl::Model model = asl::analyze(asl::merge_specs(std::move(specs)));
 
-    // 3. Populate store (+ database when a SQL strategy is selected).
+    // 3. Populate store (+ database when the backend needs one).
     asl::ObjectStore store(model);
     const cosy::StoreHandles handles = cosy::build_store(store, data);
     std::unique_ptr<db::Database> database;
     std::unique_ptr<db::Connection> conn;
-    if (options.strategy != cosy::EvalStrategy::kInterpreter) {
+    if (cosy::EvalBackend::requires_connection(options.backend)) {
       database = std::make_unique<db::Database>();
       cosy::create_schema(*database, model);
       conn = std::make_unique<db::Connection>(
@@ -166,7 +191,7 @@ int main(int argc, char** argv) {
     // 4. Analyze and present.
     cosy::Analyzer analyzer(model, store, handles, conn.get());
     cosy::AnalyzerConfig config;
-    config.strategy = options.strategy;
+    config.backend = options.backend;
     config.problem_threshold = options.threshold;
     const std::size_t run = options.run.value_or(handles.runs.size() - 1);
     const cosy::AnalysisReport report = analyzer.analyze(run, config);
@@ -183,7 +208,7 @@ int main(int argc, char** argv) {
     }
     if (report.sql_queries > 0) {
       std::cout << report.sql_queries << " SQL statements issued ("
-                << to_string(options.strategy) << ")\n";
+                << options.backend << ")\n";
     }
     return report.tuned() ? 0 : 1;
   } catch (const support::Error& error) {

@@ -1,0 +1,354 @@
+#include "asl/compilability.hpp"
+
+#include <optional>
+
+#include "asl/ast.hpp"
+#include "support/str.hpp"
+
+namespace kojak::asl {
+
+using ast::Expr;
+
+bool mentions_name(const Expr& e, const std::string& name) {  // NOLINT(misc-no-recursion)
+  if (e.kind == Expr::Kind::kIdent && e.name == name) return true;
+  // A nested binder of the same name shadows the outer one.
+  if ((e.kind == Expr::Kind::kComprehension ||
+       e.kind == Expr::Kind::kAggregate) &&
+      e.name == name) {
+    return e.base && mentions_name(*e.base, name);
+  }
+  if (e.base && mentions_name(*e.base, name)) return true;
+  if (e.lhs && mentions_name(*e.lhs, name)) return true;
+  if (e.rhs && mentions_name(*e.rhs, name)) return true;
+  if (e.agg_value && mentions_name(*e.agg_value, name)) return true;
+  if (e.filter && mentions_name(*e.filter, name)) return true;
+  for (const auto& arg : e.args) {
+    if (mentions_name(*arg, name)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+class SiteChecker {
+ public:
+  explicit SiteChecker(const Model& model) : model_(&model) {}
+
+  void push(std::string name, Type type) {
+    env_.emplace_back(std::move(name), type);
+  }
+
+  /// Checks one site; returns the blocker, or empty when compilable.
+  [[nodiscard]] std::string check(const Expr& e) {
+    reason_.clear();
+    (void)scalar(e);
+    return reason_;
+  }
+
+ private:
+  std::optional<Type> fail(std::string reason) {
+    if (reason_.empty()) reason_ = std::move(reason);
+    return std::nullopt;
+  }
+
+  [[nodiscard]] const Type* lookup(std::string_view name) const {
+    for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
+      if (it->first == name) return &it->second;
+    }
+    return nullptr;
+  }
+
+  /// Scalar position, no set binder in scope.
+  std::optional<Type> scalar(const Expr& e) {  // NOLINT(misc-no-recursion)
+    using Kind = Expr::Kind;
+    switch (e.kind) {
+      case Kind::kIntLit: return Type::of(TypeKind::kInt);
+      case Kind::kFloatLit: return Type::of(TypeKind::kFloat);
+      case Kind::kBoolLit: return Type::of(TypeKind::kBool);
+      case Kind::kStringLit: return Type::of(TypeKind::kString);
+      case Kind::kNullLit: return Type::of(TypeKind::kNullRef);
+
+      case Kind::kIdent: {
+        if (const Type* bound = lookup(e.name)) return *bound;
+        if (const ConstInfo* cst = model_->find_constant(e.name)) {
+          return cst->type;
+        }
+        if (const auto member = model_->find_enum_member(e.name)) {
+          return Type::enum_of(member->first);
+        }
+        return fail(support::cat("unknown name '", e.name, "'"));
+      }
+
+      case Kind::kMember: {
+        const auto base = scalar(*e.base);
+        if (!base) return std::nullopt;
+        if (base->kind == TypeKind::kSet) {
+          return fail(support::cat(
+              "set value reaches scalar position before '.", e.name,
+              "' (wrap it in UNIQUE/EXISTS/SIZE or an aggregate)"));
+        }
+        if (base->kind != TypeKind::kClass) {
+          return fail(support::cat("attribute access '.", e.name,
+                                   "' on a non-object expression"));
+        }
+        const ClassInfo& cls = model_->class_info(base->id);
+        const auto attr = cls.find_attr(e.name);
+        if (!attr) {
+          return fail(support::cat("class ", cls.name, " has no attribute '",
+                                   e.name, "'"));
+        }
+        const Type& attr_type = cls.attrs[*attr].type;
+        if (attr_type.kind == TypeKind::kSet) {
+          return fail(support::cat(
+              "set-valued attribute '", e.name,
+              "' in scalar position (wrap it in UNIQUE/EXISTS/SIZE or an "
+              "aggregate)"));
+        }
+        return attr_type;
+      }
+
+      case Kind::kCall: {
+        const FunctionInfo* fn = model_->find_function(e.name);
+        if (fn == nullptr) {
+          return fail(support::cat("unknown function '", e.name, "'"));
+        }
+        if (e.args.size() != fn->params.size()) {
+          return fail(support::cat("function ", fn->name, " expects ",
+                                   fn->params.size(), " arguments"));
+        }
+        if (depth_ > kMaxInlineDepth) {
+          return fail(support::cat("function ", fn->name,
+                                   " inlines too deep (recursive "
+                                   "specification functions cannot compile)"));
+        }
+        for (const auto& arg : e.args) {
+          if (!scalar(*arg)) return std::nullopt;
+        }
+        // The body sees only the function's parameters.
+        std::vector<std::pair<std::string, Type>> saved;
+        saved.swap(env_);
+        for (const auto& [name, type] : fn->params) push(name, type);
+        ++depth_;
+        const auto body = scalar(*fn->body);
+        --depth_;
+        env_ = std::move(saved);
+        if (!body) return std::nullopt;
+        return fn->return_type;
+      }
+
+      case Kind::kUnary: {
+        const auto operand = scalar(*e.lhs);
+        if (!operand) return std::nullopt;
+        if (e.un_op == ast::UnOp::kNot) return Type::of(TypeKind::kBool);
+        return operand;
+      }
+
+      case Kind::kBinary: {
+        const auto lhs = scalar(*e.lhs);
+        if (!lhs) return std::nullopt;
+        const auto rhs = scalar(*e.rhs);
+        if (!rhs) return std::nullopt;
+        using ast::BinOp;
+        switch (e.bin_op) {
+          case BinOp::kAnd: case BinOp::kOr:
+          case BinOp::kEq: case BinOp::kNe:
+          case BinOp::kLt: case BinOp::kLe:
+          case BinOp::kGt: case BinOp::kGe:
+            return Type::of(TypeKind::kBool);
+          case BinOp::kDiv:
+            return Type::of(TypeKind::kFloat);
+          default:
+            return (lhs->kind == TypeKind::kInt && rhs->kind == TypeKind::kInt)
+                       ? Type::of(TypeKind::kInt)
+                       : Type::of(TypeKind::kFloat);
+        }
+      }
+
+      case Kind::kUnique: {
+        const auto elem = set_chain(*e.base);
+        if (!elem) return std::nullopt;
+        return Type::class_of(*elem);
+      }
+      case Kind::kExists: {
+        if (!set_chain(*e.base)) return std::nullopt;
+        return Type::of(TypeKind::kBool);
+      }
+      case Kind::kSize: {
+        if (!set_chain(*e.base)) return std::nullopt;
+        return Type::of(TypeKind::kInt);
+      }
+
+      case Kind::kAggregate: {
+        if (!e.base) return scalar(*e.agg_value);  // identity form
+        const auto elem = set_chain(*e.base);
+        if (!elem) return std::nullopt;
+        if (e.filter && !over_binder(*e.filter, e.name, *elem)) {
+          return std::nullopt;
+        }
+        if (e.agg_kind != ast::AggKind::kCount &&
+            !over_binder(*e.agg_value, e.name, *elem)) {
+          return std::nullopt;
+        }
+        return e.agg_kind == ast::AggKind::kCount ? Type::of(TypeKind::kInt)
+                                                  : Type::of(TypeKind::kFloat);
+      }
+
+      case Kind::kComprehension:
+        return fail(
+            "set comprehension in scalar position (only UNIQUE/EXISTS/SIZE "
+            "and aggregates consume sets)");
+    }
+    return fail("unhandled expression kind");
+  }
+
+  /// Set position: a setof-attribute chain or a comprehension over one.
+  /// Returns the element class.
+  std::optional<std::uint32_t> set_chain(const Expr& e) {  // NOLINT(misc-no-recursion)
+    if (e.kind == Expr::Kind::kMember) {
+      const auto base = scalar(*e.base);
+      if (!base) return std::nullopt;
+      if (base->kind != TypeKind::kClass) {
+        fail(support::cat("set base of '.", e.name, "' is not an object"));
+        return std::nullopt;
+      }
+      const ClassInfo& cls = model_->class_info(base->id);
+      const auto attr = cls.find_attr(e.name);
+      if (!attr || cls.attrs[*attr].type.kind != TypeKind::kSet) {
+        fail(support::cat("'", e.name, "' is not a setof attribute of ",
+                          cls.name));
+        return std::nullopt;
+      }
+      return cls.attrs[*attr].type.id;
+    }
+    if (e.kind == Expr::Kind::kComprehension) {
+      const auto elem = set_chain(*e.base);
+      if (!elem) return std::nullopt;
+      if (e.filter && !over_binder(*e.filter, e.name, *elem)) {
+        return std::nullopt;
+      }
+      return elem;
+    }
+    fail("set expression must be a setof attribute chain or a comprehension "
+         "over one");
+    return std::nullopt;
+  }
+
+  /// Filter/value expression of a set with `binder` in scope. Parts not
+  /// mentioning the binder must compile as uncorrelated scalars; parts that
+  /// do are limited to member chains, comparisons, and boolean/arithmetic
+  /// glue (the engine's scalar subqueries cannot be correlated).
+  bool over_binder(const Expr& e, const std::string& binder,  // NOLINT(misc-no-recursion)
+                   std::uint32_t elem_class) {
+    if (!mentions_name(e, binder)) return scalar(e).has_value();
+    using Kind = Expr::Kind;
+    switch (e.kind) {
+      case Kind::kIdent:
+        return true;  // the binder itself
+      case Kind::kMember: {
+        // Must be a member chain rooted at the binder.
+        std::vector<const Expr*> chain;
+        const Expr* cur = &e;
+        while (cur->kind == Kind::kMember) {
+          chain.push_back(cur);
+          cur = cur->base.get();
+        }
+        if (cur->kind != Kind::kIdent || cur->name != binder) {
+          fail(support::cat("member path in a set filter must be rooted at "
+                            "binder '", binder, "'"));
+          return false;
+        }
+        std::uint32_t cls_id = elem_class;
+        for (std::size_t i = chain.size(); i-- > 0;) {
+          const ClassInfo& cls = model_->class_info(cls_id);
+          const auto attr = cls.find_attr(chain[i]->name);
+          if (!attr) {
+            fail(support::cat("class ", cls.name, " has no attribute '",
+                              chain[i]->name, "'"));
+            return false;
+          }
+          const Type& attr_type = cls.attrs[*attr].type;
+          if (i == 0) {
+            if (attr_type.kind == TypeKind::kSet) {
+              fail(support::cat("set-valued attribute '", chain[i]->name,
+                                "' inside a set filter"));
+              return false;
+            }
+            return true;
+          }
+          if (attr_type.kind != TypeKind::kClass) {
+            fail(support::cat("'.", chain[i]->name,
+                              "' must be an object reference"));
+            return false;
+          }
+          cls_id = attr_type.id;
+        }
+        return true;
+      }
+      case Kind::kUnary:
+        return over_binder(*e.lhs, binder, elem_class);
+      case Kind::kBinary:
+        return over_binder(*e.lhs, binder, elem_class) &&
+               over_binder(*e.rhs, binder, elem_class);
+      default:
+        fail(support::cat(
+            "expression correlated with binder '", binder,
+            "' is not compilable (aggregates/calls over the binder are not "
+            "supported)"));
+        return false;
+    }
+  }
+
+  static constexpr int kMaxInlineDepth = 16;
+
+  const Model* model_;
+  std::vector<std::pair<std::string, Type>> env_;
+  std::string reason_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+PropertyCompilability classify_whole_condition(const Model& model,
+                                               const PropertyInfo& prop) {
+  PropertyCompilability out;
+  out.property = prop.name;
+
+  SiteChecker checker(model);
+  for (const auto& [name, type] : prop.params) checker.push(name, type);
+
+  const auto add = [&](std::string site, const ast::Expr& expr) {
+    std::string reason = checker.check(expr);
+    out.sites.push_back(
+        {std::move(site), reason.empty(), std::move(reason)});
+  };
+
+  for (const LetInfo& let : prop.lets) {
+    add(support::cat("let ", let.name), *let.init);
+    checker.push(let.name, let.type);
+  }
+  for (std::size_t i = 0; i < prop.conditions.size(); ++i) {
+    const ConditionInfo& cond = prop.conditions[i];
+    add(support::cat("condition ",
+                     cond.id.empty() ? support::cat("#", i + 1)
+                                     : support::cat("(", cond.id, ")")),
+        *cond.pred);
+  }
+  for (std::size_t i = 0; i < prop.confidence.size(); ++i) {
+    add(support::cat("confidence #", i + 1), *prop.confidence[i].expr);
+  }
+  for (std::size_t i = 0; i < prop.severity.size(); ++i) {
+    add(support::cat("severity #", i + 1), *prop.severity[i].expr);
+  }
+  return out;
+}
+
+std::vector<PropertyCompilability> classify_whole_condition(const Model& model) {
+  std::vector<PropertyCompilability> out;
+  out.reserve(model.properties().size());
+  for (const PropertyInfo& prop : model.properties()) {
+    out.push_back(classify_whole_condition(model, prop));
+  }
+  return out;
+}
+
+}  // namespace kojak::asl

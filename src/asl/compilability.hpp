@@ -1,0 +1,69 @@
+#ifndef KOJAK_ASL_COMPILABILITY_HPP
+#define KOJAK_ASL_COMPILABILITY_HPP
+
+#include <string>
+#include <vector>
+
+#include "asl/model.hpp"
+
+namespace kojak::asl {
+
+/// Verdict for one translation site of a property: a LET initializer, a
+/// condition predicate, or a confidence/severity arm.
+struct SiteCompilability {
+  std::string site;  ///< e.g. "let TotalCost", "condition (p2p)", "severity #1"
+  bool compilable = true;
+  std::string reason;  ///< first blocker when not compilable
+};
+
+/// Whole-condition compilability of a property (paper §6: "translate the
+/// conditions of performance properties entirely into SQL"). A property is
+/// whole-condition compilable when every site can become part of a single
+/// FROM-less SELECT of scalar subqueries — the static contract the
+/// sql-whole-condition backend relies on before attempting a translation.
+struct PropertyCompilability {
+  std::string property;
+  std::vector<SiteCompilability> sites;
+
+  [[nodiscard]] bool whole_condition_compilable() const {
+    for (const SiteCompilability& site : sites) {
+      if (!site.compilable) return false;
+    }
+    return true;
+  }
+  /// The first blocking site, or nullptr when fully compilable.
+  [[nodiscard]] const SiteCompilability* first_blocker() const {
+    for (const SiteCompilability& site : sites) {
+      if (!site.compilable) return &site;
+    }
+    return nullptr;
+  }
+};
+
+/// Statically classifies every site of `prop` for whole-condition SQL
+/// compilation. The rules mirror the compiler in cosy::SqlEvaluator:
+///  * scalar glue (arithmetic, comparisons, AND/OR, NOT) compiles;
+///  * set expressions must be setof-attribute chains or comprehensions
+///    over one, and are consumed by UNIQUE/EXISTS/SIZE or an aggregate;
+///  * aggregates and function calls correlated with an enclosing set
+///    binder are not compilable (the engine's scalar subqueries are
+///    uncorrelated);
+///  * specification functions are inlined (recursion is rejected);
+///  * a set value in scalar position is not compilable.
+/// The classification needs no database and no data: it is pure structure,
+/// so tools can report "which properties would fall back" up front.
+[[nodiscard]] PropertyCompilability classify_whole_condition(
+    const Model& model, const PropertyInfo& prop);
+
+/// Classifies every property of the model.
+[[nodiscard]] std::vector<PropertyCompilability> classify_whole_condition(
+    const Model& model);
+
+/// True when `e` mentions `name` outside a shadowing comprehension or
+/// aggregate binder of the same name — the binder-correlation test shared
+/// by the SQL compilers and this classifier.
+[[nodiscard]] bool mentions_name(const ast::Expr& e, const std::string& name);
+
+}  // namespace kojak::asl
+
+#endif  // KOJAK_ASL_COMPILABILITY_HPP

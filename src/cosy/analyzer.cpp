@@ -2,12 +2,10 @@
 
 #include <algorithm>
 
-#include "cosy/db_import.hpp"
-#include "cosy/sql_eval.hpp"
+#include "cosy/eval_backend.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
-#include "support/thread_pool.hpp"
 
 namespace kojak::cosy {
 
@@ -21,12 +19,23 @@ std::string_view to_string(EvalStrategy strategy) {
     case EvalStrategy::kSqlPushdown: return "sql-pushdown";
     case EvalStrategy::kClientFetch: return "client-fetch";
     case EvalStrategy::kBulkFetch: return "bulk-fetch";
+    case EvalStrategy::kShardedInterpreter: return "interpreter-sharded";
+    case EvalStrategy::kSqlWholeCondition: return "sql-whole-condition";
   }
   return "?";
 }
 
+std::string AnalyzerConfig::backend_name() const {
+  if (!backend.empty()) return backend;
+  if (strategy == EvalStrategy::kInterpreter && parallel) {
+    return "interpreter-sharded";
+  }
+  return std::string(to_string(strategy));
+}
+
 std::vector<const Finding*> AnalysisReport::problems() const {
   std::vector<const Finding*> out;
+  out.reserve(findings.size());
   for (const Finding& finding : findings) {
     if (finding.result.severity > problem_threshold) out.push_back(&finding);
   }
@@ -34,6 +43,7 @@ std::vector<const Finding*> AnalysisReport::problems() const {
 }
 
 std::string AnalysisReport::to_table(std::size_t top_n) const {
+  if (top_n == 0) top_n = findings.size();  // 0 caps nothing, not everything
   support::TablePrinter table;
   table.add_column("#", support::TablePrinter::Align::kRight)
       .add_column("property")
@@ -210,53 +220,30 @@ AnalysisReport Analyzer::analyze(std::size_t run_index,
 
   std::vector<PropertyResult> results(contexts.size());
 
-  if (config.strategy != EvalStrategy::kInterpreter && conn_ == nullptr) {
-    throw EvalError("SQL strategies need a database connection");
-  }
+  // The evaluation path is a named backend driven through the uniform
+  // prepare/evaluate/stats contract; the analyzer no longer branches on how
+  // a backend does its work.
+  EvalBackendDeps deps;
+  deps.model = model_;
+  deps.store = store_;
+  deps.conn = conn_;
+  deps.plan_cache = config.plan_cache;
+  deps.threads = config.threads;
+  const std::unique_ptr<EvalBackend> backend =
+      EvalBackend::create(config.backend_name(), deps);
+  backend->prepare(*model_, run);
 
-  switch (config.strategy) {
-    case EvalStrategy::kInterpreter: {
-      const asl::Interpreter interp(*model_, *store_);
-      const auto body = [&](std::size_t i) {
-        results[i] =
-            interp.evaluate_property(*contexts[i].property, contexts[i].args);
-      };
-      if (config.parallel) {
-        support::global_pool().parallel_for(contexts.size(), body);
-      } else {
-        for (std::size_t i = 0; i < contexts.size(); ++i) body(i);
-      }
-      break;
-    }
-    case EvalStrategy::kSqlPushdown:
-    case EvalStrategy::kClientFetch: {
-      SqlEvaluator sql(*model_, *conn_,
-                       config.strategy == EvalStrategy::kSqlPushdown
-                           ? SqlEvalMode::kPushdown
-                           : SqlEvalMode::kClientSide,
-                       config.plan_cache);
-      for (std::size_t i = 0; i < contexts.size(); ++i) {
-        results[i] =
-            sql.evaluate_property(*contexts[i].property, contexts[i].args);
-      }
-      report.sql_queries = sql.queries_issued();
-      report.plan_cache_hits = sql.plan_cache_hits();
-      report.plan_cache_misses = sql.plan_cache_misses();
-      break;
-    }
-    case EvalStrategy::kBulkFetch: {
-      // One bulk transfer of every table, then in-memory interpretation.
-      const std::uint64_t before = conn_->statements_executed();
-      const asl::ObjectStore fetched = rebuild_store(*conn_, *model_);
-      report.sql_queries = conn_->statements_executed() - before;
-      const asl::Interpreter interp(*model_, fetched);
-      for (std::size_t i = 0; i < contexts.size(); ++i) {
-        results[i] =
-            interp.evaluate_property(*contexts[i].property, contexts[i].args);
-      }
-      break;
-    }
+  std::vector<EvalRequest> requests;
+  requests.reserve(contexts.size());
+  for (const Context& ctx : contexts) {
+    requests.push_back({ctx.property, &ctx.args});
   }
+  backend->evaluate_all(requests, results);
+
+  const EvalStats stats = backend->stats();
+  report.sql_queries = stats.sql_queries;
+  report.plan_cache_hits = stats.plan_cache_hits;
+  report.plan_cache_misses = stats.plan_cache_misses;
 
   for (std::size_t i = 0; i < contexts.size(); ++i) {
     Finding finding{contexts[i].property->name, contexts[i].label,

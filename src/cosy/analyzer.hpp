@@ -13,36 +13,49 @@ namespace kojak::cosy {
 
 class PlanCache;
 
-/// How property conditions/severities are evaluated (paper §5 discusses the
-/// work distribution between client and database):
-///  * kInterpreter  — in-memory object store, no database involved;
-///  * kSqlPushdown  — set operations compile to SQL, scalars client-side;
-///  * kClientFetch  — record-at-a-time component access with all filtering
-///                    and aggregation in the tool (the slow path §5 warns
-///                    about: "first accessing the data components and
-///                    evaluating the expressions in the analysis tool");
-///  * kBulkFetch    — one bulk transfer of every table, then in-memory
-///                    interpretation (a batch optimization of kClientFetch,
-///                    kept as an ablation point).
-enum class EvalStrategy { kInterpreter, kSqlPushdown, kClientFetch, kBulkFetch };
+/// DEPRECATED thin alias for the named evaluation backends (see
+/// eval_backend.hpp). Kept so existing configs keep compiling; every value
+/// maps 1:1 onto a registry name via to_string(). New code — and anything
+/// configurable from strings — should set AnalyzerConfig::backend instead,
+/// which also reaches backends this enum never will (user-registered ones).
+enum class EvalStrategy {
+  kInterpreter,         // "interpreter"
+  kSqlPushdown,         // "sql-pushdown"
+  kClientFetch,         // "client-fetch"
+  kBulkFetch,           // "bulk-fetch"
+  kShardedInterpreter,  // "interpreter-sharded"
+  kSqlWholeCondition,   // "sql-whole-condition" (paper §6, one stmt/context)
+};
 
+/// The registry name of a strategy (exact spelling EvalBackend::create
+/// accepts).
 [[nodiscard]] std::string_view to_string(EvalStrategy strategy);
 
 struct AnalyzerConfig {
+  /// Deprecated alias for `backend`; used only while `backend` is empty.
   EvalStrategy strategy = EvalStrategy::kInterpreter;
+  /// Evaluation backend by registry name (e.g. "sql-whole-condition"); wins
+  /// over `strategy` when non-empty. Unknown names throw, listing what is
+  /// available.
+  std::string backend;
   /// A property is a performance *problem* iff severity > threshold (§4).
   double problem_threshold = 0.05;
   /// Region whose duration normalizes severities; empty -> the main region.
   std::string basis_region;
-  /// Evaluate contexts on the global thread pool (interpreter strategy only;
-  /// results are reduced in deterministic order).
+  /// Deprecated alias: with the interpreter strategy selected, `parallel`
+  /// upgrades it to the interpreter-sharded backend.
   bool parallel = false;
+  /// Worker count for sharding backends (0 = hardware).
+  std::size_t threads = 0;
   /// Evaluate only these properties (a "suite"); empty means every property
   /// of the model. Unknown names throw.
   std::vector<std::string> properties;
-  /// Shared compiled-plan cache for the SQL strategies (see PlanCache);
+  /// Shared compiled-plan cache for the SQL backends (see PlanCache);
   /// null runs every translation from scratch, as the 1999 toolchain did.
   PlanCache* plan_cache = nullptr;
+
+  /// The backend name this config resolves to.
+  [[nodiscard]] std::string backend_name() const;
 };
 
 /// One evaluated (property, context) pair.
@@ -66,8 +79,8 @@ struct AnalysisReport {
   std::vector<Finding> findings;
   /// Contexts where evaluation was not applicable (data gaps), for audit.
   std::vector<Finding> not_applicable;
-  std::uint64_t sql_queries = 0;  ///< statements issued (SQL strategies)
-  /// Plan-cache traffic (SQL strategies with a PlanCache). Telemetry, not
+  std::uint64_t sql_queries = 0;  ///< statements issued (SQL backends)
+  /// Plan-cache traffic (SQL backends with a PlanCache). Telemetry, not
   /// part of the deterministic contract: with a cache shared by concurrent
   /// analyses, racing workers may both compile a cold site, so the split
   /// between hits and misses can vary with scheduling.
@@ -83,10 +96,12 @@ struct AnalysisReport {
   /// True when the program needs no further tuning (§4: bottleneck is not a
   /// problem).
   [[nodiscard]] bool tuned() const {
-    return bottleneck() == nullptr ||
-           bottleneck()->result.severity <= problem_threshold;
+    const Finding* top = bottleneck();
+    return top == nullptr || top->result.severity <= problem_threshold;
   }
 
+  /// Renders the ranked findings; `top_n == 0` means every finding (a
+  /// zero-row cap would silently hide the ranking the report exists for).
   [[nodiscard]] std::string to_table(std::size_t top_n = 20) const;
 };
 

@@ -8,6 +8,7 @@
 #include <set>
 #include <tuple>
 
+#include "cosy/eval_backend.hpp"
 #include "cosy/sql_eval.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
@@ -26,7 +27,11 @@ std::string BatchSummary::to_table(std::size_t top_n) const {
       support::format_double(backend_makespan_ms, 4), " ms makespan\n",
       "SQL: ", sql_queries, " statements, plan cache ", plan_cache_hits,
       " hits / ", plan_cache_misses, " misses (",
-      support::format_double(100.0 * plan_cache_hit_rate(), 4), "% hit rate)\n");
+      support::format_double(100.0 * plan_cache_hit_rate(), 4), "% hit rate)\n",
+      "shared plan cache: ", shared_cache.hits, " hits / ",
+      shared_cache.misses, " misses (",
+      support::format_double(100.0 * shared_cache.hit_rate(), 4),
+      "% hit rate), ", shared_cache_plans, " compiled plans resident\n");
 
   support::TablePrinter worst_table;
   worst_table.add_column("#", support::TablePrinter::Align::kRight)
@@ -97,9 +102,13 @@ BatchResult BatchAnalyzer::analyze_all(const BatchConfig& config) {
 BatchResult BatchAnalyzer::analyze_runs(std::span<const std::size_t> runs,
                                         std::span<const PropertySuite> suites,
                                         const BatchConfig& config) {
-  const bool needs_db = config.strategy != EvalStrategy::kInterpreter;
+  const std::string backend = config.backend_name();
+  // Resolving the requirement through the registry also validates the name
+  // up front — before any worker spins up.
+  const bool needs_db = EvalBackend::requires_connection(backend);
   if (needs_db && pool_ == nullptr) {
-    throw EvalError("batch SQL strategies need a connection pool");
+    throw EvalError(support::cat("batch backend '", backend,
+                                 "' needs a connection pool"));
   }
 
   static const PropertySuite kAllSuite{"all", {}};
@@ -128,24 +137,31 @@ BatchResult BatchAnalyzer::analyze_runs(std::span<const std::size_t> runs,
   std::mutex used_mutex;
   std::set<const db::Connection*> used_sessions;
 
+  const PlanCache::Stats cache_before =
+      cache != nullptr ? cache->stats() : PlanCache::Stats{};
+
   std::vector<std::function<void()>> tasks;
   tasks.reserve(result.items.size());
   for (std::size_t s = 0; s < suites.size(); ++s) {
     for (std::size_t r = 0; r < runs.size(); ++r) {
       const std::size_t slot = s * runs.size() + r;
       tasks.push_back([this, slot, s, r, &suites, &runs, &config, cache,
-                       &result, &used_mutex, &used_sessions] {
+                       needs_db, &backend, &result, &used_mutex,
+                       &used_sessions] {
         AnalyzerConfig per_run;
-        per_run.strategy = config.strategy;
+        per_run.backend = backend;
         per_run.problem_threshold = config.problem_threshold;
         per_run.basis_region = config.basis_region;
         per_run.properties = suites[s].properties;
         per_run.plan_cache = cache;
+        // Batch-level parallelism already saturates the workers; sharding
+        // backends must not fan out again inside each task.
+        per_run.threads = 1;
 
         BatchItem& item = result.items[slot];
         item.run_index = runs[r];
         item.suite = suites[s].name;
-        if (config.strategy == EvalStrategy::kInterpreter) {
+        if (!needs_db) {
           Analyzer analyzer(*model_, *store_, *handles_);
           item.report = analyzer.analyze(runs[r], per_run);
         } else {
@@ -182,6 +198,12 @@ BatchResult BatchAnalyzer::analyze_runs(std::span<const std::size_t> runs,
     summary.pool.reuses = now.reuses - pool_before.reuses;
     summary.pool.waits = now.waits - pool_before.waits;
     summary.pooled_connections = used_sessions.size();
+  }
+  if (cache != nullptr) {
+    const PlanCache::Stats cache_after = cache->stats();
+    summary.shared_cache.hits = cache_after.hits - cache_before.hits;
+    summary.shared_cache.misses = cache_after.misses - cache_before.misses;
+    summary.shared_cache_plans = cache->size();
   }
 
   for (const BatchItem& item : result.items) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cosy/analyzer.hpp"
+#include "cosy/sql_eval.hpp"
 #include "db/connection_pool.hpp"
 
 namespace kojak::cosy {
@@ -22,21 +23,33 @@ struct PropertySuite {
 };
 
 struct BatchConfig {
+  /// Deprecated alias for `backend`; used only while `backend` is empty.
   EvalStrategy strategy = EvalStrategy::kSqlPushdown;
+  /// Evaluation backend by registry name (see eval_backend.hpp); wins over
+  /// `strategy` when non-empty. Every (run, suite) task drives one backend
+  /// instance of this name.
+  std::string backend;
   /// Worker threads (and concurrently leased connections); 0 = hardware.
   std::size_t threads = 0;
   double problem_threshold = 0.05;
   /// Severity basis region; empty -> the main region (per AnalyzerConfig).
   std::string basis_region;
   /// Share one compiled-plan cache across all workers of this batch (SQL
-  /// strategies): each property's SQL translation happens once per batch
+  /// backends): each property's SQL translation happens once per batch
   /// instead of once per (run, context).
   bool share_plan_cache = true;
   /// Use this caller-owned cache instead of a per-batch one; survives the
-  /// call, so a service analyzing batch after batch keeps its warm plans.
+  /// call, so a service analyzing batch after batch keeps its warm plans
+  /// (the ROADMAP's "persist PlanCache across experiments"). The summary
+  /// reports this batch's traffic on it as a delta.
   PlanCache* plan_cache = nullptr;
   /// Rows kept in the cross-run worst-context summary.
   std::size_t top_contexts = 10;
+
+  /// The backend name this config resolves to.
+  [[nodiscard]] std::string backend_name() const {
+    return backend.empty() ? std::string(to_string(strategy)) : backend;
+  }
 };
 
 /// One unit of batch work: a (run, suite) pair with its finished report.
@@ -87,6 +100,13 @@ struct BatchSummary {
         static_cast<double>(plan_cache_hits + plan_cache_misses);
     return total == 0 ? 0.0 : static_cast<double>(plan_cache_hits) / total;
   }
+  /// Traffic on the batch's shared PlanCache (a delta, so a caller-owned
+  /// cache reused across batches reports per-batch numbers) and the
+  /// distinct compiled plans resident after the batch. Matches the
+  /// evaluator-side counters above unless other analyses share the cache
+  /// concurrently.
+  PlanCache::Stats shared_cache;
+  std::size_t shared_cache_plans = 0;
 
   double wall_ms = 0.0;  ///< real engine time for the whole batch
   /// Modelled backend time consumed by this batch: `total` is the

@@ -1,0 +1,321 @@
+#include "cosy/eval_backend.hpp"
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "cosy/db_import.hpp"
+#include "cosy/sql_eval.hpp"
+#include "db/connection.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+#include "support/thread_pool.hpp"
+
+namespace kojak::cosy {
+
+using support::EvalError;
+
+void EvalBackend::prepare(const asl::Model& model, asl::ObjectId run) {
+  (void)run;
+  if (&model != deps_.model) {
+    throw EvalError(support::cat(
+        "backend '", name(),
+        "' was created for a different model instance; create one backend "
+        "per (model, analysis)"));
+  }
+}
+
+void EvalBackend::evaluate_all(std::span<const EvalRequest> requests,
+                               std::span<asl::PropertyResult> results) {
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    results[i] = evaluate(*requests[i].property, *requests[i].args);
+  }
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Interpreter family
+
+class InterpreterBackend : public EvalBackend {
+ public:
+  explicit InterpreterBackend(const EvalBackendDeps& deps)
+      : EvalBackend(deps), interp_(*deps.model, *deps.store) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "interpreter";
+  }
+
+  [[nodiscard]] asl::PropertyResult evaluate(
+      const asl::PropertyInfo& property,
+      const std::vector<asl::RtValue>& args) override {
+    return interp_.evaluate_property(property, args);
+  }
+
+ protected:
+  const asl::Interpreter interp_;
+};
+
+/// The interpreter with the ROADMAP's intra-run parallelism: one huge run's
+/// context list is split into contiguous shards, one per worker, and every
+/// shard writes its own slice of the result array. The reduction order is
+/// the request order regardless of scheduling, so reports are byte-identical
+/// for any thread count.
+class ShardedInterpreterBackend final : public InterpreterBackend {
+ public:
+  explicit ShardedInterpreterBackend(const EvalBackendDeps& deps)
+      : InterpreterBackend(deps), threads_(deps.threads) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "interpreter-sharded";
+  }
+
+  void evaluate_all(std::span<const EvalRequest> requests,
+                    std::span<asl::PropertyResult> results) override {
+    const std::size_t n = requests.size();
+    if (n == 0) return;
+    if (threads_ == 0) {
+      // No explicit worker count: shard on the long-lived process pool
+      // instead of spawning threads per analysis (parallel_for chunks
+      // contiguously; results are indexed, so reduction is deterministic).
+      support::global_pool().parallel_for(n, [&](std::size_t i) {
+        results[i] = interp_.evaluate_property(*requests[i].property,
+                                               *requests[i].args);
+      });
+      return;
+    }
+    const std::size_t shards = std::min(threads_, n);
+    if (shards <= 1) {
+      EvalBackend::evaluate_all(requests, results);
+      return;
+    }
+    // An explicit count gets its own pool: tests (and callers embedding the
+    // backend under an already-saturated scheduler) rely on exactly this
+    // many workers, which the hardware-sized global pool cannot promise.
+    support::ThreadPool pool(shards);
+    std::vector<std::future<void>> done;
+    done.reserve(shards);
+    const std::size_t chunk = (n + shards - 1) / shards;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t begin = s * chunk;
+      const std::size_t end = std::min(begin + chunk, n);
+      if (begin >= end) break;
+      done.push_back(pool.submit([this, requests, results, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i] = interp_.evaluate_property(*requests[i].property,
+                                                 *requests[i].args);
+        }
+      }));
+    }
+    for (std::future<void>& f : done) f.get();  // rethrows shard failures
+  }
+
+ private:
+  std::size_t threads_;
+};
+
+// ---------------------------------------------------------------------------
+// SQL family
+
+class SqlBackend final : public EvalBackend {
+ public:
+  SqlBackend(std::string_view name, SqlEvalMode mode,
+             const EvalBackendDeps& deps)
+      : EvalBackend(deps),
+        name_(name),
+        eval_(*deps.model, *deps.conn, mode, deps.plan_cache) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+
+  [[nodiscard]] asl::PropertyResult evaluate(
+      const asl::PropertyInfo& property,
+      const std::vector<asl::RtValue>& args) override {
+    return eval_.evaluate_property(property, args);
+  }
+
+  [[nodiscard]] EvalStats stats() const override {
+    return {eval_.queries_issued(), eval_.plan_cache_hits(),
+            eval_.plan_cache_misses(), eval_.whole_fallbacks()};
+  }
+
+ private:
+  std::string_view name_;  // points at the registry key (stable)
+  SqlEvaluator eval_;
+};
+
+/// One bulk transfer of every table in prepare(), then in-memory
+/// interpretation (the batch ablation point of the strategy comparison).
+class BulkFetchBackend final : public EvalBackend {
+ public:
+  explicit BulkFetchBackend(const EvalBackendDeps& deps) : EvalBackend(deps) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "bulk-fetch";
+  }
+
+  void prepare(const asl::Model& model, asl::ObjectId run) override {
+    EvalBackend::prepare(model, run);
+    db::Connection& conn = *deps().conn;
+    const std::uint64_t before = conn.statements_executed();
+    fetched_.emplace(rebuild_store(conn, model));
+    queries_ = conn.statements_executed() - before;
+    interp_.emplace(model, *fetched_);
+  }
+
+  [[nodiscard]] asl::PropertyResult evaluate(
+      const asl::PropertyInfo& property,
+      const std::vector<asl::RtValue>& args) override {
+    if (!interp_) {
+      throw EvalError("bulk-fetch backend evaluated before prepare()");
+    }
+    return interp_->evaluate_property(property, args);
+  }
+
+  [[nodiscard]] EvalStats stats() const override {
+    return {queries_, 0, 0, 0};
+  }
+
+ private:
+  std::optional<asl::ObjectStore> fetched_;
+  std::optional<asl::Interpreter> interp_;
+  std::uint64_t queries_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, EvalBackend::Registration, std::less<>> entries;
+};
+
+Registry& registry() {
+  static Registry instance;
+  static const bool initialized = [] {
+    Registry& r = instance;
+    const auto add = [&r](EvalBackend::Registration reg) {
+      std::string key = reg.name;
+      r.entries.emplace(std::move(key), std::move(reg));
+    };
+    add({"interpreter", "tree-walking evaluation over the in-memory store",
+         /*needs_store=*/true, /*needs_connection=*/false,
+         [](const EvalBackendDeps& deps) {
+           return std::make_unique<InterpreterBackend>(deps);
+         }});
+    add({"interpreter-sharded",
+         "interpreter with the context list sharded across a thread pool "
+         "(deterministic reduction order)",
+         /*needs_store=*/true, /*needs_connection=*/false,
+         [](const EvalBackendDeps& deps) {
+           return std::make_unique<ShardedInterpreterBackend>(deps);
+         }});
+    add({"sql-pushdown",
+         "set operations compile to SQL; scalar glue stays client-side",
+         /*needs_store=*/false, /*needs_connection=*/true,
+         [](const EvalBackendDeps& deps) {
+           return std::make_unique<SqlBackend>(
+               "sql-pushdown", SqlEvalMode::kPushdown, deps);
+         }});
+    add({"sql-whole-condition",
+         "entire condition + confidence + severity compile into one "
+         "parameterized statement per (property, context) — paper §6",
+         /*needs_store=*/false, /*needs_connection=*/true,
+         [](const EvalBackendDeps& deps) {
+           return std::make_unique<SqlBackend>(
+               "sql-whole-condition", SqlEvalMode::kWholeCondition, deps);
+         }});
+    add({"client-fetch",
+         "record-at-a-time component fetching with all evaluation in the "
+         "tool (the paper's §5 slow path)",
+         /*needs_store=*/false, /*needs_connection=*/true,
+         [](const EvalBackendDeps& deps) {
+           return std::make_unique<SqlBackend>(
+               "client-fetch", SqlEvalMode::kClientSide, deps);
+         }});
+    add({"bulk-fetch",
+         "one bulk transfer per table, then in-memory interpretation",
+         /*needs_store=*/false, /*needs_connection=*/true,
+         [](const EvalBackendDeps& deps) {
+           return std::make_unique<BulkFetchBackend>(deps);
+         }});
+    return true;
+  }();
+  (void)initialized;
+  return instance;
+}
+
+const EvalBackend::Registration& find_registration(std::string_view name) {
+  Registry& r = registry();
+  const auto it = r.entries.find(name);
+  if (it == r.entries.end()) {
+    std::string available;
+    for (const auto& [known, reg] : r.entries) {
+      if (!available.empty()) available += ", ";
+      available += known;
+    }
+    throw EvalError(support::cat("unknown evaluation backend '", name,
+                                 "' (available: ", available, ")"));
+  }
+  return it->second;
+}
+
+}  // namespace
+
+std::unique_ptr<EvalBackend> EvalBackend::create(std::string_view name,
+                                                 const EvalBackendDeps& deps) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  const Registration& reg = find_registration(name);
+  if (deps.model == nullptr) {
+    throw EvalError(support::cat("backend '", name, "' needs a model"));
+  }
+  if (reg.needs_store && deps.store == nullptr) {
+    throw EvalError(support::cat("backend '", name,
+                                 "' needs an in-memory object store"));
+  }
+  if (reg.needs_connection && deps.conn == nullptr) {
+    throw EvalError(support::cat("backend '", name,
+                                 "' needs a database connection"));
+  }
+  return reg.factory(deps);
+}
+
+std::vector<std::string> EvalBackend::names() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  std::vector<std::string> out;
+  out.reserve(r.entries.size());
+  for (const auto& [name, reg] : r.entries) out.push_back(name);
+  return out;
+}
+
+bool EvalBackend::exists(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  return r.entries.find(name) != r.entries.end();
+}
+
+std::string EvalBackend::describe(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  return find_registration(name).description;
+}
+
+bool EvalBackend::requires_connection(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  return find_registration(name).needs_connection;
+}
+
+void EvalBackend::register_backend(Registration registration) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  r.entries.insert_or_assign(registration.name, std::move(registration));
+}
+
+}  // namespace kojak::cosy

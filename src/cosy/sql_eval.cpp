@@ -1,9 +1,12 @@
 #include "cosy/sql_eval.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <limits>
+#include <optional>
 #include <span>
 
+#include "asl/compilability.hpp"
 #include "cosy/db_import.hpp"
 #include "cosy/schema_gen.hpp"
 #include "support/error.hpp"
@@ -30,7 +33,13 @@ namespace {
 /// conjuncts but precedes them in the text).
 constexpr char kMarker = '\x01';
 
-bool references(const Expr& e, const std::string& name);
+/// PlanCache kind of whole-condition plans. The site-wise plans encode
+/// SiteKind * 2 + mode (values 2..11); whole plans are keyed on the
+/// PropertyInfo itself under this distinct code.
+constexpr int kWholeConditionPlanKind = 12;
+
+/// Binder-correlation test shared with the compilability classifier.
+using asl::mentions_name;
 
 }  // namespace
 
@@ -43,27 +52,64 @@ struct TV {
 
 namespace {
 
-bool references(const Expr& e, const std::string& name) {
-  if (e.kind == Expr::Kind::kIdent && e.name == name) return true;
-  // A nested binder of the same name shadows the outer one.
-  if ((e.kind == Expr::Kind::kComprehension ||
-       e.kind == Expr::Kind::kAggregate) &&
-      e.name == name) {
-    if (e.base && references(*e.base, name)) return true;
-    return false;
+/// Accumulates parameters while a plan is being recorded. `params` and
+/// `values` align index-by-index in emission order (kAssertNull entries
+/// carry a dummy value); finalize() reorders both to text order.
+struct PlanBuild {
+  std::vector<CompiledPlan::Param> params;
+  std::vector<db::Value> values;
+
+  std::string marker(CompiledPlan::Param param, db::Value value) {
+    params.push_back(std::move(param));
+    values.push_back(std::move(value));
+    return support::cat(kMarker, params.size() - 1, kMarker);
   }
-  if (e.base && references(*e.base, name)) return true;
-  if (e.lhs && references(*e.lhs, name)) return true;
-  if (e.rhs && references(*e.rhs, name)) return true;
-  if (e.agg_value && references(*e.agg_value, name)) return true;
-  if (e.filter && references(*e.filter, name)) return true;
-  for (const auto& arg : e.args) {
-    if (references(*arg, name)) return true;
+};
+
+/// What a site's compile callback produces.
+struct Compiled {
+  std::string sql;
+  std::uint32_t elem_class = 0;
+};
+
+/// Rewrites placeholder markers to `?` and orders params to match.
+CompiledPlan finalize(const Compiled& compiled, PlanBuild&& build,
+                      std::vector<db::Value>& ordered_values) {
+  CompiledPlan plan;
+  plan.elem_class = compiled.elem_class;
+  plan.sql.reserve(compiled.sql.size());
+  ordered_values.clear();
+  for (std::size_t i = 0; i < compiled.sql.size(); ++i) {
+    if (compiled.sql[i] != kMarker) {
+      plan.sql += compiled.sql[i];
+      continue;
+    }
+    std::size_t id = 0;
+    for (++i; i < compiled.sql.size() && compiled.sql[i] != kMarker; ++i) {
+      id = id * 10 + static_cast<std::size_t>(compiled.sql[i] - '0');
+    }
+    plan.sql += '?';
+    plan.params.push_back(build.params.at(id));
+    ordered_values.push_back(build.values.at(id));
   }
-  return false;
+  for (const CompiledPlan::Param& param : build.params) {
+    if (param.slot == CompiledPlan::Slot::kAssertNull) {
+      plan.params.push_back(param);
+    }
+  }
+  return plan;
 }
 
 }  // namespace
+
+std::string_view to_string(SqlEvalMode mode) {
+  switch (mode) {
+    case SqlEvalMode::kPushdown: return "pushdown";
+    case SqlEvalMode::kClientSide: return "client-side";
+    case SqlEvalMode::kWholeCondition: return "whole-condition";
+  }
+  return "?";
+}
 
 PlanCache::PlanCache(const asl::Model& model)
     : model_(&model), fingerprint_(model.fingerprint()) {}
@@ -145,26 +191,6 @@ class SqlExprEval {
     kJunctionIds = 5,  // SELECT member FROM junction WHERE owner = ?
   };
 
-  /// Accumulates parameters while a plan is being recorded. `params` and
-  /// `values` align index-by-index in emission order (kAssertNull entries
-  /// carry a dummy value); finalize() reorders both to text order.
-  struct PlanBuild {
-    std::vector<CompiledPlan::Param> params;
-    std::vector<db::Value> values;
-
-    std::string marker(CompiledPlan::Param param, db::Value value) {
-      params.push_back(std::move(param));
-      values.push_back(std::move(value));
-      return support::cat(kMarker, params.size() - 1, kMarker);
-    }
-  };
-
-  /// What a site's compile callback produces.
-  struct Compiled {
-    std::string sql;
-    std::uint32_t elem_class = 0;
-  };
-
   struct SiteResult {
     db::QueryResult result;
     std::uint32_t elem_class = 0;
@@ -206,34 +232,6 @@ class SqlExprEval {
     if (build_ == nullptr) return;
     build_->params.push_back({origin, CompiledPlan::Slot::kAssertNull, 0, {}});
     build_->values.push_back(db::Value::null());
-  }
-
-  /// Rewrites placeholder markers to `?` and orders params to match.
-  static CompiledPlan finalize(const Compiled& compiled, PlanBuild&& build,
-                               std::vector<db::Value>& ordered_values) {
-    CompiledPlan plan;
-    plan.elem_class = compiled.elem_class;
-    plan.sql.reserve(compiled.sql.size());
-    ordered_values.clear();
-    for (std::size_t i = 0; i < compiled.sql.size(); ++i) {
-      if (compiled.sql[i] != kMarker) {
-        plan.sql += compiled.sql[i];
-        continue;
-      }
-      std::size_t id = 0;
-      for (++i; i < compiled.sql.size() && compiled.sql[i] != kMarker; ++i) {
-        id = id * 10 + static_cast<std::size_t>(compiled.sql[i] - '0');
-      }
-      plan.sql += '?';
-      plan.params.push_back(build.params.at(id));
-      ordered_values.push_back(build.values.at(id));
-    }
-    for (const CompiledPlan::Param& param : build.params) {
-      if (param.slot == CompiledPlan::Slot::kAssertNull) {
-        plan.params.push_back(param);
-      }
-    }
-    return plan;
   }
 
   /// Evaluates a cached plan's parameters for the current context. Returns
@@ -518,7 +516,7 @@ class SqlExprEval {
   /// aggregates become scalar constants in the query).
   std::string sql_expr(const Expr& e, SetQuery& sq) {
     using Kind = Expr::Kind;
-    if (!sq.binder_name.empty() && !references(e, sq.binder_name)) {
+    if (!sq.binder_name.empty() && !mentions_name(e, sq.binder_name)) {
       return emit_scalar(&e, eval(e));
     }
     switch (e.kind) {
@@ -543,7 +541,7 @@ class SqlExprEval {
           // 0 = not a null side; 1 = statically null; 2 = null this context.
           const auto null_side = [&](const Expr& side) -> int {
             if (side.kind == Kind::kNullLit) return 1;
-            if (references(side, sq.binder_name)) return 0;
+            if (mentions_name(side, sq.binder_name)) return 0;
             return eval(side).v.is_null() ? 2 : 0;
           };
           const int rhs_null = null_side(*rhs);
@@ -941,6 +939,684 @@ class SqlExprEval {
   std::vector<std::pair<std::string, TV>> env_;
 };
 
+namespace {
+
+/// Compiles a property's complete surface into ONE parameterized FROM-less
+/// SELECT (paper §6: "translate the conditions of performance properties
+/// entirely into SQL queries"). Column layout, in order:
+///
+///   [one probe per LET | one per condition | confidence arms | severity arms]
+///
+/// Every set site becomes an uncorrelated scalar subquery; LET bindings and
+/// specification functions are inlined symbolically (the statement text is
+/// context-free); the only context dependence is the property-argument
+/// tuple, emitted as kProvided `?` parameters indexed by argument position.
+/// The LET probes reproduce the interpreter's *eager* LET semantics: a LET
+/// whose value is a data gap surfaces as a NULL column and the whole
+/// context becomes not-applicable, exactly as the interpreter's thrown
+/// EvalError would have.
+///
+/// Anything outside the compilable subset (see asl::classify_whole_condition)
+/// throws EvalError; the evaluator then falls back to site-wise evaluation.
+class WholeConditionCompiler {
+ public:
+  WholeConditionCompiler(const asl::Model& model, const asl::PropertyInfo& prop,
+                         std::span<const RtValue> args)
+      : model_(&model), prop_(&prop), args_(args) {}
+
+  /// Produces the plan plus the bind values of the compiling context.
+  CompiledPlan compile(std::vector<db::Value>& first_values) {
+    const EnvFrame* env = nullptr;
+    for (std::size_t i = 0; i < prop_->params.size(); ++i) {
+      env = push(env, Binding{prop_->params[i].first, Binding::Kind::kArg, i,
+                              prop_->params[i].second, nullptr, nullptr});
+    }
+    std::vector<const EnvFrame*> let_envs;  // scope visible to each LET init
+    for (const asl::LetInfo& let : prop_->lets) {
+      let_envs.push_back(env);
+      env = push(env, Binding{let.name, Binding::Kind::kExpr, 0, let.type,
+                              let.init, env});
+    }
+
+    std::string sql = "SELECT ";
+    bool first_col = true;
+    const auto add = [&](const std::string& column) {
+      if (!first_col) sql += ", ";
+      sql += column;
+      first_col = false;
+    };
+    // Probe the LETs whose evaluation can only yield NULL through a data
+    // gap the interpreter would have thrown on (UNIQUE over a non-singleton
+    // set, an aggregate over an empty one, ...). Raw attribute reads are
+    // NOT probed: an unset attribute is a legal null value in ASL, not an
+    // error. (Residual corner: a LET that is referenced nowhere and whose
+    // member chain breaks mid-way stays undetected — the interpreter would
+    // report not-applicable; acceptable for a binding nothing consumes.)
+    std::size_t probes = 0;
+    for (std::size_t i = 0; i < prop_->lets.size(); ++i) {
+      if (may_be_null(*prop_->lets[i].init, let_envs[i], 0)) continue;
+      add(scalar(*prop_->lets[i].init, let_envs[i]).sql);
+      ++probes;
+    }
+    for (const asl::ConditionInfo& cond : prop_->conditions) {
+      add(scalar(*cond.pred, env).sql);
+    }
+    for (const asl::GuardedInfo& arm : prop_->confidence) {
+      add(scalar(*arm.expr, env).sql);
+    }
+    for (const asl::GuardedInfo& arm : prop_->severity) {
+      add(scalar(*arm.expr, env).sql);
+    }
+    // elem_class is unused by whole plans; it carries the probe-column
+    // count so the glue can locate the condition columns.
+    return finalize(
+        Compiled{std::move(sql), static_cast<std::uint32_t>(probes)},
+        std::move(build_), first_values);
+  }
+
+ private:
+  struct EnvFrame;
+
+  /// A name visible during compilation: a property argument (becomes a `?`
+  /// parameter) or an expression alias (LET binding or inlined function
+  /// parameter, compiled on reference in the scope it was written in).
+  struct Binding {
+    enum class Kind { kArg, kExpr };
+    std::string_view name;
+    Kind kind = Kind::kArg;
+    std::size_t arg_index = 0;          // kArg
+    Type type;                          // declared static type
+    const Expr* expr = nullptr;         // kExpr
+    const EnvFrame* def_env = nullptr;  // scope the expr was written in
+  };
+  struct EnvFrame {
+    Binding binding;
+    const EnvFrame* parent = nullptr;
+  };
+
+  /// SQL text with its static ASL type (needed to resolve member chains and
+  /// junction tables without a runtime context).
+  struct TSql {
+    std::string sql;
+    Type type;
+  };
+
+  /// One scalar subquery under construction: FROM/JOIN fragments plus WHERE
+  /// conjuncts, with the set's binder bound to alias `b`.
+  struct SetSpec {
+    std::string binder;  // empty until a comprehension/aggregate names one
+    std::uint32_t elem_class = 0;
+    std::vector<std::string> from_joins;
+    std::vector<std::string> conjuncts;
+    int alias_counter = 0;
+    const EnvFrame* env = nullptr;  // scope for uncorrelated subexpressions
+
+    [[nodiscard]] std::string from_where() const {
+      std::string out = " FROM ";
+      for (std::size_t i = 0; i < from_joins.size(); ++i) {
+        if (i > 0) out += ' ';
+        out += from_joins[i];
+      }
+      if (!conjuncts.empty()) {
+        out += " WHERE ";
+        for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+          if (i > 0) out += " AND ";
+          out += conjuncts[i];
+        }
+      }
+      return out;
+    }
+  };
+
+  struct DepthGuard {
+    explicit DepthGuard(WholeConditionCompiler& self) : self_(self) {
+      if (++self_.depth_ > kMaxInlineDepth) {
+        throw self_.not_compilable("aliases or functions inline too deep");
+      }
+    }
+    ~DepthGuard() { --self_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    WholeConditionCompiler& self_;
+  };
+
+  const EnvFrame* push(const EnvFrame* parent, Binding binding) {
+    frames_.push_back(EnvFrame{binding, parent});
+    return &frames_.back();
+  }
+  [[nodiscard]] static const Binding* lookup(std::string_view name,
+                                             const EnvFrame* env) {
+    for (; env != nullptr; env = env->parent) {
+      if (env->binding.name == name) return &env->binding;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] EvalError not_compilable(std::string_view what) const {
+    return EvalError(support::cat("whole-condition: ", what, " (property ",
+                                  prop_->name, ")"));
+  }
+
+  /// True when the interpreter can evaluate `e` to a raw null *without
+  /// throwing*: the null literal, any attribute read (unset attributes are
+  /// legal nulls), or an alias/function that resolves to one of those.
+  /// Everything else either throws on a data gap (UNIQUE, aggregates,
+  /// arithmetic on null) or cannot be null (literals) — those are the LETs
+  /// worth probing.
+  bool may_be_null(const Expr& e, const EnvFrame* env,  // NOLINT(misc-no-recursion)
+                   int depth) {
+    if (depth > kMaxInlineDepth) return true;  // give up: skip the probe
+    switch (e.kind) {
+      case Expr::Kind::kNullLit:
+      case Expr::Kind::kMember:
+        return true;
+      case Expr::Kind::kIdent: {
+        if (const Binding* bound = lookup(e.name, env)) {
+          if (bound->kind == Binding::Kind::kArg) return true;
+          return may_be_null(*bound->expr, bound->def_env, depth + 1);
+        }
+        if (const asl::ConstInfo* cst = model_->find_constant(e.name)) {
+          return may_be_null(*cst->value, nullptr, depth + 1);
+        }
+        return false;
+      }
+      case Expr::Kind::kCall: {
+        const asl::FunctionInfo* fn = model_->find_function(e.name);
+        if (fn == nullptr || e.args.size() != fn->params.size()) return false;
+        const EnvFrame* fn_env = nullptr;
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+          fn_env = push(fn_env,
+                        Binding{fn->params[i].first, Binding::Kind::kExpr, 0,
+                                fn->params[i].second, e.args[i].get(), env});
+        }
+        return may_be_null(*fn->body, fn_env, depth + 1);
+      }
+      default:
+        return false;
+    }
+  }
+
+  std::string param_marker(std::size_t arg_index, const Type& type) {
+    return build_.marker(
+        {nullptr, CompiledPlan::Slot::kProvided, arg_index, {}},
+        to_db_value(args_[arg_index], type));
+  }
+
+  // --- scalar position (no set binder in scope) ----------------------------
+
+  TSql scalar(const Expr& e, const EnvFrame* env) {  // NOLINT(misc-no-recursion)
+    using Kind = Expr::Kind;
+    switch (e.kind) {
+      case Kind::kIntLit:
+        return {std::to_string(e.int_value), Type::of(TypeKind::kInt)};
+      case Kind::kFloatLit:
+        return {db::Value::real(e.float_value).to_sql_literal(),
+                Type::of(TypeKind::kFloat)};
+      case Kind::kBoolLit:
+        return {e.bool_value ? "TRUE" : "FALSE", Type::of(TypeKind::kBool)};
+      case Kind::kStringLit:
+        return {support::sql_quote(e.string_value),
+                Type::of(TypeKind::kString)};
+      case Kind::kNullLit:
+        return {"NULL", Type::of(TypeKind::kNullRef)};
+
+      case Kind::kIdent: {
+        if (const Binding* bound = lookup(e.name, env)) {
+          if (bound->kind == Binding::Kind::kArg) {
+            return {param_marker(bound->arg_index, bound->type), bound->type};
+          }
+          const DepthGuard guard(*this);
+          TSql inner = scalar(*bound->expr, bound->def_env);
+          inner.type = bound->type;  // the declared alias type wins
+          return inner;
+        }
+        if (const asl::ConstInfo* cst = model_->find_constant(e.name)) {
+          TSql value = scalar(*cst->value, nullptr);
+          value.type = cst->type;
+          return value;
+        }
+        if (const auto member = model_->find_enum_member(e.name)) {
+          return {std::to_string(member->second),
+                  Type::enum_of(member->first)};
+        }
+        throw not_compilable(support::cat("unknown name '", e.name, "'"));
+      }
+
+      case Kind::kMember:
+        return member_chain(e, env);
+
+      case Kind::kCall:
+        return inline_call(e, env);
+
+      case Kind::kUnary: {
+        const TSql operand = scalar(*e.lhs, env);
+        if (e.un_op == asl::ast::UnOp::kNot) {
+          return {support::cat("(NOT ", operand.sql, ")"),
+                  Type::of(TypeKind::kBool)};
+        }
+        return {support::cat("(-", operand.sql, ")"), operand.type};
+      }
+
+      case Kind::kBinary:
+        return binary(e, env);
+
+      case Kind::kAggregate: {
+        if (!e.base) return scalar(*e.agg_value, env);  // identity form
+        SetSpec sq = set_spec(*e.base, env);
+        sq.binder = e.name;
+        sq.env = env;
+        if (e.filter) sq.conjuncts.push_back(over_binder(*e.filter, sq));
+        std::string select;
+        Type type = Type::of(TypeKind::kFloat);
+        switch (e.agg_kind) {
+          case asl::ast::AggKind::kCount:
+            select = "COUNT(*)";
+            type = Type::of(TypeKind::kInt);
+            break;
+          case asl::ast::AggKind::kSum:
+            // ASL's SUM of an empty set is 0 (no barrier records means zero
+            // barrier time, not a data gap), so the NULL of SQL's empty SUM
+            // must not propagate.
+            select = support::cat("COALESCE(SUM(",
+                                  over_binder(*e.agg_value, sq), "), 0.0)");
+            break;
+          case asl::ast::AggKind::kAvg:
+            select = support::cat("AVG(", over_binder(*e.agg_value, sq), ")");
+            break;
+          case asl::ast::AggKind::kMin:
+            select = support::cat("MIN(", over_binder(*e.agg_value, sq), ")");
+            break;
+          case asl::ast::AggKind::kMax:
+            select = support::cat("MAX(", over_binder(*e.agg_value, sq), ")");
+            break;
+        }
+        return {support::cat("(SELECT ", select, sq.from_where(), ")"), type};
+      }
+
+      case Kind::kUnique: {
+        // As a bare scalar, UNIQUE yields the member's object id; the
+        // engine's scalar-subquery cardinality rule enforces "exactly one"
+        // (several members abort the statement, zero yields NULL — both
+        // surface as not-applicable, as the interpreter's throw would).
+        SetSpec sq = set_spec(*e.base, env);
+        return {support::cat("(SELECT b.id", sq.from_where(), ")"),
+                Type::class_of(sq.elem_class)};
+      }
+      case Kind::kExists: {
+        SetSpec sq = set_spec(*e.base, env);
+        return {support::cat("((SELECT COUNT(*)", sq.from_where(), ") > 0)"),
+                Type::of(TypeKind::kBool)};
+      }
+      case Kind::kSize: {
+        SetSpec sq = set_spec(*e.base, env);
+        return {support::cat("(SELECT COUNT(*)", sq.from_where(), ")"),
+                Type::of(TypeKind::kInt)};
+      }
+
+      case Kind::kComprehension:
+        throw not_compilable("set comprehension in scalar position");
+    }
+    throw not_compilable("unhandled expression kind");
+  }
+
+  TSql binary(const Expr& e, const EnvFrame* env) {  // NOLINT(misc-no-recursion)
+    using asl::ast::BinOp;
+    if (e.bin_op == BinOp::kEq || e.bin_op == BinOp::kNe) {
+      // ASL equality is total over *legal* nulls (RtValue::equals: an unset
+      // attribute equals only null, never an error), but a NULL produced by
+      // a data gap — an empty UNIQUE/AVG/MIN/MAX subquery — marks a context
+      // the interpreter would have thrown on. may_be_null() tells the two
+      // apart per operand at compile time: legal-null operands get the
+      // total-equality treatment, gap-only operands poison the result when
+      // NULL. (Member chains conflate a mid-chain gap with a legally-unset
+      // final attribute; they are treated as legal, the same residual
+      // corner the LET probes document.) Repeated marker text binds the
+      // same parameter at every position.
+      const bool lhs_nulllit = e.lhs->kind == Expr::Kind::kNullLit;
+      const bool rhs_nulllit = e.rhs->kind == Expr::Kind::kNullLit;
+      std::string equal;
+      if (lhs_nulllit && rhs_nulllit) {
+        equal = "TRUE";
+      } else if (lhs_nulllit || rhs_nulllit) {
+        const Expr& tested = lhs_nulllit ? *e.rhs : *e.lhs;
+        const std::string tested_sql = scalar(tested, env).sql;
+        if (may_be_null(tested, env, 0)) {
+          equal = support::cat("(", tested_sql, " IS NULL)");
+        } else {
+          // NULL here is a gap, not a match for the null literal.
+          equal = support::cat("(IIF(", tested_sql, " IS NULL, NULL, FALSE))");
+        }
+      } else {
+        const bool lhs_legal = may_be_null(*e.lhs, env, 0);
+        const bool rhs_legal = may_be_null(*e.rhs, env, 0);
+        const TSql lhs = scalar(*e.lhs, env);
+        const TSql rhs = scalar(*e.rhs, env);
+        const std::string plain =
+            support::cat("(", lhs.sql, " = ", rhs.sql, ")");
+        if (lhs_legal && rhs_legal) {
+          equal = support::cat("(COALESCE(", plain, ", FALSE) OR (", lhs.sql,
+                               " IS NULL AND ", rhs.sql, " IS NULL))");
+        } else if (!lhs_legal && !rhs_legal) {
+          equal = plain;  // NULL only arises from gaps: propagate it
+        } else {
+          const std::string& gap = lhs_legal ? rhs.sql : lhs.sql;
+          equal = support::cat("(IIF(", gap, " IS NULL, NULL, COALESCE(",
+                               plain, ", FALSE)))");
+        }
+      }
+      return {e.bin_op == BinOp::kEq ? equal
+                                     : support::cat("(NOT ", equal, ")"),
+              Type::of(TypeKind::kBool)};
+    }
+    if (e.bin_op == BinOp::kAnd || e.bin_op == BinOp::kOr) {
+      // ASL short-circuits left to right: a null (data-gap) LEFT operand is
+      // an evaluation error, while the right operand is only consulted when
+      // the left doesn't decide. SQL's three-valued logic would instead let
+      // a dominating right operand absorb the gap (NULL OR TRUE = TRUE), so
+      // a NULL left operand must poison the result explicitly.
+      const TSql lhs = scalar(*e.lhs, env);
+      const TSql rhs = scalar(*e.rhs, env);
+      return {support::cat("(IIF(", lhs.sql, " IS NULL, NULL, ", lhs.sql,
+                           e.bin_op == BinOp::kAnd ? " AND " : " OR ",
+                           rhs.sql, "))"),
+              Type::of(TypeKind::kBool)};
+    }
+    const char* op = nullptr;
+    switch (e.bin_op) {
+      case BinOp::kAdd: op = "+"; break;
+      case BinOp::kSub: op = "-"; break;
+      case BinOp::kMul: op = "*"; break;
+      case BinOp::kDiv: op = "/"; break;
+      case BinOp::kEq: op = "="; break;
+      case BinOp::kNe: op = "<>"; break;
+      case BinOp::kLt: op = "<"; break;
+      case BinOp::kLe: op = "<="; break;
+      case BinOp::kGt: op = ">"; break;
+      case BinOp::kGe: op = ">="; break;
+      case BinOp::kAnd: op = "AND"; break;
+      case BinOp::kOr: op = "OR"; break;
+    }
+    const TSql lhs = scalar(*e.lhs, env);
+    const TSql rhs = scalar(*e.rhs, env);
+    Type type = Type::of(TypeKind::kBool);
+    switch (e.bin_op) {
+      case BinOp::kAdd:
+      case BinOp::kSub:
+      case BinOp::kMul:
+        type = (lhs.type.kind == TypeKind::kInt &&
+                rhs.type.kind == TypeKind::kInt)
+                   ? Type::of(TypeKind::kInt)
+                   : Type::of(TypeKind::kFloat);
+        break;
+      case BinOp::kDiv:
+        type = Type::of(TypeKind::kFloat);
+        break;
+      default:
+        break;
+    }
+    return {support::cat("(", lhs.sql, " ", op, " ", rhs.sql, ")"), type};
+  }
+
+  TSql inline_call(const Expr& e, const EnvFrame* env) {  // NOLINT(misc-no-recursion)
+    const asl::FunctionInfo* fn = model_->find_function(e.name);
+    if (fn == nullptr) {
+      throw not_compilable(support::cat("unknown function '", e.name, "'"));
+    }
+    if (e.args.size() != fn->params.size()) {
+      throw not_compilable(support::cat("function ", fn->name, " expects ",
+                                        fn->params.size(), " arguments"));
+    }
+    const DepthGuard guard(*this);
+    // The body sees only the parameters; each argument expression compiles
+    // (where referenced) in the caller's scope.
+    const EnvFrame* fn_env = nullptr;
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      fn_env = push(fn_env,
+                    Binding{fn->params[i].first, Binding::Kind::kExpr, 0,
+                            fn->params[i].second, e.args[i].get(), env});
+    }
+    TSql body = scalar(*fn->body, fn_env);
+    body.type = fn->return_type;
+    return body;
+  }
+
+  /// Member chain in scalar position. The root is resolved through LET
+  /// aliases and function inlining; a UNIQUE root fuses into one subquery
+  /// (`Summary(r,t).Incl` becomes `SELECT b.Incl FROM <set> WHERE ...`),
+  /// any other object-valued root anchors a fresh per-class subquery.
+  TSql member_chain(const Expr& e, const EnvFrame* env) {  // NOLINT(misc-no-recursion)
+    std::vector<const Expr*> chain;
+    const Expr* root = &e;
+    while (root->kind == Expr::Kind::kMember) {
+      chain.push_back(root);
+      root = root->base.get();
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    const EnvFrame* root_env = env;
+    int hops = 0;
+    while (true) {
+      if (++hops > kMaxInlineDepth) {
+        throw not_compilable("alias chain too deep");
+      }
+      if (root->kind == Expr::Kind::kIdent) {
+        const Binding* bound = lookup(root->name, root_env);
+        if (bound != nullptr && bound->kind == Binding::Kind::kExpr) {
+          root = bound->expr;
+          root_env = bound->def_env;
+          continue;
+        }
+      }
+      if (root->kind == Expr::Kind::kCall) {
+        const asl::FunctionInfo* fn = model_->find_function(root->name);
+        if (fn == nullptr || root->args.size() != fn->params.size()) {
+          throw not_compilable(
+              support::cat("unresolvable call '", root->name, "'"));
+        }
+        const EnvFrame* fn_env = nullptr;
+        for (std::size_t i = 0; i < root->args.size(); ++i) {
+          fn_env = push(fn_env, Binding{fn->params[i].first,
+                                        Binding::Kind::kExpr, 0,
+                                        fn->params[i].second,
+                                        root->args[i].get(), root_env});
+        }
+        root = fn->body;
+        root_env = fn_env;
+        continue;
+      }
+      break;
+    }
+
+    if (root->kind == Expr::Kind::kUnique) {
+      SetSpec sq = set_spec(*root->base, root_env);
+      sq.env = root_env;
+      auto [column, type] = follow_path(sq, "b", sq.elem_class, chain);
+      return {support::cat("(SELECT ", column, sq.from_where(), ")"), type};
+    }
+
+    const TSql base = scalar(*root, root_env);
+    if (base.type.kind != TypeKind::kClass) {
+      throw not_compilable(support::cat("attribute access '.",
+                                        chain.front()->name,
+                                        "' on a non-object expression"));
+    }
+    SetSpec sq;
+    sq.env = root_env;
+    sq.from_joins.push_back(
+        support::cat(model_->class_info(base.type.id).name, " a0"));
+    sq.conjuncts.push_back(support::cat("a0.id = ", base.sql));
+    auto [column, type] = follow_path(sq, "a0", base.type.id, chain);
+    return {support::cat("(SELECT ", column, sq.from_where(), ")"), type};
+  }
+
+  /// Walks `chain` starting from `alias` (an instance of `cls_id`), adding
+  /// one JOIN per intermediate object reference; returns the final column
+  /// and its attribute type.
+  std::pair<std::string, Type> follow_path(SetSpec& sq, std::string alias,
+                                           std::uint32_t cls_id,
+                                           std::span<const Expr* const> chain) {
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      const asl::ClassInfo& cls = model_->class_info(cls_id);
+      const auto attr = cls.find_attr(chain[i]->name);
+      if (!attr) {
+        throw not_compilable(support::cat("class ", cls.name,
+                                          " has no attribute '",
+                                          chain[i]->name, "'"));
+      }
+      const Type& attr_type = cls.attrs[*attr].type;
+      if (i + 1 == chain.size()) {
+        if (attr_type.kind == TypeKind::kSet) {
+          throw not_compilable(support::cat("set-valued attribute '",
+                                            chain[i]->name,
+                                            "' in scalar position"));
+        }
+        return {support::cat(alias, ".", chain[i]->name), attr_type};
+      }
+      if (attr_type.kind != TypeKind::kClass) {
+        throw not_compilable(support::cat("'.", chain[i]->name,
+                                          "' must be an object reference"));
+      }
+      const std::string next = support::cat("t", sq.alias_counter++);
+      sq.from_joins.push_back(
+          support::cat("JOIN ", model_->class_info(attr_type.id).name, " ",
+                       next, " ON ", next, ".id = ", alias, ".",
+                       chain[i]->name));
+      alias = next;
+      cls_id = attr_type.id;
+    }
+    throw not_compilable("empty member path");
+  }
+
+  // --- set position --------------------------------------------------------
+
+  SetSpec set_spec(const Expr& e, const EnvFrame* env) {  // NOLINT(misc-no-recursion)
+    if (e.kind == Expr::Kind::kMember) {
+      const TSql owner = scalar(*e.base, env);
+      if (owner.type.kind != TypeKind::kClass) {
+        throw not_compilable(
+            support::cat("set base of '.", e.name, "' is not an object"));
+      }
+      const asl::ClassInfo& cls = model_->class_info(owner.type.id);
+      const auto attr = cls.find_attr(e.name);
+      if (!attr || cls.attrs[*attr].type.kind != TypeKind::kSet) {
+        throw not_compilable(support::cat("'", e.name,
+                                          "' is not a setof attribute of ",
+                                          cls.name));
+      }
+      SetSpec sq;
+      sq.env = env;
+      sq.elem_class = cls.attrs[*attr].type.id;
+      sq.from_joins.push_back(junction_table(cls.name, e.name) + " j");
+      sq.from_joins.push_back(
+          support::cat("JOIN ", model_->class_info(sq.elem_class).name,
+                       " b ON b.id = j.member"));
+      sq.conjuncts.push_back(support::cat("j.owner = ", owner.sql));
+      return sq;
+    }
+    if (e.kind == Expr::Kind::kComprehension) {
+      SetSpec sq = set_spec(*e.base, env);
+      sq.binder = e.name;
+      sq.env = env;
+      if (e.filter) sq.conjuncts.push_back(over_binder(*e.filter, sq));
+      return sq;
+    }
+    throw not_compilable(
+        "set expression must be a setof attribute chain or a comprehension "
+        "over one");
+  }
+
+  /// Filter or aggregate-value expression with the set's binder in scope.
+  /// Subexpressions not touching the binder compile as uncorrelated scalars
+  /// (nested subqueries, parameters, literals); subexpressions that do are
+  /// limited to member chains and scalar glue — the engine's scalar
+  /// subqueries cannot be correlated with an enclosing row.
+  std::string over_binder(const Expr& e, SetSpec& sq) {  // NOLINT(misc-no-recursion)
+    if (!sq.binder.empty() && !mentions_name(e, sq.binder)) {
+      return scalar(e, sq.env).sql;
+    }
+    using Kind = Expr::Kind;
+    switch (e.kind) {
+      case Kind::kIdent:
+        if (e.name == sq.binder) return "b.id";
+        break;  // unreachable: non-binder idents hit the scalar path
+      case Kind::kMember: {
+        std::vector<const Expr*> chain;
+        const Expr* root = &e;
+        while (root->kind == Kind::kMember) {
+          chain.push_back(root);
+          root = root->base.get();
+        }
+        std::reverse(chain.begin(), chain.end());
+        if (root->kind != Kind::kIdent || root->name != sq.binder) {
+          throw not_compilable(
+              "member path in a set filter must be rooted at the binder");
+        }
+        return follow_path(sq, "b", sq.elem_class, chain).first;
+      }
+      case Kind::kUnary: {
+        const std::string operand = over_binder(*e.lhs, sq);
+        if (e.un_op == asl::ast::UnOp::kNot) {
+          return support::cat("(NOT ", operand, ")");
+        }
+        return support::cat("(-", operand, ")");
+      }
+      case Kind::kBinary: {
+        using asl::ast::BinOp;
+        if (e.bin_op == BinOp::kEq || e.bin_op == BinOp::kNe) {
+          const bool lhs_null = e.lhs->kind == Kind::kNullLit;
+          const bool rhs_null = e.rhs->kind == Kind::kNullLit;
+          if (lhs_null || rhs_null) {
+            const Expr& tested = lhs_null ? *e.rhs : *e.lhs;
+            const std::string tested_sql =
+                tested.kind == Kind::kNullLit ? "NULL"
+                                              : over_binder(tested, sq);
+            return support::cat("(", tested_sql,
+                                e.bin_op == BinOp::kEq ? " IS NULL)"
+                                                       : " IS NOT NULL)");
+          }
+        }
+        const char* op = nullptr;
+        switch (e.bin_op) {
+          case BinOp::kAdd: op = "+"; break;
+          case BinOp::kSub: op = "-"; break;
+          case BinOp::kMul: op = "*"; break;
+          case BinOp::kDiv: op = "/"; break;
+          case BinOp::kEq: op = "="; break;
+          case BinOp::kNe: op = "<>"; break;
+          case BinOp::kLt: op = "<"; break;
+          case BinOp::kLe: op = "<="; break;
+          case BinOp::kGt: op = ">"; break;
+          case BinOp::kGe: op = ">="; break;
+          case BinOp::kAnd: op = "AND"; break;
+          case BinOp::kOr: op = "OR"; break;
+        }
+        // Sequence the sides explicitly: both may emit parameters, and the
+        // recording order must be deterministic.
+        const std::string lhs_sql = over_binder(*e.lhs, sq);
+        const std::string rhs_sql = over_binder(*e.rhs, sq);
+        return support::cat("(", lhs_sql, " ", op, " ", rhs_sql, ")");
+      }
+      default:
+        break;
+    }
+    throw not_compilable(support::cat(
+        "expression correlated with binder '", sq.binder,
+        "' is not compilable (aggregates/calls over the binder are not "
+        "supported)"));
+  }
+
+  static constexpr int kMaxInlineDepth = 16;
+
+  const asl::Model* model_;
+  const asl::PropertyInfo* prop_;
+  std::span<const RtValue> args_;
+  PlanBuild build_;
+  std::deque<EnvFrame> frames_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
 SqlEvaluator::SqlEvaluator(const asl::Model& model, db::Connection& conn,
                            SqlEvalMode mode, PlanCache* plan_cache)
     : model_(&model), conn_(&conn), mode_(mode), cache_(plan_cache) {
@@ -974,12 +1650,206 @@ db::PreparedStatement& SqlEvaluator::statement_for(
 
 PropertyResult SqlEvaluator::evaluate_property(const asl::PropertyInfo& prop,
                                                std::vector<RtValue> args) {
-  PropertyResult result;
   if (args.size() != prop.params.size()) {
     throw EvalError(support::cat("property ", prop.name, " expects ",
                                  prop.params.size(), " arguments, got ",
                                  args.size()));
   }
+  if (mode_ == SqlEvalMode::kWholeCondition) {
+    try {
+      return evaluate_whole(prop, args);
+    } catch (const EvalError&) {
+      // The property does not compile into one statement, or the statement
+      // failed structurally (e.g. a UNIQUE set with several members aborts
+      // the scalar subquery). Re-evaluate site by site: that path is pinned
+      // against the interpreter differentially, so results stay identical —
+      // only the statement count grows for this context.
+      ++whole_fallbacks_;
+    }
+  }
+  return evaluate_sitewise(prop, std::move(args));
+}
+
+std::shared_ptr<const CompiledPlan> SqlEvaluator::whole_plan_for(
+    const asl::PropertyInfo& prop) {
+  return cache_ == nullptr
+             ? nullptr
+             : cache_->find(prop.name, &prop, kWholeConditionPlanKind);
+}
+
+PropertyResult SqlEvaluator::evaluate_whole(const asl::PropertyInfo& prop,
+                                            const std::vector<RtValue>& args) {
+  // Plan lookup: shared through the cache when present, else compiled fresh
+  // for this evaluation (still one statement — only the translation work
+  // repeats, as the 1999 toolchain's would have).
+  std::shared_ptr<const CompiledPlan> plan = whole_plan_for(prop);
+  std::vector<db::Value> values;
+  if (plan != nullptr) {
+    ++plan_hits_;
+    cache_->record(true);
+  } else {
+    WholeConditionCompiler compiler(*model_, prop, args);
+    auto compiled = std::make_shared<CompiledPlan>(compiler.compile(values));
+    if (cache_ != nullptr) {
+      plan = cache_->insert(prop.name, &prop, kWholeConditionPlanKind,
+                            std::move(compiled));
+      ++plan_misses_;
+      cache_->record(false);
+    } else {
+      plan = std::move(compiled);
+    }
+  }
+
+  // Bind: whole-condition parameters are all caller-provided property
+  // arguments, so binding is a straight table lookup per context.
+  values.clear();
+  values.reserve(plan->params.size());
+  for (const CompiledPlan::Param& param : plan->params) {
+    if (param.slot != CompiledPlan::Slot::kProvided) {
+      throw EvalError("whole-condition plan has a non-provided parameter");
+    }
+    values.push_back(to_db_value(args[param.provided_index],
+                                 prop.params[param.provided_index].second));
+  }
+
+  ++queries_;
+  const db::QueryResult result =
+      cache_ != nullptr ? conn_->execute(statement_for(plan), values)
+                        : conn_->execute(plan->sql, values);
+
+  // Glue: map the one result row back onto the property contract. Column
+  // layout is [LET probes | conditions | confidence arms | severity arms],
+  // with the probe count carried in the plan (only LETs whose null could
+  // never be a legal value are probed).
+  if (result.row_count() != 1) {
+    throw EvalError("whole-condition statement must yield exactly one row");
+  }
+  const db::Row& row = result.rows.front();
+  const std::size_t lets = plan->elem_class;
+  const std::size_t conds = prop.conditions.size();
+  const std::size_t confs = prop.confidence.size();
+  if (row.size() != lets + conds + confs + prop.severity.size()) {
+    throw EvalError("whole-condition column layout mismatch");
+  }
+
+  const auto not_applicable = [](std::string note) {
+    PropertyResult na;
+    na.status = PropertyResult::Status::kNotApplicable;
+    na.note = std::move(note);
+    return na;
+  };
+
+  // A NULL LET probe is a data gap: the interpreter's eager LET evaluation
+  // would have thrown before looking at any condition.
+  for (std::size_t i = 0; i < lets; ++i) {
+    if (row[i].is_null()) {
+      return not_applicable(
+          "whole-condition: a LET binding hit a data gap");
+    }
+  }
+
+  PropertyResult out;
+  std::vector<std::pair<const std::string*, bool>> truth;
+  truth.reserve(conds);
+  bool holds = false;
+  for (std::size_t i = 0; i < conds; ++i) {
+    const db::Value& value = row[lets + i];
+    if (value.is_null()) {
+      return not_applicable(support::cat(
+          "whole-condition: condition ",
+          prop.conditions[i].id.empty() ? support::cat("#", i + 1)
+                                        : prop.conditions[i].id,
+          " hit a data gap"));
+    }
+    const bool held_now = value.as_bool();
+    truth.emplace_back(&prop.conditions[i].id, held_now);
+    if (held_now && !holds) {
+      holds = true;
+      out.matched_condition = prop.conditions[i].id.empty()
+                                  ? support::cat("#", i + 1)
+                                  : prop.conditions[i].id;
+    }
+  }
+  if (!holds) {
+    out.status = PropertyResult::Status::kDoesNotHold;
+    return out;
+  }
+  out.status = PropertyResult::Status::kHolds;
+
+  const auto held = [&](const std::string& guard) {
+    for (const auto& [id, value] : truth) {
+      if (*id == guard) return value;
+    }
+    return false;
+  };
+  // Max over the arms whose guard held (or that are unguarded); a NULL in a
+  // *considered* arm is a data gap, NULLs in skipped arms never matter —
+  // exactly the arms the interpreter would (not) have evaluated.
+  const auto eval_arms =
+      [&](const std::vector<asl::GuardedInfo>& arms,
+          std::size_t offset) -> std::optional<double> {
+    double best = -std::numeric_limits<double>::infinity();
+    bool any = false;
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+      if (!arms[i].guard.empty() && !held(arms[i].guard)) continue;
+      const db::Value& value = row[offset + i];
+      if (value.is_null()) return std::nullopt;
+      best = std::max(best, value.as_double());
+      any = true;
+    }
+    return any ? best : 0.0;
+  };
+  const auto confidence = eval_arms(prop.confidence, lets + conds);
+  if (!confidence) {
+    return not_applicable(
+        "whole-condition: a confidence arm hit a data gap");
+  }
+  const auto severity = eval_arms(prop.severity, lets + conds + confs);
+  if (!severity) {
+    return not_applicable("whole-condition: a severity arm hit a data gap");
+  }
+  out.confidence = std::clamp(*confidence, 0.0, 1.0);
+  out.severity = *severity;
+  return out;
+}
+
+std::string SqlEvaluator::explain_whole_condition(
+    const asl::PropertyInfo& prop) {
+  // The statement text is context-free; compile against placeholder
+  // argument values of the declared parameter types.
+  std::vector<RtValue> args;
+  args.reserve(prop.params.size());
+  for (const auto& [name, type] : prop.params) {
+    switch (type.kind) {
+      case TypeKind::kInt:
+      case TypeKind::kDateTime:
+        args.push_back(RtValue::of_int(0));
+        break;
+      case TypeKind::kFloat:
+        args.push_back(RtValue::of_float(0.0));
+        break;
+      case TypeKind::kBool:
+        args.push_back(RtValue::of_bool(false));
+        break;
+      case TypeKind::kString:
+        args.push_back(RtValue::of_string(""));
+        break;
+      case TypeKind::kEnum:
+        args.push_back(RtValue::of_enum(type.id, 0));
+        break;
+      default:
+        args.push_back(RtValue::of_object(asl::kNullObject));
+        break;
+    }
+  }
+  WholeConditionCompiler compiler(*model_, prop, args);
+  std::vector<db::Value> values;
+  return compiler.compile(values).sql;
+}
+
+PropertyResult SqlEvaluator::evaluate_sitewise(const asl::PropertyInfo& prop,
+                                               std::vector<RtValue> args) {
+  PropertyResult result;
   SqlExprEval eval(*this, &prop);
   for (std::size_t i = 0; i < args.size(); ++i) {
     eval.push(prop.params[i].first, {std::move(args[i]), prop.params[i].second});

@@ -15,12 +15,22 @@
 namespace kojak::cosy {
 
 /// How database-backed property evaluation distributes work (§5):
-///  * kPushdown   — set operations compile to SQL; the database filters and
-///                  aggregates, the client sees a handful of scalars;
-///  * kClientSide — the paper's slow path: the client fetches every data
-///                  component (junction ids, then each attribute record by
-///                  record) and evaluates all filters and aggregates itself.
-enum class SqlEvalMode { kPushdown, kClientSide };
+///  * kPushdown       — set operations compile to SQL; the database filters
+///                      and aggregates, the client sees a handful of scalars;
+///  * kClientSide     — the paper's slow path: the client fetches every data
+///                      component (junction ids, then each attribute record
+///                      by record) and evaluates all filters and aggregates
+///                      itself;
+///  * kWholeCondition — the paper's §6 future work: the *entire* property
+///                      surface (LETs, every condition, every confidence and
+///                      severity arm) compiles into one parameterized
+///                      FROM-less SELECT of scalar subqueries, cutting the
+///                      per-context round trips to a single statement.
+/// Prefer naming an evaluation path through the EvalBackend registry
+/// (eval_backend.hpp); this enum is the evaluator-internal selector.
+enum class SqlEvalMode { kPushdown, kClientSide, kWholeCondition };
+
+[[nodiscard]] std::string_view to_string(SqlEvalMode mode);
 
 /// One ASL set-expression site translated to a reusable SELECT: the SQL
 /// text with `?` placeholders in statement-text order, plus the binding
@@ -151,6 +161,18 @@ class SqlEvaluator {
   [[nodiscard]] std::uint64_t plan_cache_misses() const noexcept {
     return plan_misses_;
   }
+  /// kWholeCondition only: contexts that could not run as one statement and
+  /// were re-evaluated site-by-site (results stay interpreter-identical; the
+  /// COSY suites compile without fallbacks, which tests assert).
+  [[nodiscard]] std::uint64_t whole_fallbacks() const noexcept {
+    return whole_fallbacks_;
+  }
+
+  /// Compiles a property's entire condition/confidence/severity surface into
+  /// the single whole-condition statement without executing it (tests and
+  /// --explain flows). Throws when the property is not compilable.
+  [[nodiscard]] std::string explain_whole_condition(
+      const asl::PropertyInfo& prop);
 
   /// Compiles the given set expression to its SQL text without executing it
   /// (exposed for tests and the --explain flows of the examples).
@@ -167,6 +189,17 @@ class SqlEvaluator {
   db::PreparedStatement& statement_for(
       const std::shared_ptr<const CompiledPlan>& plan);
 
+  /// Site-by-site evaluation (pushdown / client-side), also the fallback of
+  /// the whole-condition mode.
+  [[nodiscard]] asl::PropertyResult evaluate_sitewise(
+      const asl::PropertyInfo& prop, std::vector<asl::RtValue> args);
+  /// One-statement whole-condition evaluation; throws EvalError when the
+  /// property does not compile or the statement fails structurally.
+  [[nodiscard]] asl::PropertyResult evaluate_whole(
+      const asl::PropertyInfo& prop, const std::vector<asl::RtValue>& args);
+  [[nodiscard]] std::shared_ptr<const CompiledPlan> whole_plan_for(
+      const asl::PropertyInfo& prop);
+
   struct StatementEntry {
     std::shared_ptr<const CompiledPlan> plan;  // keeps the key alive
     db::PreparedStatement stmt;
@@ -179,6 +212,7 @@ class SqlEvaluator {
   std::uint64_t queries_ = 0;
   std::uint64_t plan_hits_ = 0;
   std::uint64_t plan_misses_ = 0;
+  std::uint64_t whole_fallbacks_ = 0;
   std::map<const CompiledPlan*, StatementEntry> statements_;
 };
 

@@ -1,0 +1,815 @@
+// The pluggable evaluation-backend seam: registry behavior, the two new
+// backends (sql-whole-condition, interpreter-sharded) pinned differentially
+// against the interpreter across every connection profile, the exact
+// one-statement-per-context contract of whole-condition compilation (paper
+// §6), and its site-wise fallback path.
+
+#include <gtest/gtest.h>
+
+#include "asl/compilability.hpp"
+#include "asl/interp.hpp"
+#include "asl/sema.hpp"
+#include "cosy/analyzer.hpp"
+#include "cosy/batch.hpp"
+#include "cosy/db_import.hpp"
+#include "cosy/eval_backend.hpp"
+#include "cosy/schema_gen.hpp"
+#include "cosy/specs.hpp"
+#include "cosy/sql_eval.hpp"
+#include "cosy/store_builder.hpp"
+#include "perf/simulator.hpp"
+#include "perf/workloads.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+
+namespace asl = kojak::asl;
+namespace cosy = kojak::cosy;
+namespace db = kojak::db;
+namespace perf = kojak::perf;
+using asl::PropertyResult;
+using asl::RtValue;
+using kojak::support::EvalError;
+
+namespace {
+
+struct World {
+  asl::Model model = cosy::load_cosy_model();
+  asl::ObjectStore store{model};
+  cosy::StoreHandles handles;
+  db::Database database;
+
+  explicit World(const perf::AppSpec& app, std::vector<int> pes,
+                 std::uint64_t seed = 1) {
+    perf::SimulationOptions options;
+    options.seed = seed;
+    const perf::ExperimentData data =
+        perf::simulate_experiment(app, pes, options);
+    handles = cosy::build_store(store, data);
+    cosy::create_schema(database, model);
+    db::Connection import_conn(database, db::ConnectionProfile::in_memory());
+    cosy::import_store(import_conn, store);
+  }
+};
+
+/// Deterministic rendering that different backend families must agree on:
+/// the full ranked findings table plus the (property, context) set of
+/// not-applicable audits. Notes are excluded on purpose — an interpreter
+/// explains a data gap differently than a SQL backend, and the contract is
+/// about statuses and numbers, not prose.
+std::string render_findings(const cosy::AnalysisReport& report) {
+  std::string out = report.to_table(0);
+  for (const cosy::Finding& f : report.not_applicable) {
+    out += kojak::support::cat("NA ", f.property, "@", f.context, "\n");
+  }
+  return out;
+}
+
+/// Byte-exact rendering (including not-applicable notes) for backends that
+/// promise full identity, e.g. the sharded interpreter at any thread count.
+std::string render_exact(const cosy::AnalysisReport& report) {
+  std::string out = report.to_table(0);
+  for (const cosy::Finding& f : report.not_applicable) {
+    out += kojak::support::cat("NA ", f.property, "@", f.context, "!",
+                               f.result.note, "\n");
+  }
+  return out;
+}
+
+void expect_same(const PropertyResult& a, const PropertyResult& b,
+                 const std::string& what) {
+  EXPECT_EQ(a.status, b.status) << what << " (a note: " << a.note
+                                << ", b note: " << b.note << ")";
+  if (a.status == PropertyResult::Status::kHolds &&
+      b.status == PropertyResult::Status::kHolds) {
+    EXPECT_EQ(a.matched_condition, b.matched_condition) << what;
+    EXPECT_NEAR(a.confidence, b.confidence, 1e-9) << what;
+    const double tolerance = 1e-9 * std::max(1.0, std::abs(a.severity));
+    EXPECT_NEAR(a.severity, b.severity, tolerance) << what;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(EvalBackendRegistry, ListsAllBuiltins) {
+  const std::vector<std::string> names = cosy::EvalBackend::names();
+  for (const char* expected :
+       {"interpreter", "interpreter-sharded", "sql-pushdown",
+        "sql-whole-condition", "client-fetch", "bulk-fetch"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+    EXPECT_TRUE(cosy::EvalBackend::exists(expected)) << expected;
+    EXPECT_FALSE(cosy::EvalBackend::describe(expected).empty()) << expected;
+  }
+  EXPECT_FALSE(cosy::EvalBackend::requires_connection("interpreter"));
+  EXPECT_FALSE(cosy::EvalBackend::requires_connection("interpreter-sharded"));
+  EXPECT_TRUE(cosy::EvalBackend::requires_connection("sql-pushdown"));
+  EXPECT_TRUE(cosy::EvalBackend::requires_connection("sql-whole-condition"));
+  EXPECT_TRUE(cosy::EvalBackend::requires_connection("client-fetch"));
+  EXPECT_TRUE(cosy::EvalBackend::requires_connection("bulk-fetch"));
+}
+
+TEST(EvalBackendRegistry, UnknownNamesThrowListingAvailable) {
+  World world(perf::workloads::scalable_stencil(), {1, 2});
+  cosy::EvalBackendDeps deps;
+  deps.model = &world.model;
+  deps.store = &world.store;
+  EXPECT_THROW((void)cosy::EvalBackend::create("no-such-backend", deps),
+               EvalError);
+  try {
+    (void)cosy::EvalBackend::create("no-such-backend", deps);
+    FAIL() << "expected EvalError";
+  } catch (const EvalError& error) {
+    // The message must name what *is* available.
+    EXPECT_NE(std::string(error.what()).find("sql-whole-condition"),
+              std::string::npos)
+        << error.what();
+  }
+  EXPECT_THROW((void)cosy::EvalBackend::requires_connection("nope"),
+               EvalError);
+  EXPECT_FALSE(cosy::EvalBackend::exists("nope"));
+
+  // Missing dependencies are rejected with the backend's name.
+  cosy::EvalBackendDeps no_conn;
+  no_conn.model = &world.model;
+  EXPECT_THROW((void)cosy::EvalBackend::create("sql-whole-condition", no_conn),
+               EvalError);
+  cosy::EvalBackendDeps no_store;
+  no_store.model = &world.model;
+  EXPECT_THROW((void)cosy::EvalBackend::create("interpreter", no_store),
+               EvalError);
+}
+
+TEST(EvalBackendRegistry, AnalyzerRejectsUnknownBackendString) {
+  World world(perf::workloads::scalable_stencil(), {1, 2});
+  cosy::Analyzer analyzer(world.model, world.store, world.handles);
+  cosy::AnalyzerConfig config;
+  config.backend = "definitely-not-registered";
+  EXPECT_THROW((void)analyzer.analyze(1, config), EvalError);
+}
+
+namespace {
+
+/// A user-registered backend: everything evaluates to "does not hold". The
+/// open seam the redesign exists for — no analyzer edits required.
+class NothingHoldsBackend final : public cosy::EvalBackend {
+ public:
+  explicit NothingHoldsBackend(const cosy::EvalBackendDeps& deps)
+      : cosy::EvalBackend(deps) {}
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "test-nothing-holds";
+  }
+  [[nodiscard]] PropertyResult evaluate(
+      const asl::PropertyInfo&, const std::vector<RtValue>&) override {
+    PropertyResult result;
+    result.status = PropertyResult::Status::kDoesNotHold;
+    return result;
+  }
+};
+
+}  // namespace
+
+TEST(EvalBackendRegistry, UserBackendsPlugIntoTheAnalyzer) {
+  cosy::EvalBackend::register_backend(
+      {"test-nothing-holds", "test double: nothing ever holds",
+       /*needs_store=*/false, /*needs_connection=*/false,
+       [](const cosy::EvalBackendDeps& deps) {
+         return std::make_unique<NothingHoldsBackend>(deps);
+       }});
+  World world(perf::workloads::imbalanced_ocean(), {1, 4});
+  cosy::Analyzer analyzer(world.model, world.store, world.handles);
+  cosy::AnalyzerConfig config;
+  config.backend = "test-nothing-holds";
+  const cosy::AnalysisReport report = analyzer.analyze(1, config);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_TRUE(report.not_applicable.empty());
+  EXPECT_TRUE(report.tuned());
+}
+
+// ---------------------------------------------------------------------------
+// Name coverage of the deprecated enum aliases (they must match registry
+// spellings exactly — a config string round-trips through either surface).
+
+TEST(EvalBackendRegistry, StrategyAliasesSpellRegistryNames) {
+  for (const cosy::EvalStrategy strategy :
+       {cosy::EvalStrategy::kInterpreter, cosy::EvalStrategy::kSqlPushdown,
+        cosy::EvalStrategy::kClientFetch, cosy::EvalStrategy::kBulkFetch,
+        cosy::EvalStrategy::kShardedInterpreter,
+        cosy::EvalStrategy::kSqlWholeCondition}) {
+    const std::string name{to_string(strategy)};
+    EXPECT_NE(name, "?");
+    EXPECT_TRUE(cosy::EvalBackend::exists(name)) << name;
+  }
+  EXPECT_EQ(to_string(cosy::EvalStrategy::kSqlWholeCondition),
+            "sql-whole-condition");
+  EXPECT_EQ(to_string(cosy::EvalStrategy::kShardedInterpreter),
+            "interpreter-sharded");
+  EXPECT_EQ(to_string(cosy::SqlEvalMode::kPushdown), "pushdown");
+  EXPECT_EQ(to_string(cosy::SqlEvalMode::kClientSide), "client-side");
+  EXPECT_EQ(to_string(cosy::SqlEvalMode::kWholeCondition), "whole-condition");
+
+  cosy::AnalyzerConfig legacy;
+  legacy.strategy = cosy::EvalStrategy::kInterpreter;
+  legacy.parallel = true;  // deprecated flag upgrades to the sharded backend
+  EXPECT_EQ(legacy.backend_name(), "interpreter-sharded");
+  legacy.backend = "sql-whole-condition";  // explicit name wins
+  EXPECT_EQ(legacy.backend_name(), "sql-whole-condition");
+}
+
+// ---------------------------------------------------------------------------
+// Report-surface fixes that ride along with the API redesign.
+
+TEST(AnalysisReport, TableWithZeroCapShowsEveryFinding) {
+  World world(perf::workloads::imbalanced_ocean(), {1, 16});
+  cosy::Analyzer analyzer(world.model, world.store, world.handles);
+  const cosy::AnalysisReport report = analyzer.analyze(1);
+  ASSERT_GT(report.findings.size(), 3u);
+  const std::string all = report.to_table(0);
+  // The last-ranked finding must appear; under the old behavior a 0 cap
+  // rendered an empty table.
+  EXPECT_NE(all.find(report.findings.back().context), std::string::npos);
+  EXPECT_NE(all.find(kojak::support::cat(report.findings.size())),
+            std::string::npos);
+  // tuned() agrees with the bottleneck it reports (computed once).
+  ASSERT_NE(report.bottleneck(), nullptr);
+  EXPECT_EQ(report.tuned(),
+            report.bottleneck()->result.severity <= report.problem_threshold);
+  EXPECT_EQ(report.problems().empty(), report.tuned());
+}
+
+// ---------------------------------------------------------------------------
+// Whole-condition compilation (paper §6)
+
+TEST(WholeCondition, EveryShippedPropertyIsCompilable) {
+  const asl::Model model = cosy::load_cosy_model();
+  const auto classified = asl::classify_whole_condition(model);
+  EXPECT_EQ(classified.size(), 13u);  // 5 paper + 8 extended
+  for (const auto& pc : classified) {
+    EXPECT_TRUE(pc.whole_condition_compilable())
+        << pc.property << ": " << pc.first_blocker()->site << " — "
+        << pc.first_blocker()->reason;
+  }
+}
+
+TEST(WholeCondition, ExactlyOneStatementPerContext) {
+  World world(perf::workloads::imbalanced_ocean(), {1, 4, 16});
+  db::Connection conn(world.database, db::ConnectionProfile::in_memory());
+  cosy::Analyzer analyzer(world.model, world.store, world.handles, &conn);
+
+  cosy::PlanCache cache(world.model);
+  cosy::AnalyzerConfig config;
+  config.backend = "sql-whole-condition";
+  config.plan_cache = &cache;
+
+  const std::uint64_t before = conn.statements_executed();
+  const cosy::AnalysisReport report = analyzer.analyze(2, config);
+  // The §6 contract: one statement per (property, context), no more.
+  EXPECT_EQ(report.sql_queries, analyzer.context_count());
+  EXPECT_EQ(conn.statements_executed() - before, report.sql_queries);
+  // One compiled plan per property, shared across all its contexts.
+  EXPECT_EQ(cache.size(), world.model.properties().size());
+  EXPECT_EQ(report.plan_cache_misses, cache.size());
+  EXPECT_GT(report.plan_cache_hits, report.plan_cache_misses);
+
+  // A warm cache still issues one statement per context, compiling nothing.
+  const cosy::AnalysisReport warm = analyzer.analyze(1, config);
+  EXPECT_EQ(warm.sql_queries, analyzer.context_count());
+  EXPECT_EQ(warm.plan_cache_misses, 0u);
+}
+
+TEST(WholeCondition, ExplainProducesOneFromlessSelect) {
+  World world(perf::workloads::imbalanced_ocean(), {1, 4});
+  db::Connection conn(world.database, db::ConnectionProfile::in_memory());
+  cosy::SqlEvaluator sql(world.model, conn,
+                         cosy::SqlEvalMode::kWholeCondition);
+  const asl::PropertyInfo* prop = world.model.find_property("SyncCost");
+  ASSERT_NE(prop, nullptr);
+  const std::string text = sql.explain_whole_condition(*prop);
+  EXPECT_EQ(text.rfind("SELECT ", 0), 0u) << text;
+  // LET probe + condition + confidence + severity = 4 columns, and the
+  // typed-timing set appears as a scalar subquery with bound parameters.
+  EXPECT_NE(text.find("COALESCE(SUM("), std::string::npos) << text;
+  EXPECT_NE(text.find("FROM Region_TypTimes"), std::string::npos) << text;
+  EXPECT_NE(text.find('?'), std::string::npos) << text;
+  // No second statement: the whole surface lives in this one SELECT.
+  EXPECT_EQ(text.find(';'), std::string::npos) << text;
+}
+
+// Differential: the two new backends against the interpreter, all 13
+// properties, every connection profile of the paper's §5 comparison.
+struct ProfileCase {
+  const char* name;
+  db::ConnectionProfile (*profile)();
+};
+
+class BackendDifferential : public ::testing::TestWithParam<ProfileCase> {};
+
+TEST_P(BackendDifferential, AgreesWithInterpreterOnAllWorkloads) {
+  struct WorkloadCase {
+    const char* name;
+    perf::AppSpec (*factory)();
+    std::uint64_t seed;
+  };
+  const WorkloadCase workloads[] = {
+      {"ocean", &perf::workloads::imbalanced_ocean, 1},
+      {"stencil", &perf::workloads::scalable_stencil, 2},
+      {"io", &perf::workloads::io_heavy, 5},
+  };
+  for (const WorkloadCase& wl : workloads) {
+    World world(wl.factory(), {1, 4, 16}, wl.seed);
+    db::Connection conn(world.database, GetParam().profile());
+    cosy::Analyzer analyzer(world.model, world.store, world.handles, &conn);
+
+    cosy::AnalyzerConfig reference;
+    reference.backend = "interpreter";
+    const std::string expected =
+        render_findings(analyzer.analyze(2, reference));
+
+    for (const char* backend : {"sql-whole-condition", "interpreter-sharded"}) {
+      cosy::AnalyzerConfig config;
+      config.backend = backend;
+      const cosy::AnalysisReport report = analyzer.analyze(2, config);
+      EXPECT_EQ(expected, render_findings(report))
+          << wl.name << " / " << backend << " / " << GetParam().name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, BackendDifferential,
+    ::testing::Values(
+        ProfileCase{"access", &db::ConnectionProfile::access_local},
+        ProfileCase{"oracle7", &db::ConnectionProfile::oracle7},
+        ProfileCase{"mssql", &db::ConnectionProfile::mssql_server},
+        ProfileCase{"postgres", &db::ConnectionProfile::postgres},
+        ProfileCase{"inmemory", &db::ConnectionProfile::in_memory}),
+    [](const auto& info) { return info.param.name; });
+
+// Randomized stores with UNIQUE data gaps: whole-condition must map NULL
+// propagation back onto the interpreter's not-applicable semantics.
+class WholeConditionRandomStore : public ::testing::TestWithParam<int> {};
+
+TEST_P(WholeConditionRandomStore, AgreesWithInterpreter) {
+  kojak::support::Rng rng(GetParam());
+
+  asl::Model model = cosy::load_cosy_model();
+  asl::ObjectStore store(model);
+  const auto enum_id = *model.find_enum("TimingType");
+
+  const asl::ObjectId program = store.create("Program");
+  store.set_attr(program, "Name", RtValue::of_string("random"));
+  const asl::ObjectId version = store.create("ProgVersion");
+  store.add_to_set(program, "Versions", version);
+  std::vector<asl::ObjectId> runs;
+  for (int r = 0; r < 2; ++r) {
+    const asl::ObjectId run = store.create("TestRun");
+    store.set_attr(run, "NoPe", RtValue::of_int(r == 0 ? 1 : 8));
+    store.set_attr(run, "Clockspeed", RtValue::of_int(450));
+    store.set_attr(run, "Start", RtValue::of_int(941806800 + r));
+    store.add_to_set(version, "Runs", run);
+    runs.push_back(run);
+  }
+  const asl::ObjectId fn = store.create("Function");
+  store.set_attr(fn, "Name", RtValue::of_string("main"));
+  store.add_to_set(version, "Functions", fn);
+
+  const int region_count = static_cast<int>(rng.uniform_int(2, 8));
+  std::vector<asl::ObjectId> regions;
+  for (int i = 0; i < region_count; ++i) {
+    const asl::ObjectId region = store.create("Region");
+    store.set_attr(region, "Name",
+                   RtValue::of_string(kojak::support::cat("r", i)));
+    store.set_attr(region, "Kind", RtValue::of_string("Loop"));
+    store.add_to_set(fn, "Regions", region);
+    regions.push_back(region);
+    for (const asl::ObjectId run : runs) {
+      // Data gaps on purpose: some regions lack timings in some runs, which
+      // must surface as not-applicable in both engines.
+      if (i > 0 && rng.chance(0.25)) continue;
+      const asl::ObjectId total = store.create("TotalTiming");
+      store.set_attr(total, "Run", RtValue::of_object(run));
+      const double incl = rng.uniform(10, 1000);
+      store.set_attr(total, "Incl", RtValue::of_float(incl));
+      store.set_attr(total, "Excl",
+                     RtValue::of_float(incl * rng.uniform(0.2, 0.9)));
+      store.set_attr(total, "Ovhd",
+                     RtValue::of_float(incl * rng.uniform(0.0, 0.5)));
+      store.add_to_set(region, "TotTimes", total);
+      const int typed_count = static_cast<int>(rng.uniform_int(0, 5));
+      for (int t = 0; t < typed_count; ++t) {
+        const asl::ObjectId typed = store.create("TypedTiming");
+        store.set_attr(typed, "Run", RtValue::of_object(run));
+        store.set_attr(
+            typed, "Type",
+            RtValue::of_enum(enum_id,
+                             static_cast<std::int32_t>(rng.uniform_int(0, 24))));
+        store.set_attr(typed, "Time", RtValue::of_float(rng.uniform(0, 50)));
+        store.add_to_set(region, "TypTimes", typed);
+      }
+    }
+  }
+
+  db::Database database;
+  cosy::create_schema(database, model);
+  db::Connection conn(database, db::ConnectionProfile::in_memory());
+  cosy::import_store(conn, store);
+
+  const asl::Interpreter interp(model, store);
+  cosy::PlanCache cache(model);
+  cosy::SqlEvaluator whole(model, conn, cosy::SqlEvalMode::kWholeCondition,
+                           &cache);
+
+  std::size_t checked = 0;
+  for (const asl::PropertyInfo& prop : model.properties()) {
+    if (prop.params[0].second !=
+        asl::Type::class_of(*model.find_class("Region"))) {
+      continue;  // no call sites in this synthetic store
+    }
+    for (const asl::ObjectId region : regions) {
+      for (const asl::ObjectId run : runs) {
+        const std::vector<RtValue> args = {RtValue::of_object(region),
+                                           RtValue::of_object(run),
+                                           RtValue::of_object(regions[0])};
+        expect_same(interp.evaluate_property(prop, args),
+                    whole.evaluate_property(prop, args),
+                    kojak::support::cat(prop.name, " region ", region,
+                                        " run ", run, " seed ", GetParam()));
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 40u);
+  // Data gaps surface as NULL columns, not as statement failures: the
+  // single-statement contract holds even on gappy stores.
+  EXPECT_EQ(whole.whole_fallbacks(), 0u);
+  EXPECT_EQ(whole.queries_issued(), checked);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WholeConditionRandomStore,
+                         ::testing::Range(1, 9));
+
+TEST(WholeCondition, UniqueOverSeveralMembersFallsBackCorrectly) {
+  // Two TotalTimings for the same (region, run) make UNIQUE throw in the
+  // interpreter; the whole-condition statement aborts in the scalar
+  // subquery and the evaluator must recover through the site-wise path
+  // with an identical not-applicable verdict.
+  asl::Model model = cosy::load_cosy_model();
+  asl::ObjectStore store(model);
+  const asl::ObjectId program = store.create("Program");
+  store.set_attr(program, "Name", RtValue::of_string("dup"));
+  const asl::ObjectId run = store.create("TestRun");
+  store.set_attr(run, "NoPe", RtValue::of_int(4));
+  store.set_attr(run, "Clockspeed", RtValue::of_int(450));
+  store.set_attr(run, "Start", RtValue::of_int(941806800));
+  const asl::ObjectId region = store.create("Region");
+  store.set_attr(region, "Name", RtValue::of_string("main"));
+  store.set_attr(region, "Kind", RtValue::of_string("Function"));
+  for (int i = 0; i < 2; ++i) {
+    const asl::ObjectId total = store.create("TotalTiming");
+    store.set_attr(total, "Run", RtValue::of_object(run));
+    store.set_attr(total, "Incl", RtValue::of_float(100.0 + i));
+    store.set_attr(total, "Excl", RtValue::of_float(50.0));
+    store.set_attr(total, "Ovhd", RtValue::of_float(5.0));
+    store.add_to_set(region, "TotTimes", total);
+  }
+
+  db::Database database;
+  cosy::create_schema(database, model);
+  db::Connection conn(database, db::ConnectionProfile::in_memory());
+  cosy::import_store(conn, store);
+
+  const asl::Interpreter interp(model, store);
+  cosy::SqlEvaluator whole(model, conn, cosy::SqlEvalMode::kWholeCondition);
+  const asl::PropertyInfo* prop = model.find_property("MeasuredCost");
+  ASSERT_NE(prop, nullptr);
+  const std::vector<RtValue> args = {RtValue::of_object(region),
+                                     RtValue::of_object(run),
+                                     RtValue::of_object(region)};
+  const PropertyResult a = interp.evaluate_property(*prop, args);
+  const PropertyResult b = whole.evaluate_property(*prop, args);
+  EXPECT_EQ(a.status, PropertyResult::Status::kNotApplicable);
+  expect_same(a, b, "MeasuredCost with duplicate summaries");
+  EXPECT_GT(whole.whole_fallbacks(), 0u);
+}
+
+TEST(WholeCondition, GapNullsInEqualityStayNotApplicable) {
+  // The flip side of total null equality: a NULL produced by a data gap
+  // (empty AVG here) is an interpreter *error*, not a legal null — it must
+  // surface as not-applicable even under ==/!=, and `== null` must not
+  // match it. All without fallbacks: the distinction is compiled in.
+  const asl::Model model = asl::load_model({R"(
+    class Holder { String Name; setof Item Items; }
+    class Item { float V; }
+    Property AvgIsFive(Holder h) {
+      CONDITION: AVG(i.V WHERE i IN h.Items) == 5.0;
+      CONFIDENCE: 1;
+      SEVERITY: 1;
+    };
+    Property BigItemIsNull(Holder h) {
+      CONDITION: UNIQUE({i IN h.Items WITH i.V > 5.0}) == null;
+      CONFIDENCE: 1;
+      SEVERITY: 1;
+    };
+  )"});
+
+  asl::ObjectStore store(model);
+  const asl::ObjectId empty = store.create("Holder");
+  store.set_attr(empty, "Name", RtValue::of_string("empty"));
+  const asl::ObjectId full = store.create("Holder");
+  store.set_attr(full, "Name", RtValue::of_string("full"));
+  for (const double v : {4.0, 6.0}) {  // AVG = 5.0
+    const asl::ObjectId item = store.create("Item");
+    store.set_attr(item, "V", RtValue::of_float(v));
+    store.add_to_set(full, "Items", item);
+  }
+
+  db::Database database;
+  cosy::create_schema(database, model);
+  db::Connection conn(database, db::ConnectionProfile::in_memory());
+  cosy::import_store(conn, store);
+
+  const asl::Interpreter interp(model, store);
+  cosy::SqlEvaluator whole(model, conn, cosy::SqlEvalMode::kWholeCondition);
+
+  for (const char* prop_name : {"AvgIsFive", "BigItemIsNull"}) {
+    const asl::PropertyInfo* prop = model.find_property(prop_name);
+    ASSERT_NE(prop, nullptr) << prop_name;
+    for (const asl::ObjectId holder : {empty, full}) {
+      const std::vector<RtValue> args = {RtValue::of_object(holder)};
+      expect_same(interp.evaluate_property(*prop, args),
+                  whole.evaluate_property(*prop, args),
+                  kojak::support::cat(prop_name, " holder ", holder));
+    }
+  }
+  const auto on_empty = interp.evaluate_property(
+      *model.find_property("AvgIsFive"), {RtValue::of_object(empty)});
+  EXPECT_EQ(on_empty.status, PropertyResult::Status::kNotApplicable);
+  const auto on_full = interp.evaluate_property(
+      *model.find_property("AvgIsFive"), {RtValue::of_object(full)});
+  EXPECT_EQ(on_full.status, PropertyResult::Status::kHolds);
+  EXPECT_EQ(whole.whole_fallbacks(), 0u);
+}
+
+TEST(WholeCondition, NonCompilablePropertyFallsBackToSitewise) {
+  // An aggregate whose value expression applies SIZE to the binder is
+  // correlated — outside the compilable subset. The classifier must flag
+  // it, and the whole-condition evaluator must agree byte-for-byte with
+  // the site-wise evaluator it falls back to.
+  const asl::Model model = asl::load_model({R"(
+    class Holder { String Name; setof Item Items; }
+    class Item { float V; setof Sub Subs; }
+    class Sub { float W; }
+    Property DeepFanout(Holder h) {
+      CONDITION: SUM(SIZE(i.Subs) WHERE i IN h.Items) > 1;
+      CONFIDENCE: 1;
+      SEVERITY: SUM(i.V WHERE i IN h.Items);
+    };
+  )"});
+  const asl::PropertyInfo* prop = model.find_property("DeepFanout");
+  ASSERT_NE(prop, nullptr);
+  const auto classified = asl::classify_whole_condition(model, *prop);
+  EXPECT_FALSE(classified.whole_condition_compilable());
+  ASSERT_NE(classified.first_blocker(), nullptr);
+  EXPECT_NE(classified.first_blocker()->reason.find("correlated"),
+            std::string::npos)
+      << classified.first_blocker()->reason;
+
+  asl::ObjectStore store(model);
+  const asl::ObjectId holder = store.create("Holder");
+  store.set_attr(holder, "Name", RtValue::of_string("h"));
+  for (int i = 0; i < 3; ++i) {
+    const asl::ObjectId item = store.create("Item");
+    store.set_attr(item, "V", RtValue::of_float(1.5 * i));
+    store.add_to_set(holder, "Items", item);
+    for (int s = 0; s <= i; ++s) {
+      const asl::ObjectId sub = store.create("Sub");
+      store.set_attr(sub, "W", RtValue::of_float(0.25));
+      store.add_to_set(item, "Subs", sub);
+    }
+  }
+  db::Database database;
+  cosy::create_schema(database, model);
+  db::Connection conn(database, db::ConnectionProfile::in_memory());
+  cosy::import_store(conn, store);
+
+  cosy::SqlEvaluator whole(model, conn, cosy::SqlEvalMode::kWholeCondition);
+  cosy::SqlEvaluator sitewise(model, conn, cosy::SqlEvalMode::kPushdown);
+  const std::vector<RtValue> args = {RtValue::of_object(holder)};
+  expect_same(sitewise.evaluate_property(*prop, args),
+              whole.evaluate_property(*prop, args), "DeepFanout");
+  EXPECT_EQ(whole.whole_fallbacks(), 1u);
+}
+
+TEST(WholeCondition, NullAttributeSemanticsMatchTheInterpreter) {
+  // ASL equality is total (null equals only null, never an error), ASL
+  // AND/OR short-circuit left to right, and an unset attribute is a legal
+  // null value — none of which SQL's three-valued logic gives for free.
+  // All four properties must agree with the interpreter WITHOUT falling
+  // back to the site-wise path.
+  const asl::Model model = asl::load_model({R"(
+    class Node { String Name; bool Flag; Node Link; setof Node Kids; }
+    Property LinkIsNull(Node n) {
+      LET Node p = n.Link;
+      IN
+      CONDITION: p == null;
+      CONFIDENCE: 1;
+      SEVERITY: 1;
+    };
+    Property LinkIsSet(Node n) {
+      CONDITION: n.Link != null;
+      CONFIDENCE: 1;
+      SEVERITY: 1;
+    };
+    Property LinksSelf(Node n) {
+      CONDITION: n.Link == n;
+      CONFIDENCE: 1;
+      SEVERITY: 1;
+    };
+    Property FlagOrName(Node n) {
+      CONDITION: n.Flag OR n.Name == "a";
+      CONFIDENCE: 1;
+      SEVERITY: 1;
+    };
+  )"});
+
+  asl::ObjectStore store(model);
+  const asl::ObjectId unlinked = store.create("Node");
+  store.set_attr(unlinked, "Name", RtValue::of_string("a"));
+  // Flag and Link stay unset: legal nulls, except where as_bool needs them.
+  const asl::ObjectId linked = store.create("Node");
+  store.set_attr(linked, "Name", RtValue::of_string("b"));
+  store.set_attr(linked, "Flag", RtValue::of_bool(true));
+  store.set_attr(linked, "Link", RtValue::of_object(unlinked));
+
+  db::Database database;
+  cosy::create_schema(database, model);
+  db::Connection conn(database, db::ConnectionProfile::in_memory());
+  cosy::import_store(conn, store);
+
+  const asl::Interpreter interp(model, store);
+  cosy::PlanCache cache(model);
+  cosy::SqlEvaluator whole(model, conn, cosy::SqlEvalMode::kWholeCondition,
+                           &cache);
+
+  for (const char* prop_name :
+       {"LinkIsNull", "LinkIsSet", "LinksSelf", "FlagOrName"}) {
+    const asl::PropertyInfo* prop = model.find_property(prop_name);
+    ASSERT_NE(prop, nullptr) << prop_name;
+    for (const asl::ObjectId node : {unlinked, linked}) {
+      const std::vector<RtValue> args = {RtValue::of_object(node)};
+      expect_same(interp.evaluate_property(*prop, args),
+                  whole.evaluate_property(*prop, args),
+                  kojak::support::cat(prop_name, " node ", node));
+    }
+  }
+  // Spot-check the interesting verdicts so the comparison can't pass
+  // vacuously: a legal null holds `== null`, the unset Flag in an OR is a
+  // data gap (interpreter would throw on as_bool), the set Flag decides
+  // without consulting the right operand.
+  const auto eval_one = [&](const char* name, asl::ObjectId node) {
+    return interp.evaluate_property(
+        *model.find_property(name), {RtValue::of_object(node)});
+  };
+  EXPECT_EQ(eval_one("LinkIsNull", unlinked).status,
+            PropertyResult::Status::kHolds);
+  EXPECT_EQ(eval_one("LinksSelf", unlinked).status,
+            PropertyResult::Status::kDoesNotHold);
+  EXPECT_EQ(eval_one("FlagOrName", unlinked).status,
+            PropertyResult::Status::kNotApplicable);
+  EXPECT_EQ(eval_one("FlagOrName", linked).status,
+            PropertyResult::Status::kHolds);
+  EXPECT_EQ(whole.whole_fallbacks(), 0u);
+}
+
+TEST(WholeCondition, PlanCachePinsToTheModelInstance) {
+  // A cache built against a reloaded model (equal fingerprint, different
+  // AST) must be rejected at backend creation, like the evaluator itself.
+  World world(perf::workloads::scalable_stencil(), {1, 2});
+  db::Connection conn(world.database, db::ConnectionProfile::in_memory());
+  const asl::Model reloaded = cosy::load_cosy_model();
+  ASSERT_EQ(world.model.fingerprint(), reloaded.fingerprint());
+  cosy::PlanCache stale(reloaded);
+
+  cosy::EvalBackendDeps deps;
+  deps.model = &world.model;
+  deps.conn = &conn;
+  deps.plan_cache = &stale;
+  EXPECT_THROW((void)cosy::EvalBackend::create("sql-whole-condition", deps),
+               EvalError);
+  EXPECT_THROW((void)cosy::EvalBackend::create("sql-pushdown", deps),
+               EvalError);
+
+  // The analyzer surfaces the same guard for config-supplied caches.
+  cosy::Analyzer analyzer(world.model, world.store, world.handles, &conn);
+  cosy::AnalyzerConfig config;
+  config.backend = "sql-whole-condition";
+  config.plan_cache = &stale;
+  EXPECT_THROW((void)analyzer.analyze(1, config), EvalError);
+}
+
+// The headline §6 claim, pinned: on distributed profiles the one-statement
+// backend spends less modelled wire/server time than the pushdown path.
+TEST(WholeCondition, BeatsPushdownOnDistributedProfiles) {
+  World world(perf::workloads::imbalanced_ocean(), {1, 16});
+  for (const ProfileCase& pc :
+       {ProfileCase{"oracle7", &db::ConnectionProfile::oracle7},
+        ProfileCase{"postgres", &db::ConnectionProfile::postgres}}) {
+    double virtual_ms[2] = {0, 0};
+    std::uint64_t queries[2] = {0, 0};
+    const char* backends[2] = {"sql-pushdown", "sql-whole-condition"};
+    for (int i = 0; i < 2; ++i) {
+      db::Connection conn(world.database, pc.profile());
+      cosy::Analyzer analyzer(world.model, world.store, world.handles, &conn);
+      cosy::PlanCache cache(world.model);
+      cosy::AnalyzerConfig config;
+      config.backend = backends[i];
+      config.plan_cache = &cache;
+      const cosy::AnalysisReport report = analyzer.analyze(1, config);
+      virtual_ms[i] = conn.clock().now_ms();
+      queries[i] = report.sql_queries;
+    }
+    EXPECT_LT(queries[1], queries[0]) << pc.name;
+    EXPECT_LT(virtual_ms[1], virtual_ms[0]) << pc.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded interpreter backend
+
+TEST(ShardedInterpreter, ByteIdenticalReportsForAnyThreadCount) {
+  World world(perf::workloads::imbalanced_ocean(), {1, 4, 16});
+  cosy::Analyzer analyzer(world.model, world.store, world.handles);
+
+  cosy::AnalyzerConfig serial;
+  serial.backend = "interpreter";
+  std::vector<std::string> references;
+  for (std::size_t run = 0; run < world.handles.runs.size(); ++run) {
+    references.push_back(render_exact(analyzer.analyze(run, serial)));
+  }
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    cosy::AnalyzerConfig sharded;
+    sharded.backend = "interpreter-sharded";
+    sharded.threads = threads;
+    for (std::size_t run = 0; run < world.handles.runs.size(); ++run) {
+      EXPECT_EQ(references[run], render_exact(analyzer.analyze(run, sharded)))
+          << "run " << run << " threads " << threads;
+    }
+  }
+}
+
+TEST(ShardedInterpreter, WorksInsideTheBatchEngine) {
+  World world(perf::workloads::imbalanced_ocean(), {1, 4, 16});
+  cosy::BatchAnalyzer batch(world.model, world.store, world.handles, nullptr);
+  cosy::BatchConfig config;
+  config.backend = "interpreter-sharded";
+  config.threads = 2;
+  const cosy::BatchResult result = batch.analyze_all(config);
+  EXPECT_EQ(result.items.size(), world.handles.runs.size());
+  EXPECT_EQ(result.summary.sql_queries, 0u);
+
+  cosy::Analyzer analyzer(world.model, world.store, world.handles);
+  for (std::size_t run = 0; run < world.handles.runs.size(); ++run) {
+    EXPECT_EQ(render_exact(analyzer.analyze(run)),
+              render_exact(result.items[run].report))
+        << "run " << run;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-condition through the batch engine
+
+TEST(BatchWholeCondition, DeterministicAcrossThreadCountsAndOneStatement) {
+  World world(perf::workloads::imbalanced_ocean(), {1, 4, 16});
+  cosy::Analyzer sequential(world.model, world.store, world.handles);
+  std::string reference;
+  std::uint64_t contexts_per_run = 0;
+  {
+    cosy::Analyzer counting(world.model, world.store, world.handles);
+    contexts_per_run = counting.context_count();
+  }
+  for (const std::size_t threads : {1u, 4u}) {
+    db::ConnectionPool pool(world.database, db::ConnectionProfile::postgres(),
+                            threads);
+    cosy::BatchAnalyzer batch(world.model, world.store, world.handles, &pool);
+    cosy::BatchConfig config;
+    config.backend = "sql-whole-condition";
+    config.threads = threads;
+    const cosy::BatchResult result = batch.analyze_all(config);
+    EXPECT_EQ(result.summary.sql_queries,
+              contexts_per_run * world.handles.runs.size())
+        << "threads=" << threads;
+    std::string rendered;
+    for (const cosy::BatchItem& item : result.items) {
+      rendered += render_findings(item.report);
+    }
+    if (reference.empty()) {
+      reference = rendered;
+    } else {
+      EXPECT_EQ(reference, rendered) << "threads=" << threads;
+    }
+  }
+}

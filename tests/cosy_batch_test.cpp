@@ -309,6 +309,41 @@ TEST(BatchAnalyzer, SummaryFindsScalingRegressions) {
   EXPECT_NE(table.find("hit rate"), std::string::npos);
 }
 
+TEST(BatchAnalyzer, CallerOwnedPlanCachePersistsAcrossBatches) {
+  // The ROADMAP follow-up: a long-lived service hands the batch engine its
+  // own PlanCache, and every batch reports its traffic on it (as a delta)
+  // in the cross-run summary.
+  World world;
+  cosy::PlanCache cache(world.model);
+  db::ConnectionPool pool(world.database, db::ConnectionProfile::in_memory(),
+                          2);
+  cosy::BatchAnalyzer batch(world.model, world.store, world.handles, &pool);
+  cosy::BatchConfig config;
+  config.threads = 2;
+  config.plan_cache = &cache;
+
+  const cosy::BatchResult first = batch.analyze_all(config);
+  EXPECT_GT(first.summary.shared_cache.misses, 0u);
+  EXPECT_GT(first.summary.shared_cache.hits, 0u);
+  EXPECT_EQ(first.summary.shared_cache_plans, cache.size());
+  EXPECT_GT(first.summary.shared_cache.hit_rate(), 0.5);
+
+  // A second batch over the warm cache compiles nothing: the summary's
+  // delta semantics make that visible even though the cache's lifetime
+  // counters keep growing.
+  const cosy::BatchResult second = batch.analyze_all(config);
+  EXPECT_EQ(second.summary.shared_cache.misses, 0u);
+  EXPECT_GT(second.summary.shared_cache.hits, 0u);
+  EXPECT_EQ(second.summary.plan_cache_misses, 0u);
+  EXPECT_EQ(second.summary.shared_cache_plans,
+            first.summary.shared_cache_plans);
+  EXPECT_EQ(render(first), render(second));
+
+  const std::string table = second.summary.to_table();
+  EXPECT_NE(table.find("shared plan cache"), std::string::npos);
+  EXPECT_NE(table.find("compiled plans resident"), std::string::npos);
+}
+
 TEST(BatchAnalyzer, PoolSessionsAreReusedAcrossTasks) {
   World world({1, 2, 4, 8, 16});
   db::ConnectionPool pool(world.database, db::ConnectionProfile::postgres(),
