@@ -3,10 +3,12 @@
 // into SQL queries instead of first accessing the data components and
 // evaluating the expressions in the analysis tool."
 //
-// Sweeps the program size and compares four evaluation backends —
-// sql-pushdown, sql-whole-condition (the paper's §6 future work: ONE
-// statement per (property, context)), client-fetch, and bulk-fetch — on two
-// axes:
+// Sweeps the program size and compares five evaluation backends —
+// sql-pushdown, sql-whole-condition-plain (the paper's §6 future work: ONE
+// statement per (property, context)), sql-whole-condition (the same with
+// common subexpressions hoisted into engine-side CTEs: every shared
+// subquery executes once per context and binds its arguments once),
+// client-fetch, and bulk-fetch — on two axes:
 //   * modelled wire time on distributed backends (Oracle 7 and Postgres,
 //     what §5 observed), and
 //   * real engine time (all backends do real relational work here).
@@ -24,6 +26,7 @@
 #include "bench_util.hpp"
 #include "cosy/eval_backend.hpp"
 #include "cosy/sql_eval.hpp"
+#include "db/connection_pool.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
 
@@ -77,13 +80,34 @@ BackendOutcome run_backend(bench::World& world, const std::string& backend,
     db::Connection import_conn(database, db::ConnectionProfile::in_memory());
     cosy::import_store(import_conn, *world.store);
   }
-  // Analysis happens over a distributed backend: wire costs count.
-  db::Connection conn(database, profile);
-  cosy::Analyzer analyzer(world.model, *world.store, world.handles, &conn);
   cosy::PlanCache cache(world.model);
   cosy::AnalyzerConfig config;
   config.backend = backend;
   config.plan_cache = &cache;
+
+  if (backend == "sql-sharded") {
+    // The sharded backend leases its own sessions: give it a real pool so
+    // the benchmark measures sharded execution, not the serial fallback.
+    db::ConnectionPool pool(database, profile, 4);
+    cosy::Analyzer analyzer(world.model, *world.store, world.handles,
+                            /*conn=*/nullptr, &pool);
+    config.threads = 4;
+    const double v0 = pool.total_clock_us();
+    const auto t0 = std::chrono::steady_clock::now();
+    const cosy::AnalysisReport report = analyzer.analyze(1, config);
+    const auto t1 = std::chrono::steady_clock::now();
+    BackendOutcome outcome;
+    outcome.virtual_ms = (pool.total_clock_us() - v0) / 1000.0;
+    outcome.real_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    outcome.queries = report.sql_queries;
+    outcome.findings = report.findings.size();
+    return outcome;
+  }
+
+  // Analysis happens over a distributed backend: wire costs count.
+  db::Connection conn(database, profile);
+  cosy::Analyzer analyzer(world.model, *world.store, world.handles, &conn);
 
   const double v0 = conn.clock().now_ms();
   const auto t0 = std::chrono::steady_clock::now();
@@ -109,7 +133,9 @@ void print_summary_table() {
       .add_column("contexts", support::TablePrinter::Align::kRight)
       .add_column("pushdown ms", support::TablePrinter::Align::kRight)
       .add_column("whole ms", support::TablePrinter::Align::kRight)
+      .add_column("whole+cse ms", support::TablePrinter::Align::kRight)
       .add_column("whole gain", support::TablePrinter::Align::kRight)
+      .add_column("cse gain", support::TablePrinter::Align::kRight)
       .add_column("client ms", support::TablePrinter::Align::kRight)
       .add_column("bulk ms", support::TablePrinter::Align::kRight)
       .add_column("push q", support::TablePrinter::Align::kRight)
@@ -119,6 +145,8 @@ void print_summary_table() {
       bench::World& world = world_at(i);
       const BackendOutcome push = run_backend(world, "sql-pushdown", profile);
       const BackendOutcome whole =
+          run_backend(world, "sql-whole-condition-plain", profile);
+      const BackendOutcome cse =
           run_backend(world, "sql-whole-condition", profile);
       const BackendOutcome fetch = run_backend(world, "client-fetch", profile);
       const BackendOutcome bulk = run_backend(world, "bulk-fetch", profile);
@@ -128,7 +156,9 @@ void print_summary_table() {
            std::to_string(analyzer.context_count()),
            support::format_double(push.virtual_ms, 5),
            support::format_double(whole.virtual_ms, 5),
+           support::format_double(cse.virtual_ms, 5),
            support::format_double(push.virtual_ms / whole.virtual_ms, 3),
+           support::format_double(whole.virtual_ms / cse.virtual_ms, 3),
            support::format_double(fetch.virtual_ms, 5),
            support::format_double(bulk.virtual_ms, 5),
            std::to_string(push.queries), std::to_string(whole.queries)});
@@ -137,10 +167,13 @@ void print_summary_table() {
   std::cout << "\n=== T3: evaluation backends over distributed database "
                "profiles (paper §5: pushdown is a 'significant advantage'; "
                "§6: whole-condition compilation cuts each context to ONE "
-               "statement) ===\n"
+               "statement; +cse hoists shared subexpressions into WITH CTEs "
+               "that execute once and bind once) ===\n"
             << table.render()
             << "('whole q' equals the context count: one statement per "
-               "(property, context). 'client' fetches data components record "
+               "(property, context) — the CSE pass keeps that invariant while "
+               "cutting bound-parameter wire values and repeated engine-side "
+               "scans. 'client' fetches data components record "
                "by record and evaluates in the tool — the paper's slow path; "
                "'bulk' is the modern batch variant. All backends compute "
                "identical findings.)\n\n";
@@ -172,7 +205,10 @@ int main(int argc, char** argv) {
   print_summary_table();
   for (std::size_t i = 0; i < scales().size(); ++i) {
     register_backend_bench("BM_Pushdown", "sql-pushdown", i, 2);
-    register_backend_bench("BM_WholeCondition", "sql-whole-condition", i, 2);
+    register_backend_bench("BM_WholeCondition", "sql-whole-condition-plain",
+                           i, 2);
+    register_backend_bench("BM_WholeConditionCse", "sql-whole-condition", i, 2);
+    register_backend_bench("BM_SqlSharded", "sql-sharded", i, 2);
     register_backend_bench("BM_ClientFetch", "client-fetch", i, 1);
     register_backend_bench("BM_BulkFetch", "bulk-fetch", i, 2);
   }

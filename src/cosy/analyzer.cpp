@@ -171,8 +171,10 @@ std::vector<const asl::PropertyInfo*> select_properties(
 }  // namespace
 
 Analyzer::Analyzer(const asl::Model& model, const asl::ObjectStore& store,
-                   const StoreHandles& handles, db::Connection* conn)
-    : model_(&model), store_(&store), handles_(&handles), conn_(conn) {}
+                   const StoreHandles& handles, db::Connection* conn,
+                   db::ConnectionPool* pool)
+    : model_(&model), store_(&store), handles_(&handles), conn_(conn),
+      pool_(pool) {}
 
 std::size_t Analyzer::context_count() const {
   std::size_t total = 0;
@@ -227,6 +229,7 @@ AnalysisReport Analyzer::analyze(std::size_t run_index,
   deps.model = model_;
   deps.store = store_;
   deps.conn = conn_;
+  deps.pool = pool_;
   deps.plan_cache = config.plan_cache;
   deps.threads = config.threads;
   const std::unique_ptr<EvalBackend> backend =

@@ -9,6 +9,10 @@
 #include "cosy/store_builder.hpp"
 #include "db/connection.hpp"
 
+namespace kojak::db {
+class ConnectionPool;
+}
+
 namespace kojak::cosy {
 
 class PlanCache;
@@ -110,9 +114,13 @@ struct AnalysisReport {
 class Analyzer {
  public:
   /// `store`/`handles` come from build_store; `conn` is required for the SQL
-  /// strategies and must hold the same data (see import_store).
+  /// strategies and must hold the same data (see import_store). `pool`
+  /// supplies sessions for backends that shard one run's contexts across
+  /// several database sessions (sql-sharded); either a connection or a pool
+  /// satisfies such a backend.
   Analyzer(const asl::Model& model, const asl::ObjectStore& store,
-           const StoreHandles& handles, db::Connection* conn = nullptr);
+           const StoreHandles& handles, db::Connection* conn = nullptr,
+           db::ConnectionPool* pool = nullptr);
 
   /// Analyzes the test run at `run_index` (into handles.runs).
   [[nodiscard]] AnalysisReport analyze(std::size_t run_index,
@@ -126,6 +134,7 @@ class Analyzer {
   const asl::ObjectStore* store_;
   const StoreHandles* handles_;
   db::Connection* conn_;
+  db::ConnectionPool* pool_;
 };
 
 }  // namespace kojak::cosy

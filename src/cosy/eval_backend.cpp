@@ -5,11 +5,13 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "cosy/db_import.hpp"
 #include "cosy/sql_eval.hpp"
 #include "db/connection.hpp"
+#include "db/connection_pool.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
 #include "support/thread_pool.hpp"
@@ -123,10 +125,10 @@ class ShardedInterpreterBackend final : public InterpreterBackend {
 class SqlBackend final : public EvalBackend {
  public:
   SqlBackend(std::string_view name, SqlEvalMode mode,
-             const EvalBackendDeps& deps)
+             const EvalBackendDeps& deps, bool common_subexpr = true)
       : EvalBackend(deps),
         name_(name),
-        eval_(*deps.model, *deps.conn, mode, deps.plan_cache) {}
+        eval_(*deps.model, *deps.conn, mode, deps.plan_cache, common_subexpr) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return name_;
@@ -146,6 +148,141 @@ class SqlBackend final : public EvalBackend {
  private:
   std::string_view name_;  // points at the registry key (stable)
   SqlEvaluator eval_;
+};
+
+/// The ROADMAP's sharded *SQL* backend: one run's context list is split into
+/// contiguous shards, each shard leases its own session from the
+/// db::ConnectionPool and drives a whole-condition (+CSE) SqlEvaluator over
+/// it. Results land in their request slots, so the reduction is the same
+/// deterministic index order `interpreter-sharded` uses — reports are
+/// byte-identical to `sql-whole-condition` for any thread count. The shared
+/// PlanCache (when supplied) means each property still compiles once per
+/// analysis, not once per shard.
+class ShardedSqlBackend final : public EvalBackend {
+ public:
+  explicit ShardedSqlBackend(const EvalBackendDeps& deps)
+      : EvalBackend(deps), threads_(deps.threads) {
+    if (deps.plan_cache != nullptr &&
+        &deps.plan_cache->model() != deps.model) {
+      // Same instance-pinning guard SqlEvaluator enforces, surfaced at
+      // creation instead of first shard evaluation.
+      throw EvalError(
+          "plan cache was compiled against a different model instance; "
+          "plans hold pointers into that model's AST");
+    }
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sql-sharded";
+  }
+
+  [[nodiscard]] asl::PropertyResult evaluate(
+      const asl::PropertyInfo& property,
+      const std::vector<asl::RtValue>& args) override {
+    if (deps().conn != nullptr) {
+      return primary().evaluate_property(property, args);
+    }
+    // Pool-only construction: lease a session for this one evaluation.
+    db::ConnectionPool::Lease lease = deps().pool->acquire();
+    SqlEvaluator eval(*deps().model, *lease, SqlEvalMode::kWholeCondition,
+                      deps().plan_cache);
+    const asl::PropertyResult result = eval.evaluate_property(property, args);
+    absorb(eval);
+    return result;
+  }
+
+  void evaluate_all(std::span<const EvalRequest> requests,
+                    std::span<asl::PropertyResult> results) override {
+    const std::size_t n = requests.size();
+    if (n == 0) return;
+    std::size_t shards =
+        threads_ != 0 ? threads_
+                      : std::max<std::size_t>(
+                            1, std::thread::hardware_concurrency());
+    if (deps().pool != nullptr) {
+      // Never ask for more leases than the pool can hand out at once: a
+      // shard holds its session for the whole chunk, so oversubscription
+      // would serialize on acquire() without buying anything.
+      shards = std::min(shards, deps().pool->capacity());
+    }
+    shards = std::min(shards, n);
+    if (shards <= 1 || deps().pool == nullptr) {
+      if (deps().conn == nullptr && deps().pool != nullptr) {
+        // Serial, pool-only: hold one lease for the whole list instead of
+        // re-leasing per context.
+        db::ConnectionPool::Lease lease = deps().pool->acquire();
+        SqlEvaluator eval(*deps().model, *lease, SqlEvalMode::kWholeCondition,
+                          deps().plan_cache);
+        for (std::size_t i = 0; i < n; ++i) {
+          results[i] = eval.evaluate_property(*requests[i].property,
+                                              *requests[i].args);
+        }
+        absorb(eval);
+        return;
+      }
+      EvalBackend::evaluate_all(requests, results);
+      return;
+    }
+
+    // Declaration order matters on the error path: the pool must be
+    // destroyed (joining every worker) BEFORE the mutex and futures that
+    // its tasks reference, or an exception rethrown from get() would
+    // unwind them while shards still run.
+    std::mutex stats_mutex;
+    std::vector<std::future<void>> done;
+    support::ThreadPool pool(shards);
+    done.reserve(shards);
+    const std::size_t chunk = (n + shards - 1) / shards;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t begin = s * chunk;
+      const std::size_t end = std::min(begin + chunk, n);
+      if (begin >= end) break;
+      done.push_back(pool.submit([this, requests, results, begin, end,
+                                  &stats_mutex] {
+        db::ConnectionPool::Lease lease = deps().pool->acquire();
+        SqlEvaluator eval(*deps().model, *lease, SqlEvalMode::kWholeCondition,
+                          deps().plan_cache);
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i] = eval.evaluate_property(*requests[i].property,
+                                              *requests[i].args);
+        }
+        const std::lock_guard lock(stats_mutex);
+        absorb(eval);
+      }));
+    }
+    for (std::future<void>& f : done) f.get();  // rethrows shard failures
+  }
+
+  [[nodiscard]] EvalStats stats() const override {
+    EvalStats out = stats_;
+    if (primary_) {
+      out.sql_queries += primary_->queries_issued();
+      out.plan_cache_hits += primary_->plan_cache_hits();
+      out.plan_cache_misses += primary_->plan_cache_misses();
+      out.whole_fallbacks += primary_->whole_fallbacks();
+    }
+    return out;
+  }
+
+ private:
+  SqlEvaluator& primary() {
+    if (!primary_) {
+      primary_.emplace(*deps().model, *deps().conn,
+                       SqlEvalMode::kWholeCondition, deps().plan_cache);
+    }
+    return *primary_;
+  }
+
+  void absorb(const SqlEvaluator& eval) {
+    stats_.sql_queries += eval.queries_issued();
+    stats_.plan_cache_hits += eval.plan_cache_hits();
+    stats_.plan_cache_misses += eval.plan_cache_misses();
+    stats_.whole_fallbacks += eval.whole_fallbacks();
+  }
+
+  std::size_t threads_;
+  std::optional<SqlEvaluator> primary_;  // deps().conn-backed, serial path
+  EvalStats stats_;  // accumulated from finished shard evaluators
 };
 
 /// One bulk transfer of every table in prepare(), then in-memory
@@ -223,12 +360,30 @@ Registry& registry() {
          }});
     add({"sql-whole-condition",
          "entire condition + confidence + severity compile into one "
-         "parameterized statement per (property, context) — paper §6",
+         "parameterized statement per (property, context) with common "
+         "subexpressions hoisted into CTEs — paper §6",
          /*needs_store=*/false, /*needs_connection=*/true,
          [](const EvalBackendDeps& deps) {
            return std::make_unique<SqlBackend>(
                "sql-whole-condition", SqlEvalMode::kWholeCondition, deps);
          }});
+    add({"sql-whole-condition-plain",
+         "whole-condition compilation without the CSE/CTE pass (every "
+         "repeated subexpression re-executes; the ablation baseline)",
+         /*needs_store=*/false, /*needs_connection=*/true,
+         [](const EvalBackendDeps& deps) {
+           return std::make_unique<SqlBackend>(
+               "sql-whole-condition-plain", SqlEvalMode::kWholeCondition,
+               deps, /*common_subexpr=*/false);
+         }});
+    add({"sql-sharded",
+         "whole-condition evaluation with one run's context list sharded "
+         "across ConnectionPool sessions (deterministic reduction)",
+         /*needs_store=*/false, /*needs_connection=*/true,
+         [](const EvalBackendDeps& deps) {
+           return std::make_unique<ShardedSqlBackend>(deps);
+         },
+         /*pool_satisfies_connection=*/true});
     add({"client-fetch",
          "record-at-a-time component fetching with all evaluation in the "
          "tool (the paper's §5 slow path)",
@@ -278,9 +433,12 @@ std::unique_ptr<EvalBackend> EvalBackend::create(std::string_view name,
     throw EvalError(support::cat("backend '", name,
                                  "' needs an in-memory object store"));
   }
-  if (reg.needs_connection && deps.conn == nullptr) {
-    throw EvalError(support::cat("backend '", name,
-                                 "' needs a database connection"));
+  if (reg.needs_connection && deps.conn == nullptr &&
+      !(reg.pool_satisfies_connection && deps.pool != nullptr)) {
+    throw EvalError(support::cat(
+        "backend '", name, "' needs a database ",
+        reg.pool_satisfies_connection ? "connection or connection pool"
+                                      : "connection"));
   }
   return reg.factory(deps);
 }

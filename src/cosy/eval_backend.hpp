@@ -14,6 +14,7 @@
 
 namespace kojak::db {
 class Connection;
+class ConnectionPool;
 }
 
 namespace kojak::cosy {
@@ -46,6 +47,10 @@ struct EvalBackendDeps {
   const asl::Model* model = nullptr;
   const asl::ObjectStore* store = nullptr;
   db::Connection* conn = nullptr;
+  /// Session pool for backends that fan one run's context list out across
+  /// multiple database sessions (sql-sharded). Backends that accept a pool
+  /// fall back to `conn` when it is null (and vice versa).
+  db::ConnectionPool* pool = nullptr;
   PlanCache* plan_cache = nullptr;
   /// Worker count for intra-run sharding backends; 0 means hardware.
   std::size_t threads = 0;
@@ -69,7 +74,14 @@ struct EvalBackendDeps {
 ///   sql-pushdown         — set operations compile to SQL, scalars client-side;
 ///   sql-whole-condition  — the paper-§6 path: the entire condition +
 ///                          confidence + severity surface compiles into ONE
-///                          parameterized statement per (property, context);
+///                          parameterized statement per (property, context),
+///                          with common subexpressions hoisted into CTEs
+///                          (each shared subquery runs once per context);
+///   sql-whole-condition-plain — the same without the CSE/CTE pass (the
+///                          bench ablation baseline);
+///   sql-sharded          — whole-condition evaluation with one run's
+///                          context list sharded across ConnectionPool
+///                          sessions (deterministic index-based reduction);
 ///   client-fetch         — the §5 slow path, record-at-a-time fetching;
 ///   bulk-fetch           — one bulk transfer per table, then interpretation.
 ///
@@ -110,6 +122,11 @@ class EvalBackend {
     bool needs_store = false;
     bool needs_connection = false;
     Factory factory;
+    /// When `needs_connection` is set, a ConnectionPool in the deps also
+    /// satisfies the requirement (the backend leases its own sessions —
+    /// sql-sharded). Defaults to false: most SQL backends drive exactly one
+    /// session and dereference `conn` directly.
+    bool pool_satisfies_connection = false;
   };
 
   /// Constructs the named backend. Throws support::EvalError for unknown

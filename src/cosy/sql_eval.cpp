@@ -33,10 +33,62 @@ namespace {
 /// conjuncts but precedes them in the text).
 constexpr char kMarker = '\x01';
 
-/// PlanCache kind of whole-condition plans. The site-wise plans encode
+/// PlanCache kinds of whole-condition plans. The site-wise plans encode
 /// SiteKind * 2 + mode (values 2..11); whole plans are keyed on the
-/// PropertyInfo itself under this distinct code.
-constexpr int kWholeConditionPlanKind = 12;
+/// PropertyInfo itself under these distinct codes (one per CSE setting —
+/// the two compilations have different text and parameter layouts).
+constexpr int kWholeConditionCsePlanKind = 12;
+constexpr int kWholeConditionPlainPlanKind = 13;
+
+/// Non-overlapping occurrences of `needle` in `text` that start OUTSIDE
+/// SQL string literals ('...' with '' escaping) — a quoted constant whose
+/// content happens to spell a generated subquery must never be counted or
+/// rewritten by the CSE pass. Needles are complete parenthesized
+/// subqueries, so their internal literals are balanced and the scan state
+/// stays correct when a match is skipped over.
+std::vector<std::size_t> occurrences_outside_literals(std::string_view text,
+                                                      std::string_view needle) {
+  std::vector<std::size_t> out;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size();) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\'' && i + 1 < text.size() && text[i + 1] == '\'') {
+        i += 2;  // escaped quote inside the literal
+        continue;
+      }
+      if (c == '\'') in_string = false;
+      ++i;
+      continue;
+    }
+    if (c == '\'') {
+      in_string = true;
+      ++i;
+      continue;
+    }
+    if (text.compare(i, needle.size(), needle) == 0) {
+      out.push_back(i);
+      i += needle.size();
+      continue;
+    }
+    ++i;
+  }
+  return out;
+}
+
+/// Replaces every literal-aware occurrence of `needle` in `text`.
+void replace_all(std::string& text, std::string_view needle,
+                 std::string_view replacement) {
+  const std::vector<std::size_t> positions =
+      occurrences_outside_literals(text, needle);
+  for (auto it = positions.rbegin(); it != positions.rend(); ++it) {
+    text.replace(*it, needle.size(), replacement);
+  }
+}
+
+std::size_t count_occurrences(std::string_view text, std::string_view needle) {
+  return occurrences_outside_literals(text, needle).size();
+}
 
 /// Binder-correlation test shared with the compilability classifier.
 using asl::mentions_name;
@@ -111,8 +163,8 @@ std::string_view to_string(SqlEvalMode mode) {
   return "?";
 }
 
-PlanCache::PlanCache(const asl::Model& model)
-    : model_(&model), fingerprint_(model.fingerprint()) {}
+PlanCache::PlanCache(const asl::Model& model, std::size_t max_plans)
+    : model_(&model), fingerprint_(model.fingerprint()), max_plans_(max_plans) {}
 
 PlanCache::Stats PlanCache::stats() const {
   std::lock_guard lock(mutex_);
@@ -124,21 +176,46 @@ std::size_t PlanCache::size() const {
   return plans_.size();
 }
 
+void PlanCache::touch(Entry& entry) const {
+  lru_.splice(lru_.begin(), lru_, entry.lru_pos);
+  entry.lru_pos = lru_.begin();
+}
+
 std::shared_ptr<const CompiledPlan> PlanCache::find(std::string_view property,
                                                     const void* site,
                                                     int kind) const {
   std::lock_guard lock(mutex_);
   const auto it = plans_.find(Key{std::string(property), site, kind});
-  return it == plans_.end() ? nullptr : it->second;
+  if (it == plans_.end()) return nullptr;
+  touch(it->second);
+  return it->second.plan;
 }
 
 std::shared_ptr<const CompiledPlan> PlanCache::insert(
     std::string_view property, const void* site, int kind,
     std::shared_ptr<const CompiledPlan> plan) {
   std::lock_guard lock(mutex_);
-  const auto [it, inserted] =
-      plans_.emplace(Key{std::string(property), site, kind}, std::move(plan));
-  return it->second;
+  Key key{std::string(property), site, kind};
+  const auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    // A racing worker compiled the same site; the first plan in stays
+    // canonical so every evaluator converges on one instance.
+    touch(it->second);
+    return it->second.plan;
+  }
+  lru_.push_front(key);
+  auto [inserted, ok] =
+      plans_.emplace(std::move(key), Entry{std::move(plan), lru_.begin()});
+  std::shared_ptr<const CompiledPlan> canonical = inserted->second.plan;
+  while (max_plans_ != 0 && plans_.size() > max_plans_) {
+    // Evict the coldest plan. In-flight evaluators holding the shared_ptr
+    // keep the evicted plan (and its prepared statements) valid; the next
+    // find() for that site simply recompiles.
+    plans_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return canonical;
 }
 
 void PlanCache::record(bool hit) {
@@ -960,9 +1037,17 @@ namespace {
 /// throws EvalError; the evaluator then falls back to site-wise evaluation.
 class WholeConditionCompiler {
  public:
+  /// With `cse` on, the compiler additionally
+  ///   * reuses one `?` marker per property argument, so structurally
+  ///     identical subexpressions compile to byte-identical SQL, and
+  ///   * hoists scalar subqueries whose text occurs more than once into
+  ///     named CTEs (`WITH cse0 AS (SELECT ... AS v FROM ...) ...`), each
+  ///     occurrence becoming a cheap `(SELECT v FROM cse0)` reference.
+  /// The engine materializes each CTE exactly once per statement execution,
+  /// so every shared subexpression runs once per (property, context).
   WholeConditionCompiler(const asl::Model& model, const asl::PropertyInfo& prop,
-                         std::span<const RtValue> args)
-      : model_(&model), prop_(&prop), args_(args) {}
+                         std::span<const RtValue> args, bool cse = true)
+      : model_(&model), prop_(&prop), args_(args), cse_(cse) {}
 
   /// Produces the plan plus the bind values of the compiling context.
   CompiledPlan compile(std::vector<db::Value>& first_values) {
@@ -978,12 +1063,9 @@ class WholeConditionCompiler {
                               let.init, env});
     }
 
-    std::string sql = "SELECT ";
-    bool first_col = true;
-    const auto add = [&](const std::string& column) {
-      if (!first_col) sql += ", ";
-      sql += column;
-      first_col = false;
+    std::vector<std::string> columns;
+    const auto add = [&](std::string column) {
+      columns.push_back(std::move(column));
     };
     // Probe the LETs whose evaluation can only yield NULL through a data
     // gap the interpreter would have thrown on (UNIQUE over a non-singleton
@@ -1007,6 +1089,13 @@ class WholeConditionCompiler {
     for (const asl::GuardedInfo& arm : prop_->severity) {
       add(scalar(*arm.expr, env).sql);
     }
+    std::string sql = "SELECT ";
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += columns[i];
+    }
+    if (cse_) sql = eliminate_common_subexpressions(std::move(sql));
+
     // elem_class is unused by whole plans; it carries the probe-column
     // count so the glue can locate the condition columns.
     return finalize(
@@ -1137,9 +1226,109 @@ class WholeConditionCompiler {
   }
 
   std::string param_marker(std::size_t arg_index, const Type& type) {
+    if (cse_) {
+      // One marker per argument: every reference to the same property
+      // argument emits identical text, which is what lets structurally
+      // identical subexpressions match byte-for-byte (and what collapses
+      // the duplicated occurrences into one bound `?` each after CSE).
+      const auto it = arg_markers_.find(arg_index);
+      if (it != arg_markers_.end()) return it->second;
+      std::string marker = build_.marker(
+          {nullptr, CompiledPlan::Slot::kProvided, arg_index, {}},
+          to_db_value(args_[arg_index], type));
+      arg_markers_.emplace(arg_index, marker);
+      return marker;
+    }
     return build_.marker(
         {nullptr, CompiledPlan::Slot::kProvided, arg_index, {}},
         to_db_value(args_[arg_index], type));
+  }
+
+  /// Name of the i-th hoisted CTE. `cse<i>` unless the model declares a
+  /// class (or junction table) of that name — bind_sources resolves CTE
+  /// names before the catalog, so a collision would silently shadow the
+  /// base table inside the rewritten statement. Underscore-prefixing until
+  /// the name is free keeps the choice deterministic per model.
+  [[nodiscard]] std::string cte_name(std::size_t i) const {
+    std::string name = support::cat("cse", i);
+    const auto taken = [&](std::string_view candidate) {
+      for (const asl::ClassInfo& cls : model_->classes()) {
+        if (support::iequals(cls.name, candidate)) return true;
+        for (const asl::AttrInfo& attr : cls.attrs) {
+          if (attr.type.kind == TypeKind::kSet &&
+              support::iequals(junction_table(cls.name, attr.name),
+                               candidate)) {
+            return true;
+          }
+        }
+      }
+      return false;
+    };
+    while (taken(name)) name.insert(0, "_");
+    return name;
+  }
+
+  /// Every complete scalar subquery funnels through here: the text is
+  /// registered as a CSE candidate and returned parenthesized. The
+  /// `select_list` length is kept so the CTE body can alias the one output
+  /// column (`SELECT <list> AS v <from_where>`).
+  std::string hoistable(const std::string& select_list,
+                        const std::string& from_where) {
+    std::string text = support::cat("SELECT ", select_list, from_where);
+    if (cse_) {
+      subqueries_.try_emplace(text, select_list.size());
+    }
+    return support::cat("(", text, ")");
+  }
+
+  /// The CSE pass: any registered subquery whose text occurs more than once
+  /// in the composed statement (compile-time sharing via LET inlining, or
+  /// textual duplication from the IIF/COALESCE null glue) is hoisted into a
+  /// named CTE. CTEs are defined shortest-first so a hoisted subquery that
+  /// contains another hoisted subquery references the earlier definition —
+  /// the parser's no-forward-reference rule holds by construction.
+  std::string eliminate_common_subexpressions(std::string sql) {
+    struct SharedSub {
+      const std::string* text;
+      std::size_t select_list_size;
+      std::string name;
+    };
+    std::vector<SharedSub> shared;
+    for (const auto& [text, select_list_size] : subqueries_) {
+      if (count_occurrences(sql, support::cat("(", text, ")")) >= 2) {
+        shared.push_back({&text, select_list_size, {}});
+      }
+    }
+    if (shared.empty()) return sql;
+    std::sort(shared.begin(), shared.end(),
+              [](const SharedSub& a, const SharedSub& b) {
+                if (a.text->size() != b.text->size()) {
+                  return a.text->size() < b.text->size();
+                }
+                return *a.text < *b.text;
+              });
+
+    std::string with_clause = "WITH ";
+    for (std::size_t i = 0; i < shared.size(); ++i) {
+      shared[i].name = cte_name(i);
+      // Body: the subquery with its single output column aliased, and any
+      // earlier (strictly shorter) shared subquery replaced by a reference.
+      std::string body = *shared[i].text;
+      body.insert(7 + shared[i].select_list_size, " AS v");
+      for (std::size_t j = 0; j < i; ++j) {
+        replace_all(body, support::cat("(", *shared[j].text, ")"),
+                    support::cat("(SELECT v FROM ", shared[j].name, ")"));
+      }
+      if (i > 0) with_clause += ", ";
+      with_clause += support::cat(shared[i].name, " AS (", body, ")");
+    }
+    // Main text: longest-first, so occurrences nested inside a bigger
+    // shared subquery disappear with the bigger one.
+    for (std::size_t i = shared.size(); i-- > 0;) {
+      replace_all(sql, support::cat("(", *shared[i].text, ")"),
+                  support::cat("(SELECT v FROM ", shared[i].name, ")"));
+    }
+    return support::cat(with_clause, " ", sql);
   }
 
   // --- scalar position (no set binder in scope) ----------------------------
@@ -1230,7 +1419,7 @@ class WholeConditionCompiler {
             select = support::cat("MAX(", over_binder(*e.agg_value, sq), ")");
             break;
         }
-        return {support::cat("(SELECT ", select, sq.from_where(), ")"), type};
+        return {hoistable(select, sq.from_where()), type};
       }
 
       case Kind::kUnique: {
@@ -1239,17 +1428,18 @@ class WholeConditionCompiler {
         // (several members abort the statement, zero yields NULL — both
         // surface as not-applicable, as the interpreter's throw would).
         SetSpec sq = set_spec(*e.base, env);
-        return {support::cat("(SELECT b.id", sq.from_where(), ")"),
+        return {hoistable("b.id", sq.from_where()),
                 Type::class_of(sq.elem_class)};
       }
       case Kind::kExists: {
         SetSpec sq = set_spec(*e.base, env);
-        return {support::cat("((SELECT COUNT(*)", sq.from_where(), ") > 0)"),
+        return {support::cat("(", hoistable("COUNT(*)", sq.from_where()),
+                             " > 0)"),
                 Type::of(TypeKind::kBool)};
       }
       case Kind::kSize: {
         SetSpec sq = set_spec(*e.base, env);
-        return {support::cat("(SELECT COUNT(*)", sq.from_where(), ")"),
+        return {hoistable("COUNT(*)", sq.from_where()),
                 Type::of(TypeKind::kInt)};
       }
 
@@ -1431,7 +1621,7 @@ class WholeConditionCompiler {
       SetSpec sq = set_spec(*root->base, root_env);
       sq.env = root_env;
       auto [column, type] = follow_path(sq, "b", sq.elem_class, chain);
-      return {support::cat("(SELECT ", column, sq.from_where(), ")"), type};
+      return {hoistable(column, sq.from_where()), type};
     }
 
     const TSql base = scalar(*root, root_env);
@@ -1446,7 +1636,7 @@ class WholeConditionCompiler {
         support::cat(model_->class_info(base.type.id).name, " a0"));
     sq.conjuncts.push_back(support::cat("a0.id = ", base.sql));
     auto [column, type] = follow_path(sq, "a0", base.type.id, chain);
-    return {support::cat("(SELECT ", column, sq.from_where(), ")"), type};
+    return {hoistable(column, sq.from_where()), type};
   }
 
   /// Walks `chain` starting from `alias` (an instance of `cls_id`), adding
@@ -1610,16 +1800,24 @@ class WholeConditionCompiler {
   const asl::Model* model_;
   const asl::PropertyInfo* prop_;
   std::span<const RtValue> args_;
+  bool cse_;
   PlanBuild build_;
   std::deque<EnvFrame> frames_;
   int depth_ = 0;
+  /// CSE bookkeeping: one marker per argument index, and every compiled
+  /// scalar subquery text with its select-list length (map iteration keeps
+  /// CTE naming deterministic).
+  std::map<std::size_t, std::string> arg_markers_;
+  std::map<std::string, std::size_t> subqueries_;
 };
 
 }  // namespace
 
 SqlEvaluator::SqlEvaluator(const asl::Model& model, db::Connection& conn,
-                           SqlEvalMode mode, PlanCache* plan_cache)
-    : model_(&model), conn_(&conn), mode_(mode), cache_(plan_cache) {
+                           SqlEvalMode mode, PlanCache* plan_cache,
+                           bool common_subexpr)
+    : model_(&model), conn_(&conn), mode_(mode), cache_(plan_cache),
+      cse_(common_subexpr) {
   for (const asl::ClassInfo& cls : model.classes()) {
     if (cls.base) {
       throw EvalError(
@@ -1640,6 +1838,21 @@ db::PreparedStatement& SqlEvaluator::statement_for(
     const std::shared_ptr<const CompiledPlan>& plan) {
   auto it = statements_.find(plan.get());
   if (it == statements_.end()) {
+    if (cache_ != nullptr && cache_->capacity() != 0) {
+      // A capped cache recompiles evicted sites into NEW plan instances;
+      // without pruning, this map would pin every generation forever and
+      // grow with each eviction — the opposite of what the cap promises.
+      // An entry whose plan is held only here belongs to an evicted
+      // generation nobody can request again (find() returns the resident
+      // instance), so it is safe to drop.
+      for (auto dead = statements_.begin(); dead != statements_.end();) {
+        if (dead->second.plan.use_count() == 1) {
+          dead = statements_.erase(dead);
+        } else {
+          ++dead;
+        }
+      }
+    }
     db::PreparedStatement stmt = conn_->database().prepare(plan->sql);
     it = statements_
              .emplace(plan.get(), StatementEntry{plan, std::move(stmt)})
@@ -1672,9 +1885,9 @@ PropertyResult SqlEvaluator::evaluate_property(const asl::PropertyInfo& prop,
 
 std::shared_ptr<const CompiledPlan> SqlEvaluator::whole_plan_for(
     const asl::PropertyInfo& prop) {
-  return cache_ == nullptr
-             ? nullptr
-             : cache_->find(prop.name, &prop, kWholeConditionPlanKind);
+  const int kind =
+      cse_ ? kWholeConditionCsePlanKind : kWholeConditionPlainPlanKind;
+  return cache_ == nullptr ? nullptr : cache_->find(prop.name, &prop, kind);
 }
 
 PropertyResult SqlEvaluator::evaluate_whole(const asl::PropertyInfo& prop,
@@ -1688,10 +1901,12 @@ PropertyResult SqlEvaluator::evaluate_whole(const asl::PropertyInfo& prop,
     ++plan_hits_;
     cache_->record(true);
   } else {
-    WholeConditionCompiler compiler(*model_, prop, args);
+    WholeConditionCompiler compiler(*model_, prop, args, cse_);
     auto compiled = std::make_shared<CompiledPlan>(compiler.compile(values));
     if (cache_ != nullptr) {
-      plan = cache_->insert(prop.name, &prop, kWholeConditionPlanKind,
+      plan = cache_->insert(prop.name, &prop,
+                            cse_ ? kWholeConditionCsePlanKind
+                                 : kWholeConditionPlainPlanKind,
                             std::move(compiled));
       ++plan_misses_;
       cache_->record(false);
@@ -1842,7 +2057,7 @@ std::string SqlEvaluator::explain_whole_condition(
         break;
     }
   }
-  WholeConditionCompiler compiler(*model_, prop, args);
+  WholeConditionCompiler compiler(*model_, prop, args, cse_);
   std::vector<db::Value> values;
   return compiler.compile(values).sql;
 }

@@ -2,6 +2,7 @@
 #define KOJAK_COSY_SQL_EVAL_HPP
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -68,7 +69,12 @@ struct CompiledPlan {
 /// content fingerprint would match but whose AST lives elsewhere.
 class PlanCache {
  public:
-  explicit PlanCache(const asl::Model& model);
+  /// `max_plans` caps the resident compiled plans (0 = unbounded). When the
+  /// cap is hit, the least-recently-used plan is evicted; long batch
+  /// campaigns over many properties therefore hold at most `max_plans`
+  /// translations while evaluators already running on an evicted plan keep
+  /// it alive through their shared_ptr.
+  explicit PlanCache(const asl::Model& model, std::size_t max_plans = 0);
 
   [[nodiscard]] const asl::Model& model() const noexcept { return *model_; }
   /// Content hash of the model the plans were compiled against (telemetry
@@ -76,17 +82,20 @@ class PlanCache {
   [[nodiscard]] std::uint64_t model_fingerprint() const noexcept {
     return fingerprint_;
   }
+  /// Maximum resident plans (0 = unbounded).
+  [[nodiscard]] std::size_t capacity() const noexcept { return max_plans_; }
 
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;  ///< plans dropped by the LRU cap
     [[nodiscard]] double hit_rate() const noexcept {
       const double total = static_cast<double>(hits + misses);
       return total == 0 ? 0.0 : static_cast<double>(hits) / total;
     }
   };
   [[nodiscard]] Stats stats() const;
-  /// Number of distinct compiled plans.
+  /// Number of distinct compiled plans currently resident.
   [[nodiscard]] std::size_t size() const;
 
   // Internal API used by SqlEvaluator.
@@ -110,11 +119,20 @@ class PlanCache {
       return a.kind < b.kind;
     }
   };
+  struct Entry {
+    std::shared_ptr<const CompiledPlan> plan;
+    std::list<Key>::iterator lru_pos;  // position in lru_ (front = hottest)
+  };
+
+  void touch(Entry& entry) const;  // move to the LRU front (mutex held)
 
   const asl::Model* model_;
   std::uint64_t fingerprint_;
+  std::size_t max_plans_;
   mutable std::mutex mutex_;
-  std::map<Key, std::shared_ptr<const CompiledPlan>> plans_;
+  // find() refreshes recency, so both containers are logically const there.
+  mutable std::map<Key, Entry> plans_;
+  mutable std::list<Key> lru_;  // most recently used first
   Stats stats_;
 };
 
@@ -139,9 +157,15 @@ class PlanCache {
 /// PlanCache *is* shared across workers.
 class SqlEvaluator {
  public:
+  /// `common_subexpr` (kWholeCondition only): run the common-subexpression
+  /// pass over the compiled statement — structurally identical scalar
+  /// subqueries are hoisted into named CTEs (`WITH cse0 AS (...) SELECT
+  /// ...`) referenced once each, and repeated argument parameters collapse
+  /// into one `?` per occurrence in the deduplicated text. Off reproduces
+  /// the plain one-statement compilation (the bench ablation baseline).
   SqlEvaluator(const asl::Model& model, db::Connection& conn,
                SqlEvalMode mode = SqlEvalMode::kPushdown,
-               PlanCache* plan_cache = nullptr);
+               PlanCache* plan_cache = nullptr, bool common_subexpr = true);
 
   /// Evaluates a property for a context; arguments are RtValues whose
   /// object references are database ids. Mirrors
@@ -166,6 +190,12 @@ class SqlEvaluator {
   /// COSY suites compile without fallbacks, which tests assert).
   [[nodiscard]] std::uint64_t whole_fallbacks() const noexcept {
     return whole_fallbacks_;
+  }
+  /// Prepared statements resident in this evaluator (telemetry). Bounded
+  /// when the attached PlanCache is capped: statements of evicted plan
+  /// generations are pruned as new plans arrive.
+  [[nodiscard]] std::size_t statements_resident() const noexcept {
+    return statements_.size();
   }
 
   /// Compiles a property's entire condition/confidence/severity surface into
@@ -209,6 +239,7 @@ class SqlEvaluator {
   db::Connection* conn_;
   SqlEvalMode mode_;
   PlanCache* cache_;
+  bool cse_;
   std::uint64_t queries_ = 0;
   std::uint64_t plan_hits_ = 0;
   std::uint64_t plan_misses_ = 0;

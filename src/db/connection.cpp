@@ -94,7 +94,7 @@ constexpr double kBridgeRttFactor = 1.5;
 }  // namespace
 
 void Connection::charge_statement(const QueryResult& result,
-                                  std::size_t inserted_values) {
+                                  std::size_t bound_values) {
   if (profile_.distributed) {
     clock_.advance_us(profile_.stmt_roundtrip_us *
                       (driver_ == DriverKind::kBridge ? kBridgeRttFactor : 1.0));
@@ -106,8 +106,14 @@ void Connection::charge_statement(const QueryResult& result,
   if (result.affected_rows > 0) {
     clock_.advance_us(profile_.insert_row_us *
                       static_cast<double>(result.affected_rows));
+  }
+  if (bound_values > 0) {
+    // Every bound value crosses the wire client->server, for queries as
+    // much as for DML: a prepared SELECT with 8 `?` parameters ships 8
+    // values per execution. (The whole-condition CSE pass cuts exactly
+    // this term — deduplicated subexpressions bind each argument once.)
     clock_.advance_us(profile_.value_wire_us * driver_factor *
-                      static_cast<double>(inserted_values));
+                      static_cast<double>(bound_values));
   }
   if (!result.rows.empty()) {
     // The bridge penalty is per fetched row and value: each crosses the
@@ -124,8 +130,8 @@ void Connection::charge_statement(const QueryResult& result,
   ++statements_;
 }
 
-QueryResult Connection::finish(QueryResult result, std::size_t inserted_values) {
-  charge_statement(result, inserted_values);
+QueryResult Connection::finish(QueryResult result, std::size_t bound_values) {
+  charge_statement(result, bound_values);
   if (driver_ == DriverKind::kBridge && !result.rows.empty()) {
     result = bridge_marshal_roundtrip(result);
   }
@@ -135,9 +141,12 @@ QueryResult Connection::finish(QueryResult result, std::size_t inserted_values) 
 QueryResult Connection::execute(std::string_view sql_text,
                                 std::span<const Value> params) {
   QueryResult result = db_.execute(sql_text, params);
-  const std::size_t inserted_values =
-      result.affected_rows * 8;  // rough per-row value count for DML charge
-  return finish(std::move(result), inserted_values);
+  // Wire charge for client->server values: bound `?` parameters when the
+  // statement has any, else the rough per-row estimate for DML whose
+  // values are inlined in the text.
+  const std::size_t bound_values =
+      params.empty() ? result.affected_rows * 8 : params.size();
+  return finish(std::move(result), bound_values);
 }
 
 QueryResult Connection::execute(PreparedStatement& stmt,

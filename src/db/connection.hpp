@@ -95,8 +95,8 @@ class Connection {
   [[nodiscard]] std::uint64_t rows_transferred() const noexcept { return rows_; }
 
  private:
-  QueryResult finish(QueryResult result, std::size_t inserted_values);
-  void charge_statement(const QueryResult& result, std::size_t inserted_values);
+  QueryResult finish(QueryResult result, std::size_t bound_values);
+  void charge_statement(const QueryResult& result, std::size_t bound_values);
 
   Database& db_;
   ConnectionProfile profile_;

@@ -1,6 +1,8 @@
 #ifndef KOJAK_DB_DATABASE_HPP
 #define KOJAK_DB_DATABASE_HPP
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <span>
@@ -53,7 +55,58 @@ class Database {
   /// Total live rows across all tables (bench bookkeeping).
   [[nodiscard]] std::size_t total_rows() const;
 
+  /// Executor-side accounting, observable across statements. The counters
+  /// are atomics (concurrent read-only SELECTs of distinct prepared
+  /// statements are allowed) and monotonic; callers snapshot before/after a
+  /// statement and diff. Tests pin the single-materialization contract of
+  /// CTEs and the uncorrelated-subquery memo on these.
+  struct ExecStatsSnapshot {
+    std::uint64_t subquery_executions = 0;  ///< scalar-subquery plans run
+    std::uint64_t subquery_memo_hits = 0;   ///< served from the per-statement memo
+    std::uint64_t cte_materializations = 0; ///< WITH entries materialized
+  };
+  [[nodiscard]] ExecStatsSnapshot exec_stats() const noexcept {
+    return {exec_stats_.subquery_executions.load(std::memory_order_relaxed),
+            exec_stats_.subquery_memo_hits.load(std::memory_order_relaxed),
+            exec_stats_.cte_materializations.load(std::memory_order_relaxed)};
+  }
+
+  // Internal: bumped by the executor (relaxed; telemetry only).
+  void count_subquery_execution() noexcept {
+    exec_stats_.subquery_executions.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_subquery_memo_hit() noexcept {
+    exec_stats_.subquery_memo_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_cte_materialization() noexcept {
+    exec_stats_.cte_materializations.fetch_add(1, std::memory_order_relaxed);
+  }
+
  private:
+  struct ExecStats {
+    std::atomic<std::uint64_t> subquery_executions{0};
+    std::atomic<std::uint64_t> subquery_memo_hits{0};
+    std::atomic<std::uint64_t> cte_materializations{0};
+
+    // Snapshot copy/move so Database itself stays movable (nobody may be
+    // executing against a Database while it is moved anyway).
+    ExecStats() = default;
+    ExecStats(const ExecStats& other) { *this = other; }
+    ExecStats& operator=(const ExecStats& other) {
+      subquery_executions.store(
+          other.subquery_executions.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      subquery_memo_hits.store(
+          other.subquery_memo_hits.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      cte_materializations.store(
+          other.cte_materializations.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      return *this;
+    }
+  };
+  ExecStats exec_stats_;
+
   struct CaseInsensitiveLess {
     bool operator()(const std::string& a, const std::string& b) const;
   };

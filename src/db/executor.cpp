@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <map>
+#include <optional>
 #include <set>
 #include <unordered_map>
 
@@ -27,25 +29,86 @@ using support::EvalError;
 namespace {
 
 // ---------------------------------------------------------------------------
+// CTE machinery
+
+/// Materialized WITH entries visible to a statement, chained so subqueries
+/// see the enclosing statement's CTEs. `entries` grows as the WITH clause
+/// materializes left to right, which gives each CTE body exactly the
+/// earlier siblings the parser validated against.
+struct CteScope {
+  const CteScope* parent = nullptr;
+  std::vector<std::pair<std::string, const QueryResult*>> entries;
+
+  [[nodiscard]] const QueryResult* find(std::string_view name) const {
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+      if (support::iequals(it->first, name)) return it->second;
+    }
+    return parent == nullptr ? nullptr : parent->find(name);
+  }
+  /// Entries visible through the whole chain; part of the subquery-memo key
+  /// (a name can mean a table before a shadowing CTE materializes and the
+  /// CTE afterwards — the count disambiguates the two moments).
+  [[nodiscard]] std::size_t visible_count() const {
+    return entries.size() +
+           (parent == nullptr ? 0 : parent->visible_count());
+  }
+};
+
+/// Per-top-level-statement execution state shared by every nested
+/// execution: the uncorrelated-subquery memo. Structurally identical scalar
+/// subqueries execute once per statement execution; later occurrences are
+/// served from here (tests pin this via Database::exec_stats).
+struct ExecEnv {
+  std::unordered_map<std::string, Value> subquery_memo;
+};
+
+// ---------------------------------------------------------------------------
 // Name resolution
 
+/// One FROM/JOIN source: a base table or a materialized CTE ("derived").
 struct ScanSource {
-  const Table* table = nullptr;
+  const Table* table = nullptr;          // base table, or
+  const QueryResult* derived = nullptr;  // materialized CTE rows
   std::string qualifier;
   std::size_t base_slot = 0;
+
+  [[nodiscard]] std::size_t column_count() const {
+    return table != nullptr ? table->schema().column_count()
+                            : derived->column_count();
+  }
+  [[nodiscard]] std::optional<std::size_t> find_column(
+      std::string_view name) const {
+    if (table != nullptr) return table->schema().find_column(name);
+    for (std::size_t i = 0; i < derived->columns.size(); ++i) {
+      if (support::iequals(derived->columns[i], name)) return i;
+    }
+    return std::nullopt;
+  }
+  [[nodiscard]] std::string column_name(std::size_t i) const {
+    return table != nullptr ? table->schema().column(i).name
+                            : derived->columns[i];
+  }
 };
 
 class Binder {
  public:
   Binder(Database& db, std::span<const Value> params) : db_(db), params_(params) {}
 
-  std::vector<ScanSource> bind_sources(const sql::SelectStmt& stmt) {
+  std::vector<ScanSource> bind_sources(const sql::SelectStmt& stmt,
+                                       const CteScope* ctes) {
     std::vector<ScanSource> sources;
     std::size_t slot = 0;
     const auto add = [&](const sql::TableRef& ref) {
-      const Table* table = db_.find_table(ref.table);
-      if (table == nullptr) {
-        throw EvalError(support::cat("unknown table '", ref.table, "'"));
+      ScanSource source;
+      // A CTE shadows a catalog table of the same name (standard scoping).
+      if (const QueryResult* derived =
+              ctes == nullptr ? nullptr : ctes->find(ref.table)) {
+        source.derived = derived;
+      } else {
+        source.table = db_.find_table(ref.table);
+        if (source.table == nullptr) {
+          throw EvalError(support::cat("unknown table '", ref.table, "'"));
+        }
       }
       for (const ScanSource& s : sources) {
         if (support::iequals(s.qualifier, ref.qualifier())) {
@@ -53,8 +116,10 @@ class Binder {
                                        ref.qualifier(), "'"));
         }
       }
-      sources.push_back({table, ref.qualifier(), slot});
-      slot += table->schema().column_count();
+      source.qualifier = ref.qualifier();
+      source.base_slot = slot;
+      slot += source.column_count();
+      sources.push_back(std::move(source));
     };
     if (stmt.from) add(*stmt.from);
     for (const sql::Join& join : stmt.joins) add(join.table);
@@ -164,7 +229,7 @@ class Binder {
     std::size_t found_slot = static_cast<std::size_t>(-1);
     for (const ScanSource& s : sources) {
       if (!e.table.empty() && !support::iequals(e.table, s.qualifier)) continue;
-      const auto col = s.table->schema().find_column(e.column);
+      const auto col = s.find_column(e.column);
       if (!col) continue;
       if (found_slot != static_cast<std::size_t>(-1)) {
         throw EvalError(support::cat("ambiguous column '", e.column, "'"));
@@ -457,16 +522,137 @@ void collect_aggregates(const Expr& e, std::vector<const Expr*>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Structural keys for the uncorrelated-subquery memo. Unlike
+// Expr::to_string, this rendering is unambiguous: parameters carry their
+// index, literals their type tag, and nested subqueries render in full —
+// equal keys mean equal results within one statement execution (subqueries
+// are uncorrelated, so nothing row-dependent can appear in them).
+
+void subquery_key(const sql::SelectStmt& s, std::string& out);
+
+void subquery_key(const Expr& e, std::string& out) {
+  out += static_cast<char>('A' + static_cast<int>(e.kind));
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      out += static_cast<char>('0' + static_cast<int>(e.literal.type()));
+      out += e.literal.to_display();
+      break;
+    case Expr::Kind::kColumnRef:
+      out += e.table;
+      out += '.';
+      out += e.column;
+      break;
+    case Expr::Kind::kParam:
+      out += std::to_string(e.param_index);
+      break;
+    case Expr::Kind::kUnary:
+      out += static_cast<char>('0' + static_cast<int>(e.un_op));
+      break;
+    case Expr::Kind::kBinary:
+      out += static_cast<char>('0' + static_cast<int>(e.bin_op));
+      break;
+    case Expr::Kind::kFuncCall:
+      out += e.func;
+      if (e.star_arg) out += '*';
+      if (e.distinct_arg) out += '!';
+      break;
+    case Expr::Kind::kIsNull:
+    case Expr::Kind::kInList:
+    case Expr::Kind::kLike:
+      if (e.negated) out += '!';
+      break;
+    case Expr::Kind::kSubquery:
+      subquery_key(*e.subquery, out);
+      break;
+    case Expr::Kind::kAliasRef:
+      out += std::to_string(e.alias_index);
+      break;
+  }
+  out += '(';
+  if (e.lhs) subquery_key(*e.lhs, out);
+  out += ',';
+  if (e.rhs) subquery_key(*e.rhs, out);
+  for (const auto& arg : e.args) {
+    out += ',';
+    subquery_key(*arg, out);
+  }
+  out += ')';
+}
+
+void subquery_key(const sql::SelectStmt& s, std::string& out) {
+  out += s.distinct ? "S!" : "S";
+  for (const auto& item : s.items) {
+    if (item.star) {
+      out += '*';
+      out += item.star_table;
+    } else {
+      subquery_key(*item.expr, out);
+    }
+    out += ',';
+  }
+  if (s.from) {
+    out += "F";
+    out += s.from->table;
+    out += ' ';
+    out += s.from->alias;
+  }
+  for (const auto& join : s.joins) {
+    out += "J";
+    out += join.table.table;
+    out += ' ';
+    out += join.table.alias;
+    if (join.on) subquery_key(*join.on, out);
+  }
+  if (s.where) {
+    out += "W";
+    subquery_key(*s.where, out);
+  }
+  for (const auto& g : s.group_by) {
+    out += "G";
+    subquery_key(*g, out);
+  }
+  if (s.having) {
+    out += "H";
+    subquery_key(*s.having, out);
+  }
+  for (const auto& key : s.order_by) {
+    out += key.descending ? "Od" : "Oa";
+    subquery_key(*key.expr, out);
+  }
+  if (s.limit) out += support::cat("L", *s.limit);
+  if (s.offset) out += support::cat("K", *s.offset);
+}
+
+// ---------------------------------------------------------------------------
 // SELECT execution
 
 class SelectExec {
  public:
-  SelectExec(Database& db, sql::SelectStmt& stmt, std::span<const Value> params)
-      : db_(db), stmt_(stmt), params_(params) {}
+  /// `enclosing` is the CTE scope of the statement this execution nests in
+  /// (null at top level); `env` is the shared per-top-level-statement state
+  /// (null at top level — one is created locally).
+  SelectExec(Database& db, sql::SelectStmt& stmt, std::span<const Value> params,
+             const CteScope* enclosing = nullptr, ExecEnv* env = nullptr)
+      : db_(db), stmt_(stmt), params_(params), scope_{enclosing, {}},
+        env_(env) {}
 
   QueryResult run() {
+    ExecEnv local_env;
+    if (env_ == nullptr) env_ = &local_env;
+
+    // Materialize the WITH entries, in order, exactly once per execution.
+    // Each body runs with the scope of its earlier siblings; every
+    // referencing subquery afterwards scans the stored rows instead of
+    // re-running the plan.
+    for (sql::CommonTableExpr& cte : stmt_.ctes) {
+      SelectExec body(db_, *cte.select, params_, &scope_, env_);
+      cte_results_.push_back(body.run());
+      db_.count_cte_materialization();
+      scope_.entries.emplace_back(cte.name, &cte_results_.back());
+    }
+
     Binder binder(db_, params_);
-    sources_ = binder.bind_sources(stmt_);
+    sources_ = binder.bind_sources(stmt_, &scope_);
     expand_stars();
     bind_all(binder);
     materialize_subqueries();
@@ -552,12 +738,12 @@ class SelectExec {
           continue;
         }
         matched = true;
-        for (std::size_t c = 0; c < s.table->schema().column_count(); ++c) {
+        for (std::size_t c = 0; c < s.column_count(); ++c) {
           sql::SelectItem col;
           col.expr = std::make_unique<Expr>();
           col.expr->kind = Expr::Kind::kColumnRef;
           col.expr->table = s.qualifier;
-          col.expr->column = s.table->schema().column(c).name;
+          col.expr->column = s.column_name(c);
           expanded.push_back(std::move(col));
         }
       }
@@ -621,15 +807,34 @@ class SelectExec {
 
   void materialize_one(const Expr& e) {
     if (e.kind == Expr::Kind::kSubquery) {
-      sql::Statement sub{std::move(*e.subquery->clone())};
-      QueryResult sub_result = db_.execute(sub, params_);
+      // Memo key: structural rendering plus the number of CTE entries
+      // visible right now — a name can resolve to a table before a
+      // shadowing CTE materializes and to the CTE afterwards, and the
+      // count tells those two moments apart.
+      std::string key = support::cat(scope_.visible_count(), ':');
+      subquery_key(*e.subquery, key);
+      const auto hit = env_->subquery_memo.find(key);
+      if (hit != env_->subquery_memo.end()) {
+        db_.count_subquery_memo_hit();
+        subquery_values_[&e] = hit->second;
+        return;
+      }
+      // Execute a clone so the original statement stays reusable; the memo
+      // makes this a once-per-distinct-shape cost instead of once per
+      // occurrence.
+      std::unique_ptr<sql::SelectStmt> sub = e.subquery->clone();
+      SelectExec exec(db_, *sub, params_, &scope_, env_);
+      QueryResult sub_result = exec.run();
+      db_.count_subquery_execution();
       if (sub_result.column_count() != 1) {
         throw EvalError("scalar subquery must produce one column");
       }
       if (sub_result.row_count() > 1) {
         throw EvalError("scalar subquery produced more than one row");
       }
-      subquery_values_[&e] = sub_result.scalar();
+      const Value scalar = sub_result.scalar();
+      env_->subquery_memo.emplace(std::move(key), scalar);
+      subquery_values_[&e] = scalar;
       return;
     }
     if (e.lhs) materialize_one(*e.lhs);
@@ -665,6 +870,7 @@ class SelectExec {
   [[nodiscard]] BaseScanPlan plan_base_scan(const Expr* predicate,
                                             const ScanSource& source) {
     BaseScanPlan plan;
+    if (source.table == nullptr) return plan;  // derived rows: full scan
     std::map<std::size_t, BaseScanPlan> ranges;  // column -> partial bounds
 
     const auto constant_of = [&](const Expr& e) -> std::optional<Value> {
@@ -678,8 +884,7 @@ class SelectExec {
     const auto column_of = [&](const Expr& e) -> std::optional<std::size_t> {
       if (e.kind != Expr::Kind::kColumnRef) return std::nullopt;
       if (e.resolved_slot < source.base_slot ||
-          e.resolved_slot >=
-              source.base_slot + source.table->schema().column_count()) {
+          e.resolved_slot >= source.base_slot + source.column_count()) {
         return std::nullopt;
       }
       return e.resolved_slot - source.base_slot;
@@ -759,8 +964,7 @@ class SelectExec {
       return std::nullopt;
     }
     const std::size_t inner_begin = inner.base_slot;
-    const std::size_t inner_end =
-        inner.base_slot + inner.table->schema().column_count();
+    const std::size_t inner_end = inner.base_slot + inner.column_count();
     const bool a_inner = a.resolved_slot >= inner_begin && a.resolved_slot < inner_end;
     const bool b_inner = b.resolved_slot >= inner_begin && b.resolved_slot < inner_end;
     if (a_inner == b_inner) return std::nullopt;
@@ -775,26 +979,31 @@ class SelectExec {
       return rows;
     }
 
-    // Base scan, optionally via index (equality probe or ordered range).
+    // Base scan, optionally via index (equality probe or ordered range);
+    // derived (CTE) sources have no indexes and copy their rows directly.
     const ScanSource& base = sources_[0];
-    const BaseScanPlan plan = plan_base_scan(stmt_.where.get(), base);
-    std::vector<std::size_t> base_row_ids;
-    switch (plan.kind) {
-      case BaseScanPlan::Kind::kEquality:
-        base_row_ids = plan.index->equal_range(plan.key);
-        break;
-      case BaseScanPlan::Kind::kRange:
-        base_row_ids = plan.index->range_open(
-            plan.lo ? &*plan.lo : nullptr, plan.hi ? &*plan.hi : nullptr);
-        break;
-      case BaseScanPlan::Kind::kFullScan:
-        base_row_ids = base.table->live_rows();
-        break;
-    }
-    rows.reserve(base_row_ids.size());
-    for (const std::size_t id : base_row_ids) {
-      if (!base.table->is_live(id)) continue;
-      rows.push_back(base.table->row(id));
+    if (base.derived != nullptr) {
+      rows = base.derived->rows;
+    } else {
+      const BaseScanPlan plan = plan_base_scan(stmt_.where.get(), base);
+      std::vector<std::size_t> base_row_ids;
+      switch (plan.kind) {
+        case BaseScanPlan::Kind::kEquality:
+          base_row_ids = plan.index->equal_range(plan.key);
+          break;
+        case BaseScanPlan::Kind::kRange:
+          base_row_ids = plan.index->range_open(
+              plan.lo ? &*plan.lo : nullptr, plan.hi ? &*plan.hi : nullptr);
+          break;
+        case BaseScanPlan::Kind::kFullScan:
+          base_row_ids = base.table->live_rows();
+          break;
+      }
+      rows.reserve(base_row_ids.size());
+      for (const std::size_t id : base_row_ids) {
+        if (!base.table->is_live(id)) continue;
+        rows.push_back(base.table->row(id));
+      }
     }
 
     for (std::size_t j = 0; j < stmt_.joins.size(); ++j) {
@@ -802,9 +1011,21 @@ class SelectExec {
       const ScanSource& inner = sources_[j + 1];
       std::vector<Row> joined;
 
+      // Iterates the inner source's rows regardless of kind.
+      const auto each_inner_row = [&inner](auto&& fn) {
+        if (inner.table != nullptr) {
+          for (const std::size_t id : inner.table->live_rows()) {
+            fn(inner.table->row(id));
+          }
+        } else {
+          for (const Row& row : inner.derived->rows) fn(row);
+        }
+      };
+
       const auto key = equi_join_key(join.on.get(), inner);
       const Index* inner_index =
-          key ? inner.table->find_index_on(key->second) : nullptr;
+          key && inner.table != nullptr ? inner.table->find_index_on(key->second)
+                                        : nullptr;
       if (key && inner_index != nullptr) {
         // Indexed nested-loop join: probe the inner index per outer row —
         // O(|outer|) probes; the pushdown evaluator's per-context queries
@@ -822,18 +1043,16 @@ class SelectExec {
           }
         }
       } else if (key) {
-        // Hash join: build on the inner table, probe with outer rows.
-        std::unordered_multimap<Value, std::size_t, ValueHash, ValueEqTotal> built;
-        const auto inner_ids = inner.table->live_rows();
-        built.reserve(inner_ids.size());
-        for (const std::size_t id : inner_ids) {
-          built.emplace(inner.table->row(id)[key->second], id);
-        }
+        // Hash join: build on the inner source, probe with outer rows.
+        std::unordered_multimap<Value, const Row*, ValueHash, ValueEqTotal> built;
+        each_inner_row([&](const Row& inner_row) {
+          built.emplace(inner_row[key->second], &inner_row);
+        });
         for (const Row& outer : rows) {
           const auto [begin, end] = built.equal_range(outer[key->first]);
           for (auto it = begin; it != end; ++it) {
             Row combined = outer;
-            const Row& inner_row = inner.table->row(it->second);
+            const Row& inner_row = *it->second;
             combined.insert(combined.end(), inner_row.begin(), inner_row.end());
             EvalCtx ctx{&combined, params_, nullptr, &subquery_values_, nullptr};
             if (!join.on || eval_predicate(*join.on, ctx)) {
@@ -843,15 +1062,14 @@ class SelectExec {
         }
       } else {
         for (const Row& outer : rows) {
-          for (const std::size_t id : inner.table->live_rows()) {
+          each_inner_row([&](const Row& inner_row) {
             Row combined = outer;
-            const Row& inner_row = inner.table->row(id);
             combined.insert(combined.end(), inner_row.begin(), inner_row.end());
             EvalCtx ctx{&combined, params_, nullptr, &subquery_values_, nullptr};
             if (!join.on || eval_predicate(*join.on, ctx)) {
               joined.push_back(std::move(combined));
             }
-          }
+          });
         }
       }
       rows = std::move(joined);
@@ -962,6 +1180,12 @@ class SelectExec {
   Database& db_;
   sql::SelectStmt& stmt_;
   std::span<const Value> params_;
+  /// This statement's CTE scope: chained to the enclosing statement's and
+  /// filled as the WITH clause materializes. Deque keeps result addresses
+  /// stable while entries accumulate.
+  CteScope scope_;
+  std::deque<QueryResult> cte_results_;
+  ExecEnv* env_;
   std::vector<ScanSource> sources_;
   std::unordered_map<const Expr*, Value> subquery_values_;
 };
@@ -1030,7 +1254,7 @@ QueryResult exec_update(Database& db, sql::UpdateStmt& stmt,
                         std::span<const Value> params) {
   Table& table = db.table(stmt.table);
   Binder binder(db, params);
-  std::vector<ScanSource> sources{{&table, table.schema().name(), 0}};
+  std::vector<ScanSource> sources{{&table, nullptr, table.schema().name(), 0}};
   std::vector<std::pair<std::size_t, Expr*>> sets;
   for (auto& [name, expr] : stmt.assignments) {
     const auto col = table.schema().find_column(name);
@@ -1064,7 +1288,7 @@ QueryResult exec_delete(Database& db, sql::DeleteStmt& stmt,
                         std::span<const Value> params) {
   Table& table = db.table(stmt.table);
   Binder binder(db, params);
-  std::vector<ScanSource> sources{{&table, table.schema().name(), 0}};
+  std::vector<ScanSource> sources{{&table, nullptr, table.schema().name(), 0}};
   if (stmt.where) {
     binder.bind_expr(*stmt.where, sources, /*allow_aggregates=*/false);
   }

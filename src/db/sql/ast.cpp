@@ -52,6 +52,9 @@ ExprPtr clone_expr(const Expr& e) {
 
 std::unique_ptr<SelectStmt> clone_select(const SelectStmt& s) {
   auto out = std::make_unique<SelectStmt>();
+  for (const auto& cte : s.ctes) {
+    out->ctes.push_back({cte.name, clone_select(*cte.select), cte.loc});
+  }
   out->distinct = s.distinct;
   for (const auto& item : s.items) {
     SelectItem copy;

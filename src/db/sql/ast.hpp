@@ -104,7 +104,19 @@ struct OrderKey {
   bool descending = false;
 };
 
+/// One `name AS (SELECT ...)` entry of a statement-level WITH clause.
+/// Non-recursive: a CTE body may reference only CTEs defined before it
+/// (the parser rejects self and forward references with a diagnostic).
+/// The executor materializes each CTE exactly once per statement execution;
+/// every scalar subquery or FROM that names it scans the materialized rows.
+struct CommonTableExpr {
+  std::string name;
+  std::unique_ptr<SelectStmt> select;
+  support::SourceLoc loc;
+};
+
 struct SelectStmt {
+  std::vector<CommonTableExpr> ctes;  // statement-level WITH, in order
   bool distinct = false;
   std::vector<SelectItem> items;
   std::optional<TableRef> from;

@@ -69,6 +69,7 @@ class Parser {
 
   // --- statements ------------------------------------------------------
   Statement parse_statement() {
+    if (peek().is_keyword("WITH")) return parse_with_select();
     if (peek().is_keyword("SELECT")) return parse_select();
     if (peek().is_keyword("CREATE")) return parse_create();
     if (peek().is_keyword("INSERT")) return parse_insert();
@@ -77,6 +78,106 @@ class Parser {
     if (peek().is_keyword("DROP")) return parse_drop();
     throw ParseError(support::cat("expected a statement, got '", peek().text, "'"),
                      peek().loc);
+  }
+
+  /// `WITH name AS (SELECT ...), ... SELECT ...` — non-recursive common
+  /// table expressions. Each body may reference only the CTEs defined
+  /// before it; duplicates, self references, and forward references are
+  /// rejected here with a diagnostic instead of surfacing as an "unknown
+  /// table" at execution time.
+  SelectStmt parse_with_select() {
+    expect_keyword("WITH");
+    if (peek().is_keyword("RECURSIVE")) {
+      throw ParseError("recursive CTEs are not supported (WITH is "
+                       "non-recursive in this engine)",
+                       peek().loc);
+    }
+    std::vector<CommonTableExpr> ctes;
+    do {
+      CommonTableExpr cte;
+      cte.loc = peek().loc;
+      cte.name = expect_ident("CTE name");
+      for (const CommonTableExpr& prior : ctes) {
+        if (support::iequals(prior.name, cte.name)) {
+          throw ParseError(support::cat("duplicate CTE name '", cte.name, "'"),
+                           cte.loc);
+        }
+      }
+      expect_keyword("AS");
+      expect_symbol("(");
+      cte.select = std::make_unique<SelectStmt>(parse_select());
+      expect_symbol(")");
+      ctes.push_back(std::move(cte));
+    } while (accept_symbol(","));
+    if (!peek().is_keyword("SELECT")) {
+      throw ParseError(support::cat("expected SELECT after WITH clause, got '",
+                                    peek().text, "'"),
+                       peek().loc);
+    }
+    SelectStmt stmt = parse_select();
+    for (std::size_t i = 0; i < ctes.size(); ++i) {
+      check_cte_references(*ctes[i].select, ctes, i);
+    }
+    stmt.ctes = std::move(ctes);
+    return stmt;
+  }
+
+  /// Walks every table reference of the `index`-th CTE's body (FROM, JOINs,
+  /// and subqueries, recursively) and rejects references to itself
+  /// (recursive) or to a CTE defined after it (forward reference).
+  /// References to real tables pass through untouched — the executor
+  /// resolves those against the catalog. Deliberately conservative: the
+  /// parser has no catalog, so a body naming a base table that a LATER
+  /// CTE shadows is indistinguishable from a forward reference and is
+  /// rejected too — renaming the CTE resolves the ambiguity, and a clear
+  /// parse error beats a silently catalog-dependent meaning.
+  static void check_cte_references(const SelectStmt& body,
+                                   const std::vector<CommonTableExpr>& ctes,
+                                   std::size_t index) {
+    const auto check_ref = [&](const TableRef& ref) {
+      for (std::size_t j = 0; j < ctes.size(); ++j) {
+        if (!support::iequals(ref.table, ctes[j].name)) continue;
+        if (j == index) {
+          throw ParseError(
+              support::cat("CTE '", ctes[index].name,
+                           "' references itself; recursive CTEs are not "
+                           "supported"),
+              ref.loc);
+        }
+        if (j > index) {
+          throw ParseError(
+              support::cat("CTE '", ctes[index].name,
+                           "' references '", ctes[j].name,
+                           "' before it is defined (CTEs may only reference "
+                           "earlier entries of the WITH clause)"),
+              ref.loc);
+        }
+      }
+    };
+    const auto walk_expr = [&](auto&& walk_self, const Expr& e,
+                               auto&& walk_select) -> void {
+      if (e.subquery) walk_select(walk_select, *e.subquery);
+      if (e.lhs) walk_self(walk_self, *e.lhs, walk_select);
+      if (e.rhs) walk_self(walk_self, *e.rhs, walk_select);
+      for (const auto& arg : e.args) walk_self(walk_self, *arg, walk_select);
+    };
+    const auto walk_select = [&](auto&& walk_sel, const SelectStmt& s) -> void {
+      if (s.from) check_ref(*s.from);
+      for (const Join& join : s.joins) {
+        check_ref(join.table);
+        if (join.on) walk_expr(walk_expr, *join.on, walk_sel);
+      }
+      for (const auto& item : s.items) {
+        if (item.expr) walk_expr(walk_expr, *item.expr, walk_sel);
+      }
+      if (s.where) walk_expr(walk_expr, *s.where, walk_sel);
+      for (const auto& g : s.group_by) walk_expr(walk_expr, *g, walk_sel);
+      if (s.having) walk_expr(walk_expr, *s.having, walk_sel);
+      for (const auto& key : s.order_by) {
+        walk_expr(walk_expr, *key.expr, walk_sel);
+      }
+    };
+    walk_select(walk_select, body);
   }
 
   SelectStmt parse_select() {

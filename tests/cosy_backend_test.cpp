@@ -98,7 +98,8 @@ TEST(EvalBackendRegistry, ListsAllBuiltins) {
   const std::vector<std::string> names = cosy::EvalBackend::names();
   for (const char* expected :
        {"interpreter", "interpreter-sharded", "sql-pushdown",
-        "sql-whole-condition", "client-fetch", "bulk-fetch"}) {
+        "sql-whole-condition", "sql-whole-condition-plain", "sql-sharded",
+        "client-fetch", "bulk-fetch"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
     EXPECT_TRUE(cosy::EvalBackend::exists(expected)) << expected;
@@ -108,6 +109,9 @@ TEST(EvalBackendRegistry, ListsAllBuiltins) {
   EXPECT_FALSE(cosy::EvalBackend::requires_connection("interpreter-sharded"));
   EXPECT_TRUE(cosy::EvalBackend::requires_connection("sql-pushdown"));
   EXPECT_TRUE(cosy::EvalBackend::requires_connection("sql-whole-condition"));
+  EXPECT_TRUE(
+      cosy::EvalBackend::requires_connection("sql-whole-condition-plain"));
+  EXPECT_TRUE(cosy::EvalBackend::requires_connection("sql-sharded"));
   EXPECT_TRUE(cosy::EvalBackend::requires_connection("client-fetch"));
   EXPECT_TRUE(cosy::EvalBackend::requires_connection("bulk-fetch"));
 }
@@ -283,11 +287,12 @@ TEST(WholeCondition, ExactlyOneStatementPerContext) {
 TEST(WholeCondition, ExplainProducesOneFromlessSelect) {
   World world(perf::workloads::imbalanced_ocean(), {1, 4});
   db::Connection conn(world.database, db::ConnectionProfile::in_memory());
-  cosy::SqlEvaluator sql(world.model, conn,
-                         cosy::SqlEvalMode::kWholeCondition);
+  cosy::SqlEvaluator plain(world.model, conn,
+                           cosy::SqlEvalMode::kWholeCondition,
+                           /*plan_cache=*/nullptr, /*common_subexpr=*/false);
   const asl::PropertyInfo* prop = world.model.find_property("SyncCost");
   ASSERT_NE(prop, nullptr);
-  const std::string text = sql.explain_whole_condition(*prop);
+  const std::string text = plain.explain_whole_condition(*prop);
   EXPECT_EQ(text.rfind("SELECT ", 0), 0u) << text;
   // LET probe + condition + confidence + severity = 4 columns, and the
   // typed-timing set appears as a scalar subquery with bound parameters.
@@ -298,13 +303,164 @@ TEST(WholeCondition, ExplainProducesOneFromlessSelect) {
   EXPECT_EQ(text.find(';'), std::string::npos) << text;
 }
 
-// Differential: the two new backends against the interpreter, all 13
-// properties, every connection profile of the paper's §5 comparison.
+TEST(WholeCondition, CseHoistsSharedSubexpressionsIntoCtes) {
+  World world(perf::workloads::imbalanced_ocean(), {1, 4});
+  db::Connection conn(world.database, db::ConnectionProfile::in_memory());
+  cosy::SqlEvaluator cse(world.model, conn,
+                         cosy::SqlEvalMode::kWholeCondition);
+  cosy::SqlEvaluator plain(world.model, conn,
+                           cosy::SqlEvalMode::kWholeCondition,
+                           /*plan_cache=*/nullptr, /*common_subexpr=*/false);
+  const asl::PropertyInfo* prop = world.model.find_property("SyncCost");
+  ASSERT_NE(prop, nullptr);
+
+  const std::string with_cse = cse.explain_whole_condition(*prop);
+  const std::string without = plain.explain_whole_condition(*prop);
+  // The shared LET subquery (probe + condition + severity all reference the
+  // Barrier SUM) compiles into one named CTE, referenced per occurrence.
+  EXPECT_EQ(with_cse.rfind("WITH cse0 AS (SELECT ", 0), 0u) << with_cse;
+  EXPECT_NE(with_cse.find("(SELECT v FROM cse0)"), std::string::npos)
+      << with_cse;
+  // Deduplication is real: shorter text, strictly fewer bound parameters.
+  EXPECT_LT(with_cse.size(), without.size());
+  const auto params_of = [](const std::string& text) {
+    return std::count(text.begin(), text.end(), '?');
+  };
+  EXPECT_LT(params_of(with_cse), params_of(without)) << with_cse;
+  // Still one statement.
+  EXPECT_EQ(with_cse.find(';'), std::string::npos) << with_cse;
+}
+
+TEST(WholeCondition, CseSharedSubexpressionExecutesOncePerContext) {
+  // The tentpole contract, pinned on the executor's own counters: every
+  // CSE-hoisted subexpression materializes exactly once per (property,
+  // context) evaluation — one CTE materialization per WITH entry, no
+  // re-execution per referencing column.
+  World world(perf::workloads::imbalanced_ocean(), {1, 4});
+  db::Connection conn(world.database, db::ConnectionProfile::in_memory());
+  cosy::PlanCache cache(world.model);
+  cosy::SqlEvaluator whole(world.model, conn,
+                           cosy::SqlEvalMode::kWholeCondition, &cache);
+  const asl::PropertyInfo* prop = world.model.find_property("SyncCost");
+  ASSERT_NE(prop, nullptr);
+
+  const std::string text = whole.explain_whole_condition(*prop);
+  std::size_t ctes = 0;
+  for (std::size_t pos = text.find(" AS (SELECT ");
+       pos != std::string::npos; pos = text.find(" AS (SELECT ", pos + 1)) {
+    ++ctes;
+  }
+  ASSERT_GE(ctes, 1u) << text;
+  // cse0 is referenced more than once — that is why it was hoisted.
+  std::size_t refs = 0;
+  for (std::size_t pos = text.find("(SELECT v FROM cse0)");
+       pos != std::string::npos;
+       pos = text.find("(SELECT v FROM cse0)", pos + 1)) {
+    ++refs;
+  }
+  EXPECT_GE(refs, 2u) << text;
+
+  const asl::ObjectId region = world.handles.regions.begin()->second;
+  const asl::ObjectId run = world.handles.runs[1];
+  const std::vector<RtValue> args = {RtValue::of_object(region),
+                                     RtValue::of_object(run),
+                                     RtValue::of_object(region)};
+  (void)whole.evaluate_property(*prop, args);  // warm plan + statement
+  for (int i = 0; i < 3; ++i) {
+    const auto before = world.database.exec_stats();
+    (void)whole.evaluate_property(*prop, args);
+    const auto after = world.database.exec_stats();
+    // Exactly one materialization per WITH entry per evaluation: each
+    // shared subexpression ran once for this (property, context).
+    EXPECT_EQ(after.cte_materializations - before.cte_materializations, ctes)
+        << "iteration " << i;
+  }
+}
+
+TEST(WholeCondition, CseNamesAvoidModelTableCollisions) {
+  // A model may legally declare a class named like a generated CTE; the
+  // compiler must rename its CTEs (bind_sources resolves CTE names before
+  // the catalog, so a collision would shadow the class table) and the
+  // results must still match the interpreter without falling back.
+  const asl::Model model = asl::load_model({R"(
+    class cse0 { float V; }
+    class Holder { String Name; setof cse0 Items; }
+    Property SharedSum(Holder h) {
+      LET float s = SUM(i.V WHERE i IN h.Items);
+      IN
+      CONDITION: s > 1.0;
+      CONFIDENCE: 1;
+      SEVERITY: s;
+    };
+  )"});
+
+  asl::ObjectStore store(model);
+  const asl::ObjectId holder = store.create("Holder");
+  store.set_attr(holder, "Name", RtValue::of_string("h"));
+  for (const double v : {1.5, 2.5}) {
+    const asl::ObjectId item = store.create("cse0");
+    store.set_attr(item, "V", RtValue::of_float(v));
+    store.add_to_set(holder, "Items", item);
+  }
+  db::Database database;
+  cosy::create_schema(database, model);
+  db::Connection conn(database, db::ConnectionProfile::in_memory());
+  cosy::import_store(conn, store);
+
+  cosy::SqlEvaluator whole(model, conn, cosy::SqlEvalMode::kWholeCondition);
+  const asl::PropertyInfo* prop = model.find_property("SharedSum");
+  ASSERT_NE(prop, nullptr);
+  const std::string text = whole.explain_whole_condition(*prop);
+  // The shared SUM is hoisted, but NOT under the colliding name.
+  EXPECT_EQ(text.rfind("WITH _cse0 AS (SELECT ", 0), 0u) << text;
+  EXPECT_NE(text.find("(SELECT v FROM _cse0)"), std::string::npos) << text;
+  EXPECT_NE(text.find("JOIN cse0 b"), std::string::npos) << text;
+
+  const asl::Interpreter interp(model, store);
+  const std::vector<RtValue> args = {RtValue::of_object(holder)};
+  expect_same(interp.evaluate_property(*prop, args),
+              whole.evaluate_property(*prop, args), "SharedSum");
+  EXPECT_EQ(whole.whole_fallbacks(), 0u);
+}
+
 struct ProfileCase {
   const char* name;
   db::ConnectionProfile (*profile)();
 };
 
+// The CSE headline, pinned: identical query count, strictly less modelled
+// wire/server time than plain whole-condition on the paper's distributed
+// profiles (deduplicated subexpressions bind each argument once instead of
+// once per occurrence).
+TEST(WholeCondition, CseBeatsPlainWholeConditionOnDistributedProfiles) {
+  World world(perf::workloads::imbalanced_ocean(), {1, 16});
+  for (const ProfileCase& pc :
+       {ProfileCase{"oracle7", &db::ConnectionProfile::oracle7},
+        ProfileCase{"postgres", &db::ConnectionProfile::postgres}}) {
+    double virtual_ms[2] = {0, 0};
+    std::uint64_t queries[2] = {0, 0};
+    const char* backends[2] = {"sql-whole-condition-plain",
+                               "sql-whole-condition"};
+    for (int i = 0; i < 2; ++i) {
+      db::Connection conn(world.database, pc.profile());
+      cosy::Analyzer analyzer(world.model, world.store, world.handles, &conn);
+      cosy::PlanCache cache(world.model);
+      cosy::AnalyzerConfig config;
+      config.backend = backends[i];
+      config.plan_cache = &cache;
+      const cosy::AnalysisReport report = analyzer.analyze(1, config);
+      virtual_ms[i] = conn.clock().now_ms();
+      queries[i] = report.sql_queries;
+    }
+    EXPECT_EQ(queries[1], queries[0]) << pc.name;  // still one stmt/context
+    EXPECT_LT(virtual_ms[1], virtual_ms[0]) << pc.name;  // modelled win
+  }
+}
+
+// Differential: the SQL-family backends (whole-condition with and without
+// CSE, sharded SQL) plus the sharded interpreter against the interpreter
+// reference — all 13 properties, every connection profile of the paper's
+// §5 comparison.
 class BackendDifferential : public ::testing::TestWithParam<ProfileCase> {};
 
 TEST_P(BackendDifferential, AgreesWithInterpreterOnAllWorkloads) {
@@ -328,7 +484,9 @@ TEST_P(BackendDifferential, AgreesWithInterpreterOnAllWorkloads) {
     const std::string expected =
         render_findings(analyzer.analyze(2, reference));
 
-    for (const char* backend : {"sql-whole-condition", "interpreter-sharded"}) {
+    for (const char* backend :
+         {"sql-whole-condition", "sql-whole-condition-plain", "sql-sharded",
+          "interpreter-sharded"}) {
       cosy::AnalyzerConfig config;
       config.backend = backend;
       const cosy::AnalysisReport report = analyzer.analyze(2, config);
@@ -734,6 +892,93 @@ TEST(WholeCondition, BeatsPushdownOnDistributedProfiles) {
     EXPECT_LT(queries[1], queries[0]) << pc.name;
     EXPECT_LT(virtual_ms[1], virtual_ms[0]) << pc.name;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded SQL backend
+
+TEST(SqlSharded, ByteIdenticalToWholeConditionAtAnyThreadCount) {
+  // The acceptance contract: context shards across pooled sessions reduce
+  // in request order, so the report — findings, not-applicable audits,
+  // notes, everything — is byte-identical to the single-session
+  // whole-condition backend at 1, 2, and 8 threads.
+  World world(perf::workloads::imbalanced_ocean(), {1, 4, 16});
+
+  db::Connection reference_conn(world.database,
+                                db::ConnectionProfile::postgres());
+  cosy::Analyzer reference(world.model, world.store, world.handles,
+                           &reference_conn);
+  cosy::AnalyzerConfig whole;
+  whole.backend = "sql-whole-condition";
+  std::vector<std::string> expected;
+  for (std::size_t run = 0; run < world.handles.runs.size(); ++run) {
+    expected.push_back(render_exact(reference.analyze(run, whole)));
+  }
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    db::ConnectionPool pool(world.database, db::ConnectionProfile::postgres(),
+                            threads);
+    cosy::Analyzer analyzer(world.model, world.store, world.handles,
+                            /*conn=*/nullptr, &pool);
+    cosy::AnalyzerConfig sharded;
+    sharded.backend = "sql-sharded";
+    sharded.threads = threads;
+    for (std::size_t run = 0; run < world.handles.runs.size(); ++run) {
+      const cosy::AnalysisReport report = analyzer.analyze(run, sharded);
+      EXPECT_EQ(expected[run], render_exact(report))
+          << "run " << run << " threads " << threads;
+      // Sharding cannot change the statement economics: still exactly one
+      // statement per (property, context).
+      EXPECT_EQ(report.sql_queries, analyzer.context_count())
+          << "run " << run << " threads " << threads;
+    }
+  }
+}
+
+TEST(SqlSharded, SharedPlanCacheCompilesEachPropertyOnce) {
+  World world(perf::workloads::imbalanced_ocean(), {1, 4});
+  db::ConnectionPool pool(world.database, db::ConnectionProfile::in_memory(),
+                          4);
+  cosy::Analyzer analyzer(world.model, world.store, world.handles,
+                          /*conn=*/nullptr, &pool);
+  cosy::PlanCache cache(world.model);
+  cosy::AnalyzerConfig config;
+  config.backend = "sql-sharded";
+  config.threads = 4;
+  config.plan_cache = &cache;
+  const cosy::AnalysisReport report = analyzer.analyze(1, config);
+  EXPECT_EQ(report.sql_queries, analyzer.context_count());
+  // One whole-condition plan per property, shared across every shard.
+  EXPECT_EQ(cache.size(), world.model.properties().size());
+  EXPECT_GT(report.plan_cache_hits, 0u);
+}
+
+TEST(SqlSharded, NeedsAConnectionOrAPool) {
+  World world(perf::workloads::scalable_stencil(), {1, 2});
+  cosy::EvalBackendDeps deps;
+  deps.model = &world.model;
+  EXPECT_THROW((void)cosy::EvalBackend::create("sql-sharded", deps),
+               EvalError);
+  try {
+    (void)cosy::EvalBackend::create("sql-sharded", deps);
+    FAIL() << "expected EvalError";
+  } catch (const EvalError& error) {
+    EXPECT_NE(std::string(error.what()).find("connection pool"),
+              std::string::npos)
+        << error.what();
+  }
+  db::ConnectionPool pool(world.database, db::ConnectionProfile::in_memory(),
+                          2);
+  deps.pool = &pool;
+  EXPECT_NE(cosy::EvalBackend::create("sql-sharded", deps), nullptr);
+
+  // The model-instance pinning guard applies at creation, like the other
+  // SQL backends.
+  const asl::Model reloaded = cosy::load_cosy_model();
+  cosy::PlanCache stale(reloaded);
+  deps.plan_cache = &stale;
+  EXPECT_THROW((void)cosy::EvalBackend::create("sql-sharded", deps),
+               EvalError);
 }
 
 // ---------------------------------------------------------------------------

@@ -329,6 +329,128 @@ TEST(Exec, SubqueryMultiRowThrows) {
   EXPECT_THROW(db.execute("SELECT (SELECT id FROM emp)"), EvalError);
 }
 
+TEST(Exec, UncorrelatedSubqueryMemoizedWithinOneExecution) {
+  // Structurally identical uncorrelated subqueries execute once per
+  // statement execution; later occurrences come from the per-statement
+  // memo. Distinct shapes still execute separately.
+  Database db = make_db();
+  const auto before = db.exec_stats();
+  const QueryResult result = db.execute(
+      "SELECT (SELECT MAX(salary) FROM emp) + (SELECT MAX(salary) FROM emp), "
+      "(SELECT MIN(salary) FROM emp)");
+  const auto after = db.exec_stats();
+  EXPECT_DOUBLE_EQ(result.at(0, 0).as_double(), 240.0);
+  EXPECT_EQ(after.subquery_executions - before.subquery_executions, 2u);
+  EXPECT_EQ(after.subquery_memo_hits - before.subquery_memo_hits, 1u);
+
+  // The memo is per execution, not per statement object: running the text
+  // again re-executes both distinct shapes.
+  db.execute(
+      "SELECT (SELECT MAX(salary) FROM emp) + (SELECT MAX(salary) FROM emp), "
+      "(SELECT MIN(salary) FROM emp)");
+  const auto again = db.exec_stats();
+  EXPECT_EQ(again.subquery_executions - after.subquery_executions, 2u);
+}
+
+TEST(Exec, SubqueriesWithDifferentParamsAreNotShared) {
+  Database db = make_db();
+  const std::vector<Value> params = {Value::integer(1), Value::integer(2)};
+  const auto before = db.exec_stats();
+  const QueryResult result = db.execute(
+      "SELECT (SELECT COUNT(*) FROM emp WHERE dept = ?), "
+      "(SELECT COUNT(*) FROM emp WHERE dept = ?)",
+      params);
+  const auto after = db.exec_stats();
+  EXPECT_EQ(result.at(0, 0).as_int(), 2);
+  EXPECT_EQ(result.at(0, 1).as_int(), 2);
+  // Different parameter indices -> different shapes -> no memo sharing.
+  EXPECT_EQ(after.subquery_executions - before.subquery_executions, 2u);
+  EXPECT_EQ(after.subquery_memo_hits - before.subquery_memo_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// WITH / common table expressions
+
+TEST(Exec, CteMaterializesOncePerExecution) {
+  Database db = make_db();
+  const auto before = db.exec_stats();
+  const QueryResult result = db.execute(
+      "WITH top AS (SELECT MAX(salary) AS v FROM emp) "
+      "SELECT (SELECT v FROM top) + (SELECT v FROM top), (SELECT v FROM top)");
+  const auto after = db.exec_stats();
+  EXPECT_DOUBLE_EQ(result.at(0, 0).as_double(), 240.0);
+  EXPECT_DOUBLE_EQ(result.at(0, 1).as_double(), 120.0);
+  // The CTE body ran exactly once; the three references scanned the
+  // materialized row (one real reference scan + two memo hits).
+  EXPECT_EQ(after.cte_materializations - before.cte_materializations, 1u);
+  EXPECT_EQ(after.subquery_executions - before.subquery_executions, 1u);
+  EXPECT_EQ(after.subquery_memo_hits - before.subquery_memo_hits, 2u);
+}
+
+TEST(Exec, CteUsableInFromAndJoins) {
+  Database db = make_db();
+  const QueryResult from_cte = db.execute(
+      "WITH rich AS (SELECT id, name, salary FROM emp WHERE salary > 90) "
+      "SELECT name FROM rich ORDER BY id");
+  ASSERT_EQ(from_cte.row_count(), 3u);
+  EXPECT_EQ(from_cte.at(0, 0).as_string(), "ada");
+
+  const QueryResult joined = db.execute(
+      "WITH rich AS (SELECT id, name, dept FROM emp WHERE salary > 90) "
+      "SELECT rich.name, dept.name FROM rich JOIN dept ON dept.id = rich.dept "
+      "ORDER BY rich.id");
+  ASSERT_EQ(joined.row_count(), 3u);
+  EXPECT_EQ(joined.at(0, 1).as_string(), "dev");
+
+  // SELECT * over a CTE expands the CTE's column list.
+  const QueryResult star = db.execute(
+      "WITH two AS (SELECT id, name FROM emp WHERE dept = 2) "
+      "SELECT * FROM two ORDER BY id");
+  ASSERT_EQ(star.columns.size(), 2u);
+  EXPECT_EQ(star.columns[1], "name");
+  EXPECT_EQ(star.row_count(), 2u);
+}
+
+TEST(Exec, CteChainsReferenceEarlierEntries) {
+  Database db = make_db();
+  const QueryResult result = db.execute(
+      "WITH per_dept AS (SELECT dept, SUM(salary) AS total FROM emp "
+      "WHERE dept IS NOT NULL GROUP BY dept), "
+      "best AS (SELECT MAX(total) AS v FROM per_dept) "
+      "SELECT (SELECT v FROM best)");
+  EXPECT_DOUBLE_EQ(result.at(0, 0).as_double(), 240.0);
+}
+
+TEST(Exec, CteShadowsTableOfTheSameName) {
+  Database db = make_db();
+  const QueryResult result = db.execute(
+      "WITH emp AS (SELECT 42 AS id) SELECT id FROM emp");
+  ASSERT_EQ(result.row_count(), 1u);
+  EXPECT_EQ(result.at(0, 0).as_int(), 42);
+}
+
+TEST(Exec, CteAggregationOverDerivedRows) {
+  Database db = make_db();
+  const QueryResult result = db.execute(
+      "WITH rich AS (SELECT salary FROM emp WHERE salary > 90) "
+      "SELECT COUNT(*), AVG(salary) FROM rich");
+  EXPECT_EQ(result.at(0, 0).as_int(), 3);
+  EXPECT_DOUBLE_EQ(result.at(0, 1).as_double(), (100.0 + 120.0 + 120.0) / 3);
+}
+
+TEST(Exec, CteScalarReferenceKeepsCardinalityRules) {
+  Database db = make_db();
+  // The CTE itself may hold many rows; a scalar reference to it enforces
+  // the one-row rule exactly like any scalar subquery.
+  EXPECT_THROW(db.execute("WITH all_ids AS (SELECT id FROM emp) "
+                          "SELECT (SELECT id FROM all_ids)"),
+               EvalError);
+  const QueryResult empty = db.execute(
+      "WITH none AS (SELECT id FROM emp WHERE id > 100) "
+      "SELECT (SELECT id FROM none)");
+  EXPECT_TRUE(empty.at(0, 0).is_null());
+}
+
 TEST(Exec, PrimaryKeyUniqueness) {
   Database db = make_db();
   EXPECT_THROW(db.execute("INSERT INTO dept VALUES (1, 'dup')"), EvalError);

@@ -160,6 +160,95 @@ TEST(SqlParser, MultiStatementScript) {
 }
 
 // ---------------------------------------------------------------------------
+// Parser: WITH (non-recursive common table expressions)
+
+TEST(SqlParser, WithClauseShape) {
+  const auto stmt = sql::parse_single(
+      "WITH a AS (SELECT 1 x), b AS (SELECT x FROM a) "
+      "SELECT (SELECT x FROM b), (SELECT x FROM a)");
+  const auto& select = std::get<sql::SelectStmt>(stmt);
+  ASSERT_EQ(select.ctes.size(), 2u);
+  EXPECT_EQ(select.ctes[0].name, "a");
+  EXPECT_EQ(select.ctes[1].name, "b");
+  ASSERT_NE(select.ctes[1].select, nullptr);
+  EXPECT_TRUE(select.ctes[1].select->from.has_value());
+  EXPECT_EQ(select.items.size(), 2u);
+}
+
+TEST(SqlParser, WithCloneDeepCopies) {
+  const auto stmt = sql::parse_single(
+      "WITH a AS (SELECT COUNT(*) v FROM t) SELECT (SELECT v FROM a)");
+  const auto& select = std::get<sql::SelectStmt>(stmt);
+  const auto copy = select.clone();
+  ASSERT_EQ(copy->ctes.size(), 1u);
+  EXPECT_EQ(copy->ctes[0].name, "a");
+  EXPECT_NE(copy->ctes[0].select.get(), select.ctes[0].select.get());
+}
+
+TEST(SqlParser, WithDuplicateNamesRejectedWithDiagnostic) {
+  try {
+    (void)sql::parse_sql(
+        "WITH a AS (SELECT 1), a AS (SELECT 2) SELECT 3");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate CTE name 'a'"),
+              std::string::npos)
+        << e.what();
+  }
+  // Case-insensitive, like every other name in the engine.
+  EXPECT_THROW(
+      (void)sql::parse_sql("WITH a AS (SELECT 1), A AS (SELECT 2) SELECT 3"),
+      ParseError);
+}
+
+TEST(SqlParser, WithSelfReferenceRejectedAsRecursive) {
+  try {
+    (void)sql::parse_sql("WITH a AS (SELECT x FROM a) SELECT 1");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("recursive"), std::string::npos)
+        << e.what();
+  }
+  // Self-reference buried in a subquery is caught too.
+  EXPECT_THROW((void)sql::parse_sql(
+                   "WITH a AS (SELECT (SELECT COUNT(*) FROM a)) SELECT 1"),
+               ParseError);
+  // The explicit RECURSIVE keyword gets its own diagnostic.
+  try {
+    (void)sql::parse_sql(
+        "WITH RECURSIVE a AS (SELECT 1) SELECT 1");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("recursive CTEs are not supported"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SqlParser, WithForwardReferenceRejectedWithDiagnostic) {
+  try {
+    (void)sql::parse_sql(
+        "WITH a AS (SELECT x FROM b), b AS (SELECT 1 x) SELECT 1");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("before it is defined"),
+              std::string::npos)
+        << e.what();
+  }
+  // Backward references are exactly what WITH is for.
+  EXPECT_NO_THROW((void)sql::parse_sql(
+      "WITH b AS (SELECT 1 x), a AS (SELECT x FROM b) SELECT 1"));
+}
+
+TEST(SqlParser, WithRequiresSelectAfterClause) {
+  EXPECT_THROW((void)sql::parse_sql("WITH a AS (SELECT 1)"), ParseError);
+  EXPECT_THROW((void)sql::parse_sql("WITH a AS (SELECT 1) INSERT INTO t "
+                                    "VALUES (1)"),
+               ParseError);
+  EXPECT_THROW((void)sql::parse_sql("WITH a (SELECT 1) SELECT 1"), ParseError);
+}
+
+// ---------------------------------------------------------------------------
 // Parser: expressions
 
 TEST(SqlParser, ExpressionKinds) {
