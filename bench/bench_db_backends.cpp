@@ -7,7 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
 #include <iostream>
+#include <map>
+#include <memory>
 
 #include "bench_util.hpp"
 #include "support/str.hpp"
@@ -16,6 +21,11 @@
 using namespace kojak;
 
 namespace {
+
+bool smoke_mode() {
+  const char* env = std::getenv("KOJAK_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
 
 const bench::World& world() {
   static bench::World w(perf::workloads::synthetic_scale(12, 10), {1, 8, 16});
@@ -64,6 +74,138 @@ void register_benchmarks() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// T1b: partitioned Region_TypTimes scans. The timing junctions are the
+// store's dominant tables; hash-partitioning them by region lets the engine
+// fan one whole-table scan out across partitions on the scan pool. The
+// query's modulo predicate defeats every index, so this measures the heap
+// scan path itself: serial seed layout vs partitioned layout at 1 and N
+// worker threads, byte-identical results throughout.
+
+struct ScanSetup {
+  std::size_t partitions;
+  std::size_t threads;
+};
+
+const bench::World& scan_world() {
+  static bench::World w(smoke_mode()
+                            ? perf::workloads::synthetic_scale(4, 5)
+                            : perf::workloads::synthetic_scale(16, 16),
+                        smoke_mode() ? std::vector<int>{1, 4}
+                                     : std::vector<int>{1, 4, 8, 16, 32});
+  return w;
+}
+
+db::Database& scan_database(std::size_t partitions, std::size_t threads) {
+  // One database per layout, built once; the thread knob is per call.
+  static std::map<std::size_t, std::unique_ptr<db::Database>> cache;
+  std::unique_ptr<db::Database>& slot = cache[partitions];
+  if (!slot) {
+    slot = std::make_unique<db::Database>();
+    cosy::create_schema(*slot, scan_world().model,
+                        {.region_timing_partitions = partitions});
+    db::Connection conn(*slot, db::ConnectionProfile::in_memory());
+    cosy::import_store(conn, *scan_world().store);
+  }
+  slot->set_scan_config({.threads = threads, .min_parallel_rows = 1});
+  return *slot;
+}
+
+struct ScanOutcome {
+  double real_ms = 0;
+  std::int64_t matches = 0;
+  std::uint64_t parallel_batches = 0;
+};
+
+ScanOutcome run_scan(db::Database& database, int reps) {
+  static const char* kQuery =
+      "SELECT COUNT(*) FROM Region_TypTimes WHERE (member + owner) % 3 = 0";
+  ScanOutcome outcome;
+  const auto before = database.exec_stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) {
+    outcome.matches = database.execute(kQuery).scalar().as_int();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  outcome.real_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  outcome.parallel_batches =
+      database.exec_stats().parallel_scan_batches - before.parallel_scan_batches;
+  return outcome;
+}
+
+void print_partitioned_scan_table() {
+  const int reps = smoke_mode() ? 3 : 20;
+  const ScanSetup setups[] = {
+      {1, 1},  // the serial seed layout
+      {8, 1},  // partitioned, scans still serial
+      {8, 4},  // partitioned, 4 scan-pool workers
+  };
+  const std::size_t rows =
+      scan_database(1, 1).table("Region_TypTimes").live_row_count();
+
+  support::TablePrinter table;
+  table.add_column("layout")
+      .add_column("rows", support::TablePrinter::Align::kRight)
+      .add_column("threads", support::TablePrinter::Align::kRight)
+      .add_column("scan ms", support::TablePrinter::Align::kRight)
+      .add_column("vs serial", support::TablePrinter::Align::kRight)
+      .add_column("matches", support::TablePrinter::Align::kRight);
+  double serial_ms = 0;
+  std::int64_t serial_matches = 0;
+  for (const ScanSetup& setup : setups) {
+    const ScanOutcome outcome = run_scan(scan_database(setup.partitions,
+                                                       setup.threads),
+                                         reps);
+    if (serial_ms == 0) {
+      serial_ms = outcome.real_ms;
+      serial_matches = outcome.matches;
+    }
+    table.add_row({setup.partitions == 1
+                       ? "single heap"
+                       : support::cat(setup.partitions, " partitions"),
+                   std::to_string(rows), std::to_string(setup.threads),
+                   support::format_double(outcome.real_ms, 3),
+                   support::format_double(serial_ms / outcome.real_ms, 2),
+                   std::to_string(outcome.matches)});
+    if (outcome.matches != serial_matches) {
+      std::cerr << "partitioned scan diverged from the serial layout!\n";
+      std::abort();
+    }
+  }
+  std::cout << "\n=== T1b: whole-table Region_TypTimes scans across storage "
+               "layouts (hash partitioning by region + engine-side parallel "
+               "scan; identical results, partition-order merge) ===\n"
+            << table.render()
+            << "(modulo predicate defeats the owner/member indexes, so this "
+               "is the raw heap-scan path; 'vs serial' is speedup against "
+               "the single-heap seed layout)\n\n";
+}
+
+void register_scan_benchmarks() {
+  const ScanSetup setups[] = {{1, 1}, {8, 1}, {8, 4}};
+  for (const ScanSetup setup : setups) {
+    benchmark::RegisterBenchmark(
+        support::cat("BM_PartitionedScan/parts_", setup.partitions,
+                     "/threads_", setup.threads)
+            .c_str(),
+        [setup](benchmark::State& state) {
+          db::Database& database =
+              scan_database(setup.partitions, setup.threads);
+          std::int64_t matches = 0;
+          std::uint64_t batches = 0;
+          for (auto _ : state) {
+            const ScanOutcome outcome = run_scan(database, 1);
+            matches = outcome.matches;
+            batches += outcome.parallel_batches;
+          }
+          state.counters["matches"] = static_cast<double>(matches);
+          state.counters["parallel_batches"] = static_cast<double>(batches);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(smoke_mode() ? 2 : 10);
+  }
+}
+
 void print_summary_table() {
   support::TablePrinter table;
   table.add_column("backend")
@@ -108,7 +250,9 @@ void print_summary_table() {
 
 int main(int argc, char** argv) {
   print_summary_table();
+  print_partitioned_scan_table();
   register_benchmarks();
+  register_scan_benchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

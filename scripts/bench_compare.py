@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON reports (BENCH_*.json artifacts).
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Matches benchmarks by name and prints a table of real/cpu time deltas plus
+any user counters that moved; benchmarks present on only one side are
+listed as added/removed. Exit code is 0 unless an input is unreadable —
+the comparison is informational (CI runners are shared hardware; treating
+timing noise as failure would just train people to ignore red), the point
+is that every PR's bench trajectory is one click away from the committed
+baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_report(path: str) -> dict[str, dict]:
+    """name -> benchmark entry of a google-benchmark JSON report."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"bench_compare: cannot read {path}: {error}")
+    entries = {}
+    for bench in payload.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev) would double-count; keep the
+        # plain iterations rows, which is all the smoke reports emit.
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        entries[bench["name"]] = bench
+    return entries
+
+
+def fmt_time(entry: dict, key: str) -> str:
+    return f"{entry.get(key, 0.0):.3f}{entry.get('time_unit', 'ns')}"
+
+
+def fmt_delta(base: float, cur: float) -> str:
+    if base <= 0:
+        return "n/a"
+    return f"{(cur - base) / base * 100.0:+.1f}%"
+
+
+def counter_moves(base: dict, cur: dict) -> list[str]:
+    moves = []
+    base_counters = base.get("counters", {}) or {}
+    cur_counters = cur.get("counters", {}) or {}
+    for name in sorted(set(base_counters) | set(cur_counters)):
+        a = base_counters.get(name)
+        b = cur_counters.get(name)
+        if a != b:
+            moves.append(f"{name}: {a} -> {b}")
+    return moves
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument("current", help="freshly generated BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="highlight real-time deltas beyond this percentage (default 10)",
+    )
+    args = parser.parse_args()
+
+    base = load_report(args.baseline)
+    cur = load_report(args.current)
+
+    names = sorted(set(base) | set(cur))
+    width = max((len(n) for n in names), default=9)
+    print(f"--- bench compare: {args.baseline} vs {args.current} ---")
+    print(f"{'benchmark':<{width}}  {'base real':>12}  {'cur real':>12}  "
+          f"{'delta':>8}  note")
+    flagged = 0
+    for name in names:
+        if name not in cur:
+            print(f"{name:<{width}}  {fmt_time(base[name], 'real_time'):>12}  "
+                  f"{'-':>12}  {'-':>8}  REMOVED")
+            continue
+        if name not in base:
+            print(f"{name:<{width}}  {'-':>12}  "
+                  f"{fmt_time(cur[name], 'real_time'):>12}  {'-':>8}  ADDED")
+            continue
+        b, c = base[name], cur[name]
+        delta = fmt_delta(b.get("real_time", 0.0), c.get("real_time", 0.0))
+        notes = []
+        if (
+            b.get("real_time", 0.0) > 0
+            and abs(c.get("real_time", 0.0) - b.get("real_time", 0.0))
+            / b.get("real_time", 1.0)
+            * 100.0
+            > args.threshold
+        ):
+            notes.append(f">|{args.threshold:g}%|")
+            flagged += 1
+        notes.extend(counter_moves(b, c))
+        print(f"{name:<{width}}  {fmt_time(b, 'real_time'):>12}  "
+              f"{fmt_time(c, 'real_time'):>12}  {delta:>8}  "
+              f"{'; '.join(notes)}")
+    print(f"--- {len(names)} benchmarks, {flagged} beyond "
+          f"{args.threshold:g}% real-time delta ---")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

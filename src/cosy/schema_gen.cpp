@@ -27,7 +27,8 @@ std::string junction_table(std::string_view class_name,
   return support::cat(class_name, "_", attr_name);
 }
 
-std::vector<std::string> generate_ddl(const asl::Model& model) {
+std::vector<std::string> generate_ddl(const asl::Model& model,
+                                      const SchemaOptions& options) {
   std::vector<std::string> ddl;
   for (const asl::ClassInfo& cls : model.classes()) {
     std::string create = support::cat("CREATE TABLE ", cls.name,
@@ -50,9 +51,19 @@ std::vector<std::string> generate_ddl(const asl::Model& model) {
     for (const asl::AttrInfo& attr : cls.attrs) {
       if (attr.type.kind != TypeKind::kSet) continue;
       const std::string junction = junction_table(cls.name, attr.name);
-      ddl.push_back(support::cat("CREATE TABLE ", junction,
-                                 " (owner INTEGER NOT NULL, member INTEGER NOT "
-                                 "NULL)"));
+      std::string create =
+          support::cat("CREATE TABLE ", junction,
+                       " (owner INTEGER NOT NULL, member INTEGER NOT NULL)");
+      // The per-region timing junctions dominate the store (runs x regions
+      // x timing types rows); hash-partitioning them by owner keeps every
+      // region's timings in one partition (per-region probes stay
+      // single-shard and in insertion order) while whole-table scans
+      // parallelize across partitions engine-side.
+      if (cls.name == "Region" && options.region_timing_partitions > 1) {
+        create += support::cat(" PARTITION BY HASH(owner) PARTITIONS ",
+                               options.region_timing_partitions);
+      }
+      ddl.push_back(std::move(create));
       ddl.push_back(support::cat("CREATE INDEX idx_", junction, "_owner ON ",
                                  junction, " (owner)"));
       ddl.push_back(support::cat("CREATE INDEX idx_", junction, "_member ON ",
@@ -62,8 +73,9 @@ std::vector<std::string> generate_ddl(const asl::Model& model) {
   return ddl;
 }
 
-void create_schema(db::Database& db, const asl::Model& model) {
-  for (const std::string& stmt : generate_ddl(model)) {
+void create_schema(db::Database& db, const asl::Model& model,
+                   const SchemaOptions& options) {
+  for (const std::string& stmt : generate_ddl(model, options)) {
     db.execute(stmt);
   }
 }

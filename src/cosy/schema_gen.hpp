@@ -18,10 +18,22 @@ namespace kojak::cosy {
 /// one junction table `<Class>_<Attr>(owner, member)` per `setof` attribute.
 /// Hash indexes are generated on every id, ref column, and junction owner,
 /// so the ASL->SQL queries of the pushdown evaluator stay index-backed.
-[[nodiscard]] std::vector<std::string> generate_ddl(const asl::Model& model);
+struct SchemaOptions {
+  /// Hash-partition count for the per-region timing junction tables
+  /// (Region_TotTimes / Region_TypTimes), partitioned by owner — all
+  /// timings of one region land in one partition, so per-region probes stay
+  /// single-shard while whole-table scans parallelize engine-side. These
+  /// are the tables that grow as runs x regions x timing types; everything
+  /// else stays a single heap. 1 = the unpartitioned seed layout.
+  std::size_t region_timing_partitions = 4;
+};
+
+[[nodiscard]] std::vector<std::string> generate_ddl(
+    const asl::Model& model, const SchemaOptions& options = {});
 
 /// Executes the generated DDL against a database.
-void create_schema(db::Database& db, const asl::Model& model);
+void create_schema(db::Database& db, const asl::Model& model,
+                   const SchemaOptions& options = {});
 
 /// Column type used for an attribute (exposed for tests).
 [[nodiscard]] db::ValueType column_type(const asl::Type& type);

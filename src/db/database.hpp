@@ -49,26 +49,53 @@ class Database {
 
   QueryResult execute(sql::Statement& stmt, std::span<const Value> params = {});
 
+  /// Parses exactly one statement for repeated execution. A script with
+  /// more than one `;`-separated statement is a diagnostic error here (a
+  /// prepared statement IS one statement; scripts go through execute()).
   [[nodiscard]] PreparedStatement prepare(std::string_view sql_text) const;
   QueryResult execute(PreparedStatement& stmt, std::span<const Value> params = {});
 
   /// Total live rows across all tables (bench bookkeeping).
   [[nodiscard]] std::size_t total_rows() const;
 
+  /// Knobs of the parallel partition-scan path. An unpruned full scan of a
+  /// table with more than one partition fans its partitions out across a
+  /// dedicated scan pool when the partitions hold at least
+  /// `min_parallel_rows` live rows; results merge in partition order, so
+  /// parallel and serial scans produce identical row streams.
+  struct ScanConfig {
+    /// Worker cap per scan: 0 = hardware concurrency, 1 = always serial.
+    std::size_t threads = 0;
+    /// Minimum live rows across the scanned partitions before the scan
+    /// pays thread-dispatch overhead.
+    std::size_t min_parallel_rows = 4096;
+  };
+  void set_scan_config(ScanConfig config) noexcept { scan_config_ = config; }
+  [[nodiscard]] const ScanConfig& scan_config() const noexcept {
+    return scan_config_;
+  }
+
   /// Executor-side accounting, observable across statements. The counters
   /// are atomics (concurrent read-only SELECTs of distinct prepared
   /// statements are allowed) and monotonic; callers snapshot before/after a
   /// statement and diff. Tests pin the single-materialization contract of
-  /// CTEs and the uncorrelated-subquery memo on these.
+  /// CTEs, the uncorrelated-subquery memo, and the partition-scan planner
+  /// (pruning + parallel batches) on these.
   struct ExecStatsSnapshot {
     std::uint64_t subquery_executions = 0;  ///< scalar-subquery plans run
     std::uint64_t subquery_memo_hits = 0;   ///< served from the per-statement memo
     std::uint64_t cte_materializations = 0; ///< WITH entries materialized
+    std::uint64_t partition_scans = 0;      ///< partition heaps scanned by base scans
+    std::uint64_t partitions_pruned = 0;    ///< partitions skipped via routing
+    std::uint64_t parallel_scan_batches = 0;///< multi-partition scans run on the pool
   };
   [[nodiscard]] ExecStatsSnapshot exec_stats() const noexcept {
     return {exec_stats_.subquery_executions.load(std::memory_order_relaxed),
             exec_stats_.subquery_memo_hits.load(std::memory_order_relaxed),
-            exec_stats_.cte_materializations.load(std::memory_order_relaxed)};
+            exec_stats_.cte_materializations.load(std::memory_order_relaxed),
+            exec_stats_.partition_scans.load(std::memory_order_relaxed),
+            exec_stats_.partitions_pruned.load(std::memory_order_relaxed),
+            exec_stats_.parallel_scan_batches.load(std::memory_order_relaxed)};
   }
 
   // Internal: bumped by the executor (relaxed; telemetry only).
@@ -81,31 +108,46 @@ class Database {
   void count_cte_materialization() noexcept {
     exec_stats_.cte_materializations.fetch_add(1, std::memory_order_relaxed);
   }
+  void count_partition_scans(std::uint64_t n) noexcept {
+    exec_stats_.partition_scans.fetch_add(n, std::memory_order_relaxed);
+  }
+  void count_partitions_pruned(std::uint64_t n) noexcept {
+    exec_stats_.partitions_pruned.fetch_add(n, std::memory_order_relaxed);
+  }
+  void count_parallel_scan_batch() noexcept {
+    exec_stats_.parallel_scan_batches.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   struct ExecStats {
     std::atomic<std::uint64_t> subquery_executions{0};
     std::atomic<std::uint64_t> subquery_memo_hits{0};
     std::atomic<std::uint64_t> cte_materializations{0};
+    std::atomic<std::uint64_t> partition_scans{0};
+    std::atomic<std::uint64_t> partitions_pruned{0};
+    std::atomic<std::uint64_t> parallel_scan_batches{0};
 
     // Snapshot copy/move so Database itself stays movable (nobody may be
     // executing against a Database while it is moved anyway).
     ExecStats() = default;
     ExecStats(const ExecStats& other) { *this = other; }
     ExecStats& operator=(const ExecStats& other) {
-      subquery_executions.store(
-          other.subquery_executions.load(std::memory_order_relaxed),
-          std::memory_order_relaxed);
-      subquery_memo_hits.store(
-          other.subquery_memo_hits.load(std::memory_order_relaxed),
-          std::memory_order_relaxed);
-      cte_materializations.store(
-          other.cte_materializations.load(std::memory_order_relaxed),
-          std::memory_order_relaxed);
+      const auto copy = [](std::atomic<std::uint64_t>& dst,
+                           const std::atomic<std::uint64_t>& src) {
+        dst.store(src.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      };
+      copy(subquery_executions, other.subquery_executions);
+      copy(subquery_memo_hits, other.subquery_memo_hits);
+      copy(cte_materializations, other.cte_materializations);
+      copy(partition_scans, other.partition_scans);
+      copy(partitions_pruned, other.partitions_pruned);
+      copy(parallel_scan_batches, other.parallel_scan_batches);
       return *this;
     }
   };
   ExecStats exec_stats_;
+  ScanConfig scan_config_;
 
   struct CaseInsensitiveLess {
     bool operator()(const std::string& a, const std::string& b) const;

@@ -6,8 +6,10 @@
 // volumes COSY manages (10^4..10^6 rows).
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <deque>
+#include <future>
 #include <map>
 #include <optional>
 #include <set>
@@ -18,6 +20,7 @@
 #include "support/error.hpp"
 #include "support/stats.hpp"
 #include "support/str.hpp"
+#include "support/thread_pool.hpp"
 
 namespace kojak::db {
 
@@ -27,6 +30,19 @@ using sql::UnOp;
 using support::EvalError;
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Parallel partition scans
+
+/// Dedicated pool for partition scans, separate from support::global_pool().
+/// Scan tasks are leaves — predicate evaluation over materialized subquery
+/// values cannot execute further statements — so statements that themselves
+/// run on global-pool workers (the sharded analysis backends) can block on
+/// scan futures without any risk of pool self-starvation.
+support::ThreadPool& scan_pool() {
+  static support::ThreadPool pool;
+  return pool;
+}
 
 // ---------------------------------------------------------------------------
 // CTE machinery
@@ -658,7 +674,7 @@ class SelectExec {
     materialize_subqueries();
 
     std::vector<Row> rows = scan_and_join();
-    if (stmt_.where) {
+    if (stmt_.where && !where_applied_) {
       std::vector<Row> kept;
       kept.reserve(rows.size());
       for (Row& row : rows) {
@@ -861,12 +877,18 @@ class SelectExec {
     Value key;                 // kEquality
     std::optional<Value> lo;   // kRange (inclusive; strictness re-filtered)
     std::optional<Value> hi;
+    /// Partition pruning: an equality conjunct on the table's partition
+    /// column routes a heap scan to this single partition. Only full scans
+    /// carry it — index paths route internally, shard by shard.
+    std::optional<std::size_t> partition;
   };
 
   /// Collects `column op constant` conjuncts over the given source and
   /// picks an index access path: equality probes win; otherwise range
   /// bounds on an ordered-indexed column. The full WHERE clause is applied
   /// afterwards regardless, so inclusive range bounds are always safe.
+  /// Equality conjuncts on the partition column additionally record the
+  /// scan's target partition for heap-scan pruning.
   [[nodiscard]] BaseScanPlan plan_base_scan(const Expr* predicate,
                                             const ScanSource& source) {
     BaseScanPlan plan;
@@ -914,6 +936,11 @@ class SelectExec {
         }
       }
       if (!column || !constant || constant->is_null()) return;
+      if (op == BinOp::kEq && !plan.partition &&
+          source.table->partition_count() > 1 &&
+          source.table->partition_column() == *column) {
+        plan.partition = source.table->route(*constant);
+      }
       const Index* index = source.table->find_index_on(*column);
       if (index == nullptr) return;
 
@@ -944,6 +971,87 @@ class SelectExec {
       if (range.lo || range.hi) return range;
     }
     return plan;
+  }
+
+  /// Heap scan of a base table: every partition the plan did not prune, in
+  /// partition order, heap order within each. Single-table statements fold
+  /// the WHERE clause into the scan itself (the hot path stops producing
+  /// rows a later pass would discard), and multi-partition scans above the
+  /// configured row threshold fan out across the scan pool — each worker
+  /// owns whole partitions, buckets merge in partition order, so the
+  /// parallel row stream is byte-identical to the serial one.
+  std::vector<Row> run_heap_scan(const Table& table, const BaseScanPlan& plan) {
+    const std::size_t nparts = table.partition_count();
+    std::size_t first = 0;
+    std::size_t count = nparts;
+    if (plan.partition && nparts > 1) {
+      first = *plan.partition;
+      count = 1;
+      db_.count_partitions_pruned(nparts - 1);
+    }
+    db_.count_partition_scans(count);
+
+    const Expr* filter =
+        stmt_.joins.empty() && stmt_.where ? stmt_.where.get() : nullptr;
+    const auto scan_partition = [&](std::size_t p, std::vector<Row>& out) {
+      table.for_each_live_row_in(p, [&](std::size_t, const Row& row) {
+        if (filter != nullptr) {
+          EvalCtx ctx{&row, params_, nullptr, &subquery_values_, nullptr};
+          if (!eval_predicate(*filter, ctx)) return;
+        }
+        out.push_back(row);
+      });
+    };
+
+    std::size_t live = 0;
+    for (std::size_t p = first; p < first + count; ++p) {
+      live += table.partition_live_count(p);
+    }
+
+    const Database::ScanConfig& config = db_.scan_config();
+    std::size_t workers =
+        config.threads == 0 ? scan_pool().size() : config.threads;
+    workers = std::min(workers, count);
+
+    std::vector<Row> rows;
+    if (workers > 1 && live >= config.min_parallel_rows) {
+      std::vector<std::vector<Row>> buckets(count);
+      std::atomic<std::size_t> next{0};
+      std::vector<std::future<void>> futures;
+      futures.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) {
+        futures.push_back(scan_pool().submit([&] {
+          while (true) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= count) return;
+            scan_partition(first + i, buckets[i]);
+          }
+        }));
+      }
+      std::exception_ptr first_error;
+      for (auto& future : futures) {
+        try {
+          future.get();
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      if (first_error) std::rethrow_exception(first_error);
+      db_.count_parallel_scan_batch();
+      std::size_t total = 0;
+      for (const std::vector<Row>& bucket : buckets) total += bucket.size();
+      rows.reserve(total);
+      for (std::vector<Row>& bucket : buckets) {
+        for (Row& row : bucket) rows.push_back(std::move(row));
+      }
+    } else {
+      rows.reserve(live);
+      for (std::size_t p = first; p < first + count; ++p) {
+        scan_partition(p, rows);
+      }
+    }
+    if (filter != nullptr) where_applied_ = true;
+    return rows;
   }
 
   /// Finds an equi-join conjunct between earlier slots and the new table;
@@ -986,23 +1094,24 @@ class SelectExec {
       rows = base.derived->rows;
     } else {
       const BaseScanPlan plan = plan_base_scan(stmt_.where.get(), base);
-      std::vector<std::size_t> base_row_ids;
       switch (plan.kind) {
         case BaseScanPlan::Kind::kEquality:
-          base_row_ids = plan.index->equal_range(plan.key);
+        case BaseScanPlan::Kind::kRange: {
+          const std::vector<std::size_t> base_row_ids =
+              plan.kind == BaseScanPlan::Kind::kEquality
+                  ? plan.index->equal_range(plan.key)
+                  : plan.index->range_open(plan.lo ? &*plan.lo : nullptr,
+                                           plan.hi ? &*plan.hi : nullptr);
+          rows.reserve(base_row_ids.size());
+          for (const std::size_t id : base_row_ids) {
+            if (!base.table->is_live(id)) continue;
+            rows.push_back(base.table->row(id));
+          }
           break;
-        case BaseScanPlan::Kind::kRange:
-          base_row_ids = plan.index->range_open(
-              plan.lo ? &*plan.lo : nullptr, plan.hi ? &*plan.hi : nullptr);
-          break;
+        }
         case BaseScanPlan::Kind::kFullScan:
-          base_row_ids = base.table->live_rows();
+          rows = run_heap_scan(*base.table, plan);
           break;
-      }
-      rows.reserve(base_row_ids.size());
-      for (const std::size_t id : base_row_ids) {
-        if (!base.table->is_live(id)) continue;
-        rows.push_back(base.table->row(id));
       }
     }
 
@@ -1011,12 +1120,12 @@ class SelectExec {
       const ScanSource& inner = sources_[j + 1];
       std::vector<Row> joined;
 
-      // Iterates the inner source's rows regardless of kind.
+      // Iterates the inner source's rows regardless of kind (zero-copy: the
+      // visitor walks the partition heaps without materializing an id list).
       const auto each_inner_row = [&inner](auto&& fn) {
         if (inner.table != nullptr) {
-          for (const std::size_t id : inner.table->live_rows()) {
-            fn(inner.table->row(id));
-          }
+          inner.table->for_each_live_row(
+              [&fn](std::size_t, const Row& row) { fn(row); });
         } else {
           for (const Row& row : inner.derived->rows) fn(row);
         }
@@ -1188,6 +1297,9 @@ class SelectExec {
   ExecEnv* env_;
   std::vector<ScanSource> sources_;
   std::unordered_map<const Expr*, Value> subquery_values_;
+  /// Set when the base heap scan already applied the WHERE clause
+  /// (single-table statements); run() must not filter twice.
+  bool where_applied_ = false;
 };
 
 // ---------------------------------------------------------------------------

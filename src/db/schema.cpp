@@ -32,6 +32,39 @@ std::optional<std::size_t> TableSchema::primary_key() const {
   return std::nullopt;
 }
 
+void TableSchema::set_partition(PartitionSpec spec) {
+  if (!find_column(spec.column)) {
+    throw support::EvalError(support::cat("unknown partition column '",
+                                          spec.column, "' in table ", name_));
+  }
+  if (spec.method == PartitionSpec::Method::kRange) {
+    spec.partitions = spec.range_bounds.size() + 1;
+    for (std::size_t i = 0; i < spec.range_bounds.size(); ++i) {
+      if (spec.range_bounds[i].is_null()) {
+        throw support::EvalError(support::cat(
+            "range partition bounds of table ", name_, " must not be NULL"));
+      }
+      if (i > 0 && Value::compare_total(spec.range_bounds[i - 1],
+                                        spec.range_bounds[i]) >= 0) {
+        throw support::EvalError(support::cat(
+            "range partition bounds of table ", name_,
+            " must be strictly ascending"));
+      }
+    }
+  }
+  if (spec.partitions == 0) {
+    throw support::EvalError(support::cat("table ", name_,
+                                          " needs at least one partition"));
+  }
+  if (spec.partitions > kMaxTablePartitions) {
+    throw support::EvalError(support::cat("table ", name_, " declares ",
+                                          spec.partitions,
+                                          " partitions; the maximum is ",
+                                          kMaxTablePartitions));
+  }
+  partition_ = std::move(spec);
+}
+
 std::string TableSchema::to_ddl() const {
   std::string out = "CREATE TABLE " + name_ + " (";
   for (std::size_t i = 0; i < columns_.size(); ++i) {
@@ -43,6 +76,20 @@ std::string TableSchema::to_ddl() const {
     if (!columns_[i].nullable && !columns_[i].primary_key) out += " NOT NULL";
   }
   out += ")";
+  if (partition_) {
+    if (partition_->method == PartitionSpec::Method::kHash) {
+      out += support::cat(" PARTITION BY HASH(", partition_->column,
+                          ") PARTITIONS ", partition_->partitions);
+    } else {
+      out += support::cat(" PARTITION BY RANGE(", partition_->column,
+                          ") VALUES (");
+      for (std::size_t i = 0; i < partition_->range_bounds.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += partition_->range_bounds[i].to_sql_literal();
+      }
+      out += ")";
+    }
+  }
   return out;
 }
 

@@ -17,6 +17,54 @@ struct ColumnDef {
   bool primary_key = false;
 };
 
+/// How a table's rows are distributed across partitions. Declared via
+/// `CREATE TABLE ... PARTITION BY HASH(col) PARTITIONS n` or
+/// `... PARTITION BY RANGE(col) VALUES (b1, b2, ...)`; each partition owns
+/// its own row heap, tombstone bitmap, and index shards (see db/table.hpp).
+struct PartitionSpec {
+  enum class Method : std::uint8_t { kHash, kRange };
+
+  Method method = Method::kHash;
+  std::string column;
+  /// Hash: declared partition count. Range: range_bounds.size() + 1.
+  std::size_t partitions = 1;
+  /// Range method only: strictly ascending inclusive upper bounds. A value
+  /// v routes to the first partition whose bound satisfies v <= bound;
+  /// values above every bound land in the final overflow partition.
+  std::vector<Value> range_bounds;
+};
+
+/// Deterministic value -> partition routing derived from a PartitionSpec.
+/// Shared by the table heap and its index shards (both must agree on where
+/// a key lives). NULLs always route to partition 0.
+class PartitionRouter {
+ public:
+  PartitionRouter() = default;  // single partition: everything routes to 0
+
+  explicit PartitionRouter(const PartitionSpec& spec)
+      : method_(spec.method),
+        partitions_(spec.partitions == 0 ? 1 : spec.partitions),
+        bounds_(spec.range_bounds) {}
+
+  [[nodiscard]] std::size_t partitions() const noexcept { return partitions_; }
+
+  [[nodiscard]] std::size_t route(const Value& v) const noexcept {
+    if (partitions_ <= 1 || v.is_null()) return 0;
+    if (method_ == PartitionSpec::Method::kHash) {
+      return v.hash() % partitions_;
+    }
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      if (Value::compare_total(v, bounds_[i]) <= 0) return i;
+    }
+    return partitions_ - 1;
+  }
+
+ private:
+  PartitionSpec::Method method_ = PartitionSpec::Method::kHash;
+  std::size_t partitions_ = 1;
+  std::vector<Value> bounds_;
+};
+
 /// Schema of one table. Column names are case-insensitive for lookup but
 /// preserve their declared spelling for display.
 class TableSchema {
@@ -37,13 +85,28 @@ class TableSchema {
   /// Index of the primary-key column, if declared.
   [[nodiscard]] std::optional<std::size_t> primary_key() const;
 
-  /// `CREATE TABLE` DDL that re-creates this schema.
+  /// Declares the partition layout. Validates the column exists, the
+  /// partition count is within [1, kMaxTablePartitions], and range bounds
+  /// are non-null and strictly ascending; throws support::EvalError
+  /// otherwise.
+  void set_partition(PartitionSpec spec);
+  [[nodiscard]] const std::optional<PartitionSpec>& partition() const noexcept {
+    return partition_;
+  }
+
+  /// `CREATE TABLE` DDL that re-creates this schema (including the
+  /// PARTITION BY clause when declared).
   [[nodiscard]] std::string to_ddl() const;
 
  private:
   std::string name_;
   std::vector<ColumnDef> columns_;
+  std::optional<PartitionSpec> partition_;
 };
+
+/// Hard cap on declared partitions; row ids reserve this many high bits
+/// (see db/table.hpp row-id encoding).
+inline constexpr std::size_t kMaxTablePartitions = 1024;
 
 }  // namespace kojak::db
 

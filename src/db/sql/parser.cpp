@@ -1,5 +1,7 @@
 #include "db/sql/parser.hpp"
 
+#include <algorithm>
+
 #include "db/sql/lexer.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
@@ -22,6 +24,24 @@ class Parser {
       if (!at_end()) expect_symbol(";");
     }
     return out;
+  }
+
+  /// Exactly one statement, then end of input. Anything after the trailing
+  /// `;` is an error anchored at the offending token, so a prepare() of a
+  /// multi-statement script fails loudly instead of silently picking one.
+  Statement parse_one() {
+    while (accept_symbol(";")) {}
+    Statement stmt = parse_statement();
+    while (accept_symbol(";")) {}
+    if (!at_end()) {
+      throw ParseError(
+          support::cat("expected end of input after the first statement, got '",
+                       peek().text,
+                       "' (prepare() takes exactly one statement; run scripts "
+                       "through Database::execute)"),
+          peek().loc);
+    }
+    return stmt;
   }
 
  private:
@@ -326,7 +346,12 @@ class Parser {
         columns.push_back(std::move(col));
       } while (accept_symbol(","));
       expect_symbol(")");
+      std::optional<PartitionSpec> partition;
+      if (accept_keyword("PARTITION")) {
+        partition = parse_partition_clause(columns);
+      }
       stmt.schema = TableSchema(std::move(name), std::move(columns));
+      if (partition) stmt.schema.set_partition(std::move(*partition));
       return stmt;
     }
     bool ordered = false;
@@ -341,6 +366,100 @@ class Parser {
     stmt.column = expect_ident("column name");
     expect_symbol(")");
     return stmt;
+  }
+
+  /// `PARTITION BY HASH(col) PARTITIONS n` or
+  /// `PARTITION BY RANGE(col) VALUES (b1, b2, ...)`, after the column list.
+  /// Every mistake is a located diagnostic here — an unknown partition
+  /// column or a descending bound list must not surface later as an
+  /// execution-time surprise.
+  PartitionSpec parse_partition_clause(const std::vector<ColumnDef>& columns) {
+    expect_keyword("BY");
+    PartitionSpec spec;
+    const Token& method_tok = peek();
+    if (accept_keyword("HASH")) {
+      spec.method = PartitionSpec::Method::kHash;
+    } else if (accept_keyword("RANGE")) {
+      spec.method = PartitionSpec::Method::kRange;
+    } else {
+      throw ParseError(support::cat("expected HASH or RANGE after PARTITION "
+                                    "BY, got '",
+                                    method_tok.text, "'"),
+                       method_tok.loc);
+    }
+    expect_symbol("(");
+    const Token& column_tok = peek();
+    spec.column = expect_ident("partition column");
+    expect_symbol(")");
+    const bool known = std::any_of(
+        columns.begin(), columns.end(), [&](const ColumnDef& col) {
+          return support::iequals(col.name, spec.column);
+        });
+    if (!known) {
+      throw ParseError(support::cat("unknown partition column '", spec.column,
+                                    "'"),
+                       column_tok.loc);
+    }
+    if (spec.method == PartitionSpec::Method::kHash) {
+      expect_keyword("PARTITIONS");
+      const Token& count_tok = peek();
+      if (count_tok.kind != TokenKind::kIntLit || count_tok.int_value < 1) {
+        throw ParseError("PARTITIONS expects a positive integer",
+                         count_tok.loc);
+      }
+      if (count_tok.int_value >
+          static_cast<std::int64_t>(kMaxTablePartitions)) {
+        throw ParseError(support::cat("at most ", kMaxTablePartitions,
+                                      " partitions are supported"),
+                         count_tok.loc);
+      }
+      spec.partitions = static_cast<std::size_t>(advance().int_value);
+      return spec;
+    }
+    expect_keyword("VALUES");
+    expect_symbol("(");
+    do {
+      const Token& bound_tok = peek();
+      spec.range_bounds.push_back(parse_partition_bound());
+      if (spec.range_bounds.size() > 1 &&
+          Value::compare_total(spec.range_bounds[spec.range_bounds.size() - 2],
+                               spec.range_bounds.back()) >= 0) {
+        throw ParseError("range partition bounds must be strictly ascending",
+                         bound_tok.loc);
+      }
+    } while (accept_symbol(","));
+    expect_symbol(")");
+    spec.partitions = spec.range_bounds.size() + 1;
+    if (spec.partitions > kMaxTablePartitions) {
+      throw ParseError(support::cat("at most ", kMaxTablePartitions,
+                                    " partitions are supported"),
+                       method_tok.loc);
+    }
+    return spec;
+  }
+
+  /// One literal range bound: a (possibly negated) number or a string.
+  Value parse_partition_bound() {
+    bool negative = false;
+    if (accept_symbol("-")) negative = true;
+    const Token& tok = peek();
+    switch (tok.kind) {
+      case TokenKind::kIntLit:
+        return Value::integer(negative ? -advance().int_value
+                                       : advance().int_value);
+      case TokenKind::kFloatLit:
+        return Value::real(negative ? -advance().float_value
+                                    : advance().float_value);
+      case TokenKind::kStringLit:
+        if (negative) break;
+        return Value::text(advance().text);
+      default:
+        break;
+    }
+    throw ParseError(support::cat("range partition bound must be a numeric or "
+                                  "string literal, got '",
+                                  tok.text, "'"),
+                     tok.loc);
   }
 
   Statement parse_insert() {
@@ -672,13 +791,7 @@ std::vector<Statement> parse_sql(std::string_view source) {
 }
 
 Statement parse_single(std::string_view source) {
-  std::vector<Statement> stmts = parse_sql(source);
-  if (stmts.size() != 1) {
-    throw ParseError(support::cat("expected exactly one statement, got ",
-                                  stmts.size()),
-                     {});
-  }
-  return std::move(stmts.front());
+  return Parser(source).parse_one();
 }
 
 }  // namespace kojak::db::sql

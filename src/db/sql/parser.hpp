@@ -13,7 +13,10 @@ namespace kojak::db::sql {
 /// multi-error recovery is reserved for the ASL front end).
 [[nodiscard]] std::vector<Statement> parse_sql(std::string_view source);
 
-/// Parses exactly one statement (trailing `;` optional).
+/// Parses exactly one statement (trailing `;` optional). A script with
+/// more than one statement is a diagnostic ParseError located at the start
+/// of the second statement — prepared statements are one statement each, so
+/// a silent first/last-statement pick would hide real caller bugs.
 [[nodiscard]] Statement parse_single(std::string_view source);
 
 }  // namespace kojak::db::sql

@@ -1,5 +1,8 @@
 #include "db/table.hpp"
 
+#include <algorithm>
+#include <queue>
+
 #include "support/error.hpp"
 #include "support/str.hpp"
 
@@ -7,28 +10,47 @@ namespace kojak::db {
 
 using support::EvalError;
 
-void Index::insert(const Value& key, std::size_t row_id) {
+// ---------------------------------------------------------------------------
+// Index
+
+Index::Index(std::string name, std::size_t column, Kind kind,
+             PartitionRouter router, bool routed)
+    : name_(std::move(name)),
+      column_(column),
+      kind_(kind),
+      router_(std::move(router)),
+      routed_(routed) {
   if (kind_ == Kind::kHash) {
-    hash_.emplace(key, row_id);
+    hash_.resize(router_.partitions());
   } else {
-    ordered_.emplace(key, row_id);
+    ordered_.resize(router_.partitions());
+  }
+}
+
+void Index::insert(const Value& key, std::size_t row_id) {
+  const std::size_t shard = row_id_partition(row_id);
+  if (kind_ == Kind::kHash) {
+    hash_.at(shard).emplace(key, row_id);
+  } else {
+    ordered_.at(shard).emplace(key, row_id);
   }
 }
 
 void Index::erase(const Value& key, std::size_t row_id) {
+  const std::size_t shard = row_id_partition(row_id);
   if (kind_ == Kind::kHash) {
-    auto [begin, end] = hash_.equal_range(key);
+    auto [begin, end] = hash_.at(shard).equal_range(key);
     for (auto it = begin; it != end; ++it) {
       if (it->second == row_id) {
-        hash_.erase(it);
+        hash_[shard].erase(it);
         return;
       }
     }
   } else {
-    auto [begin, end] = ordered_.equal_range(key);
+    auto [begin, end] = ordered_.at(shard).equal_range(key);
     for (auto it = begin; it != end; ++it) {
       if (it->second == row_id) {
-        ordered_.erase(it);
+        ordered_[shard].erase(it);
         return;
       }
     }
@@ -37,12 +59,18 @@ void Index::erase(const Value& key, std::size_t row_id) {
 
 std::vector<std::size_t> Index::equal_range(const Value& key) const {
   std::vector<std::size_t> out;
-  if (kind_ == Kind::kHash) {
-    auto [begin, end] = hash_.equal_range(key);
-    for (auto it = begin; it != end; ++it) out.push_back(it->second);
-  } else {
-    auto [begin, end] = ordered_.equal_range(key);
-    for (auto it = begin; it != end; ++it) out.push_back(it->second);
+  // The indexed column being the partition column means the heap router
+  // already decided which shard this key's rows live in: probe only it.
+  const std::size_t first = routed_ ? router_.route(key) : 0;
+  const std::size_t last = routed_ ? first + 1 : shard_count();
+  for (std::size_t shard = first; shard < last; ++shard) {
+    if (kind_ == Kind::kHash) {
+      auto [begin, end] = hash_[shard].equal_range(key);
+      for (auto it = begin; it != end; ++it) out.push_back(it->second);
+    } else {
+      auto [begin, end] = ordered_[shard].equal_range(key);
+      for (auto it = begin; it != end; ++it) out.push_back(it->second);
+    }
   }
   return out;
 }
@@ -53,17 +81,83 @@ std::vector<std::size_t> Index::range(const Value& lo, const Value& hi) const {
 
 std::vector<std::size_t> Index::range_open(const Value* lo,
                                            const Value* hi) const {
-  std::vector<std::size_t> out;
   if (kind_ != Kind::kOrdered) {
     throw EvalError(support::cat("index ", name_, " does not support range scans"));
   }
-  auto it = lo != nullptr ? ordered_.lower_bound(*lo) : ordered_.begin();
-  for (; it != ordered_.end(); ++it) {
-    if (it->first.is_null()) continue;
-    if (hi != nullptr && Value::compare_total(it->first, *hi) > 0) break;
-    out.push_back(it->second);
+  const auto scan_shard = [&](const OrderedShard& shard, auto&& emit) {
+    auto it = lo != nullptr ? shard.lower_bound(*lo) : shard.begin();
+    for (; it != shard.end(); ++it) {
+      if (it->first.is_null()) continue;
+      if (hi != nullptr && Value::compare_total(it->first, *hi) > 0) break;
+      emit(it->first, it->second);
+    }
+  };
+
+  std::vector<std::size_t> out;
+  if (ordered_.size() == 1) {
+    scan_shard(ordered_[0], [&](const Value&, std::size_t id) {
+      out.push_back(id);
+    });
+    return out;
+  }
+
+  // Multi-shard: each shard yields its slice already in key order; a k-way
+  // heap merge over (key pointer, shard) produces global key order without
+  // copying keys, and the shard-index tie-break keeps equal keys in
+  // partition order — the deterministic merge the scan contract promises.
+  std::vector<std::vector<std::pair<const Value*, std::size_t>>> slices(
+      ordered_.size());
+  std::size_t total = 0;
+  for (std::size_t shard = 0; shard < ordered_.size(); ++shard) {
+    scan_shard(ordered_[shard], [&](const Value& key, std::size_t id) {
+      slices[shard].emplace_back(&key, id);
+    });
+    total += slices[shard].size();
+  }
+  struct Head {
+    std::size_t shard;
+    std::size_t pos;
+  };
+  const auto after = [&](const Head& a, const Head& b) {
+    const int cmp = Value::compare_total(*slices[a.shard][a.pos].first,
+                                         *slices[b.shard][b.pos].first);
+    if (cmp != 0) return cmp > 0;
+    return a.shard > b.shard;
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(after)> heap(after);
+  for (std::size_t shard = 0; shard < slices.size(); ++shard) {
+    if (!slices[shard].empty()) heap.push({shard, 0});
+  }
+  out.reserve(total);
+  while (!heap.empty()) {
+    const Head head = heap.top();
+    heap.pop();
+    out.push_back(slices[head.shard][head.pos].second);
+    if (head.pos + 1 < slices[head.shard].size()) {
+      heap.push({head.shard, head.pos + 1});
+    }
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Table
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  if (const auto& spec = schema_.partition()) {
+    // TableSchema::set_partition is the only way a spec gets here and it
+    // already validated the column, count, and bounds — just resolve the
+    // routing column.
+    partition_column_ = schema_.find_column(spec->column);
+    router_ = PartitionRouter(*spec);
+  }
+  parts_.resize(router_.partitions());
+}
+
+std::size_t Table::heap_size() const noexcept {
+  std::size_t total = 0;
+  for (const PartitionStore& part : parts_) total += part.rows.size();
+  return total;
 }
 
 Row Table::validate(Row row) const {
@@ -83,6 +177,24 @@ Row Table::validate(Row row) const {
   return row;
 }
 
+std::size_t Table::place_row(std::size_t partition, Row row) {
+  PartitionStore& part = parts_[partition];
+  const std::size_t local = part.rows.size();
+  if (local >= kRowIdLocalMask) {
+    throw EvalError(support::cat("partition ", partition, " of table ",
+                                 schema_.name(), " is full"));
+  }
+  const std::size_t row_id = make_row_id(partition, local);
+  part.rows.push_back(std::move(row));
+  part.live.push_back(true);
+  ++part.live_count;
+  ++live_count_;
+  for (const auto& index : indexes_) {
+    index->insert(part.rows.back()[index->column()], row_id);
+  }
+  return row_id;
+}
+
 std::size_t Table::insert(Row row) {
   row = validate(std::move(row));
   if (const auto pk = schema_.primary_key()) {
@@ -93,23 +205,19 @@ std::size_t Table::insert(Row row) {
                                      schema_.name()));
       }
     } else {
-      for (std::size_t id = 0; id < rows_.size(); ++id) {
-        if (live_[id] && rows_[id][*pk].equals_total(row[*pk])) {
-          throw EvalError(support::cat("duplicate primary key ",
-                                       row[*pk].to_display(), " in table ",
-                                       schema_.name()));
+      for (const PartitionStore& part : parts_) {
+        for (std::size_t local = 0; local < part.rows.size(); ++local) {
+          if (part.live[local] && part.rows[local][*pk].equals_total(row[*pk])) {
+            throw EvalError(support::cat("duplicate primary key ",
+                                         row[*pk].to_display(), " in table ",
+                                         schema_.name()));
+          }
         }
       }
     }
   }
-  const std::size_t row_id = rows_.size();
-  rows_.push_back(std::move(row));
-  live_.push_back(true);
-  ++live_count_;
-  for (const auto& index : indexes_) {
-    index->insert(rows_.back()[index->column()], row_id);
-  }
-  return row_id;
+  const std::size_t target = route_row(row);
+  return place_row(target, std::move(row));
 }
 
 void Table::erase(std::size_t row_id) {
@@ -117,10 +225,13 @@ void Table::erase(std::size_t row_id) {
     throw EvalError(support::cat("row ", row_id, " is not live in table ",
                                  schema_.name()));
   }
+  PartitionStore& part = parts_[row_id_partition(row_id)];
+  const std::size_t local = row_id_local(row_id);
   for (const auto& index : indexes_) {
-    index->erase(rows_[row_id][index->column()], row_id);
+    index->erase(part.rows[local][index->column()], row_id);
   }
-  live_[row_id] = false;
+  part.live[local] = false;
+  --part.live_count;
   --live_count_;
 }
 
@@ -130,21 +241,44 @@ void Table::update(std::size_t row_id, Row row) {
                                  schema_.name()));
   }
   row = validate(std::move(row));
+  const std::size_t partition = row_id_partition(row_id);
+  const std::size_t target = route_row(row);
+  PartitionStore& part = parts_[partition];
+  const std::size_t local = row_id_local(row_id);
   for (const auto& index : indexes_) {
-    index->erase(rows_[row_id][index->column()], row_id);
+    index->erase(part.rows[local][index->column()], row_id);
   }
-  rows_[row_id] = std::move(row);
-  for (const auto& index : indexes_) {
-    index->insert(rows_[row_id][index->column()], row_id);
+  if (target == partition) {
+    part.rows[local] = std::move(row);
+    for (const auto& index : indexes_) {
+      index->insert(part.rows[local][index->column()], row_id);
+    }
+    return;
   }
+  // The partition column changed its routing: the row moves. The old id
+  // becomes a tombstone; validation already ran, so the move skips insert()
+  // (whose duplicate-PK probe would find the row itself).
+  part.live[local] = false;
+  --part.live_count;
+  --live_count_;
+  place_row(target, std::move(row));
 }
 
 std::vector<std::size_t> Table::live_rows() const {
   std::vector<std::size_t> out;
   out.reserve(live_count_);
-  for (std::size_t id = 0; id < rows_.size(); ++id) {
-    if (live_[id]) out.push_back(id);
-  }
+  for_each_live_row([&](std::size_t row_id, const Row&) {
+    out.push_back(row_id);
+  });
+  return out;
+}
+
+std::vector<std::size_t> Table::live_rows_in(std::size_t partition) const {
+  std::vector<std::size_t> out;
+  out.reserve(parts_.at(partition).live_count);
+  for_each_live_row_in(partition, [&](std::size_t row_id, const Row&) {
+    out.push_back(row_id);
+  });
   return out;
 }
 
@@ -153,10 +287,12 @@ Index& Table::create_index(std::string name, std::size_t column, Index::Kind kin
     throw EvalError(support::cat("index column ", column, " out of range for ",
                                  schema_.name()));
   }
-  auto index = std::make_unique<Index>(std::move(name), column, kind);
-  for (std::size_t id = 0; id < rows_.size(); ++id) {
-    if (live_[id]) index->insert(rows_[id][column], id);
-  }
+  auto index = std::make_unique<Index>(
+      std::move(name), column, kind, router_,
+      partition_column_.has_value() && *partition_column_ == column);
+  for_each_live_row([&](std::size_t row_id, const Row& row) {
+    index->insert(row[column], row_id);
+  });
   indexes_.push_back(std::move(index));
   return *indexes_.back();
 }

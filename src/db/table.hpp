@@ -12,24 +12,67 @@
 
 namespace kojak::db {
 
+class Table;
+
+// ---------------------------------------------------------------------------
+// Row-id encoding. A row id is stable for the lifetime of the row and
+// encodes (partition, local offset): the high kRowIdPartitionBits carry the
+// partition index, the remaining low bits the offset into that partition's
+// heap. Partition 0 therefore encodes to the plain local offset, so an
+// unpartitioned table keeps the exact ids it always had.
+
+inline constexpr std::size_t kRowIdPartitionBits = 10;  // kMaxTablePartitions
+inline constexpr std::size_t kRowIdLocalBits =
+    sizeof(std::size_t) * 8 - kRowIdPartitionBits;
+inline constexpr std::size_t kRowIdLocalMask =
+    (std::size_t{1} << kRowIdLocalBits) - 1;
+
+[[nodiscard]] constexpr std::size_t make_row_id(std::size_t partition,
+                                                std::size_t local) noexcept {
+  return (partition << kRowIdLocalBits) | local;
+}
+[[nodiscard]] constexpr std::size_t row_id_partition(std::size_t row_id) noexcept {
+  return row_id >> kRowIdLocalBits;
+}
+[[nodiscard]] constexpr std::size_t row_id_local(std::size_t row_id) noexcept {
+  return row_id & kRowIdLocalMask;
+}
+
 /// Secondary index over one column. Hash indexes serve equality probes,
 /// ordered indexes additionally serve range scans. Indexes store row ids
 /// into the table heap and are maintained on insert/update/delete.
+///
+/// Under table partitioning the index is itself sharded: one container per
+/// partition, keyed off the row id's partition bits, so partition scans and
+/// drops never touch foreign shards. When the indexed column IS the
+/// partition column, equality probes route to exactly one shard (the shard
+/// the heap's router put the key in); otherwise probes aggregate across
+/// shards in partition order. Range results merge shard-local key order
+/// into one global key order (stable: equal keys keep partition order), so
+/// a single-partition table behaves byte-for-byte like the pre-partitioning
+/// index.
 class Index {
  public:
   enum class Kind { kHash, kOrdered };
 
-  Index(std::string name, std::size_t column, Kind kind)
-      : name_(std::move(name)), column_(column), kind_(kind) {}
+  /// `router` must agree with the owning table's heap routing; `routed`
+  /// marks the indexed column as the table's partition column.
+  Index(std::string name, std::size_t column, Kind kind,
+        PartitionRouter router = {}, bool routed = false);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] std::size_t column() const noexcept { return column_; }
   [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return router_.partitions();
+  }
 
   void insert(const Value& key, std::size_t row_id);
   void erase(const Value& key, std::size_t row_id);
 
-  /// Row ids whose key equals `key` (total-order equality).
+  /// Row ids whose key equals `key` (total-order equality). Routes to one
+  /// shard when the indexed column is the partition column; otherwise
+  /// aggregates shards in partition order.
   [[nodiscard]] std::vector<std::size_t> equal_range(const Value& key) const;
 
   /// Row ids with lo <= key <= hi under the total order; only for kOrdered.
@@ -37,7 +80,8 @@ class Index {
 
   /// Row ids within the optionally-open interval [lo, hi] (nullptr = no
   /// bound on that side); only for kOrdered. NULL keys are never returned
-  /// (SQL comparisons with NULL are unknown).
+  /// (SQL comparisons with NULL are unknown). Results are in global key
+  /// order regardless of sharding.
   [[nodiscard]] std::vector<std::size_t> range_open(const Value* lo,
                                                     const Value* hi) const;
 
@@ -47,40 +91,96 @@ class Index {
       return Value::compare_total(a, b) < 0;
     }
   };
+  using HashShard =
+      std::unordered_multimap<Value, std::size_t, ValueHash, ValueEqTotal>;
+  using OrderedShard = std::multimap<Value, std::size_t, TotalLess>;
 
   std::string name_;
   std::size_t column_;
   Kind kind_;
-  std::unordered_multimap<Value, std::size_t, ValueHash, ValueEqTotal> hash_;
-  std::multimap<Value, std::size_t, TotalLess> ordered_;
+  PartitionRouter router_;
+  bool routed_ = false;
+  std::vector<HashShard> hash_;
+  std::vector<OrderedShard> ordered_;
 };
 
-/// Heap-organized table. Deleted rows become tombstones; `live` tracks
-/// validity so indexes can keep stable row ids without compaction.
+/// Partitioned, heap-organized table. The schema's PartitionSpec (absent =
+/// one partition) hashes or range-routes one column across N partitions;
+/// each partition owns its own row heap, tombstone bitmap, and index
+/// shards. `Table` is the coordinating facade: row ids encode
+/// (partition, local offset) and stay stable without compaction, exactly as
+/// the single-heap table's offsets did (partition 0 ids ARE plain offsets).
+/// Deleted rows become tombstones; `live` tracks validity per partition.
 class Table {
  public:
-  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+  explicit Table(TableSchema schema);
 
   [[nodiscard]] const TableSchema& schema() const noexcept { return schema_; }
   [[nodiscard]] std::size_t live_row_count() const noexcept { return live_count_; }
-  [[nodiscard]] std::size_t heap_size() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t heap_size() const noexcept;
+
+  // --- partition topology ---------------------------------------------------
+  [[nodiscard]] std::size_t partition_count() const noexcept {
+    return parts_.size();
+  }
+  /// Resolved index of the partition column; nullopt when unpartitioned.
+  [[nodiscard]] std::optional<std::size_t> partition_column() const noexcept {
+    return partition_column_;
+  }
+  /// Partition a value of the partition column routes to (0 when
+  /// unpartitioned; NULLs route to 0).
+  [[nodiscard]] std::size_t route(const Value& v) const noexcept {
+    return router_.route(v);
+  }
+  [[nodiscard]] std::size_t partition_live_count(std::size_t partition) const {
+    return parts_.at(partition).live_count;
+  }
 
   /// Validates arity, coerces values to column types, enforces NOT NULL and
-  /// primary-key uniqueness, appends the row, updates indexes. Returns the
-  /// new row id.
+  /// primary-key uniqueness, routes the row to its partition, appends it,
+  /// updates indexes. Returns the new row id.
   std::size_t insert(Row row);
 
   [[nodiscard]] bool is_live(std::size_t row_id) const {
-    return row_id < rows_.size() && live_[row_id];
+    const std::size_t p = row_id_partition(row_id);
+    const std::size_t local = row_id_local(row_id);
+    return p < parts_.size() && local < parts_[p].rows.size() &&
+           parts_[p].live[local];
   }
-  [[nodiscard]] const Row& row(std::size_t row_id) const { return rows_.at(row_id); }
+  [[nodiscard]] const Row& row(std::size_t row_id) const {
+    return parts_.at(row_id_partition(row_id)).rows.at(row_id_local(row_id));
+  }
 
   void erase(std::size_t row_id);
-  /// Replaces the row in place (same validation as insert).
+  /// Replaces the row in place (same validation as insert). When the new
+  /// value of the partition column routes elsewhere, the row moves: the old
+  /// id dies and the row re-appears under a fresh id in the target
+  /// partition (indexes follow).
   void update(std::size_t row_id, Row row);
 
-  /// All live row ids in heap order.
+  /// All live row ids: partitions in order, heap order within each.
   [[nodiscard]] std::vector<std::size_t> live_rows() const;
+  /// Live row ids of one partition, in heap order.
+  [[nodiscard]] std::vector<std::size_t> live_rows_in(std::size_t partition) const;
+
+  /// Zero-copy scan: fn(row_id, row) for every live row, partitions in
+  /// order, heap order within each. The hot scan path — no row-id vector is
+  /// materialized. `fn` must not mutate the table.
+  template <typename Fn>
+  void for_each_live_row(Fn&& fn) const {
+    for (std::size_t p = 0; p < parts_.size(); ++p) {
+      for_each_live_row_in(p, fn);
+    }
+  }
+  /// The same over a single partition (parallel partition scans give each
+  /// worker one partition).
+  template <typename Fn>
+  void for_each_live_row_in(std::size_t partition, Fn&& fn) const {
+    const PartitionStore& part = parts_.at(partition);
+    for (std::size_t local = 0; local < part.rows.size(); ++local) {
+      if (part.live[local]) fn(make_row_id(partition, local), part.rows[local]);
+    }
+  }
 
   Index& create_index(std::string name, std::size_t column, Index::Kind kind);
   [[nodiscard]] const Index* find_index_on(std::size_t column) const;
@@ -89,11 +189,24 @@ class Table {
   }
 
  private:
+  /// One partition's storage: row heap + tombstone bitmap.
+  struct PartitionStore {
+    std::vector<Row> rows;
+    std::vector<bool> live;
+    std::size_t live_count = 0;
+  };
+
   Row validate(Row row) const;
+  [[nodiscard]] std::size_t route_row(const Row& row) const noexcept {
+    return partition_column_ ? router_.route(row[*partition_column_]) : 0;
+  }
+  /// Appends an already-validated row to `partition`; returns the new id.
+  std::size_t place_row(std::size_t partition, Row row);
 
   TableSchema schema_;
-  std::vector<Row> rows_;
-  std::vector<bool> live_;
+  PartitionRouter router_;
+  std::optional<std::size_t> partition_column_;
+  std::vector<PartitionStore> parts_;
   std::size_t live_count_ = 0;
   std::vector<std::unique_ptr<Index>> indexes_;
 };

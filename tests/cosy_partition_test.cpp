@@ -1,0 +1,170 @@
+// Partitioned-store differential: hash-partitioning Region_TotTimes /
+// Region_TypTimes by region (cosy::SchemaOptions) must be invisible to every
+// analysis backend — byte-identical reports against the unpartitioned seed
+// layout across all 13 properties, every backend family, and 1/2/8 worker
+// threads — while the engine-side partition counters prove the partitioned
+// layout actually scans and prunes differently under the hood.
+
+#include <gtest/gtest.h>
+
+#include "cosy/analyzer.hpp"
+#include "cosy/db_import.hpp"
+#include "cosy/eval_backend.hpp"
+#include "cosy/schema_gen.hpp"
+#include "cosy/specs.hpp"
+#include "cosy/sql_eval.hpp"
+#include "cosy/store_builder.hpp"
+#include "db/connection_pool.hpp"
+#include "perf/simulator.hpp"
+#include "perf/workloads.hpp"
+#include "support/str.hpp"
+
+namespace asl = kojak::asl;
+namespace cosy = kojak::cosy;
+namespace db = kojak::db;
+namespace perf = kojak::perf;
+
+namespace {
+
+/// One experiment imported twice: into the seed single-heap layout and into
+/// the partitioned layout (8 partitions per region timing junction).
+struct TwinWorld {
+  asl::Model model = cosy::load_cosy_model();
+  asl::ObjectStore store{model};
+  cosy::StoreHandles handles;
+  db::Database flat;
+  db::Database partitioned;
+
+  explicit TwinWorld(const perf::AppSpec& app, std::vector<int> pes,
+                     std::uint64_t seed = 1) {
+    perf::SimulationOptions options;
+    options.seed = seed;
+    const perf::ExperimentData data =
+        perf::simulate_experiment(app, pes, options);
+    handles = cosy::build_store(store, data);
+    cosy::create_schema(flat, model, {.region_timing_partitions = 1});
+    cosy::create_schema(partitioned, model, {.region_timing_partitions = 8});
+    for (db::Database* database : {&flat, &partitioned}) {
+      db::Connection conn(*database, db::ConnectionProfile::in_memory());
+      cosy::import_store(conn, store);
+    }
+  }
+};
+
+/// Byte-exact report rendering (ranked findings plus not-applicable audits
+/// including notes): one backend over two physical layouts promises full
+/// identity, prose included.
+std::string render_exact(const cosy::AnalysisReport& report) {
+  std::string out = report.to_table(0);
+  for (const cosy::Finding& f : report.not_applicable) {
+    out += kojak::support::cat("NA ", f.property, "@", f.context, "!",
+                               f.result.note, "\n");
+  }
+  return out;
+}
+
+cosy::AnalysisReport analyze(TwinWorld& world, db::Database& database,
+                             const std::string& backend, std::size_t threads) {
+  cosy::AnalyzerConfig config;
+  config.backend = backend;
+  config.threads = threads;
+  if (backend == "sql-sharded") {
+    db::ConnectionPool pool(database, db::ConnectionProfile::in_memory(),
+                            threads == 0 ? 2 : threads);
+    cosy::Analyzer analyzer(world.model, world.store, world.handles,
+                            /*conn=*/nullptr, &pool);
+    return analyzer.analyze(2, config);
+  }
+  db::Connection conn(database, db::ConnectionProfile::in_memory());
+  cosy::Analyzer analyzer(world.model, world.store, world.handles, &conn);
+  return analyzer.analyze(2, config);
+}
+
+}  // namespace
+
+TEST(PartitionedStore, SchemaPartitionsRegionTimingJunctions) {
+  const asl::Model model = cosy::load_cosy_model();
+  // Default layout: 4 hash partitions by owner on the region timing
+  // junctions, single heaps everywhere else.
+  db::Database database;
+  cosy::create_schema(database, model);
+  EXPECT_EQ(database.table("Region_TypTimes").partition_count(), 4u);
+  EXPECT_EQ(database.table("Region_TotTimes").partition_count(), 4u);
+  EXPECT_EQ(database.table("Region").partition_count(), 1u);
+  EXPECT_EQ(database.table("TypedTiming").partition_count(), 1u);
+  const auto& spec = database.table("Region_TypTimes").schema().partition();
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->column, "owner");
+
+  // The knob turns it off (seed layout) or up.
+  db::Database flat;
+  cosy::create_schema(flat, model, {.region_timing_partitions = 1});
+  EXPECT_EQ(flat.table("Region_TypTimes").partition_count(), 1u);
+}
+
+TEST(PartitionedStore, ExecCountersSeePartitionedScans) {
+  TwinWorld world(perf::workloads::imbalanced_ocean(), {1, 4});
+  world.partitioned.set_scan_config({.threads = 4, .min_parallel_rows = 1});
+
+  // A whole-table scan (the modulo filter defeats every index) must touch
+  // all 8 partitions and go through the parallel path...
+  const char* scan = "SELECT COUNT(*) FROM Region_TypTimes WHERE member % 3 = 0";
+  const auto before = world.partitioned.exec_stats();
+  const db::QueryResult partitioned = world.partitioned.execute(scan);
+  const auto after = world.partitioned.exec_stats();
+  EXPECT_EQ(after.partition_scans - before.partition_scans, 8u);
+  EXPECT_GE(after.parallel_scan_batches - before.parallel_scan_batches, 1u);
+  // ...and still count exactly what the seed layout counts.
+  EXPECT_EQ(partitioned.scalar().as_int(),
+            world.flat.execute(scan).scalar().as_int());
+
+  // Per-region probes stay single-shard: the owner index routes, so no heap
+  // partitions are scanned at all.
+  const asl::ObjectId region = world.handles.regions.begin()->second;
+  const auto probe_before = world.partitioned.exec_stats();
+  world.partitioned.execute(kojak::support::cat(
+      "SELECT COUNT(*) FROM Region_TypTimes WHERE owner = ", region));
+  const auto probe_after = world.partitioned.exec_stats();
+  EXPECT_EQ(probe_after.partition_scans - probe_before.partition_scans, 0u);
+}
+
+TEST(PartitionedStore, AllBackendsByteIdenticalAcrossLayouts) {
+  ASSERT_EQ(cosy::load_cosy_model().properties().size(), 13u);
+  TwinWorld world(perf::workloads::imbalanced_ocean(), {1, 4, 16});
+  // Force engine-side parallel scans on the partitioned twin so the
+  // differential also covers the parallel merge path.
+  world.partitioned.set_scan_config({.threads = 4, .min_parallel_rows = 1});
+
+  for (const char* backend :
+       {"interpreter", "sql-pushdown", "sql-whole-condition",
+        "sql-whole-condition-plain", "client-fetch", "bulk-fetch"}) {
+    const cosy::AnalysisReport flat = analyze(world, world.flat, backend, 0);
+    const cosy::AnalysisReport part =
+        analyze(world, world.partitioned, backend, 0);
+    EXPECT_EQ(render_exact(flat), render_exact(part)) << backend;
+    EXPECT_FALSE(flat.findings.empty()) << backend;
+  }
+}
+
+TEST(PartitionedStore, ShardedBackendsByteIdenticalAtAnyThreadCount) {
+  TwinWorld world(perf::workloads::scalable_stencil(), {1, 4, 16}, 2);
+  world.partitioned.set_scan_config({.threads = 4, .min_parallel_rows = 1});
+
+  // The reference: the serial interpreter over the in-memory store.
+  const std::string reference = render_exact(
+      analyze(world, world.flat, "interpreter", 0));
+
+  for (const char* backend : {"interpreter-sharded", "sql-sharded"}) {
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      const std::string flat =
+          render_exact(analyze(world, world.flat, backend, threads));
+      const std::string part =
+          render_exact(analyze(world, world.partitioned, backend, threads));
+      EXPECT_EQ(flat, part) << backend << " @ " << threads;
+      if (std::string_view(backend) == "interpreter-sharded") {
+        // Store-backed: byte-exact against the serial interpreter too.
+        EXPECT_EQ(flat, reference) << backend << " @ " << threads;
+      }
+    }
+  }
+}

@@ -335,6 +335,95 @@ INSTANTIATE_TEST_SUITE_P(
         BadSql{"two_statements_no_semi", "SELECT 1 SELECT 2"}),
     [](const auto& info) { return info.param.label; });
 
-TEST(SqlParser, ParseSingleRejectsMultiple) {
-  EXPECT_THROW((void)sql::parse_single("SELECT 1; SELECT 2"), ParseError);
+// ---------------------------------------------------------------------------
+// Partitioned-table DDL
+
+TEST(SqlParser, PartitionByHashClause) {
+  const auto stmt = sql::parse_single(
+      "CREATE TABLE t (a INTEGER, b TEXT) PARTITION BY HASH(b) PARTITIONS 8");
+  const auto& create = std::get<sql::CreateTableStmt>(stmt);
+  ASSERT_TRUE(create.schema.partition().has_value());
+  const kojak::db::PartitionSpec& spec = *create.schema.partition();
+  EXPECT_EQ(spec.method, kojak::db::PartitionSpec::Method::kHash);
+  EXPECT_EQ(spec.column, "b");
+  EXPECT_EQ(spec.partitions, 8u);
+}
+
+TEST(SqlParser, PartitionByRangeClause) {
+  const auto stmt = sql::parse_single(
+      "CREATE TABLE t (a INTEGER, b TEXT) "
+      "PARTITION BY RANGE(a) VALUES (-5, 2.5, 10)");
+  const auto& create = std::get<sql::CreateTableStmt>(stmt);
+  ASSERT_TRUE(create.schema.partition().has_value());
+  const kojak::db::PartitionSpec& spec = *create.schema.partition();
+  EXPECT_EQ(spec.method, kojak::db::PartitionSpec::Method::kRange);
+  EXPECT_EQ(spec.column, "a");
+  EXPECT_EQ(spec.partitions, 4u);  // 3 bounds + overflow
+  ASSERT_EQ(spec.range_bounds.size(), 3u);
+  EXPECT_EQ(spec.range_bounds[0].as_int(), -5);
+  EXPECT_DOUBLE_EQ(spec.range_bounds[1].as_double(), 2.5);
+}
+
+TEST(SqlParser, PartitionClauseDiagnostics) {
+  // Unknown partition column, located at the column token.
+  try {
+    (void)sql::parse_single(
+        "CREATE TABLE t (a INTEGER) PARTITION BY HASH(nope) PARTITIONS 4");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown partition column 'nope'"),
+              std::string::npos)
+        << e.what();
+    EXPECT_EQ(e.loc().line, 1u);
+  }
+  // Count must be a positive integer within the supported cap.
+  EXPECT_THROW((void)sql::parse_single(
+                   "CREATE TABLE t (a INTEGER) PARTITION BY HASH(a) "
+                   "PARTITIONS 0"),
+               ParseError);
+  EXPECT_THROW((void)sql::parse_single(
+                   "CREATE TABLE t (a INTEGER) PARTITION BY HASH(a) "
+                   "PARTITIONS 99999"),
+               ParseError);
+  // Only HASH and RANGE methods exist.
+  EXPECT_THROW((void)sql::parse_single(
+                   "CREATE TABLE t (a INTEGER) PARTITION BY LIST(a) "
+                   "PARTITIONS 2"),
+               ParseError);
+  // Range bounds: literals only, strictly ascending.
+  EXPECT_THROW((void)sql::parse_single(
+                   "CREATE TABLE t (a INTEGER) PARTITION BY RANGE(a) "
+                   "VALUES (20, 10)"),
+               ParseError);
+  EXPECT_THROW((void)sql::parse_single(
+                   "CREATE TABLE t (a INTEGER) PARTITION BY RANGE(a) "
+                   "VALUES (5, 5)"),
+               ParseError);
+  EXPECT_THROW((void)sql::parse_single(
+                   "CREATE TABLE t (a INTEGER) PARTITION BY RANGE(a) "
+                   "VALUES (a + 1)"),
+               ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// parse_single: exactly one statement
+
+TEST(SqlParser, ParseSingleRejectsMultiStatementScripts) {
+  // Silently taking the first (or last) statement of a script is how
+  // prepare() bugs hide; the second statement must be a located error.
+  try {
+    (void)sql::parse_single("SELECT 1; SELECT 2");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("exactly one statement"),
+              std::string::npos)
+        << e.what();
+    EXPECT_EQ(e.loc().line, 1u);
+    EXPECT_EQ(e.loc().column, 11u);  // anchored at the second SELECT
+  }
+  // Leading/trailing semicolons around ONE statement stay legal.
+  EXPECT_NO_THROW((void)sql::parse_single("SELECT 1;"));
+  EXPECT_NO_THROW((void)sql::parse_single(";;SELECT 1;;"));
+  EXPECT_THROW((void)sql::parse_single(""), ParseError);
+  EXPECT_THROW((void)sql::parse_single(";"), ParseError);
 }

@@ -262,3 +262,274 @@ TEST(RangeScan, RangeOpenDirect) {
   EXPECT_EQ(index->range_open(nullptr, &hi).size(), 3u);  // 0, 1, 2
   EXPECT_EQ(index->range_open(nullptr, nullptr).size(), 10u);
 }
+
+// ---------------------------------------------------------------------------
+// NULL keys in ordered-index range scans
+
+TEST(Index, RangeOpenExcludesNullKeys) {
+  Table table(people_schema());
+  for (int i = 0; i < 12; ++i) {
+    table.insert({Value::integer(i), Value::text("p"),
+                  i % 3 == 0 ? Value::null() : Value::integer(i)});
+  }
+  table.create_index("ord", 2, Index::Kind::kOrdered);
+  const Index* index = table.find_index_on(2);
+  // 4 of 12 keys are NULL; no range phrasing may ever return them.
+  EXPECT_EQ(index->range_open(nullptr, nullptr).size(), 8u);
+  const Value lo = Value::integer(0);
+  EXPECT_EQ(index->range_open(&lo, nullptr).size(), 8u);
+  const Value hi = Value::integer(100);
+  EXPECT_EQ(index->range_open(nullptr, &hi).size(), 8u);
+  EXPECT_EQ(index->range(lo, hi).size(), 8u);
+  for (const std::size_t id : index->range_open(nullptr, nullptr)) {
+    EXPECT_FALSE(table.row(id)[2].is_null());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned storage
+
+namespace {
+
+/// people schema hash-partitioned on the age column (index 2).
+TableSchema hash_partitioned_schema(std::size_t partitions) {
+  TableSchema schema = people_schema();
+  kdb::PartitionSpec spec;
+  spec.method = kdb::PartitionSpec::Method::kHash;
+  spec.column = "age";
+  spec.partitions = partitions;
+  schema.set_partition(std::move(spec));
+  return schema;
+}
+
+}  // namespace
+
+TEST(Partition, RoutingIsDeterministicAndNullSafe) {
+  Table table(hash_partitioned_schema(4));
+  EXPECT_EQ(table.partition_count(), 4u);
+  EXPECT_EQ(table.partition_column(), 2u);
+  for (int v = 0; v < 50; ++v) {
+    const std::size_t p = table.route(Value::integer(v));
+    EXPECT_LT(p, 4u);
+    EXPECT_EQ(p, table.route(Value::integer(v)));
+  }
+  EXPECT_EQ(table.route(Value::null()), 0u);
+}
+
+TEST(Partition, RangeRoutingFollowsBounds) {
+  TableSchema schema = people_schema();
+  kdb::PartitionSpec spec;
+  spec.method = kdb::PartitionSpec::Method::kRange;
+  spec.column = "age";
+  spec.range_bounds = {Value::integer(10), Value::integer(20)};
+  schema.set_partition(std::move(spec));
+  Table table(std::move(schema));
+  EXPECT_EQ(table.partition_count(), 3u);
+  EXPECT_EQ(table.route(Value::integer(-5)), 0u);
+  EXPECT_EQ(table.route(Value::integer(10)), 0u);  // inclusive upper bound
+  EXPECT_EQ(table.route(Value::integer(11)), 1u);
+  EXPECT_EQ(table.route(Value::integer(20)), 1u);
+  EXPECT_EQ(table.route(Value::integer(21)), 2u);  // overflow partition
+  EXPECT_EQ(table.route(Value::null()), 0u);
+}
+
+TEST(Partition, BoundsMustAscend) {
+  TableSchema schema = people_schema();
+  kdb::PartitionSpec spec;
+  spec.method = kdb::PartitionSpec::Method::kRange;
+  spec.column = "age";
+  spec.range_bounds = {Value::integer(20), Value::integer(10)};
+  EXPECT_THROW(schema.set_partition(std::move(spec)), EvalError);
+  kdb::PartitionSpec unknown;
+  unknown.column = "nope";
+  unknown.partitions = 2;
+  EXPECT_THROW(schema.set_partition(std::move(unknown)), EvalError);
+}
+
+TEST(Partition, RowIdsEncodePartitionAndStayStable) {
+  Table table(hash_partitioned_schema(4));
+  std::vector<std::size_t> ids;
+  for (int i = 0; i < 40; ++i) {
+    ids.push_back(table.insert(
+        {Value::integer(i), Value::text("p"), Value::integer(i * 7)}));
+  }
+  EXPECT_EQ(table.live_row_count(), 40u);
+  EXPECT_EQ(table.heap_size(), 40u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    // The id's partition bits must agree with the router.
+    EXPECT_EQ(kdb::row_id_partition(ids[i]),
+              table.route(Value::integer(static_cast<int>(i) * 7)));
+    EXPECT_TRUE(table.is_live(ids[i]));
+    EXPECT_EQ(table.row(ids[i])[0].as_int(), static_cast<int>(i));
+  }
+  // Tombstoning one row leaves every other id untouched.
+  table.erase(ids[17]);
+  EXPECT_FALSE(table.is_live(ids[17]));
+  EXPECT_EQ(table.live_row_count(), 39u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i == 17) continue;
+    EXPECT_TRUE(table.is_live(ids[i]));
+  }
+  // live_rows is partition-major: partition indices never decrease.
+  const std::vector<std::size_t> live = table.live_rows();
+  EXPECT_EQ(live.size(), 39u);
+  for (std::size_t i = 1; i < live.size(); ++i) {
+    EXPECT_LE(kdb::row_id_partition(live[i - 1]),
+              kdb::row_id_partition(live[i]));
+  }
+}
+
+TEST(Partition, SinglePartitionKeepsPlainOffsets) {
+  // Partition 0 encodes to the local offset, so an unpartitioned table (and
+  // partition 0 of any table) keeps the seed's id contract bit for bit.
+  Table table = seeded_table();
+  EXPECT_EQ(table.partition_count(), 1u);
+  EXPECT_EQ(table.insert({Value::integer(9), Value::text("x"),
+                          Value::integer(1)}),
+            3u);
+}
+
+TEST(Partition, IndexMaintainedAcrossMutations) {
+  Table table(hash_partitioned_schema(4));
+  table.create_index("by_name", 1, Index::Kind::kHash);
+  for (int i = 0; i < 30; ++i) {
+    table.insert({Value::integer(i), Value::text(i % 2 == 0 ? "even" : "odd"),
+                  Value::integer(i)});
+  }
+  const Index* index = table.find_index_on(1);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->shard_count(), 4u);
+  EXPECT_EQ(index->equal_range(Value::text("even")).size(), 15u);
+
+  // Erase through the index-maintenance path.
+  const auto evens = index->equal_range(Value::text("even"));
+  table.erase(evens[0]);
+  EXPECT_EQ(index->equal_range(Value::text("even")).size(), 14u);
+
+  // In-place update (partition column unchanged) re-keys the index.
+  const auto odds = index->equal_range(Value::text("odd"));
+  const kdb::Row& row = table.row(odds[0]);
+  table.update(odds[0],
+               {row[0], Value::text("even"), row[2]});
+  EXPECT_EQ(index->equal_range(Value::text("even")).size(), 15u);
+  EXPECT_EQ(index->equal_range(Value::text("odd")).size(), 14u);
+}
+
+TEST(Partition, UpdateMovesRowAcrossPartitions) {
+  Table table(hash_partitioned_schema(8));
+  table.create_index("by_name", 1, Index::Kind::kHash);
+  const std::size_t id =
+      table.insert({Value::integer(1), Value::text("mover"), Value::integer(3)});
+  // Find an age value that routes to a different partition than 3 does.
+  int other = -1;
+  for (int v = 4; v < 100; ++v) {
+    if (table.route(Value::integer(v)) != kdb::row_id_partition(id)) {
+      other = v;
+      break;
+    }
+  }
+  ASSERT_NE(other, -1);
+  table.update(id, {Value::integer(1), Value::text("mover"),
+                    Value::integer(other)});
+  // The old id died; the row lives on in the target partition and the
+  // index followed it.
+  EXPECT_FALSE(table.is_live(id));
+  EXPECT_EQ(table.live_row_count(), 1u);
+  const auto hits = table.find_index_on(1)->equal_range(Value::text("mover"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(kdb::row_id_partition(hits[0]),
+            table.route(Value::integer(other)));
+  EXPECT_EQ(table.row(hits[0])[2].as_int(), other);
+}
+
+TEST(Partition, PrimaryKeyUniqueAcrossPartitions) {
+  // The PK is NOT the partition column: a duplicate key that would land in
+  // a different partition must still be rejected (with and without an
+  // index on the key).
+  Table plain(hash_partitioned_schema(4));
+  plain.insert({Value::integer(1), Value::text("a"), Value::integer(10)});
+  EXPECT_THROW(
+      plain.insert({Value::integer(1), Value::text("b"), Value::integer(11)}),
+      EvalError);
+  Table indexed(hash_partitioned_schema(4));
+  indexed.create_index("pk", 0, Index::Kind::kHash);
+  indexed.insert({Value::integer(1), Value::text("a"), Value::integer(10)});
+  EXPECT_THROW(
+      indexed.insert({Value::integer(1), Value::text("b"), Value::integer(11)}),
+      EvalError);
+}
+
+TEST(Partition, OrderedIndexMergesShardsInKeyOrder) {
+  // Ordered index on the PK of a table hash-partitioned on age: range
+  // results must come back in global key order even though the keys are
+  // spread over four shards, with NULL range keys excluded per shard.
+  Table table(hash_partitioned_schema(4));
+  table.create_index("ord_id", 0, Index::Kind::kOrdered);
+  for (int i = 29; i >= 0; --i) {
+    table.insert({Value::integer(i), Value::text("p"), Value::integer(i * 13)});
+  }
+  const Index* index = table.find_index_on(0);
+  const Value lo = Value::integer(5);
+  const Value hi = Value::integer(24);
+  const auto hits = index->range(lo, hi);
+  ASSERT_EQ(hits.size(), 20u);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(table.row(hits[i])[0].as_int(),
+              static_cast<std::int64_t>(i) + 5);
+  }
+}
+
+TEST(Partition, ForEachLiveRowMatchesLiveRows) {
+  Table table(hash_partitioned_schema(4));
+  for (int i = 0; i < 20; ++i) {
+    table.insert({Value::integer(i), Value::text("p"), Value::integer(i)});
+  }
+  const auto all = table.live_rows();
+  table.erase(all[3]);
+  table.erase(all[11]);
+
+  std::vector<std::size_t> visited;
+  table.for_each_live_row([&](std::size_t row_id, const kdb::Row& row) {
+    EXPECT_EQ(&row, &table.row(row_id));  // zero-copy: the heap row itself
+    visited.push_back(row_id);
+  });
+  EXPECT_EQ(visited, table.live_rows());
+
+  // The per-partition visitor covers exactly the partition-major stream.
+  std::vector<std::size_t> by_partition;
+  for (std::size_t p = 0; p < table.partition_count(); ++p) {
+    table.for_each_live_row_in(p, [&](std::size_t row_id, const kdb::Row&) {
+      by_partition.push_back(row_id);
+    });
+    EXPECT_EQ(table.live_rows_in(p).size(),
+              table.partition_live_count(p));
+  }
+  EXPECT_EQ(by_partition, visited);
+}
+
+TEST(Partition, DdlRoundTrip) {
+  kdb::Database db;
+  db.execute(
+      "CREATE TABLE ph (k INTEGER, v TEXT) PARTITION BY HASH(k) PARTITIONS 8");
+  db.execute(
+      "CREATE TABLE pr (k INTEGER, v TEXT) "
+      "PARTITION BY RANGE(k) VALUES (10, 20)");
+  const Table& ph = db.table("ph");
+  EXPECT_EQ(ph.partition_count(), 8u);
+  const Table& pr = db.table("pr");
+  EXPECT_EQ(pr.partition_count(), 3u);
+
+  // to_ddl re-creates equivalent partitioned schemas through the front end.
+  kdb::Database copy;
+  copy.execute(ph.schema().to_ddl());
+  copy.execute(pr.schema().to_ddl());
+  EXPECT_EQ(copy.table("ph").partition_count(), 8u);
+  EXPECT_EQ(copy.table("pr").partition_count(), 3u);
+  ASSERT_TRUE(copy.table("pr").schema().partition().has_value());
+  EXPECT_EQ(copy.table("pr").schema().partition()->range_bounds.size(), 2u);
+  for (int v : {-3, 0, 10, 15, 20, 99}) {
+    EXPECT_EQ(copy.table("pr").route(Value::integer(v)),
+              pr.route(Value::integer(v)))
+        << v;
+  }
+}
