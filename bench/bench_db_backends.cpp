@@ -103,7 +103,8 @@ db::Database& scan_database(std::size_t partitions, std::size_t threads) {
   if (!slot) {
     slot = std::make_unique<db::Database>();
     cosy::create_schema(*slot, scan_world().model,
-                        {.region_timing_partitions = partitions});
+                        {.region_timing_partitions = partitions,
+                         .junction_partitions = {}});
     db::Connection conn(*slot, db::ConnectionProfile::in_memory());
     cosy::import_store(conn, *scan_world().store);
   }

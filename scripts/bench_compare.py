@@ -6,11 +6,16 @@ Usage:
 
 Matches benchmarks by name and prints a table of real/cpu time deltas plus
 any user counters that moved; benchmarks present on only one side are
-listed as added/removed. Exit code is 0 unless an input is unreadable —
-the comparison is informational (CI runners are shared hardware; treating
-timing noise as failure would just train people to ignore red), the point
-is that every PR's bench trajectory is one click away from the committed
-baseline.
+listed as added/removed (never crashed on, never silently skipped). Exit
+code is 0 unless an input is unreadable or malformed (not valid
+google-benchmark JSON) — the comparison itself is informational (CI runners
+are shared hardware; treating timing noise as failure would just train
+people to ignore red), the point is that every PR's bench trajectory is one
+click away from the committed baseline.
+
+--pair PREFIX_A PREFIX_B additionally prints current-report real-time
+ratios between two benchmark families (the Release CI job uses it for the
+partition-union-vs-flat delta of bench_pushdown).
 """
 
 from __future__ import annotations
@@ -21,19 +26,49 @@ import sys
 
 
 def load_report(path: str) -> dict[str, dict]:
-    """name -> benchmark entry of a google-benchmark JSON report."""
+    """name -> benchmark entry of a google-benchmark JSON report.
+
+    Malformed input (unreadable file, invalid JSON, or JSON that is not a
+    google-benchmark report shape) exits nonzero with a one-line message
+    instead of a traceback: CI must fail loudly when an artifact is broken,
+    not diff garbage.
+    """
     try:
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
     except (OSError, json.JSONDecodeError) as error:
         raise SystemExit(f"bench_compare: cannot read {path}: {error}")
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("benchmarks"), list
+    ):
+        raise SystemExit(
+            f"bench_compare: {path} is not a google-benchmark JSON report "
+            "(no 'benchmarks' list)"
+        )
     entries = {}
+    duplicates = set()
     for bench in payload.get("benchmarks", []):
+        if not isinstance(bench, dict) or "name" not in bench:
+            raise SystemExit(
+                f"bench_compare: {path} has a benchmark entry without a name"
+            )
         # Aggregate rows (mean/median/stddev) would double-count; keep the
         # plain iterations rows, which is all the smoke reports emit.
         if bench.get("run_type", "iteration") != "iteration":
             continue
+        if bench["name"] in entries:
+            duplicates.add(bench["name"])
         entries[bench["name"]] = bench
+    if duplicates:
+        # A --benchmark_repetitions report has several iteration rows per
+        # name; comparing an arbitrary one is ambiguous, so say which rows
+        # this diff is built from instead of pretending it is exact.
+        print(
+            f"bench_compare: warning: {path} repeats "
+            f"{', '.join(sorted(duplicates))}; using the last row of each "
+            "(rerun without --benchmark_repetitions for exact diffs)",
+            file=sys.stderr,
+        )
     return entries
 
 
@@ -59,6 +94,39 @@ def counter_moves(base: dict, cur: dict) -> list[str]:
     return moves
 
 
+def print_pair_deltas(cur: dict[str, dict], prefix_a: str, prefix_b: str) -> None:
+    """In-report comparison of two benchmark families of the CURRENT run.
+
+    Matches entries whose names differ only in the leading prefix (e.g.
+    BM_PartitionUnion/parts_8 vs BM_PartitionFlat/parts_8) and prints the
+    real-time ratio — this is how CI surfaces the partition-union-vs-flat
+    delta without a second artifact.
+    """
+    printed = 0
+    for name in sorted(cur):
+        if not name.startswith(prefix_a):
+            continue
+        partner = prefix_b + name[len(prefix_a):]
+        if partner not in cur:
+            continue
+        a, b = cur[name], cur[partner]
+        a_time = a.get("real_time", 0.0)
+        b_time = b.get("real_time", 0.0)
+        ratio = f"{a_time / b_time:.3f}x" if b_time > 0 else "n/a"
+        counters = "; ".join(
+            f"{k}={v}" for k, v in sorted((a.get("counters") or {}).items())
+        )
+        print(
+            f"pair {name} vs {partner}: "
+            f"{a_time:.3f}{a.get('time_unit', 'ns')} vs "
+            f"{b_time:.3f}{b.get('time_unit', 'ns')} ({ratio})"
+            + (f"  [{counters}]" if counters else "")
+        )
+        printed += 1
+    if printed == 0:
+        print(f"pair {prefix_a} vs {prefix_b}: no matching benchmarks")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed baseline BENCH_*.json")
@@ -68,6 +136,13 @@ def main() -> int:
         type=float,
         default=10.0,
         help="highlight real-time deltas beyond this percentage (default 10)",
+    )
+    parser.add_argument(
+        "--pair",
+        nargs=2,
+        metavar=("PREFIX_A", "PREFIX_B"),
+        help="also print current-report real-time ratios between two "
+        "benchmark name prefixes (e.g. BM_PartitionUnion BM_PartitionFlat)",
     )
     args = parser.parse_args()
 
@@ -107,6 +182,8 @@ def main() -> int:
               f"{'; '.join(notes)}")
     print(f"--- {len(names)} benchmarks, {flagged} beyond "
           f"{args.threshold:g}% real-time delta ---")
+    if args.pair:
+        print_pair_deltas(cur, args.pair[0], args.pair[1])
     return 0
 
 

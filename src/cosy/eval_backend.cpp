@@ -361,7 +361,9 @@ Registry& registry() {
     add({"sql-whole-condition",
          "entire condition + confidence + severity compile into one "
          "parameterized statement per (property, context) with common "
-         "subexpressions hoisted into CTEs — paper §6",
+         "subexpressions hoisted into CTEs and full-table aggregates over "
+         "partitioned tables rewritten into per-partition CTE unions the "
+         "engine materializes in parallel — paper §6",
          /*needs_store=*/false, /*needs_connection=*/true,
          [](const EvalBackendDeps& deps) {
            return std::make_unique<SqlBackend>(
@@ -369,7 +371,8 @@ Registry& registry() {
          }});
     add({"sql-whole-condition-plain",
          "whole-condition compilation without the CSE/CTE pass (every "
-         "repeated subexpression re-executes; the ablation baseline)",
+         "repeated subexpression re-executes) and layout-blind (no "
+         "partition-union rewrite); the ablation baseline",
          /*needs_store=*/false, /*needs_connection=*/true,
          [](const EvalBackendDeps& deps) {
            return std::make_unique<SqlBackend>(
@@ -377,8 +380,9 @@ Registry& registry() {
                deps, /*common_subexpr=*/false);
          }});
     add({"sql-sharded",
-         "whole-condition evaluation with one run's context list sharded "
-         "across ConnectionPool sessions (deterministic reduction)",
+         "whole-condition evaluation (incl. the partition-union rewrite) "
+         "with one run's context list sharded across ConnectionPool "
+         "sessions (deterministic reduction)",
          /*needs_store=*/false, /*needs_connection=*/true,
          [](const EvalBackendDeps& deps) {
            return std::make_unique<ShardedSqlBackend>(deps);

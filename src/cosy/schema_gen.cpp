@@ -30,6 +30,22 @@ std::string junction_table(std::string_view class_name,
 std::vector<std::string> generate_ddl(const asl::Model& model,
                                       const SchemaOptions& options) {
   std::vector<std::string> ddl;
+  // Two declarations for one junction would mean the first silently wins;
+  // diagnose the conflict by name instead of letting the leftover surface
+  // as a misleading "matches no setof attribute" below.
+  for (std::size_t a = 0; a < options.junction_partitions.size(); ++a) {
+    for (std::size_t b = a + 1; b < options.junction_partitions.size(); ++b) {
+      const auto& first = options.junction_partitions[a];
+      const auto& second = options.junction_partitions[b];
+      if (first.class_name == second.class_name &&
+          first.attr_name == second.attr_name) {
+        throw support::EvalError(support::cat(
+            "duplicate junction partition declaration for ", first.class_name,
+            ".", first.attr_name));
+      }
+    }
+  }
+  std::vector<bool> matched(options.junction_partitions.size(), false);
   for (const asl::ClassInfo& cls : model.classes()) {
     std::string create = support::cat("CREATE TABLE ", cls.name,
                                       " (id INTEGER PRIMARY KEY");
@@ -54,12 +70,32 @@ std::vector<std::string> generate_ddl(const asl::Model& model,
       std::string create =
           support::cat("CREATE TABLE ", junction,
                        " (owner INTEGER NOT NULL, member INTEGER NOT NULL)");
-      // The per-region timing junctions dominate the store (runs x regions
-      // x timing types rows); hash-partitioning them by owner keeps every
-      // region's timings in one partition (per-region probes stay
-      // single-shard and in insertion order) while whole-table scans
-      // parallelize across partitions engine-side.
-      if (cls.name == "Region" && options.region_timing_partitions > 1) {
+      // Explicit per-junction declarations win; otherwise the per-region
+      // timing junctions dominate the store (runs x regions x timing types
+      // rows) and hash-partition by owner: every region's timings stay in
+      // one partition (per-region probes single-shard, insertion-ordered)
+      // while whole-table scans parallelize across partitions engine-side.
+      const SchemaOptions::JunctionPartition* declared = nullptr;
+      for (std::size_t d = 0; d < options.junction_partitions.size(); ++d) {
+        const auto& junction_partition = options.junction_partitions[d];
+        if (junction_partition.class_name == cls.name &&
+            junction_partition.attr_name == attr.name) {
+          declared = &junction_partition;
+          matched[d] = true;
+          break;
+        }
+      }
+      if (declared != nullptr) {
+        if (declared->column != "owner" && declared->column != "member") {
+          throw support::EvalError(support::cat(
+              "junction partition column must be 'owner' or 'member', got '",
+              declared->column, "' for ", junction));
+        }
+        if (declared->partitions > 1) {
+          create += support::cat(" PARTITION BY HASH(", declared->column,
+                                 ") PARTITIONS ", declared->partitions);
+        }
+      } else if (cls.name == "Region" && options.region_timing_partitions > 1) {
         create += support::cat(" PARTITION BY HASH(owner) PARTITIONS ",
                                options.region_timing_partitions);
       }
@@ -68,6 +104,17 @@ std::vector<std::string> generate_ddl(const asl::Model& model,
                                  junction, " (owner)"));
       ddl.push_back(support::cat("CREATE INDEX idx_", junction, "_member ON ",
                                  junction, " (member)"));
+    }
+  }
+  // A declaration that matched no (class, setof attribute) pair is a typo,
+  // not a no-op: silently skipping it would leave the junction a single
+  // heap while the caller believes they partitioned it.
+  for (std::size_t d = 0; d < matched.size(); ++d) {
+    if (!matched[d]) {
+      const auto& junction_partition = options.junction_partitions[d];
+      throw support::EvalError(support::cat(
+          "junction partition declaration matches no setof attribute: ",
+          junction_partition.class_name, ".", junction_partition.attr_name));
     }
   }
   return ddl;

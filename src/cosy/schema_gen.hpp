@@ -26,6 +26,23 @@ struct SchemaOptions {
   /// are the tables that grow as runs x regions x timing types; everything
   /// else stays a single heap. 1 = the unpartitioned seed layout.
   std::size_t region_timing_partitions = 4;
+
+  /// Explicit per-junction partition declarations, matched by (class, setof
+  /// attribute); they take precedence over the region default above. The
+  /// partition column choice is the layout/workload trade the catalog
+  /// metadata API makes explicit to compilers: "owner" keeps per-owner
+  /// probes single-shard (the region-timing default); "member" spreads one
+  /// owner's rows across every partition, which turns whole-set aggregates
+  /// over that junction into the full-table scans the whole-condition
+  /// compiler rewrites into a per-partition CTE union. `partitions <= 1`
+  /// pins the junction to a single heap.
+  struct JunctionPartition {
+    std::string class_name;
+    std::string attr_name;
+    std::string column = "owner";  ///< "owner" or "member"
+    std::size_t partitions = 1;
+  };
+  std::vector<JunctionPartition> junction_partitions;
 };
 
 [[nodiscard]] std::vector<std::string> generate_ddl(

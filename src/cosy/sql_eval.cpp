@@ -4,6 +4,7 @@
 #include <deque>
 #include <limits>
 #include <optional>
+#include <set>
 #include <span>
 
 #include "asl/compilability.hpp"
@@ -182,10 +183,10 @@ void PlanCache::touch(Entry& entry) const {
 }
 
 std::shared_ptr<const CompiledPlan> PlanCache::find(std::string_view property,
-                                                    const void* site,
-                                                    int kind) const {
+                                                    const void* site, int kind,
+                                                    std::uint64_t layout) const {
   std::lock_guard lock(mutex_);
-  const auto it = plans_.find(Key{std::string(property), site, kind});
+  const auto it = plans_.find(Key{std::string(property), site, kind, layout});
   if (it == plans_.end()) return nullptr;
   touch(it->second);
   return it->second.plan;
@@ -193,9 +194,9 @@ std::shared_ptr<const CompiledPlan> PlanCache::find(std::string_view property,
 
 std::shared_ptr<const CompiledPlan> PlanCache::insert(
     std::string_view property, const void* site, int kind,
-    std::shared_ptr<const CompiledPlan> plan) {
+    std::uint64_t layout, std::shared_ptr<const CompiledPlan> plan) {
   std::lock_guard lock(mutex_);
-  Key key{std::string(property), site, kind};
+  Key key{std::string(property), site, kind, layout};
   const auto it = plans_.find(key);
   if (it != plans_.end()) {
     // A racing worker compiled the same site; the first plan in stays
@@ -374,7 +375,7 @@ class SqlExprEval {
     }
     const int k = static_cast<int>(kind) * 2 +
                   (client_side() ? 1 : 0);  // mode disambiguates shared nodes
-    if (auto plan = cache->find(prop_->name, &site, k)) {
+    if (auto plan = cache->find(prop_->name, &site, k, owner_.layout_)) {
       std::vector<db::Value> values;
       if (bind_plan(*plan, provided, values)) {
         ++owner_.plan_hits_;
@@ -396,7 +397,7 @@ class SqlExprEval {
     // A racing worker may have compiled the same site meanwhile; converge
     // on the canonical plan (the values bind either — same template).
     const std::shared_ptr<const CompiledPlan> plan =
-        cache->insert(prop_->name, &site, k,
+        cache->insert(prop_->name, &site, k, owner_.layout_,
                       std::make_shared<CompiledPlan>(
                           finalize(compiled, std::move(build), values)));
     ++owner_.plan_misses_;
@@ -1045,9 +1046,28 @@ class WholeConditionCompiler {
   ///     occurrence becoming a cheap `(SELECT v FROM cse0)` reference.
   /// The engine materializes each CTE exactly once per statement execution,
   /// so every shared subexpression runs once per (property, context).
+  ///
+  /// With `catalog` attached (and `cse` on), the compiler is additionally
+  /// layout-aware: a full-table aggregate subquery whose base table is
+  /// partitioned — and not pinned to one partition by an equality conjunct
+  /// on the partition column — compiles into one `part<K>` CTE per
+  /// partition (each scan pinned via `PARTITION (K)`) combined by a
+  /// coordinator expression: SUM-of-SUMs, COUNT-of-COUNTs, AVG re-derived
+  /// from per-partition SUM/COUNT, LEAST/GREATEST over per-partition
+  /// MIN/MAX. The executor materializes independent CTEs of one statement
+  /// concurrently, so the one-statement-per-(property, context) contract
+  /// holds while the engine parallelizes inside the statement. Without
+  /// `catalog` (or with `cse` off — the ablation baseline) compilation is
+  /// layout-blind, exactly as before.
+  /// `count_rewrites` is off for diagnostic-only compilations (explain):
+  /// Database::exec_stats().partition_union_rewrites must track plans
+  /// compiled for execution, not every time someone looks at the SQL.
   WholeConditionCompiler(const asl::Model& model, const asl::PropertyInfo& prop,
-                         std::span<const RtValue> args, bool cse = true)
-      : model_(&model), prop_(&prop), args_(args), cse_(cse) {}
+                         std::span<const RtValue> args, bool cse = true,
+                         db::Database* catalog = nullptr,
+                         bool count_rewrites = true)
+      : model_(&model), prop_(&prop), args_(args), cse_(cse),
+        catalog_(catalog), count_rewrites_(count_rewrites) {}
 
   /// Produces the plan plus the bind values of the compiling context.
   CompiledPlan compile(std::vector<db::Value>& first_values) {
@@ -1139,6 +1159,10 @@ class WholeConditionCompiler {
     std::vector<std::string> conjuncts;
     int alias_counter = 0;
     const EnvFrame* env = nullptr;  // scope for uncorrelated subexpressions
+    /// Catalog table and alias of from_joins[0] — what the partition-union
+    /// rewrite checks against the layout metadata.
+    std::string base_table;
+    std::string base_alias;
 
     [[nodiscard]] std::string from_where() const {
       std::string out = " FROM ";
@@ -1244,13 +1268,14 @@ class WholeConditionCompiler {
         to_db_value(args_[arg_index], type));
   }
 
-  /// Name of the i-th hoisted CTE. `cse<i>` unless the model declares a
-  /// class (or junction table) of that name — bind_sources resolves CTE
-  /// names before the catalog, so a collision would silently shadow the
-  /// base table inside the rewritten statement. Underscore-prefixing until
-  /// the name is free keeps the choice deterministic per model.
-  [[nodiscard]] std::string cte_name(std::size_t i) const {
-    std::string name = support::cat("cse", i);
+  /// Name of a generated CTE (`cse<i>` for hoisted shared subqueries,
+  /// `part<k>` for partition-union shards). The base name is kept unless
+  /// the model declares a class (or junction table) of that name —
+  /// bind_sources resolves CTE names before the catalog, so a collision
+  /// would silently shadow the base table inside the rewritten statement.
+  /// Underscore-prefixing until the name is free keeps the choice
+  /// deterministic per model.
+  [[nodiscard]] std::string cte_name(std::string base) const {
     const auto taken = [&](std::string_view candidate) {
       for (const asl::ClassInfo& cls : model_->classes()) {
         if (support::iequals(cls.name, candidate)) return true;
@@ -1264,8 +1289,155 @@ class WholeConditionCompiler {
       }
       return false;
     };
-    while (taken(name)) name.insert(0, "_");
-    return name;
+    while (taken(base)) base.insert(0, "_");
+    return base;
+  }
+
+  /// Aggregate operators the partition-union rewrite understands.
+  enum class PartAgg { kCount, kSum, kAvg, kMin, kMax };
+
+  [[nodiscard]] static std::string flat_aggregate_select(
+      PartAgg op, const std::string& arg) {
+    switch (op) {
+      case PartAgg::kCount:
+        return "COUNT(*)";
+      case PartAgg::kSum:
+        // ASL's SUM of an empty set is 0 (no barrier records means zero
+        // barrier time, not a data gap), so the NULL of SQL's empty SUM
+        // must not propagate.
+        return support::cat("COALESCE(SUM(", arg, "), 0.0)");
+      case PartAgg::kAvg:
+        return support::cat("AVG(", arg, ")");
+      case PartAgg::kMin:
+        return support::cat("MIN(", arg, ")");
+      case PartAgg::kMax:
+        return support::cat("MAX(", arg, ")");
+    }
+    return {};
+  }
+
+  /// Complete aggregate subquery over `sq`: the partition-union rewrite
+  /// when the layout rewards it, the flat single-scan subquery otherwise.
+  std::string aggregate_scalar(PartAgg op, const std::string& arg,
+                               const SetSpec& sq) {
+    if (auto rewritten = partition_union(op, arg, sq)) return *rewritten;
+    return hoistable(flat_aggregate_select(op, arg), sq.from_where());
+  }
+
+  /// The partition-union rewrite: a full-table aggregate over a partitioned
+  /// base table compiles to one `part<K>` CTE per partition — the scan of
+  /// shard K pinned with `PARTITION (K)` — combined by a coordinator
+  /// expression (SUM-of-SUMs / COUNT-of-COUNTs, AVG re-derived from
+  /// per-partition SUM and COUNT, LEAST/GREATEST over per-partition
+  /// MIN/MAX, each of which skips the NULL an empty shard yields). Returns
+  /// nullopt when the rewrite does not apply: no catalog attached, CSE off
+  /// (the layout-blind ablation baseline), the base table unpartitioned, or
+  /// the scan already pinned to one partition by an equality conjunct on
+  /// the partition column — per-owner probes stay ONE flat subquery the
+  /// executor prunes at bind time, because a union of one live shard plus
+  /// N-1 provably empty ones would only add wire and parse cost.
+  std::optional<std::string> partition_union(PartAgg op, const std::string& arg,
+                                             const SetSpec& sq) {
+    if (!cse_ || catalog_ == nullptr || sq.base_table.empty()) {
+      return std::nullopt;
+    }
+    const auto layout = catalog_->table_layout(sq.base_table);
+    if (!layout || layout->partitions <= 1) return std::nullopt;
+    if ((op == PartAgg::kMin || op == PartAgg::kMax) &&
+        layout->partitions > kMaxFoldArgs) {
+      // LEAST/GREATEST accept at most 64 arguments (the scalar-function
+      // binder's cap); beyond that the statement would fail at bind time
+      // and silently demote every context to the sitewise path — strictly
+      // worse than staying flat. (The +-chain coordinators have no arity
+      // cap, so SUM/COUNT/AVG still rewrite at any partition count.)
+      return std::nullopt;
+    }
+    const std::string pin =
+        support::cat(sq.base_alias, ".", layout->partition_column, " = ");
+    for (const std::string& conjunct : sq.conjuncts) {
+      if (conjunct.size() >= pin.size() &&
+          support::iequals(std::string_view(conjunct).substr(0, pin.size()),
+                           pin)) {
+        return std::nullopt;  // pruned probe: one partition at bind time
+      }
+    }
+
+    // One part<K> group per distinct FROM/WHERE shape, shared by every
+    // aggregate operator over it: the group's CTEs carry one output column
+    // per distinct fold fragment (SUM and AVG share the COALESCE(SUM)
+    // column, for instance), so each partition is scanned ONCE per
+    // statement no matter how many operators fold the same set.
+    const std::string flat_from_where = sq.from_where();
+    auto [it, inserted] = partition_groups_.try_emplace(flat_from_where);
+    PartitionGroup& group = it->second;
+    if (inserted) {
+      SetSpec shard = sq;
+      for (std::size_t k = 0; k < layout->partitions; ++k) {
+        shard.from_joins[0] = support::cat(sq.base_table, " PARTITION (", k,
+                                           ") ", sq.base_alias);
+        group.names.push_back(cte_name(support::cat("part", part_counter_++)));
+        group.from_wheres.push_back(shard.from_where());
+      }
+      group_order_.push_back(&group);
+    }
+    const auto column_for = [&group](std::string fragment) -> std::string {
+      for (const auto& [alias, existing] : group.columns) {
+        if (existing == fragment) return alias;
+      }
+      group.columns.emplace_back(support::cat("v", group.columns.size()),
+                                 std::move(fragment));
+      return group.columns.back().first;
+    };
+
+    const auto folded = [&](const std::string& column, std::string_view sep,
+                            std::string_view open, std::string_view close) {
+      std::string out(open);
+      for (std::size_t k = 0; k < group.names.size(); ++k) {
+        if (k > 0) out += sep;
+        out += support::cat("(SELECT ", column, " FROM ", group.names[k], ")");
+      }
+      out += close;
+      return out;
+    };
+    std::string coordinator;
+    switch (op) {
+      case PartAgg::kCount:
+      case PartAgg::kSum:
+        coordinator =
+            folded(column_for(flat_aggregate_select(op, arg)), " + ", "(", ")");
+        break;
+      case PartAgg::kAvg: {
+        // AVG re-derives from per-partition SUM and COUNT. Empty-set AVG
+        // must stay NULL (a data gap upstream); the engine's IIF evaluates
+        // only the taken branch, so the division is guarded.
+        const std::string s =
+            column_for(support::cat("COALESCE(SUM(", arg, "), 0.0)"));
+        const std::string c = column_for(support::cat("COUNT(", arg, ")"));
+        coordinator = support::cat("IIF(", folded(c, " + ", "(", ")"),
+                                   " = 0, NULL, ", folded(s, " + ", "(", ")"),
+                                   " / ", folded(c, " + ", "(", ")"), ")");
+        break;
+      }
+      case PartAgg::kMin:
+        coordinator =
+            folded(column_for(support::cat("MIN(", arg, ")")), ", ", "LEAST(",
+                   ")");
+        break;
+      case PartAgg::kMax:
+        coordinator = folded(column_for(support::cat("MAX(", arg, ")")), ", ",
+                             "GREATEST(", ")");
+        break;
+    }
+    // Telemetry: one count per distinct rewritten aggregate (repeated
+    // occurrences through LET inlining produce the same coordinator and
+    // count once); diagnostic-only compilations never count.
+    if (count_rewrites_ && counted_rewrites_.insert(coordinator).second) {
+      catalog_->count_partition_union_rewrite();
+    }
+    // Funnel the coordinator through the CSE machinery like any other
+    // scalar subquery: a shared rewritten aggregate dedupes into a cse CTE
+    // whose body references the part<K> shards defined before it.
+    return hoistable(coordinator, "");
   }
 
   /// Every complete scalar subquery funnels through here: the text is
@@ -1287,6 +1459,12 @@ class WholeConditionCompiler {
   /// named CTE. CTEs are defined shortest-first so a hoisted subquery that
   /// contains another hoisted subquery references the earlier definition —
   /// the parser's no-forward-reference rule holds by construction.
+  ///
+  /// Partition-union shards come first in the WITH clause: coordinator
+  /// expressions (inline or hoisted into a cse CTE) reference the `part<K>`
+  /// names, and the parser rejects forward references. Shard bodies
+  /// themselves are excluded from CSE replacement — they are already
+  /// deduplicated by shape, and each must keep its own `PARTITION (K)` scan.
   std::string eliminate_common_subexpressions(std::string sql) {
     struct SharedSub {
       const std::string* text;
@@ -1299,7 +1477,7 @@ class WholeConditionCompiler {
         shared.push_back({&text, select_list_size, {}});
       }
     }
-    if (shared.empty()) return sql;
+    if (shared.empty() && group_order_.empty()) return sql;
     std::sort(shared.begin(), shared.end(),
               [](const SharedSub& a, const SharedSub& b) {
                 if (a.text->size() != b.text->size()) {
@@ -1309,8 +1487,26 @@ class WholeConditionCompiler {
               });
 
     std::string with_clause = "WITH ";
+    bool first_entry = true;
+    const auto add_entry = [&](std::string_view name, std::string_view body) {
+      if (!first_entry) with_clause += ", ";
+      first_entry = false;
+      with_clause += support::cat(name, " AS (", body, ")");
+    };
+    for (const PartitionGroup* group : group_order_) {
+      std::string select;
+      for (std::size_t c = 0; c < group->columns.size(); ++c) {
+        if (c > 0) select += ", ";
+        select += support::cat(group->columns[c].second, " AS ",
+                               group->columns[c].first);
+      }
+      for (std::size_t k = 0; k < group->names.size(); ++k) {
+        add_entry(group->names[k],
+                  support::cat("SELECT ", select, group->from_wheres[k]));
+      }
+    }
     for (std::size_t i = 0; i < shared.size(); ++i) {
-      shared[i].name = cte_name(i);
+      shared[i].name = cte_name(support::cat("cse", i));
       // Body: the subquery with its single output column aliased, and any
       // earlier (strictly shorter) shared subquery replaced by a reference.
       std::string body = *shared[i].text;
@@ -1319,8 +1515,7 @@ class WholeConditionCompiler {
         replace_all(body, support::cat("(", *shared[j].text, ")"),
                     support::cat("(SELECT v FROM ", shared[j].name, ")"));
       }
-      if (i > 0) with_clause += ", ";
-      with_clause += support::cat(shared[i].name, " AS (", body, ")");
+      add_entry(shared[i].name, body);
     }
     // Main text: longest-first, so occurrences nested inside a bigger
     // shared subquery disappear with the bigger one.
@@ -1395,31 +1590,24 @@ class WholeConditionCompiler {
         sq.binder = e.name;
         sq.env = env;
         if (e.filter) sq.conjuncts.push_back(over_binder(*e.filter, sq));
-        std::string select;
+        PartAgg op = PartAgg::kCount;
         Type type = Type::of(TypeKind::kFloat);
         switch (e.agg_kind) {
           case asl::ast::AggKind::kCount:
-            select = "COUNT(*)";
+            op = PartAgg::kCount;
             type = Type::of(TypeKind::kInt);
             break;
-          case asl::ast::AggKind::kSum:
-            // ASL's SUM of an empty set is 0 (no barrier records means zero
-            // barrier time, not a data gap), so the NULL of SQL's empty SUM
-            // must not propagate.
-            select = support::cat("COALESCE(SUM(",
-                                  over_binder(*e.agg_value, sq), "), 0.0)");
-            break;
-          case asl::ast::AggKind::kAvg:
-            select = support::cat("AVG(", over_binder(*e.agg_value, sq), ")");
-            break;
-          case asl::ast::AggKind::kMin:
-            select = support::cat("MIN(", over_binder(*e.agg_value, sq), ")");
-            break;
-          case asl::ast::AggKind::kMax:
-            select = support::cat("MAX(", over_binder(*e.agg_value, sq), ")");
-            break;
+          case asl::ast::AggKind::kSum: op = PartAgg::kSum; break;
+          case asl::ast::AggKind::kAvg: op = PartAgg::kAvg; break;
+          case asl::ast::AggKind::kMin: op = PartAgg::kMin; break;
+          case asl::ast::AggKind::kMax: op = PartAgg::kMax; break;
         }
-        return {hoistable(select, sq.from_where()), type};
+        // The value expression may add JOINs to sq; compile it before the
+        // FROM/WHERE text is rendered.
+        const std::string arg = e.agg_kind == asl::ast::AggKind::kCount
+                                    ? std::string()
+                                    : over_binder(*e.agg_value, sq);
+        return {aggregate_scalar(op, arg, sq), type};
       }
 
       case Kind::kUnique: {
@@ -1433,13 +1621,13 @@ class WholeConditionCompiler {
       }
       case Kind::kExists: {
         SetSpec sq = set_spec(*e.base, env);
-        return {support::cat("(", hoistable("COUNT(*)", sq.from_where()),
+        return {support::cat("(", aggregate_scalar(PartAgg::kCount, {}, sq),
                              " > 0)"),
                 Type::of(TypeKind::kBool)};
       }
       case Kind::kSize: {
         SetSpec sq = set_spec(*e.base, env);
-        return {hoistable("COUNT(*)", sq.from_where()),
+        return {aggregate_scalar(PartAgg::kCount, {}, sq),
                 Type::of(TypeKind::kInt)};
       }
 
@@ -1632,8 +1820,9 @@ class WholeConditionCompiler {
     }
     SetSpec sq;
     sq.env = root_env;
-    sq.from_joins.push_back(
-        support::cat(model_->class_info(base.type.id).name, " a0"));
+    sq.base_table = model_->class_info(base.type.id).name;
+    sq.base_alias = "a0";
+    sq.from_joins.push_back(support::cat(sq.base_table, " a0"));
     sq.conjuncts.push_back(support::cat("a0.id = ", base.sql));
     auto [column, type] = follow_path(sq, "a0", base.type.id, chain);
     return {hoistable(column, sq.from_where()), type};
@@ -1696,7 +1885,9 @@ class WholeConditionCompiler {
       SetSpec sq;
       sq.env = env;
       sq.elem_class = cls.attrs[*attr].type.id;
-      sq.from_joins.push_back(junction_table(cls.name, e.name) + " j");
+      sq.base_table = junction_table(cls.name, e.name);
+      sq.base_alias = "j";
+      sq.from_joins.push_back(sq.base_table + " j");
       sq.from_joins.push_back(
           support::cat("JOIN ", model_->class_info(sq.elem_class).name,
                        " b ON b.id = j.member"));
@@ -1796,11 +1987,18 @@ class WholeConditionCompiler {
   }
 
   static constexpr int kMaxInlineDepth = 16;
+  /// Engine cap on LEAST/GREATEST arguments; MIN/MAX coordinators fold at
+  /// most this many shards.
+  static constexpr std::size_t kMaxFoldArgs = db::sql::kMaxScalarFnArgs;
 
   const asl::Model* model_;
   const asl::PropertyInfo* prop_;
   std::span<const RtValue> args_;
   bool cse_;
+  /// Layout metadata source (and rewrite telemetry sink) of the partition-
+  /// union rewrite; null compiles layout-blind.
+  db::Database* catalog_ = nullptr;
+  bool count_rewrites_ = true;
   PlanBuild build_;
   std::deque<EnvFrame> frames_;
   int depth_ = 0;
@@ -1809,6 +2007,18 @@ class WholeConditionCompiler {
   /// CTE naming deterministic).
   std::map<std::size_t, std::string> arg_markers_;
   std::map<std::string, std::size_t> subqueries_;
+  /// One shard group per distinct FROM/WHERE shape: the `part<K>` CTE names
+  /// and per-shard scan text, plus the (alias, fold fragment) output
+  /// columns every aggregate operator over the shape registered.
+  struct PartitionGroup {
+    std::vector<std::string> names;
+    std::vector<std::string> from_wheres;
+    std::vector<std::pair<std::string, std::string>> columns;
+  };
+  std::map<std::string, PartitionGroup> partition_groups_;
+  std::vector<const PartitionGroup*> group_order_;  // WITH-clause order
+  std::size_t part_counter_ = 0;
+  std::set<std::string> counted_rewrites_;  // telemetry dedup by coordinator
 };
 
 }  // namespace
@@ -1817,7 +2027,7 @@ SqlEvaluator::SqlEvaluator(const asl::Model& model, db::Connection& conn,
                            SqlEvalMode mode, PlanCache* plan_cache,
                            bool common_subexpr)
     : model_(&model), conn_(&conn), mode_(mode), cache_(plan_cache),
-      cse_(common_subexpr) {
+      cse_(common_subexpr), layout_(conn.layout_fingerprint()) {
   for (const asl::ClassInfo& cls : model.classes()) {
     if (cls.base) {
       throw EvalError(
@@ -1868,6 +2078,12 @@ PropertyResult SqlEvaluator::evaluate_property(const asl::PropertyInfo& prop,
                                  prop.params.size(), " arguments, got ",
                                  args.size()));
   }
+  // Re-read the layout per evaluation: compilation reads the LIVE catalog,
+  // so the cache key must describe the same moment — a DDL re-partition
+  // between evaluations must not label a partition-aware plan with the
+  // construction-time fingerprint (and thereby replay it against a
+  // different layout from another evaluator).
+  layout_ = conn_->layout_fingerprint();
   if (mode_ == SqlEvalMode::kWholeCondition) {
     try {
       return evaluate_whole(prop, args);
@@ -1887,7 +2103,8 @@ std::shared_ptr<const CompiledPlan> SqlEvaluator::whole_plan_for(
     const asl::PropertyInfo& prop) {
   const int kind =
       cse_ ? kWholeConditionCsePlanKind : kWholeConditionPlainPlanKind;
-  return cache_ == nullptr ? nullptr : cache_->find(prop.name, &prop, kind);
+  return cache_ == nullptr ? nullptr
+                           : cache_->find(prop.name, &prop, kind, layout_);
 }
 
 PropertyResult SqlEvaluator::evaluate_whole(const asl::PropertyInfo& prop,
@@ -1901,13 +2118,16 @@ PropertyResult SqlEvaluator::evaluate_whole(const asl::PropertyInfo& prop,
     ++plan_hits_;
     cache_->record(true);
   } else {
-    WholeConditionCompiler compiler(*model_, prop, args, cse_);
+    // The catalog makes the compiler layout-aware (partition-union
+    // rewrite); the plain ablation compiles layout-blind on purpose.
+    WholeConditionCompiler compiler(*model_, prop, args, cse_,
+                                    cse_ ? &conn_->database() : nullptr);
     auto compiled = std::make_shared<CompiledPlan>(compiler.compile(values));
     if (cache_ != nullptr) {
       plan = cache_->insert(prop.name, &prop,
                             cse_ ? kWholeConditionCsePlanKind
                                  : kWholeConditionPlainPlanKind,
-                            std::move(compiled));
+                            layout_, std::move(compiled));
       ++plan_misses_;
       cache_->record(false);
     } else {
@@ -2057,7 +2277,11 @@ std::string SqlEvaluator::explain_whole_condition(
         break;
     }
   }
-  WholeConditionCompiler compiler(*model_, prop, args, cse_);
+  // Diagnostic-only compilation: layout-aware (the shown SQL must match
+  // what evaluation would run) but without rewrite telemetry.
+  WholeConditionCompiler compiler(*model_, prop, args, cse_,
+                                  cse_ ? &conn_->database() : nullptr,
+                                  /*count_rewrites=*/false);
   std::vector<db::Value> values;
   return compiler.compile(values).sql;
 }

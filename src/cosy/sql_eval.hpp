@@ -98,14 +98,21 @@ class PlanCache {
   /// Number of distinct compiled plans currently resident.
   [[nodiscard]] std::size_t size() const;
 
-  // Internal API used by SqlEvaluator.
+  // Internal API used by SqlEvaluator. `layout` is the
+  // db::Database::layout_fingerprint() of the database the plan was (or
+  // will be) compiled against: compiled SQL is layout-dependent (the
+  // partition-union rewrite reads partition specs), so a plan compiled for
+  // one physical layout must never be replayed against another — changing
+  // SchemaOptions::region_timing_partitions invalidates by key, not by
+  // luck.
   [[nodiscard]] std::shared_ptr<const CompiledPlan> find(
-      std::string_view property, const void* site, int kind) const;
+      std::string_view property, const void* site, int kind,
+      std::uint64_t layout) const;
   /// Inserts unless the site is already cached; returns the canonical plan
   /// (the first one in wins, so racing workers converge on one instance).
   [[nodiscard]] std::shared_ptr<const CompiledPlan> insert(
       std::string_view property, const void* site, int kind,
-      std::shared_ptr<const CompiledPlan> plan);
+      std::uint64_t layout, std::shared_ptr<const CompiledPlan> plan);
   void record(bool hit);
 
  private:
@@ -113,10 +120,12 @@ class PlanCache {
     std::string property;
     const void* site = nullptr;
     int kind = 0;
+    std::uint64_t layout = 0;  ///< table-layout fingerprint of the database
     friend bool operator<(const Key& a, const Key& b) {
       if (a.property != b.property) return a.property < b.property;
       if (a.site != b.site) return a.site < b.site;
-      return a.kind < b.kind;
+      if (a.kind != b.kind) return a.kind < b.kind;
+      return a.layout < b.layout;
     }
   };
   struct Entry {
@@ -197,6 +206,14 @@ class SqlEvaluator {
   [[nodiscard]] std::size_t statements_resident() const noexcept {
     return statements_.size();
   }
+  /// Table-layout fingerprint the evaluator is currently keying plans
+  /// under: snapshotted at construction and refreshed at the start of every
+  /// evaluate_property (compilation reads the live catalog, so the key must
+  /// describe the same moment even if DDL re-partitioned a table since
+  /// construction).
+  [[nodiscard]] std::uint64_t layout_fingerprint() const noexcept {
+    return layout_;
+  }
 
   /// Compiles a property's entire condition/confidence/severity surface into
   /// the single whole-condition statement without executing it (tests and
@@ -240,6 +257,7 @@ class SqlEvaluator {
   SqlEvalMode mode_;
   PlanCache* cache_;
   bool cse_;
+  std::uint64_t layout_ = 0;  ///< database layout fingerprint (plan keying)
   std::uint64_t queries_ = 0;
   std::uint64_t plan_hits_ = 0;
   std::uint64_t plan_misses_ = 0;

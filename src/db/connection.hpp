@@ -83,6 +83,19 @@ class Connection {
   [[nodiscard]] SimClock& clock() noexcept { return clock_; }
   [[nodiscard]] const SimClock& clock() const noexcept { return clock_; }
   [[nodiscard]] Database& database() noexcept { return db_; }
+  [[nodiscard]] const Database& database() const noexcept { return db_; }
+
+  /// Table-layout introspection, forwarded from the catalog: sessions are
+  /// what query compilers hold, so the layout metadata a compiler plans
+  /// against (partition specs, layout fingerprint) is reachable without
+  /// touching the engine directly.
+  [[nodiscard]] std::optional<Database::TableLayout> table_layout(
+      std::string_view name) const {
+    return db_.table_layout(name);
+  }
+  [[nodiscard]] std::uint64_t layout_fingerprint() const {
+    return db_.layout_fingerprint();
+  }
 
   /// Executes SQL text; charges parse+plan (real engine) plus modelled costs.
   QueryResult execute(std::string_view sql_text, std::span<const Value> params = {});

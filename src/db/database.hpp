@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -42,6 +43,30 @@ class Database {
   [[nodiscard]] Table& table(std::string_view name);
   [[nodiscard]] const Table& table(std::string_view name) const;
   [[nodiscard]] std::vector<std::string> table_names() const;
+
+  /// Physical layout of one catalog table — the stable metadata surface
+  /// query compilers plan against (the partition-union rewrite reads the
+  /// spec to emit one `PARTITION (k)`-pinned CTE per partition). `partition`
+  /// is absent for single-heap tables; `partitions` is always >= 1.
+  struct TableLayout {
+    std::string table;  ///< declared spelling
+    std::optional<PartitionSpec> partition;
+    std::size_t partitions = 1;
+    /// Declared spelling of the partition column; empty when unpartitioned.
+    std::string partition_column;
+  };
+  /// Layout of `name`, or nullopt when the table does not exist.
+  [[nodiscard]] std::optional<TableLayout> table_layout(
+      std::string_view name) const;
+  /// Layouts of every catalog table, in catalog (case-insensitive name)
+  /// order.
+  [[nodiscard]] std::vector<TableLayout> table_layouts() const;
+  /// Deterministic content hash of the whole catalog layout: table names
+  /// plus their partition specs. Two databases with the same tables and the
+  /// same partitioning fingerprint equal; re-partitioning any table changes
+  /// it. Compiled-plan caches key on this so a plan compiled against one
+  /// layout is never replayed against another.
+  [[nodiscard]] std::uint64_t layout_fingerprint() const;
 
   /// Parses and executes a script of `;`-separated statements, returning the
   /// result of the last one.
@@ -88,6 +113,14 @@ class Database {
     std::uint64_t partition_scans = 0;      ///< partition heaps scanned by base scans
     std::uint64_t partitions_pruned = 0;    ///< partitions skipped via routing
     std::uint64_t parallel_scan_batches = 0;///< multi-partition scans run on the pool
+    /// CTEs materialized concurrently on the scan pool (independent WITH
+    /// entries of one statement execution; the serial path never bumps it).
+    std::uint64_t cte_parallel_materializations = 0;
+    /// Full-table aggregate subqueries a compiler rewrote into a
+    /// per-partition CTE union against this database's layout (bumped by
+    /// cosy::WholeConditionCompiler at compile time, once per rewritten
+    /// aggregate site; plan-cache hits do not recompile and do not recount).
+    std::uint64_t partition_union_rewrites = 0;
   };
   [[nodiscard]] ExecStatsSnapshot exec_stats() const noexcept {
     return {exec_stats_.subquery_executions.load(std::memory_order_relaxed),
@@ -95,7 +128,11 @@ class Database {
             exec_stats_.cte_materializations.load(std::memory_order_relaxed),
             exec_stats_.partition_scans.load(std::memory_order_relaxed),
             exec_stats_.partitions_pruned.load(std::memory_order_relaxed),
-            exec_stats_.parallel_scan_batches.load(std::memory_order_relaxed)};
+            exec_stats_.parallel_scan_batches.load(std::memory_order_relaxed),
+            exec_stats_.cte_parallel_materializations.load(
+                std::memory_order_relaxed),
+            exec_stats_.partition_union_rewrites.load(
+                std::memory_order_relaxed)};
   }
 
   // Internal: bumped by the executor (relaxed; telemetry only).
@@ -117,6 +154,14 @@ class Database {
   void count_parallel_scan_batch() noexcept {
     exec_stats_.parallel_scan_batches.fetch_add(1, std::memory_order_relaxed);
   }
+  void count_cte_parallel_materializations(std::uint64_t n) noexcept {
+    exec_stats_.cte_parallel_materializations.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void count_partition_union_rewrite() noexcept {
+    exec_stats_.partition_union_rewrites.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
 
  private:
   struct ExecStats {
@@ -126,6 +171,8 @@ class Database {
     std::atomic<std::uint64_t> partition_scans{0};
     std::atomic<std::uint64_t> partitions_pruned{0};
     std::atomic<std::uint64_t> parallel_scan_batches{0};
+    std::atomic<std::uint64_t> cte_parallel_materializations{0};
+    std::atomic<std::uint64_t> partition_union_rewrites{0};
 
     // Snapshot copy/move so Database itself stays movable (nobody may be
     // executing against a Database while it is moved anyway).
@@ -143,6 +190,8 @@ class Database {
       copy(partition_scans, other.partition_scans);
       copy(partitions_pruned, other.partitions_pruned);
       copy(parallel_scan_batches, other.parallel_scan_batches);
+      copy(cte_parallel_materializations, other.cte_parallel_materializations);
+      copy(partition_union_rewrites, other.partition_union_rewrites);
       return *this;
     }
   };
@@ -153,6 +202,30 @@ class Database {
     bool operator()(const std::string& a, const std::string& b) const;
   };
   std::map<std::string, std::unique_ptr<Table>, CaseInsensitiveLess> tables_;
+
+  /// Fingerprint memo: the catalog only changes through create/drop (which
+  /// bump the generation, under the single-writer contract), so
+  /// layout_fingerprint() — called per evaluation by the plan-cache keying —
+  /// re-hashes the catalog only after DDL. Atomics because concurrent
+  /// read-only sessions may consult the fingerprint simultaneously; the
+  /// race is benign (both writers store the same value for a generation).
+  /// Snapshot copy/move like ExecStats, so Database itself stays movable.
+  struct LayoutMemo {
+    std::atomic<std::uint64_t> fingerprint{0};
+    std::atomic<std::uint64_t> generation{~std::uint64_t{0}};  // = invalid
+
+    LayoutMemo() = default;
+    LayoutMemo(const LayoutMemo& other) { *this = other; }
+    LayoutMemo& operator=(const LayoutMemo& other) {
+      fingerprint.store(other.fingerprint.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      generation.store(other.generation.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      return *this;
+    }
+  };
+  std::uint64_t catalog_generation_ = 0;
+  mutable LayoutMemo layout_memo_;
 };
 
 }  // namespace kojak::db

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cmath>
 #include <deque>
 #include <future>
@@ -34,11 +35,16 @@ namespace {
 // ---------------------------------------------------------------------------
 // Parallel partition scans
 
-/// Dedicated pool for partition scans, separate from support::global_pool().
-/// Scan tasks are leaves — predicate evaluation over materialized subquery
-/// values cannot execute further statements — so statements that themselves
-/// run on global-pool workers (the sharded analysis backends) can block on
-/// scan futures without any risk of pool self-starvation.
+/// Dedicated pool for partition scans and parallel CTE materialization,
+/// separate from support::global_pool() — statements that themselves run on
+/// global-pool workers (the sharded analysis backends) can block on these
+/// futures without starving their own pool. Deadlock-freedom WITHIN this
+/// pool rests on one protocol, not on tasks being leaves: every execution
+/// dispatched onto the pool runs under an ExecEnv with `on_pool` set, and
+/// both dispatch sites (run_heap_scan's partition fan-out and
+/// materialize_ctes' dependency waves) go strictly serial when they see
+/// that flag — a pool task never submits to the pool and blocks. Any new
+/// pool user must follow the same rule.
 support::ThreadPool& scan_pool() {
   static support::ThreadPool pool;
   return pool;
@@ -74,8 +80,14 @@ struct CteScope {
 /// execution: the uncorrelated-subquery memo. Structurally identical scalar
 /// subqueries execute once per statement execution; later occurrences are
 /// served from here (tests pin this via Database::exec_stats).
+///
+/// `on_pool` marks executions that already run on a scan-pool worker
+/// (parallel CTE materialization): such executions must stay strictly
+/// serial — submitting to the pool and blocking from inside a pool task is
+/// how a fixed-size pool deadlocks on itself.
 struct ExecEnv {
   std::unordered_map<std::string, Value> subquery_memo;
+  bool on_pool = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -85,6 +97,9 @@ struct ExecEnv {
 struct ScanSource {
   const Table* table = nullptr;          // base table, or
   const QueryResult* derived = nullptr;  // materialized CTE rows
+  /// Validated `PARTITION (k)` selector: scans and probes of this source
+  /// touch only partition k.
+  std::optional<std::size_t> partition;
   std::string qualifier;
   std::size_t base_slot = 0;
 
@@ -119,11 +134,28 @@ class Binder {
       // A CTE shadows a catalog table of the same name (standard scoping).
       if (const QueryResult* derived =
               ctes == nullptr ? nullptr : ctes->find(ref.table)) {
+        if (ref.partition) {
+          // Backstop for CTEs reaching here from an *enclosing* statement's
+          // scope — same-statement selectors are already a parse error.
+          throw EvalError(support::cat(
+              "PARTITION selector on CTE '", ref.table,
+              "' (partition selection applies to partitioned catalog "
+              "tables, not temp results)"));
+        }
         source.derived = derived;
       } else {
         source.table = db_.find_table(ref.table);
         if (source.table == nullptr) {
           throw EvalError(support::cat("unknown table '", ref.table, "'"));
+        }
+        if (ref.partition) {
+          if (*ref.partition >= source.table->partition_count()) {
+            throw EvalError(support::cat(
+                "PARTITION selector ", *ref.partition, " out of range: table '",
+                ref.table, "' has ", source.table->partition_count(),
+                " partition(s)"));
+          }
+          source.partition = ref.partition;
         }
       }
       for (const ScanSource& s : sources) {
@@ -226,7 +258,9 @@ class Binder {
     static constexpr Fn kFns[] = {
         {"ABS", 1, 1},    {"SQRT", 1, 1},   {"FLOOR", 1, 1}, {"CEIL", 1, 1},
         {"ROUND", 1, 2},  {"LENGTH", 1, 1}, {"UPPER", 1, 1}, {"LOWER", 1, 1},
-        {"COALESCE", 1, 64}, {"IIF", 3, 3}, {"NULLIF", 2, 2},
+        {"COALESCE", 1, sql::kMaxScalarFnArgs}, {"IIF", 3, 3},
+        {"NULLIF", 2, 2}, {"LEAST", 2, sql::kMaxScalarFnArgs},
+        {"GREATEST", 2, sql::kMaxScalarFnArgs},
     };
     for (const Fn& fn : kFns) {
       if (e.func == fn.name) {
@@ -319,6 +353,26 @@ Value eval_scalar_function(const Expr& e, const EvalCtx& ctx) {
     const Value b = arg(1);
     const auto cmp = Value::compare_sql(a, b);
     return (cmp && *cmp == 0) ? Value::null() : a;
+  }
+  if (e.func == "LEAST" || e.func == "GREATEST") {
+    // NULL-skipping extrema (aggregate-MIN/MAX semantics, not the
+    // NULL-poisoning variant some engines use): the partition-union rewrite
+    // combines per-partition MIN/MAX shards with these, and an empty
+    // partition's NULL must not erase the other shards' extremum. All-NULL
+    // arguments yield NULL, exactly like MIN/MAX over an empty set.
+    const bool want_min = e.func == "LEAST";
+    Value best = Value::null();
+    for (const auto& a : e.args) {
+      const Value v = eval_expr(*a, ctx);
+      if (v.is_null()) continue;
+      if (best.is_null()) {
+        best = v;
+        continue;
+      }
+      const auto cmp = Value::compare_sql(v, best);
+      if (cmp && (want_min ? *cmp < 0 : *cmp > 0)) best = v;
+    }
+    return best;
   }
 
   const Value v = arg(0);
@@ -606,17 +660,22 @@ void subquery_key(const sql::SelectStmt& s, std::string& out) {
     }
     out += ',';
   }
+  const auto table_ref_key = [&out](const sql::TableRef& ref) {
+    out += ref.table;
+    // `t PARTITION (0)` and `t PARTITION (1)` scan different rows; the
+    // selector must split the memo key or the second one would be served
+    // the first one's result.
+    if (ref.partition) out += support::cat("#p", *ref.partition);
+    out += ' ';
+    out += ref.alias;
+  };
   if (s.from) {
     out += "F";
-    out += s.from->table;
-    out += ' ';
-    out += s.from->alias;
+    table_ref_key(*s.from);
   }
   for (const auto& join : s.joins) {
     out += "J";
-    out += join.table.table;
-    out += ' ';
-    out += join.table.alias;
+    table_ref_key(join.table);
     if (join.on) subquery_key(*join.on, out);
   }
   if (s.where) {
@@ -656,16 +715,7 @@ class SelectExec {
     ExecEnv local_env;
     if (env_ == nullptr) env_ = &local_env;
 
-    // Materialize the WITH entries, in order, exactly once per execution.
-    // Each body runs with the scope of its earlier siblings; every
-    // referencing subquery afterwards scans the stored rows instead of
-    // re-running the plan.
-    for (sql::CommonTableExpr& cte : stmt_.ctes) {
-      SelectExec body(db_, *cte.select, params_, &scope_, env_);
-      cte_results_.push_back(body.run());
-      db_.count_cte_materialization();
-      scope_.entries.emplace_back(cte.name, &cte_results_.back());
-    }
+    if (!stmt_.ctes.empty()) materialize_ctes();
 
     Binder binder(db_, params_);
     sources_ = binder.bind_sources(stmt_, &scope_);
@@ -740,6 +790,133 @@ class SelectExec {
   }
 
  private:
+  /// Declaration indices of earlier CTEs the `index`-th body references
+  /// (FROM, JOINs, and subqueries, recursively). The parser already rejects
+  /// self and forward references, so dependencies only point backwards.
+  [[nodiscard]] std::vector<std::size_t> cte_dependencies(
+      std::size_t index) const {
+    std::vector<std::size_t> deps;
+    sql::for_each_table_ref(
+        *stmt_.ctes[index].select, [&](const sql::TableRef& ref) {
+          for (std::size_t j = 0; j < index; ++j) {
+            if (support::iequals(ref.table, stmt_.ctes[j].name)) {
+              deps.push_back(j);
+              return;
+            }
+          }
+        });
+    return deps;
+  }
+
+  /// Live rows the `index`-th CTE's base scan would touch (0 when the body
+  /// is FROM-less or reads a derived source) — the dispatch-threshold
+  /// estimate for parallel materialization.
+  [[nodiscard]] std::size_t cte_scan_estimate(std::size_t index) const {
+    const sql::SelectStmt& body = *stmt_.ctes[index].select;
+    if (!body.from) return 0;
+    if (scope_.find(body.from->table) != nullptr) return 0;  // derived
+    const Table* table = db_.find_table(body.from->table);
+    if (table == nullptr) return 0;  // surfaces as a bind error later
+    if (body.from->partition && *body.from->partition < table->partition_count()) {
+      return table->partition_live_count(*body.from->partition);
+    }
+    return table->live_row_count();
+  }
+
+  /// Materializes the WITH entries exactly once per execution. Entries are
+  /// scheduled in dependency waves: every CTE whose (strictly earlier)
+  /// references are already materialized is ready, and a ready wave of two
+  /// or more bodies runs concurrently on the scan pool when the scan config
+  /// allows it — this is what lets a partition-union statement scan its
+  /// `part<K>` CTEs in parallel inside ONE statement execution. Results
+  /// land in declaration-indexed slots and scope entries are appended in
+  /// declaration order, so the visible row streams are byte-identical to
+  /// the serial left-to-right materialization.
+  void materialize_ctes() {
+    const std::size_t n = stmt_.ctes.size();
+    cte_results_.resize(n);
+    std::vector<std::vector<std::size_t>> deps(n);
+    for (std::size_t i = 0; i < n; ++i) deps[i] = cte_dependencies(i);
+
+    const Database::ScanConfig& config = db_.scan_config();
+    std::size_t workers =
+        config.threads == 0 ? scan_pool().size() : config.threads;
+
+    std::vector<bool> done(n, false);
+    std::size_t materialized = 0;
+    while (materialized < n) {
+      std::vector<std::size_t> wave;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (done[i]) continue;
+        const bool ready = std::all_of(deps[i].begin(), deps[i].end(),
+                                       [&](std::size_t j) { return done[j]; });
+        if (ready) wave.push_back(i);
+      }
+      // The dependency graph is acyclic (parser-enforced), so progress is
+      // guaranteed: at least the lowest unfinished index is ready.
+
+      std::size_t estimate = 0;
+      for (const std::size_t i : wave) estimate += cte_scan_estimate(i);
+      const bool parallel = wave.size() >= 2 && workers >= 2 &&
+                            !env_->on_pool &&
+                            estimate >= config.min_parallel_rows;
+      if (parallel) {
+        // Each body gets a private ExecEnv seeded with the statement's memo
+        // (bodies on the pool must not share a mutable map); fresh entries
+        // merge back in declaration order, so the surviving memo is
+        // deterministic. on_pool keeps the bodies strictly serial inside —
+        // a pool task blocking on the pool is a self-deadlock.
+        std::vector<ExecEnv> envs(wave.size());
+        for (ExecEnv& env : envs) {
+          env.subquery_memo = env_->subquery_memo;
+          env.on_pool = true;
+        }
+        std::atomic<std::size_t> next{0};
+        const std::size_t tasks = std::min(workers, wave.size());
+        std::vector<std::future<void>> futures;
+        futures.reserve(tasks);
+        for (std::size_t w = 0; w < tasks; ++w) {
+          futures.push_back(scan_pool().submit([&] {
+            while (true) {
+              const std::size_t i = next.fetch_add(1);
+              if (i >= wave.size()) return;
+              SelectExec body(db_, *stmt_.ctes[wave[i]].select, params_,
+                              &scope_, &envs[i]);
+              cte_results_[wave[i]] = body.run();
+              db_.count_cte_materialization();
+            }
+          }));
+        }
+        std::exception_ptr first_error;
+        for (std::future<void>& future : futures) {
+          try {
+            future.get();
+          } catch (...) {
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+        if (first_error) std::rethrow_exception(first_error);
+        db_.count_cte_parallel_materializations(wave.size());
+        for (ExecEnv& env : envs) {
+          for (auto& [key, value] : env.subquery_memo) {
+            env_->subquery_memo.try_emplace(key, value);
+          }
+        }
+      } else {
+        for (const std::size_t i : wave) {
+          SelectExec body(db_, *stmt_.ctes[i].select, params_, &scope_, env_);
+          cte_results_[i] = body.run();
+          db_.count_cte_materialization();
+        }
+      }
+      for (const std::size_t i : wave) {
+        done[i] = true;
+        scope_.entries.emplace_back(stmt_.ctes[i].name, &cte_results_[i]);
+        ++materialized;
+      }
+    }
+  }
+
   void expand_stars() {
     std::vector<sql::SelectItem> expanded;
     for (auto& item : stmt_.items) {
@@ -881,6 +1058,9 @@ class SelectExec {
     /// column routes a heap scan to this single partition. Only full scans
     /// carry it — index paths route internally, shard by shard.
     std::optional<std::size_t> partition;
+    /// An explicit `PARTITION (k)` selector conflicts with the partition an
+    /// equality conjunct routes to: the scan provably yields nothing.
+    bool empty = false;
   };
 
   /// Collects `column op constant` conjuncts over the given source and
@@ -965,12 +1145,32 @@ class SelectExec {
       }
     };
     visit(visit, predicate);
-
-    if (plan.kind == BaseScanPlan::Kind::kEquality) return plan;
-    for (auto& [column, range] : ranges) {
-      if (range.lo || range.hi) return range;
+    if (source.partition && plan.partition &&
+        *plan.partition != *source.partition) {
+      // The explicit selector and an equality conjunct's routing disagree:
+      // the scan is provably empty and touches nothing.
+      BaseScanPlan empty;
+      empty.empty = true;
+      empty.partition = source.partition;
+      return empty;
     }
-    return plan;
+    // One access-path cascade for pinned and unpinned scans alike:
+    // equality probe, else the first bounded range, else full scan. A
+    // selector then pins whichever path won — index paths stay worth
+    // taking (their row ids are filtered by the row-id partition bits), so
+    // a shard CTE whose body keeps an indexed equality (the rewritten
+    // per-owner aggregates) probes instead of walking its partition heap.
+    BaseScanPlan chosen = std::move(plan);
+    if (chosen.kind != BaseScanPlan::Kind::kEquality) {
+      for (auto& [column, range] : ranges) {
+        if (range.lo || range.hi) {
+          chosen = std::move(range);
+          break;
+        }
+      }
+    }
+    if (source.partition) chosen.partition = source.partition;
+    return chosen;
   }
 
   /// Heap scan of a base table: every partition the plan did not prune, in
@@ -984,6 +1184,12 @@ class SelectExec {
     const std::size_t nparts = table.partition_count();
     std::size_t first = 0;
     std::size_t count = nparts;
+    if (plan.empty) {
+      // Selector and equality routing disagree: nothing can match.
+      db_.count_partitions_pruned(nparts);
+      if (stmt_.joins.empty() && stmt_.where) where_applied_ = true;
+      return {};
+    }
     if (plan.partition && nparts > 1) {
       first = *plan.partition;
       count = 1;
@@ -1012,6 +1218,9 @@ class SelectExec {
     std::size_t workers =
         config.threads == 0 ? scan_pool().size() : config.threads;
     workers = std::min(workers, count);
+    // Executions already on a scan-pool worker (parallel CTE bodies) scan
+    // serially: blocking on the pool from inside it can deadlock the pool.
+    if (env_->on_pool) workers = 1;
 
     std::vector<Row> rows;
     if (workers > 1 && live >= config.min_parallel_rows) {
@@ -1105,6 +1314,11 @@ class SelectExec {
           rows.reserve(base_row_ids.size());
           for (const std::size_t id : base_row_ids) {
             if (!base.table->is_live(id)) continue;
+            // A PARTITION (k) selector keeps the probe but drops foreign
+            // shards' ids (probes aggregate across shards).
+            if (plan.partition && row_id_partition(id) != *plan.partition) {
+              continue;
+            }
             rows.push_back(base.table->row(id));
           }
           break;
@@ -1122,10 +1336,17 @@ class SelectExec {
 
       // Iterates the inner source's rows regardless of kind (zero-copy: the
       // visitor walks the partition heaps without materializing an id list).
+      // A `PARTITION (k)` selector restricts the walk to that partition.
       const auto each_inner_row = [&inner](auto&& fn) {
         if (inner.table != nullptr) {
-          inner.table->for_each_live_row(
-              [&fn](std::size_t, const Row& row) { fn(row); });
+          if (inner.partition) {
+            inner.table->for_each_live_row_in(
+                *inner.partition,
+                [&fn](std::size_t, const Row& row) { fn(row); });
+          } else {
+            inner.table->for_each_live_row(
+                [&fn](std::size_t, const Row& row) { fn(row); });
+          }
         } else {
           for (const Row& row : inner.derived->rows) fn(row);
         }
@@ -1142,6 +1363,10 @@ class SelectExec {
         for (const Row& outer : rows) {
           for (const std::size_t id : inner_index->equal_range(outer[key->first])) {
             if (!inner.table->is_live(id)) continue;
+            // The probe aggregates shards; honor an explicit selector.
+            if (inner.partition && row_id_partition(id) != *inner.partition) {
+              continue;
+            }
             Row combined = outer;
             const Row& inner_row = inner.table->row(id);
             combined.insert(combined.end(), inner_row.begin(), inner_row.end());
@@ -1366,7 +1591,8 @@ QueryResult exec_update(Database& db, sql::UpdateStmt& stmt,
                         std::span<const Value> params) {
   Table& table = db.table(stmt.table);
   Binder binder(db, params);
-  std::vector<ScanSource> sources{{&table, nullptr, table.schema().name(), 0}};
+  std::vector<ScanSource> sources{
+      {&table, nullptr, std::nullopt, table.schema().name(), 0}};
   std::vector<std::pair<std::size_t, Expr*>> sets;
   for (auto& [name, expr] : stmt.assignments) {
     const auto col = table.schema().find_column(name);
@@ -1400,7 +1626,8 @@ QueryResult exec_delete(Database& db, sql::DeleteStmt& stmt,
                         std::span<const Value> params) {
   Table& table = db.table(stmt.table);
   Binder binder(db, params);
-  std::vector<ScanSource> sources{{&table, nullptr, table.schema().name(), 0}};
+  std::vector<ScanSource> sources{
+      {&table, nullptr, std::nullopt, table.schema().name(), 0}};
   if (stmt.where) {
     binder.bind_expr(*stmt.where, sources, /*allow_aggregates=*/false);
   }
@@ -1466,11 +1693,14 @@ Table& Database::create_table(TableSchema schema) {
   }
   auto [it, inserted] =
       tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
+  ++catalog_generation_;  // invalidates the layout-fingerprint memo
   return *it->second;
 }
 
 bool Database::drop_table(std::string_view name) {
-  return tables_.erase(std::string(name)) > 0;
+  const bool dropped = tables_.erase(std::string(name)) > 0;
+  if (dropped) ++catalog_generation_;
+  return dropped;
 }
 
 Table* Database::find_table(std::string_view name) {
@@ -1500,6 +1730,70 @@ std::vector<std::string> Database::table_names() const {
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
   return names;
+}
+
+namespace {
+
+Database::TableLayout layout_of(const Table& table) {
+  Database::TableLayout layout;
+  layout.table = table.schema().name();
+  layout.partition = table.schema().partition();
+  layout.partitions = table.partition_count();
+  if (layout.partition) layout.partition_column = layout.partition->column;
+  return layout;
+}
+
+void hash_mix(std::uint64_t& h, std::string_view text) {
+  // FNV-1a over the lowercased text (the catalog is case-insensitive, so
+  // two spellings of one layout must fingerprint identically).
+  for (const char c : text) {
+    h ^= static_cast<std::uint64_t>(
+        std::tolower(static_cast<unsigned char>(c)));
+    h *= 0x100000001b3ULL;
+  }
+  h ^= 0x1f;
+  h *= 0x100000001b3ULL;
+}
+
+}  // namespace
+
+std::optional<Database::TableLayout> Database::table_layout(
+    std::string_view name) const {
+  const Table* table = find_table(name);
+  if (table == nullptr) return std::nullopt;
+  return layout_of(*table);
+}
+
+std::vector<Database::TableLayout> Database::table_layouts() const {
+  std::vector<TableLayout> layouts;
+  layouts.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) layouts.push_back(layout_of(*table));
+  return layouts;
+}
+
+std::uint64_t Database::layout_fingerprint() const {
+  if (layout_memo_.generation.load(std::memory_order_acquire) ==
+      catalog_generation_) {
+    return layout_memo_.fingerprint.load(std::memory_order_relaxed);
+  }
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (const auto& [name, table] : tables_) {
+    hash_mix(h, table->schema().name());
+    const auto& spec = table->schema().partition();
+    if (!spec) {
+      hash_mix(h, "-");
+      continue;
+    }
+    hash_mix(h, spec->method == PartitionSpec::Method::kHash ? "hash" : "range");
+    hash_mix(h, spec->column);
+    hash_mix(h, std::to_string(spec->partitions));
+    for (const Value& bound : spec->range_bounds) {
+      hash_mix(h, bound.to_display());
+    }
+  }
+  layout_memo_.fingerprint.store(h, std::memory_order_relaxed);
+  layout_memo_.generation.store(catalog_generation_, std::memory_order_release);
+  return h;
 }
 
 QueryResult Database::execute(std::string_view sql_text,

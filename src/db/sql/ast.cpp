@@ -86,6 +86,41 @@ std::unique_ptr<SelectStmt> clone_select(const SelectStmt& s) {
 
 ExprPtr Expr::clone() const { return clone_expr(*this); }
 
+namespace {
+
+void walk_refs(const SelectStmt& s,
+               const std::function<void(const TableRef&)>& fn);
+
+void walk_refs(const Expr& e, const std::function<void(const TableRef&)>& fn) {
+  if (e.subquery) walk_refs(*e.subquery, fn);
+  if (e.lhs) walk_refs(*e.lhs, fn);
+  if (e.rhs) walk_refs(*e.rhs, fn);
+  for (const auto& arg : e.args) walk_refs(*arg, fn);
+}
+
+void walk_refs(const SelectStmt& s,
+               const std::function<void(const TableRef&)>& fn) {
+  if (s.from) fn(*s.from);
+  for (const Join& join : s.joins) {
+    fn(join.table);
+    if (join.on) walk_refs(*join.on, fn);
+  }
+  for (const auto& item : s.items) {
+    if (item.expr) walk_refs(*item.expr, fn);
+  }
+  if (s.where) walk_refs(*s.where, fn);
+  for (const auto& g : s.group_by) walk_refs(*g, fn);
+  if (s.having) walk_refs(*s.having, fn);
+  for (const auto& key : s.order_by) walk_refs(*key.expr, fn);
+}
+
+}  // namespace
+
+void for_each_table_ref(const SelectStmt& stmt,
+                        const std::function<void(const TableRef&)>& fn) {
+  walk_refs(stmt, fn);
+}
+
 std::unique_ptr<SelectStmt> SelectStmt::clone() const { return clone_select(*this); }
 
 std::string Expr::to_string() const {

@@ -1,6 +1,8 @@
 #ifndef KOJAK_DB_SQL_AST_HPP
 #define KOJAK_DB_SQL_AST_HPP
 
+#include <cstddef>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -12,6 +14,12 @@
 #include "support/source_location.hpp"
 
 namespace kojak::db::sql {
+
+/// Argument cap of the variadic scalar functions (COALESCE, LEAST,
+/// GREATEST) in the executor's binder — the single definition query
+/// compilers consult too: a MIN/MAX partition-union fold with more shards
+/// than this would fail at bind time, so the rewrite declines beyond it.
+inline constexpr std::size_t kMaxScalarFnArgs = 64;
 
 struct Expr;
 using ExprPtr = std::unique_ptr<Expr>;
@@ -87,6 +95,13 @@ struct SelectItem {
 struct TableRef {
   std::string table;
   std::string alias;  // empty -> table name is the qualifier
+  /// `FROM t PARTITION (k) [alias]`: restrict the scan to partition k of a
+  /// partitioned catalog table. Only valid on catalog tables — the parser
+  /// rejects selectors on CTE names, the executor on any derived source —
+  /// and out-of-range selectors are an execution-time diagnostic. This is
+  /// the scan predicate the partition-union rewrite compiles per-partition
+  /// CTEs with.
+  std::optional<std::size_t> partition;
   support::SourceLoc loc;
 
   [[nodiscard]] const std::string& qualifier() const noexcept {
@@ -132,6 +147,17 @@ struct SelectStmt {
   /// original statement stays reusable).
   [[nodiscard]] std::unique_ptr<SelectStmt> clone() const;
 };
+
+/// Visits every TableRef of one SELECT — FROM, every JOIN, and every
+/// expression position (WHERE, items, GROUP BY, HAVING, ORDER BY, join
+/// conditions), recursing into scalar subqueries. Does NOT descend into
+/// `stmt.ctes`: CTE bodies are separate scopes and every caller (the
+/// parser's reference/selector validation, the executor's dependency
+/// analysis) walks them individually. The one traversal all of them share —
+/// so a new expression-bearing clause is added here once, not in three
+/// hand-rolled copies.
+void for_each_table_ref(const SelectStmt& stmt,
+                        const std::function<void(const TableRef&)>& fn);
 
 struct CreateTableStmt {
   TableSchema schema;

@@ -138,8 +138,36 @@ class Parser {
     for (std::size_t i = 0; i < ctes.size(); ++i) {
       check_cte_references(*ctes[i].select, ctes, i);
     }
+    // PARTITION selectors apply to catalog tables only: a CTE is a
+    // materialized temp result with no partitions, so `FROM cte PARTITION
+    // (k)` is a located diagnostic here instead of a misleading "unknown
+    // partition" surprise at execution time. Bodies are checked too — an
+    // earlier CTE is just as partition-free as the final result.
+    check_partition_selectors(stmt, ctes);
+    for (const CommonTableExpr& cte : ctes) {
+      check_partition_selectors(*cte.select, ctes);
+    }
     stmt.ctes = std::move(ctes);
     return stmt;
+  }
+
+  /// Rejects `PARTITION (k)` selectors on names that resolve to a CTE of
+  /// this statement's WITH clause (anywhere in the select: FROM, JOINs, and
+  /// subqueries, recursively).
+  static void check_partition_selectors(
+      const SelectStmt& select, const std::vector<CommonTableExpr>& ctes) {
+    for_each_table_ref(select, [&](const TableRef& ref) {
+      if (!ref.partition) return;
+      for (const CommonTableExpr& cte : ctes) {
+        if (support::iequals(ref.table, cte.name)) {
+          throw ParseError(
+              support::cat("PARTITION selector on CTE '", ref.table,
+                           "' (partition selection applies to partitioned "
+                           "catalog tables, not temp results)"),
+              ref.loc);
+        }
+      }
+    });
   }
 
   /// Walks every table reference of the `index`-th CTE's body (FROM, JOINs,
@@ -154,7 +182,7 @@ class Parser {
   static void check_cte_references(const SelectStmt& body,
                                    const std::vector<CommonTableExpr>& ctes,
                                    std::size_t index) {
-    const auto check_ref = [&](const TableRef& ref) {
+    for_each_table_ref(body, [&](const TableRef& ref) {
       for (std::size_t j = 0; j < ctes.size(); ++j) {
         if (!support::iequals(ref.table, ctes[j].name)) continue;
         if (j == index) {
@@ -173,31 +201,7 @@ class Parser {
               ref.loc);
         }
       }
-    };
-    const auto walk_expr = [&](auto&& walk_self, const Expr& e,
-                               auto&& walk_select) -> void {
-      if (e.subquery) walk_select(walk_select, *e.subquery);
-      if (e.lhs) walk_self(walk_self, *e.lhs, walk_select);
-      if (e.rhs) walk_self(walk_self, *e.rhs, walk_select);
-      for (const auto& arg : e.args) walk_self(walk_self, *arg, walk_select);
-    };
-    const auto walk_select = [&](auto&& walk_sel, const SelectStmt& s) -> void {
-      if (s.from) check_ref(*s.from);
-      for (const Join& join : s.joins) {
-        check_ref(join.table);
-        if (join.on) walk_expr(walk_expr, *join.on, walk_sel);
-      }
-      for (const auto& item : s.items) {
-        if (item.expr) walk_expr(walk_expr, *item.expr, walk_sel);
-      }
-      if (s.where) walk_expr(walk_expr, *s.where, walk_sel);
-      for (const auto& g : s.group_by) walk_expr(walk_expr, *g, walk_sel);
-      if (s.having) walk_expr(walk_expr, *s.having, walk_sel);
-      for (const auto& key : s.order_by) {
-        walk_expr(walk_expr, *key.expr, walk_sel);
-      }
-    };
-    walk_select(walk_select, body);
+    });
   }
 
   SelectStmt parse_select() {
@@ -300,6 +304,22 @@ class Parser {
     TableRef ref;
     ref.loc = peek().loc;
     ref.table = expect_ident("table name");
+    // `t PARTITION (k)` pins the scan to one partition of a partitioned
+    // catalog table (the per-partition CTEs of the partition-union rewrite
+    // are built from exactly this form). Plain `t PARTITION` stays a legal
+    // alias, so the selector only engages when a parenthesis follows.
+    if (peek().is_keyword("PARTITION") && peek(1).is_symbol("(")) {
+      advance();  // PARTITION
+      expect_symbol("(");
+      const Token& index_tok = peek();
+      if (index_tok.kind != TokenKind::kIntLit || index_tok.int_value < 0) {
+        throw ParseError("PARTITION selector expects a non-negative "
+                         "partition index",
+                         index_tok.loc);
+      }
+      ref.partition = static_cast<std::size_t>(advance().int_value);
+      expect_symbol(")");
+    }
     if (accept_keyword("AS")) {
       ref.alias = expect_ident("table alias");
     } else if (peek().kind == TokenKind::kIdent && !is_clause_keyword(peek())) {

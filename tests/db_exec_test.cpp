@@ -702,6 +702,201 @@ TEST(Partitioned, QueriesAgreeWithUnpartitionedTable) {
   }
 }
 
+TEST(Partitioned, PartitionSelectorPinsTheScan) {
+  Database db = make_partitioned_db(4, 50);
+
+  // The selected shards tile the table: per-partition counts sum to the
+  // full count, and each selector scan touches exactly one partition heap.
+  std::int64_t total = 0;
+  for (int k = 0; k < 4; ++k) {
+    const auto before = db.exec_stats();
+    total += db.execute(kojak::support::cat(
+                            "SELECT COUNT(*) FROM pt PARTITION (", k, ")"))
+                 .scalar()
+                 .as_int();
+    const auto after = db.exec_stats();
+    EXPECT_EQ(after.partition_scans - before.partition_scans, 1u);
+    EXPECT_EQ(after.partitions_pruned - before.partitions_pruned, 3u);
+  }
+  EXPECT_EQ(total, 50);
+
+  // Selector + agreeing equality on the partition column: the row is in
+  // its shard. Disagreeing: provably empty, nothing scanned.
+  const std::size_t home = db.table("pt").route(Value::integer(7));
+  EXPECT_EQ(db.execute(kojak::support::cat(
+                           "SELECT COUNT(*) FROM pt PARTITION (", home,
+                           ") WHERE k = 7"))
+                .scalar()
+                .as_int(),
+            1);
+  const std::size_t away = (home + 1) % 4;
+  const auto before = db.exec_stats();
+  EXPECT_EQ(db.execute(kojak::support::cat(
+                           "SELECT COUNT(*) FROM pt PARTITION (", away,
+                           ") WHERE k = 7"))
+                .scalar()
+                .as_int(),
+            0);
+  const auto after = db.exec_stats();
+  EXPECT_EQ(after.partition_scans - before.partition_scans, 0u);
+  EXPECT_EQ(after.partitions_pruned - before.partitions_pruned, 4u);
+
+  // Joins accept a selector on the inner table too.
+  db.execute("CREATE TABLE names (k INTEGER, label TEXT)");
+  db.execute("INSERT INTO names VALUES (7, 'seven'), (8, 'eight')");
+  const QueryResult joined = db.execute(kojak::support::cat(
+      "SELECT names.label FROM names JOIN pt PARTITION (", home,
+      ") p ON p.k = names.k"));
+  ASSERT_EQ(joined.row_count(),
+            home == db.table("pt").route(Value::integer(8)) ? 2u
+                                                                       : 1u);
+  EXPECT_EQ(joined.at(0, 0).as_string(), "seven");
+
+  // With an index on a non-partition column, a selector keeps the index
+  // probe and filters the resulting ids by partition bits — no shard heap
+  // walk (partition_scans stays flat), results respect the selector.
+  db.execute("CREATE INDEX idx_pt_v ON pt (v)");
+  const auto probe_before = db.exec_stats();
+  EXPECT_EQ(db.execute(kojak::support::cat(
+                           "SELECT COUNT(*) FROM pt PARTITION (", home,
+                           ") WHERE v = 21"))
+                .scalar()
+                .as_int(),
+            1);
+  EXPECT_EQ(db.execute(kojak::support::cat(
+                           "SELECT COUNT(*) FROM pt PARTITION (", away,
+                           ") WHERE v = 21"))
+                .scalar()
+                .as_int(),
+            0);
+  const auto probe_after = db.exec_stats();
+  EXPECT_EQ(probe_after.partition_scans - probe_before.partition_scans, 0u);
+
+  // Out-of-range selectors are a diagnostic, not partition 0.
+  EXPECT_THROW(db.execute("SELECT COUNT(*) FROM pt PARTITION (4)"), EvalError);
+}
+
+TEST(Exec, LeastGreatestSkipNulls) {
+  Database db = make_db();
+  EXPECT_EQ(db.execute("SELECT LEAST(3, 1, 2)").scalar().as_int(), 1);
+  EXPECT_EQ(db.execute("SELECT GREATEST(3, 1, 2)").scalar().as_int(), 3);
+  // NULL arguments are skipped (aggregate-MIN/MAX semantics): the rewrite
+  // folds per-partition extrema where an empty shard yields NULL.
+  EXPECT_EQ(db.execute("SELECT LEAST(NULL, 5, NULL)").scalar().as_int(), 5);
+  EXPECT_DOUBLE_EQ(
+      db.execute("SELECT GREATEST(NULL, 1.5, 2.5, NULL)").scalar().as_double(),
+      2.5);
+  EXPECT_TRUE(db.execute("SELECT LEAST(NULL, NULL)").scalar().is_null());
+  EXPECT_THROW(db.execute("SELECT LEAST(1)"), EvalError);
+}
+
+TEST(Exec, IndependentCtesMaterializeInParallel) {
+  Database db = make_partitioned_db(4, 400);
+  const char* query =
+      "WITH s0 AS (SELECT COUNT(*) AS v FROM pt PARTITION (0)), "
+      "s1 AS (SELECT COUNT(*) AS v FROM pt PARTITION (1)), "
+      "s2 AS (SELECT COUNT(*) AS v FROM pt PARTITION (2)), "
+      "s3 AS (SELECT COUNT(*) AS v FROM pt PARTITION (3)), "
+      "total AS (SELECT (SELECT v FROM s0) + (SELECT v FROM s1) + "
+      "(SELECT v FROM s2) + (SELECT v FROM s3) AS v) "
+      "SELECT (SELECT v FROM total)";
+
+  // Serial configuration: all five CTEs materialize, none on the pool.
+  db.set_scan_config({.threads = 1, .min_parallel_rows = 1});
+  const auto serial_before = db.exec_stats();
+  EXPECT_EQ(db.execute(query).scalar().as_int(), 400);
+  const auto serial_after = db.exec_stats();
+  EXPECT_EQ(serial_after.cte_materializations -
+                serial_before.cte_materializations,
+            5u);
+  EXPECT_EQ(serial_after.cte_parallel_materializations -
+                serial_before.cte_parallel_materializations,
+            0u);
+
+  // Parallel configuration: the four independent shard CTEs run as one
+  // scan-pool wave; `total` depends on all of them and runs after. The
+  // result is identical.
+  db.set_scan_config({.threads = 4, .min_parallel_rows = 1});
+  const auto par_before = db.exec_stats();
+  EXPECT_EQ(db.execute(query).scalar().as_int(), 400);
+  const auto par_after = db.exec_stats();
+  EXPECT_EQ(par_after.cte_materializations - par_before.cte_materializations,
+            5u);
+  EXPECT_EQ(par_after.cte_parallel_materializations -
+                par_before.cte_parallel_materializations,
+            4u);
+
+  // The row threshold gates the wave dispatch exactly like heap scans.
+  db.set_scan_config({.threads = 4, .min_parallel_rows = 1000000});
+  const auto gated_before = db.exec_stats();
+  EXPECT_EQ(db.execute(query).scalar().as_int(), 400);
+  const auto gated_after = db.exec_stats();
+  EXPECT_EQ(gated_after.cte_parallel_materializations -
+                gated_before.cte_parallel_materializations,
+            0u);
+}
+
+TEST(Exec, PartitionUnionStatementOverOwnerHashedTimingTable) {
+  // The acceptance shape end-to-end at the engine level: a timing table
+  // partitioned HASH(owner) PARTITIONS 4, whose whole-table aggregate runs
+  // as ONE WITH part0..part3 union statement with the shard CTEs
+  // materialized in parallel — and agrees with the flat aggregate.
+  Database db;
+  db.execute(
+      "CREATE TABLE timing (owner INTEGER NOT NULL, t DOUBLE) "
+      "PARTITION BY HASH(owner) PARTITIONS 4");
+  for (int i = 0; i < 200; ++i) {
+    db.execute(kojak::support::cat("INSERT INTO timing VALUES (", i % 37,
+                                   ", ", (i % 8) * 0.25, ")"));
+  }
+  db.set_scan_config({.threads = 4, .min_parallel_rows = 1});
+
+  const double flat =
+      db.execute("SELECT COALESCE(SUM(t), 0.0) FROM timing").scalar().as_double();
+  const char* union_stmt =
+      "WITH part0 AS (SELECT COALESCE(SUM(t), 0.0) AS v FROM timing PARTITION (0)), "
+      "part1 AS (SELECT COALESCE(SUM(t), 0.0) AS v FROM timing PARTITION (1)), "
+      "part2 AS (SELECT COALESCE(SUM(t), 0.0) AS v FROM timing PARTITION (2)), "
+      "part3 AS (SELECT COALESCE(SUM(t), 0.0) AS v FROM timing PARTITION (3)) "
+      "SELECT (SELECT v FROM part0) + (SELECT v FROM part1) + "
+      "(SELECT v FROM part2) + (SELECT v FROM part3)";
+  const auto before = db.exec_stats();
+  const double unioned = db.execute(union_stmt).scalar().as_double();
+  const auto after = db.exec_stats();
+  EXPECT_DOUBLE_EQ(unioned, flat);
+  EXPECT_EQ(after.cte_materializations - before.cte_materializations, 4u);
+  EXPECT_EQ(after.cte_parallel_materializations -
+                before.cte_parallel_materializations,
+            4u);
+  // Each shard CTE scanned its own partition and pruned the other three.
+  EXPECT_EQ(after.partition_scans - before.partition_scans, 4u);
+  EXPECT_EQ(after.partitions_pruned - before.partitions_pruned, 12u);
+}
+
+TEST(Exec, ParallelCtesKeepDeterministicResults) {
+  Database db = make_partitioned_db(8, 600);
+  // Four independent CTEs with ORDER-sensitive bodies, consumed in FROM
+  // position: the parallel schedule must not change any row stream.
+  const char* query =
+      "WITH a AS (SELECT k, v FROM pt PARTITION (0)), "
+      "b AS (SELECT k, v FROM pt PARTITION (3)), "
+      "c AS (SELECT MIN(v) AS m FROM pt PARTITION (5)), "
+      "d AS (SELECT MAX(v) AS m FROM pt PARTITION (6)) "
+      "SELECT a.k, b.k, (SELECT m FROM c), (SELECT m FROM d) "
+      "FROM a JOIN b ON b.k = a.k + 1";
+  db.set_scan_config({.threads = 1, .min_parallel_rows = 1});
+  const QueryResult serial = db.execute(query);
+  db.set_scan_config({.threads = 8, .min_parallel_rows = 1});
+  const QueryResult parallel = db.execute(query);
+  ASSERT_EQ(serial.row_count(), parallel.row_count());
+  for (std::size_t r = 0; r < serial.row_count(); ++r) {
+    for (std::size_t c = 0; c < serial.column_count(); ++c) {
+      EXPECT_TRUE(serial.at(r, c).equals_total(parallel.at(r, c)))
+          << r << "," << c;
+    }
+  }
+}
+
 TEST(Partitioned, DmlRoundTripUnderPartitioning) {
   Database db = make_partitioned_db(4, 60);
   // UPDATE of the partition column moves rows between partitions under the

@@ -405,6 +405,71 @@ TEST(SqlParser, PartitionClauseDiagnostics) {
                ParseError);
 }
 
+TEST(SqlParser, PartitionSelectorOnTableRefs) {
+  // `FROM t PARTITION (k)` pins the scan to one partition; alias forms and
+  // JOIN positions all accept it.
+  const auto stmt = sql::parse_single(
+      "SELECT x.a FROM t PARTITION (2) x JOIN u PARTITION (0) ON u.id = x.a");
+  const auto& select = std::get<sql::SelectStmt>(stmt);
+  ASSERT_TRUE(select.from.has_value());
+  ASSERT_TRUE(select.from->partition.has_value());
+  EXPECT_EQ(*select.from->partition, 2u);
+  EXPECT_EQ(select.from->alias, "x");
+  ASSERT_EQ(select.joins.size(), 1u);
+  ASSERT_TRUE(select.joins[0].table.partition.has_value());
+  EXPECT_EQ(*select.joins[0].table.partition, 0u);
+
+  // A bare `PARTITION` without parentheses stays a legal alias.
+  const auto aliased = sql::parse_single("SELECT 1 FROM t PARTITION");
+  EXPECT_EQ(std::get<sql::SelectStmt>(aliased).from->alias, "PARTITION");
+  EXPECT_FALSE(std::get<sql::SelectStmt>(aliased).from->partition.has_value());
+
+  // The selector survives statement cloning (subquery materialization
+  // executes clones).
+  const auto cloned = std::get<sql::SelectStmt>(stmt).clone();
+  ASSERT_TRUE(cloned->from->partition.has_value());
+  EXPECT_EQ(*cloned->from->partition, 2u);
+
+  // Selector index must be a non-negative integer literal.
+  EXPECT_THROW((void)sql::parse_single("SELECT 1 FROM t PARTITION (x)"),
+               ParseError);
+  EXPECT_THROW((void)sql::parse_single("SELECT 1 FROM t PARTITION (-1)"),
+               ParseError);
+}
+
+TEST(SqlParser, PartitionSelectorOnCteIsALocatedDiagnostic) {
+  // CTEs are temp results without partitions: selecting a partition of one
+  // must fail at parse time, anchored at the offending reference —
+  // previously only catalog tables were validated and the mistake
+  // surfaced (if at all) at execution time.
+  try {
+    (void)sql::parse_single(
+        "WITH tmp AS (SELECT 1 AS v)\n"
+        "SELECT v FROM tmp PARTITION (0)");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("PARTITION selector on CTE 'tmp'"),
+              std::string::npos)
+        << e.what();
+    EXPECT_EQ(e.loc().line, 2u);
+    EXPECT_EQ(e.loc().column, 15u);  // anchored at the table reference
+  }
+  // The same inside a later CTE body or a nested subquery.
+  EXPECT_THROW((void)sql::parse_single(
+                   "WITH a AS (SELECT 1 AS v), "
+                   "b AS (SELECT v FROM a PARTITION (1)) SELECT v FROM b"),
+               ParseError);
+  EXPECT_THROW((void)sql::parse_single(
+                   "WITH a AS (SELECT 1 AS v) "
+                   "SELECT (SELECT v FROM a PARTITION (0))"),
+               ParseError);
+  // Catalog-table selectors inside a WITH statement stay legal (the
+  // rewrite's shard CTEs are exactly this shape).
+  EXPECT_NO_THROW((void)sql::parse_single(
+      "WITH s0 AS (SELECT COUNT(*) AS v FROM t PARTITION (0)) "
+      "SELECT (SELECT v FROM s0)"));
+}
+
 // ---------------------------------------------------------------------------
 // parse_single: exactly one statement
 
