@@ -13,9 +13,10 @@ are shared hardware; treating timing noise as failure would just train
 people to ignore red), the point is that every PR's bench trajectory is one
 click away from the committed baseline.
 
---pair PREFIX_A PREFIX_B additionally prints current-report real-time
-ratios between two benchmark families (the Release CI job uses it for the
-partition-union-vs-flat delta of bench_pushdown).
+--pair PREFIX_A PREFIX_B (repeatable) additionally prints current-report
+real-time ratios between two benchmark families (the Release CI job uses it
+for the partition-union-vs-flat and distributed-scatter-vs-serial deltas of
+bench_pushdown).
 """
 
 from __future__ import annotations
@@ -82,10 +83,29 @@ def fmt_delta(base: float, cur: float) -> str:
     return f"{(cur - base) / base * 100.0:+.1f}%"
 
 
+# Keys google-benchmark emits for every entry; anything else numeric in an
+# entry is a user counter (the JSON writer inlines counters at top level,
+# there is no "counters" sub-object).
+_BUILTIN_KEYS = frozenset({
+    "family_index", "per_family_instance_index", "repetitions",
+    "repetition_index", "threads", "iterations", "real_time", "cpu_time",
+})
+
+
+def user_counters(entry: dict) -> dict[str, float]:
+    return {
+        key: value
+        for key, value in entry.items()
+        if key not in _BUILTIN_KEYS
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    }
+
+
 def counter_moves(base: dict, cur: dict) -> list[str]:
     moves = []
-    base_counters = base.get("counters", {}) or {}
-    cur_counters = cur.get("counters", {}) or {}
+    base_counters = user_counters(base)
+    cur_counters = user_counters(cur)
     for name in sorted(set(base_counters) | set(cur_counters)):
         a = base_counters.get(name)
         b = cur_counters.get(name)
@@ -114,7 +134,12 @@ def print_pair_deltas(cur: dict[str, dict], prefix_a: str, prefix_b: str) -> Non
         b_time = b.get("real_time", 0.0)
         ratio = f"{a_time / b_time:.3f}x" if b_time > 0 else "n/a"
         counters = "; ".join(
-            f"{k}={v}" for k, v in sorted((a.get("counters") or {}).items())
+            f"{k}={a_val:g} vs {b_val:g}"
+            for (k, a_val), b_val in (
+                ((k, v), user_counters(b).get(k))
+                for k, v in sorted(user_counters(a).items())
+            )
+            if b_val is not None
         )
         print(
             f"pair {name} vs {partner}: "
@@ -140,9 +165,11 @@ def main() -> int:
     parser.add_argument(
         "--pair",
         nargs=2,
+        action="append",
         metavar=("PREFIX_A", "PREFIX_B"),
         help="also print current-report real-time ratios between two "
-        "benchmark name prefixes (e.g. BM_PartitionUnion BM_PartitionFlat)",
+        "benchmark name prefixes (e.g. BM_PartitionUnion BM_PartitionFlat); "
+        "repeatable",
     )
     args = parser.parse_args()
 
@@ -182,8 +209,8 @@ def main() -> int:
               f"{'; '.join(notes)}")
     print(f"--- {len(names)} benchmarks, {flagged} beyond "
           f"{args.threshold:g}% real-time delta ---")
-    if args.pair:
-        print_pair_deltas(cur, args.pair[0], args.pair[1])
+    for pair in args.pair or []:
+        print_pair_deltas(cur, pair[0], pair[1])
     return 0
 
 

@@ -9,6 +9,7 @@
 
 #include "asl/compilability.hpp"
 #include "cosy/db_import.hpp"
+#include "db/distributed.hpp"
 #include "cosy/schema_gen.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
@@ -2148,9 +2149,19 @@ PropertyResult SqlEvaluator::evaluate_whole(const asl::PropertyInfo& prop,
   }
 
   ++queries_;
-  const db::QueryResult result =
-      cache_ != nullptr ? conn_->execute(statement_for(plan), values)
-                        : conn_->execute(plan->sql, values);
+  // With a coordinator attached, the statement's `part<K>` CTEs scatter to
+  // its workers and the merge runs locally over the gathered rows; without
+  // one (or when nothing is distributable) execution is the plain session
+  // path. Either way the result is byte-identical.
+  const db::QueryResult result = [&] {
+    if (coordinator_ != nullptr) {
+      return cache_ != nullptr
+                 ? coordinator_->execute(statement_for(plan), values)
+                 : coordinator_->execute(plan->sql, values);
+    }
+    return cache_ != nullptr ? conn_->execute(statement_for(plan), values)
+                             : conn_->execute(plan->sql, values);
+  }();
 
   // Glue: map the one result row back onto the property contract. Column
   // layout is [LET probes | conditions | confidence arms | severity arms],

@@ -13,6 +13,10 @@
 #include "asl/model.hpp"
 #include "db/connection.hpp"
 
+namespace kojak::db {
+class Coordinator;
+}
+
 namespace kojak::cosy {
 
 /// How database-backed property evaluation distributes work (§5):
@@ -215,6 +219,15 @@ class SqlEvaluator {
     return layout_;
   }
 
+  /// Routes whole-condition statement execution through a distributed
+  /// coordinator: the statement's `part<K>` CTEs scatter to the
+  /// coordinator's workers and the merge executes locally over the gathered
+  /// rows. Null (the default) executes everything on the session. The
+  /// coordinator must outlive the evaluator and wrap the same session.
+  void set_coordinator(db::Coordinator* coordinator) noexcept {
+    coordinator_ = coordinator;
+  }
+
   /// Compiles a property's entire condition/confidence/severity surface into
   /// the single whole-condition statement without executing it (tests and
   /// --explain flows). Throws when the property is not compilable.
@@ -254,6 +267,7 @@ class SqlEvaluator {
 
   const asl::Model* model_;
   db::Connection* conn_;
+  db::Coordinator* coordinator_ = nullptr;
   SqlEvalMode mode_;
   PlanCache* cache_;
   bool cse_;

@@ -155,6 +155,13 @@ QueryResult Connection::execute(PreparedStatement& stmt,
   return finish(std::move(result), params.size());
 }
 
+QueryResult Connection::execute_with_ctes(
+    sql::SelectStmt& stmt, std::span<const Value> params,
+    std::span<const Database::InjectedCte> injected) {
+  QueryResult result = db_.execute_select_with(stmt, params, injected);
+  return finish(std::move(result), params.size());
+}
+
 QueryResult bridge_marshal_roundtrip(const QueryResult& result) {
   // Wire format: one type tag byte + display text per value, '\x1f' separated.
   std::string wire;

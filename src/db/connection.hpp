@@ -101,6 +101,14 @@ class Connection {
   QueryResult execute(std::string_view sql_text, std::span<const Value> params = {});
   QueryResult execute(PreparedStatement& stmt, std::span<const Value> params = {});
 
+  /// Executes a SELECT with some WITH entries pre-materialized (the
+  /// distributed coordinator's gather path): injected names resolve to
+  /// worker results instead of executing their bodies. Charged like any
+  /// other statement against this session's cost profile.
+  QueryResult execute_with_ctes(sql::SelectStmt& stmt,
+                                std::span<const Value> params,
+                                std::span<const Database::InjectedCte> injected);
+
   /// Statements issued since construction (bench bookkeeping).
   [[nodiscard]] std::uint64_t statements_executed() const noexcept {
     return statements_;

@@ -80,6 +80,25 @@ class Database {
   [[nodiscard]] PreparedStatement prepare(std::string_view sql_text) const;
   QueryResult execute(PreparedStatement& stmt, std::span<const Value> params = {});
 
+  /// One externally-materialized CTE handed to execute_select_with. The
+  /// distributed coordinator executes `part<K>` shard bodies on workers and
+  /// injects the gathered rows here; the executor skips the matching WITH
+  /// entries and resolves their names to the injected results instead.
+  /// `rows` must outlive the call.
+  struct InjectedCte {
+    std::string_view name;
+    const QueryResult* rows = nullptr;
+  };
+  /// Executes `stmt` with some of its WITH entries pre-materialized. CTEs
+  /// whose names are absent from `injected` materialize as usual; names in
+  /// `injected` that match no WITH entry are simply additional visible
+  /// derived tables. The residual coordinator expressions (scalar
+  /// subqueries over the injected names) execute unchanged, so the result
+  /// is byte-identical to a plain execute() of the same statement.
+  QueryResult execute_select_with(sql::SelectStmt& stmt,
+                                  std::span<const Value> params,
+                                  std::span<const InjectedCte> injected);
+
   /// Total live rows across all tables (bench bookkeeping).
   [[nodiscard]] std::size_t total_rows() const;
 
@@ -121,6 +140,15 @@ class Database {
     /// cosy::WholeConditionCompiler at compile time, once per rewritten
     /// aggregate site; plan-cache hits do not recompile and do not recount).
     std::uint64_t partition_union_rewrites = 0;
+    /// Distributed scatter/gather accounting, bumped by db::Coordinator
+    /// against the coordinator-session database: shard tasks handed to
+    /// workers, re-attempts after a worker failure, duplicate dispatches of
+    /// shards whose primary worker blew the deadline, and worker-side
+    /// failures observed (injected or real).
+    std::uint64_t shards_dispatched = 0;
+    std::uint64_t shard_retries = 0;
+    std::uint64_t straggler_reissues = 0;
+    std::uint64_t worker_failures = 0;
   };
   [[nodiscard]] ExecStatsSnapshot exec_stats() const noexcept {
     return {exec_stats_.subquery_executions.load(std::memory_order_relaxed),
@@ -132,7 +160,11 @@ class Database {
             exec_stats_.cte_parallel_materializations.load(
                 std::memory_order_relaxed),
             exec_stats_.partition_union_rewrites.load(
-                std::memory_order_relaxed)};
+                std::memory_order_relaxed),
+            exec_stats_.shards_dispatched.load(std::memory_order_relaxed),
+            exec_stats_.shard_retries.load(std::memory_order_relaxed),
+            exec_stats_.straggler_reissues.load(std::memory_order_relaxed),
+            exec_stats_.worker_failures.load(std::memory_order_relaxed)};
   }
 
   // Internal: bumped by the executor (relaxed; telemetry only).
@@ -162,6 +194,18 @@ class Database {
     exec_stats_.partition_union_rewrites.fetch_add(1,
                                                    std::memory_order_relaxed);
   }
+  void count_shards_dispatched(std::uint64_t n) noexcept {
+    exec_stats_.shards_dispatched.fetch_add(n, std::memory_order_relaxed);
+  }
+  void count_shard_retry() noexcept {
+    exec_stats_.shard_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_straggler_reissue() noexcept {
+    exec_stats_.straggler_reissues.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_worker_failure() noexcept {
+    exec_stats_.worker_failures.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   struct ExecStats {
@@ -173,6 +217,10 @@ class Database {
     std::atomic<std::uint64_t> parallel_scan_batches{0};
     std::atomic<std::uint64_t> cte_parallel_materializations{0};
     std::atomic<std::uint64_t> partition_union_rewrites{0};
+    std::atomic<std::uint64_t> shards_dispatched{0};
+    std::atomic<std::uint64_t> shard_retries{0};
+    std::atomic<std::uint64_t> straggler_reissues{0};
+    std::atomic<std::uint64_t> worker_failures{0};
 
     // Snapshot copy/move so Database itself stays movable (nobody may be
     // executing against a Database while it is moved anyway).
@@ -192,6 +240,10 @@ class Database {
       copy(parallel_scan_batches, other.parallel_scan_batches);
       copy(cte_parallel_materializations, other.cte_parallel_materializations);
       copy(partition_union_rewrites, other.partition_union_rewrites);
+      copy(shards_dispatched, other.shards_dispatched);
+      copy(shard_retries, other.shard_retries);
+      copy(straggler_reissues, other.straggler_reissues);
+      copy(worker_failures, other.worker_failures);
       return *this;
     }
   };

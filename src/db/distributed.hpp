@@ -1,0 +1,219 @@
+#ifndef KOJAK_DB_DISTRIBUTED_HPP
+#define KOJAK_DB_DISTRIBUTED_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "db/connection.hpp"
+#include "db/database.hpp"
+#include "support/thread_pool.hpp"
+
+namespace kojak::db {
+
+/// One distributable unit of a statement: a `part<K>` CTE body whose scan is
+/// pinned to a single partition. The task is self-contained — it owns a
+/// clone of the body and copies of the bound parameters — so a straggler
+/// attempt abandoned by the coordinator can keep running after the
+/// statement returns without touching caller-owned memory.
+struct ShardTask {
+  std::string cte_name;
+  /// Body rendered back to SQL text with `?` placeholders in text order
+  /// (what a remote worker receives over the modelled wire).
+  std::string sql_text;
+  /// Structural clone of the body; parameter indices are the statement's
+  /// absolute indices (what an in-process worker executes directly).
+  std::unique_ptr<sql::SelectStmt> body;
+  /// The statement's bound values sliced in text order of the rendered
+  /// placeholders (ships with sql_text: a re-parse numbers `?` sequentially).
+  std::vector<Value> wire_params;
+  /// Full copy of the statement's bound values (the AST index space).
+  std::vector<Value> full_params;
+};
+
+/// One executor node of the scatter/gather layer. A worker owns (a
+/// reference to) a thread-confined replica Database: `execute_shard`
+/// serializes all execution on the worker behind an internal gate, so the
+/// replica only ever sees one statement at a time no matter how the
+/// coordinator's pool schedules attempts. Fault injection (tests, chaos
+/// benches) lives here so both implementations share it.
+class Worker {
+ public:
+  struct Faults {
+    /// Fail the next N shard executions with an injected error.
+    std::size_t fail_first = 0;
+    /// Straggler injection: sleep this long before executing each shard.
+    std::chrono::milliseconds delay{0};
+  };
+
+  explicit Worker(std::string name) : name_(std::move(name)) {}
+  virtual ~Worker() = default;
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_faults(Faults faults);
+
+  /// Executes one shard, applying injected faults first. Thread-safe;
+  /// attempts are serialized per worker (thread confinement of the replica).
+  QueryResult execute_shard(const ShardTask& task);
+
+  [[nodiscard]] std::uint64_t shards_executed() const noexcept {
+    return shards_.load(std::memory_order_relaxed);
+  }
+  /// Modelled wire/server nanoseconds this worker accumulated (zero for the
+  /// in-process implementation). The coordinator diffs this around a
+  /// statement to charge the gather barrier the slowest worker's time.
+  [[nodiscard]] std::uint64_t modelled_ns() const noexcept {
+    return modelled_ns_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  virtual QueryResult do_execute_shard(const ShardTask& task) = 0;
+  void charge_ns(std::uint64_t ns) noexcept {
+    modelled_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::mutex gate_;  ///< confines the replica to one attempt at a time
+  std::mutex faults_mutex_;
+  Faults faults_;
+  std::atomic<std::uint64_t> shards_{0};
+  std::atomic<std::uint64_t> modelled_ns_{0};
+};
+
+/// Worker colocated with the coordinator process: executes the cloned body
+/// directly against its replica with the statement's full parameter array.
+/// No wire model — this is the "cluster of threads" deployment.
+class InProcessWorker final : public Worker {
+ public:
+  InProcessWorker(std::string name, Database& replica)
+      : Worker(std::move(name)), replica_(replica) {}
+
+ protected:
+  QueryResult do_execute_shard(const ShardTask& task) override;
+
+ private:
+  Database& replica_;
+};
+
+/// Modelled-remote worker: receives the shard as SQL text plus sliced
+/// parameters through a db::Connection over its replica, paying the
+/// profile's per-statement round trip, per-value wire cost for the
+/// serialized CTE text and parameters out, and per-row fetch cost for the
+/// result rows back. Execution is still real (the replica engine runs the
+/// re-parsed text); only the time is modelled.
+class RemoteWorker final : public Worker {
+ public:
+  RemoteWorker(std::string name, Database& replica, ConnectionProfile profile)
+      : Worker(std::move(name)), conn_(replica, std::move(profile)) {}
+
+  [[nodiscard]] Connection& connection() noexcept { return conn_; }
+
+ protected:
+  QueryResult do_execute_shard(const ShardTask& task) override;
+
+ private:
+  Connection conn_;
+};
+
+/// Per-worker full replicas of a source catalog. Each replica re-creates
+/// every table with the identical schema (including the partition spec) and
+/// secondary indexes, then re-inserts the live rows in the source's scan
+/// order (partition-major, heap order within each) — so a replica scan
+/// produces byte-for-byte the row stream the source would, which is what
+/// makes scatter/gather results byte-identical to local execution.
+class ReplicaSet {
+ public:
+  ReplicaSet(const Database& source, std::size_t count);
+
+  [[nodiscard]] std::size_t size() const noexcept { return replicas_.size(); }
+  [[nodiscard]] Database& replica(std::size_t i) { return *replicas_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Database>> replicas_;
+};
+
+/// One worker per replica: modelled-remote when `profile.distributed`,
+/// in-process otherwise (the two deployments of §5's backend comparison).
+[[nodiscard]] std::vector<std::unique_ptr<Worker>> make_workers(
+    ReplicaSet& replicas, const ConnectionProfile& profile);
+
+struct CoordinatorOptions {
+  /// Gather deadline per shard; a primary that blows it gets the shard
+  /// re-issued once to the next worker's replica (first result wins).
+  std::chrono::milliseconds shard_deadline{2000};
+  /// Total attempts per dispatch (1 + retries-with-backoff on failure).
+  std::size_t max_attempts = 3;
+  std::chrono::milliseconds retry_backoff{1};
+};
+
+/// The coordinator half of the executor split. Plans a statement's
+/// partition-pinned `part<K>` CTEs as shard tasks, scatters them across the
+/// workers round-robin, gathers with a per-shard deadline (stragglers are
+/// re-issued to a replica; failures retry with backoff), then executes the
+/// residual statement — coordinator merge expressions included — locally
+/// with the gathered rows injected for the shard names. Statements with no
+/// distributable CTE fall through to the session untouched, so a
+/// coordinator is always safe to put in front of a session.
+///
+/// Accounting lands in the coordinator session's Database::exec_stats():
+/// `shards_dispatched`, `shard_retries`, `straggler_reissues`,
+/// `worker_failures`. Modelled time: the gather barrier advances the
+/// session clock by the slowest worker's per-statement delta (makespan),
+/// then the residual statement is charged normally.
+class Coordinator {
+ public:
+  Coordinator(Connection& session, std::vector<std::unique_ptr<Worker>> workers,
+              CoordinatorOptions options = {});
+
+  [[nodiscard]] Connection& session() noexcept { return *session_; }
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+  [[nodiscard]] Worker& worker(std::size_t i) { return *workers_.at(i); }
+
+  QueryResult execute(PreparedStatement& stmt, std::span<const Value> params);
+  /// Parses one statement and executes it (convenience; tests and the
+  /// uncached evaluator path).
+  QueryResult execute(std::string_view sql_text, std::span<const Value> params);
+
+ private:
+  struct ShardSlot;
+
+  [[nodiscard]] std::vector<std::shared_ptr<ShardTask>> plan_shards(
+      const sql::SelectStmt& stmt, std::span<const Value> params) const;
+  QueryResult scatter_gather(sql::SelectStmt& stmt,
+                             std::span<const Value> params,
+                             std::vector<std::shared_ptr<ShardTask>> tasks);
+  void dispatch(Worker& worker, std::shared_ptr<const ShardTask> task,
+                std::shared_ptr<ShardSlot> slot);
+
+  Connection* session_;
+  CoordinatorOptions options_;
+  /// Declared before pool_ so the pool joins (draining abandoned straggler
+  /// attempts) while the workers they reference are still alive.
+  std::vector<std::unique_ptr<Worker>> workers_;
+  support::ThreadPool pool_;
+};
+
+/// Renders one SELECT back to executable SQL text with `?` placeholders,
+/// recording the absolute param_index of each placeholder in text order
+/// (the wire format a remote worker re-parses). Returns false when the
+/// statement contains a node the text dialect cannot round-trip — the
+/// caller then keeps that CTE local instead of distributing it. Exposed
+/// for tests.
+[[nodiscard]] bool render_select_sql(const sql::SelectStmt& stmt,
+                                     std::string& out,
+                                     std::vector<std::size_t>& param_order);
+
+}  // namespace kojak::db
+
+#endif  // KOJAK_DB_DISTRIBUTED_HPP

@@ -705,11 +705,15 @@ class SelectExec {
  public:
   /// `enclosing` is the CTE scope of the statement this execution nests in
   /// (null at top level); `env` is the shared per-top-level-statement state
-  /// (null at top level — one is created locally).
+  /// (null at top level — one is created locally). `injected` optionally
+  /// names externally-materialized results: WITH entries matching an
+  /// injected name are not executed, their names resolve to the injected
+  /// rows (the distributed coordinator's gather path).
   SelectExec(Database& db, sql::SelectStmt& stmt, std::span<const Value> params,
-             const CteScope* enclosing = nullptr, ExecEnv* env = nullptr)
+             const CteScope* enclosing = nullptr, ExecEnv* env = nullptr,
+             const CteScope* injected = nullptr)
       : db_(db), stmt_(stmt), params_(params), scope_{enclosing, {}},
-        env_(env) {}
+        env_(env), injected_(injected) {}
 
   QueryResult run() {
     ExecEnv local_env;
@@ -844,6 +848,19 @@ class SelectExec {
 
     std::vector<bool> done(n, false);
     std::size_t materialized = 0;
+    if (injected_ != nullptr) {
+      // Pre-materialized entries (distributed gather): mark them done so no
+      // wave executes their bodies, and expose the injected rows under the
+      // declared names. Declaration order is preserved ahead of every wave,
+      // so lookup shadowing behaves as in the serial materialization.
+      for (std::size_t i = 0; i < n; ++i) {
+        const QueryResult* pre = injected_->find(stmt_.ctes[i].name);
+        if (pre == nullptr) continue;
+        done[i] = true;
+        scope_.entries.emplace_back(stmt_.ctes[i].name, pre);
+        ++materialized;
+      }
+    }
     while (materialized < n) {
       std::vector<std::size_t> wave;
       for (std::size_t i = 0; i < n; ++i) {
@@ -1520,6 +1537,9 @@ class SelectExec {
   CteScope scope_;
   std::deque<QueryResult> cte_results_;
   ExecEnv* env_;
+  /// Externally-materialized CTE results (scatter/gather injection); null
+  /// for ordinary executions.
+  const CteScope* injected_ = nullptr;
   std::vector<ScanSource> sources_;
   std::unordered_map<const Expr*, Value> subquery_values_;
   /// Set when the base heap scan already applied the WHERE clause
@@ -1837,6 +1857,17 @@ PreparedStatement Database::prepare(std::string_view sql_text) const {
 QueryResult Database::execute(PreparedStatement& stmt,
                               std::span<const Value> params) {
   return execute(stmt.ast(), params);
+}
+
+QueryResult Database::execute_select_with(sql::SelectStmt& stmt,
+                                          std::span<const Value> params,
+                                          std::span<const InjectedCte> injected) {
+  CteScope pre;
+  pre.entries.reserve(injected.size());
+  for (const InjectedCte& cte : injected) {
+    pre.entries.emplace_back(std::string(cte.name), cte.rows);
+  }
+  return SelectExec(*this, stmt, params, nullptr, nullptr, &pre).run();
 }
 
 std::size_t Database::total_rows() const {

@@ -1,0 +1,565 @@
+// Distributed scatter/gather differential: the coordinator/worker executor
+// split must be invisible in every report — `sql-distributed` byte-identical
+// to `sql-whole-condition` across 1/2/8 workers, in-process and
+// modelled-remote worker fleets, injected worker failures (recovered via
+// retry-with-backoff), and stragglers (recovered via re-issue to a replica)
+// — while the pinned exec_stats counters prove the shards really scattered.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "asl/interp.hpp"
+#include "asl/sema.hpp"
+#include "cosy/analyzer.hpp"
+#include "cosy/db_import.hpp"
+#include "cosy/eval_backend.hpp"
+#include "cosy/schema_gen.hpp"
+#include "cosy/specs.hpp"
+#include "cosy/sql_eval.hpp"
+#include "cosy/store_builder.hpp"
+#include "db/connection_pool.hpp"
+#include "db/distributed.hpp"
+#include "perf/simulator.hpp"
+#include "perf/workloads.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace asl = kojak::asl;
+namespace cosy = kojak::cosy;
+namespace db = kojak::db;
+namespace perf = kojak::perf;
+
+using std::chrono::milliseconds;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Micro world: a hand-written partition-union statement against a small
+// hash-partitioned table, for pinning the coordinator's shard accounting
+// without the compiler in the loop.
+
+constexpr const char* kUnionStatement =
+    "WITH part0 AS (SELECT COALESCE(SUM(v), 0.0) AS s FROM M PARTITION (0) "
+    "WHERE v > ?), "
+    "part1 AS (SELECT COALESCE(SUM(v), 0.0) AS s FROM M PARTITION (1) "
+    "WHERE v > ?), "
+    "part2 AS (SELECT COALESCE(SUM(v), 0.0) AS s FROM M PARTITION (2) "
+    "WHERE v > ?), "
+    "part3 AS (SELECT COALESCE(SUM(v), 0.0) AS s FROM M PARTITION (3) "
+    "WHERE v > ?) "
+    "SELECT ((SELECT s FROM part0) + (SELECT s FROM part1) + "
+    "(SELECT s FROM part2) + (SELECT s FROM part3)) AS total";
+
+struct MicroWorld {
+  db::Database db;
+
+  MicroWorld() {
+    db.execute(
+        "CREATE TABLE M (k INTEGER, v DOUBLE) "
+        "PARTITION BY HASH(k) PARTITIONS 4");
+    for (int i = 0; i < 64; ++i) {
+      db.execute(kojak::support::cat("INSERT INTO M VALUES (", i, ", ",
+                                     i % 7, ".5)"));
+    }
+  }
+};
+
+/// Byte-exact rendering of a result set (hexfloat doubles).
+std::string render_rows(const db::QueryResult& result) {
+  std::string out;
+  for (const std::string& column : result.columns) {
+    out += kojak::support::cat(column, "|");
+  }
+  out += "\n";
+  for (const db::Row& row : result.rows) {
+    for (const db::Value& value : row) {
+      if (value.type() == db::ValueType::kDouble) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%a", value.as_double());
+        out += buf;
+      } else {
+        out += value.to_display();
+      }
+      out += "|";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<db::Value> union_params() {
+  return {db::Value::real(1.0), db::Value::real(1.0), db::Value::real(1.0),
+          db::Value::real(1.0)};
+}
+
+// ---------------------------------------------------------------------------
+// Fleet world: the partition-union compiler's synthetic workload (as in
+// cosy_partition_test.cpp), where whole-set aggregates over a MEMBER-
+// partitioned junction really scatter.
+
+constexpr const char* kFleetSpec = R"(
+  class Fleet {
+    String Name;
+    setof Probe Readings;
+  }
+  class Probe {
+    int Slot;
+    float T;
+  }
+
+  Property FleetLoad(Fleet f) {
+    LET float Total = SUM(p.T WHERE p IN f.Readings);
+    IN
+    CONDITION: Total > 0;
+    CONFIDENCE: 1;
+    SEVERITY: Total;
+  };
+
+  Property FleetShape(Fleet f) {
+    LET int N = COUNT(f.Readings);
+        int Low = MIN(p.Slot WHERE p IN f.Readings);
+        int High = MAX(p.Slot WHERE p IN f.Readings);
+        float Mean = AVG(p.T WHERE p IN f.Readings);
+    IN
+    CONDITION: High >= Low;
+    CONFIDENCE: 1;
+    SEVERITY: Mean + N + High - Low;
+  };
+
+  Property FleetHot(Fleet f, int Cut) {
+    LET int Hot = COUNT(p WHERE p IN f.Readings AND p.Slot >= Cut);
+    IN
+    CONDITION: EXISTS({p IN f.Readings WITH p.Slot >= Cut});
+    CONFIDENCE: 1;
+    SEVERITY: Hot;
+  };
+)";
+
+struct FleetWorld {
+  asl::Model model = asl::load_model({kFleetSpec});
+  asl::ObjectStore store{model};
+  std::vector<asl::ObjectId> fleets;
+
+  FleetWorld(int fleet_count, int probes_per_fleet) {
+    for (int f = 0; f < fleet_count; ++f) {
+      const asl::ObjectId fleet = store.create("Fleet");
+      store.set_attr(fleet, "Name",
+                     asl::RtValue::of_string(kojak::support::cat("fleet", f)));
+      fleets.push_back(fleet);
+      // Last fleet stays empty so the NA paths are in the differential too.
+      const int probes = f == fleet_count - 1 ? 0 : probes_per_fleet;
+      for (int i = 0; i < probes; ++i) {
+        const asl::ObjectId probe = store.create("Probe");
+        store.set_attr(probe, "Slot", asl::RtValue::of_int(i % 11));
+        // Dyadic values: FP-exact in any accumulation order, so reports
+        // compare byte-for-byte across worker fleets.
+        store.set_attr(probe, "T", asl::RtValue::of_float(
+                                       static_cast<double>(f % 4) * 0.25 + 0.5));
+        store.add_to_set(fleet, "Readings", probe);
+      }
+    }
+  }
+
+  void populate(db::Database& database, std::size_t partitions) const {
+    cosy::SchemaOptions options;
+    options.junction_partitions.push_back(
+        {"Fleet", "Readings", "member", partitions});
+    cosy::create_schema(database, model, options);
+    db::Connection conn(database, db::ConnectionProfile::in_memory());
+    cosy::import_store(conn, store);
+  }
+};
+
+std::string render_result(const asl::PropertyResult& result) {
+  char confidence[40];
+  char severity[40];
+  std::snprintf(confidence, sizeof confidence, "%a", result.confidence);
+  std::snprintf(severity, sizeof severity, "%a", result.severity);
+  return kojak::support::cat(static_cast<int>(result.status), "|",
+                             result.matched_condition, "|", confidence, "|",
+                             severity, "|", result.note, "\n");
+}
+
+/// Evaluates every (property, fleet) context through `backend` and renders
+/// the whole sweep byte-exactly. `coordinator` (optional) is handed to the
+/// deps for fault-injection tests; `profile` selects in-process vs
+/// modelled-remote worker fleets for self-built coordinators.
+std::string evaluate_fleet_suite(
+    const FleetWorld& world, db::Database& database,
+    const std::string& backend, std::size_t threads = 0,
+    db::Coordinator* coordinator = nullptr,
+    db::ConnectionProfile profile = db::ConnectionProfile::in_memory(),
+    cosy::EvalStats* stats_out = nullptr) {
+  std::vector<std::vector<asl::RtValue>> args;
+  for (const asl::PropertyInfo& prop : world.model.properties()) {
+    for (const asl::ObjectId fleet : world.fleets) {
+      std::vector<asl::RtValue> tuple = {asl::RtValue::of_object(fleet)};
+      if (prop.params.size() == 2) tuple.push_back(asl::RtValue::of_int(5));
+      args.push_back(std::move(tuple));
+    }
+  }
+  std::vector<cosy::EvalRequest> requests;
+  std::size_t slot = 0;
+  for (const asl::PropertyInfo& prop : world.model.properties()) {
+    for (std::size_t f = 0; f < world.fleets.size(); ++f) {
+      requests.push_back({&prop, &args[slot++]});
+    }
+  }
+
+  db::Connection conn(database, std::move(profile));
+  cosy::EvalBackendDeps deps;
+  deps.model = &world.model;
+  deps.store = &world.store;
+  deps.threads = threads;
+  deps.conn = coordinator != nullptr ? &coordinator->session() : &conn;
+  deps.coordinator = coordinator;
+  const std::unique_ptr<cosy::EvalBackend> engine =
+      cosy::EvalBackend::create(backend, deps);
+  std::vector<asl::PropertyResult> results(requests.size());
+  engine->evaluate_all(requests, results);
+  std::string rendered;
+  for (const asl::PropertyResult& result : results) {
+    rendered += render_result(result);
+  }
+  if (stats_out != nullptr) *stats_out = engine->stats();
+  return rendered;
+}
+
+// ---------------------------------------------------------------------------
+// COSY twin world (all 13 properties), as in cosy_partition_test.cpp.
+
+struct TwinWorld {
+  asl::Model model = cosy::load_cosy_model();
+  asl::ObjectStore store{model};
+  cosy::StoreHandles handles;
+  db::Database flat;
+  db::Database partitioned;
+
+  TwinWorld(const perf::AppSpec& app, std::vector<int> pes) {
+    perf::SimulationOptions options;
+    options.seed = 1;
+    const perf::ExperimentData data =
+        perf::simulate_experiment(app, pes, options);
+    handles = cosy::build_store(store, data);
+    cosy::create_schema(
+        flat, model,
+        {.region_timing_partitions = 1, .junction_partitions = {}});
+    cosy::create_schema(
+        partitioned, model,
+        {.region_timing_partitions = 8, .junction_partitions = {}});
+    for (db::Database* database : {&flat, &partitioned}) {
+      db::Connection conn(*database, db::ConnectionProfile::in_memory());
+      cosy::import_store(conn, store);
+    }
+  }
+};
+
+std::string render_exact(const cosy::AnalysisReport& report) {
+  std::string out = report.to_table(0);
+  for (const cosy::Finding& f : report.not_applicable) {
+    out += kojak::support::cat("NA ", f.property, "@", f.context, "!",
+                               f.result.note, "\n");
+  }
+  return out;
+}
+
+cosy::AnalysisReport analyze(TwinWorld& world, db::Database& database,
+                             const std::string& backend, std::size_t threads) {
+  cosy::AnalyzerConfig config;
+  config.backend = backend;
+  config.threads = threads;
+  db::Connection conn(database, db::ConnectionProfile::in_memory());
+  cosy::Analyzer analyzer(world.model, world.store, world.handles, &conn);
+  return analyzer.analyze(2, config);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Registry and rendering
+
+TEST(Distributed, BackendIsRegistered) {
+  EXPECT_TRUE(cosy::EvalBackend::exists("sql-distributed"));
+  EXPECT_TRUE(cosy::EvalBackend::requires_connection("sql-distributed"));
+  EXPECT_NE(cosy::EvalBackend::describe("sql-distributed").find("scatter"),
+            std::string::npos);
+}
+
+TEST(Distributed, ShardRenderingRoundTripsTextAndParamOrder) {
+  db::Database db;
+  db.execute("CREATE TABLE t (a INTEGER, b DOUBLE)");
+  db::PreparedStatement stmt = db.prepare(
+      "SELECT COALESCE(SUM(b), 0.0) AS s FROM t WHERE a > ? AND b < ?");
+  auto* select = std::get_if<db::sql::SelectStmt>(&stmt.ast());
+  ASSERT_NE(select, nullptr);
+  std::string text;
+  std::vector<std::size_t> order;
+  ASSERT_TRUE(db::render_select_sql(*select, text, order));
+  // The rendered text re-parses and the placeholders keep their order.
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1}));
+  db.execute("INSERT INTO t VALUES (5, 1.5)");
+  const std::vector<db::Value> params = {db::Value::integer(1),
+                                         db::Value::real(9.0)};
+  EXPECT_EQ(render_rows(db.execute(text, params)),
+            render_rows(db.execute(stmt, params)));
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator over the micro world: pinned shard accounting
+
+TEST(Distributed, CoordinatorScattersPartitionCtesAcrossWorkers) {
+  MicroWorld world;
+  db::Connection session(world.db, db::ConnectionProfile::in_memory());
+  const std::string plain = render_rows(world.db.execute(
+      kUnionStatement, union_params()));
+
+  db::ReplicaSet replicas(world.db, 2);
+  db::Coordinator coord(session, db::make_workers(replicas, session.profile()));
+  ASSERT_EQ(coord.worker_count(), 2u);
+
+  const auto before = world.db.exec_stats();
+  const db::QueryResult via = coord.execute(kUnionStatement, union_params());
+  const auto after = world.db.exec_stats();
+
+  EXPECT_EQ(render_rows(via), plain);
+  EXPECT_EQ(after.shards_dispatched - before.shards_dispatched, 4u);
+  EXPECT_EQ(after.shard_retries - before.shard_retries, 0u);
+  EXPECT_EQ(after.straggler_reissues - before.straggler_reissues, 0u);
+  EXPECT_EQ(after.worker_failures - before.worker_failures, 0u);
+  // Round-robin: both workers executed shards, 4 in total.
+  EXPECT_EQ(coord.worker(0).shards_executed() + coord.worker(1).shards_executed(),
+            4u);
+  EXPECT_GT(coord.worker(0).shards_executed(), 0u);
+  EXPECT_GT(coord.worker(1).shards_executed(), 0u);
+}
+
+TEST(Distributed, RemoteWorkersShipTextAndChargeWireCosts) {
+  MicroWorld world;
+  // A distributed profile builds modelled-remote workers: the shard CTEs
+  // serialize to SQL text + sliced params, execute on the replica through a
+  // per-worker Connection, and the gather barrier charges the session the
+  // slowest worker's delta.
+  db::Connection session(world.db, db::ConnectionProfile::postgres());
+  const std::string plain = render_rows(world.db.execute(
+      kUnionStatement, union_params()));
+
+  db::ReplicaSet replicas(world.db, 2);
+  auto workers = db::make_workers(replicas, session.profile());
+  ASSERT_NE(dynamic_cast<db::RemoteWorker*>(workers[0].get()), nullptr);
+  db::Coordinator coord(session, std::move(workers));
+
+  const std::uint64_t clock_before = session.clock().now_ns();
+  const db::QueryResult via = coord.execute(kUnionStatement, union_params());
+  EXPECT_EQ(render_rows(via), plain);
+  EXPECT_GT(coord.worker(0).modelled_ns(), 0u);
+  // Makespan (worker wire/server time) + the residual statement both landed
+  // on the session clock.
+  EXPECT_GT(session.clock().now_ns(), clock_before);
+}
+
+TEST(Distributed, WorkerFailureRecoversViaRetryWithPinnedCounters) {
+  MicroWorld world;
+  db::Connection session(world.db, db::ConnectionProfile::in_memory());
+  const std::string plain = render_rows(world.db.execute(
+      kUnionStatement, union_params()));
+
+  db::ReplicaSet replicas(world.db, 1);
+  std::vector<std::unique_ptr<db::Worker>> workers;
+  workers.push_back(
+      std::make_unique<db::InProcessWorker>("w0", replicas.replica(0)));
+  db::Worker* w0 = workers[0].get();
+  db::Coordinator coord(session, std::move(workers));
+
+  w0->set_faults({.fail_first = 2});
+  const auto before = world.db.exec_stats();
+  const db::QueryResult via = coord.execute(kUnionStatement, union_params());
+  const auto after = world.db.exec_stats();
+
+  EXPECT_EQ(render_rows(via), plain);
+  // Every injected failure is one observed worker failure and one retry;
+  // with fail_first below max_attempts the statement always recovers.
+  EXPECT_EQ(after.worker_failures - before.worker_failures, 2u);
+  EXPECT_EQ(after.shard_retries - before.shard_retries, 2u);
+  EXPECT_EQ(after.shards_dispatched - before.shards_dispatched, 4u);
+  EXPECT_EQ(after.straggler_reissues - before.straggler_reissues, 0u);
+
+  // A worker that keeps failing exhausts max_attempts and the statement
+  // surfaces the failure to the caller.
+  w0->set_faults({.fail_first = 1000});
+  EXPECT_THROW(coord.execute(kUnionStatement, union_params()),
+               kojak::support::EvalError);
+  w0->set_faults({});
+}
+
+TEST(Distributed, StragglerReissuesToReplicaWithPinnedCounters) {
+  MicroWorld world;
+  db::Connection session(world.db, db::ConnectionProfile::in_memory());
+  const std::string plain = render_rows(world.db.execute(
+      kUnionStatement, union_params()));
+
+  db::ReplicaSet replicas(world.db, 2);
+  std::vector<std::unique_ptr<db::Worker>> workers;
+  workers.push_back(
+      std::make_unique<db::InProcessWorker>("w0", replicas.replica(0)));
+  workers.push_back(
+      std::make_unique<db::InProcessWorker>("w1", replicas.replica(1)));
+  db::Worker* w0 = workers[0].get();
+  db::CoordinatorOptions options;
+  options.shard_deadline = milliseconds{10};
+  db::Coordinator coord(session, std::move(workers), options);
+
+  // Worker 0 straggles far past the deadline on every shard; its two
+  // primaries (round-robin shards 0 and 2) re-issue to worker 1's replica
+  // and the first result wins — results stay byte-identical.
+  w0->set_faults({.delay = milliseconds{200}});
+  const auto before = world.db.exec_stats();
+  const db::QueryResult via = coord.execute(kUnionStatement, union_params());
+  const auto after = world.db.exec_stats();
+
+  EXPECT_EQ(render_rows(via), plain);
+  EXPECT_EQ(after.straggler_reissues - before.straggler_reissues, 2u);
+  EXPECT_EQ(after.worker_failures - before.worker_failures, 0u);
+  EXPECT_EQ(after.shards_dispatched - before.shards_dispatched, 4u);
+  w0->set_faults({});
+}
+
+// ---------------------------------------------------------------------------
+// Backend differential over the fleet world
+
+TEST(Distributed, FleetSuiteByteIdenticalAcrossWorkerCounts) {
+  const FleetWorld world(5, 48);
+  db::Database reference_db;
+  world.populate(reference_db, 8);
+  const std::string reference =
+      evaluate_fleet_suite(world, reference_db, "sql-whole-condition");
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    db::Database database;
+    world.populate(database, 8);
+    cosy::EvalStats stats;
+    EXPECT_EQ(evaluate_fleet_suite(world, database, "sql-distributed", workers,
+                                   nullptr, db::ConnectionProfile::in_memory(),
+                                   &stats),
+              reference)
+        << workers << " workers";
+    EXPECT_EQ(stats.whole_fallbacks, 0u) << workers << " workers";
+    // The statements really scattered: every context's part<K> CTEs were
+    // dispatched as shard tasks.
+    EXPECT_GT(database.exec_stats().shards_dispatched, 0u)
+        << workers << " workers";
+  }
+}
+
+TEST(Distributed, FleetSuiteByteIdenticalWithRemoteWorkerFleet) {
+  const FleetWorld world(4, 40);
+  db::Database reference_db;
+  world.populate(reference_db, 4);
+  const std::string reference =
+      evaluate_fleet_suite(world, reference_db, "sql-whole-condition");
+
+  // A distributed session profile makes the backend build modelled-remote
+  // workers: every shard round-trips through SQL text + sliced params on a
+  // per-worker Connection. Values are exact, so reports stay byte-identical.
+  db::Database database;
+  world.populate(database, 4);
+  EXPECT_EQ(evaluate_fleet_suite(world, database, "sql-distributed", 2,
+                                 nullptr, db::ConnectionProfile::postgres()),
+            reference);
+  EXPECT_GT(database.exec_stats().shards_dispatched, 0u);
+}
+
+TEST(Distributed, FleetSuiteRecoversFromInjectedWorkerFailure) {
+  const FleetWorld world(4, 40);
+  db::Database reference_db;
+  world.populate(reference_db, 8);
+  const std::string reference =
+      evaluate_fleet_suite(world, reference_db, "sql-whole-condition");
+
+  db::Database database;
+  world.populate(database, 8);
+  db::Connection conn(database, db::ConnectionProfile::in_memory());
+  db::ReplicaSet replicas(database, 2);
+  auto workers = db::make_workers(replicas, conn.profile());
+  db::Worker* w0 = workers[0].get();
+  db::Coordinator coord(conn, std::move(workers));
+  w0->set_faults({.fail_first = 2});
+
+  cosy::EvalStats stats;
+  EXPECT_EQ(evaluate_fleet_suite(world, database, "sql-distributed", 0, &coord,
+                                 db::ConnectionProfile::in_memory(), &stats),
+            reference);
+  const auto exec = database.exec_stats();
+  EXPECT_EQ(exec.worker_failures, 2u);
+  EXPECT_EQ(exec.shard_retries, 2u);
+  EXPECT_EQ(stats.whole_fallbacks, 0u);
+}
+
+TEST(Distributed, FleetSuiteByteIdenticalUnderStragglerReissue) {
+  const FleetWorld world(3, 32);
+  db::Database reference_db;
+  world.populate(reference_db, 4);
+  const std::string reference =
+      evaluate_fleet_suite(world, reference_db, "sql-whole-condition");
+
+  db::Database database;
+  world.populate(database, 4);
+  db::Connection conn(database, db::ConnectionProfile::in_memory());
+  db::ReplicaSet replicas(database, 2);
+  auto workers = db::make_workers(replicas, conn.profile());
+  db::Worker* w0 = workers[0].get();
+  db::CoordinatorOptions options;
+  options.shard_deadline = milliseconds{5};
+  db::Coordinator coord(conn, std::move(workers), options);
+  // Straggle only the first statement's shards, then run clean: re-issue
+  // must be observable without stretching the suite's wall time.
+  w0->set_faults({.delay = milliseconds{100}});
+
+  const asl::PropertyInfo* load = world.model.find_property("FleetLoad");
+  ASSERT_NE(load, nullptr);
+  cosy::SqlEvaluator eval(world.model, conn,
+                          cosy::SqlEvalMode::kWholeCondition);
+  eval.set_coordinator(&coord);
+  const std::string slow = render_result(eval.evaluate_property(
+      *load, {asl::RtValue::of_object(world.fleets[0])}));
+  EXPECT_GT(database.exec_stats().straggler_reissues, 0u);
+  w0->set_faults({});
+
+  // Same evaluator, faults cleared: the rest of the sweep through the
+  // injected coordinator still matches the reference byte for byte.
+  EXPECT_EQ(evaluate_fleet_suite(world, database, "sql-distributed", 0, &coord),
+            reference);
+  // The straggled evaluation itself matched its slice of the reference.
+  db::Database clean_db;
+  world.populate(clean_db, 4);
+  db::Connection clean_conn(clean_db, db::ConnectionProfile::in_memory());
+  cosy::SqlEvaluator clean(world.model, clean_conn,
+                           cosy::SqlEvalMode::kWholeCondition);
+  EXPECT_EQ(slow, render_result(clean.evaluate_property(
+                      *load, {asl::RtValue::of_object(world.fleets[0])})));
+}
+
+// ---------------------------------------------------------------------------
+// Full COSY differential: all 13 properties through the analyzer
+
+TEST(Distributed, CosySuiteByteIdenticalAcrossWorkerCountsAndLayouts) {
+  ASSERT_EQ(cosy::load_cosy_model().properties().size(), 13u);
+  TwinWorld world(perf::workloads::imbalanced_ocean(), {1, 4, 16});
+  world.partitioned.set_scan_config({.threads = 4, .min_parallel_rows = 1});
+
+  const std::string reference =
+      render_exact(analyze(world, world.flat, "sql-whole-condition", 0));
+  for (db::Database* database : {&world.flat, &world.partitioned}) {
+    for (const std::size_t workers : {1u, 2u, 8u}) {
+      EXPECT_EQ(render_exact(analyze(world, *database, "sql-distributed",
+                                     workers)),
+                reference)
+          << (database == &world.flat ? "flat" : "partitioned") << " @ "
+          << workers << " workers";
+    }
+  }
+}
