@@ -16,6 +16,10 @@
 //     --spec <file.asl>   additional property documents  (repeatable)
 //     --top <n>           rows to print                  (default 15)
 //     --format <f>        text|markdown|csv              (default text)
+//     --watch <n>         online monitoring: n evaluation epochs over a
+//                         streaming store (member-partitioned timing
+//                         junctions, bulk ingest, incremental per-partition
+//                         re-evaluation through cosy::Monitor)
 //     --list-workloads
 //     --list-backends
 
@@ -27,6 +31,7 @@
 #include "cosy/analyzer.hpp"
 #include "cosy/db_import.hpp"
 #include "cosy/eval_backend.hpp"
+#include "cosy/monitor.hpp"
 #include "cosy/report_render.hpp"
 #include "cosy/schema_gen.hpp"
 #include "cosy/specs.hpp"
@@ -50,6 +55,7 @@ struct Options {
   std::vector<std::string> extra_specs;
   std::size_t top = 15;
   std::string format = "text";
+  std::size_t watch = 0;  ///< 0 = one-shot analysis; N = monitoring epochs
 };
 
 int usage(const char* argv0) {
@@ -126,6 +132,8 @@ int main(int argc, char** argv) {
           options.format != "csv") {
         return usage(argv[0]);
       }
+    } else if (arg == "--watch") {
+      options.watch = static_cast<std::size_t>(std::atoll(next().c_str()));
     } else if (arg == "--list-workloads") {
       for (const auto& [name, factory] : perf::workloads::all_named()) {
         std::cout << name << '\n';
@@ -178,6 +186,60 @@ int main(int argc, char** argv) {
     // 3. Populate store (+ database when the backend needs one).
     asl::ObjectStore store(model);
     const cosy::StoreHandles handles = cosy::build_store(store, data);
+
+    // --watch: the online-monitoring loop instead of the one-shot report.
+    // Member-partitioned timing junctions spread each region's samples
+    // across partitions (so the whole-condition compiler's partition-union
+    // rewrite fires), the store arrives through the bulk-ingest path, and
+    // each epoch replays one partition's worth of timing links to emulate
+    // new samples streaming in — cosy::Monitor then recomputes only the
+    // dirtied partition and reports what changed.
+    if (options.watch > 0) {
+      if (!cosy::EvalBackend::requires_connection(options.backend)) {
+        options.backend = "sql-whole-condition";
+      }
+      db::Database database;
+      cosy::SchemaOptions schema;
+      schema.junction_partitions.push_back({"Region", "TotTimes", "member", 8});
+      schema.junction_partitions.push_back({"Region", "TypTimes", "member", 8});
+      cosy::create_schema(database, model, schema);
+      db::Connection conn(database, db::ConnectionProfile::in_memory());
+      const cosy::ImportStats import =
+          cosy::import_store(conn, store, /*batch_rows=*/64);
+      std::cout << "bulk ingest: " << import.rows << " rows in "
+                << import.statements << " statements\n";
+
+      cosy::MonitorOptions monitor_options;
+      monitor_options.backend = options.backend;
+      cosy::Monitor monitor(model, conn, monitor_options);
+      const std::size_t run_index = options.run.value_or(handles.runs.size() - 1);
+      const asl::ObjectId run = handles.runs.at(run_index);
+      const asl::ObjectId basis = handles.regions.at(handles.main_region);
+      for (const asl::PropertyInfo& prop : model.properties()) {
+        for (cosy::PropertyContext& ctx : cosy::enumerate_property_contexts(
+                 model, handles, prop, run, basis)) {
+          monitor.watch(prop, std::move(ctx.args), std::move(ctx.label));
+        }
+      }
+      std::cout << monitor.evaluate().to_summary();
+
+      const db::QueryResult links =
+          conn.execute("SELECT owner, member FROM Region_TypTimes");
+      const db::Table& junction = database.table("Region_TypTimes");
+      for (std::size_t epoch = 1; epoch < options.watch; ++epoch) {
+        const std::size_t target = (epoch - 1) % junction.partition_count();
+        cosy::IngestBatch batch;
+        for (const db::Row& row : links.rows) {
+          if (junction.route(row[1]) != target) continue;
+          batch.add("Region_TypTimes", {row[0], row[1]});
+          if (batch.rows() >= 256) break;
+        }
+        monitor.ingest(batch);
+        std::cout << monitor.evaluate().to_summary();
+      }
+      return 0;
+    }
+
     std::unique_ptr<db::Database> database;
     std::unique_ptr<db::Connection> conn;
     if (cosy::EvalBackend::requires_connection(options.backend)) {

@@ -75,25 +75,10 @@ std::string AnalysisReport::to_table(std::size_t top_n) const {
   return out;
 }
 
-namespace {
-
-/// One property context: the argument tuple plus its display label.
-struct Context {
-  const asl::PropertyInfo* property = nullptr;
-  std::vector<RtValue> args;
-  std::string label;
-};
-
-/// Binds a property's parameter list against the analyzer's world: the
-/// first Region/FunctionCall parameter iterates, TestRun parameters bind the
-/// selected run, the parameter named "Basis" (or any later Region parameter)
-/// binds the basis region.
-std::vector<Context> enumerate_contexts(const asl::Model& model,
-                                        const StoreHandles& handles,
-                                        const asl::PropertyInfo& prop,
-                                        asl::ObjectId run,
-                                        asl::ObjectId basis) {
-  std::vector<Context> contexts;
+std::vector<PropertyContext> enumerate_property_contexts(
+    const asl::Model& model, const StoreHandles& handles,
+    const asl::PropertyInfo& prop, asl::ObjectId run, asl::ObjectId basis) {
+  std::vector<PropertyContext> contexts;
   if (prop.params.empty()) return contexts;
 
   const auto region_class = model.find_class("Region");
@@ -121,7 +106,7 @@ std::vector<Context> enumerate_contexts(const asl::Model& model,
   }
 
   for (const Iter& iter : iters) {
-    Context ctx;
+    PropertyContext ctx;
     ctx.property = &prop;
     ctx.label = *iter.label;
     ctx.args.push_back(RtValue::of_object(iter.object));
@@ -145,6 +130,8 @@ std::vector<Context> enumerate_contexts(const asl::Model& model,
   }
   return contexts;
 }
+
+namespace {
 
 /// Properties selected by the config: all of the model's, or the named
 /// suite (validated — a typo in a suite must not silently analyze nothing).
@@ -213,10 +200,10 @@ AnalysisReport Analyzer::analyze(std::size_t run_index,
   }
   report.pe_count = static_cast<int>(store_->attr(run, "NoPe").as_int());
 
-  std::vector<Context> contexts;
+  std::vector<PropertyContext> contexts;
   for (const asl::PropertyInfo* prop : select_properties(*model_, config)) {
     auto per_property =
-        enumerate_contexts(*model_, *handles_, *prop, run, basis);
+        enumerate_property_contexts(*model_, *handles_, *prop, run, basis);
     for (auto& ctx : per_property) contexts.push_back(std::move(ctx));
   }
 
@@ -232,13 +219,14 @@ AnalysisReport Analyzer::analyze(std::size_t run_index,
   deps.pool = pool_;
   deps.plan_cache = config.plan_cache;
   deps.threads = config.threads;
+  deps.shard_cache = config.shard_cache;
   const std::unique_ptr<EvalBackend> backend =
       EvalBackend::create(config.backend_name(), deps);
   backend->prepare(*model_, run);
 
   std::vector<EvalRequest> requests;
   requests.reserve(contexts.size());
-  for (const Context& ctx : contexts) {
+  for (const PropertyContext& ctx : contexts) {
     requests.push_back({ctx.property, &ctx.args});
   }
   backend->evaluate_all(requests, results);

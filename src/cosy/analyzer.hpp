@@ -16,6 +16,7 @@ class ConnectionPool;
 namespace kojak::cosy {
 
 class PlanCache;
+class ShardResultCache;
 
 /// DEPRECATED thin alias for the named evaluation backends (see
 /// eval_backend.hpp). Kept so existing configs keep compiling; every value
@@ -57,6 +58,11 @@ struct AnalyzerConfig {
   /// Shared compiled-plan cache for the SQL backends (see PlanCache);
   /// null runs every translation from scratch, as the 1999 toolchain did.
   PlanCache* plan_cache = nullptr;
+  /// Incremental shard-result cache for the whole-condition SQL backends
+  /// (see ShardResultCache): per-partition `part<K>` CTE results persist
+  /// across analyze() calls and only dirty partitions recompute.
+  /// cosy::Monitor supplies one; null (the default) recomputes everything.
+  ShardResultCache* shard_cache = nullptr;
 
   /// The backend name this config resolves to.
   [[nodiscard]] std::string backend_name() const;
@@ -108,6 +114,23 @@ struct AnalysisReport {
   /// zero-row cap would silently hide the ranking the report exists for).
   [[nodiscard]] std::string to_table(std::size_t top_n = 20) const;
 };
+
+/// One bound property context: the argument tuple plus its display label.
+/// What the analyzer evaluates per run — and what cosy::Monitor watches
+/// across epochs (cosy_tool --watch builds its watch list from these).
+struct PropertyContext {
+  const asl::PropertyInfo* property = nullptr;
+  std::vector<asl::RtValue> args;
+  std::string label;
+};
+
+/// Binds `prop`'s parameter list against the analyzed world: the first
+/// Region/FunctionCall parameter iterates over the store's instances,
+/// TestRun parameters bind `run`, later Region parameters bind `basis`.
+/// Throws for parameter shapes the analyzer cannot bind.
+[[nodiscard]] std::vector<PropertyContext> enumerate_property_contexts(
+    const asl::Model& model, const StoreHandles& handles,
+    const asl::PropertyInfo& prop, asl::ObjectId run, asl::ObjectId basis);
 
 /// The COSY analysis engine: enumerates property contexts over one program
 /// version and evaluates every property of the model.

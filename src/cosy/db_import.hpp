@@ -13,10 +13,16 @@ struct ImportStats {
 };
 
 /// Transfers an object store into the relational database behind `conn`
-/// (schema must exist; see create_schema). Row-at-a-time prepared INSERTs,
-/// as the 1999 toolchain did — this is what experiment T1 measures across
-/// backend profiles.
-ImportStats import_store(db::Connection& conn, const asl::ObjectStore& store);
+/// (schema must exist; see create_schema). With `batch_rows <= 1` this is
+/// row-at-a-time prepared INSERTs, as the 1999 toolchain did — what
+/// experiment T1 measures across backend profiles. With `batch_rows > 1`
+/// the bulk-ingest fast path groups up to that many rows per table into one
+/// multi-row `INSERT ... VALUES (...), (...)` statement, cutting the
+/// modelled per-statement round trips by ~batch_rows× while inserting the
+/// identical rows in the identical order (partition routing is per row, so
+/// the resulting store is byte-identical to the row-at-a-time import).
+ImportStats import_store(db::Connection& conn, const asl::ObjectStore& store,
+                         std::size_t batch_rows = 1);
 
 /// Inverse of import_store: materializes every object of the model from the
 /// database into a fresh store. This is the "first accessing the data

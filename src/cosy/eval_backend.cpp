@@ -129,7 +129,9 @@ class SqlBackend final : public EvalBackend {
              const EvalBackendDeps& deps, bool common_subexpr = true)
       : EvalBackend(deps),
         name_(name),
-        eval_(*deps.model, *deps.conn, mode, deps.plan_cache, common_subexpr) {}
+        eval_(*deps.model, *deps.conn, mode, deps.plan_cache, common_subexpr) {
+    eval_.set_shard_cache(deps.shard_cache);
+  }
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return name_;
@@ -187,6 +189,7 @@ class ShardedSqlBackend final : public EvalBackend {
     db::ConnectionPool::Lease lease = deps().pool->acquire();
     SqlEvaluator eval(*deps().model, *lease, SqlEvalMode::kWholeCondition,
                       deps().plan_cache);
+    eval.set_shard_cache(deps().shard_cache);
     const asl::PropertyResult result = eval.evaluate_property(property, args);
     absorb(eval);
     return result;
@@ -214,6 +217,7 @@ class ShardedSqlBackend final : public EvalBackend {
         db::ConnectionPool::Lease lease = deps().pool->acquire();
         SqlEvaluator eval(*deps().model, *lease, SqlEvalMode::kWholeCondition,
                           deps().plan_cache);
+        eval.set_shard_cache(deps().shard_cache);
         for (std::size_t i = 0; i < n; ++i) {
           results[i] = eval.evaluate_property(*requests[i].property,
                                               *requests[i].args);
@@ -243,6 +247,7 @@ class ShardedSqlBackend final : public EvalBackend {
         db::ConnectionPool::Lease lease = deps().pool->acquire();
         SqlEvaluator eval(*deps().model, *lease, SqlEvalMode::kWholeCondition,
                           deps().plan_cache);
+        eval.set_shard_cache(deps().shard_cache);
         for (std::size_t i = begin; i < end; ++i) {
           results[i] = eval.evaluate_property(*requests[i].property,
                                               *requests[i].args);
@@ -270,6 +275,7 @@ class ShardedSqlBackend final : public EvalBackend {
     if (!primary_) {
       primary_.emplace(*deps().model, *deps().conn,
                        SqlEvalMode::kWholeCondition, deps().plan_cache);
+      primary_->set_shard_cache(deps().shard_cache);
     }
     return *primary_;
   }
@@ -309,6 +315,10 @@ class DistributedSqlBackend final : public EvalBackend {
       replicas_.emplace(session.database(), workers);
       owned_coordinator_.emplace(
           session, db::make_workers(*replicas_, session.profile()));
+      // Staleness guard: ingest into the session's database between
+      // analyses version-bumps partitions, and the coordinator refreshes
+      // the affected replica partitions before the next scatter.
+      owned_coordinator_->attach_replicas(&*replicas_);
       coordinator_ = &*owned_coordinator_;
     }
     eval_.emplace(*deps.model, coordinator_->session(),

@@ -21,6 +21,7 @@ class Coordinator;
 namespace kojak::cosy {
 
 class PlanCache;
+class ShardResultCache;
 
 /// One (property, context) evaluation request: the property plus its
 /// argument tuple, both owned by the caller for the duration of the call.
@@ -61,6 +62,12 @@ struct EvalBackendDeps {
   /// session's database, modelled-remote when the session profile is
   /// distributed, in-process otherwise.
   db::Coordinator* coordinator = nullptr;
+  /// Incremental shard-result cache for the whole-condition SQL family
+  /// (cosy::Monitor supplies one that lives across epochs): partition-pinned
+  /// `part<K>` CTE results are served from cache and only dirty partitions
+  /// recompute. Null: every pass recomputes everything (the cold behavior).
+  /// Thread-safe, so the sharded backend shares it across its sessions.
+  ShardResultCache* shard_cache = nullptr;
 };
 
 /// A property-evaluation engine behind a narrow, uniform contract:

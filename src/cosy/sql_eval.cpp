@@ -9,6 +9,7 @@
 
 #include "asl/compilability.hpp"
 #include "cosy/db_import.hpp"
+#include "cosy/shard_cache.hpp"
 #include "db/distributed.hpp"
 #include "cosy/schema_gen.hpp"
 #include "support/error.hpp"
@@ -2047,6 +2048,11 @@ SqlEvaluator::SqlEvaluator(const asl::Model& model, db::Connection& conn,
 
 db::PreparedStatement& SqlEvaluator::statement_for(
     const std::shared_ptr<const CompiledPlan>& plan) {
+  return entry_for(plan).stmt;
+}
+
+SqlEvaluator::StatementEntry& SqlEvaluator::entry_for(
+    const std::shared_ptr<const CompiledPlan>& plan) {
   auto it = statements_.find(plan.get());
   if (it == statements_.end()) {
     if (cache_ != nullptr && cache_->capacity() != 0) {
@@ -2066,10 +2072,200 @@ db::PreparedStatement& SqlEvaluator::statement_for(
     }
     db::PreparedStatement stmt = conn_->database().prepare(plan->sql);
     it = statements_
-             .emplace(plan.get(), StatementEntry{plan, std::move(stmt)})
+             .emplace(plan.get(), StatementEntry{plan, std::move(stmt), {}})
              .first;
   }
-  return it->second.stmt;
+  return it->second;
+}
+
+void SqlEvaluator::ensure_shard_analysis(db::PreparedStatement& stmt,
+                                         ShardCteAnalysis& analysis) {
+  if (analysis.done && analysis.layout == layout_) return;
+  analysis = {};
+  analysis.done = true;
+  analysis.layout = layout_;
+  auto* select = std::get_if<db::sql::SelectStmt>(&stmt.ast());
+  if (select == nullptr) return;
+  db::Database& db = conn_->database();
+
+  // Whole-statement memo refs: every SELECT in the statement (outer + CTE
+  // bodies, recursively) and every CTE name — a ref that matches a CTE is
+  // derived data whose inputs are covered by walking that CTE's own body.
+  std::vector<const db::sql::SelectStmt*> selects{select};
+  std::vector<const std::string*> cte_names;
+  for (std::size_t i = 0; i < selects.size(); ++i) {
+    for (const db::sql::CommonTableExpr& cte : selects[i]->ctes) {
+      cte_names.push_back(&cte.name);
+      selects.push_back(cte.select.get());
+    }
+  }
+  const auto is_cte_name = [&](const std::string& table) {
+    for (const std::string* name : cte_names) {
+      if (support::iequals(*name, table)) return true;
+    }
+    return false;
+  };
+  bool memoable = true;
+  std::vector<const db::Table*> memo_refs;
+  for (const db::sql::SelectStmt* s : selects) {
+    db::sql::for_each_table_ref(*s, [&](const db::sql::TableRef& ref) {
+      if (!memoable || is_cte_name(ref.table)) return;
+      const db::Table* table = db.find_table(ref.table);
+      if (table == nullptr) {
+        memoable = false;  // a ref we can't pin to data: never memoize
+        return;
+      }
+      memo_refs.push_back(table);
+    });
+  }
+  if (memoable) analysis.memo_refs = std::move(memo_refs);
+
+  // Cacheable CTEs: same structural rule as the distributed coordinator's
+  // shard planner — no nested CTEs, catalog tables only, at least one
+  // partition-pinned scan, and the body renders back to SQL text.
+  for (db::sql::CommonTableExpr& cte : select->ctes) {
+    db::sql::SelectStmt& body = *cte.select;
+    if (!body.ctes.empty()) continue;
+    bool catalog_only = true;
+    std::optional<std::size_t> pinned;
+    std::vector<ShardCteAnalysis::Ref> refs;
+    db::sql::for_each_table_ref(body, [&](const db::sql::TableRef& ref) {
+      if (is_cte_name(ref.table)) {
+        catalog_only = false;  // sibling-CTE input: not a pure catalog read
+        return;
+      }
+      const db::Table* table = db.find_table(ref.table);
+      if (table == nullptr) {
+        catalog_only = false;
+        return;
+      }
+      if (ref.partition) {
+        if (!pinned) pinned = ref.partition;
+        refs.push_back({table, ref.partition});
+      } else {
+        refs.push_back({table, std::nullopt});
+      }
+    });
+    if (!catalog_only || !pinned) continue;
+    ShardCteAnalysis::Cte entry;
+    std::string text;
+    if (!db::render_select_sql(body, text, entry.order)) continue;
+    // Fingerprint stem = database identity + layout + body text, fixed for
+    // the analysis lifetime (both invalidate it). The identity term scopes
+    // entries to one store; the layout term retires entries cleanly across
+    // DDL re-partitioning. Per pass only the bound-value tail is appended.
+    entry.stem = support::cat(reinterpret_cast<std::uintptr_t>(&db), "|",
+                              layout_, "|", text);
+    entry.body = &body;
+    entry.name = &cte.name;
+    entry.pinned = *pinned;
+    entry.refs = std::move(refs);
+    analysis.ctes.push_back(std::move(entry));
+  }
+}
+
+bool SqlEvaluator::statement_memo_token(db::PreparedStatement& stmt,
+                                        ShardCteAnalysis& analysis,
+                                        std::string_view sql_text,
+                                        const std::vector<db::Value>& values,
+                                        std::string& fp,
+                                        std::uint64_t& version) {
+  ensure_shard_analysis(stmt, analysis);
+  if (!analysis.memo_refs) return false;
+  std::uint64_t token = 0;
+  for (const db::Table* table : *analysis.memo_refs) {
+    token += table->table_version();
+  }
+  if (analysis.memo_stem.empty()) {
+    analysis.memo_stem =
+        support::cat(reinterpret_cast<std::uintptr_t>(&conn_->database()), "|",
+                     layout_, "|", sql_text);
+  }
+  fp = analysis.memo_stem;
+  for (const db::Value& value : values) {
+    fp += '|';
+    fp += value.to_display();
+  }
+  version = token;
+  return true;
+}
+
+std::optional<db::QueryResult> SqlEvaluator::try_execute_with_shard_cache(
+    db::PreparedStatement& stmt, ShardCteAnalysis& analysis,
+    const std::vector<db::Value>& values) {
+  auto* select = std::get_if<db::sql::SelectStmt>(&stmt.ast());
+  if (select == nullptr || select->ctes.empty()) return std::nullopt;
+  db::Database& db = conn_->database();
+
+  // The structural work — which CTEs are cacheable, their rendered text and
+  // version references — is done once per statement (ensure_shard_analysis)
+  // and reused every pass; only version tokens and the bound-value tail of
+  // the fingerprint are per-pass.
+  ensure_shard_analysis(stmt, analysis);
+  if (analysis.ctes.empty()) return std::nullopt;
+
+  struct Resolved {
+    std::string_view name;
+    std::shared_ptr<const db::QueryResult> rows;
+  };
+  std::vector<Resolved> resolved;
+  resolved.reserve(analysis.ctes.size());
+  std::uint64_t hits = 0;
+  // Bound values render once per statement, not once per CTE — every CTE of
+  // the statement binds from the same value vector (value formatting is the
+  // expensive part of fingerprint assembly).
+  std::vector<std::string> rendered(values.size());
+  std::vector<bool> rendered_done(values.size(), false);
+  std::string fp;
+  for (const ShardCteAnalysis::Cte& cte : analysis.ctes) {
+    // Version token of the data the body reads: the pinned partition's
+    // version for `PARTITION (k)` scans, the whole-table version for every
+    // other referenced table (a join side like Probe has no pinned
+    // partition, so ANY change to it must invalidate the entry). Versions
+    // are monotonic, so the sum moves whenever any component does.
+    std::uint64_t version = 0;
+    for (const ShardCteAnalysis::Ref& ref : cte.refs) {
+      version += ref.partition ? ref.table->partition_version(*ref.partition)
+                               : ref.table->table_version();
+    }
+    // Fingerprint = precomputed stem (database identity, layout, body text)
+    // + bound values in text order.
+    fp.assign(cte.stem);
+    bool params_ok = true;
+    for (const std::size_t index : cte.order) {
+      if (index >= values.size()) {
+        params_ok = false;
+        break;
+      }
+      if (!rendered_done[index]) {
+        rendered[index] = values[index].to_display();
+        rendered_done[index] = true;
+      }
+      fp += '|';
+      fp += rendered[index];
+    }
+    if (!params_ok) continue;
+    ShardResultCache::Probe probe = shard_cache_->probe(fp, cte.pinned, version);
+    std::shared_ptr<const db::QueryResult> rows = std::move(probe.rows);
+    if (rows != nullptr) {
+      ++hits;
+    } else {
+      db.count_shard_cache_miss();
+      if (probe.stale) db.count_dirty_partition_recomputed();
+      rows = shard_cache_->store(fp, cte.pinned, version,
+                                 db.execute_select_with(*cte.body, values, {}));
+    }
+    resolved.push_back({*cte.name, std::move(rows)});
+  }
+  if (resolved.empty()) return std::nullopt;
+  if (hits > 0) db.count_shard_cache_hits(hits);
+
+  // The residual merge executes with the resolved rows injected — one
+  // charged statement, byte-identical to materializing the CTEs inline.
+  std::vector<db::Database::InjectedCte> injected;
+  injected.reserve(resolved.size());
+  for (const Resolved& r : resolved) injected.push_back({r.name, r.rows.get()});
+  return conn_->execute_with_ctes(*select, values, injected);
 }
 
 PropertyResult SqlEvaluator::evaluate_property(const asl::PropertyInfo& prop,
@@ -2158,6 +2354,44 @@ PropertyResult SqlEvaluator::evaluate_whole(const asl::PropertyInfo& prop,
       return cache_ != nullptr
                  ? coordinator_->execute(statement_for(plan), values)
                  : coordinator_->execute(plan->sql, values);
+    }
+    // Incremental path: with a shard cache attached, the statement-level
+    // memo is consulted first — when every table the statement reads is at
+    // the version it last ran against, the stored result is returned and
+    // the statement never executes. Otherwise partition-pinned CTEs resolve
+    // through the cache (only dirty partitions recompute) and the merged
+    // result refreshes the memo. Falls through to the plain path when the
+    // statement has nothing cacheable.
+    if (shard_cache_ != nullptr) {
+      std::optional<db::PreparedStatement> local;
+      ShardCteAnalysis local_analysis;
+      StatementEntry* entry = cache_ != nullptr ? &entry_for(plan) : nullptr;
+      db::PreparedStatement& stmt =
+          entry != nullptr
+              ? entry->stmt
+              : local.emplace(conn_->database().prepare(plan->sql));
+      ShardCteAnalysis& analysis =
+          entry != nullptr ? entry->shard : local_analysis;
+      std::string memo_fp;
+      std::uint64_t memo_version = 0;
+      const bool memoable = statement_memo_token(stmt, analysis, plan->sql,
+                                                 values, memo_fp, memo_version);
+      if (memoable) {
+        if (std::shared_ptr<const db::QueryResult> rows =
+                shard_cache_->probe_statement(memo_fp, memo_version)) {
+          conn_->database().count_statement_memoized();
+          return db::QueryResult(*rows);
+        }
+      }
+      std::optional<db::QueryResult> cached =
+          try_execute_with_shard_cache(stmt, analysis, values);
+      db::QueryResult merged =
+          cached ? std::move(*cached) : conn_->execute(stmt, values);
+      if (memoable) {
+        shard_cache_->store_statement(memo_fp, memo_version,
+                                      db::QueryResult(merged));
+      }
+      return merged;
     }
     return cache_ != nullptr ? conn_->execute(statement_for(plan), values)
                              : conn_->execute(plan->sql, values);

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,8 @@ class Coordinator;
 }
 
 namespace kojak::cosy {
+
+class ShardResultCache;
 
 /// How database-backed property evaluation distributes work (§5):
 ///  * kPushdown       — set operations compile to SQL; the database filters
@@ -228,6 +231,18 @@ class SqlEvaluator {
     coordinator_ = coordinator;
   }
 
+  /// Attaches an incremental shard-result cache: whole-condition statements
+  /// resolve their partition-pinned `part<K>` CTEs through the cache,
+  /// recomputing only partitions whose version token moved since the last
+  /// pass, and the residual merge executes with the cached rows injected
+  /// (byte-identical to a cold run; still one charged statement). The cache
+  /// must be used against a single Database and must outlive the evaluator.
+  /// Precedence: a coordinator, when also attached, wins — scatter/gather
+  /// and the shard cache do not compose.
+  void set_shard_cache(ShardResultCache* cache) noexcept {
+    shard_cache_ = cache;
+  }
+
   /// Compiles a property's entire condition/confidence/severity surface into
   /// the single whole-condition statement without executing it (tests and
   /// --explain flows). Throws when the property is not compilable.
@@ -243,11 +258,48 @@ class SqlEvaluator {
  private:
   friend class SqlExprEval;
 
+  /// Once-per-statement analysis for the incremental (shard cache) path:
+  /// which CTE bodies are cacheable, their rendered text, parameter order,
+  /// pinned partition and version references — everything about the probe
+  /// that does not change between passes. Rebuilt when the database layout
+  /// fingerprint moves (a DDL re-partition invalidates pinned indices and
+  /// cached Table pointers).
+  struct ShardCteAnalysis {
+    bool done = false;
+    std::uint64_t layout = 0;
+    struct Ref {
+      const db::Table* table = nullptr;
+      std::optional<std::size_t> partition;  ///< pinned scan, else whole-table
+    };
+    struct Cte {
+      db::sql::SelectStmt* body = nullptr;
+      const std::string* name = nullptr;  ///< points into the statement AST
+      std::string stem;  ///< fingerprint prefix: db identity|layout|body text
+      std::vector<std::size_t> order;  ///< param indices in text order
+      std::size_t pinned = 0;
+      std::vector<Ref> refs;
+    };
+    std::vector<Cte> ctes;  ///< cacheable CTEs only
+    /// Whole-statement memo: every catalog table the statement reads
+    /// (nullopt when some ref cannot be pinned to data — never memoize).
+    std::optional<std::vector<const db::Table*>> memo_refs;
+    /// Memo fingerprint prefix (db identity|layout|statement text), built on
+    /// first use — the statement text never changes for a given analysis.
+    std::string memo_stem;
+  };
+
+  struct StatementEntry {
+    std::shared_ptr<const CompiledPlan> plan;  // keeps the key alive
+    db::PreparedStatement stmt;
+    ShardCteAnalysis shard;
+  };
+
   /// Prepared statement for a cached plan, parsed once per evaluator (the
   /// engine allows concurrent execution of *distinct* prepared statements,
   /// so statements are per-evaluator while plans are shared).
   db::PreparedStatement& statement_for(
       const std::shared_ptr<const CompiledPlan>& plan);
+  StatementEntry& entry_for(const std::shared_ptr<const CompiledPlan>& plan);
 
   /// Site-by-site evaluation (pushdown / client-side), also the fallback of
   /// the whole-condition mode.
@@ -259,15 +311,36 @@ class SqlEvaluator {
       const asl::PropertyInfo& prop, const std::vector<asl::RtValue>& args);
   [[nodiscard]] std::shared_ptr<const CompiledPlan> whole_plan_for(
       const asl::PropertyInfo& prop);
-
-  struct StatementEntry {
-    std::shared_ptr<const CompiledPlan> plan;  // keeps the key alive
-    db::PreparedStatement stmt;
-  };
+  /// Incremental execution of a whole-condition statement through the
+  /// attached ShardResultCache: partition-pinned `part<K>` CTEs are served
+  /// from cache when their version token is unchanged, recomputed (and
+  /// re-cached) when dirty, and the residual merge runs with the rows
+  /// injected. Returns nullopt when the statement has no cacheable CTE —
+  /// the caller then executes it on the plain path.
+  [[nodiscard]] std::optional<db::QueryResult> try_execute_with_shard_cache(
+      db::PreparedStatement& stmt, ShardCteAnalysis& analysis,
+      const std::vector<db::Value>& values);
+  /// (Re)builds `analysis` for the statement when absent or compiled against
+  /// a different layout fingerprint.
+  void ensure_shard_analysis(db::PreparedStatement& stmt,
+                             ShardCteAnalysis& analysis);
+  /// Whole-statement memo token: true when every table the statement reads
+  /// (outer select, every CTE body, recursively) resolves in the catalog.
+  /// `fp` then identifies the computation (database identity, layout,
+  /// statement text, bound values) and `version` sums the whole-table
+  /// versions of everything read — unchanged token means the stored result
+  /// is still exact and the statement need not run at all.
+  [[nodiscard]] bool statement_memo_token(db::PreparedStatement& stmt,
+                                          ShardCteAnalysis& analysis,
+                                          std::string_view sql_text,
+                                          const std::vector<db::Value>& values,
+                                          std::string& fp,
+                                          std::uint64_t& version);
 
   const asl::Model* model_;
   db::Connection* conn_;
   db::Coordinator* coordinator_ = nullptr;
+  ShardResultCache* shard_cache_ = nullptr;
   SqlEvalMode mode_;
   PlanCache* cache_;
   bool cse_;

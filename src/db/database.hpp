@@ -5,7 +5,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -102,6 +104,51 @@ class Database {
   /// Total live rows across all tables (bench bookkeeping).
   [[nodiscard]] std::size_t total_rows() const;
 
+  // --- epochs and snapshots -------------------------------------------------
+  // The store epoch is the sum of every catalog table's table_version(): a
+  // monotonic data version that advances by >= 1 on any row mutation
+  // anywhere in the catalog. Online monitoring pins analysis passes to an
+  // epoch: an analyzer holds a ReadSnapshot (shared lock) for a whole pass
+  // while an ingest writer takes the WriteGate (exclusive lock) per batch,
+  // so readers always see batch-aligned, consistent data. The gate is
+  // advisory — the raw execute() paths do not take it — but every monitoring
+  // participant (cosy::Monitor, bulk db_import) goes through it.
+  [[nodiscard]] std::uint64_t store_epoch() const noexcept {
+    std::uint64_t epoch = 0;
+    for (const auto& [name, table] : tables_) epoch += table->table_version();
+    return epoch;
+  }
+
+  /// Shared-reader pin: holds the store gate in shared mode so ingest
+  /// batches (which take the exclusive WriteGate) cannot interleave with an
+  /// analysis pass. `epoch()` is the store epoch observed at acquisition
+  /// and stays valid for the snapshot's lifetime.
+  class ReadSnapshot {
+   public:
+    [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+   private:
+    friend class Database;
+    ReadSnapshot(std::shared_mutex& gate, const Database& db) : lock_(gate) {
+      epoch_ = db.store_epoch();
+    }
+    std::shared_lock<std::shared_mutex> lock_;
+    std::uint64_t epoch_ = 0;
+  };
+  /// Exclusive-writer pin for one ingest batch; blocks until all snapshots
+  /// are released and excludes new ones until destruction.
+  class WriteGate {
+   public:
+   private:
+    friend class Database;
+    explicit WriteGate(std::shared_mutex& gate) : lock_(gate) {}
+    std::unique_lock<std::shared_mutex> lock_;
+  };
+  [[nodiscard]] ReadSnapshot snapshot() const {
+    return ReadSnapshot(*store_gate_, *this);
+  }
+  [[nodiscard]] WriteGate write_gate() { return WriteGate(*store_gate_); }
+
   /// Knobs of the parallel partition-scan path. An unpruned full scan of a
   /// table with more than one partition fans its partitions out across a
   /// dedicated scan pool when the partitions hold at least
@@ -149,6 +196,22 @@ class Database {
     std::uint64_t shard_retries = 0;
     std::uint64_t straggler_reissues = 0;
     std::uint64_t worker_failures = 0;
+    /// Incremental re-evaluation accounting, bumped by the whole-condition
+    /// pipeline when a cosy::ShardResultCache is attached: per-partition
+    /// `part<K>` CTE results served from cache (partition version
+    /// unchanged), recomputed because absent or stale, and — of the
+    /// misses — those where a prior entry existed at an older version
+    /// (the "dirty partition" recomputes an incremental pass pays for).
+    std::uint64_t shard_cache_hits = 0;
+    std::uint64_t shard_cache_misses = 0;
+    std::uint64_t dirty_partitions_recomputed = 0;
+    /// Whole statements served from the statement-level memo: every table
+    /// the statement reads was at the version it last ran against, so the
+    /// pass reused the stored result without issuing the statement at all.
+    std::uint64_t statements_memoized = 0;
+    /// Replica partitions re-synced by db::Coordinator because the replica
+    /// was behind the source table's partition version at scatter time.
+    std::uint64_t replica_refreshes = 0;
   };
   [[nodiscard]] ExecStatsSnapshot exec_stats() const noexcept {
     return {exec_stats_.subquery_executions.load(std::memory_order_relaxed),
@@ -164,7 +227,13 @@ class Database {
             exec_stats_.shards_dispatched.load(std::memory_order_relaxed),
             exec_stats_.shard_retries.load(std::memory_order_relaxed),
             exec_stats_.straggler_reissues.load(std::memory_order_relaxed),
-            exec_stats_.worker_failures.load(std::memory_order_relaxed)};
+            exec_stats_.worker_failures.load(std::memory_order_relaxed),
+            exec_stats_.shard_cache_hits.load(std::memory_order_relaxed),
+            exec_stats_.shard_cache_misses.load(std::memory_order_relaxed),
+            exec_stats_.dirty_partitions_recomputed.load(
+                std::memory_order_relaxed),
+            exec_stats_.statements_memoized.load(std::memory_order_relaxed),
+            exec_stats_.replica_refreshes.load(std::memory_order_relaxed)};
   }
 
   // Internal: bumped by the executor (relaxed; telemetry only).
@@ -206,6 +275,22 @@ class Database {
   void count_worker_failure() noexcept {
     exec_stats_.worker_failures.fetch_add(1, std::memory_order_relaxed);
   }
+  void count_shard_cache_hits(std::uint64_t n) noexcept {
+    exec_stats_.shard_cache_hits.fetch_add(n, std::memory_order_relaxed);
+  }
+  void count_shard_cache_miss() noexcept {
+    exec_stats_.shard_cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_dirty_partition_recomputed() noexcept {
+    exec_stats_.dirty_partitions_recomputed.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  void count_statement_memoized() noexcept {
+    exec_stats_.statements_memoized.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_replica_refreshes(std::uint64_t n) noexcept {
+    exec_stats_.replica_refreshes.fetch_add(n, std::memory_order_relaxed);
+  }
 
  private:
   struct ExecStats {
@@ -221,6 +306,11 @@ class Database {
     std::atomic<std::uint64_t> shard_retries{0};
     std::atomic<std::uint64_t> straggler_reissues{0};
     std::atomic<std::uint64_t> worker_failures{0};
+    std::atomic<std::uint64_t> shard_cache_hits{0};
+    std::atomic<std::uint64_t> shard_cache_misses{0};
+    std::atomic<std::uint64_t> dirty_partitions_recomputed{0};
+    std::atomic<std::uint64_t> statements_memoized{0};
+    std::atomic<std::uint64_t> replica_refreshes{0};
 
     // Snapshot copy/move so Database itself stays movable (nobody may be
     // executing against a Database while it is moved anyway).
@@ -244,6 +334,11 @@ class Database {
       copy(shard_retries, other.shard_retries);
       copy(straggler_reissues, other.straggler_reissues);
       copy(worker_failures, other.worker_failures);
+      copy(shard_cache_hits, other.shard_cache_hits);
+      copy(shard_cache_misses, other.shard_cache_misses);
+      copy(dirty_partitions_recomputed, other.dirty_partitions_recomputed);
+      copy(statements_memoized, other.statements_memoized);
+      copy(replica_refreshes, other.replica_refreshes);
       return *this;
     }
   };
@@ -278,6 +373,12 @@ class Database {
   };
   std::uint64_t catalog_generation_ = 0;
   mutable LayoutMemo layout_memo_;
+
+  /// The snapshot/write-gate lock. unique_ptr keeps Database movable (a
+  /// moved-from Database is dead weight; nobody holds its gate while it
+  /// moves, matching the ExecStats contract above).
+  mutable std::unique_ptr<std::shared_mutex> store_gate_ =
+      std::make_unique<std::shared_mutex>();
 };
 
 }  // namespace kojak::db

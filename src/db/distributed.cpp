@@ -276,25 +276,101 @@ QueryResult RemoteWorker::do_execute_shard(const ShardTask& task) {
 // ---------------------------------------------------------------------------
 // Replicas
 
-ReplicaSet::ReplicaSet(const Database& source, std::size_t count) {
+namespace {
+
+/// Full clone of one source table into `replica` (schema, indexes, live
+/// rows in scan order).
+void clone_table(Database& replica, const Table& table) {
+  Table& copy = replica.create_table(table.schema());
+  for (const auto& index : table.indexes()) {
+    copy.create_index(index->name(), index->column(), index->kind());
+  }
+  // Live rows re-insert in the source's scan order (partition-major,
+  // heap order within each); the identical partition spec routes every
+  // row to the same partition, so replica scans are byte-for-byte the
+  // source's row streams.
+  table.for_each_live_row(
+      [&copy](std::size_t, const Row& row) { copy.insert(row); });
+}
+
+[[nodiscard]] std::vector<std::uint64_t> partition_versions(
+    const Table& table) {
+  std::vector<std::uint64_t> versions(table.partition_count());
+  for (std::size_t p = 0; p < versions.size(); ++p) {
+    versions[p] = table.partition_version(p);
+  }
+  return versions;
+}
+
+}  // namespace
+
+ReplicaSet::ReplicaSet(const Database& source, std::size_t count)
+    : source_(&source) {
   replicas_.reserve(count);
+  SyncedVersions at_clone;
+  for (const std::string& name : source.table_names()) {
+    at_clone.emplace(name, partition_versions(source.table(name)));
+  }
   for (std::size_t r = 0; r < count; ++r) {
     auto replica = std::make_unique<Database>();
     for (const std::string& name : source.table_names()) {
-      const Table& table = source.table(name);
-      Table& copy = replica->create_table(table.schema());
-      for (const auto& index : table.indexes()) {
-        copy.create_index(index->name(), index->column(), index->kind());
-      }
-      // Live rows re-insert in the source's scan order (partition-major,
-      // heap order within each); the identical partition spec routes every
-      // row to the same partition, so replica scans are byte-for-byte the
-      // source's row streams.
-      table.for_each_live_row(
-          [&copy](std::size_t, const Row& row) { copy.insert(row); });
+      clone_table(*replica, source.table(name));
     }
     replicas_.push_back(std::move(replica));
+    synced_.push_back(at_clone);
   }
+}
+
+bool ReplicaSet::replica_stale(std::size_t i) const {
+  const SyncedVersions& synced = synced_.at(i);
+  for (const std::string& name : source_->table_names()) {
+    const Table& table = source_->table(name);
+    const auto it = synced.find(name);
+    if (it == synced.end() || it->second.size() != table.partition_count()) {
+      return true;  // table created or re-partitioned since the sync
+    }
+    for (std::size_t p = 0; p < it->second.size(); ++p) {
+      if (it->second[p] != table.partition_version(p)) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t ReplicaSet::refresh(std::size_t i) {
+  Database& replica = *replicas_.at(i);
+  SyncedVersions& synced = synced_.at(i);
+  std::size_t refreshed = 0;
+  for (const std::string& name : source_->table_names()) {
+    const Table& table = source_->table(name);
+    const auto it = synced.find(name);
+    if (it == synced.end() || it->second.size() != table.partition_count()) {
+      // Table created or re-partitioned since the last sync: replace the
+      // replica copy wholesale (rare DDL path; the hot path below is the
+      // per-partition one).
+      replica.drop_table(name);
+      clone_table(replica, table);
+      synced[name] = partition_versions(table);
+      refreshed += table.partition_count();
+      continue;
+    }
+    std::vector<std::uint64_t>& versions = it->second;
+    Table& copy = replica.table(name);
+    for (std::size_t p = 0; p < table.partition_count(); ++p) {
+      const std::uint64_t current = table.partition_version(p);
+      if (versions[p] == current) continue;
+      // Re-copy ONLY this partition: tombstone the replica partition's live
+      // rows, then append the source partition's rows in scan order — the
+      // partition's live-row stream is again byte-for-byte the source's.
+      for (const std::size_t row_id : copy.live_rows_in(p)) {
+        copy.erase(row_id);
+      }
+      table.for_each_live_row_in(
+          p, [&copy](std::size_t, const Row& row) { copy.insert(row); });
+      versions[p] = current;
+      ++refreshed;
+    }
+  }
+  return refreshed;
 }
 
 std::vector<std::unique_ptr<Worker>> make_workers(
@@ -341,11 +417,32 @@ QueryResult Coordinator::execute(PreparedStatement& stmt,
   if (auto* select = std::get_if<sql::SelectStmt>(&stmt.ast())) {
     std::vector<std::shared_ptr<ShardTask>> tasks =
         plan_shards(*select, params);
-    if (!tasks.empty()) {
+    if (!tasks.empty() && replicas_ready_for_scatter()) {
       return scatter_gather(*select, params, std::move(tasks));
     }
   }
   return session_->execute(stmt, params);
+}
+
+bool Coordinator::replicas_ready_for_scatter() {
+  if (replicas_ == nullptr) return true;  // caller manages worker freshness
+  const std::size_t n = std::min(workers_.size(), replicas_->size());
+  bool ready = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!replicas_->replica_stale(i)) continue;
+    if (!options_.refresh_stale_replicas) {
+      // Decline to scatter: executing on the session is always fresh.
+      ready = false;
+      continue;
+    }
+    // Refresh under the worker's execution gate so an abandoned straggler
+    // attempt from an earlier statement cannot race the re-copy.
+    workers_[i]->with_replica_quiesced([&] {
+      const std::size_t refreshed = replicas_->refresh(i);
+      session_->database().count_replica_refreshes(refreshed);
+    });
+  }
+  return ready;
 }
 
 QueryResult Coordinator::execute(std::string_view sql_text,

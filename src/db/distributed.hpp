@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -74,6 +76,15 @@ class Worker {
     return modelled_ns_.load(std::memory_order_relaxed);
   }
 
+  /// Runs `fn` while the worker's execution gate is held, so the replica is
+  /// guaranteed idle — no attempt (including an abandoned straggler from an
+  /// earlier statement) touches it concurrently. The coordinator refreshes
+  /// stale replicas under this.
+  void with_replica_quiesced(const std::function<void()>& fn) {
+    std::lock_guard lock(gate_);
+    fn();
+  }
+
  protected:
   virtual QueryResult do_execute_shard(const ShardTask& task) = 0;
   void charge_ns(std::uint64_t ns) noexcept {
@@ -130,15 +141,36 @@ class RemoteWorker final : public Worker {
 /// order (partition-major, heap order within each) — so a replica scan
 /// produces byte-for-byte the row stream the source would, which is what
 /// makes scatter/gather results byte-identical to local execution.
+/// Each replica remembers the per-partition versions it was synced at, so
+/// staleness after new source ingest is a version comparison and a refresh
+/// re-copies ONLY the partitions that moved (erase the replica partition's
+/// live rows, re-insert the source partition's in scan order — the replica
+/// partition's live-row stream stays byte-for-byte the source's).
 class ReplicaSet {
  public:
   ReplicaSet(const Database& source, std::size_t count);
 
   [[nodiscard]] std::size_t size() const noexcept { return replicas_.size(); }
   [[nodiscard]] Database& replica(std::size_t i) { return *replicas_.at(i); }
+  [[nodiscard]] const Database& source() const noexcept { return *source_; }
+
+  /// True when any source partition (or the catalog itself) has mutated
+  /// since replica `i` was last synced (cloned or refreshed).
+  [[nodiscard]] bool replica_stale(std::size_t i) const;
+  /// Partition-incremental re-sync of replica `i` against the source;
+  /// returns the number of partitions re-copied (0 when already fresh).
+  /// The caller must guarantee the replica is idle (the coordinator runs
+  /// this under Worker::with_replica_quiesced) and the source is not
+  /// mutating (the monitoring write gate provides that).
+  std::size_t refresh(std::size_t i);
 
  private:
+  /// Per-table partition versions of the source at the last sync.
+  using SyncedVersions = std::map<std::string, std::vector<std::uint64_t>>;
+
+  const Database* source_;
   std::vector<std::unique_ptr<Database>> replicas_;
+  std::vector<SyncedVersions> synced_;
 };
 
 /// One worker per replica: modelled-remote when `profile.distributed`,
@@ -153,6 +185,11 @@ struct CoordinatorOptions {
   /// Total attempts per dispatch (1 + retries-with-backoff on failure).
   std::size_t max_attempts = 3;
   std::chrono::milliseconds retry_backoff{1};
+  /// With a ReplicaSet attached: refresh stale replicas in place before
+  /// scattering (counted as `replica_refreshes`). When false the
+  /// coordinator declines to scatter while any replica is behind and runs
+  /// the statement on the session instead — never stale reads either way.
+  bool refresh_stale_replicas = true;
 };
 
 /// The coordinator half of the executor split. Plans a statement's
@@ -180,6 +217,15 @@ class Coordinator {
   }
   [[nodiscard]] Worker& worker(std::size_t i) { return *workers_.at(i); }
 
+  /// Attaches the ReplicaSet the workers execute against (worker i maps to
+  /// replica i, the make_workers layout). Before every scatter the
+  /// coordinator then version-checks each replica against the source and
+  /// refreshes stale ones (or declines to scatter — see
+  /// CoordinatorOptions::refresh_stale_replicas), so replicas cloned at
+  /// fleet construction never silently serve stale shards after new ingest.
+  /// Null detaches; the set must outlive the coordinator.
+  void attach_replicas(ReplicaSet* replicas) noexcept { replicas_ = replicas; }
+
   QueryResult execute(PreparedStatement& stmt, std::span<const Value> params);
   /// Parses one statement and executes it (convenience; tests and the
   /// uncached evaluator path).
@@ -190,6 +236,9 @@ class Coordinator {
 
   [[nodiscard]] std::vector<std::shared_ptr<ShardTask>> plan_shards(
       const sql::SelectStmt& stmt, std::span<const Value> params) const;
+  /// Pre-scatter staleness pass; false means "decline to scatter" (a
+  /// replica is behind and refresh is disabled).
+  [[nodiscard]] bool replicas_ready_for_scatter();
   QueryResult scatter_gather(sql::SelectStmt& stmt,
                              std::span<const Value> params,
                              std::vector<std::shared_ptr<ShardTask>> tasks);
@@ -198,6 +247,7 @@ class Coordinator {
 
   Connection* session_;
   CoordinatorOptions options_;
+  ReplicaSet* replicas_ = nullptr;
   /// Declared before pool_ so the pool joins (draining abandoned straggler
   /// attempts) while the workers they reference are still alive.
   std::vector<std::unique_ptr<Worker>> workers_;

@@ -160,6 +160,12 @@ std::size_t Table::heap_size() const noexcept {
   return total;
 }
 
+std::uint64_t Table::table_version() const noexcept {
+  std::uint64_t total = 0;
+  for (const PartitionStore& part : parts_) total += part.version;
+  return total;
+}
+
 Row Table::validate(Row row) const {
   if (row.size() != schema_.column_count()) {
     throw EvalError(support::cat("table ", schema_.name(), " expects ",
@@ -188,6 +194,7 @@ std::size_t Table::place_row(std::size_t partition, Row row) {
   part.rows.push_back(std::move(row));
   part.live.push_back(true);
   ++part.live_count;
+  ++part.version;
   ++live_count_;
   for (const auto& index : indexes_) {
     index->insert(part.rows.back()[index->column()], row_id);
@@ -232,6 +239,7 @@ void Table::erase(std::size_t row_id) {
   }
   part.live[local] = false;
   --part.live_count;
+  ++part.version;
   --live_count_;
 }
 
@@ -253,13 +261,16 @@ void Table::update(std::size_t row_id, Row row) {
     for (const auto& index : indexes_) {
       index->insert(part.rows[local][index->column()], row_id);
     }
+    ++part.version;
     return;
   }
   // The partition column changed its routing: the row moves. The old id
   // becomes a tombstone; validation already ran, so the move skips insert()
-  // (whose duplicate-PK probe would find the row itself).
+  // (whose duplicate-PK probe would find the row itself). Both sides'
+  // versions move: the source here, the target inside place_row.
   part.live[local] = false;
   --part.live_count;
+  ++part.version;
   --live_count_;
   place_row(target, std::move(row));
 }

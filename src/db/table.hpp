@@ -1,6 +1,7 @@
 #ifndef KOJAK_DB_TABLE_HPP
 #define KOJAK_DB_TABLE_HPP
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -136,6 +137,21 @@ class Table {
     return parts_.at(partition).live_count;
   }
 
+  // --- partition versions ---------------------------------------------------
+  // Every partition carries a monotonic version counter, bumped by each
+  // mutation that touches it: insert and delete bump the owning partition,
+  // an in-place update bumps its partition once, and an update that moves
+  // the row across partitions bumps BOTH sides (the tombstoned source and
+  // the appending target). Versions are what incremental consumers key on:
+  // a cached per-partition result is valid exactly while the partition's
+  // version is unchanged, and replica staleness is a version comparison.
+  [[nodiscard]] std::uint64_t partition_version(std::size_t partition) const {
+    return parts_.at(partition).version;
+  }
+  /// Sum of all partition versions: a monotonic whole-table data version
+  /// (any mutation advances it by >= 1).
+  [[nodiscard]] std::uint64_t table_version() const noexcept;
+
   /// Validates arity, coerces values to column types, enforces NOT NULL and
   /// primary-key uniqueness, routes the row to its partition, appends it,
   /// updates indexes. Returns the new row id.
@@ -189,11 +205,12 @@ class Table {
   }
 
  private:
-  /// One partition's storage: row heap + tombstone bitmap.
+  /// One partition's storage: row heap + tombstone bitmap + version.
   struct PartitionStore {
     std::vector<Row> rows;
     std::vector<bool> live;
     std::size_t live_count = 0;
+    std::uint64_t version = 0;  ///< bumped by every mutation of this partition
   };
 
   Row validate(Row row) const;

@@ -563,3 +563,84 @@ TEST(Distributed, CosySuiteByteIdenticalAcrossWorkerCountsAndLayouts) {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Replica staleness: version-checked refresh before scatter
+
+TEST(Distributed, ReplicaSetDetectsStalenessAndRefreshesIncrementally) {
+  MicroWorld world;
+  db::ReplicaSet replicas(world.db, 2);
+  EXPECT_FALSE(replicas.replica_stale(0));
+  EXPECT_EQ(replicas.refresh(0), 0u);  // refreshing a fresh replica is a no-op
+
+  // New ingest lands in exactly one partition -> exactly one partition
+  // re-copies on refresh; the other replica stays independently stale.
+  world.db.execute("INSERT INTO M VALUES (3, 9.5)");
+  EXPECT_TRUE(replicas.replica_stale(0));
+  EXPECT_TRUE(replicas.replica_stale(1));
+  EXPECT_EQ(replicas.refresh(0), 1u);
+  EXPECT_FALSE(replicas.replica_stale(0));
+  EXPECT_TRUE(replicas.replica_stale(1));
+
+  // The refreshed replica streams byte-for-byte the source's live rows.
+  const char* scan = "SELECT k, v FROM M";
+  EXPECT_EQ(render_rows(replicas.replica(0).execute(scan)),
+            render_rows(world.db.execute(scan)));
+}
+
+TEST(Distributed, CoordinatorRefreshesStaleReplicasBeforeScatter) {
+  MicroWorld world;
+  db::Connection session(world.db, db::ConnectionProfile::in_memory());
+  db::ReplicaSet replicas(world.db, 2);
+  db::Coordinator coord(session, db::make_workers(replicas, session.profile()));
+  coord.attach_replicas(&replicas);
+
+  // Fresh fleet: scatter with no refresh traffic.
+  const auto s0 = world.db.exec_stats();
+  (void)coord.execute(kUnionStatement, union_params());
+  const auto s1 = world.db.exec_stats();
+  EXPECT_EQ(s1.replica_refreshes - s0.replica_refreshes, 0u);
+  EXPECT_EQ(s1.shards_dispatched - s0.shards_dispatched, 4u);
+
+  // Ingest after fleet construction: both replicas are behind. The next
+  // statement version-checks, re-copies the one dirty partition on each
+  // replica, and the gathered result already includes the new row.
+  world.db.execute("INSERT INTO M VALUES (65, 7.5)");
+  const std::string plain =
+      render_rows(world.db.execute(kUnionStatement, union_params()));
+  const db::QueryResult via = coord.execute(kUnionStatement, union_params());
+  const auto s2 = world.db.exec_stats();
+  EXPECT_EQ(render_rows(via), plain);
+  EXPECT_EQ(s2.replica_refreshes - s1.replica_refreshes, 2u);
+  EXPECT_EQ(s2.shards_dispatched - s1.shards_dispatched, 4u);
+
+  // Refreshed fleet: the next statement pays nothing again.
+  (void)coord.execute(kUnionStatement, union_params());
+  EXPECT_EQ(world.db.exec_stats().replica_refreshes - s2.replica_refreshes,
+            0u);
+}
+
+TEST(Distributed, CoordinatorDeclinesToScatterWhenRefreshDisabled) {
+  MicroWorld world;
+  db::Connection session(world.db, db::ConnectionProfile::in_memory());
+  db::ReplicaSet replicas(world.db, 2);
+  db::CoordinatorOptions options;
+  options.refresh_stale_replicas = false;
+  db::Coordinator coord(session, db::make_workers(replicas, session.profile()),
+                        options);
+  coord.attach_replicas(&replicas);
+
+  world.db.execute("INSERT INTO M VALUES (65, 7.5)");
+  const std::string plain =
+      render_rows(world.db.execute(kUnionStatement, union_params()));
+  const auto before = world.db.exec_stats();
+  const db::QueryResult via = coord.execute(kUnionStatement, union_params());
+  const auto after = world.db.exec_stats();
+  // Never a stale read: with refresh disabled the coordinator declines to
+  // scatter and runs the statement on the session — no shards, no
+  // refreshes, same bytes.
+  EXPECT_EQ(render_rows(via), plain);
+  EXPECT_EQ(after.shards_dispatched - before.shards_dispatched, 0u);
+  EXPECT_EQ(after.replica_refreshes - before.replica_refreshes, 0u);
+  EXPECT_TRUE(replicas.replica_stale(0));
+}

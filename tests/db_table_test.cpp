@@ -533,3 +533,74 @@ TEST(Partition, DdlRoundTrip) {
         << v;
   }
 }
+
+TEST(Partition, VersionsBumpTheOwningPartitionOnEveryMutation) {
+  Table table(hash_partitioned_schema(4));
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(table.partition_version(p), 0u);
+  }
+  EXPECT_EQ(table.table_version(), 0u);
+
+  // Insert bumps exactly the routed partition.
+  const std::size_t id =
+      table.insert({Value::integer(1), Value::text("ada"), Value::integer(3)});
+  const std::size_t home = table.route(Value::integer(3));
+  EXPECT_EQ(table.partition_version(home), 1u);
+  EXPECT_EQ(table.table_version(), 1u);
+
+  // In-place update (partition column unchanged) bumps the same partition
+  // once.
+  table.update(id, {Value::integer(1), Value::text("eda"), Value::integer(3)});
+  EXPECT_EQ(table.partition_version(home), 2u);
+  EXPECT_EQ(table.table_version(), 2u);
+
+  // Cross-partition move bumps BOTH sides: the source (row leaves) and the
+  // target (row arrives).
+  int other = -1;
+  for (int v = 4; v < 100; ++v) {
+    if (table.route(Value::integer(v)) != home) {
+      other = v;
+      break;
+    }
+  }
+  ASSERT_NE(other, -1);
+  table.update(id, {Value::integer(1), Value::text("eda"),
+                    Value::integer(other)});
+  const std::size_t target = table.route(Value::integer(other));
+  EXPECT_EQ(table.partition_version(home), 3u);
+  EXPECT_EQ(table.partition_version(target), 1u);
+  EXPECT_EQ(table.table_version(), 4u);
+
+  // Erase bumps the partition the row died in.
+  const auto live = table.live_rows();
+  ASSERT_EQ(live.size(), 1u);
+  table.erase(live[0]);
+  EXPECT_EQ(table.partition_version(target), 2u);
+  EXPECT_EQ(table.table_version(), 5u);
+  // Untouched partitions never moved.
+  for (std::size_t p = 0; p < 4; ++p) {
+    if (p != home && p != target) EXPECT_EQ(table.partition_version(p), 0u);
+  }
+}
+
+TEST(Partition, StoreEpochSumsTableVersionsAndNeverDecreases) {
+  kdb::Database db;
+  db.execute(
+      "CREATE TABLE a (k INTEGER, v TEXT) PARTITION BY HASH(k) PARTITIONS 4");
+  db.execute("CREATE TABLE b (k INTEGER)");
+  EXPECT_EQ(db.store_epoch(), 0u);
+
+  std::uint64_t last = 0;
+  for (int i = 0; i < 6; ++i) {
+    db.execute(kojak::support::cat("INSERT INTO a VALUES (", i, ", 'x')"));
+    const std::uint64_t now = db.store_epoch();
+    EXPECT_GT(now, last);  // every mutation advances the epoch
+    last = now;
+  }
+  db.execute("INSERT INTO b VALUES (9)");
+  EXPECT_EQ(db.store_epoch(), last + 1);
+  db.execute("DELETE FROM a WHERE k = 0");
+  EXPECT_EQ(db.store_epoch(), last + 2);
+  EXPECT_EQ(db.store_epoch(),
+            db.table("a").table_version() + db.table("b").table_version());
+}
