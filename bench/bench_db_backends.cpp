@@ -207,6 +207,172 @@ void register_scan_benchmarks() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// T1c: columnar vs row storage on the partition-union statement shape —
+// one part<K> CTE per partition, each filter + SUM/COUNT over its pinned
+// shard, folded by a coordinator expression. On STORAGE COLUMNAR tables
+// each CTE is served by the fused vectorized evaluator (selection bitmap
+// over column vectors + tight aggregate kernels); on the row twin the same
+// statement walks Rows through the expression interpreter. Identical data,
+// byte-identical results, same thread knobs.
+
+constexpr std::size_t kUnionPartitions = 8;
+
+std::string union_statement() {
+  std::string sql = "WITH ";
+  for (std::size_t k = 0; k < kUnionPartitions; ++k) {
+    sql += support::cat(
+        "part", k, " AS (SELECT COALESCE(SUM(w), 0.0) AS v0, COUNT(w) AS v1 ",
+        "FROM m PARTITION (", k, ") WHERE member >= 1000), ");
+  }
+  sql.resize(sql.size() - 2);
+  sql += " SELECT ";
+  for (std::size_t k = 0; k < kUnionPartitions; ++k) {
+    sql += support::cat("(SELECT v0 FROM part", k, ")",
+                        k + 1 == kUnionPartitions ? "" : " + ");
+  }
+  sql += ", ";
+  for (std::size_t k = 0; k < kUnionPartitions; ++k) {
+    sql += support::cat("(SELECT v1 FROM part", k, ")",
+                        k + 1 == kUnionPartitions ? "" : " + ");
+  }
+  return sql;
+}
+
+struct UnionDb {
+  std::unique_ptr<db::Database> database;
+  std::unique_ptr<db::PreparedStatement> stmt;
+};
+
+UnionDb& union_database(bool columnar, std::size_t threads) {
+  static std::map<bool, UnionDb> cache;
+  UnionDb& slot = cache[columnar];
+  if (!slot.database) {
+    slot.database = std::make_unique<db::Database>();
+    db::Database& database = *slot.database;
+    database.execute(support::cat(
+        "CREATE TABLE m (owner INTEGER, member INTEGER, w DOUBLE) "
+        "PARTITION BY HASH(member) PARTITIONS ",
+        kUnionPartitions, columnar ? " STORAGE COLUMNAR" : ""));
+    const int rows = smoke_mode() ? 4000 : 200000;
+    std::string insert;
+    for (int i = 0; i < rows; ++i) {
+      if (insert.empty()) insert = "INSERT INTO m VALUES ";
+      const double w = 0.37 * static_cast<double>((i * 131) % 97) + 0.01;
+      insert += support::cat("(", i % 64, ", ", i, ", ", w, "),");
+      if (i % 1024 == 1023 || i + 1 == rows) {
+        insert.back() = ' ';
+        database.execute(insert);
+        insert.clear();
+      }
+    }
+    slot.stmt =
+        std::make_unique<db::PreparedStatement>(database.prepare(union_statement()));
+  }
+  slot.database->set_scan_config({.threads = threads, .min_parallel_rows = 1});
+  return slot;
+}
+
+struct UnionOutcome {
+  double real_ms = 0;
+  double sum = 0;
+  std::int64_t count = 0;
+  std::uint64_t vectorized_batches = 0;
+};
+
+UnionOutcome run_union(UnionDb& setup, int reps) {
+  UnionOutcome outcome;
+  const auto before = setup.database->exec_stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) {
+    const db::QueryResult result = setup.database->execute(*setup.stmt);
+    outcome.sum = result.at(0, 0).as_double();
+    outcome.count = result.at(0, 1).as_int();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  outcome.real_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  outcome.vectorized_batches = setup.database->exec_stats().vectorized_batches -
+                               before.vectorized_batches;
+  return outcome;
+}
+
+void print_columnar_union_table() {
+  const int reps = smoke_mode() ? 3 : 20;
+  struct Setup {
+    bool columnar;
+    std::size_t threads;
+  };
+  const Setup setups[] = {
+      {false, 1}, {false, 4}, {true, 1}, {true, 4}};
+
+  support::TablePrinter table;
+  table.add_column("storage")
+      .add_column("threads", support::TablePrinter::Align::kRight)
+      .add_column("union ms", support::TablePrinter::Align::kRight)
+      .add_column("vs row", support::TablePrinter::Align::kRight)
+      .add_column("selected", support::TablePrinter::Align::kRight);
+  std::map<std::size_t, double> row_ms;
+  double row_sum = 0;
+  std::int64_t row_count = -1;
+  for (const Setup& setup : setups) {
+    const UnionOutcome outcome =
+        run_union(union_database(setup.columnar, setup.threads), reps);
+    if (!setup.columnar) {
+      row_ms[setup.threads] = outcome.real_ms;
+      row_sum = outcome.sum;
+      row_count = outcome.count;
+    } else if (outcome.sum != row_sum || outcome.count != row_count) {
+      std::cerr << "columnar union diverged from the row layout!\n";
+      std::abort();
+    }
+    table.add_row({setup.columnar ? "columnar" : "row",
+                   std::to_string(setup.threads),
+                   support::format_double(outcome.real_ms, 3),
+                   support::format_double(row_ms[setup.threads] /
+                                              outcome.real_ms,
+                                          2),
+                   std::to_string(outcome.count)});
+  }
+  std::cout << "\n=== T1c: partition-union aggregate statement, row vs "
+               "columnar storage (fused vectorized part<K> evaluators; "
+               "bit-identical coordinator results) ===\n"
+            << table.render()
+            << "('vs row' is speedup against the row layout at the same "
+               "thread count; the columnar path filters through per-batch "
+               "selection bitmaps and aggregates over selected lanes)\n\n";
+}
+
+void register_columnar_benchmarks() {
+  struct Setup {
+    bool columnar;
+    std::size_t threads;
+  };
+  const Setup setups[] = {
+      {false, 1}, {false, 4}, {true, 1}, {true, 4}};
+  for (const Setup setup : setups) {
+    benchmark::RegisterBenchmark(
+        support::cat("BM_PartitionUnionScan/",
+                     setup.columnar ? "columnar" : "row", "/threads_",
+                     setup.threads)
+            .c_str(),
+        [setup](benchmark::State& state) {
+          UnionDb& target = union_database(setup.columnar, setup.threads);
+          double sum = 0;
+          std::uint64_t batches = 0;
+          for (auto _ : state) {
+            const UnionOutcome outcome = run_union(target, 1);
+            sum = outcome.sum;
+            batches += outcome.vectorized_batches;
+          }
+          state.counters["sum"] = sum;
+          state.counters["vectorized_batches"] =
+              static_cast<double>(batches);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(smoke_mode() ? 2 : 10);
+  }
+}
+
 void print_summary_table() {
   support::TablePrinter table;
   table.add_column("backend")
@@ -252,8 +418,10 @@ void print_summary_table() {
 int main(int argc, char** argv) {
   print_summary_table();
   print_partitioned_scan_table();
+  print_columnar_union_table();
   register_benchmarks();
   register_scan_benchmarks();
+  register_columnar_benchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -163,6 +163,15 @@ def main() -> int:
         help="highlight real-time deltas beyond this percentage (default 10)",
     )
     parser.add_argument(
+        "--fail-above",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="emit a GitHub ::warning annotation for every benchmark whose "
+        "real time regressed more than PCT%% over the baseline; exit code "
+        "stays 0 (shared CI hardware makes timing a signal, not a gate)",
+    )
+    parser.add_argument(
         "--pair",
         nargs=2,
         action="append",
@@ -209,6 +218,30 @@ def main() -> int:
               f"{'; '.join(notes)}")
     print(f"--- {len(names)} benchmarks, {flagged} beyond "
           f"{args.threshold:g}% real-time delta ---")
+    if args.fail_above is not None:
+        regressed = 0
+        for name in names:
+            if name not in base or name not in cur:
+                continue
+            base_time = base[name].get("real_time", 0.0)
+            cur_time = cur[name].get("real_time", 0.0)
+            if base_time <= 0:
+                continue
+            slowdown = (cur_time - base_time) / base_time * 100.0
+            if slowdown > args.fail_above:
+                # GitHub Actions annotation: surfaced on the PR without
+                # failing the job (exit stays 0 by design, see --help).
+                print(
+                    f"::warning title=bench regression::{name} real time "
+                    f"{slowdown:+.1f}% over baseline "
+                    f"({fmt_time(base[name], 'real_time')} -> "
+                    f"{fmt_time(cur[name], 'real_time')})"
+                )
+                regressed += 1
+        print(
+            f"--- fail-above {args.fail_above:g}%: {regressed} "
+            "regression(s) annotated ---"
+        )
     for pair in args.pair or []:
         print_pair_deltas(cur, pair[0], pair[1])
     return 0

@@ -111,6 +111,10 @@ struct MonitorOptions {
   std::size_t ingest_batch_rows = 64;
   /// Plan-cache cap (0 = unbounded); plans persist across passes.
   std::size_t max_plans = 0;
+  /// Shard-result cache cap per level (0 = unbounded): at most this many
+  /// partition results and this many statement memos stay resident, LRU
+  /// evicted beyond that. Evictions only cost recomputes, never correctness.
+  std::size_t max_shard_entries = 0;
 };
 
 /// The online-monitoring loop: ingest-batch -> incremental re-evaluate ->

@@ -57,6 +57,7 @@ std::vector<std::string> generate_ddl(const asl::Model& model,
       if (attr.type.kind == TypeKind::kClass) ref_columns.push_back(attr.name);
     }
     create += ")";
+    if (options.columnar) create += " STORAGE COLUMNAR";
     ddl.push_back(std::move(create));
     ddl.push_back(support::cat("CREATE INDEX idx_", cls.name, "_id ON ",
                                cls.name, " (id)"));
@@ -99,6 +100,7 @@ std::vector<std::string> generate_ddl(const asl::Model& model,
         create += support::cat(" PARTITION BY HASH(owner) PARTITIONS ",
                                options.region_timing_partitions);
       }
+      if (options.columnar) create += " STORAGE COLUMNAR";
       ddl.push_back(std::move(create));
       ddl.push_back(support::cat("CREATE INDEX idx_", junction, "_owner ON ",
                                  junction, " (owner)"));

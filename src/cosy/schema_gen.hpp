@@ -43,6 +43,13 @@ struct SchemaOptions {
     std::size_t partitions = 1;
   };
   std::vector<JunctionPartition> junction_partitions;
+
+  /// Emit `STORAGE COLUMNAR` on every generated table: each partition keeps
+  /// typed column vectors + a validity bitmap alongside the row heap, and
+  /// eligible whole-partition aggregates run the engine's vectorized fused
+  /// path. Pure layout choice — reports stay byte-identical to the row
+  /// default (the cosy_columnar differential pins exactly that).
+  bool columnar = false;
 };
 
 [[nodiscard]] std::vector<std::string> generate_ddl(

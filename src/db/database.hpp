@@ -212,6 +212,20 @@ class Database {
     /// Replica partitions re-synced by db::Coordinator because the replica
     /// was behind the source table's partition version at scatter time.
     std::uint64_t replica_refreshes = 0;
+    /// Vectorized columnar accounting: partitions of STORAGE COLUMNAR
+    /// tables scanned through the batch kernels instead of the row heap,
+    /// fixed-width lane batches those scans processed, and live rows a
+    /// selection bitmap filtered out before any aggregate kernel touched
+    /// them (pruned partitions and tombstones do not count — only rows the
+    /// row path would have materialized and then rejected in WHERE).
+    std::uint64_t columnar_scans = 0;
+    std::uint64_t vectorized_batches = 0;
+    std::uint64_t rows_skipped_by_bitmap = 0;
+    /// Statement executions served by a fused single-pass evaluator: the
+    /// structural analysis (conjunct + aggregate descriptors) was reused
+    /// from the statement's cached plan annotation instead of being
+    /// re-derived from the AST.
+    std::uint64_t fused_plan_evals = 0;
   };
   [[nodiscard]] ExecStatsSnapshot exec_stats() const noexcept {
     return {exec_stats_.subquery_executions.load(std::memory_order_relaxed),
@@ -233,7 +247,11 @@ class Database {
             exec_stats_.dirty_partitions_recomputed.load(
                 std::memory_order_relaxed),
             exec_stats_.statements_memoized.load(std::memory_order_relaxed),
-            exec_stats_.replica_refreshes.load(std::memory_order_relaxed)};
+            exec_stats_.replica_refreshes.load(std::memory_order_relaxed),
+            exec_stats_.columnar_scans.load(std::memory_order_relaxed),
+            exec_stats_.vectorized_batches.load(std::memory_order_relaxed),
+            exec_stats_.rows_skipped_by_bitmap.load(std::memory_order_relaxed),
+            exec_stats_.fused_plan_evals.load(std::memory_order_relaxed)};
   }
 
   // Internal: bumped by the executor (relaxed; telemetry only).
@@ -291,6 +309,18 @@ class Database {
   void count_replica_refreshes(std::uint64_t n) noexcept {
     exec_stats_.replica_refreshes.fetch_add(n, std::memory_order_relaxed);
   }
+  void count_columnar_scans(std::uint64_t n) noexcept {
+    exec_stats_.columnar_scans.fetch_add(n, std::memory_order_relaxed);
+  }
+  void count_vectorized_batches(std::uint64_t n) noexcept {
+    exec_stats_.vectorized_batches.fetch_add(n, std::memory_order_relaxed);
+  }
+  void count_rows_skipped_by_bitmap(std::uint64_t n) noexcept {
+    exec_stats_.rows_skipped_by_bitmap.fetch_add(n, std::memory_order_relaxed);
+  }
+  void count_fused_plan_eval() noexcept {
+    exec_stats_.fused_plan_evals.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   struct ExecStats {
@@ -311,6 +341,10 @@ class Database {
     std::atomic<std::uint64_t> dirty_partitions_recomputed{0};
     std::atomic<std::uint64_t> statements_memoized{0};
     std::atomic<std::uint64_t> replica_refreshes{0};
+    std::atomic<std::uint64_t> columnar_scans{0};
+    std::atomic<std::uint64_t> vectorized_batches{0};
+    std::atomic<std::uint64_t> rows_skipped_by_bitmap{0};
+    std::atomic<std::uint64_t> fused_plan_evals{0};
 
     // Snapshot copy/move so Database itself stays movable (nobody may be
     // executing against a Database while it is moved anyway).
@@ -339,6 +373,10 @@ class Database {
       copy(dirty_partitions_recomputed, other.dirty_partitions_recomputed);
       copy(statements_memoized, other.statements_memoized);
       copy(replica_refreshes, other.replica_refreshes);
+      copy(columnar_scans, other.columnar_scans);
+      copy(vectorized_batches, other.vectorized_batches);
+      copy(rows_skipped_by_bitmap, other.rows_skipped_by_bitmap);
+      copy(fused_plan_evals, other.fused_plan_evals);
       return *this;
     }
   };

@@ -30,6 +30,46 @@ using sql::Expr;
 using sql::UnOp;
 using support::EvalError;
 
+namespace sql {
+
+/// Hot-plan annotation behind `SelectStmt::fused_plan`: the structural
+/// analysis of the dominant whole-condition shape — a single-table global
+/// aggregate with an AND-of-simple-conjuncts filter (the per-partition
+/// `part<K>` CTE body the partition-union rewrite emits). Built once per
+/// statement by the executor, reused by every later execution of the same
+/// statement (prepared statements, plan-cache hits, monitor re-evaluation);
+/// everything value-dependent — partition pruning, parameter and subquery
+/// constants, (column, constant) type compatibility — is re-derived per
+/// execution. Expression pointers reference the owning statement's AST, so
+/// the annotation must never outlive or migrate off its statement (clone()
+/// drops it).
+struct FusedScanPlan {
+  std::string table;                    // base table the statement scans
+  std::vector<ValueType> column_types;  // schema snapshot, validated on reuse
+
+  /// One WHERE conjunct: `column op constant` (constant = literal, param,
+  /// or scalar subquery) or `column IS [NOT] NULL`.
+  struct Conjunct {
+    std::size_t column = 0;
+    BinOp op = BinOp::kEq;           // comparison ops only
+    const Expr* constant = nullptr;  // null for IS [NOT] NULL tests
+    bool is_null_test = false;
+    bool negated = false;  // IS NOT NULL
+  };
+  std::vector<Conjunct> conjuncts;
+
+  /// One aggregate call over a plain base column; column == SIZE_MAX for
+  /// COUNT(*). Collected in run_aggregation's order (items, HAVING,
+  /// ORDER BY) so finalized values map back onto the same Expr nodes.
+  struct Aggregate {
+    const Expr* expr = nullptr;
+    std::size_t column = static_cast<std::size_t>(-1);
+  };
+  std::vector<Aggregate> aggregates;
+};
+
+}  // namespace sql
+
 namespace {
 
 // ---------------------------------------------------------------------------
@@ -592,6 +632,301 @@ void collect_aggregates(const Expr& e, std::vector<const Expr*>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Vectorized columnar scan kernels
+//
+// Batch-at-a-time execution over STORAGE COLUMNAR partitions: WHERE
+// conjuncts AND themselves into a per-partition selection bitmap over the
+// typed column lanes, then each aggregate runs a tight per-column kernel
+// over the selected lanes — no Row is ever materialized. Byte-identity with
+// the row path is load-bearing: every kernel visits lanes in heap order
+// (partition-major, local offset within), pushes the exact doubles
+// agg_accumulate would have pushed into the same RunningStats, and
+// replicates Value::compare_sql's semantics per (column type, constant
+// type) pair — including NaN comparing equal to everything and first-
+// attained MIN/MAX ties. Unsupported type pairs fall back to the row path,
+// which raises the interpreter's usual diagnostics.
+
+constexpr std::size_t kVectorBatch = 1024;
+
+/// Whether the comparison kernels implement compare_sql for every cell of a
+/// `col`-typed column against this constant. NULL constants are supported
+/// (three-valued logic: the conjunct is never true); anything else outside
+/// compare_sql's defined pairs falls back to the row path.
+bool conjunct_types_supported(ValueType col, const Value& constant) {
+  if (constant.is_null()) return true;
+  switch (col) {
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return constant.type() == ValueType::kInt ||
+             constant.type() == ValueType::kDouble;
+    case ValueType::kBool:
+    case ValueType::kDateTime:
+    case ValueType::kString:
+      return constant.type() == col;
+    default:
+      return false;
+  }
+}
+
+bool comparison_keeps(BinOp op, int c) noexcept {
+  switch (op) {
+    case BinOp::kEq: return c == 0;
+    case BinOp::kNe: return c != 0;
+    case BinOp::kLt: return c < 0;
+    case BinOp::kLe: return c <= 0;
+    case BinOp::kGt: return c > 0;
+    case BinOp::kGe: return c >= 0;
+    default: return false;
+  }
+}
+
+/// ANDs one conjunct into `sel` over lanes [begin, end). `constant` is the
+/// conjunct's already-evaluated right-hand side (ignored for null tests);
+/// the (column type, constant type) pair was pre-validated with
+/// conjunct_types_supported.
+void apply_conjunct_batch(const sql::FusedScanPlan::Conjunct& conjunct,
+                          const Value& constant, ValueType col_type,
+                          const Table::ColumnSlice& slice, std::size_t begin,
+                          std::size_t end, std::uint8_t* sel) {
+  if (conjunct.is_null_test) {
+    if (conjunct.negated) {  // IS NOT NULL
+      for (std::size_t i = begin; i < end; ++i) sel[i] &= slice.valid[i];
+    } else {
+      for (std::size_t i = begin; i < end; ++i) {
+        sel[i] &= static_cast<std::uint8_t>(slice.valid[i] ^ 1U);
+      }
+    }
+    return;
+  }
+  if (constant.is_null()) {
+    // compare_sql against NULL is indeterminate; WHERE treats it as false.
+    std::fill(sel + begin, sel + end, std::uint8_t{0});
+    return;
+  }
+  const BinOp op = conjunct.op;
+  const auto compare_lanes = [&](auto&& c_of) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (sel[i] == 0) continue;
+      if (slice.valid[i] == 0) {
+        sel[i] = 0;  // NULL cell: the comparison is never true
+        continue;
+      }
+      if (!comparison_keeps(op, c_of(i))) sel[i] = 0;
+    }
+  };
+  switch (col_type) {
+    case ValueType::kInt: {
+      // Numeric compare_sql goes through as_double even int-vs-int; the
+      // double cast here replicates that (NaN can't appear on this side).
+      const double rhs = constant.as_double();
+      compare_lanes([&](std::size_t i) {
+        const double x = static_cast<double>(slice.ints[i]);
+        return x < rhs ? -1 : (x > rhs ? 1 : 0);
+      });
+      break;
+    }
+    case ValueType::kDouble: {
+      const double rhs = constant.as_double();
+      compare_lanes([&](std::size_t i) {
+        const double x = slice.reals[i];
+        return x < rhs ? -1 : (x > rhs ? 1 : 0);
+      });
+      break;
+    }
+    case ValueType::kBool: {
+      const std::int64_t rhs = constant.as_bool() ? 1 : 0;
+      compare_lanes([&](std::size_t i) {
+        return static_cast<int>(slice.ints[i] - rhs);
+      });
+      break;
+    }
+    case ValueType::kDateTime: {
+      const std::int64_t rhs = constant.as_datetime();
+      compare_lanes([&](std::size_t i) {
+        const std::int64_t x = slice.ints[i];
+        return x < rhs ? -1 : (x > rhs ? 1 : 0);
+      });
+      break;
+    }
+    case ValueType::kString: {
+      const std::string& rhs = constant.as_string();
+      compare_lanes([&](std::size_t i) {
+        const int c = slice.strs[i].compare(rhs);
+        return c < 0 ? -1 : (c > 0 ? 1 : 0);
+      });
+      break;
+    }
+    default:
+      break;  // pre-validated: unreachable
+  }
+}
+
+/// Which kernel loop serves an aggregate call.
+enum class AggKernel : std::uint8_t {
+  kCountStar,     // COUNT(*)
+  kCountColumn,   // COUNT(col)
+  kNumericStats,  // SUM/AVG/STDDEV/VARIANCE: count + RunningStats pushes
+  kMinMax,        // MIN/MAX: typed first-attained extremes
+};
+
+/// Typed running extremes for a MIN/MAX kernel, mirroring agg_accumulate's
+/// first-attained rule (strict compare; ties and NaN keep the incumbent).
+/// Only the member matching the column's lane type is meaningful; both the
+/// low and the high side track, exactly as agg_accumulate updates both
+/// min_value and max_value from one state.
+struct MinMaxAcc {
+  bool has = false;
+  std::int64_t lo_i = 0;
+  std::int64_t hi_i = 0;
+  double lo_d = 0;
+  double hi_d = 0;
+  std::string lo_s;
+  std::string hi_s;
+};
+
+void accumulate_batch(AggKernel kernel, ValueType col_type,
+                      const Table::ColumnSlice& slice, std::size_t begin,
+                      std::size_t end, const std::uint8_t* sel,
+                      AggState& state, MinMaxAcc& minmax) {
+  switch (kernel) {
+    case AggKernel::kCountStar:
+      for (std::size_t i = begin; i < end; ++i) state.count += sel[i];
+      return;
+    case AggKernel::kCountColumn:
+      for (std::size_t i = begin; i < end; ++i) {
+        state.count += sel[i] & slice.valid[i];
+      }
+      return;
+    case AggKernel::kNumericStats:
+      // Lane order is heap order, so the Welford accumulator sees the exact
+      // push sequence of the row path — bit-for-bit identical SUM/AVG.
+      if (col_type == ValueType::kInt) {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (sel[i] && slice.valid[i]) {
+            ++state.count;
+            state.stats.push(static_cast<double>(slice.ints[i]));
+          }
+        }
+      } else {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (sel[i] && slice.valid[i]) {
+            ++state.count;
+            state.stats.push(slice.reals[i]);
+          }
+        }
+      }
+      return;
+    case AggKernel::kMinMax:
+      switch (col_type) {
+        case ValueType::kInt:
+          // compare_sql compares ints via double; replicate the cast so
+          // > 2^53 collisions keep the first-attained value.
+          for (std::size_t i = begin; i < end; ++i) {
+            if (!(sel[i] && slice.valid[i])) continue;
+            ++state.count;
+            const std::int64_t x = slice.ints[i];
+            if (!minmax.has) {
+              minmax.has = true;
+              minmax.lo_i = minmax.hi_i = x;
+              continue;
+            }
+            const auto xd = static_cast<double>(x);
+            if (xd < static_cast<double>(minmax.lo_i)) minmax.lo_i = x;
+            if (xd > static_cast<double>(minmax.hi_i)) minmax.hi_i = x;
+          }
+          return;
+        case ValueType::kBool:
+        case ValueType::kDateTime:
+          for (std::size_t i = begin; i < end; ++i) {
+            if (!(sel[i] && slice.valid[i])) continue;
+            ++state.count;
+            const std::int64_t x = slice.ints[i];
+            if (!minmax.has) {
+              minmax.has = true;
+              minmax.lo_i = minmax.hi_i = x;
+              continue;
+            }
+            if (x < minmax.lo_i) minmax.lo_i = x;
+            if (x > minmax.hi_i) minmax.hi_i = x;
+          }
+          return;
+        case ValueType::kDouble:
+          for (std::size_t i = begin; i < end; ++i) {
+            if (!(sel[i] && slice.valid[i])) continue;
+            ++state.count;
+            const double x = slice.reals[i];
+            if (!minmax.has) {
+              minmax.has = true;
+              minmax.lo_d = minmax.hi_d = x;
+              continue;
+            }
+            if (x < minmax.lo_d) minmax.lo_d = x;
+            if (x > minmax.hi_d) minmax.hi_d = x;
+          }
+          return;
+        case ValueType::kString:
+          for (std::size_t i = begin; i < end; ++i) {
+            if (!(sel[i] && slice.valid[i])) continue;
+            ++state.count;
+            const std::string& x = slice.strs[i];
+            if (!minmax.has) {
+              minmax.has = true;
+              minmax.lo_s = minmax.hi_s = x;
+              continue;
+            }
+            if (x.compare(minmax.lo_s) < 0) minmax.lo_s = x;
+            if (x.compare(minmax.hi_s) > 0) minmax.hi_s = x;
+          }
+          return;
+        default:
+          return;
+      }
+  }
+}
+
+/// Rebuilds the Value agg_finalize expects from a typed extreme.
+Value minmax_value(ValueType col_type, const MinMaxAcc& acc, bool max_side) {
+  switch (col_type) {
+    case ValueType::kInt:
+      return Value::integer(max_side ? acc.hi_i : acc.lo_i);
+    case ValueType::kBool:
+      return Value::boolean((max_side ? acc.hi_i : acc.lo_i) != 0);
+    case ValueType::kDateTime:
+      return Value::datetime(max_side ? acc.hi_i : acc.lo_i);
+    case ValueType::kDouble:
+      return Value::real(max_side ? acc.hi_d : acc.lo_d);
+    default:
+      return Value::text(max_side ? acc.hi_s : acc.lo_s);
+  }
+}
+
+/// Kernel selection for one supported aggregate call.
+AggKernel agg_kernel_of(const Expr& agg) {
+  if (agg.star_arg) return AggKernel::kCountStar;
+  if (agg.func == "COUNT") return AggKernel::kCountColumn;
+  if (agg.func == "MIN" || agg.func == "MAX") return AggKernel::kMinMax;
+  return AggKernel::kNumericStats;
+}
+
+/// True when a bare (non-aggregate-argument) column reference appears in
+/// the expression — global aggregation has no representative row for it on
+/// the fused path. Does not descend into scalar subqueries (their columns
+/// belong to their own scope and the executor consumes the materialized
+/// scalar).
+bool has_bare_column_ref(const Expr& e) {
+  if (e.kind == Expr::Kind::kColumnRef) return true;
+  if (e.kind == Expr::Kind::kFuncCall && Binder::is_aggregate_name(e.func)) {
+    return false;  // argument columns feed the kernels, not the output row
+  }
+  if (e.lhs && has_bare_column_ref(*e.lhs)) return true;
+  if (e.rhs && has_bare_column_ref(*e.rhs)) return true;
+  for (const auto& arg : e.args) {
+    if (has_bare_column_ref(*arg)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
 // Structural keys for the uncorrelated-subquery memo. Unlike
 // Expr::to_string, this rendering is unambiguous: parameters carry their
 // index, literals their type tag, and nested subqueries render in full —
@@ -727,34 +1062,43 @@ class SelectExec {
     bind_all(binder);
     materialize_subqueries();
 
-    std::vector<Row> rows = scan_and_join();
-    if (stmt_.where && !where_applied_) {
-      std::vector<Row> kept;
-      kept.reserve(rows.size());
-      for (Row& row : rows) {
-        EvalCtx ctx{&row, params_, nullptr, &subquery_values_, nullptr};
-        if (eval_predicate(*stmt_.where, ctx)) kept.push_back(std::move(row));
-      }
-      rows = std::move(kept);
-    }
-
     QueryResult result;
     result.columns = output_names();
 
     std::vector<std::pair<Row, Row>> out;  // (output row, order keys)
-    if (needs_aggregation()) {
-      out = run_aggregation(rows);
+    std::optional<std::vector<std::pair<Row, Row>>> fused;
+    const bool aggregation = needs_aggregation();
+    if (aggregation) fused = try_vectorized_aggregation();
+    if (fused) {
+      // Fused single-pass columnar evaluator: scan, WHERE, and aggregation
+      // already happened batch-at-a-time over the column vectors.
+      out = std::move(*fused);
     } else {
-      out.reserve(rows.size());
-      for (const Row& row : rows) {
-        EvalCtx ctx{&row, params_, nullptr, &subquery_values_, nullptr};
-        Row output;
-        output.reserve(stmt_.items.size());
-        for (const auto& item : stmt_.items) {
-          output.push_back(eval_expr(*item.expr, ctx));
+      std::vector<Row> rows = scan_and_join();
+      if (stmt_.where && !where_applied_) {
+        std::vector<Row> kept;
+        kept.reserve(rows.size());
+        for (Row& row : rows) {
+          EvalCtx ctx{&row, params_, nullptr, &subquery_values_, nullptr};
+          if (eval_predicate(*stmt_.where, ctx)) kept.push_back(std::move(row));
         }
-        Row keys = eval_order_keys(ctx, output);
-        out.emplace_back(std::move(output), std::move(keys));
+        rows = std::move(kept);
+      }
+
+      if (aggregation) {
+        out = run_aggregation(rows);
+      } else {
+        out.reserve(rows.size());
+        for (const Row& row : rows) {
+          EvalCtx ctx{&row, params_, nullptr, &subquery_values_, nullptr};
+          Row output;
+          output.reserve(stmt_.items.size());
+          for (const auto& item : stmt_.items) {
+            output.push_back(eval_expr(*item.expr, ctx));
+          }
+          Row keys = eval_order_keys(ctx, output);
+          out.emplace_back(std::move(output), std::move(keys));
+        }
       }
     }
 
@@ -1190,6 +1534,365 @@ class SelectExec {
     return chosen;
   }
 
+  /// Structural analysis for the fused single-pass columnar evaluator.
+  /// Eligible shape: single columnar base table, no joins, no GROUP BY,
+  /// every aggregate a supported non-DISTINCT call over a plain base column
+  /// (or COUNT(*)), no bare column reference outside aggregate arguments
+  /// (global aggregation has no representative row on this path), and a
+  /// WHERE clause that is an AND of `column op constant` / `column IS
+  /// [NOT] NULL` conjuncts. Returns null when the statement doesn't fit.
+  [[nodiscard]] std::shared_ptr<const sql::FusedScanPlan> analyze_fused(
+      const ScanSource& base) const {
+    using Plan = sql::FusedScanPlan;
+    if (!stmt_.joins.empty() || !stmt_.group_by.empty()) return nullptr;
+    const Table& table = *base.table;
+    if (!table.columnar()) return nullptr;
+
+    auto plan = std::make_shared<Plan>();
+    plan->table = table.schema().name();
+    plan->column_types.reserve(table.schema().column_count());
+    for (const ColumnDef& col : table.schema().columns()) {
+      plan->column_types.push_back(col.type);
+    }
+
+    // Aggregates, in run_aggregation's collection order so the finalized
+    // values land on the same Expr nodes eval_expr will look up.
+    std::vector<const Expr*> agg_exprs;
+    for (const auto& item : stmt_.items) {
+      collect_aggregates(*item.expr, agg_exprs);
+    }
+    if (stmt_.having) collect_aggregates(*stmt_.having, agg_exprs);
+    for (const auto& key : stmt_.order_by) {
+      collect_aggregates(*key.expr, agg_exprs);
+    }
+    if (agg_exprs.empty()) return nullptr;
+    for (const Expr* agg : agg_exprs) {
+      if (agg->distinct_arg) return nullptr;
+      Plan::Aggregate entry;
+      entry.expr = agg;
+      if (!agg->star_arg) {
+        if (agg->args.empty()) return nullptr;
+        const Expr& arg = *agg->args[0];
+        if (arg.kind != Expr::Kind::kColumnRef) return nullptr;
+        if (arg.resolved_slot < base.base_slot ||
+            arg.resolved_slot >= base.base_slot + plan->column_types.size()) {
+          return nullptr;
+        }
+        entry.column = arg.resolved_slot - base.base_slot;
+        const ValueType type = plan->column_types[entry.column];
+        const bool numeric_only = agg->func == "SUM" || agg->func == "AVG" ||
+                                  agg->func == "STDDEV" ||
+                                  agg->func == "VARIANCE";
+        if (numeric_only && type != ValueType::kInt &&
+            type != ValueType::kDouble) {
+          return nullptr;  // the row path raises as_double's diagnostic
+        }
+      }
+      plan->aggregates.push_back(entry);
+    }
+    for (const auto& item : stmt_.items) {
+      if (has_bare_column_ref(*item.expr)) return nullptr;
+    }
+    if (stmt_.having && has_bare_column_ref(*stmt_.having)) return nullptr;
+    for (const auto& key : stmt_.order_by) {
+      if (key.expr->kind != Expr::Kind::kAliasRef &&
+          has_bare_column_ref(*key.expr)) {
+        return nullptr;
+      }
+    }
+
+    if (stmt_.where &&
+        !collect_fused_conjuncts(*stmt_.where, base, plan->conjuncts)) {
+      return nullptr;
+    }
+    return plan;
+  }
+
+  /// Decomposes an AND tree into fused-plan conjuncts; false when any
+  /// conjunct falls outside the supported `column op constant` /
+  /// `column IS [NOT] NULL` forms.
+  [[nodiscard]] bool collect_fused_conjuncts(
+      const Expr& e, const ScanSource& base,
+      std::vector<sql::FusedScanPlan::Conjunct>& out) const {
+    const auto column_of = [&](const Expr& side) -> std::optional<std::size_t> {
+      if (side.kind != Expr::Kind::kColumnRef) return std::nullopt;
+      if (side.resolved_slot < base.base_slot ||
+          side.resolved_slot >= base.base_slot + base.column_count()) {
+        return std::nullopt;
+      }
+      return side.resolved_slot - base.base_slot;
+    };
+    const auto is_constant = [](const Expr& side) {
+      return side.kind == Expr::Kind::kLiteral ||
+             side.kind == Expr::Kind::kParam ||
+             side.kind == Expr::Kind::kSubquery;
+    };
+
+    if (e.kind == Expr::Kind::kBinary && e.bin_op == BinOp::kAnd) {
+      return collect_fused_conjuncts(*e.lhs, base, out) &&
+             collect_fused_conjuncts(*e.rhs, base, out);
+    }
+    if (e.kind == Expr::Kind::kIsNull) {
+      const auto column = column_of(*e.lhs);
+      if (!column) return false;
+      sql::FusedScanPlan::Conjunct conjunct;
+      conjunct.column = *column;
+      conjunct.is_null_test = true;
+      conjunct.negated = e.negated;
+      out.push_back(conjunct);
+      return true;
+    }
+    if (e.kind != Expr::Kind::kBinary) return false;
+    BinOp op = e.bin_op;
+    switch (op) {
+      case BinOp::kEq:
+      case BinOp::kNe:
+      case BinOp::kLt:
+      case BinOp::kLe:
+      case BinOp::kGt:
+      case BinOp::kGe:
+        break;
+      default:
+        return false;
+    }
+    auto column = column_of(*e.lhs);
+    const Expr* constant =
+        column && is_constant(*e.rhs) ? e.rhs.get() : nullptr;
+    if (constant == nullptr) {
+      column = column_of(*e.rhs);
+      constant = column && is_constant(*e.lhs) ? e.lhs.get() : nullptr;
+      switch (op) {  // mirror the comparison
+        case BinOp::kLt: op = BinOp::kGt; break;
+        case BinOp::kLe: op = BinOp::kGe; break;
+        case BinOp::kGt: op = BinOp::kLt; break;
+        case BinOp::kGe: op = BinOp::kLe; break;
+        default: break;
+      }
+    }
+    if (!column || constant == nullptr) return false;
+    sql::FusedScanPlan::Conjunct conjunct;
+    conjunct.column = *column;
+    conjunct.op = op;
+    conjunct.constant = constant;
+    out.push_back(conjunct);
+    return true;
+  }
+
+  /// Entry point of the fast path: returns the (output row, order keys)
+  /// pairs the scan + WHERE + run_aggregation pipeline would have produced,
+  /// or nullopt to fall back to it. The structural verdict is cached on the
+  /// statement (fused_plan / fused_rejected); everything value-dependent is
+  /// re-derived here per execution.
+  std::optional<std::vector<std::pair<Row, Row>>> try_vectorized_aggregation() {
+    if (stmt_.fused_rejected) return std::nullopt;
+    if (sources_.size() != 1) return std::nullopt;
+    const ScanSource& base = sources_[0];
+    if (base.table == nullptr) return std::nullopt;
+    const Table& table = *base.table;
+
+    const sql::FusedScanPlan* plan = stmt_.fused_plan.get();
+    const bool reused = plan != nullptr;
+    if (plan == nullptr) {
+      auto built = analyze_fused(base);
+      if (built == nullptr) {
+        stmt_.fused_rejected = true;
+        return std::nullopt;
+      }
+      stmt_.fused_plan = std::move(built);
+      plan = stmt_.fused_plan.get();
+    } else {
+      // Validate the cached annotation against this execution's catalog:
+      // the table may have been dropped and re-created with another layout
+      // since the plan was built.
+      if (!support::iequals(table.schema().name(), plan->table) ||
+          !table.columnar() ||
+          table.schema().column_count() != plan->column_types.size()) {
+        return std::nullopt;
+      }
+      for (std::size_t i = 0; i < plan->column_types.size(); ++i) {
+        if (table.schema().column(i).type != plan->column_types[i]) {
+          return std::nullopt;
+        }
+      }
+    }
+
+    // Index probes beat a columnar partition walk when the planner found
+    // one; the fused path only replaces full scans.
+    const BaseScanPlan scan = plan_base_scan(stmt_.where.get(), base);
+    if (scan.kind != BaseScanPlan::Kind::kFullScan) return std::nullopt;
+
+    // Per-execution constants (parameters and subquery results change run
+    // to run) and type compatibility — the row path raises the diagnostics
+    // for pairs the kernels don't cover.
+    std::vector<Value> constants(plan->conjuncts.size());
+    EvalCtx const_ctx{nullptr, params_, nullptr, &subquery_values_, nullptr};
+    for (std::size_t i = 0; i < plan->conjuncts.size(); ++i) {
+      const auto& conjunct = plan->conjuncts[i];
+      if (conjunct.is_null_test) continue;
+      constants[i] = eval_expr(*conjunct.constant, const_ctx);
+      if (!conjunct_types_supported(plan->column_types[conjunct.column],
+                                    constants[i])) {
+        return std::nullopt;
+      }
+    }
+
+    if (reused) db_.count_fused_plan_eval();
+    return run_columnar_aggregation(table, *plan, constants, scan);
+  }
+
+  /// The fused evaluator proper: selection bitmaps + aggregate kernels over
+  /// the column vectors, partition-major in heap order. The filter stage
+  /// fans out across the scan pool under the same gate as run_heap_scan;
+  /// aggregate accumulation stays serial in partition order so every
+  /// RunningStats sees the row path's exact push sequence.
+  std::vector<std::pair<Row, Row>> run_columnar_aggregation(
+      const Table& table, const sql::FusedScanPlan& plan,
+      const std::vector<Value>& constants, const BaseScanPlan& scan) {
+    const std::size_t nparts = table.partition_count();
+    std::size_t first = 0;
+    std::size_t count = nparts;
+    if (scan.empty) {
+      db_.count_partitions_pruned(nparts);
+      count = 0;
+    } else if (scan.partition && nparts > 1) {
+      first = *scan.partition;
+      count = 1;
+      db_.count_partitions_pruned(nparts - 1);
+    }
+    db_.count_partition_scans(count);
+    db_.count_columnar_scans(count);
+
+    std::size_t live = 0;
+    std::size_t nonempty = 0;
+    for (std::size_t p = first; p < first + count; ++p) {
+      const std::size_t rows_in_partition = table.partition_live_count(p);
+      live += rows_in_partition;
+      if (rows_in_partition > 0) ++nonempty;
+    }
+
+    // One selection bitmap per unpruned partition, seeded from the live
+    // bits (tombstones never select) and narrowed by each conjunct.
+    std::vector<std::vector<std::uint8_t>> sels(count);
+    const auto filter_partition = [&](std::size_t index) {
+      const std::size_t p = first + index;
+      const std::size_t lanes = table.partition_heap_size(p);
+      std::vector<std::uint8_t>& sel = sels[index];
+      const std::uint8_t* live_bits = table.live_bits(p);
+      sel.assign(live_bits, live_bits + lanes);
+      if (lanes == 0 || plan.conjuncts.empty()) return;
+      std::vector<Table::ColumnSlice> slices(plan.conjuncts.size());
+      for (std::size_t c = 0; c < plan.conjuncts.size(); ++c) {
+        slices[c] = table.column_slice(p, plan.conjuncts[c].column);
+      }
+      for (std::size_t b = 0; b < lanes; b += kVectorBatch) {
+        const std::size_t e = std::min(lanes, b + kVectorBatch);
+        for (std::size_t c = 0; c < plan.conjuncts.size(); ++c) {
+          apply_conjunct_batch(plan.conjuncts[c], constants[c],
+                               plan.column_types[plan.conjuncts[c].column],
+                               slices[c], b, e, sel.data());
+        }
+      }
+    };
+
+    const Database::ScanConfig& config = db_.scan_config();
+    std::size_t workers =
+        config.threads == 0 ? scan_pool().size() : config.threads;
+    workers = std::min(workers, nonempty);
+    if (env_->on_pool) workers = 1;  // pool tasks never block on the pool
+    if (workers > 1 && live >= config.min_parallel_rows) {
+      std::atomic<std::size_t> next{0};
+      std::vector<std::future<void>> futures;
+      futures.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) {
+        futures.push_back(scan_pool().submit([&] {
+          while (true) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= count) return;
+            filter_partition(i);
+          }
+        }));
+      }
+      std::exception_ptr first_error;
+      for (auto& future : futures) {
+        try {
+          future.get();
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      if (first_error) std::rethrow_exception(first_error);
+      db_.count_parallel_scan_batch();
+    } else {
+      for (std::size_t i = 0; i < count; ++i) filter_partition(i);
+    }
+
+    // Serial accumulation, partition-major in lane (= heap) order.
+    std::vector<AggState> states(plan.aggregates.size());
+    std::vector<MinMaxAcc> minmax(plan.aggregates.size());
+    std::vector<AggKernel> kernels(plan.aggregates.size());
+    for (std::size_t a = 0; a < plan.aggregates.size(); ++a) {
+      kernels[a] = agg_kernel_of(*plan.aggregates[a].expr);
+    }
+    std::uint64_t batches = 0;
+    std::size_t selected = 0;
+    for (std::size_t index = 0; index < count; ++index) {
+      const std::size_t p = first + index;
+      const std::size_t lanes = table.partition_heap_size(p);
+      if (lanes == 0) continue;
+      const std::uint8_t* sel = sels[index].data();
+      std::vector<Table::ColumnSlice> slices(plan.aggregates.size());
+      for (std::size_t a = 0; a < plan.aggregates.size(); ++a) {
+        if (plan.aggregates[a].column != static_cast<std::size_t>(-1)) {
+          slices[a] = table.column_slice(p, plan.aggregates[a].column);
+        }
+      }
+      for (std::size_t b = 0; b < lanes; b += kVectorBatch) {
+        const std::size_t e = std::min(lanes, b + kVectorBatch);
+        for (std::size_t i = b; i < e; ++i) selected += sel[i];
+        for (std::size_t a = 0; a < plan.aggregates.size(); ++a) {
+          const std::size_t column = plan.aggregates[a].column;
+          accumulate_batch(kernels[a],
+                           column == static_cast<std::size_t>(-1)
+                               ? ValueType::kNull
+                               : plan.column_types[column],
+                           slices[a], b, e, sel, states[a], minmax[a]);
+        }
+        ++batches;
+      }
+    }
+    db_.count_vectorized_batches(batches);
+    db_.count_rows_skipped_by_bitmap(live - selected);
+
+    for (std::size_t a = 0; a < plan.aggregates.size(); ++a) {
+      if (kernels[a] != AggKernel::kMinMax || states[a].count == 0) continue;
+      const ValueType type = plan.column_types[plan.aggregates[a].column];
+      states[a].min_value = minmax_value(type, minmax[a], /*max_side=*/false);
+      states[a].max_value = minmax_value(type, minmax[a], /*max_side=*/true);
+      states[a].has_minmax = true;
+    }
+
+    // Identical tail to run_aggregation's single-group output: finalize,
+    // HAVING, project, order keys. Bare column refs were rejected at
+    // analysis time, so the empty representative row is never read.
+    std::unordered_map<const Expr*, Value> agg_values;
+    for (std::size_t a = 0; a < plan.aggregates.size(); ++a) {
+      agg_values[plan.aggregates[a].expr] =
+          agg_finalize(*plan.aggregates[a].expr, states[a]);
+    }
+    std::vector<std::pair<Row, Row>> out;
+    Row empty_row;
+    EvalCtx ctx{&empty_row, params_, &agg_values, &subquery_values_, nullptr};
+    if (stmt_.having && !eval_predicate(*stmt_.having, ctx)) return out;
+    Row output;
+    output.reserve(stmt_.items.size());
+    for (const auto& item : stmt_.items) {
+      output.push_back(eval_expr(*item.expr, ctx));
+    }
+    Row keys = eval_order_keys(ctx, output);
+    out.emplace_back(std::move(output), std::move(keys));
+    return out;
+  }
+
   /// Heap scan of a base table: every partition the plan did not prune, in
   /// partition order, heap order within each. Single-table statements fold
   /// the WHERE clause into the scan itself (the hot path stops producing
@@ -1227,14 +1930,22 @@ class SelectExec {
     };
 
     std::size_t live = 0;
+    std::size_t nonempty = 0;
     for (std::size_t p = first; p < first + count; ++p) {
-      live += table.partition_live_count(p);
+      const std::size_t rows_in_partition = table.partition_live_count(p);
+      live += rows_in_partition;
+      if (rows_in_partition > 0) ++nonempty;
     }
 
     const Database::ScanConfig& config = db_.scan_config();
     std::size_t workers =
         config.threads == 0 ? scan_pool().size() : config.threads;
-    workers = std::min(workers, count);
+    // Fan out only over partitions that actually hold rows: a scan whose
+    // unpruned range is mostly empty partitions (skewed routing, heavy
+    // deletes) would otherwise pay pool dispatch for workers that find
+    // nothing to do, and a single loaded partition gains nothing from the
+    // pool at all.
+    workers = std::min(workers, nonempty);
     // Executions already on a scan-pool worker (parallel CTE bodies) scan
     // serially: blocking on the pool from inside it can deadlock the pool.
     if (env_->on_pool) workers = 1;

@@ -90,6 +90,7 @@ std::string TableSchema::to_ddl() const {
       out += ")";
     }
   }
+  if (storage_ == StorageMode::kColumnar) out += " STORAGE COLUMNAR";
   return out;
 }
 

@@ -65,6 +65,15 @@ class PartitionRouter {
   std::vector<Value> bounds_;
 };
 
+/// Physical layout of a table's partitions. `kRow` is the classic heap of
+/// `Row` vectors; `kColumnar` additionally maintains one typed vector per
+/// column plus a validity bitmap per partition (the row heap stays the
+/// source of truth for point lookups, so row ids and the `row(id)` contract
+/// are identical in both modes). Declared via
+/// `CREATE TABLE ... STORAGE COLUMNAR`; the executor's vectorized
+/// aggregate kernels only fire on columnar tables.
+enum class StorageMode : std::uint8_t { kRow, kColumnar };
+
 /// Schema of one table. Column names are case-insensitive for lookup but
 /// preserve their declared spelling for display.
 class TableSchema {
@@ -94,14 +103,19 @@ class TableSchema {
     return partition_;
   }
 
+  /// Declares the physical storage layout (row heap vs columnar).
+  void set_storage(StorageMode mode) noexcept { storage_ = mode; }
+  [[nodiscard]] StorageMode storage() const noexcept { return storage_; }
+
   /// `CREATE TABLE` DDL that re-creates this schema (including the
-  /// PARTITION BY clause when declared).
+  /// PARTITION BY and STORAGE clauses when declared).
   [[nodiscard]] std::string to_ddl() const;
 
  private:
   std::string name_;
   std::vector<ColumnDef> columns_;
   std::optional<PartitionSpec> partition_;
+  StorageMode storage_ = StorageMode::kRow;
 };
 
 /// Hard cap on declared partitions; row ids reserve this many high bits

@@ -130,6 +130,10 @@ struct CommonTableExpr {
   support::SourceLoc loc;
 };
 
+/// Opaque executor-side hot-plan annotation (defined in db/executor.cpp):
+/// the structural analysis behind the fused single-pass columnar evaluator.
+struct FusedScanPlan;
+
 struct SelectStmt {
   std::vector<CommonTableExpr> ctes;  // statement-level WITH, in order
   bool distinct = false;
@@ -143,8 +147,21 @@ struct SelectStmt {
   std::optional<std::size_t> limit;
   std::optional<std::size_t> offset;
 
+  /// Hot-plan annotation, filled lazily by the executor the first time this
+  /// statement proves eligible for the fused single-pass columnar evaluator
+  /// (structural analysis only — per-execution decisions such as partition
+  /// pruning are recomputed every run). `fused_rejected` caches a negative
+  /// verdict so ineligible statements are analyzed once. Mutable because
+  /// execution works on const statements; safe under the executor's
+  /// concurrency contract (concurrent execution only of DISTINCT prepared
+  /// statements). clone() deliberately does not copy either field — the
+  /// plan holds pointers into this statement's expression tree.
+  mutable std::shared_ptr<const FusedScanPlan> fused_plan;
+  mutable bool fused_rejected = false;
+
   /// Structural deep copy (subquery materialization executes a copy so the
-  /// original statement stays reusable).
+  /// original statement stays reusable). Does not copy the fused-plan
+  /// annotation; the copy re-derives its own on first execution.
   [[nodiscard]] std::unique_ptr<SelectStmt> clone() const;
 };
 

@@ -370,8 +370,24 @@ class Parser {
       if (accept_keyword("PARTITION")) {
         partition = parse_partition_clause(columns);
       }
+      // `STORAGE COLUMNAR` (or the explicit default, `STORAGE ROW`) selects
+      // the partition layout: columnar tables maintain typed column vectors
+      // next to the row heap, which the executor's vectorized kernels scan.
+      StorageMode storage = StorageMode::kRow;
+      if (accept_keyword("STORAGE")) {
+        const Token& mode_tok = peek();
+        if (accept_keyword("COLUMNAR")) {
+          storage = StorageMode::kColumnar;
+        } else if (!accept_keyword("ROW")) {
+          throw ParseError(support::cat("expected COLUMNAR or ROW after "
+                                        "STORAGE, got '",
+                                        mode_tok.text, "'"),
+                           mode_tok.loc);
+        }
+      }
       stmt.schema = TableSchema(std::move(name), std::move(columns));
       if (partition) stmt.schema.set_partition(std::move(*partition));
+      stmt.schema.set_storage(storage);
       return stmt;
     }
     bool ordered = false;

@@ -152,6 +152,11 @@ Table::Table(TableSchema schema) : schema_(std::move(schema)) {
     router_ = PartitionRouter(*spec);
   }
   parts_.resize(router_.partitions());
+  if (columnar()) {
+    for (PartitionStore& part : parts_) {
+      part.cols.resize(schema_.column_count());
+    }
+  }
 }
 
 std::size_t Table::heap_size() const noexcept {
@@ -183,6 +188,81 @@ Row Table::validate(Row row) const {
   return row;
 }
 
+namespace {
+
+// Which typed lane vector a column's cells live in: INTEGER, BOOLEAN, and
+// DATETIME all encode as int64 lanes; DOUBLE as double lanes; TEXT as
+// string lanes. Must stay in sync with Table::ColumnSlice's doc contract.
+bool uses_int_lanes(ValueType type) noexcept {
+  return type == ValueType::kInt || type == ValueType::kBool ||
+         type == ValueType::kDateTime;
+}
+
+std::int64_t int_lane_of(const Value& v, ValueType type) {
+  if (v.is_null()) return 0;
+  if (type == ValueType::kBool) return v.as_bool() ? 1 : 0;
+  if (type == ValueType::kDateTime) return v.as_datetime();
+  return v.as_int();
+}
+
+}  // namespace
+
+void Table::append_column_lanes(PartitionStore& part, const Row& row) {
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    ColumnVec& col = part.cols[c];
+    const Value& v = row[c];
+    const ValueType type = schema_.column(c).type;
+    col.valid.push_back(v.is_null() ? 0 : 1);
+    if (uses_int_lanes(type)) {
+      col.ints.push_back(int_lane_of(v, type));
+    } else if (type == ValueType::kDouble) {
+      col.reals.push_back(v.is_null() ? 0.0 : v.as_double());
+    } else {
+      col.strs.push_back(v.is_null() ? std::string() : v.as_string());
+    }
+  }
+}
+
+void Table::overwrite_column_lanes(PartitionStore& part, std::size_t lane,
+                                   const Row& row) {
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    ColumnVec& col = part.cols[c];
+    const Value& v = row[c];
+    const ValueType type = schema_.column(c).type;
+    col.valid[lane] = v.is_null() ? 0 : 1;
+    if (uses_int_lanes(type)) {
+      col.ints[lane] = int_lane_of(v, type);
+    } else if (type == ValueType::kDouble) {
+      col.reals[lane] = v.is_null() ? 0.0 : v.as_double();
+    } else {
+      col.strs[lane] = v.is_null() ? std::string() : v.as_string();
+    }
+  }
+}
+
+Table::ColumnSlice Table::column_slice(std::size_t partition,
+                                       std::size_t column) const {
+  if (!columnar()) {
+    throw EvalError(support::cat("table ", schema_.name(),
+                                 " is not columnar; column slices are only "
+                                 "maintained under STORAGE COLUMNAR"));
+  }
+  const PartitionStore& part = parts_.at(partition);
+  const ColumnVec& col = part.cols.at(column);
+  ColumnSlice slice;
+  slice.valid = col.valid.data();
+  slice.size = part.rows.size();
+  const ValueType type = schema_.column(column).type;
+  if (uses_int_lanes(type)) {
+    slice.ints = col.ints.data();
+  } else if (type == ValueType::kDouble) {
+    slice.reals = col.reals.data();
+  } else {
+    slice.strs = col.strs.data();
+  }
+  return slice;
+}
+
 std::size_t Table::place_row(std::size_t partition, Row row) {
   PartitionStore& part = parts_[partition];
   const std::size_t local = part.rows.size();
@@ -192,7 +272,8 @@ std::size_t Table::place_row(std::size_t partition, Row row) {
   }
   const std::size_t row_id = make_row_id(partition, local);
   part.rows.push_back(std::move(row));
-  part.live.push_back(true);
+  part.live.push_back(1);
+  if (columnar()) append_column_lanes(part, part.rows.back());
   ++part.live_count;
   ++part.version;
   ++live_count_;
@@ -258,6 +339,7 @@ void Table::update(std::size_t row_id, Row row) {
   }
   if (target == partition) {
     part.rows[local] = std::move(row);
+    if (columnar()) overwrite_column_lanes(part, local, part.rows[local]);
     for (const auto& index : indexes_) {
       index->insert(part.rows[local][index->column()], row_id);
     }

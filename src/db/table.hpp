@@ -112,6 +112,13 @@ class Index {
 /// (partition, local offset) and stay stable without compaction, exactly as
 /// the single-heap table's offsets did (partition 0 ids ARE plain offsets).
 /// Deleted rows become tombstones; `live` tracks validity per partition.
+///
+/// `STORAGE COLUMNAR` tables additionally maintain one typed vector per
+/// column plus a validity bitmap per partition, lane-aligned with the row
+/// heap (lane i of every column vector mirrors heap row i). The heap stays
+/// the source of truth — `row(id)`, indexes, and row ids behave
+/// identically in both modes — while the column vectors give the
+/// executor's vectorized scan kernels contiguous typed data.
 class Table {
  public:
   explicit Table(TableSchema schema);
@@ -198,6 +205,39 @@ class Table {
     }
   }
 
+  // --- columnar access --------------------------------------------------------
+  /// True when the schema declared STORAGE COLUMNAR (column vectors are
+  /// maintained and column_slice() is usable).
+  [[nodiscard]] bool columnar() const noexcept {
+    return schema_.storage() == StorageMode::kColumnar;
+  }
+  /// One partition's worth of one column, as raw typed lanes. Exactly one
+  /// of ints/reals/strs is non-null, chosen by the column's declared type:
+  /// INTEGER/BOOLEAN/DATETIME lanes are int64 (bools as 0/1), DOUBLE lanes
+  /// are double, TEXT lanes are std::string. `valid[i]` is 1 for non-NULL
+  /// cells; NULL cells hold a zero value in the typed lane. Lanes cover
+  /// tombstoned rows too — combine with live_bits() to skip them.
+  struct ColumnSlice {
+    const std::int64_t* ints = nullptr;
+    const double* reals = nullptr;
+    const std::string* strs = nullptr;
+    const std::uint8_t* valid = nullptr;
+    std::size_t size = 0;
+  };
+  /// Typed lanes of `column` in `partition`; throws when the table is not
+  /// columnar (the vectors are not maintained in row mode).
+  [[nodiscard]] ColumnSlice column_slice(std::size_t partition,
+                                         std::size_t column) const;
+  /// Per-partition liveness bitmap (1 = live), lane-aligned with the heap
+  /// and with column_slice() lanes. Valid in both storage modes.
+  [[nodiscard]] const std::uint8_t* live_bits(std::size_t partition) const {
+    return parts_.at(partition).live.data();
+  }
+  /// Heap size (live + tombstoned lanes) of one partition.
+  [[nodiscard]] std::size_t partition_heap_size(std::size_t partition) const {
+    return parts_.at(partition).rows.size();
+  }
+
   Index& create_index(std::string name, std::size_t column, Index::Kind kind);
   [[nodiscard]] const Index* find_index_on(std::size_t column) const;
   [[nodiscard]] const std::vector<std::unique_ptr<Index>>& indexes() const noexcept {
@@ -205,12 +245,25 @@ class Table {
   }
 
  private:
-  /// One partition's storage: row heap + tombstone bitmap + version.
+  /// One column's typed lanes in one partition (columnar mode only). The
+  /// vector matching the column's type grows in lockstep with the heap; the
+  /// other two stay empty.
+  struct ColumnVec {
+    std::vector<std::int64_t> ints;
+    std::vector<double> reals;
+    std::vector<std::string> strs;
+    std::vector<std::uint8_t> valid;
+  };
+
+  /// One partition's storage: row heap + tombstone bitmap + version (+
+  /// column vectors in columnar mode). `live` is byte-per-row so scan
+  /// kernels can read it as a contiguous bitmap.
   struct PartitionStore {
     std::vector<Row> rows;
-    std::vector<bool> live;
+    std::vector<std::uint8_t> live;
     std::size_t live_count = 0;
     std::uint64_t version = 0;  ///< bumped by every mutation of this partition
+    std::vector<ColumnVec> cols;  ///< empty unless the table is columnar
   };
 
   Row validate(Row row) const;
@@ -219,6 +272,11 @@ class Table {
   }
   /// Appends an already-validated row to `partition`; returns the new id.
   std::size_t place_row(std::size_t partition, Row row);
+  /// Columnar maintenance: appends one lane per column mirroring `row`, or
+  /// overwrites the lanes at `lane` (in-place update).
+  void append_column_lanes(PartitionStore& part, const Row& row);
+  void overwrite_column_lanes(PartitionStore& part, std::size_t lane,
+                              const Row& row);
 
   TableSchema schema_;
   PartitionRouter router_;

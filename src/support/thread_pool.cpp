@@ -22,6 +22,13 @@ ThreadPool::~ThreadPool() {
     stopping_ = true;
   }
   cv_.notify_all();
+  // Join here, not via jthread's destructor: members destroy in reverse
+  // declaration order, so tasks_/mutex_/cv_ would be gone before workers_
+  // (declared first) joins — a worker still draining the queue would read
+  // freed memory.
+  for (std::jthread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
 void ThreadPool::worker_loop() {

@@ -702,6 +702,119 @@ TEST(Partitioned, QueriesAgreeWithUnpartitionedTable) {
   }
 }
 
+TEST(Partitioned, SkewedFanoutGatesOnLivePartitions) {
+  // All rows hash to one shard: the fan-out gate counts partitions with
+  // live rows, not configured partitions, so a fully skewed table never
+  // pays pool dispatch for seven empty heaps.
+  Database db;
+  db.execute(
+      "CREATE TABLE pt (k INTEGER, v INTEGER) PARTITION BY HASH(k) "
+      "PARTITIONS 8");
+  for (int i = 0; i < 400; ++i) {
+    db.execute(kojak::support::cat("INSERT INTO pt VALUES (5, ", i, ")"));
+  }
+  db.set_scan_config({.threads = 4, .min_parallel_rows = 1});
+  const auto before = db.exec_stats();
+  const QueryResult result = db.execute("SELECT k, v FROM pt WHERE v % 7 = 0");
+  const auto after = db.exec_stats();
+  EXPECT_EQ(result.row_count(), 58u);
+  EXPECT_EQ(after.parallel_scan_batches - before.parallel_scan_batches, 0u);
+  EXPECT_EQ(after.partition_scans - before.partition_scans, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Columnar storage: vectorized scan counters and fused-plan accounting
+
+namespace {
+
+Database make_columnar_db(std::size_t partitions, int rows) {
+  Database db;
+  db.execute(kojak::support::cat(
+      "CREATE TABLE ct (k INTEGER, v INTEGER) PARTITION BY HASH(k) "
+      "PARTITIONS ",
+      partitions, " STORAGE COLUMNAR"));
+  for (int i = 0; i < rows; ++i) {
+    db.execute(
+        kojak::support::cat("INSERT INTO ct VALUES (", i, ", ", i * 3, ")"));
+  }
+  return db;
+}
+
+}  // namespace
+
+TEST(Columnar, VectorizedCountersPinned) {
+  Database db = make_columnar_db(4, 50);
+  // Count nonempty shards up front (batch accounting is per nonempty
+  // partition); these probes bump counters, so snapshot after them.
+  std::size_t nonempty = 0;
+  for (int p = 0; p < 4; ++p) {
+    if (db.execute(kojak::support::cat("SELECT COUNT(*) FROM ct PARTITION (",
+                                       p, ")"))
+            .scalar()
+            .as_int() > 0) {
+      ++nonempty;
+    }
+  }
+
+  // Identical data in a row-storage table: the vectorized kernels must
+  // reproduce the row path's incremental accumulation bit for bit (same
+  // routing, same partition-major scan order).
+  Database row_db = make_partitioned_db(4, 50);
+  const QueryResult row_result =
+      row_db.execute("SELECT COUNT(*), SUM(v) FROM pt WHERE v >= 30");
+
+  const auto before = db.exec_stats();
+  const QueryResult result =
+      db.execute("SELECT COUNT(*), SUM(v) FROM ct WHERE v >= 30");
+  const auto after = db.exec_stats();
+  EXPECT_EQ(result.at(0, 0).as_int(), 40);
+  EXPECT_EQ(result.at(0, 1).as_double(), row_result.at(0, 1).as_double());
+  EXPECT_EQ(after.columnar_scans - before.columnar_scans, 4u);
+  EXPECT_EQ(after.partition_scans - before.partition_scans, 4u);
+  EXPECT_EQ(after.vectorized_batches - before.vectorized_batches, nonempty);
+  // 10 live rows (v < 30) were filtered by the selection bitmap before any
+  // aggregate kernel ran.
+  EXPECT_EQ(after.rows_skipped_by_bitmap - before.rows_skipped_by_bitmap, 10u);
+
+  // Partition pruning composes: equality on the partition column routes the
+  // vectorized scan to one shard.
+  const auto b2 = db.exec_stats();
+  EXPECT_EQ(
+      db.execute("SELECT SUM(v) FROM ct WHERE k = 7").scalar().as_double(),
+      21.0);
+  const auto a2 = db.exec_stats();
+  EXPECT_EQ(a2.columnar_scans - b2.columnar_scans, 1u);
+  EXPECT_EQ(a2.partitions_pruned - b2.partitions_pruned, 3u);
+
+  // Row-storage tables never take the vectorized path.
+  const auto rb = row_db.exec_stats();
+  row_db.execute("SELECT COUNT(*), SUM(v) FROM pt WHERE v >= 30");
+  const auto ra = row_db.exec_stats();
+  EXPECT_EQ(ra.columnar_scans - rb.columnar_scans, 0u);
+  EXPECT_EQ(ra.vectorized_batches - rb.vectorized_batches, 0u);
+  EXPECT_EQ(ra.rows_skipped_by_bitmap - rb.rows_skipped_by_bitmap, 0u);
+}
+
+TEST(Columnar, FusedPlanReuseCountsOnlyCacheHits) {
+  Database db = make_columnar_db(4, 50);
+  kdb::PreparedStatement stmt =
+      db.prepare("SELECT COUNT(*) FROM ct WHERE v >= ?");
+
+  // First execution analyzes the statement and caches the fused plan — the
+  // counter pins *reuse*, so it must not move yet.
+  const auto b1 = db.exec_stats();
+  EXPECT_EQ(db.execute(stmt, std::vector<Value>{Value::integer(30)}).scalar().as_int(), 40);
+  const auto a1 = db.exec_stats();
+  EXPECT_EQ(a1.fused_plan_evals - b1.fused_plan_evals, 0u);
+  EXPECT_EQ(a1.columnar_scans - b1.columnar_scans, 4u);
+
+  // Re-execution with different params reuses the cached structural plan.
+  EXPECT_EQ(db.execute(stmt, std::vector<Value>{Value::integer(60)}).scalar().as_int(), 30);
+  EXPECT_EQ(db.execute(stmt, std::vector<Value>{Value::integer(90)}).scalar().as_int(), 20);
+  const auto a2 = db.exec_stats();
+  EXPECT_EQ(a2.fused_plan_evals - a1.fused_plan_evals, 2u);
+}
+
 TEST(Partitioned, PartitionSelectorPinsTheScan) {
   Database db = make_partitioned_db(4, 50);
 

@@ -604,3 +604,132 @@ TEST(Partition, StoreEpochSumsTableVersionsAndNeverDecreases) {
   EXPECT_EQ(db.store_epoch(),
             db.table("a").table_version() + db.table("b").table_version());
 }
+
+// ---------------------------------------------------------------------------
+// Columnar storage: typed column vectors + validity bitmap per partition,
+// lane-aligned with the row heap (lane i == heap row i, tombstones and all)
+
+namespace {
+
+TableSchema columnar_schema(std::size_t partitions) {
+  TableSchema schema = hash_partitioned_schema(partitions);
+  schema.set_storage(kdb::StorageMode::kColumnar);
+  return schema;
+}
+
+}  // namespace
+
+TEST(ColumnarTable, ColumnSlicesMirrorTheHeapIncludingNulls) {
+  Table table(columnar_schema(4));
+  std::vector<std::size_t> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(table.insert(
+        {Value::integer(i),
+         i % 5 == 0 ? Value::null() : Value::text(kojak::support::cat("n", i)),
+         Value::integer(i % 7)}));
+  }
+
+  // Every live row reads back identically through its column lanes.
+  for (const std::size_t id : ids) {
+    const std::size_t p = kdb::row_id_partition(id);
+    const std::size_t lane = kdb::row_id_local(id);
+    const kdb::Row& row = table.row(id);
+    const Table::ColumnSlice names = table.column_slice(p, 1);
+    const Table::ColumnSlice ages = table.column_slice(p, 2);
+    ASSERT_EQ(names.size, table.partition_heap_size(p));
+    if (row[1].is_null()) {
+      EXPECT_EQ(names.valid[lane], 0);
+    } else {
+      EXPECT_EQ(names.valid[lane], 1);
+      EXPECT_EQ(names.strs[lane], row[1].as_string());
+    }
+    EXPECT_EQ(ages.ints[lane], row[2].as_int());
+    EXPECT_EQ(table.live_bits(p)[lane], 1);
+  }
+
+  // Erase leaves the lane in place; only the live bitmap changes.
+  const std::size_t victim = ids[3];
+  const std::size_t vp = kdb::row_id_partition(victim);
+  const std::size_t vlane = kdb::row_id_local(victim);
+  const std::size_t heap_before = table.partition_heap_size(vp);
+  table.erase(victim);
+  EXPECT_EQ(table.live_bits(vp)[vlane], 0);
+  EXPECT_EQ(table.partition_heap_size(vp), heap_before);
+  EXPECT_EQ(table.column_slice(vp, 2).size, heap_before);
+
+  // In-place update overwrites the lane, including null <-> value flips.
+  const std::size_t target = ids[5];  // name was NULL (5 % 5 == 0)
+  const std::size_t tp = kdb::row_id_partition(target);
+  const std::size_t tlane = kdb::row_id_local(target);
+  ASSERT_EQ(table.column_slice(tp, 1).valid[tlane], 0);
+  table.update(target,
+               {Value::integer(5), Value::text("filled"), Value::integer(5 % 7)});
+  EXPECT_EQ(table.column_slice(tp, 1).valid[tlane], 1);
+  EXPECT_EQ(table.column_slice(tp, 1).strs[tlane], "filled");
+  table.update(target,
+               {Value::integer(5), Value::null(), Value::integer(5 % 7)});
+  EXPECT_EQ(table.column_slice(tp, 1).valid[tlane], 0);
+
+  // Row tables have no column store to slice.
+  Table row_table(hash_partitioned_schema(2));
+  row_table.insert({Value::integer(1), Value::text("x"), Value::integer(1)});
+  EXPECT_FALSE(row_table.columnar());
+  EXPECT_THROW((void)row_table.column_slice(0, 1), EvalError);
+}
+
+TEST(ColumnarTable, IndexMaintainedAcrossMutations) {
+  Table table(columnar_schema(4));
+  table.create_index("by_name", 1, Index::Kind::kHash);
+  for (int i = 0; i < 30; ++i) {
+    table.insert({Value::integer(i), Value::text(i % 2 == 0 ? "even" : "odd"),
+                  Value::integer(i)});
+  }
+  const Index* index = table.find_index_on(1);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->equal_range(Value::text("even")).size(), 15u);
+
+  const auto evens = index->equal_range(Value::text("even"));
+  table.erase(evens[0]);
+  EXPECT_EQ(index->equal_range(Value::text("even")).size(), 14u);
+
+  // Re-keying through update keeps index and column lanes in step.
+  const auto odds = index->equal_range(Value::text("odd"));
+  const kdb::Row& row = table.row(odds[0]);
+  const std::size_t lane = kdb::row_id_local(odds[0]);
+  table.update(odds[0], {row[0], Value::text("even"), row[2]});
+  EXPECT_EQ(index->equal_range(Value::text("even")).size(), 15u);
+  EXPECT_EQ(
+      table.column_slice(kdb::row_id_partition(odds[0]), 1).strs[lane],
+      "even");
+}
+
+TEST(ColumnarTable, UpdateMovesLanesAcrossPartitions) {
+  Table table(columnar_schema(8));
+  table.create_index("by_name", 1, Index::Kind::kHash);
+  const std::size_t id =
+      table.insert({Value::integer(1), Value::text("mover"), Value::integer(3)});
+  int other = -1;
+  for (int v = 4; v < 100; ++v) {
+    if (table.route(Value::integer(v)) != kdb::row_id_partition(id)) {
+      other = v;
+      break;
+    }
+  }
+  ASSERT_NE(other, -1);
+  table.update(id, {Value::integer(1), Value::text("mover"),
+                    Value::integer(other)});
+
+  // The source lane is tombstoned, the target partition grew a fresh lane
+  // carrying the new values, and the index follows the move.
+  EXPECT_FALSE(table.is_live(id));
+  EXPECT_EQ(table.live_bits(kdb::row_id_partition(id))[kdb::row_id_local(id)],
+            0);
+  const auto hits = table.find_index_on(1)->equal_range(Value::text("mover"));
+  ASSERT_EQ(hits.size(), 1u);
+  const std::size_t np = kdb::row_id_partition(hits[0]);
+  const std::size_t nlane = kdb::row_id_local(hits[0]);
+  EXPECT_EQ(np, table.route(Value::integer(other)));
+  EXPECT_EQ(table.column_slice(np, 2).ints[nlane], other);
+  EXPECT_EQ(table.column_slice(np, 1).strs[nlane], "mover");
+  EXPECT_EQ(table.live_bits(np)[nlane], 1);
+}
