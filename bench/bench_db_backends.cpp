@@ -9,10 +9,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <string>
 
 #include "bench_util.hpp"
 #include "support/str.hpp"
@@ -373,6 +375,179 @@ void register_columnar_benchmarks() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// T1d: grouped aggregation and hash equi-join, row vs columnar storage. The
+// grouped statement routes through the vectorized hash GROUP BY evaluator
+// on STORAGE COLUMNAR (selection bitmap, lane-keyed group table, per-group
+// batch kernels); on the row twin it walks Rows into a std::map of groups.
+// The join statement takes the columnar hash equi-join (typed hash table
+// over the smaller side's key column slice) vs the row hash join over
+// materialized Rows. Identical data, byte-identical results — the digests
+// are hexfloat-rendered and compared, divergence aborts the bench.
+
+struct GroupJoinDb {
+  std::unique_ptr<db::Database> database;
+  std::unique_ptr<db::PreparedStatement> grouped;
+  std::unique_ptr<db::PreparedStatement> join;
+};
+
+GroupJoinDb& groupjoin_database(bool columnar) {
+  static std::map<bool, GroupJoinDb> cache;
+  GroupJoinDb& slot = cache[columnar];
+  if (!slot.database) {
+    slot.database = std::make_unique<db::Database>();
+    db::Database& database = *slot.database;
+    const char* storage = columnar ? " STORAGE COLUMNAR" : "";
+    database.execute(support::cat(
+        "CREATE TABLE j (owner INTEGER, member INTEGER, t DOUBLE) "
+        "PARTITION BY HASH(member) PARTITIONS 8",
+        storage));
+    database.execute(
+        support::cat("CREATE TABLE c (id INTEGER, region INTEGER)", storage));
+    const int rows = smoke_mode() ? 6000 : 200000;
+    std::string insert;
+    for (int i = 0; i < rows; ++i) {
+      if (insert.empty()) insert = "INSERT INTO j VALUES ";
+      const double t = 0.37 * static_cast<double>((i * 131) % 97) + 0.01;
+      insert += support::cat("(", i % 64, ", ", i, ", ", t, "),");
+      if (i % 1024 == 1023 || i + 1 == rows) {
+        insert.back() = ' ';
+        database.execute(insert);
+        insert.clear();
+      }
+    }
+    // Dimension ids spaced x8 for ~1/8 join selectivity; no index on c.id,
+    // so the equi-join takes the hash branch on both storage modes.
+    const int dims = rows / 8;
+    for (int i = 0; i < dims; ++i) {
+      if (insert.empty()) insert = "INSERT INTO c VALUES ";
+      insert += support::cat("(", i * 8, ", ", i % 5, "),");
+      if (i % 1024 == 1023 || i + 1 == dims) {
+        insert.back() = ' ';
+        database.execute(insert);
+        insert.clear();
+      }
+    }
+    slot.grouped = std::make_unique<db::PreparedStatement>(database.prepare(
+        "SELECT owner, COUNT(*), SUM(t), AVG(t) FROM j WHERE t > 5.0 "
+        "GROUP BY owner"));
+    slot.join = std::make_unique<db::PreparedStatement>(database.prepare(
+        "SELECT COUNT(*), SUM(t) FROM j JOIN c ON j.member = c.id"));
+  }
+  slot.database->set_scan_config({.threads = 1, .min_parallel_rows = 1});
+  return slot;
+}
+
+std::string digest_result(const db::QueryResult& result) {
+  char buffer[64];
+  std::string out;
+  for (std::size_t r = 0; r < result.row_count(); ++r) {
+    for (std::size_t c = 0; c < result.column_count(); ++c) {
+      const db::Value& v = result.at(r, c);
+      if (v.type() == db::ValueType::kDouble) {
+        std::snprintf(buffer, sizeof buffer, "%a", v.as_double());
+        out += buffer;
+      } else {
+        out += support::cat(v.as_int());
+      }
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+struct GroupJoinOutcome {
+  double real_ms = 0;
+  std::string digest;
+  std::uint64_t groups = 0;
+  std::uint64_t lanes_probed = 0;
+};
+
+GroupJoinOutcome run_groupjoin(GroupJoinDb& setup, bool join_stmt, int reps) {
+  GroupJoinOutcome outcome;
+  const auto before = setup.database->exec_stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) {
+    outcome.digest = digest_result(
+        setup.database->execute(join_stmt ? *setup.join : *setup.grouped));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  outcome.real_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const auto after = setup.database->exec_stats();
+  outcome.groups = after.groups_built - before.groups_built;
+  outcome.lanes_probed = after.join_lanes_probed - before.join_lanes_probed;
+  return outcome;
+}
+
+void print_groupjoin_table() {
+  const int reps = smoke_mode() ? 3 : 20;
+  support::TablePrinter table;
+  table.add_column("statement")
+      .add_column("storage")
+      .add_column("ms", support::TablePrinter::Align::kRight)
+      .add_column("vs row", support::TablePrinter::Align::kRight)
+      .add_column("groups", support::TablePrinter::Align::kRight)
+      .add_column("lanes probed", support::TablePrinter::Align::kRight);
+  for (const bool join_stmt : {false, true}) {
+    double row_ms = 0;
+    std::string row_digest;
+    for (const bool columnar : {false, true}) {
+      const GroupJoinOutcome outcome =
+          run_groupjoin(groupjoin_database(columnar), join_stmt, reps);
+      if (!columnar) {
+        row_ms = outcome.real_ms;
+        row_digest = outcome.digest;
+      } else if (outcome.digest != row_digest) {
+        std::cerr << "columnar "
+                  << (join_stmt ? "join" : "grouped aggregate")
+                  << " diverged from the row layout!\n";
+        std::abort();
+      }
+      table.add_row({join_stmt ? "equi-join" : "grouped aggregate",
+                     columnar ? "columnar" : "row",
+                     support::format_double(outcome.real_ms, 3),
+                     support::format_double(row_ms / outcome.real_ms, 2),
+                     std::to_string(outcome.groups),
+                     std::to_string(outcome.lanes_probed)});
+    }
+  }
+  std::cout << "\n=== T1d: grouped aggregation and hash equi-join, row vs "
+               "columnar storage (vectorized hash GROUP BY + columnar hash "
+               "join; byte-identical results) ===\n"
+            << table.render()
+            << "('vs row' is speedup against the row layout; groups/lanes "
+               "probed are the engine's kernel counters and stay zero on "
+               "the row twin)\n\n";
+}
+
+void register_groupjoin_benchmarks() {
+  for (const bool join_stmt : {false, true}) {
+    for (const bool columnar : {false, true}) {
+      benchmark::RegisterBenchmark(
+          support::cat(join_stmt ? "BM_JunctionJoin/" : "BM_GroupedAggregate/",
+                       columnar ? "columnar" : "row")
+              .c_str(),
+          [join_stmt, columnar](benchmark::State& state) {
+            GroupJoinDb& target = groupjoin_database(columnar);
+            std::uint64_t groups = 0;
+            std::uint64_t probed = 0;
+            for (auto _ : state) {
+              const GroupJoinOutcome outcome =
+                  run_groupjoin(target, join_stmt, 1);
+              groups += outcome.groups;
+              probed += outcome.lanes_probed;
+            }
+            state.counters["groups_built"] = static_cast<double>(groups);
+            state.counters["join_lanes_probed"] =
+                static_cast<double>(probed);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(smoke_mode() ? 2 : 10);
+    }
+  }
+}
+
 void print_summary_table() {
   support::TablePrinter table;
   table.add_column("backend")
@@ -419,9 +594,11 @@ int main(int argc, char** argv) {
   print_summary_table();
   print_partitioned_scan_table();
   print_columnar_union_table();
+  print_groupjoin_table();
   register_benchmarks();
   register_scan_benchmarks();
   register_columnar_benchmarks();
+  register_groupjoin_benchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

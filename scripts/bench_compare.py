@@ -8,10 +8,11 @@ Matches benchmarks by name and prints a table of real/cpu time deltas plus
 any user counters that moved; benchmarks present on only one side are
 listed as added/removed (never crashed on, never silently skipped). Exit
 code is 0 unless an input is unreadable or malformed (not valid
-google-benchmark JSON) — the comparison itself is informational (CI runners
-are shared hardware; treating timing noise as failure would just train
-people to ignore red), the point is that every PR's bench trajectory is one
-click away from the committed baseline.
+google-benchmark JSON) or --strict promoted --fail-above regressions to a
+failure — by default the comparison is informational (CI runners are shared
+hardware; treating timing noise as failure would just train people to
+ignore red), the point is that every PR's bench trajectory is one click
+away from the committed baseline.
 
 --pair PREFIX_A PREFIX_B (repeatable) additionally prints current-report
 real-time ratios between two benchmark families (the Release CI job uses it
@@ -180,6 +181,13 @@ def main() -> int:
         "benchmark name prefixes (e.g. BM_PartitionUnion BM_PartitionFlat); "
         "repeatable",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when --fail-above annotated any regression "
+        "(turns the annotations into a gate; no effect without "
+        "--fail-above)",
+    )
     args = parser.parse_args()
 
     base = load_report(args.baseline)
@@ -218,8 +226,8 @@ def main() -> int:
               f"{'; '.join(notes)}")
     print(f"--- {len(names)} benchmarks, {flagged} beyond "
           f"{args.threshold:g}% real-time delta ---")
+    regressed = 0
     if args.fail_above is not None:
-        regressed = 0
         for name in names:
             if name not in base or name not in cur:
                 continue
@@ -244,6 +252,13 @@ def main() -> int:
         )
     for pair in args.pair or []:
         print_pair_deltas(cur, pair[0], pair[1])
+    if args.strict and regressed > 0:
+        print(
+            f"bench_compare: --strict: {regressed} regression(s) beyond "
+            f"{args.fail_above:g}%",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

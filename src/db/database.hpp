@@ -226,6 +226,16 @@ class Database {
     /// from the statement's cached plan annotation instead of being
     /// re-derived from the AST.
     std::uint64_t fused_plan_evals = 0;
+    /// Grouped vectorized accounting: statement executions served by the
+    /// vectorized hash GROUP BY evaluator, and distinct groups those
+    /// evaluations materialized (summed across partitions and executions).
+    std::uint64_t grouped_vector_evals = 0;
+    std::uint64_t groups_built = 0;
+    /// Columnar hash equi-join accounting: hash tables built from a key
+    /// column slice (validity- and tombstone-masked), and live+valid
+    /// probe-side lanes fed through them.
+    std::uint64_t hash_join_builds = 0;
+    std::uint64_t join_lanes_probed = 0;
   };
   [[nodiscard]] ExecStatsSnapshot exec_stats() const noexcept {
     return {exec_stats_.subquery_executions.load(std::memory_order_relaxed),
@@ -251,7 +261,11 @@ class Database {
             exec_stats_.columnar_scans.load(std::memory_order_relaxed),
             exec_stats_.vectorized_batches.load(std::memory_order_relaxed),
             exec_stats_.rows_skipped_by_bitmap.load(std::memory_order_relaxed),
-            exec_stats_.fused_plan_evals.load(std::memory_order_relaxed)};
+            exec_stats_.fused_plan_evals.load(std::memory_order_relaxed),
+            exec_stats_.grouped_vector_evals.load(std::memory_order_relaxed),
+            exec_stats_.groups_built.load(std::memory_order_relaxed),
+            exec_stats_.hash_join_builds.load(std::memory_order_relaxed),
+            exec_stats_.join_lanes_probed.load(std::memory_order_relaxed)};
   }
 
   // Internal: bumped by the executor (relaxed; telemetry only).
@@ -321,6 +335,18 @@ class Database {
   void count_fused_plan_eval() noexcept {
     exec_stats_.fused_plan_evals.fetch_add(1, std::memory_order_relaxed);
   }
+  void count_grouped_vector_eval() noexcept {
+    exec_stats_.grouped_vector_evals.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_groups_built(std::uint64_t n) noexcept {
+    exec_stats_.groups_built.fetch_add(n, std::memory_order_relaxed);
+  }
+  void count_hash_join_build() noexcept {
+    exec_stats_.hash_join_builds.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_join_lanes_probed(std::uint64_t n) noexcept {
+    exec_stats_.join_lanes_probed.fetch_add(n, std::memory_order_relaxed);
+  }
 
  private:
   struct ExecStats {
@@ -345,6 +371,10 @@ class Database {
     std::atomic<std::uint64_t> vectorized_batches{0};
     std::atomic<std::uint64_t> rows_skipped_by_bitmap{0};
     std::atomic<std::uint64_t> fused_plan_evals{0};
+    std::atomic<std::uint64_t> grouped_vector_evals{0};
+    std::atomic<std::uint64_t> groups_built{0};
+    std::atomic<std::uint64_t> hash_join_builds{0};
+    std::atomic<std::uint64_t> join_lanes_probed{0};
 
     // Snapshot copy/move so Database itself stays movable (nobody may be
     // executing against a Database while it is moved anyway).
@@ -377,6 +407,10 @@ class Database {
       copy(vectorized_batches, other.vectorized_batches);
       copy(rows_skipped_by_bitmap, other.rows_skipped_by_bitmap);
       copy(fused_plan_evals, other.fused_plan_evals);
+      copy(grouped_vector_evals, other.grouped_vector_evals);
+      copy(groups_built, other.groups_built);
+      copy(hash_join_builds, other.hash_join_builds);
+      copy(join_lanes_probed, other.join_lanes_probed);
       return *this;
     }
   };

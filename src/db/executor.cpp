@@ -18,10 +18,16 @@
 
 #include "db/database.hpp"
 #include "db/sql/parser.hpp"
+#include "db/sql/plan.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
 #include "support/str.hpp"
 #include "support/thread_pool.hpp"
+
+// The hot-plan annotations behind SelectStmt::fused_plan /
+// fused_group_plan (sql::FusedScanPlan, sql::FusedGroupPlan) live in
+// db/sql/plan.hpp so the clone machinery in ast.cpp can carry them across
+// statement copies.
 
 namespace kojak::db {
 
@@ -29,46 +35,6 @@ using sql::BinOp;
 using sql::Expr;
 using sql::UnOp;
 using support::EvalError;
-
-namespace sql {
-
-/// Hot-plan annotation behind `SelectStmt::fused_plan`: the structural
-/// analysis of the dominant whole-condition shape — a single-table global
-/// aggregate with an AND-of-simple-conjuncts filter (the per-partition
-/// `part<K>` CTE body the partition-union rewrite emits). Built once per
-/// statement by the executor, reused by every later execution of the same
-/// statement (prepared statements, plan-cache hits, monitor re-evaluation);
-/// everything value-dependent — partition pruning, parameter and subquery
-/// constants, (column, constant) type compatibility — is re-derived per
-/// execution. Expression pointers reference the owning statement's AST, so
-/// the annotation must never outlive or migrate off its statement (clone()
-/// drops it).
-struct FusedScanPlan {
-  std::string table;                    // base table the statement scans
-  std::vector<ValueType> column_types;  // schema snapshot, validated on reuse
-
-  /// One WHERE conjunct: `column op constant` (constant = literal, param,
-  /// or scalar subquery) or `column IS [NOT] NULL`.
-  struct Conjunct {
-    std::size_t column = 0;
-    BinOp op = BinOp::kEq;           // comparison ops only
-    const Expr* constant = nullptr;  // null for IS [NOT] NULL tests
-    bool is_null_test = false;
-    bool negated = false;  // IS NOT NULL
-  };
-  std::vector<Conjunct> conjuncts;
-
-  /// One aggregate call over a plain base column; column == SIZE_MAX for
-  /// COUNT(*). Collected in run_aggregation's order (items, HAVING,
-  /// ORDER BY) so finalized values map back onto the same Expr nodes.
-  struct Aggregate {
-    const Expr* expr = nullptr;
-    std::size_t column = static_cast<std::size_t>(-1);
-  };
-  std::vector<Aggregate> aggregates;
-};
-
-}  // namespace sql
 
 namespace {
 
@@ -926,6 +892,287 @@ bool has_bare_column_ref(const Expr& e) {
   return false;
 }
 
+/// Grouped sibling of has_bare_column_ref: true when every bare
+/// (non-aggregate-argument) column reference resolves to one of the GROUP BY
+/// columns — the only slots the grouped evaluator's synthesized
+/// representative row fills. Subqueries stay opaque scalars, as above.
+bool bare_refs_covered(const Expr& e, std::size_t base_slot,
+                       const std::vector<std::size_t>& group_columns) {
+  if (e.kind == Expr::Kind::kColumnRef) {
+    if (e.resolved_slot < base_slot) return false;
+    const std::size_t column = e.resolved_slot - base_slot;
+    return std::find(group_columns.begin(), group_columns.end(), column) !=
+           group_columns.end();
+  }
+  if (e.kind == Expr::Kind::kFuncCall && Binder::is_aggregate_name(e.func)) {
+    return true;  // argument columns feed the kernels, not the output row
+  }
+  if (e.lhs && !bare_refs_covered(*e.lhs, base_slot, group_columns)) {
+    return false;
+  }
+  if (e.rhs && !bare_refs_covered(*e.rhs, base_slot, group_columns)) {
+    return false;
+  }
+  for (const auto& arg : e.args) {
+    if (!bare_refs_covered(*arg, base_slot, group_columns)) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Grouped vectorized kernels
+//
+// The GROUP BY twin of the fused path: selection bitmaps are shared, but
+// instead of one global accumulator each selected lane is first mapped to a
+// group id through a hash over the GROUP BY key lanes, and the aggregate
+// kernels index per-group state with that id. Group equality must mirror
+// Value::compare_total for same-column pairs — the numeric class compares
+// int lanes through double, every other class is declared-type-exact — so
+// groups split exactly where the row path's std::map keys would.
+
+/// Hash of one group-key lane; lanes that group_lane_equals treats as equal
+/// hash equal (ints through double; ±0.0 normalized for the double lanes).
+std::size_t group_lane_hash(ValueType type, const Table::ColumnSlice& slice,
+                            std::size_t lane) {
+  constexpr std::size_t kNullHash = 0x517cc1b727220a95ULL;
+  if (slice.valid[lane] == 0) return kNullHash;
+  switch (type) {
+    case ValueType::kBool:
+      return slice.ints[lane] != 0 ? 2 : 1;
+    case ValueType::kInt:
+      return std::hash<double>{}(static_cast<double>(slice.ints[lane]));
+    case ValueType::kDateTime:
+      return std::hash<std::int64_t>{}(slice.ints[lane]);
+    case ValueType::kDouble: {
+      const double d = slice.reals[lane];
+      return std::hash<double>{}(d == 0.0 ? 0.0 : d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>{}(slice.strs[lane]);
+    default:
+      return 0;
+  }
+}
+
+/// One group-key lane against a stored key Value of the same column:
+/// replicates Value::compare_total == 0 (NULL equals NULL and nothing else).
+bool group_lane_equals(ValueType type, const Table::ColumnSlice& slice,
+                       std::size_t lane, const Value& key) {
+  if (slice.valid[lane] == 0) return key.is_null();
+  if (key.is_null()) return false;
+  switch (type) {
+    case ValueType::kBool:
+      return (slice.ints[lane] != 0) == key.as_bool();
+    case ValueType::kInt:
+      // compare_total's numeric class compares through as_double.
+      return static_cast<double>(slice.ints[lane]) == key.as_double();
+    case ValueType::kDateTime:
+      return slice.ints[lane] == key.as_datetime();
+    case ValueType::kDouble:
+      return slice.reals[lane] == key.as_double();
+    case ValueType::kString:
+      return slice.strs[lane] == key.as_string();
+    default:
+      return false;
+  }
+}
+
+/// Rebuilds the Value a group-key lane denotes — the same mapping the row
+/// path's eval of the GROUP BY column ref produces from the stored cell.
+Value group_lane_value(ValueType type, const Table::ColumnSlice& slice,
+                       std::size_t lane) {
+  if (slice.valid[lane] == 0) return Value::null();
+  switch (type) {
+    case ValueType::kBool:
+      return Value::boolean(slice.ints[lane] != 0);
+    case ValueType::kInt:
+      return Value::integer(slice.ints[lane]);
+    case ValueType::kDateTime:
+      return Value::datetime(slice.ints[lane]);
+    case ValueType::kDouble:
+      return Value::real(slice.reals[lane]);
+    default:
+      return Value::text(slice.strs[lane]);
+  }
+}
+
+/// Grouped twin of accumulate_batch: identical per-lane arithmetic, but each
+/// selected lane lands in its group's state (`gid[i]`) instead of one global
+/// accumulator. Lanes are visited in heap order, so every group's push
+/// sequence is exactly the subsequence the row path feeds it.
+void accumulate_grouped_batch(AggKernel kernel, ValueType col_type,
+                              const Table::ColumnSlice& slice,
+                              std::size_t begin, std::size_t end,
+                              const std::uint8_t* sel,
+                              const std::uint32_t* gid,
+                              std::vector<AggState>& states,
+                              std::vector<MinMaxAcc>& minmax) {
+  switch (kernel) {
+    case AggKernel::kCountStar:
+      for (std::size_t i = begin; i < end; ++i) {
+        if (sel[i]) ++states[gid[i]].count;
+      }
+      return;
+    case AggKernel::kCountColumn:
+      for (std::size_t i = begin; i < end; ++i) {
+        if (sel[i] && slice.valid[i]) ++states[gid[i]].count;
+      }
+      return;
+    case AggKernel::kNumericStats:
+      if (col_type == ValueType::kInt) {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (sel[i] && slice.valid[i]) {
+            AggState& state = states[gid[i]];
+            ++state.count;
+            state.stats.push(static_cast<double>(slice.ints[i]));
+          }
+        }
+      } else {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (sel[i] && slice.valid[i]) {
+            AggState& state = states[gid[i]];
+            ++state.count;
+            state.stats.push(slice.reals[i]);
+          }
+        }
+      }
+      return;
+    case AggKernel::kMinMax:
+      switch (col_type) {
+        case ValueType::kInt:
+          for (std::size_t i = begin; i < end; ++i) {
+            if (!(sel[i] && slice.valid[i])) continue;
+            ++states[gid[i]].count;
+            MinMaxAcc& acc = minmax[gid[i]];
+            const std::int64_t x = slice.ints[i];
+            if (!acc.has) {
+              acc.has = true;
+              acc.lo_i = acc.hi_i = x;
+              continue;
+            }
+            const auto xd = static_cast<double>(x);
+            if (xd < static_cast<double>(acc.lo_i)) acc.lo_i = x;
+            if (xd > static_cast<double>(acc.hi_i)) acc.hi_i = x;
+          }
+          return;
+        case ValueType::kBool:
+        case ValueType::kDateTime:
+          for (std::size_t i = begin; i < end; ++i) {
+            if (!(sel[i] && slice.valid[i])) continue;
+            ++states[gid[i]].count;
+            MinMaxAcc& acc = minmax[gid[i]];
+            const std::int64_t x = slice.ints[i];
+            if (!acc.has) {
+              acc.has = true;
+              acc.lo_i = acc.hi_i = x;
+              continue;
+            }
+            if (x < acc.lo_i) acc.lo_i = x;
+            if (x > acc.hi_i) acc.hi_i = x;
+          }
+          return;
+        case ValueType::kDouble:
+          for (std::size_t i = begin; i < end; ++i) {
+            if (!(sel[i] && slice.valid[i])) continue;
+            ++states[gid[i]].count;
+            MinMaxAcc& acc = minmax[gid[i]];
+            const double x = slice.reals[i];
+            if (!acc.has) {
+              acc.has = true;
+              acc.lo_d = acc.hi_d = x;
+              continue;
+            }
+            if (x < acc.lo_d) acc.lo_d = x;
+            if (x > acc.hi_d) acc.hi_d = x;
+          }
+          return;
+        case ValueType::kString:
+          for (std::size_t i = begin; i < end; ++i) {
+            if (!(sel[i] && slice.valid[i])) continue;
+            ++states[gid[i]].count;
+            MinMaxAcc& acc = minmax[gid[i]];
+            const std::string& x = slice.strs[i];
+            if (!acc.has) {
+              acc.has = true;
+              acc.lo_s = acc.hi_s = x;
+              continue;
+            }
+            if (x.compare(acc.lo_s) < 0) acc.lo_s = x;
+            if (x.compare(acc.hi_s) > 0) acc.hi_s = x;
+          }
+          return;
+        default:
+          return;
+      }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar hash equi-join kernels
+
+/// Key category of a columnar equi-join. Lane equality must mirror
+/// ValueEqTotal: the numeric class joins INTEGER and DOUBLE lanes through
+/// double; every other class requires the same declared type on both sides.
+/// Cross-class pairs return nullopt — ValueEqTotal never matches them, so
+/// the (cheap, empty) row path keeps that behavior.
+enum class JoinKeyKind : std::uint8_t { kNumeric, kBool, kDateTime, kString };
+
+std::optional<JoinKeyKind> join_key_kind(ValueType a, ValueType b) {
+  const auto numeric = [](ValueType t) {
+    return t == ValueType::kInt || t == ValueType::kDouble;
+  };
+  if (numeric(a) && numeric(b)) return JoinKeyKind::kNumeric;
+  if (a != b) return std::nullopt;
+  switch (a) {
+    case ValueType::kBool:
+      return JoinKeyKind::kBool;
+    case ValueType::kDateTime:
+      return JoinKeyKind::kDateTime;
+    case ValueType::kString:
+      return JoinKeyKind::kString;
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Build-and-probe over masked key slices: inserts every usable (live,
+/// non-NULL) build lane's row id keyed by `key_of(slice, lane)`, then probes
+/// with the other side's usable lanes and collects surviving
+/// (outer id, inner id) pairs. Per-key id lists keep insertion (= build scan)
+/// order, so when the build side is the inner table the pair stream is
+/// already the row path's emission order. NULL lanes never participate: SQL
+/// equality cannot match them, and the ON re-evaluation during row assembly
+/// would discard such a pair anyway.
+template <typename Key, typename KeyOf>
+std::vector<std::pair<std::size_t, std::size_t>> columnar_join_pairs(
+    const std::vector<Table::KeySlice>& build,
+    const std::vector<Table::KeySlice>& probe, bool build_is_outer,
+    std::uint64_t& lanes_probed, KeyOf&& key_of) {
+  std::unordered_map<Key, std::vector<std::size_t>> table;
+  for (const Table::KeySlice& s : build) {
+    for (std::size_t i = 0; i < s.column.size; ++i) {
+      if (s.usable(i)) {
+        table[key_of(s.column, i)].push_back(make_row_id(s.partition, i));
+      }
+    }
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (const Table::KeySlice& s : probe) {
+    for (std::size_t i = 0; i < s.column.size; ++i) {
+      if (!s.usable(i)) continue;
+      ++lanes_probed;
+      const auto it = table.find(key_of(s.column, i));
+      if (it == table.end()) continue;
+      const std::size_t probe_id = make_row_id(s.partition, i);
+      for (const std::size_t build_id : it->second) {
+        pairs.emplace_back(build_is_outer ? build_id : probe_id,
+                           build_is_outer ? probe_id : build_id);
+      }
+    }
+  }
+  return pairs;
+}
+
 // ---------------------------------------------------------------------------
 // Structural keys for the uncorrelated-subquery memo. Unlike
 // Expr::to_string, this rendering is unambiguous: parameters carry their
@@ -1376,10 +1623,31 @@ class SelectExec {
       // Execute a clone so the original statement stays reusable; the memo
       // makes this a once-per-distinct-shape cost instead of once per
       // occurrence.
-      std::unique_ptr<sql::SelectStmt> sub = e.subquery->clone();
+      sql::ExprRemap remap;
+      std::unique_ptr<sql::SelectStmt> sub = e.subquery->clone(&remap);
       SelectExec exec(db_, *sub, params_, &scope_, env_);
       QueryResult sub_result = exec.run();
       db_.count_subquery_execution();
+      // Back-propagate plan verdicts the clone's execution produced onto
+      // the original subquery (mutable annotation members), so the next
+      // execution of the enclosing prepared statement clones a
+      // pre-analyzed tree instead of re-deriving the verdict.
+      if (sub->fused_rejected && !e.subquery->fused_rejected) {
+        e.subquery->fused_rejected = true;
+      }
+      if ((sub->fused_plan && !e.subquery->fused_plan) ||
+          (sub->fused_group_plan && !e.subquery->fused_group_plan)) {
+        sql::ExprRemap inverse;
+        inverse.reserve(remap.size());
+        for (const auto& [original, copy] : remap) inverse[copy] = original;
+        if (sub->fused_plan && !e.subquery->fused_plan) {
+          e.subquery->fused_plan = sql::remap_onto(*sub->fused_plan, inverse);
+        }
+        if (sub->fused_group_plan && !e.subquery->fused_group_plan) {
+          e.subquery->fused_group_plan =
+              sql::remap_onto(*sub->fused_group_plan, inverse);
+        }
+      }
       if (sub_result.column_count() != 1) {
         throw EvalError("scalar subquery must produce one column");
       }
@@ -1534,13 +1802,70 @@ class SelectExec {
     return chosen;
   }
 
+  /// Schema snapshot validated on plan reuse (table may have been dropped
+  /// and re-created with another layout since the plan was built).
+  [[nodiscard]] static std::vector<ValueType> column_type_snapshot(
+      const Table& table) {
+    std::vector<ValueType> types;
+    types.reserve(table.schema().column_count());
+    for (const ColumnDef& col : table.schema().columns()) {
+      types.push_back(col.type);
+    }
+    return types;
+  }
+
+  /// Collects run_aggregation's aggregate list (items, HAVING, ORDER BY
+  /// order, so finalized values land on the same Expr nodes eval_expr will
+  /// look up) as kernel descriptors. False when any call falls outside the
+  /// vectorized kernels: DISTINCT, a non-column argument, or a numeric-only
+  /// aggregate (SUM/AVG/STDDEV/VARIANCE) over a non-numeric column — the
+  /// row path raises as_double's diagnostic for that one.
+  [[nodiscard]] bool collect_kernel_aggregates(
+      const ScanSource& base, const std::vector<ValueType>& column_types,
+      std::vector<sql::FusedScanPlan::Aggregate>& out) const {
+    std::vector<const Expr*> agg_exprs;
+    for (const auto& item : stmt_.items) {
+      collect_aggregates(*item.expr, agg_exprs);
+    }
+    if (stmt_.having) collect_aggregates(*stmt_.having, agg_exprs);
+    for (const auto& key : stmt_.order_by) {
+      collect_aggregates(*key.expr, agg_exprs);
+    }
+    for (const Expr* agg : agg_exprs) {
+      if (agg->distinct_arg) return false;
+      sql::FusedScanPlan::Aggregate entry;
+      entry.expr = agg;
+      if (!agg->star_arg) {
+        if (agg->args.empty()) return false;
+        const Expr& arg = *agg->args[0];
+        if (arg.kind != Expr::Kind::kColumnRef) return false;
+        if (arg.resolved_slot < base.base_slot ||
+            arg.resolved_slot >= base.base_slot + column_types.size()) {
+          return false;
+        }
+        entry.column = arg.resolved_slot - base.base_slot;
+        const ValueType type = column_types[entry.column];
+        const bool numeric_only = agg->func == "SUM" || agg->func == "AVG" ||
+                                  agg->func == "STDDEV" ||
+                                  agg->func == "VARIANCE";
+        if (numeric_only && type != ValueType::kInt &&
+            type != ValueType::kDouble) {
+          return false;
+        }
+      }
+      out.push_back(entry);
+    }
+    return true;
+  }
+
   /// Structural analysis for the fused single-pass columnar evaluator.
-  /// Eligible shape: single columnar base table, no joins, no GROUP BY,
-  /// every aggregate a supported non-DISTINCT call over a plain base column
-  /// (or COUNT(*)), no bare column reference outside aggregate arguments
-  /// (global aggregation has no representative row on this path), and a
-  /// WHERE clause that is an AND of `column op constant` / `column IS
-  /// [NOT] NULL` conjuncts. Returns null when the statement doesn't fit.
+  /// Eligible shape: single columnar base table, no joins, no GROUP BY
+  /// (grouped statements go through analyze_grouped), every aggregate a
+  /// supported non-DISTINCT call over a plain base column (or COUNT(*)),
+  /// no bare column reference outside aggregate arguments (global
+  /// aggregation has no representative row on this path), and a WHERE
+  /// clause that is an AND of `column op constant` / `column IS [NOT] NULL`
+  /// conjuncts. Returns null when the statement doesn't fit.
   [[nodiscard]] std::shared_ptr<const sql::FusedScanPlan> analyze_fused(
       const ScanSource& base) const {
     using Plan = sql::FusedScanPlan;
@@ -1550,46 +1875,13 @@ class SelectExec {
 
     auto plan = std::make_shared<Plan>();
     plan->table = table.schema().name();
-    plan->column_types.reserve(table.schema().column_count());
-    for (const ColumnDef& col : table.schema().columns()) {
-      plan->column_types.push_back(col.type);
-    }
+    plan->column_types = column_type_snapshot(table);
 
-    // Aggregates, in run_aggregation's collection order so the finalized
-    // values land on the same Expr nodes eval_expr will look up.
-    std::vector<const Expr*> agg_exprs;
-    for (const auto& item : stmt_.items) {
-      collect_aggregates(*item.expr, agg_exprs);
+    if (!collect_kernel_aggregates(base, plan->column_types,
+                                   plan->aggregates)) {
+      return nullptr;
     }
-    if (stmt_.having) collect_aggregates(*stmt_.having, agg_exprs);
-    for (const auto& key : stmt_.order_by) {
-      collect_aggregates(*key.expr, agg_exprs);
-    }
-    if (agg_exprs.empty()) return nullptr;
-    for (const Expr* agg : agg_exprs) {
-      if (agg->distinct_arg) return nullptr;
-      Plan::Aggregate entry;
-      entry.expr = agg;
-      if (!agg->star_arg) {
-        if (agg->args.empty()) return nullptr;
-        const Expr& arg = *agg->args[0];
-        if (arg.kind != Expr::Kind::kColumnRef) return nullptr;
-        if (arg.resolved_slot < base.base_slot ||
-            arg.resolved_slot >= base.base_slot + plan->column_types.size()) {
-          return nullptr;
-        }
-        entry.column = arg.resolved_slot - base.base_slot;
-        const ValueType type = plan->column_types[entry.column];
-        const bool numeric_only = agg->func == "SUM" || agg->func == "AVG" ||
-                                  agg->func == "STDDEV" ||
-                                  agg->func == "VARIANCE";
-        if (numeric_only && type != ValueType::kInt &&
-            type != ValueType::kDouble) {
-          return nullptr;  // the row path raises as_double's diagnostic
-        }
-      }
-      plan->aggregates.push_back(entry);
-    }
+    if (plan->aggregates.empty()) return nullptr;
     for (const auto& item : stmt_.items) {
       if (has_bare_column_ref(*item.expr)) return nullptr;
     }
@@ -1597,6 +1889,61 @@ class SelectExec {
     for (const auto& key : stmt_.order_by) {
       if (key.expr->kind != Expr::Kind::kAliasRef &&
           has_bare_column_ref(*key.expr)) {
+        return nullptr;
+      }
+    }
+
+    if (stmt_.where &&
+        !collect_fused_conjuncts(*stmt_.where, base, plan->conjuncts)) {
+      return nullptr;
+    }
+    return plan;
+  }
+
+  /// Structural analysis for the grouped vectorized evaluator. Eligible
+  /// shape: single columnar base table, no joins, every GROUP BY expression
+  /// a plain base column reference, supported aggregates (the fused path's
+  /// rules; zero aggregates is fine — pure key deduplication), every bare
+  /// column reference outside aggregate arguments one of the GROUP BY
+  /// columns, and the fused path's WHERE conjunct forms. Returns null when
+  /// the statement doesn't fit.
+  [[nodiscard]] std::shared_ptr<const sql::FusedGroupPlan> analyze_grouped(
+      const ScanSource& base) const {
+    if (!stmt_.joins.empty() || stmt_.group_by.empty()) return nullptr;
+    const Table& table = *base.table;
+    if (!table.columnar()) return nullptr;
+
+    auto plan = std::make_shared<sql::FusedGroupPlan>();
+    plan->table = table.schema().name();
+    plan->column_types = column_type_snapshot(table);
+
+    for (const auto& g : stmt_.group_by) {
+      if (g->kind != Expr::Kind::kColumnRef) return nullptr;
+      if (g->resolved_slot < base.base_slot ||
+          g->resolved_slot >= base.base_slot + plan->column_types.size()) {
+        return nullptr;
+      }
+      plan->group_columns.push_back(g->resolved_slot - base.base_slot);
+    }
+
+    if (!collect_kernel_aggregates(base, plan->column_types,
+                                   plan->aggregates)) {
+      return nullptr;
+    }
+    for (const auto& item : stmt_.items) {
+      if (!bare_refs_covered(*item.expr, base.base_slot,
+                             plan->group_columns)) {
+        return nullptr;
+      }
+    }
+    if (stmt_.having && !bare_refs_covered(*stmt_.having, base.base_slot,
+                                           plan->group_columns)) {
+      return nullptr;
+    }
+    for (const auto& key : stmt_.order_by) {
+      if (key.expr->kind != Expr::Kind::kAliasRef &&
+          !bare_refs_covered(*key.expr, base.base_slot,
+                             plan->group_columns)) {
         return nullptr;
       }
     }
@@ -1688,6 +2035,7 @@ class SelectExec {
     if (sources_.size() != 1) return std::nullopt;
     const ScanSource& base = sources_[0];
     if (base.table == nullptr) return std::nullopt;
+    if (!stmt_.group_by.empty()) return try_grouped_vectorized(base);
     const Table& table = *base.table;
 
     const sql::FusedScanPlan* plan = stmt_.fused_plan.get();
@@ -1740,38 +2088,18 @@ class SelectExec {
     return run_columnar_aggregation(table, *plan, constants, scan);
   }
 
-  /// The fused evaluator proper: selection bitmaps + aggregate kernels over
-  /// the column vectors, partition-major in heap order. The filter stage
-  /// fans out across the scan pool under the same gate as run_heap_scan;
-  /// aggregate accumulation stays serial in partition order so every
-  /// RunningStats sees the row path's exact push sequence.
-  std::vector<std::pair<Row, Row>> run_columnar_aggregation(
-      const Table& table, const sql::FusedScanPlan& plan,
-      const std::vector<Value>& constants, const BaseScanPlan& scan) {
-    const std::size_t nparts = table.partition_count();
-    std::size_t first = 0;
-    std::size_t count = nparts;
-    if (scan.empty) {
-      db_.count_partitions_pruned(nparts);
-      count = 0;
-    } else if (scan.partition && nparts > 1) {
-      first = *scan.partition;
-      count = 1;
-      db_.count_partitions_pruned(nparts - 1);
-    }
-    db_.count_partition_scans(count);
-    db_.count_columnar_scans(count);
-
-    std::size_t live = 0;
-    std::size_t nonempty = 0;
-    for (std::size_t p = first; p < first + count; ++p) {
-      const std::size_t rows_in_partition = table.partition_live_count(p);
-      live += rows_in_partition;
-      if (rows_in_partition > 0) ++nonempty;
-    }
-
-    // One selection bitmap per unpruned partition, seeded from the live
-    // bits (tombstones never select) and narrowed by each conjunct.
+  /// Selection bitmaps for partitions [first, first + count): one bitmap
+  /// per partition, seeded from the live bits (tombstones never select) and
+  /// narrowed by each conjunct batch-at-a-time. The filter stage fans out
+  /// across the scan pool under the same gate as run_heap_scan. `live` and
+  /// `nonempty` are the live-row and nonempty-partition totals over the
+  /// same range (callers already have them for their own counters).
+  std::vector<std::vector<std::uint8_t>> build_selection_bitmaps(
+      const Table& table,
+      const std::vector<sql::FusedScanPlan::Conjunct>& conjuncts,
+      const std::vector<ValueType>& column_types,
+      const std::vector<Value>& constants, std::size_t first,
+      std::size_t count, std::size_t live, std::size_t nonempty) {
     std::vector<std::vector<std::uint8_t>> sels(count);
     const auto filter_partition = [&](std::size_t index) {
       const std::size_t p = first + index;
@@ -1779,17 +2107,17 @@ class SelectExec {
       std::vector<std::uint8_t>& sel = sels[index];
       const std::uint8_t* live_bits = table.live_bits(p);
       sel.assign(live_bits, live_bits + lanes);
-      if (lanes == 0 || plan.conjuncts.empty()) return;
-      std::vector<Table::ColumnSlice> slices(plan.conjuncts.size());
-      for (std::size_t c = 0; c < plan.conjuncts.size(); ++c) {
-        slices[c] = table.column_slice(p, plan.conjuncts[c].column);
+      if (lanes == 0 || conjuncts.empty()) return;
+      std::vector<Table::ColumnSlice> slices(conjuncts.size());
+      for (std::size_t c = 0; c < conjuncts.size(); ++c) {
+        slices[c] = table.column_slice(p, conjuncts[c].column);
       }
       for (std::size_t b = 0; b < lanes; b += kVectorBatch) {
         const std::size_t e = std::min(lanes, b + kVectorBatch);
-        for (std::size_t c = 0; c < plan.conjuncts.size(); ++c) {
-          apply_conjunct_batch(plan.conjuncts[c], constants[c],
-                               plan.column_types[plan.conjuncts[c].column],
-                               slices[c], b, e, sel.data());
+        for (std::size_t c = 0; c < conjuncts.size(); ++c) {
+          apply_conjunct_batch(conjuncts[c], constants[c],
+                               column_types[conjuncts[c].column], slices[c],
+                               b, e, sel.data());
         }
       }
     };
@@ -1825,6 +2153,41 @@ class SelectExec {
     } else {
       for (std::size_t i = 0; i < count; ++i) filter_partition(i);
     }
+    return sels;
+  }
+
+  /// The fused evaluator proper: selection bitmaps + aggregate kernels over
+  /// the column vectors, partition-major in heap order. Aggregate
+  /// accumulation stays serial in partition order so every RunningStats
+  /// sees the row path's exact push sequence.
+  std::vector<std::pair<Row, Row>> run_columnar_aggregation(
+      const Table& table, const sql::FusedScanPlan& plan,
+      const std::vector<Value>& constants, const BaseScanPlan& scan) {
+    const std::size_t nparts = table.partition_count();
+    std::size_t first = 0;
+    std::size_t count = nparts;
+    if (scan.empty) {
+      db_.count_partitions_pruned(nparts);
+      count = 0;
+    } else if (scan.partition && nparts > 1) {
+      first = *scan.partition;
+      count = 1;
+      db_.count_partitions_pruned(nparts - 1);
+    }
+    db_.count_partition_scans(count);
+    db_.count_columnar_scans(count);
+
+    std::size_t live = 0;
+    std::size_t nonempty = 0;
+    for (std::size_t p = first; p < first + count; ++p) {
+      const std::size_t rows_in_partition = table.partition_live_count(p);
+      live += rows_in_partition;
+      if (rows_in_partition > 0) ++nonempty;
+    }
+
+    std::vector<std::vector<std::uint8_t>> sels = build_selection_bitmaps(
+        table, plan.conjuncts, plan.column_types, constants, first, count,
+        live, nonempty);
 
     // Serial accumulation, partition-major in lane (= heap) order.
     std::vector<AggState> states(plan.aggregates.size());
@@ -1890,6 +2253,244 @@ class SelectExec {
     }
     Row keys = eval_order_keys(ctx, output);
     out.emplace_back(std::move(output), std::move(keys));
+    return out;
+  }
+
+  /// Grouped twin of try_vectorized_aggregation: hash GROUP BY over the
+  /// column vectors. Same caching and validation discipline against the
+  /// statement's fused_group_plan; the eligible shapes are disjoint (GROUP
+  /// BY presence routes here), so the negative verdict shares
+  /// fused_rejected.
+  std::optional<std::vector<std::pair<Row, Row>>> try_grouped_vectorized(
+      const ScanSource& base) {
+    const Table& table = *base.table;
+
+    const sql::FusedGroupPlan* plan = stmt_.fused_group_plan.get();
+    const bool reused = plan != nullptr;
+    if (plan == nullptr) {
+      auto built = analyze_grouped(base);
+      if (built == nullptr) {
+        stmt_.fused_rejected = true;
+        return std::nullopt;
+      }
+      stmt_.fused_group_plan = std::move(built);
+      plan = stmt_.fused_group_plan.get();
+    } else {
+      // Same catalog re-validation as the global path: the table may have
+      // been dropped and re-created with another layout.
+      if (!support::iequals(table.schema().name(), plan->table) ||
+          !table.columnar() ||
+          table.schema().column_count() != plan->column_types.size()) {
+        return std::nullopt;
+      }
+      for (std::size_t i = 0; i < plan->column_types.size(); ++i) {
+        if (table.schema().column(i).type != plan->column_types[i]) {
+          return std::nullopt;
+        }
+      }
+    }
+
+    const BaseScanPlan scan = plan_base_scan(stmt_.where.get(), base);
+    if (scan.kind != BaseScanPlan::Kind::kFullScan) return std::nullopt;
+
+    std::vector<Value> constants(plan->conjuncts.size());
+    EvalCtx const_ctx{nullptr, params_, nullptr, &subquery_values_, nullptr};
+    for (std::size_t i = 0; i < plan->conjuncts.size(); ++i) {
+      const auto& conjunct = plan->conjuncts[i];
+      if (conjunct.is_null_test) continue;
+      constants[i] = eval_expr(*conjunct.constant, const_ctx);
+      if (!conjunct_types_supported(plan->column_types[conjunct.column],
+                                    constants[i])) {
+        return std::nullopt;
+      }
+    }
+
+    if (reused) db_.count_fused_plan_eval();
+    return run_columnar_grouped(table, *plan, constants, scan);
+  }
+
+  /// The grouped vectorized evaluator: selection bitmaps, then a hash group
+  /// table keyed on the GROUP BY column lanes, with per-group aggregate
+  /// state fed by the batch kernels. Group ids are assigned in first-seen
+  /// (heap) order so every per-group push sequence is exactly the row
+  /// path's subsequence; output replays run_aggregation's std::map order by
+  /// sorting the groups with the same key comparator.
+  std::vector<std::pair<Row, Row>> run_columnar_grouped(
+      const Table& table, const sql::FusedGroupPlan& plan,
+      const std::vector<Value>& constants, const BaseScanPlan& scan) {
+    const std::size_t nparts = table.partition_count();
+    std::size_t first = 0;
+    std::size_t count = nparts;
+    if (scan.empty) {
+      db_.count_partitions_pruned(nparts);
+      count = 0;
+    } else if (scan.partition && nparts > 1) {
+      first = *scan.partition;
+      count = 1;
+      db_.count_partitions_pruned(nparts - 1);
+    }
+    db_.count_partition_scans(count);
+    db_.count_columnar_scans(count);
+    db_.count_grouped_vector_eval();
+
+    std::size_t live = 0;
+    std::size_t nonempty = 0;
+    for (std::size_t p = first; p < first + count; ++p) {
+      const std::size_t rows_in_partition = table.partition_live_count(p);
+      live += rows_in_partition;
+      if (rows_in_partition > 0) ++nonempty;
+    }
+
+    std::vector<std::vector<std::uint8_t>> sels = build_selection_bitmaps(
+        table, plan.conjuncts, plan.column_types, constants, first, count,
+        live, nonempty);
+
+    const std::size_t naggs = plan.aggregates.size();
+    std::vector<AggKernel> kernels(naggs);
+    for (std::size_t a = 0; a < naggs; ++a) {
+      kernels[a] = agg_kernel_of(*plan.aggregates[a].expr);
+    }
+
+    // Group table: keys[gid] is the materialized GROUP BY tuple, the index
+    // maps key hash → candidate gids, and aggregate state is column-major
+    // per aggregate so accumulate_grouped_batch indexes states[gid]
+    // directly.
+    std::vector<Row> keys;
+    std::unordered_multimap<std::size_t, std::uint32_t> group_index;
+    std::vector<std::vector<AggState>> states(naggs);
+    std::vector<std::vector<MinMaxAcc>> minmax(naggs);
+
+    std::uint64_t batches = 0;
+    std::size_t selected = 0;
+    std::vector<std::uint32_t> gids;
+    for (std::size_t index = 0; index < count; ++index) {
+      const std::size_t p = first + index;
+      const std::size_t lanes = table.partition_heap_size(p);
+      if (lanes == 0) continue;
+      const std::uint8_t* sel = sels[index].data();
+      std::vector<Table::ColumnSlice> key_slices(plan.group_columns.size());
+      for (std::size_t k = 0; k < plan.group_columns.size(); ++k) {
+        key_slices[k] = table.column_slice(p, plan.group_columns[k]);
+      }
+      std::vector<Table::ColumnSlice> agg_slices(naggs);
+      for (std::size_t a = 0; a < naggs; ++a) {
+        if (plan.aggregates[a].column != static_cast<std::size_t>(-1)) {
+          agg_slices[a] = table.column_slice(p, plan.aggregates[a].column);
+        }
+      }
+      const auto group_of = [&](std::size_t lane) -> std::uint32_t {
+        std::size_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+        for (std::size_t k = 0; k < key_slices.size(); ++k) {
+          h = (h * 1099511628211ULL) ^
+              group_lane_hash(plan.column_types[plan.group_columns[k]],
+                              key_slices[k], lane);
+        }
+        const auto [lo, hi] = group_index.equal_range(h);
+        for (auto it = lo; it != hi; ++it) {
+          const Row& key = keys[it->second];
+          bool match = true;
+          for (std::size_t k = 0; k < key_slices.size() && match; ++k) {
+            match =
+                group_lane_equals(plan.column_types[plan.group_columns[k]],
+                                  key_slices[k], lane, key[k]);
+          }
+          if (match) return it->second;
+        }
+        const auto gid = static_cast<std::uint32_t>(keys.size());
+        Row key;
+        key.reserve(key_slices.size());
+        for (std::size_t k = 0; k < key_slices.size(); ++k) {
+          key.push_back(
+              group_lane_value(plan.column_types[plan.group_columns[k]],
+                               key_slices[k], lane));
+        }
+        keys.push_back(std::move(key));
+        group_index.emplace(h, gid);
+        for (std::size_t a = 0; a < naggs; ++a) {
+          states[a].emplace_back();
+          minmax[a].emplace_back();
+        }
+        return gid;
+      };
+      gids.assign(lanes, 0);
+      for (std::size_t b = 0; b < lanes; b += kVectorBatch) {
+        const std::size_t e = std::min(lanes, b + kVectorBatch);
+        for (std::size_t i = b; i < e; ++i) {
+          if (sel[i] == 0) continue;
+          ++selected;
+          gids[i] = group_of(i);
+        }
+        for (std::size_t a = 0; a < naggs; ++a) {
+          const std::size_t column = plan.aggregates[a].column;
+          accumulate_grouped_batch(kernels[a],
+                                   column == static_cast<std::size_t>(-1)
+                                       ? ValueType::kNull
+                                       : plan.column_types[column],
+                                   agg_slices[a], b, e, sel, gids.data(),
+                                   states[a], minmax[a]);
+        }
+        ++batches;
+      }
+    }
+    db_.count_vectorized_batches(batches);
+    db_.count_rows_skipped_by_bitmap(live - selected);
+    db_.count_groups_built(keys.size());
+
+    for (std::size_t a = 0; a < naggs; ++a) {
+      if (kernels[a] != AggKernel::kMinMax) continue;
+      const ValueType type = plan.column_types[plan.aggregates[a].column];
+      for (std::size_t g = 0; g < keys.size(); ++g) {
+        if (states[a][g].count == 0) continue;
+        states[a][g].min_value =
+            minmax_value(type, minmax[a][g], /*max_side=*/false);
+        states[a][g].max_value =
+            minmax_value(type, minmax[a][g], /*max_side=*/true);
+        states[a][g].has_minmax = true;
+      }
+    }
+
+    // run_aggregation's std::map iterates groups in ascending key order;
+    // replay that by sorting the group ids with the same lexicographic
+    // comparator.
+    std::vector<std::uint32_t> order(keys.size());
+    for (std::size_t g = 0; g < order.size(); ++g) {
+      order[g] = static_cast<std::uint32_t>(g);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const Row& x = keys[a];
+                const Row& y = keys[b];
+                for (std::size_t i = 0; i < x.size(); ++i) {
+                  const int c = Value::compare_total(x[i], y[i]);
+                  if (c != 0) return c < 0;
+                }
+                return false;
+              });
+
+    std::vector<std::pair<Row, Row>> out;
+    out.reserve(order.size());
+    for (const std::uint32_t g : order) {
+      std::unordered_map<const Expr*, Value> agg_values;
+      for (std::size_t a = 0; a < naggs; ++a) {
+        agg_values[plan.aggregates[a].expr] =
+            agg_finalize(*plan.aggregates[a].expr, states[a][g]);
+      }
+      // Bare refs were proven GROUP BY-covered at analysis time, so a
+      // representative carrying just the key columns is enough.
+      Row rep(plan.column_types.size(), Value::null());
+      for (std::size_t k = 0; k < plan.group_columns.size(); ++k) {
+        rep[plan.group_columns[k]] = keys[g][k];
+      }
+      EvalCtx ctx{&rep, params_, &agg_values, &subquery_values_, nullptr};
+      if (stmt_.having && !eval_predicate(*stmt_.having, ctx)) continue;
+      Row output;
+      output.reserve(stmt_.items.size());
+      for (const auto& item : stmt_.items) {
+        output.push_back(eval_expr(*item.expr, ctx));
+      }
+      Row ord = eval_order_keys(ctx, output);
+      out.emplace_back(std::move(output), std::move(ord));
+    }
     return out;
   }
 
@@ -2017,6 +2618,130 @@ class SelectExec {
     return std::make_pair(b.resolved_slot, a.resolved_slot - inner_begin);
   }
 
+  /// Columnar hash equi-join over the base table and the first join: build
+  /// a hash table from the smaller side's key column slice (tombstoned and
+  /// NULL lanes never enter — a NULL key can't satisfy the ON equality),
+  /// probe with the other side's slice, and assemble rows only for
+  /// surviving lane pairs. Emission is outer-scan-major with inner-scan
+  /// order within each outer row — byte-identical to the row hash join.
+  /// Returns nullopt to fall back when either side isn't columnar, the ON
+  /// clause has no equality conjunct on a base column, the key types have
+  /// no kernel, or an inner index makes the indexed nested loop cheaper.
+  std::optional<std::vector<Row>> try_columnar_hash_join(
+      const ScanSource& base, const BaseScanPlan& plan) {
+    if (base.table == nullptr || !base.table->columnar()) return std::nullopt;
+    const sql::Join& join = stmt_.joins[0];
+    const ScanSource& inner = sources_[1];
+    if (inner.table == nullptr || !inner.table->columnar()) {
+      return std::nullopt;
+    }
+    const auto key = equi_join_key(join.on.get(), inner);
+    if (!key) return std::nullopt;
+    if (key->first >= base.column_count()) return std::nullopt;
+    if (inner.table->find_index_on(key->second) != nullptr) {
+      return std::nullopt;  // the indexed nested loop wins
+    }
+    const auto kind =
+        join_key_kind(base.table->schema().column(key->first).type,
+                      inner.table->schema().column(key->second).type);
+    if (!kind) return std::nullopt;
+
+    // Outer-side pruning, mirroring run_heap_scan.
+    const std::size_t nparts = base.table->partition_count();
+    if (plan.empty) {
+      db_.count_partitions_pruned(nparts);
+      return std::vector<Row>{};
+    }
+    std::size_t outer_first = 0;
+    std::size_t outer_count = nparts;
+    if (plan.partition && nparts > 1) {
+      outer_first = *plan.partition;
+      outer_count = 1;
+      db_.count_partitions_pruned(nparts - 1);
+    }
+    const std::size_t inner_count =
+        inner.partition ? 1 : inner.table->partition_count();
+    db_.count_partition_scans(outer_count);
+    db_.count_columnar_scans(outer_count + inner_count);
+
+    std::vector<Table::KeySlice> outer_slices;
+    outer_slices.reserve(outer_count);
+    std::size_t outer_live = 0;
+    for (std::size_t p = outer_first; p < outer_first + outer_count; ++p) {
+      outer_slices.push_back(base.table->key_slice(p, key->first));
+      outer_live += base.table->partition_live_count(p);
+    }
+    std::vector<Table::KeySlice> inner_slices =
+        inner.table->key_slices(key->second, inner.partition);
+    std::size_t inner_live = 0;
+    for (const Table::KeySlice& s : inner_slices) {
+      inner_live += inner.table->partition_live_count(s.partition);
+    }
+
+    // Build from the smaller side; ties build from the inner source (the
+    // row hash join's only choice).
+    const bool build_is_outer = outer_live < inner_live;
+    const std::vector<Table::KeySlice>& build =
+        build_is_outer ? outer_slices : inner_slices;
+    const std::vector<Table::KeySlice>& probe =
+        build_is_outer ? inner_slices : outer_slices;
+
+    std::uint64_t probed = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    switch (*kind) {
+      case JoinKeyKind::kNumeric:
+        // Ints compare through double (the compare_total class) and ±0.0
+        // collapses so hash equality matches value equality.
+        pairs = columnar_join_pairs<double>(
+            build, probe, build_is_outer, probed,
+            [](const Table::ColumnSlice& s, std::size_t i) {
+              const double d = s.ints != nullptr
+                                   ? static_cast<double>(s.ints[i])
+                                   : s.reals[i];
+              return d == 0.0 ? 0.0 : d;
+            });
+        break;
+      case JoinKeyKind::kBool:
+      case JoinKeyKind::kDateTime:
+        pairs = columnar_join_pairs<std::int64_t>(
+            build, probe, build_is_outer, probed,
+            [](const Table::ColumnSlice& s, std::size_t i) {
+              return s.ints[i];
+            });
+        break;
+      case JoinKeyKind::kString:
+        // Views into the column vectors: stable for this statement's
+        // lifetime (DDL/DML never interleaves with an executing SELECT).
+        pairs = columnar_join_pairs<std::string_view>(
+            build, probe, build_is_outer, probed,
+            [](const Table::ColumnSlice& s, std::size_t i) {
+              return std::string_view(s.strs[i]);
+            });
+        break;
+    }
+    db_.count_hash_join_build();
+    db_.count_join_lanes_probed(probed);
+
+    // Build-from-inner already emits outer-major (probe order) with
+    // insertion (= inner scan) order per key. Build-from-outer emits
+    // probe-major; row-id numeric order is scan order, so one sort
+    // restores the row path's emission order.
+    if (build_is_outer) std::sort(pairs.begin(), pairs.end());
+
+    std::vector<Row> joined;
+    joined.reserve(pairs.size());
+    for (const auto& [outer_id, inner_id] : pairs) {
+      Row combined = base.table->row(outer_id);
+      const Row& inner_row = inner.table->row(inner_id);
+      combined.insert(combined.end(), inner_row.begin(), inner_row.end());
+      EvalCtx ctx{&combined, params_, nullptr, &subquery_values_, nullptr};
+      if (!join.on || eval_predicate(*join.on, ctx)) {
+        joined.push_back(std::move(combined));
+      }
+    }
+    return joined;
+  }
+
   std::vector<Row> scan_and_join() {
     std::vector<Row> rows;
     if (!stmt_.from) {
@@ -2026,38 +2751,53 @@ class SelectExec {
 
     // Base scan, optionally via index (equality probe or ordered range);
     // derived (CTE) sources have no indexes and copy their rows directly.
+    // When both sides of the first join are columnar and the ON clause has
+    // an equality conjunct, the columnar hash join consumes the base scan
+    // and the first join together (first_join skips it below).
     const ScanSource& base = sources_[0];
+    std::size_t first_join = 0;
+    bool base_scanned = false;
     if (base.derived != nullptr) {
       rows = base.derived->rows;
+      base_scanned = true;
     } else {
       const BaseScanPlan plan = plan_base_scan(stmt_.where.get(), base);
-      switch (plan.kind) {
-        case BaseScanPlan::Kind::kEquality:
-        case BaseScanPlan::Kind::kRange: {
-          const std::vector<std::size_t> base_row_ids =
-              plan.kind == BaseScanPlan::Kind::kEquality
-                  ? plan.index->equal_range(plan.key)
-                  : plan.index->range_open(plan.lo ? &*plan.lo : nullptr,
-                                           plan.hi ? &*plan.hi : nullptr);
-          rows.reserve(base_row_ids.size());
-          for (const std::size_t id : base_row_ids) {
-            if (!base.table->is_live(id)) continue;
-            // A PARTITION (k) selector keeps the probe but drops foreign
-            // shards' ids (probes aggregate across shards).
-            if (plan.partition && row_id_partition(id) != *plan.partition) {
-              continue;
-            }
-            rows.push_back(base.table->row(id));
-          }
-          break;
+      if (plan.kind == BaseScanPlan::Kind::kFullScan && !stmt_.joins.empty()) {
+        if (auto joined = try_columnar_hash_join(base, plan)) {
+          rows = std::move(*joined);
+          base_scanned = true;
+          first_join = 1;
         }
-        case BaseScanPlan::Kind::kFullScan:
-          rows = run_heap_scan(*base.table, plan);
-          break;
+      }
+      if (!base_scanned) {
+        switch (plan.kind) {
+          case BaseScanPlan::Kind::kEquality:
+          case BaseScanPlan::Kind::kRange: {
+            const std::vector<std::size_t> base_row_ids =
+                plan.kind == BaseScanPlan::Kind::kEquality
+                    ? plan.index->equal_range(plan.key)
+                    : plan.index->range_open(plan.lo ? &*plan.lo : nullptr,
+                                             plan.hi ? &*plan.hi : nullptr);
+            rows.reserve(base_row_ids.size());
+            for (const std::size_t id : base_row_ids) {
+              if (!base.table->is_live(id)) continue;
+              // A PARTITION (k) selector keeps the probe but drops foreign
+              // shards' ids (probes aggregate across shards).
+              if (plan.partition && row_id_partition(id) != *plan.partition) {
+                continue;
+              }
+              rows.push_back(base.table->row(id));
+            }
+            break;
+          }
+          case BaseScanPlan::Kind::kFullScan:
+            rows = run_heap_scan(*base.table, plan);
+            break;
+        }
       }
     }
 
-    for (std::size_t j = 0; j < stmt_.joins.size(); ++j) {
+    for (std::size_t j = first_join; j < stmt_.joins.size(); ++j) {
       const sql::Join& join = stmt_.joins[j];
       const ScanSource& inner = sources_[j + 1];
       std::vector<Row> joined;
@@ -2105,17 +2845,23 @@ class SelectExec {
           }
         }
       } else if (key) {
-        // Hash join: build on the inner source, probe with outer rows.
-        std::unordered_multimap<Value, const Row*, ValueHash, ValueEqTotal> built;
+        // Hash join: build on the inner source, probe with outer rows. Each
+        // key's matches are kept in inner-scan order (a multimap's
+        // equal_range order is unspecified), so emission is outer-major
+        // with inner-scan order within — the order the columnar hash join
+        // reproduces.
+        std::unordered_map<Value, std::vector<const Row*>, ValueHash,
+                           ValueEqTotal>
+            built;
         each_inner_row([&](const Row& inner_row) {
-          built.emplace(inner_row[key->second], &inner_row);
+          built[inner_row[key->second]].push_back(&inner_row);
         });
         for (const Row& outer : rows) {
-          const auto [begin, end] = built.equal_range(outer[key->first]);
-          for (auto it = begin; it != end; ++it) {
+          const auto it = built.find(outer[key->first]);
+          if (it == built.end()) continue;
+          for (const Row* match : it->second) {
             Row combined = outer;
-            const Row& inner_row = *it->second;
-            combined.insert(combined.end(), inner_row.begin(), inner_row.end());
+            combined.insert(combined.end(), match->begin(), match->end());
             EvalCtx ctx{&combined, params_, nullptr, &subquery_values_, nullptr};
             if (!join.on || eval_predicate(*join.on, ctx)) {
               joined.push_back(std::move(combined));

@@ -1,5 +1,6 @@
 #include "db/sql/ast.hpp"
 
+#include "db/sql/plan.hpp"
 #include "support/str.hpp"
 
 namespace kojak::db::sql {
@@ -25,9 +26,13 @@ std::string_view to_string(BinOp op) {
 
 namespace {
 
-std::unique_ptr<SelectStmt> clone_select(const SelectStmt& s);
+// The clone walk records every (source node → copy) pair in `remap` so plan
+// annotations — which hold `const Expr*` into the source tree — can be
+// carried onto the copy (or back-propagated through the inverted map).
 
-ExprPtr clone_expr(const Expr& e) {
+std::unique_ptr<SelectStmt> clone_select(const SelectStmt& s, ExprRemap& remap);
+
+ExprPtr clone_expr(const Expr& e, ExprRemap& remap) {
   auto out = std::make_unique<Expr>();
   out->kind = e.kind;
   out->loc = e.loc;
@@ -38,27 +43,29 @@ ExprPtr clone_expr(const Expr& e) {
   out->param_index = e.param_index;
   out->un_op = e.un_op;
   out->bin_op = e.bin_op;
-  if (e.lhs) out->lhs = clone_expr(*e.lhs);
-  if (e.rhs) out->rhs = clone_expr(*e.rhs);
+  if (e.lhs) out->lhs = clone_expr(*e.lhs, remap);
+  if (e.rhs) out->rhs = clone_expr(*e.rhs, remap);
   out->func = e.func;
-  for (const auto& a : e.args) out->args.push_back(clone_expr(*a));
+  for (const auto& a : e.args) out->args.push_back(clone_expr(*a, remap));
   out->star_arg = e.star_arg;
   out->distinct_arg = e.distinct_arg;
   out->negated = e.negated;
-  if (e.subquery) out->subquery = clone_select(*e.subquery);
+  if (e.subquery) out->subquery = clone_select(*e.subquery, remap);
   out->alias_index = e.alias_index;
+  remap[&e] = out.get();
   return out;
 }
 
-std::unique_ptr<SelectStmt> clone_select(const SelectStmt& s) {
+std::unique_ptr<SelectStmt> clone_select(const SelectStmt& s,
+                                         ExprRemap& remap) {
   auto out = std::make_unique<SelectStmt>();
   for (const auto& cte : s.ctes) {
-    out->ctes.push_back({cte.name, clone_select(*cte.select), cte.loc});
+    out->ctes.push_back({cte.name, clone_select(*cte.select, remap), cte.loc});
   }
   out->distinct = s.distinct;
   for (const auto& item : s.items) {
     SelectItem copy;
-    if (item.expr) copy.expr = clone_expr(*item.expr);
+    if (item.expr) copy.expr = clone_expr(*item.expr, remap);
     copy.alias = item.alias;
     copy.star = item.star;
     copy.star_table = item.star_table;
@@ -68,23 +75,36 @@ std::unique_ptr<SelectStmt> clone_select(const SelectStmt& s) {
   for (const auto& join : s.joins) {
     Join copy;
     copy.table = join.table;
-    if (join.on) copy.on = clone_expr(*join.on);
+    if (join.on) copy.on = clone_expr(*join.on, remap);
     out->joins.push_back(std::move(copy));
   }
-  if (s.where) out->where = clone_expr(*s.where);
-  for (const auto& g : s.group_by) out->group_by.push_back(clone_expr(*g));
-  if (s.having) out->having = clone_expr(*s.having);
+  if (s.where) out->where = clone_expr(*s.where, remap);
+  for (const auto& g : s.group_by)
+    out->group_by.push_back(clone_expr(*g, remap));
+  if (s.having) out->having = clone_expr(*s.having, remap);
   for (const auto& k : s.order_by) {
-    out->order_by.push_back({clone_expr(*k.expr), k.descending});
+    out->order_by.push_back({clone_expr(*k.expr, remap), k.descending});
   }
   out->limit = s.limit;
   out->offset = s.offset;
+  // Carry the hot-plan annotations: re-target their expression pointers onto
+  // the freshly cloned tree. remap_onto degrades to nullptr (re-analyze) if
+  // a pointer is not covered; a negative verdict is pointer-free and always
+  // carries.
+  if (s.fused_plan) out->fused_plan = remap_onto(*s.fused_plan, remap);
+  if (s.fused_group_plan) {
+    out->fused_group_plan = remap_onto(*s.fused_group_plan, remap);
+  }
+  out->fused_rejected = s.fused_rejected;
   return out;
 }
 
 }  // namespace
 
-ExprPtr Expr::clone() const { return clone_expr(*this); }
+ExprPtr Expr::clone() const {
+  ExprRemap remap;
+  return clone_expr(*this, remap);
+}
 
 namespace {
 
@@ -121,7 +141,17 @@ void for_each_table_ref(const SelectStmt& stmt,
   walk_refs(stmt, fn);
 }
 
-std::unique_ptr<SelectStmt> SelectStmt::clone() const { return clone_select(*this); }
+std::unique_ptr<SelectStmt> SelectStmt::clone() const {
+  ExprRemap remap;
+  return clone_select(*this, remap);
+}
+
+std::unique_ptr<SelectStmt> SelectStmt::clone(
+    std::unordered_map<const Expr*, const Expr*>* remap) const {
+  ExprRemap local;
+  auto out = clone_select(*this, remap == nullptr ? local : *remap);
+  return out;
+}
 
 std::string Expr::to_string() const {
   using support::cat;

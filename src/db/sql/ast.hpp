@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -130,9 +131,12 @@ struct CommonTableExpr {
   support::SourceLoc loc;
 };
 
-/// Opaque executor-side hot-plan annotation (defined in db/executor.cpp):
-/// the structural analysis behind the fused single-pass columnar evaluator.
+/// Executor-side hot-plan annotations (defined in db/sql/plan.hpp): the
+/// structural analyses behind the fused single-pass columnar evaluator and
+/// its grouped (GROUP BY) sibling. Opaque here so the AST header stays free
+/// of plan details; ast.cpp and the executor include plan.hpp.
 struct FusedScanPlan;
+struct FusedGroupPlan;
 
 struct SelectStmt {
   std::vector<CommonTableExpr> ctes;  // statement-level WITH, in order
@@ -147,22 +151,32 @@ struct SelectStmt {
   std::optional<std::size_t> limit;
   std::optional<std::size_t> offset;
 
-  /// Hot-plan annotation, filled lazily by the executor the first time this
+  /// Hot-plan annotations, filled lazily by the executor the first time this
   /// statement proves eligible for the fused single-pass columnar evaluator
-  /// (structural analysis only — per-execution decisions such as partition
-  /// pruning are recomputed every run). `fused_rejected` caches a negative
-  /// verdict so ineligible statements are analyzed once. Mutable because
-  /// execution works on const statements; safe under the executor's
-  /// concurrency contract (concurrent execution only of DISTINCT prepared
-  /// statements). clone() deliberately does not copy either field — the
-  /// plan holds pointers into this statement's expression tree.
+  /// (`fused_plan`, global aggregate) or its grouped sibling
+  /// (`fused_group_plan`, GROUP BY on column refs). Structural analysis only
+  /// — per-execution decisions such as partition pruning are recomputed
+  /// every run. `fused_rejected` caches a negative verdict so ineligible
+  /// statements are analyzed once. Mutable because execution works on const
+  /// statements; safe under the executor's concurrency contract (concurrent
+  /// execution only of DISTINCT prepared statements). The plans hold
+  /// pointers into this statement's expression tree; clone() carries them by
+  /// remapping every pointer onto the cloned tree, so PlanCache-cloned
+  /// statements start hot instead of re-analyzing.
   mutable std::shared_ptr<const FusedScanPlan> fused_plan;
+  mutable std::shared_ptr<const FusedGroupPlan> fused_group_plan;
   mutable bool fused_rejected = false;
 
   /// Structural deep copy (subquery materialization executes a copy so the
-  /// original statement stays reusable). Does not copy the fused-plan
-  /// annotation; the copy re-derives its own on first execution.
+  /// original statement stays reusable). Carries the fused-plan annotations
+  /// across the copy (expression pointers remapped onto the cloned tree).
+  /// The overload additionally reports the old-node → new-node map of every
+  /// cloned Expr, letting callers translate plan annotations in the other
+  /// direction — the executor back-propagates a plan built while running a
+  /// subquery clone onto the original statement through the inverted map.
   [[nodiscard]] std::unique_ptr<SelectStmt> clone() const;
+  [[nodiscard]] std::unique_ptr<SelectStmt> clone(
+      std::unordered_map<const Expr*, const Expr*>* remap) const;
 };
 
 /// Visits every TableRef of one SELECT — FROM, every JOIN, and every

@@ -1,0 +1,51 @@
+#include "db/sql/plan.hpp"
+
+namespace kojak::db::sql {
+
+namespace {
+
+/// nullptr-preserving pointer translation; sets `ok` false on a miss so the
+/// caller can abandon the whole carry instead of shipping a dangling plan.
+const Expr* translate(const Expr* expr, const ExprRemap& map, bool& ok) {
+  if (expr == nullptr) return nullptr;
+  const auto it = map.find(expr);
+  if (it == map.end()) {
+    ok = false;
+    return nullptr;
+  }
+  return it->second;
+}
+
+bool remap_conjuncts(std::vector<FusedScanPlan::Conjunct>& conjuncts,
+                     const ExprRemap& map) {
+  bool ok = true;
+  for (auto& c : conjuncts) c.constant = translate(c.constant, map, ok);
+  return ok;
+}
+
+bool remap_aggregates(std::vector<FusedScanPlan::Aggregate>& aggregates,
+                      const ExprRemap& map) {
+  bool ok = true;
+  for (auto& a : aggregates) a.expr = translate(a.expr, map, ok);
+  return ok;
+}
+
+}  // namespace
+
+std::shared_ptr<const FusedScanPlan> remap_onto(const FusedScanPlan& plan,
+                                                const ExprRemap& map) {
+  auto out = std::make_shared<FusedScanPlan>(plan);
+  if (!remap_conjuncts(out->conjuncts, map)) return nullptr;
+  if (!remap_aggregates(out->aggregates, map)) return nullptr;
+  return out;
+}
+
+std::shared_ptr<const FusedGroupPlan> remap_onto(const FusedGroupPlan& plan,
+                                                 const ExprRemap& map) {
+  auto out = std::make_shared<FusedGroupPlan>(plan);
+  if (!remap_conjuncts(out->conjuncts, map)) return nullptr;
+  if (!remap_aggregates(out->aggregates, map)) return nullptr;
+  return out;
+}
+
+}  // namespace kojak::db::sql

@@ -1,0 +1,81 @@
+#ifndef KOJAK_DB_SQL_PLAN_HPP
+#define KOJAK_DB_SQL_PLAN_HPP
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/sql/ast.hpp"
+#include "db/value.hpp"
+
+namespace kojak::db::sql {
+
+/// Hot-plan annotation behind `SelectStmt::fused_plan`: the structural
+/// analysis of the dominant whole-condition shape — a single-table global
+/// aggregate with an AND-of-simple-conjuncts filter (the per-partition
+/// `part<K>` CTE body the partition-union rewrite emits). Built once per
+/// statement by the executor, reused by every later execution of the same
+/// statement (prepared statements, plan-cache hits, monitor re-evaluation);
+/// everything value-dependent — partition pruning, parameter and subquery
+/// constants, (column, constant) type compatibility — is re-derived per
+/// execution. Expression pointers reference the owning statement's AST, so
+/// the annotation must never outlive or migrate off its statement —
+/// `SelectStmt::clone()` carries it by remapping every pointer onto the
+/// cloned expression tree (see remap_onto below).
+struct FusedScanPlan {
+  std::string table;                    // base table the statement scans
+  std::vector<ValueType> column_types;  // schema snapshot, validated on reuse
+
+  /// One WHERE conjunct: `column op constant` (constant = literal, param,
+  /// or scalar subquery) or `column IS [NOT] NULL`.
+  struct Conjunct {
+    std::size_t column = 0;
+    BinOp op = BinOp::kEq;           // comparison ops only
+    const Expr* constant = nullptr;  // null for IS [NOT] NULL tests
+    bool is_null_test = false;
+    bool negated = false;  // IS NOT NULL
+  };
+  std::vector<Conjunct> conjuncts;
+
+  /// One aggregate call over a plain base column; column == SIZE_MAX for
+  /// COUNT(*). Collected in run_aggregation's order (items, HAVING,
+  /// ORDER BY) so finalized values map back onto the same Expr nodes.
+  struct Aggregate {
+    const Expr* expr = nullptr;
+    std::size_t column = static_cast<std::size_t>(-1);
+  };
+  std::vector<Aggregate> aggregates;
+};
+
+/// Hot-plan annotation behind `SelectStmt::fused_group_plan`: the grouped
+/// sibling of FusedScanPlan for `GROUP BY <column refs>` over one columnar
+/// table. Same lifecycle and reuse contract; group keys are base-relative
+/// column indices in GROUP BY order.
+struct FusedGroupPlan {
+  std::string table;
+  std::vector<ValueType> column_types;  // schema snapshot, validated on reuse
+  std::vector<FusedScanPlan::Conjunct> conjuncts;
+  std::vector<std::size_t> group_columns;  // base-relative, GROUP BY order
+  std::vector<FusedScanPlan::Aggregate> aggregates;
+};
+
+/// Old-expression-node → new-expression-node map produced by a plan-carrying
+/// clone: `SelectStmt::clone(&map)` records every Expr it copies, so plan
+/// annotations (whose `const Expr*` members reference the source tree) can be
+/// re-targeted onto the copy — or, inverted, back-propagated from an executed
+/// copy onto the original statement.
+using ExprRemap = std::unordered_map<const Expr*, const Expr*>;
+
+/// Re-targets a plan's expression pointers through `map`. Returns nullptr if
+/// any pointer is missing from the map — a carried plan must never dangle, so
+/// an incomplete map silently degrades to "re-analyze on first execution".
+[[nodiscard]] std::shared_ptr<const FusedScanPlan> remap_onto(
+    const FusedScanPlan& plan, const ExprRemap& map);
+[[nodiscard]] std::shared_ptr<const FusedGroupPlan> remap_onto(
+    const FusedGroupPlan& plan, const ExprRemap& map);
+
+}  // namespace kojak::db::sql
+
+#endif  // KOJAK_DB_SQL_PLAN_HPP

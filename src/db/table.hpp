@@ -233,6 +233,25 @@ class Table {
   [[nodiscard]] const std::uint8_t* live_bits(std::size_t partition) const {
     return parts_.at(partition).live.data();
   }
+  /// One partition's key column bundled with its liveness bitmap — the unit
+  /// the hash-join build/probe and GROUP BY key extraction consume. A lane
+  /// is usable iff it is live (not tombstoned) AND valid (non-NULL): NULL
+  /// keys never match under SQL equality and tombstones are deleted rows.
+  struct KeySlice {
+    ColumnSlice column;
+    const std::uint8_t* live = nullptr;
+    std::size_t partition = 0;
+    [[nodiscard]] bool usable(std::size_t lane) const noexcept {
+      return live[lane] != 0 && column.valid[lane] != 0;
+    }
+  };
+  /// key_slice(p, c) = {column_slice(p, c), live_bits(p), p}; key_slices
+  /// collects one per partition — or exactly one when `pinned` restricts the
+  /// scan (a `PARTITION (k)` selector or an equality route). Columnar only.
+  [[nodiscard]] KeySlice key_slice(std::size_t partition,
+                                   std::size_t column) const;
+  [[nodiscard]] std::vector<KeySlice> key_slices(
+      std::size_t column, std::optional<std::size_t> pinned) const;
   /// Heap size (live + tombstoned lanes) of one partition.
   [[nodiscard]] std::size_t partition_heap_size(std::size_t partition) const {
     return parts_.at(partition).rows.size();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "db/database.hpp"
+#include "db/sql/parser.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/str.hpp"
@@ -813,6 +814,78 @@ TEST(Columnar, FusedPlanReuseCountsOnlyCacheHits) {
   EXPECT_EQ(db.execute(stmt, std::vector<Value>{Value::integer(90)}).scalar().as_int(), 20);
   const auto a2 = db.exec_stats();
   EXPECT_EQ(a2.fused_plan_evals - a1.fused_plan_evals, 2u);
+}
+
+TEST(Columnar, GroupedVectorizedCountersPinned) {
+  Database db = make_columnar_db(4, 50);
+
+  // v = 3k, so v >= 30 keeps k = 10..49: 40 groups of one row each, emitted
+  // in ascending key order like the row path's std::map.
+  const auto before = db.exec_stats();
+  const QueryResult result = db.execute(
+      "SELECT k, COUNT(*), SUM(v) FROM ct WHERE v >= 30 GROUP BY k");
+  const auto after = db.exec_stats();
+  EXPECT_EQ(result.row_count(), 40u);
+  EXPECT_EQ(result.at(0, 0).as_int(), 10);
+  EXPECT_EQ(result.at(39, 0).as_int(), 49);
+  EXPECT_EQ(result.at(0, 1).as_int(), 1);
+  EXPECT_EQ(result.at(0, 2).as_double(), 30.0);
+  EXPECT_EQ(after.grouped_vector_evals - before.grouped_vector_evals, 1u);
+  EXPECT_EQ(after.groups_built - before.groups_built, 40u);
+  EXPECT_EQ(after.columnar_scans - before.columnar_scans, 4u);
+  EXPECT_EQ(after.rows_skipped_by_bitmap - before.rows_skipped_by_bitmap, 10u);
+
+  // Row storage: same rows, no kernel counters.
+  Database row_db = make_partitioned_db(4, 50);
+  const auto rb = row_db.exec_stats();
+  const QueryResult row_result = row_db.execute(
+      "SELECT k, COUNT(*), SUM(v) FROM pt WHERE v >= 30 GROUP BY k");
+  const auto ra = row_db.exec_stats();
+  ASSERT_EQ(row_result.row_count(), 40u);
+  for (std::size_t r = 0; r < 40; ++r) {
+    EXPECT_EQ(result.at(r, 0).as_int(), row_result.at(r, 0).as_int());
+    EXPECT_EQ(result.at(r, 2).as_double(), row_result.at(r, 2).as_double());
+  }
+  EXPECT_EQ(ra.grouped_vector_evals - rb.grouped_vector_evals, 0u);
+  EXPECT_EQ(ra.groups_built - rb.groups_built, 0u);
+}
+
+TEST(Columnar, FusedPlanSurvivesClone) {
+  Database db = make_columnar_db(4, 50);
+
+  // First execution analyzes the statement and caches the plan on its AST.
+  kdb::sql::Statement parsed =
+      kdb::sql::parse_single("SELECT COUNT(*) FROM ct WHERE v >= 30");
+  auto& sel = std::get<kdb::sql::SelectStmt>(parsed);
+  EXPECT_EQ(db.execute(parsed).scalar().as_int(), 40);
+  ASSERT_NE(sel.fused_plan, nullptr);
+
+  // clone() carries the plan by remapping its expression pointers onto the
+  // copied tree, so the clone's first execution is already a cache hit.
+  std::unique_ptr<kdb::sql::SelectStmt> copy = sel.clone();
+  ASSERT_NE(copy->fused_plan, nullptr);
+  kdb::sql::Statement cloned{std::move(*copy)};
+  const auto before = db.exec_stats();
+  EXPECT_EQ(db.execute(cloned).scalar().as_int(), 40);
+  const auto after = db.exec_stats();
+  EXPECT_EQ(after.fused_plan_evals - before.fused_plan_evals, 1u);
+}
+
+TEST(Columnar, ScalarSubqueryPlanBackPropagates) {
+  Database db = make_columnar_db(4, 50);
+
+  // Scalar subqueries execute on a clone of their AST; the verdict the
+  // clone's execution produced must flow back to the prepared statement so
+  // the second execution's clone starts pre-analyzed.
+  kdb::PreparedStatement stmt =
+      db.prepare("SELECT (SELECT COUNT(*) FROM ct WHERE v >= 30)");
+  const auto b1 = db.exec_stats();
+  EXPECT_EQ(db.execute(stmt).scalar().as_int(), 40);
+  const auto a1 = db.exec_stats();
+  EXPECT_EQ(a1.fused_plan_evals - b1.fused_plan_evals, 0u);
+  EXPECT_EQ(db.execute(stmt).scalar().as_int(), 40);
+  const auto a2 = db.exec_stats();
+  EXPECT_EQ(a2.fused_plan_evals - a1.fused_plan_evals, 1u);
 }
 
 TEST(Partitioned, PartitionSelectorPinsTheScan) {
