@@ -2528,7 +2528,16 @@ std::string SqlEvaluator::explain_whole_condition(
                                   cse_ ? &conn_->database() : nullptr,
                                   /*count_rewrites=*/false);
   std::vector<db::Value> values;
-  return compiler.compile(values).sql;
+  std::string sql = compiler.compile(values).sql;
+  // Fused-eligibility notes per statement (and per WITH entry): which parts
+  // of the compiled SQL the columnar fused evaluator — including the
+  // expression VM's compiled WHERE/aggregate programs — would take, and why
+  // the rest stays on the row path. Analysis only; parameter markers are
+  // assumed NULL.
+  for (const auto& note : conn_->database().explain_fused(sql)) {
+    sql += support::cat("\n-- fused: ", note.statement, ": ", note.verdict);
+  }
+  return sql;
 }
 
 PropertyResult SqlEvaluator::evaluate_sitewise(const asl::PropertyInfo& prop,

@@ -101,6 +101,19 @@ class Database {
                                   std::span<const Value> params,
                                   std::span<const InjectedCte> injected);
 
+  /// Fused-eligibility diagnostics: parses `sql_text` and reports, per
+  /// SELECT statement and per WITH entry, whether the columnar fused
+  /// evaluator (and the expression VM) would take it or why it stays on the
+  /// row path. Analysis only — nothing executes, no plan annotation is
+  /// cached, parameters are assumed NULL. Non-SELECT statements report
+  /// "not a SELECT".
+  struct FusedExplain {
+    std::string statement;  // CTE name, or "main"
+    std::string verdict;
+  };
+  [[nodiscard]] std::vector<FusedExplain> explain_fused(
+      std::string_view sql_text);
+
   /// Total live rows across all tables (bench bookkeeping).
   [[nodiscard]] std::size_t total_rows() const;
 
@@ -236,6 +249,16 @@ class Database {
     /// probe-side lanes fed through them.
     std::uint64_t hash_join_builds = 0;
     std::uint64_t join_lanes_probed = 0;
+    /// Expression-VM accounting: bytecode programs compiled during fused
+    /// plan analysis (WHERE filters, aggregate arguments, group keys, join
+    /// keys — cached plans recompile nothing and recount nothing),
+    /// program-executions (one per program per statement execution that
+    /// took the compiled path), lane batches the VM interpreted, and total
+    /// lanes across those batches.
+    std::uint64_t expr_programs_compiled = 0;
+    std::uint64_t expr_program_evals = 0;
+    std::uint64_t expr_vm_batches = 0;
+    std::uint64_t expr_vm_lanes = 0;
   };
   [[nodiscard]] ExecStatsSnapshot exec_stats() const noexcept {
     return {exec_stats_.subquery_executions.load(std::memory_order_relaxed),
@@ -265,7 +288,11 @@ class Database {
             exec_stats_.grouped_vector_evals.load(std::memory_order_relaxed),
             exec_stats_.groups_built.load(std::memory_order_relaxed),
             exec_stats_.hash_join_builds.load(std::memory_order_relaxed),
-            exec_stats_.join_lanes_probed.load(std::memory_order_relaxed)};
+            exec_stats_.join_lanes_probed.load(std::memory_order_relaxed),
+            exec_stats_.expr_programs_compiled.load(std::memory_order_relaxed),
+            exec_stats_.expr_program_evals.load(std::memory_order_relaxed),
+            exec_stats_.expr_vm_batches.load(std::memory_order_relaxed),
+            exec_stats_.expr_vm_lanes.load(std::memory_order_relaxed)};
   }
 
   // Internal: bumped by the executor (relaxed; telemetry only).
@@ -347,6 +374,18 @@ class Database {
   void count_join_lanes_probed(std::uint64_t n) noexcept {
     exec_stats_.join_lanes_probed.fetch_add(n, std::memory_order_relaxed);
   }
+  void count_expr_programs_compiled(std::uint64_t n) noexcept {
+    exec_stats_.expr_programs_compiled.fetch_add(n, std::memory_order_relaxed);
+  }
+  void count_expr_program_evals(std::uint64_t n) noexcept {
+    exec_stats_.expr_program_evals.fetch_add(n, std::memory_order_relaxed);
+  }
+  void count_expr_vm_batch() noexcept {
+    exec_stats_.expr_vm_batches.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_expr_vm_lanes(std::uint64_t n) noexcept {
+    exec_stats_.expr_vm_lanes.fetch_add(n, std::memory_order_relaxed);
+  }
 
  private:
   struct ExecStats {
@@ -375,6 +414,10 @@ class Database {
     std::atomic<std::uint64_t> groups_built{0};
     std::atomic<std::uint64_t> hash_join_builds{0};
     std::atomic<std::uint64_t> join_lanes_probed{0};
+    std::atomic<std::uint64_t> expr_programs_compiled{0};
+    std::atomic<std::uint64_t> expr_program_evals{0};
+    std::atomic<std::uint64_t> expr_vm_batches{0};
+    std::atomic<std::uint64_t> expr_vm_lanes{0};
 
     // Snapshot copy/move so Database itself stays movable (nobody may be
     // executing against a Database while it is moved anyway).
@@ -411,6 +454,10 @@ class Database {
       copy(groups_built, other.groups_built);
       copy(hash_join_builds, other.hash_join_builds);
       copy(join_lanes_probed, other.join_lanes_probed);
+      copy(expr_programs_compiled, other.expr_programs_compiled);
+      copy(expr_program_evals, other.expr_program_evals);
+      copy(expr_vm_batches, other.expr_vm_batches);
+      copy(expr_vm_lanes, other.expr_vm_lanes);
       return *this;
     }
   };

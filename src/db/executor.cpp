@@ -315,29 +315,14 @@ struct EvalCtx {
   const std::unordered_map<const Expr*, Value>* aggregates = nullptr;
   const std::unordered_map<const Expr*, Value>* subqueries = nullptr;
   const Row* output_row = nullptr;  // for kAliasRef in ORDER BY
+  /// Values pinned onto specific expression nodes, consulted before ordinary
+  /// evaluation: the grouped vectorized evaluator pins each compiled GROUP BY
+  /// key expression to its per-group value (the synthesized representative
+  /// row only carries plain-column keys).
+  const std::unordered_map<const Expr*, Value>* pinned = nullptr;
 };
 
-bool like_match(std::string_view text, std::string_view pattern) {
-  // Iterative matcher for SQL LIKE with '%' (any run) and '_' (single char).
-  std::size_t t = 0, p = 0;
-  std::size_t star_p = std::string_view::npos, star_t = 0;
-  while (t < text.size()) {
-    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
-      ++t;
-      ++p;
-    } else if (p < pattern.size() && pattern[p] == '%') {
-      star_p = p++;
-      star_t = t;
-    } else if (star_p != std::string_view::npos) {
-      p = star_p + 1;
-      t = ++star_t;
-    } else {
-      return false;
-    }
-  }
-  while (p < pattern.size() && pattern[p] == '%') ++p;
-  return p == pattern.size();
-}
+using sql::like_match;  // one matcher shared with the batch VM (expr_vm.cpp)
 
 Value eval_expr(const Expr& e, const EvalCtx& ctx);
 
@@ -408,6 +393,10 @@ Value eval_scalar_function(const Expr& e, const EvalCtx& ctx) {
 }
 
 Value eval_expr(const Expr& e, const EvalCtx& ctx) {
+  if (ctx.pinned != nullptr) {
+    const auto it = ctx.pinned->find(&e);
+    if (it != ctx.pinned->end()) return it->second;
+  }
   switch (e.kind) {
     case Expr::Kind::kLiteral:
       return e.literal;
@@ -892,33 +881,6 @@ bool has_bare_column_ref(const Expr& e) {
   return false;
 }
 
-/// Grouped sibling of has_bare_column_ref: true when every bare
-/// (non-aggregate-argument) column reference resolves to one of the GROUP BY
-/// columns — the only slots the grouped evaluator's synthesized
-/// representative row fills. Subqueries stay opaque scalars, as above.
-bool bare_refs_covered(const Expr& e, std::size_t base_slot,
-                       const std::vector<std::size_t>& group_columns) {
-  if (e.kind == Expr::Kind::kColumnRef) {
-    if (e.resolved_slot < base_slot) return false;
-    const std::size_t column = e.resolved_slot - base_slot;
-    return std::find(group_columns.begin(), group_columns.end(), column) !=
-           group_columns.end();
-  }
-  if (e.kind == Expr::Kind::kFuncCall && Binder::is_aggregate_name(e.func)) {
-    return true;  // argument columns feed the kernels, not the output row
-  }
-  if (e.lhs && !bare_refs_covered(*e.lhs, base_slot, group_columns)) {
-    return false;
-  }
-  if (e.rhs && !bare_refs_covered(*e.rhs, base_slot, group_columns)) {
-    return false;
-  }
-  for (const auto& arg : e.args) {
-    if (!bare_refs_covered(*arg, base_slot, group_columns)) return false;
-  }
-  return true;
-}
-
 // ---------------------------------------------------------------------------
 // Grouped vectorized kernels
 //
@@ -1384,6 +1346,43 @@ class SelectExec {
     return result;
   }
 
+  /// Analysis-only companion to run() for Database::explain_fused: binds
+  /// the statement exactly like run() but materializes nothing (CTE bodies
+  /// are explained separately by the caller; a FROM naming one fails to
+  /// bind here, which the caller reports as row path), then reports which
+  /// evaluator the fused analysis picks. Any program compiled here is
+  /// discarded with the caller's throwaway parse tree and never counted
+  /// (count_compiles_ off) — explain must not move the pinned counters.
+  [[nodiscard]] std::string explain_verdict() {
+    ExecEnv local_env;
+    if (env_ == nullptr) env_ = &local_env;
+    count_compiles_ = false;
+    // CTE names bind against an empty derived result — enough for the
+    // verdict, since derived sources always stay on the row path.
+    static const QueryResult kEmptyDerived;
+    for (const auto& cte : stmt_.ctes) {
+      scope_.entries.emplace_back(cte.name, &kEmptyDerived);
+    }
+    Binder binder(db_, params_);
+    sources_ = binder.bind_sources(stmt_, &scope_);
+    expand_stars();
+    bind_all(binder);
+    if (!needs_aggregation()) return "row path (no aggregation)";
+    if (sources_.size() != 1 || sources_[0].table == nullptr ||
+        !sources_[0].table->columnar()) {
+      return "row path (not a single columnar base table)";
+    }
+    const ScanSource& base = sources_[0];
+    if (!stmt_.group_by.empty()) {
+      return analyze_grouped(base) != nullptr
+                 ? "fused grouped (vectorized)"
+                 : "row path (grouped shape unsupported)";
+    }
+    return analyze_fused(base) != nullptr
+               ? "fused global aggregate (vectorized)"
+               : "row path (shape unsupported)";
+  }
+
  private:
   /// Declaration indices of earlier CTEs the `index`-th body references
   /// (FROM, JOINs, and subqueries, recursively). The parser already rejects
@@ -1814,12 +1813,67 @@ class SelectExec {
     return types;
   }
 
+  /// Compiles `e` into a batch program over the given source's base table.
+  /// Params and already-materialized scalar subqueries resolve to their
+  /// current values at compile time (re-validated per execution by
+  /// bind_constants); anything unresolvable compiles as a NULL-typed slot.
+  /// nullptr = the shape falls outside the VM (row-path fallback).
+  [[nodiscard]] std::shared_ptr<const sql::ExprProgram> compile_program(
+      const Expr& e, const ScanSource& source,
+      const std::vector<ValueType>& column_types) const {
+    const auto constant_value = [this](const Expr& c) -> std::optional<Value> {
+      EvalCtx ctx{nullptr, params_, nullptr, &subquery_values_, nullptr};
+      try {
+        return eval_expr(c, ctx);
+      } catch (const EvalError&) {
+        return std::nullopt;  // dry-run analysis (explain): type unknown
+      }
+    };
+    auto program = sql::ExprProgram::compile(
+        e, source.base_slot, std::span(column_types), constant_value);
+    if (program != nullptr && count_compiles_) {
+      db_.count_expr_programs_compiled(1);
+    }
+    return program;
+  }
+
+  /// Binds one program's runtime-constant slots for this execution; no-op
+  /// (true) for null programs. False = a param or subquery re-evaluated to a
+  /// different type than at compile time, so this execution declines to the
+  /// row path.
+  [[nodiscard]] bool bind_program(const sql::ExprProgram* program,
+                                  sql::ExprProgram::Bound& out,
+                                  std::size_t& evals) {
+    if (program == nullptr) return true;
+    EvalCtx ctx{nullptr, params_, nullptr, &subquery_values_, nullptr};
+    auto bound = program->bind_constants(
+        [&](const Expr& e) { return eval_expr(e, ctx); });
+    if (!bound) return false;
+    out = std::move(*bound);
+    ++evals;
+    return true;
+  }
+
+  /// Runs one compiled program over a batch, bumping the VM counters.
+  sql::ExprProgram::Result run_program(const sql::ExprProgram& program,
+                                       sql::ExprProgram::Scratch& scratch,
+                                       const sql::ExprProgram::Bound& bound,
+                                       std::span<const Table::ColumnSlice> cols,
+                                       const std::uint8_t* demand,
+                                       std::size_t begin, std::size_t end) {
+    db_.count_expr_vm_batch();
+    db_.count_expr_vm_lanes(end - begin);
+    return program.run(scratch, bound, cols, demand, begin, end);
+  }
+
   /// Collects run_aggregation's aggregate list (items, HAVING, ORDER BY
   /// order, so finalized values land on the same Expr nodes eval_expr will
-  /// look up) as kernel descriptors. False when any call falls outside the
-  /// vectorized kernels: DISTINCT, a non-column argument, or a numeric-only
-  /// aggregate (SUM/AVG/STDDEV/VARIANCE) over a non-numeric column — the
-  /// row path raises as_double's diagnostic for that one.
+  /// look up) as kernel descriptors. Plain base-column arguments (and
+  /// COUNT(*)) feed the kernels directly; any other argument is compiled to
+  /// a batch program whose output lanes feed the same kernels. False when a
+  /// call falls outside both: DISTINCT, an uncompilable argument, or a
+  /// numeric-only aggregate (SUM/AVG/STDDEV/VARIANCE) over a non-numeric
+  /// input — the row path raises as_double's diagnostic for that one.
   [[nodiscard]] bool collect_kernel_aggregates(
       const ScanSource& base, const std::vector<ValueType>& column_types,
       std::vector<sql::FusedScanPlan::Aggregate>& out) const {
@@ -1838,19 +1892,28 @@ class SelectExec {
       if (!agg->star_arg) {
         if (agg->args.empty()) return false;
         const Expr& arg = *agg->args[0];
-        if (arg.kind != Expr::Kind::kColumnRef) return false;
-        if (arg.resolved_slot < base.base_slot ||
-            arg.resolved_slot >= base.base_slot + column_types.size()) {
-          return false;
-        }
-        entry.column = arg.resolved_slot - base.base_slot;
-        const ValueType type = column_types[entry.column];
         const bool numeric_only = agg->func == "SUM" || agg->func == "AVG" ||
                                   agg->func == "STDDEV" ||
                                   agg->func == "VARIANCE";
-        if (numeric_only && type != ValueType::kInt &&
-            type != ValueType::kDouble) {
-          return false;
+        if (arg.kind == Expr::Kind::kColumnRef &&
+            arg.resolved_slot >= base.base_slot &&
+            arg.resolved_slot < base.base_slot + column_types.size()) {
+          entry.column = arg.resolved_slot - base.base_slot;
+          const ValueType type = column_types[entry.column];
+          if (numeric_only && type != ValueType::kInt &&
+              type != ValueType::kDouble) {
+            return false;
+          }
+        } else {
+          entry.program = compile_program(arg, base, column_types);
+          if (entry.program == nullptr) return false;
+          const ValueType type = entry.program->result_type();
+          // An all-NULL program result is fine for any kernel: no lane is
+          // ever valid, so the aggregate sees the empty input.
+          if (numeric_only && type != ValueType::kInt &&
+              type != ValueType::kDouble && type != ValueType::kNull) {
+            return false;
+          }
         }
       }
       out.push_back(entry);
@@ -1861,11 +1924,13 @@ class SelectExec {
   /// Structural analysis for the fused single-pass columnar evaluator.
   /// Eligible shape: single columnar base table, no joins, no GROUP BY
   /// (grouped statements go through analyze_grouped), every aggregate a
-  /// supported non-DISTINCT call over a plain base column (or COUNT(*)),
-  /// no bare column reference outside aggregate arguments (global
-  /// aggregation has no representative row on this path), and a WHERE
-  /// clause that is an AND of `column op constant` / `column IS [NOT] NULL`
-  /// conjuncts. Returns null when the statement doesn't fit.
+  /// supported non-DISTINCT call over a plain base column, COUNT(*), or a
+  /// VM-compilable argument expression, no bare column reference outside
+  /// aggregate arguments (global aggregation has no representative row on
+  /// this path), and a WHERE clause that is either an AND of
+  /// `column op constant` / `column IS [NOT] NULL` conjuncts or any
+  /// boolean expression the VM compiles. Returns null when the statement
+  /// doesn't fit.
   [[nodiscard]] std::shared_ptr<const sql::FusedScanPlan> analyze_fused(
       const ScanSource& base) const {
     using Plan = sql::FusedScanPlan;
@@ -1893,20 +1958,79 @@ class SelectExec {
       }
     }
 
-    if (stmt_.where &&
-        !collect_fused_conjuncts(*stmt_.where, base, plan->conjuncts)) {
+    if (!analyze_where(base, plan->column_types, plan->conjuncts,
+                       plan->where_program)) {
       return nullptr;
     }
     return plan;
   }
 
+  /// WHERE analysis shared by both fused plans: the AND-of-simple-conjuncts
+  /// decomposition keeps the dedicated comparison kernels; everything else
+  /// compiles to one whole-WHERE program whose boolean lanes AND into the
+  /// selection bitmap. False when neither fits.
+  [[nodiscard]] bool analyze_where(
+      const ScanSource& base, const std::vector<ValueType>& column_types,
+      std::vector<sql::FusedScanPlan::Conjunct>& conjuncts,
+      std::shared_ptr<const sql::ExprProgram>& where_program) const {
+    if (!stmt_.where) return true;
+    if (collect_fused_conjuncts(*stmt_.where, base, conjuncts)) return true;
+    conjuncts.clear();  // a partial decomposition may have accumulated
+    where_program = compile_program(*stmt_.where, base, column_types);
+    if (where_program == nullptr) return false;
+    const ValueType type = where_program->result_type();
+    return type == ValueType::kBool || type == ValueType::kNull;
+  }
+
+  /// True when every bare (non-aggregate-argument) node of `e` has a
+  /// per-group value on the grouped vectorized path: aggregate calls take
+  /// their finalized values, nodes structurally equal to a compiled GROUP BY
+  /// key expression take that key's value (recorded in plan.key_refs for
+  /// EvalCtx pinning), and plain column refs must be plain-column GROUP BY
+  /// keys (the synthesized representative row carries those). `key_strs`
+  /// holds each program key's structural rendering ("" for column keys).
+  [[nodiscard]] bool grouped_refs_covered(
+      const Expr& e, const ScanSource& base, sql::FusedGroupPlan& plan,
+      const std::vector<std::string>& key_strs) const {
+    if (e.kind == Expr::Kind::kFuncCall && Binder::is_aggregate_name(e.func)) {
+      return true;  // argument columns feed the kernels, not the output row
+    }
+    std::string rendered;
+    for (std::size_t k = 0; k < key_strs.size(); ++k) {
+      if (key_strs[k].empty()) continue;
+      if (rendered.empty()) subquery_key(e, rendered);
+      if (rendered == key_strs[k]) {
+        plan.key_refs.emplace_back(&e, k);
+        return true;
+      }
+    }
+    if (e.kind == Expr::Kind::kColumnRef) {
+      if (e.resolved_slot < base.base_slot) return false;
+      const std::size_t column = e.resolved_slot - base.base_slot;
+      for (const auto& key : plan.group_keys) {
+        if (key.program == nullptr && key.column == column) return true;
+      }
+      return false;
+    }
+    if (e.lhs && !grouped_refs_covered(*e.lhs, base, plan, key_strs)) {
+      return false;
+    }
+    if (e.rhs && !grouped_refs_covered(*e.rhs, base, plan, key_strs)) {
+      return false;
+    }
+    for (const auto& arg : e.args) {
+      if (!grouped_refs_covered(*arg, base, plan, key_strs)) return false;
+    }
+    return true;
+  }
+
   /// Structural analysis for the grouped vectorized evaluator. Eligible
   /// shape: single columnar base table, no joins, every GROUP BY expression
-  /// a plain base column reference, supported aggregates (the fused path's
-  /// rules; zero aggregates is fine — pure key deduplication), every bare
-  /// column reference outside aggregate arguments one of the GROUP BY
-  /// columns, and the fused path's WHERE conjunct forms. Returns null when
-  /// the statement doesn't fit.
+  /// a plain base column reference or a VM-compilable key expression,
+  /// supported aggregates (the fused path's rules; zero aggregates is fine
+  /// — pure key deduplication), every bare column reference outside
+  /// aggregate arguments covered per grouped_refs_covered, and the fused
+  /// path's WHERE forms. Returns null when the statement doesn't fit.
   [[nodiscard]] std::shared_ptr<const sql::FusedGroupPlan> analyze_grouped(
       const ScanSource& base) const {
     if (!stmt_.joins.empty() || stmt_.group_by.empty()) return nullptr;
@@ -1917,13 +2041,20 @@ class SelectExec {
     plan->table = table.schema().name();
     plan->column_types = column_type_snapshot(table);
 
+    std::vector<std::string> key_strs;  // "" for plain-column keys
     for (const auto& g : stmt_.group_by) {
-      if (g->kind != Expr::Kind::kColumnRef) return nullptr;
-      if (g->resolved_slot < base.base_slot ||
-          g->resolved_slot >= base.base_slot + plan->column_types.size()) {
-        return nullptr;
+      sql::FusedGroupPlan::GroupKey key;
+      key_strs.emplace_back();
+      if (g->kind == Expr::Kind::kColumnRef &&
+          g->resolved_slot >= base.base_slot &&
+          g->resolved_slot < base.base_slot + plan->column_types.size()) {
+        key.column = g->resolved_slot - base.base_slot;
+      } else {
+        key.program = compile_program(*g, base, plan->column_types);
+        if (key.program == nullptr) return nullptr;
+        subquery_key(*g, key_strs.back());
       }
-      plan->group_columns.push_back(g->resolved_slot - base.base_slot);
+      plan->group_keys.push_back(std::move(key));
     }
 
     if (!collect_kernel_aggregates(base, plan->column_types,
@@ -1931,25 +2062,23 @@ class SelectExec {
       return nullptr;
     }
     for (const auto& item : stmt_.items) {
-      if (!bare_refs_covered(*item.expr, base.base_slot,
-                             plan->group_columns)) {
+      if (!grouped_refs_covered(*item.expr, base, *plan, key_strs)) {
         return nullptr;
       }
     }
-    if (stmt_.having && !bare_refs_covered(*stmt_.having, base.base_slot,
-                                           plan->group_columns)) {
+    if (stmt_.having &&
+        !grouped_refs_covered(*stmt_.having, base, *plan, key_strs)) {
       return nullptr;
     }
     for (const auto& key : stmt_.order_by) {
       if (key.expr->kind != Expr::Kind::kAliasRef &&
-          !bare_refs_covered(*key.expr, base.base_slot,
-                             plan->group_columns)) {
+          !grouped_refs_covered(*key.expr, base, *plan, key_strs)) {
         return nullptr;
       }
     }
 
-    if (stmt_.where &&
-        !collect_fused_conjuncts(*stmt_.where, base, plan->conjuncts)) {
+    if (!analyze_where(base, plan->column_types, plan->conjuncts,
+                       plan->where_program)) {
       return nullptr;
     }
     return plan;
@@ -2084,30 +2213,73 @@ class SelectExec {
       }
     }
 
+    // Compiled programs re-bind their runtime-constant slots the same way;
+    // a type drift since compilation declines this execution.
+    std::size_t program_evals = 0;
+    sql::ExprProgram::Bound where_bound;
+    if (!bind_program(plan->where_program.get(), where_bound, program_evals)) {
+      return std::nullopt;
+    }
+    std::vector<sql::ExprProgram::Bound> agg_bounds(plan->aggregates.size());
+    for (std::size_t a = 0; a < plan->aggregates.size(); ++a) {
+      if (!bind_program(plan->aggregates[a].program.get(), agg_bounds[a],
+                        program_evals)) {
+        return std::nullopt;
+      }
+    }
+    if (program_evals > 0) db_.count_expr_program_evals(program_evals);
+
     if (reused) db_.count_fused_plan_eval();
-    return run_columnar_aggregation(table, *plan, constants, scan);
+    return run_columnar_aggregation(table, *plan, constants, where_bound,
+                                    agg_bounds, scan);
   }
 
   /// Selection bitmaps for partitions [first, first + count): one bitmap
   /// per partition, seeded from the live bits (tombstones never select) and
-  /// narrowed by each conjunct batch-at-a-time. The filter stage fans out
-  /// across the scan pool under the same gate as run_heap_scan. `live` and
-  /// `nonempty` are the live-row and nonempty-partition totals over the
-  /// same range (callers already have them for their own counters).
+  /// narrowed batch-at-a-time — by each conjunct kernel, or by the compiled
+  /// whole-WHERE program's boolean lanes (NULL-as-false; the live-seeded
+  /// bitmap doubles as the program's demand mask, so `/`, `%` and SQRT
+  /// raise exactly where the row path would have evaluated them). The
+  /// filter stage fans out across the scan pool under the same gate as
+  /// run_heap_scan; each worker owns a VM scratch. `live` and `nonempty`
+  /// are the live-row and nonempty-partition totals over the same range
+  /// (callers already have them for their own counters).
   std::vector<std::vector<std::uint8_t>> build_selection_bitmaps(
       const Table& table,
       const std::vector<sql::FusedScanPlan::Conjunct>& conjuncts,
+      const sql::ExprProgram* where_program,
+      const sql::ExprProgram::Bound& where_bound,
       const std::vector<ValueType>& column_types,
       const std::vector<Value>& constants, std::size_t first,
       std::size_t count, std::size_t live, std::size_t nonempty) {
     std::vector<std::vector<std::uint8_t>> sels(count);
-    const auto filter_partition = [&](std::size_t index) {
+    const auto filter_partition = [&](std::size_t index,
+                                      sql::ExprProgram::Scratch& scratch) {
       const std::size_t p = first + index;
       const std::size_t lanes = table.partition_heap_size(p);
       std::vector<std::uint8_t>& sel = sels[index];
       const std::uint8_t* live_bits = table.live_bits(p);
       sel.assign(live_bits, live_bits + lanes);
-      if (lanes == 0 || conjuncts.empty()) return;
+      if (lanes == 0) return;
+      if (where_program != nullptr) {
+        std::vector<Table::ColumnSlice> columns(column_types.size());
+        for (const std::size_t c : where_program->used_columns()) {
+          columns[c] = table.column_slice(p, c);
+        }
+        for (std::size_t b = 0; b < lanes; b += kVectorBatch) {
+          const std::size_t e = std::min(lanes, b + kVectorBatch);
+          const sql::ExprProgram::Result res = run_program(
+              *where_program, scratch, where_bound, columns, sel.data(), b, e);
+          // Result lanes are batch-relative; undemanded lanes hold
+          // unspecified values, so AND through the incoming bitmap.
+          for (std::size_t i = b; i < e; ++i) {
+            sel[i] &= static_cast<std::uint8_t>(res.valid[i - b] != 0 &&
+                                                res.ints[i - b] != 0);
+          }
+        }
+        return;
+      }
+      if (conjuncts.empty()) return;
       std::vector<Table::ColumnSlice> slices(conjuncts.size());
       for (std::size_t c = 0; c < conjuncts.size(); ++c) {
         slices[c] = table.column_slice(p, conjuncts[c].column);
@@ -2133,10 +2305,11 @@ class SelectExec {
       futures.reserve(workers);
       for (std::size_t w = 0; w < workers; ++w) {
         futures.push_back(scan_pool().submit([&] {
+          sql::ExprProgram::Scratch scratch;
           while (true) {
             const std::size_t i = next.fetch_add(1);
             if (i >= count) return;
-            filter_partition(i);
+            filter_partition(i, scratch);
           }
         }));
       }
@@ -2151,7 +2324,8 @@ class SelectExec {
       if (first_error) std::rethrow_exception(first_error);
       db_.count_parallel_scan_batch();
     } else {
-      for (std::size_t i = 0; i < count; ++i) filter_partition(i);
+      sql::ExprProgram::Scratch scratch;
+      for (std::size_t i = 0; i < count; ++i) filter_partition(i, scratch);
     }
     return sels;
   }
@@ -2162,7 +2336,10 @@ class SelectExec {
   /// sees the row path's exact push sequence.
   std::vector<std::pair<Row, Row>> run_columnar_aggregation(
       const Table& table, const sql::FusedScanPlan& plan,
-      const std::vector<Value>& constants, const BaseScanPlan& scan) {
+      const std::vector<Value>& constants,
+      const sql::ExprProgram::Bound& where_bound,
+      const std::vector<sql::ExprProgram::Bound>& agg_bounds,
+      const BaseScanPlan& scan) {
     const std::size_t nparts = table.partition_count();
     std::size_t first = 0;
     std::size_t count = nparts;
@@ -2186,15 +2363,19 @@ class SelectExec {
     }
 
     std::vector<std::vector<std::uint8_t>> sels = build_selection_bitmaps(
-        table, plan.conjuncts, plan.column_types, constants, first, count,
-        live, nonempty);
+        table, plan.conjuncts, plan.where_program.get(), where_bound,
+        plan.column_types, constants, first, count, live, nonempty);
 
     // Serial accumulation, partition-major in lane (= heap) order.
-    std::vector<AggState> states(plan.aggregates.size());
-    std::vector<MinMaxAcc> minmax(plan.aggregates.size());
-    std::vector<AggKernel> kernels(plan.aggregates.size());
-    for (std::size_t a = 0; a < plan.aggregates.size(); ++a) {
+    const std::size_t naggs = plan.aggregates.size();
+    std::vector<AggState> states(naggs);
+    std::vector<MinMaxAcc> minmax(naggs);
+    std::vector<AggKernel> kernels(naggs);
+    std::vector<sql::ExprProgram::Scratch> scratches(naggs);
+    bool any_program = false;
+    for (std::size_t a = 0; a < naggs; ++a) {
       kernels[a] = agg_kernel_of(*plan.aggregates[a].expr);
+      any_program |= plan.aggregates[a].program != nullptr;
     }
     std::uint64_t batches = 0;
     std::size_t selected = 0;
@@ -2203,17 +2384,40 @@ class SelectExec {
       const std::size_t lanes = table.partition_heap_size(p);
       if (lanes == 0) continue;
       const std::uint8_t* sel = sels[index].data();
-      std::vector<Table::ColumnSlice> slices(plan.aggregates.size());
-      for (std::size_t a = 0; a < plan.aggregates.size(); ++a) {
+      std::vector<Table::ColumnSlice> slices(naggs);
+      for (std::size_t a = 0; a < naggs; ++a) {
         if (plan.aggregates[a].column != static_cast<std::size_t>(-1)) {
           slices[a] = table.column_slice(p, plan.aggregates[a].column);
+        }
+      }
+      std::vector<Table::ColumnSlice> columns;
+      if (any_program) {
+        columns.resize(plan.column_types.size());
+        for (std::size_t a = 0; a < naggs; ++a) {
+          if (plan.aggregates[a].program == nullptr) continue;
+          for (const std::size_t c : plan.aggregates[a].program->used_columns()) {
+            columns[c] = table.column_slice(p, c);
+          }
         }
       }
       for (std::size_t b = 0; b < lanes; b += kVectorBatch) {
         const std::size_t e = std::min(lanes, b + kVectorBatch);
         for (std::size_t i = b; i < e; ++i) selected += sel[i];
-        for (std::size_t a = 0; a < plan.aggregates.size(); ++a) {
-          const std::size_t column = plan.aggregates[a].column;
+        for (std::size_t a = 0; a < naggs; ++a) {
+          const auto& agg = plan.aggregates[a];
+          if (agg.program != nullptr) {
+            // The selection bitmap doubles as the demand mask: the row path
+            // evaluates aggregate arguments only for rows passing WHERE.
+            // Result lanes are batch-relative, so the kernel runs over the
+            // shifted selection pointer.
+            const sql::ExprProgram::Result res =
+                run_program(*agg.program, scratches[a], agg_bounds[a],
+                            columns, sel, b, e);
+            accumulate_batch(kernels[a], res.type, res.as_slice(e - b), 0,
+                             e - b, sel + b, states[a], minmax[a]);
+            continue;
+          }
+          const std::size_t column = agg.column;
           accumulate_batch(kernels[a],
                            column == static_cast<std::size_t>(-1)
                                ? ValueType::kNull
@@ -2226,9 +2430,12 @@ class SelectExec {
     db_.count_vectorized_batches(batches);
     db_.count_rows_skipped_by_bitmap(live - selected);
 
-    for (std::size_t a = 0; a < plan.aggregates.size(); ++a) {
+    for (std::size_t a = 0; a < naggs; ++a) {
       if (kernels[a] != AggKernel::kMinMax || states[a].count == 0) continue;
-      const ValueType type = plan.column_types[plan.aggregates[a].column];
+      const ValueType type =
+          plan.aggregates[a].program != nullptr
+              ? plan.aggregates[a].program->result_type()
+              : plan.column_types[plan.aggregates[a].column];
       states[a].min_value = minmax_value(type, minmax[a], /*max_side=*/false);
       states[a].max_value = minmax_value(type, minmax[a], /*max_side=*/true);
       states[a].has_minmax = true;
@@ -2305,8 +2512,30 @@ class SelectExec {
       }
     }
 
+    std::size_t program_evals = 0;
+    sql::ExprProgram::Bound where_bound;
+    if (!bind_program(plan->where_program.get(), where_bound, program_evals)) {
+      return std::nullopt;
+    }
+    std::vector<sql::ExprProgram::Bound> key_bounds(plan->group_keys.size());
+    for (std::size_t k = 0; k < plan->group_keys.size(); ++k) {
+      if (!bind_program(plan->group_keys[k].program.get(), key_bounds[k],
+                        program_evals)) {
+        return std::nullopt;
+      }
+    }
+    std::vector<sql::ExprProgram::Bound> agg_bounds(plan->aggregates.size());
+    for (std::size_t a = 0; a < plan->aggregates.size(); ++a) {
+      if (!bind_program(plan->aggregates[a].program.get(), agg_bounds[a],
+                        program_evals)) {
+        return std::nullopt;
+      }
+    }
+    if (program_evals > 0) db_.count_expr_program_evals(program_evals);
+
     if (reused) db_.count_fused_plan_eval();
-    return run_columnar_grouped(table, *plan, constants, scan);
+    return run_columnar_grouped(table, *plan, constants, where_bound,
+                                key_bounds, agg_bounds, scan);
   }
 
   /// The grouped vectorized evaluator: selection bitmaps, then a hash group
@@ -2317,7 +2546,11 @@ class SelectExec {
   /// sorting the groups with the same key comparator.
   std::vector<std::pair<Row, Row>> run_columnar_grouped(
       const Table& table, const sql::FusedGroupPlan& plan,
-      const std::vector<Value>& constants, const BaseScanPlan& scan) {
+      const std::vector<Value>& constants,
+      const sql::ExprProgram::Bound& where_bound,
+      const std::vector<sql::ExprProgram::Bound>& key_bounds,
+      const std::vector<sql::ExprProgram::Bound>& agg_bounds,
+      const BaseScanPlan& scan) {
     const std::size_t nparts = table.partition_count();
     std::size_t first = 0;
     std::size_t count = nparts;
@@ -2342,13 +2575,30 @@ class SelectExec {
     }
 
     std::vector<std::vector<std::uint8_t>> sels = build_selection_bitmaps(
-        table, plan.conjuncts, plan.column_types, constants, first, count,
-        live, nonempty);
+        table, plan.conjuncts, plan.where_program.get(), where_bound,
+        plan.column_types, constants, first, count, live, nonempty);
 
     const std::size_t naggs = plan.aggregates.size();
+    const std::size_t nkeys = plan.group_keys.size();
     std::vector<AggKernel> kernels(naggs);
+    std::vector<sql::ExprProgram::Scratch> agg_scratches(naggs);
+    bool any_program = false;
     for (std::size_t a = 0; a < naggs; ++a) {
       kernels[a] = agg_kernel_of(*plan.aggregates[a].expr);
+      any_program |= plan.aggregates[a].program != nullptr;
+    }
+    // Per-key lane type and per-batch access: a plain-column key reads its
+    // partition slice directly (offset 0); a compiled key's result lanes
+    // are batch-relative, so the slice is refreshed per batch with the
+    // batch start as offset.
+    std::vector<ValueType> key_types(nkeys);
+    std::vector<sql::ExprProgram::Scratch> key_scratches(nkeys);
+    for (std::size_t k = 0; k < nkeys; ++k) {
+      const auto& key = plan.group_keys[k];
+      key_types[k] = key.program != nullptr
+                         ? key.program->result_type()
+                         : plan.column_types[key.column];
+      any_program |= key.program != nullptr;
     }
 
     // Group table: keys[gid] is the materialized GROUP BY tuple, the index
@@ -2368,9 +2618,18 @@ class SelectExec {
       const std::size_t lanes = table.partition_heap_size(p);
       if (lanes == 0) continue;
       const std::uint8_t* sel = sels[index].data();
-      std::vector<Table::ColumnSlice> key_slices(plan.group_columns.size());
-      for (std::size_t k = 0; k < plan.group_columns.size(); ++k) {
-        key_slices[k] = table.column_slice(p, plan.group_columns[k]);
+      // key_access[k] is the lane view the hash reads: partition-absolute
+      // for plain columns, batch-relative (offset = batch start) for
+      // compiled keys — group_of subtracts the offset per key.
+      struct KeyAccess {
+        Table::ColumnSlice slice;
+        std::size_t offset = 0;
+      };
+      std::vector<KeyAccess> key_access(nkeys);
+      for (std::size_t k = 0; k < nkeys; ++k) {
+        if (plan.group_keys[k].program == nullptr) {
+          key_access[k].slice = table.column_slice(p, plan.group_keys[k].column);
+        }
       }
       std::vector<Table::ColumnSlice> agg_slices(naggs);
       for (std::size_t a = 0; a < naggs; ++a) {
@@ -2378,31 +2637,45 @@ class SelectExec {
           agg_slices[a] = table.column_slice(p, plan.aggregates[a].column);
         }
       }
+      std::vector<Table::ColumnSlice> columns;
+      if (any_program) {
+        columns.resize(plan.column_types.size());
+        const auto load_used = [&](const sql::ExprProgram* program) {
+          if (program == nullptr) return;
+          for (const std::size_t c : program->used_columns()) {
+            columns[c] = table.column_slice(p, c);
+          }
+        };
+        for (std::size_t k = 0; k < nkeys; ++k) {
+          load_used(plan.group_keys[k].program.get());
+        }
+        for (std::size_t a = 0; a < naggs; ++a) {
+          load_used(plan.aggregates[a].program.get());
+        }
+      }
       const auto group_of = [&](std::size_t lane) -> std::uint32_t {
         std::size_t h = 1469598103934665603ULL;  // FNV-1a offset basis
-        for (std::size_t k = 0; k < key_slices.size(); ++k) {
+        for (std::size_t k = 0; k < nkeys; ++k) {
           h = (h * 1099511628211ULL) ^
-              group_lane_hash(plan.column_types[plan.group_columns[k]],
-                              key_slices[k], lane);
+              group_lane_hash(key_types[k], key_access[k].slice,
+                              lane - key_access[k].offset);
         }
         const auto [lo, hi] = group_index.equal_range(h);
         for (auto it = lo; it != hi; ++it) {
           const Row& key = keys[it->second];
           bool match = true;
-          for (std::size_t k = 0; k < key_slices.size() && match; ++k) {
-            match =
-                group_lane_equals(plan.column_types[plan.group_columns[k]],
-                                  key_slices[k], lane, key[k]);
+          for (std::size_t k = 0; k < nkeys && match; ++k) {
+            match = group_lane_equals(key_types[k], key_access[k].slice,
+                                      lane - key_access[k].offset, key[k]);
           }
           if (match) return it->second;
         }
         const auto gid = static_cast<std::uint32_t>(keys.size());
         Row key;
-        key.reserve(key_slices.size());
-        for (std::size_t k = 0; k < key_slices.size(); ++k) {
-          key.push_back(
-              group_lane_value(plan.column_types[plan.group_columns[k]],
-                               key_slices[k], lane));
+        key.reserve(nkeys);
+        for (std::size_t k = 0; k < nkeys; ++k) {
+          key.push_back(group_lane_value(key_types[k], key_access[k].slice,
+                                         lane - key_access[k].offset));
         }
         keys.push_back(std::move(key));
         group_index.emplace(h, gid);
@@ -2415,13 +2688,31 @@ class SelectExec {
       gids.assign(lanes, 0);
       for (std::size_t b = 0; b < lanes; b += kVectorBatch) {
         const std::size_t e = std::min(lanes, b + kVectorBatch);
+        for (std::size_t k = 0; k < nkeys; ++k) {
+          const auto& key = plan.group_keys[k];
+          if (key.program == nullptr) continue;
+          const sql::ExprProgram::Result res = run_program(
+              *key.program, key_scratches[k], key_bounds[k], columns, sel, b, e);
+          key_access[k].slice = res.as_slice(e - b);
+          key_access[k].offset = b;
+        }
         for (std::size_t i = b; i < e; ++i) {
           if (sel[i] == 0) continue;
           ++selected;
           gids[i] = group_of(i);
         }
         for (std::size_t a = 0; a < naggs; ++a) {
-          const std::size_t column = plan.aggregates[a].column;
+          const auto& agg = plan.aggregates[a];
+          if (agg.program != nullptr) {
+            const sql::ExprProgram::Result res =
+                run_program(*agg.program, agg_scratches[a], agg_bounds[a],
+                            columns, sel, b, e);
+            accumulate_grouped_batch(kernels[a], res.type, res.as_slice(e - b),
+                                     0, e - b, sel + b, gids.data() + b,
+                                     states[a], minmax[a]);
+            continue;
+          }
+          const std::size_t column = agg.column;
           accumulate_grouped_batch(kernels[a],
                                    column == static_cast<std::size_t>(-1)
                                        ? ValueType::kNull
@@ -2438,7 +2729,10 @@ class SelectExec {
 
     for (std::size_t a = 0; a < naggs; ++a) {
       if (kernels[a] != AggKernel::kMinMax) continue;
-      const ValueType type = plan.column_types[plan.aggregates[a].column];
+      const ValueType type =
+          plan.aggregates[a].program != nullptr
+              ? plan.aggregates[a].program->result_type()
+              : plan.column_types[plan.aggregates[a].column];
       for (std::size_t g = 0; g < keys.size(); ++g) {
         if (states[a][g].count == 0) continue;
         states[a][g].min_value =
@@ -2475,13 +2769,19 @@ class SelectExec {
         agg_values[plan.aggregates[a].expr] =
             agg_finalize(*plan.aggregates[a].expr, states[a][g]);
       }
-      // Bare refs were proven GROUP BY-covered at analysis time, so a
-      // representative carrying just the key columns is enough.
+      // Bare refs were proven covered at analysis time: plain-column keys
+      // ride the synthesized representative row, compiled keys pin their
+      // per-group values onto the nodes key_refs recorded.
       Row rep(plan.column_types.size(), Value::null());
-      for (std::size_t k = 0; k < plan.group_columns.size(); ++k) {
-        rep[plan.group_columns[k]] = keys[g][k];
+      for (std::size_t k = 0; k < nkeys; ++k) {
+        if (plan.group_keys[k].program == nullptr) {
+          rep[plan.group_keys[k].column] = keys[g][k];
+        }
       }
-      EvalCtx ctx{&rep, params_, &agg_values, &subquery_values_, nullptr};
+      std::unordered_map<const Expr*, Value> pinned;
+      for (const auto& [node, k] : plan.key_refs) pinned[node] = keys[g][k];
+      EvalCtx ctx{&rep, params_, &agg_values, &subquery_values_, nullptr,
+                  plan.key_refs.empty() ? nullptr : &pinned};
       if (stmt_.having && !eval_predicate(*stmt_.having, ctx)) continue;
       Row output;
       output.reserve(stmt_.items.size());
@@ -2618,6 +2918,251 @@ class SelectExec {
     return std::make_pair(b.resolved_slot, a.resolved_slot - inner_begin);
   }
 
+  /// Expression-key extension of the columnar hash join (the VM's join
+  /// satellite): when the whole ON clause is a single `expr = expr`
+  /// equality whose sides each compile over exactly one table, both sides'
+  /// key lanes are materialized by the batch VM into owned buffers and the
+  /// plain path's build/probe kernels consume them unchanged. Plain-column
+  /// keys never arrive here — equi_join_key handles those, AND trees
+  /// included. Declines (nullopt, row-path nested loop) when a side doesn't
+  /// compile, the key types have no kernel, a bind re-types a constant, or
+  /// a live double key lane holds NaN (compare_sql treats NaN as equal to
+  /// everything; a hash probe can't reproduce that).
+  std::optional<std::vector<Row>> try_expr_key_join(const ScanSource& base,
+                                                    const ScanSource& inner,
+                                                    const sql::Join& join,
+                                                    const BaseScanPlan& plan) {
+    if (join.on == nullptr || join.on->kind != Expr::Kind::kBinary ||
+        join.on->bin_op != BinOp::kEq) {
+      return std::nullopt;
+    }
+    const std::vector<ValueType> outer_types =
+        column_type_snapshot(*base.table);
+    const std::vector<ValueType> inner_types =
+        column_type_snapshot(*inner.table);
+    // Side assignment falls out of compilation: a program declines any
+    // column slot outside its own table's range. Try lhs-over-outer /
+    // rhs-over-inner, then the mirrored pairing.
+    auto outer_prog = compile_program(*join.on->lhs, base, outer_types);
+    auto inner_prog = outer_prog != nullptr
+                          ? compile_program(*join.on->rhs, inner, inner_types)
+                          : nullptr;
+    if (inner_prog == nullptr) {
+      outer_prog = compile_program(*join.on->rhs, base, outer_types);
+      inner_prog = outer_prog != nullptr
+                       ? compile_program(*join.on->lhs, inner, inner_types)
+                       : nullptr;
+    }
+    if (inner_prog == nullptr) return std::nullopt;
+    const auto kind =
+        join_key_kind(outer_prog->result_type(), inner_prog->result_type());
+    if (!kind) return std::nullopt;
+
+    std::size_t program_evals = 0;
+    sql::ExprProgram::Bound outer_bound;
+    sql::ExprProgram::Bound inner_bound;
+    if (!bind_program(outer_prog.get(), outer_bound, program_evals) ||
+        !bind_program(inner_prog.get(), inner_bound, program_evals)) {
+      return std::nullopt;
+    }
+
+    // Outer-side pruning, mirroring the plain-column path.
+    const std::size_t nparts = base.table->partition_count();
+    if (plan.empty) {
+      db_.count_partitions_pruned(nparts);
+      return std::vector<Row>{};
+    }
+    std::size_t outer_first = 0;
+    std::size_t outer_count = nparts;
+    std::size_t pruned = 0;
+    if (plan.partition && nparts > 1) {
+      outer_first = *plan.partition;
+      outer_count = 1;
+      pruned = nparts - 1;
+    }
+    const std::size_t inner_first = inner.partition ? *inner.partition : 0;
+    const std::size_t inner_count =
+        inner.partition ? 1 : inner.table->partition_count();
+
+    std::size_t outer_live = 0;
+    for (std::size_t p = outer_first; p < outer_first + outer_count; ++p) {
+      outer_live += base.table->partition_live_count(p);
+    }
+    std::size_t inner_live = 0;
+    for (std::size_t p = inner_first; p < inner_first + inner_count; ++p) {
+      inner_live += inner.table->partition_live_count(p);
+    }
+    if (outer_live == 0 || inner_live == 0) {
+      // The row path's nested loop never evaluates ON over an empty cross
+      // product; skip the programs so key-expression errors match.
+      if (pruned > 0) db_.count_partitions_pruned(pruned);
+      db_.count_partition_scans(outer_count);
+      db_.count_columnar_scans(outer_count + inner_count);
+      return std::vector<Row>{};
+    }
+
+    /// One partition's VM-computed key lanes, owned (the Scratch buffers
+    /// are reused across batches); exposed to the join kernels through a
+    /// manufactured Table::KeySlice below.
+    struct KeyLanes {
+      std::vector<std::int64_t> ints;
+      std::vector<double> reals;
+      std::vector<std::string> strs;
+      std::vector<std::uint8_t> valid;
+      std::size_t partition = 0;
+      std::size_t lanes = 0;
+    };
+    // Materializes one side's key lanes with the live bitmap as the demand
+    // mask (a dead lane's key is never read — usable() filters by live).
+    // False: a live valid double key lane holds NaN, decline the join.
+    const auto materialize =
+        [this](const Table& table, const sql::ExprProgram& program,
+               const sql::ExprProgram::Bound& bound, std::size_t pfirst,
+               std::size_t pcount, std::vector<KeyLanes>& out) -> bool {
+      const ValueType type = program.result_type();
+      sql::ExprProgram::Scratch scratch;
+      std::vector<Table::ColumnSlice> columns(table.schema().column_count());
+      out.resize(pcount);
+      for (std::size_t index = 0; index < pcount; ++index) {
+        const std::size_t p = pfirst + index;
+        const std::size_t lanes = table.partition_heap_size(p);
+        KeyLanes& dst = out[index];
+        dst.partition = p;
+        dst.lanes = lanes;
+        dst.valid.resize(lanes);
+        if (type == ValueType::kString) {
+          dst.strs.resize(lanes);
+        } else if (type == ValueType::kDouble) {
+          dst.reals.resize(lanes);
+        } else {
+          dst.ints.resize(lanes);
+        }
+        if (lanes == 0) continue;
+        for (const std::size_t c : program.used_columns()) {
+          columns[c] = table.column_slice(p, c);
+        }
+        const std::uint8_t* live = table.live_bits(p);
+        for (std::size_t b = 0; b < lanes; b += kVectorBatch) {
+          const std::size_t e = std::min(lanes, b + kVectorBatch);
+          const auto res =
+              run_program(program, scratch, bound, columns, live, b, e);
+          for (std::size_t i = b; i < e; ++i) {
+            dst.valid[i] = res.valid[i - b];
+          }
+          if (type == ValueType::kString) {
+            for (std::size_t i = b; i < e; ++i) dst.strs[i] = res.strs[i - b];
+          } else if (type == ValueType::kDouble) {
+            for (std::size_t i = b; i < e; ++i) {
+              dst.reals[i] = res.reals[i - b];
+              if (live[i] && dst.valid[i] && std::isnan(dst.reals[i])) {
+                return false;
+              }
+            }
+          } else {
+            for (std::size_t i = b; i < e; ++i) dst.ints[i] = res.ints[i - b];
+          }
+        }
+      }
+      return true;
+    };
+
+    std::vector<KeyLanes> outer_lanes;
+    std::vector<KeyLanes> inner_lanes;
+    if (!materialize(*base.table, *outer_prog, outer_bound, outer_first,
+                     outer_count, outer_lanes) ||
+        !materialize(*inner.table, *inner_prog, inner_bound, inner_first,
+                     inner_count, inner_lanes)) {
+      return std::nullopt;  // NaN key: the nested loop matches it, we can't
+    }
+    // Committed to the columnar path — count only now, so a NaN decline
+    // leaves the row path's counters untouched.
+    if (program_evals > 0) db_.count_expr_program_evals(program_evals);
+    if (pruned > 0) db_.count_partitions_pruned(pruned);
+    db_.count_partition_scans(outer_count);
+    db_.count_columnar_scans(outer_count + inner_count);
+
+    const auto to_key_slices = [](std::vector<KeyLanes>& side, ValueType type,
+                                  const Table& table) {
+      std::vector<Table::KeySlice> slices;
+      slices.reserve(side.size());
+      for (KeyLanes& kl : side) {
+        Table::KeySlice ks;
+        ks.column.size = kl.lanes;
+        ks.column.valid = kl.valid.data();
+        if (type == ValueType::kString) {
+          ks.column.strs = kl.strs.data();
+        } else if (type == ValueType::kDouble) {
+          ks.column.reals = kl.reals.data();
+        } else {
+          ks.column.ints = kl.ints.data();
+        }
+        ks.live = table.live_bits(kl.partition);
+        ks.partition = kl.partition;
+        slices.push_back(ks);
+      }
+      return slices;
+    };
+    const std::vector<Table::KeySlice> outer_slices =
+        to_key_slices(outer_lanes, outer_prog->result_type(), *base.table);
+    const std::vector<Table::KeySlice> inner_slices =
+        to_key_slices(inner_lanes, inner_prog->result_type(), *inner.table);
+
+    // From here the plain-column path repeats verbatim: build from the
+    // smaller side, probe the other, restore row emission order.
+    const bool build_is_outer = outer_live < inner_live;
+    const std::vector<Table::KeySlice>& build =
+        build_is_outer ? outer_slices : inner_slices;
+    const std::vector<Table::KeySlice>& probe =
+        build_is_outer ? inner_slices : outer_slices;
+
+    std::uint64_t probed = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    switch (*kind) {
+      case JoinKeyKind::kNumeric:
+        pairs = columnar_join_pairs<double>(
+            build, probe, build_is_outer, probed,
+            [](const Table::ColumnSlice& s, std::size_t i) {
+              const double d = s.ints != nullptr
+                                   ? static_cast<double>(s.ints[i])
+                                   : s.reals[i];
+              return d == 0.0 ? 0.0 : d;
+            });
+        break;
+      case JoinKeyKind::kBool:
+      case JoinKeyKind::kDateTime:
+        pairs = columnar_join_pairs<std::int64_t>(
+            build, probe, build_is_outer, probed,
+            [](const Table::ColumnSlice& s, std::size_t i) {
+              return s.ints[i];
+            });
+        break;
+      case JoinKeyKind::kString:
+        pairs = columnar_join_pairs<std::string_view>(
+            build, probe, build_is_outer, probed,
+            [](const Table::ColumnSlice& s, std::size_t i) {
+              return std::string_view(s.strs[i]);
+            });
+        break;
+    }
+    db_.count_hash_join_build();
+    db_.count_join_lanes_probed(probed);
+
+    if (build_is_outer) std::sort(pairs.begin(), pairs.end());
+
+    std::vector<Row> joined;
+    joined.reserve(pairs.size());
+    for (const auto& [outer_id, inner_id] : pairs) {
+      Row combined = base.table->row(outer_id);
+      const Row& inner_row = inner.table->row(inner_id);
+      combined.insert(combined.end(), inner_row.begin(), inner_row.end());
+      EvalCtx ctx{&combined, params_, nullptr, &subquery_values_, nullptr};
+      if (eval_predicate(*join.on, ctx)) {
+        joined.push_back(std::move(combined));
+      }
+    }
+    return joined;
+  }
+
   /// Columnar hash equi-join over the base table and the first join: build
   /// a hash table from the smaller side's key column slice (tombstoned and
   /// NULL lanes never enter — a NULL key can't satisfy the ON equality),
@@ -2625,8 +3170,9 @@ class SelectExec {
   /// surviving lane pairs. Emission is outer-scan-major with inner-scan
   /// order within each outer row — byte-identical to the row hash join.
   /// Returns nullopt to fall back when either side isn't columnar, the ON
-  /// clause has no equality conjunct on a base column, the key types have
-  /// no kernel, or an inner index makes the indexed nested loop cheaper.
+  /// clause has no equality conjunct on a base column (try_expr_key_join
+  /// then gets a shot at a computed key), the key types have no kernel, or
+  /// an inner index makes the indexed nested loop cheaper.
   std::optional<std::vector<Row>> try_columnar_hash_join(
       const ScanSource& base, const BaseScanPlan& plan) {
     if (base.table == nullptr || !base.table->columnar()) return std::nullopt;
@@ -2636,7 +3182,7 @@ class SelectExec {
       return std::nullopt;
     }
     const auto key = equi_join_key(join.on.get(), inner);
-    if (!key) return std::nullopt;
+    if (!key) return try_expr_key_join(base, inner, join, plan);
     if (key->first >= base.column_count()) return std::nullopt;
     if (inner.table->find_index_on(key->second) != nullptr) {
       return std::nullopt;  // the indexed nested loop wins
@@ -3002,6 +3548,9 @@ class SelectExec {
   /// Set when the base heap scan already applied the WHERE clause
   /// (single-table statements); run() must not filter twice.
   bool where_applied_ = false;
+  /// Off in the explain_verdict path: analysis-only compiles are discarded
+  /// with the throwaway parse tree and must not move expr_programs_compiled.
+  bool count_compiles_ = true;
 };
 
 // ---------------------------------------------------------------------------
@@ -3325,6 +3874,72 @@ QueryResult Database::execute_select_with(sql::SelectStmt& stmt,
     pre.entries.emplace_back(std::string(cte.name), cte.rows);
   }
   return SelectExec(*this, stmt, params, nullptr, nullptr, &pre).run();
+}
+
+namespace {
+
+/// Highest `?` marker index in the statement (recursively), so explain can
+/// size an all-NULL parameter vector that satisfies the binder.
+void max_param_count(const sql::SelectStmt& stmt, std::size_t& n);
+
+void max_param_count(const sql::Expr* e, std::size_t& n) {
+  if (e == nullptr) return;
+  if (e->kind == sql::Expr::Kind::kParam) n = std::max(n, e->param_index + 1);
+  max_param_count(e->lhs.get(), n);
+  max_param_count(e->rhs.get(), n);
+  for (const auto& arg : e->args) max_param_count(arg.get(), n);
+  if (e->subquery) max_param_count(*e->subquery, n);
+}
+
+void max_param_count(const sql::SelectStmt& stmt, std::size_t& n) {
+  for (const auto& cte : stmt.ctes) max_param_count(*cte.select, n);
+  for (const auto& item : stmt.items) max_param_count(item.expr.get(), n);
+  max_param_count(stmt.where.get(), n);
+  for (const auto& join : stmt.joins) max_param_count(join.on.get(), n);
+  for (const auto& g : stmt.group_by) max_param_count(g.get(), n);
+  max_param_count(stmt.having.get(), n);
+  for (const auto& key : stmt.order_by) max_param_count(key.expr.get(), n);
+}
+
+/// One SELECT's analysis-only verdict. Binds a throwaway clone (binding
+/// mutates the tree: star expansion, alias rewrites) with all-NULL
+/// parameters; bind failures — including FROM naming a CTE, which explain
+/// never materializes — report as row path with the diagnostic.
+std::string fused_verdict(Database& db, const sql::SelectStmt& stmt,
+                          std::span<const Value> params) {
+  const std::unique_ptr<sql::SelectStmt> copy = stmt.clone();
+  try {
+    return SelectExec(db, *copy, params).explain_verdict();
+  } catch (const EvalError& e) {
+    return support::cat("row path (", e.what(), ")");
+  }
+}
+
+}  // namespace
+
+std::vector<Database::FusedExplain> Database::explain_fused(
+    std::string_view sql_text) {
+  std::vector<FusedExplain> out;
+  std::vector<sql::Statement> stmts = sql::parse_sql(sql_text);
+  for (std::size_t s = 0; s < stmts.size(); ++s) {
+    const std::string prefix =
+        stmts.size() > 1 ? support::cat("stmt", s + 1, " ") : std::string();
+    const auto* select = std::get_if<sql::SelectStmt>(&stmts[s]);
+    if (select == nullptr) {
+      out.push_back({support::cat(prefix, "main"), "not a SELECT"});
+      continue;
+    }
+    std::size_t nparams = 0;
+    max_param_count(*select, nparams);
+    const std::vector<Value> params(nparams);  // default Value is NULL
+    for (const auto& cte : select->ctes) {
+      out.push_back({support::cat(prefix, cte.name),
+                     fused_verdict(*this, *cte.select, params)});
+    }
+    out.push_back(
+        {support::cat(prefix, "main"), fused_verdict(*this, *select, params)});
+  }
+  return out;
 }
 
 std::size_t Database::total_rows() const {

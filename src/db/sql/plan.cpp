@@ -16,6 +16,16 @@ const Expr* translate(const Expr* expr, const ExprRemap& map, bool& ok) {
   return it->second;
 }
 
+/// nullptr-preserving program carry: compiled programs hold `const Expr*`
+/// runtime-constant slots (params, scalar subqueries) that must follow the
+/// clone exactly like the plan's own pointers.
+bool remap_program(std::shared_ptr<const ExprProgram>& program,
+                   const ExprRemap& map) {
+  if (program == nullptr) return true;
+  program = program->remapped(map);
+  return program != nullptr;
+}
+
 bool remap_conjuncts(std::vector<FusedScanPlan::Conjunct>& conjuncts,
                      const ExprRemap& map) {
   bool ok = true;
@@ -26,7 +36,10 @@ bool remap_conjuncts(std::vector<FusedScanPlan::Conjunct>& conjuncts,
 bool remap_aggregates(std::vector<FusedScanPlan::Aggregate>& aggregates,
                       const ExprRemap& map) {
   bool ok = true;
-  for (auto& a : aggregates) a.expr = translate(a.expr, map, ok);
+  for (auto& a : aggregates) {
+    a.expr = translate(a.expr, map, ok);
+    if (!remap_program(a.program, map)) return false;
+  }
   return ok;
 }
 
@@ -36,6 +49,7 @@ std::shared_ptr<const FusedScanPlan> remap_onto(const FusedScanPlan& plan,
                                                 const ExprRemap& map) {
   auto out = std::make_shared<FusedScanPlan>(plan);
   if (!remap_conjuncts(out->conjuncts, map)) return nullptr;
+  if (!remap_program(out->where_program, map)) return nullptr;
   if (!remap_aggregates(out->aggregates, map)) return nullptr;
   return out;
 }
@@ -44,6 +58,15 @@ std::shared_ptr<const FusedGroupPlan> remap_onto(const FusedGroupPlan& plan,
                                                  const ExprRemap& map) {
   auto out = std::make_shared<FusedGroupPlan>(plan);
   if (!remap_conjuncts(out->conjuncts, map)) return nullptr;
+  if (!remap_program(out->where_program, map)) return nullptr;
+  for (auto& key : out->group_keys) {
+    if (!remap_program(key.program, map)) return nullptr;
+  }
+  bool ok = true;
+  for (auto& [node, index] : out->key_refs) {
+    node = translate(node, map, ok);
+  }
+  if (!ok) return nullptr;
   if (!remap_aggregates(out->aggregates, map)) return nullptr;
   return out;
 }

@@ -5,9 +5,11 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "db/sql/ast.hpp"
+#include "db/sql/expr_vm.hpp"
 #include "db/value.hpp"
 
 namespace kojak::db::sql {
@@ -39,34 +41,50 @@ struct FusedScanPlan {
   };
   std::vector<Conjunct> conjuncts;
 
-  /// One aggregate call over a plain base column; column == SIZE_MAX for
-  /// COUNT(*). Collected in run_aggregation's order (items, HAVING,
-  /// ORDER BY) so finalized values map back onto the same Expr nodes.
+  /// Whole-WHERE bytecode program, used when the filter is not an
+  /// AND-of-simple-conjuncts (`conjuncts` and `where_program` are mutually
+  /// exclusive): its boolean output lanes AND into the selection bitmap
+  /// with NULL-as-false semantics.
+  std::shared_ptr<const ExprProgram> where_program;
+
+  /// One aggregate call: over a plain base column (program == nullptr;
+  /// column == SIZE_MAX for COUNT(*)) or over an arbitrary compiled value
+  /// program whose output lanes feed the same kernels. Collected in
+  /// run_aggregation's order (items, HAVING, ORDER BY) so finalized values
+  /// map back onto the same Expr nodes.
   struct Aggregate {
     const Expr* expr = nullptr;
     std::size_t column = static_cast<std::size_t>(-1);
+    std::shared_ptr<const ExprProgram> program;
   };
   std::vector<Aggregate> aggregates;
 };
 
 /// Hot-plan annotation behind `SelectStmt::fused_group_plan`: the grouped
-/// sibling of FusedScanPlan for `GROUP BY <column refs>` over one columnar
+/// sibling of FusedScanPlan for `GROUP BY <scalar exprs>` over one columnar
 /// table. Same lifecycle and reuse contract; group keys are base-relative
-/// column indices in GROUP BY order.
+/// column indices (program == nullptr) or compiled key programs, in
+/// GROUP BY order.
 struct FusedGroupPlan {
   std::string table;
   std::vector<ValueType> column_types;  // schema snapshot, validated on reuse
   std::vector<FusedScanPlan::Conjunct> conjuncts;
-  std::vector<std::size_t> group_columns;  // base-relative, GROUP BY order
+  std::shared_ptr<const ExprProgram> where_program;
+
+  struct GroupKey {
+    std::size_t column = static_cast<std::size_t>(-1);  // SIZE_MAX => program
+    std::shared_ptr<const ExprProgram> program;
+  };
+  std::vector<GroupKey> group_keys;  // GROUP BY order
+
+  /// Output-side nodes (in items / HAVING / ORDER BY) structurally equal to
+  /// a *program* group key: evaluated as that key's per-group value via
+  /// EvalCtx pinning instead of from the representative row. Plain-column
+  /// keys need no pinning — the representative row already carries them.
+  std::vector<std::pair<const Expr*, std::size_t>> key_refs;
+
   std::vector<FusedScanPlan::Aggregate> aggregates;
 };
-
-/// Old-expression-node → new-expression-node map produced by a plan-carrying
-/// clone: `SelectStmt::clone(&map)` records every Expr it copies, so plan
-/// annotations (whose `const Expr*` members reference the source tree) can be
-/// re-targeted onto the copy — or, inverted, back-propagated from an executed
-/// copy onto the original statement.
-using ExprRemap = std::unordered_map<const Expr*, const Expr*>;
 
 /// Re-targets a plan's expression pointers through `map`. Returns nullptr if
 /// any pointer is missing from the map — a carried plan must never dangle, so
